@@ -1,0 +1,60 @@
+// FIG1 — the motivating example (Figure 1): the same SPARQL query planned
+// without and with physical-design awareness. Shows the two QEPs, where
+// each operation runs, the SQL the sources receive, and the resulting
+// execution times.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "lslod/vocab.h"
+#include "wrapper/sql_wrapper.h"
+
+namespace lakefed::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 1: motivating example QEPs");
+  auto lake = BuildBenchLake();
+  const lslod::BenchmarkQuery& fig1 = lslod::MotivatingExampleQuery();
+
+  std::printf("\n-- SPARQL query (a) --\n%s\n", fig1.sparql.c_str());
+
+  for (fed::PlanMode mode : {fed::PlanMode::kPhysicalDesignUnaware,
+                             fed::PlanMode::kPhysicalDesignAware}) {
+    fed::PlanOptions options =
+        ModeOptions(mode, net::NetworkProfile::Gamma2());
+    auto plan = lake->engine->Plan(fig1.sparql, options);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "plan failed: %s\n",
+                   plan.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("\n-- QEP (%s) --\n%s",
+                mode == fed::PlanMode::kPhysicalDesignUnaware ? "b: unaware"
+                                                              : "c: aware",
+                plan->Explain().c_str());
+    RunResult r = RunOnce(*lake, fig1.sparql, options);
+    std::printf("total=%.3fs first=%.3fs answers=%zu transferred=%llu\n",
+                r.total_s, r.first_s, r.answers,
+                static_cast<unsigned long long>(r.transferred));
+    auto* wrapper = dynamic_cast<wrapper::SqlWrapper*>(
+        lake->engine->wrapper(lslod::kDiseasome));
+    if (wrapper != nullptr) {
+      std::printf("SQL sent to diseasome: %s\n",
+                  wrapper->last_sql().c_str());
+    }
+  }
+  std::printf(
+      "\nKey points (paper): in (c) the Diseasome join is pushed down "
+      "(Heuristic 1), while the species filter stays at the engine in both "
+      "plans because scientificName is not indexed (a value is present in "
+      "more than 15%% of the records).\n");
+}
+
+}  // namespace
+}  // namespace lakefed::bench
+
+int main() {
+  lakefed::bench::Run();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// TAB-GRID — the paper's full experiment: "eight different configurations in
+// total, i.e., both QEP types are evaluated using all four simulated network
+// conditions", over the five benchmark queries. Prints one row per
+// (query, qep, network) cell.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace lakefed::bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Experiment grid: Q1-Q5 x {unaware, aware} x {NoDelay, Gamma1, "
+      "Gamma2, Gamma3}");
+  auto lake = BuildBenchLake();
+
+  std::printf("\n%-5s %-28s %-8s %10s %10s %8s %12s\n", "query", "qep",
+              "network", "total_s", "first_s", "answers", "transferred");
+
+  struct Key {
+    std::string query, network;
+    double unaware = 0, aware = 0;
+  };
+  std::vector<Key> speedups;
+
+  for (const lslod::BenchmarkQuery& query : lslod::BenchmarkQueries()) {
+    for (const net::NetworkProfile& profile :
+         net::NetworkProfile::PaperProfiles()) {
+      Key key;
+      key.query = query.id;
+      key.network = profile.name;
+      for (fed::PlanMode mode : {fed::PlanMode::kPhysicalDesignUnaware,
+                                 fed::PlanMode::kPhysicalDesignAware}) {
+        RunResult r =
+            RunOnce(*lake, query.sparql, ModeOptions(mode, profile));
+        std::printf("%-5s %-28s %-8s %10.3f %10.3f %8zu %12llu\n",
+                    query.id.c_str(), fed::PlanModeToString(mode).c_str(),
+                    profile.name.c_str(), r.total_s, r.first_s, r.answers,
+                    static_cast<unsigned long long>(r.transferred));
+        if (mode == fed::PlanMode::kPhysicalDesignUnaware) {
+          key.unaware = r.total_s;
+        } else {
+          key.aware = r.total_s;
+        }
+      }
+      speedups.push_back(key);
+    }
+  }
+
+  std::printf("\n-- aware speedup over unaware (total time) --\n");
+  std::printf("%-5s %10s %10s %10s %10s\n", "query", "NoDelay", "Gamma1",
+              "Gamma2", "Gamma3");
+  for (size_t i = 0; i < speedups.size(); i += 4) {
+    std::printf("%-5s %9.2fx %9.2fx %9.2fx %9.2fx\n",
+                speedups[i].query.c_str(),
+                speedups[i].unaware / std::max(speedups[i].aware, 1e-9),
+                speedups[i + 1].unaware / std::max(speedups[i + 1].aware, 1e-9),
+                speedups[i + 2].unaware / std::max(speedups[i + 2].aware, 1e-9),
+                speedups[i + 3].unaware / std::max(speedups[i + 3].aware, 1e-9));
+  }
+  std::printf(
+      "\nExpected shape (paper): aware >= unaware everywhere, and the gap "
+      "grows with network latency.\n");
+}
+
+}  // namespace
+}  // namespace lakefed::bench
+
+int main() {
+  lakefed::bench::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// NORM — 3NF vs non-normalized tables (the paper's future work: "studying
+// ... not normalized tables"). Same virtual RDF graph, two physical
+// layouts; measures how the layout changes source work, shipped rows and
+// end-to-end time under the aware plans.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace lakefed::bench {
+namespace {
+
+std::unique_ptr<lslod::DataLake> BuildLayout(bool denormalized) {
+  lslod::LakeConfig config;
+  config.scale = EnvDouble("LAKEFED_BENCH_SCALE", 0.4);
+  config.seed = static_cast<uint64_t>(EnvDouble("LAKEFED_SEED", 7));
+  config.denormalized = denormalized;
+  auto lake = lslod::BuildLake(config);
+  if (!lake.ok()) {
+    std::fprintf(stderr, "lake construction failed: %s\n",
+                 lake.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*lake);
+}
+
+void Run() {
+  PrintHeader("Physical layout: 3NF vs denormalized (1NF) tables");
+  auto normalized = BuildLayout(false);
+  auto denormalized = BuildLayout(true);
+
+  std::printf("\ntable sizes (diseasome/drugbank/kegg):\n");
+  auto rows = [](const lslod::DataLake& lake, const char* db,
+                 const char* table) -> size_t {
+    const rel::Table* t = lake.databases.at(db)->catalog().GetTable(table);
+    return t == nullptr ? 0 : t->num_rows();
+  };
+  std::printf("  3NF:   disease=%zu (+%zu links)  drug=%zu (+side tables)  "
+              "compound=%zu\n",
+              rows(*normalized, "diseasome", "disease"),
+              rows(*normalized, "diseasome", "disease_gene"),
+              rows(*normalized, "drugbank", "drug"),
+              rows(*normalized, "kegg", "compound"));
+  std::printf("  1NF:   disease_flat=%zu  drug_flat=%zu  compound_flat=%zu\n",
+              rows(*denormalized, "diseasome", "disease_flat"),
+              rows(*denormalized, "drugbank", "drug_flat"),
+              rows(*denormalized, "kegg", "compound_flat"));
+
+  std::printf("\n%-5s %-8s %12s %12s %14s %14s\n", "query", "network",
+              "3nf_total_s", "1nf_total_s", "3nf_xfer", "1nf_xfer");
+  for (const lslod::BenchmarkQuery& query : lslod::BenchmarkQueries()) {
+    for (const net::NetworkProfile& profile :
+         {net::NetworkProfile::NoDelay(), net::NetworkProfile::Gamma2()}) {
+      fed::PlanOptions options =
+          ModeOptions(fed::PlanMode::kPhysicalDesignAware, profile);
+      RunResult n = RunOnce(*normalized, query.sparql, options);
+      RunResult d = RunOnce(*denormalized, query.sparql, options);
+      if (n.answers != d.answers) {
+        std::printf("!! answer mismatch on %s: %zu vs %zu\n",
+                    query.id.c_str(), n.answers, d.answers);
+      }
+      std::printf("%-5s %-8s %12.3f %12.3f %14llu %14llu\n",
+                  query.id.c_str(), profile.name.c_str(), n.total_s,
+                  d.total_s, static_cast<unsigned long long>(n.transferred),
+                  static_cast<unsigned long long>(d.transferred));
+    }
+  }
+  std::printf(
+      "\nExpected shape: identical answers and transfers (the wrapper "
+      "deduplicates the virtual graph); the 1NF layout pays extra source "
+      "work on the wide duplicated tables, visible on the NoDelay cells of "
+      "the multi-valued-attribute queries.\n");
+}
+
+}  // namespace
+}  // namespace lakefed::bench
+
+int main() {
+  lakefed::bench::Run();
+  return 0;
+}

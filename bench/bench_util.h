@@ -1,0 +1,92 @@
+// Shared harness for the experiment benches: lake construction, single-run
+// measurement, and table printing.
+//
+// Environment knobs:
+//   LAKEFED_BENCH_SCALE  data scale factor (default 0.4)
+//   LAKEFED_TIME_SCALE   multiplier on simulated network delays (default 1.0;
+//                        lower it for quick smoke runs — planning decisions
+//                        are unaffected, see NetworkProfile::NominalLatencyMs)
+//   LAKEFED_SEED         generator seed (default 7)
+
+#ifndef LAKEFED_BENCH_BENCH_UTIL_H_
+#define LAKEFED_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "fed/engine.h"
+#include "lslod/generator.h"
+#include "lslod/queries.h"
+
+namespace lakefed::bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::strtod(v, nullptr);
+}
+
+inline std::unique_ptr<lslod::DataLake> BuildBenchLake() {
+  lslod::LakeConfig config;
+  config.scale = EnvDouble("LAKEFED_BENCH_SCALE", 0.4);
+  config.seed = static_cast<uint64_t>(EnvDouble("LAKEFED_SEED", 7));
+  auto lake = lslod::BuildLake(config);
+  if (!lake.ok()) {
+    std::fprintf(stderr, "lake construction failed: %s\n",
+                 lake.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*lake);
+}
+
+inline double TimeScale() { return EnvDouble("LAKEFED_TIME_SCALE", 1.0); }
+
+inline net::NetworkProfile Scaled(net::NetworkProfile profile) {
+  profile.time_scale = TimeScale();
+  return profile;
+}
+
+struct RunResult {
+  double total_s = 0;
+  double first_s = 0;
+  size_t answers = 0;
+  uint64_t transferred = 0;
+  double delay_ms = 0;
+};
+
+inline RunResult RunOnce(const lslod::DataLake& lake,
+                         const std::string& sparql,
+                         const fed::PlanOptions& options) {
+  auto answer = lake.engine->Execute(sparql, options);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 answer.status().ToString().c_str());
+    std::exit(1);
+  }
+  RunResult r;
+  r.total_s = answer->trace.completion_seconds;
+  r.first_s = answer->trace.TimeToFirst();
+  r.answers = answer->rows.size();
+  r.transferred = answer->stats.messages_transferred;
+  r.delay_ms = answer->stats.network_delay_ms;
+  return r;
+}
+
+inline fed::PlanOptions ModeOptions(fed::PlanMode mode,
+                                    net::NetworkProfile profile) {
+  fed::PlanOptions options;
+  options.mode = mode;
+  options.network = Scaled(std::move(profile));
+  return options;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("(scale=%.2f, time_scale=%.3f)\n",
+              EnvDouble("LAKEFED_BENCH_SCALE", 0.4), TimeScale());
+}
+
+}  // namespace lakefed::bench
+
+#endif  // LAKEFED_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,94 @@
+// MICRO — B+-tree performance: the physical structure whose presence the
+// paper's heuristics exploit. Shows the index-vs-scan asymmetry that makes
+// "pushing down" profitable.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "rel/btree.h"
+
+namespace lakefed::rel {
+namespace {
+
+void BM_BTreeInsertSequential(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    BPlusTree tree(/*unique=*/true);
+    for (int64_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(tree.Insert(Value(i), static_cast<RowId>(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeInsertSequential)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BTreeInsertRandom(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  std::vector<int64_t> keys;
+  for (int64_t i = 0; i < n; ++i) keys.push_back(rng.UniformInt(0, 1 << 30));
+  for (auto _ : state) {
+    BPlusTree tree;
+    for (int64_t i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(
+          tree.Insert(Value(keys[static_cast<size_t>(i)]),
+                      static_cast<RowId>(i)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BTreeInsertRandom)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BTreePointLookup(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  BPlusTree tree(/*unique=*/true);
+  for (int64_t i = 0; i < n; ++i) {
+    (void)tree.Insert(Value(i), static_cast<RowId>(i));
+  }
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(Value(rng.UniformInt(0, n - 1))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreePointLookup)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  const int64_t n = 100000;
+  const int64_t width = state.range(0);
+  BPlusTree tree(/*unique=*/true);
+  for (int64_t i = 0; i < n; ++i) {
+    (void)tree.Insert(Value(i), static_cast<RowId>(i));
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    int64_t lo = rng.UniformInt(0, n - width - 1);
+    benchmark::DoNotOptimize(
+        tree.Range({Value(lo), true}, {Value(lo + width), true}));
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_BTreeRangeScan)->Arg(10)->Arg(100)->Arg(1000);
+
+// Baseline an index lookup competes against: the full scan.
+void BM_FullScanEquality(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  std::vector<Value> column;
+  for (int64_t i = 0; i < n; ++i) column.emplace_back(i);
+  Rng rng(6);
+  for (auto _ : state) {
+    Value needle(rng.UniformInt(0, n - 1));
+    size_t hits = 0;
+    for (const Value& v : column) {
+      if (v == needle) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FullScanEquality)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+}  // namespace
+}  // namespace lakefed::rel
+
+BENCHMARK_MAIN();

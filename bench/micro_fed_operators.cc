@@ -1,0 +1,78 @@
+// MICRO — mediator machinery: decomposition+planning rate, symmetric hash
+// join throughput through the threaded dataflow, and delay-channel
+// overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "fed/planner.h"
+#include "sparql/parser.h"
+
+namespace lakefed::bench {
+namespace {
+
+void BM_PlanBenchmarkQueries(benchmark::State& state) {
+  lslod::LakeConfig config;
+  config.scale = 0.1;
+  auto lake = lslod::BuildLake(config);
+  if (!lake.ok()) state.SkipWithError("lake failed");
+  fed::PlanOptions options;
+  size_t i = 0;
+  const auto& queries = lslod::BenchmarkQueries();
+  for (auto _ : state) {
+    auto plan =
+        (*lake)->engine->Plan(queries[i % queries.size()].sparql, options);
+    benchmark::DoNotOptimize(plan);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanBenchmarkQueries);
+
+void BM_FederatedJoinThroughput(benchmark::State& state) {
+  // End-to-end symmetric hash join across two sources, no network delay.
+  lslod::LakeConfig config;
+  config.scale = static_cast<double>(state.range(0)) / 100.0;
+  auto lake = lslod::BuildLake(config);
+  if (!lake.ok()) state.SkipWithError("lake failed");
+  const std::string query =
+      "PREFIX dsv: <http://lslod.example.org/diseasome/vocab#> "
+      "PREFIX affy: <http://lslod.example.org/affymetrix/vocab#> "
+      "SELECT ?g ?probe WHERE { ?g a dsv:Gene ; dsv:geneSymbol ?sym . "
+      "?probe a affy:Probeset ; affy:symbol ?sym . }";
+  fed::PlanOptions options;
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto answer = (*lake)->engine->Execute(query, options);
+    if (!answer.ok()) state.SkipWithError("execution failed");
+    answers = answer->rows.size();
+    benchmark::DoNotOptimize(answer);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(answers));
+}
+BENCHMARK(BM_FederatedJoinThroughput)->Arg(10)->Arg(40)->Unit(
+    benchmark::kMillisecond);
+
+void BM_DelayChannelNoDelayOverhead(benchmark::State& state) {
+  net::DelayChannel channel(net::NetworkProfile::NoDelay(), 1);
+  for (auto _ : state) {
+    channel.Transfer();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DelayChannelNoDelayOverhead);
+
+void BM_GammaSampling(benchmark::State& state) {
+  net::DelayChannel channel(net::NetworkProfile::Gamma3(), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel.SampleDelayMs());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GammaSampling);
+
+}  // namespace
+}  // namespace lakefed::bench
+
+BENCHMARK_MAIN();

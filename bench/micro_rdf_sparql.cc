@@ -1,0 +1,95 @@
+// MICRO — triple store matching, BGP evaluation and SPARQL parsing rates.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "rdf/bgp.h"
+#include "sparql/parser.h"
+
+namespace lakefed {
+namespace {
+
+using rdf::Term;
+
+std::unique_ptr<rdf::TripleStore> MakeStore(int64_t entities) {
+  auto store = std::make_unique<rdf::TripleStore>();
+  Rng rng(9);
+  Term type = Term::Iri(rdf::kRdfType);
+  for (int64_t i = 0; i < entities; ++i) {
+    Term s = Term::Iri("http://b/e" + std::to_string(i));
+    store->Add(s, type, Term::Iri("http://b/Thing"));
+    store->Add(s, Term::Iri("http://b/name"),
+               Term::Literal("name" + std::to_string(i)));
+    store->Add(s, Term::Iri("http://b/group"),
+               Term::Literal(std::to_string(rng.UniformInt(0, 99))));
+    store->Add(s, Term::Iri("http://b/link"),
+               Term::Iri("http://b/e" +
+                         std::to_string(rng.UniformInt(0, entities - 1))));
+  }
+  // Force index construction outside the timed region.
+  (void)store->Match(std::nullopt, type, std::nullopt);
+  return store;
+}
+
+void BM_TripleMatchBySubject(benchmark::State& state) {
+  auto store = MakeStore(state.range(0));
+  Rng rng(10);
+  for (auto _ : state) {
+    Term s = Term::Iri("http://b/e" +
+                       std::to_string(rng.UniformInt(0, state.range(0) - 1)));
+    benchmark::DoNotOptimize(store->Match(s, std::nullopt, std::nullopt));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripleMatchBySubject)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_TripleMatchByPredicateObject(benchmark::State& state) {
+  auto store = MakeStore(state.range(0));
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->Match(
+        std::nullopt, Term::Iri("http://b/group"),
+        Term::Literal(std::to_string(rng.UniformInt(0, 99)))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripleMatchByPredicateObject)->Arg(10000)->Arg(100000);
+
+void BM_BgpStarEvaluation(benchmark::State& state) {
+  auto store = MakeStore(state.range(0));
+  using rdf::PatternNode;
+  std::vector<rdf::TriplePattern> star = {
+      {PatternNode::Var("e"), PatternNode::Const(Term::Iri(rdf::kRdfType)),
+       PatternNode::Const(Term::Iri("http://b/Thing"))},
+      {PatternNode::Var("e"), PatternNode::Const(Term::Iri("http://b/group")),
+       PatternNode::Const(Term::Literal("7"))},
+      {PatternNode::Var("e"), PatternNode::Const(Term::Iri("http://b/name")),
+       PatternNode::Var("n")},
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rdf::EvaluateBgp(*store, star));
+  }
+}
+BENCHMARK(BM_BgpStarEvaluation)->Arg(10000)->Arg(100000);
+
+void BM_SparqlParse(benchmark::State& state) {
+  const std::string query = R"(PREFIX dsv: <http://lslod.example.org/diseasome/vocab#>
+PREFIX affy: <http://lslod.example.org/affymetrix/vocab#>
+SELECT DISTINCT ?disease ?name ?probe WHERE {
+  ?gene a dsv:Gene ; dsv:geneSymbol ?sym .
+  ?disease a dsv:Disease ; dsv:associatedGene ?gene ; dsv:name ?name .
+  ?probe a affy:Probeset ; affy:symbol ?sym ; affy:scientificName ?sp .
+  FILTER (?sp = "Homo sapiens" && ?sym != "GENE0000")
+  FILTER STRSTARTS(?name, "disease")
+} LIMIT 1000)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparql::ParseSparql(query));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparqlParse);
+
+}  // namespace
+}  // namespace lakefed
+
+BENCHMARK_MAIN();

@@ -1,0 +1,222 @@
+// lakefed_shell: an interactive SPARQL shell over the synthetic LSLOD
+// Semantic Data Lake. Type a SPARQL query terminated by an empty line, or a
+// dot-command:
+//
+//   .help                 this text
+//   .mode aware|unaware   switch the QEP family
+//   .network NoDelay|Gamma1|Gamma2|Gamma3
+//   .explain on|off       print the QEP before every execution
+//   .h1 on|off  .h2 on|off  toggle the heuristics (aware mode)
+//   .sources              list sources
+//   .molecules            list RDF molecule templates
+//   .queries              list the built-in benchmark queries
+//   .run Q1..Q5|FIG1      execute a built-in query
+//   .sql                  show the last SQL sent to each relational source
+//   .quit
+//
+//   $ ./examples/lakefed_shell            # interactive
+//   $ echo ".run Q2" | ./examples/lakefed_shell
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "fed/engine.h"
+#include "lslod/generator.h"
+#include "lslod/queries.h"
+#include "wrapper/sql_wrapper.h"
+
+using namespace lakefed;
+
+namespace {
+
+void PrintAnswer(const fed::QueryAnswer& answer) {
+  // header
+  for (const std::string& var : answer.variables) {
+    std::printf("%-40s", ("?" + var).c_str());
+  }
+  std::printf("\n");
+  size_t shown = 0;
+  for (const rdf::Binding& row : answer.rows) {
+    if (shown++ >= 20) {
+      std::printf("... (%zu more rows)\n", answer.rows.size() - 20);
+      break;
+    }
+    for (const std::string& var : answer.variables) {
+      auto it = row.find(var);
+      std::printf("%-40s",
+                  it == row.end() ? "(unbound)" : it->second.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("%zu answer(s) in %.3fs (first after %.3fs); %llu rows "
+              "shipped, %.1f ms simulated delay\n",
+              answer.rows.size(), answer.trace.completion_seconds,
+              answer.trace.TimeToFirst(),
+              static_cast<unsigned long long>(
+                  answer.stats.messages_transferred),
+              answer.stats.network_delay_ms);
+}
+
+class Shell {
+ public:
+  explicit Shell(lslod::DataLake* lake) : lake_(lake) {
+    options_.network = net::NetworkProfile::Gamma1();
+  }
+
+  void Execute(const std::string& query) {
+    if (explain_) {
+      auto plan = lake_->engine->Plan(query, options_);
+      if (!plan.ok()) {
+        std::printf("plan error: %s\n", plan.status().ToString().c_str());
+        return;
+      }
+      std::printf("%s\n", plan->Explain().c_str());
+    }
+    auto answer = lake_->engine->Execute(query, options_);
+    if (!answer.ok()) {
+      std::printf("error: %s\n", answer.status().ToString().c_str());
+      return;
+    }
+    PrintAnswer(*answer);
+    last_stats_ = answer->OperatorStatsText();
+  }
+
+  // Returns false on .quit.
+  bool Command(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd, arg;
+    in >> cmd >> arg;
+    if (cmd == ".quit" || cmd == ".exit") return false;
+    if (cmd == ".help") {
+      std::printf(
+          "Enter a SPARQL query followed by an empty line, or:\n"
+          "  .mode aware|unaware   .network NoDelay|Gamma1|Gamma2|Gamma3\n"
+          "  .explain on|off       .h1 on|off   .h2 on|off\n"
+          "  .sources  .molecules  .queries  .run <id>  .sql  .stats  "
+          ".quit\n");
+    } else if (cmd == ".mode") {
+      if (arg == "aware") {
+        options_.mode = fed::PlanMode::kPhysicalDesignAware;
+      } else if (arg == "unaware") {
+        options_.mode = fed::PlanMode::kPhysicalDesignUnaware;
+      } else {
+        std::printf("usage: .mode aware|unaware\n");
+        return true;
+      }
+      std::printf("mode = %s\n", fed::PlanModeToString(options_.mode).c_str());
+    } else if (cmd == ".network") {
+      bool found = false;
+      for (const net::NetworkProfile& p : net::NetworkProfile::PaperProfiles()) {
+        if (EqualsIgnoreCase(p.name, arg)) {
+          options_.network = p;
+          found = true;
+        }
+      }
+      std::printf(found ? "network = %s (mean %.1f ms/msg)\n"
+                        : "unknown network '%s'%.0f\n",
+                  found ? options_.network.name.c_str() : arg.c_str(),
+                  found ? options_.network.MeanLatencyMs() : 0.0);
+    } else if (cmd == ".explain") {
+      explain_ = arg != "off";
+      std::printf("explain = %s\n", explain_ ? "on" : "off");
+    } else if (cmd == ".h1") {
+      options_.heuristic1_join_pushdown = arg != "off";
+      std::printf("heuristic 1 = %s\n", arg != "off" ? "on" : "off");
+    } else if (cmd == ".h2") {
+      options_.heuristic2_filter_placement = arg != "off";
+      std::printf("heuristic 2 = %s\n", arg != "off" ? "on" : "off");
+    } else if (cmd == ".sources") {
+      for (const auto& [id, db] : lake_->databases) {
+        std::printf("  %-12s %s (%zu tables)\n", id.c_str(),
+                    lake_->stores.count(id) > 0 ? "RDF" : "RDB",
+                    db->catalog().num_tables());
+      }
+    } else if (cmd == ".molecules") {
+      for (const auto& [cls, m] : lake_->engine->catalog().molecules()) {
+        std::printf("  %-55s %zu predicates\n", cls.c_str(),
+                    m.predicates.size());
+      }
+    } else if (cmd == ".queries") {
+      for (const lslod::BenchmarkQuery& q : lslod::BenchmarkQueries()) {
+        std::printf("  %s: %s\n", q.id.c_str(), q.description.c_str());
+      }
+      std::printf("  FIG1: %s\n",
+                  lslod::MotivatingExampleQuery().description.c_str());
+    } else if (cmd == ".run") {
+      const lslod::BenchmarkQuery* q = lslod::FindQuery(arg);
+      if (q == nullptr) {
+        std::printf("unknown query '%s' (try .queries)\n", arg.c_str());
+      } else {
+        std::printf("%s\n", q->sparql.c_str());
+        Execute(q->sparql);
+      }
+    } else if (cmd == ".stats") {
+      std::printf("%s", last_stats_.empty() ? "(no execution yet)\n"
+                                            : last_stats_.c_str());
+    } else if (cmd == ".sql") {
+      for (const auto& [id, db] : lake_->databases) {
+        auto* w = dynamic_cast<wrapper::SqlWrapper*>(lake_->engine->wrapper(id));
+        if (w != nullptr && !w->last_sql().empty()) {
+          std::printf("  %-12s %s\n", id.c_str(), w->last_sql().c_str());
+        }
+      }
+    } else {
+      std::printf("unknown command %s (try .help)\n", cmd.c_str());
+    }
+    return true;
+  }
+
+  int Run() {
+    std::printf(
+        "LakeFed shell — %zu sources ready. SPARQL + empty line to run; "
+        ".help for commands.\n",
+        lake_->engine->num_sources());
+    std::string buffer;
+    std::string line;
+    while (true) {
+      std::printf(buffer.empty() ? "lakefed> " : "      -> ");
+      std::fflush(stdout);
+      if (!std::getline(std::cin, line)) break;
+      std::string_view trimmed = TrimWhitespace(line);
+      if (buffer.empty() && !trimmed.empty() && trimmed[0] == '.') {
+        if (!Command(std::string(trimmed))) break;
+        continue;
+      }
+      if (trimmed.empty()) {
+        if (!buffer.empty()) {
+          Execute(buffer);
+          buffer.clear();
+        }
+        continue;
+      }
+      buffer += line;
+      buffer += '\n';
+    }
+    if (!buffer.empty()) Execute(buffer);  // trailing query without newline
+    std::printf("\n");
+    return 0;
+  }
+
+ private:
+  lslod::DataLake* lake_;
+  fed::PlanOptions options_;
+  bool explain_ = false;
+  std::string last_stats_;
+};
+
+}  // namespace
+
+int main() {
+  lslod::LakeConfig config;
+  config.scale = 0.2;
+  auto lake = lslod::BuildLake(config);
+  if (!lake.ok()) {
+    std::fprintf(stderr, "error: %s\n", lake.status().ToString().c_str());
+    return 1;
+  }
+  Shell shell(lake->get());
+  return shell.Run();
+}

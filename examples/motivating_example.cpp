@@ -1,0 +1,79 @@
+// The paper's Figure 1, end to end: one SPARQL query, two query execution
+// plans. Shows how physical-design awareness changes where operations run
+// and what SQL the relational sources receive.
+//
+//   $ ./examples/motivating_example
+
+#include <cstdio>
+
+#include "fed/engine.h"
+#include "lslod/generator.h"
+#include "lslod/queries.h"
+#include "lslod/vocab.h"
+#include "wrapper/sql_wrapper.h"
+
+using namespace lakefed;
+
+int main() {
+  lslod::LakeConfig config;
+  config.scale = 0.2;
+  auto lake = lslod::BuildLake(config);
+  if (!lake.ok()) {
+    std::fprintf(stderr, "error: %s\n", lake.status().ToString().c_str());
+    return 1;
+  }
+  fed::FederatedEngine& engine = *(*lake)->engine;
+  const lslod::BenchmarkQuery& fig1 = lslod::MotivatingExampleQuery();
+
+  std::printf("-- (a) SPARQL query --\n%s\n", fig1.sparql.c_str());
+  std::printf(
+      "\nStar-shaped sub-queries: the gene star and the disease star live "
+      "in Diseasome; the probeset star lives in Affymetrix. The species "
+      "attribute is NOT indexed (values in >15%% of the records), the "
+      "gene join attribute IS indexed.\n");
+
+  for (fed::PlanMode mode : {fed::PlanMode::kPhysicalDesignUnaware,
+                             fed::PlanMode::kPhysicalDesignAware}) {
+    fed::PlanOptions options;
+    options.mode = mode;
+    options.network = net::NetworkProfile::Gamma2();
+
+    const char* label = mode == fed::PlanMode::kPhysicalDesignUnaware
+                            ? "(b) physical-design-unaware QEP"
+                            : "(c) physical-design-aware QEP";
+    auto plan = engine.Plan(fig1.sparql, options);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "plan error: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n-- %s --\n%s", label, plan->Explain().c_str());
+
+    auto answer = engine.Execute(fig1.sparql, options);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "execution error: %s\n",
+                   answer.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "executed: %zu answers in %.3fs; %llu rows shipped from sources\n",
+        answer->rows.size(), answer->trace.completion_seconds,
+        static_cast<unsigned long long>(answer->stats.messages_transferred));
+
+    auto* diseasome = dynamic_cast<wrapper::SqlWrapper*>(
+        engine.wrapper(lslod::kDiseasome));
+    auto* affymetrix = dynamic_cast<wrapper::SqlWrapper*>(
+        engine.wrapper(lslod::kAffymetrix));
+    if (diseasome != nullptr) {
+      std::printf("SQL -> diseasome:  %s\n", diseasome->last_sql().c_str());
+    }
+    if (affymetrix != nullptr) {
+      std::printf("SQL -> affymetrix: %s\n", affymetrix->last_sql().c_str());
+    }
+  }
+  std::printf(
+      "\nNote how (c) merges the two Diseasome stars into ONE SQL join "
+      "(Heuristic 1) while the species filter stays at the engine in both "
+      "plans (Heuristic 2: attribute not indexed).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Network study: one query (Q3), the four simulated network conditions of
+// the paper, both QEP families — prints an ASCII answer-trace plot per
+// configuration (the interactive cousin of bench_fig2_answer_trace).
+//
+//   $ ./examples/network_study
+
+#include <algorithm>
+#include <cstdio>
+
+#include "fed/engine.h"
+#include "lslod/generator.h"
+#include "lslod/queries.h"
+
+using namespace lakefed;
+
+namespace {
+
+// Tiny ASCII plot: answers (y) over time (x).
+void PlotTrace(const fed::AnswerTrace& trace) {
+  constexpr int kCols = 60, kRows = 10;
+  if (trace.num_answers() == 0) {
+    std::printf("  (no answers)\n");
+    return;
+  }
+  for (int r = kRows; r >= 1; --r) {
+    size_t threshold =
+        trace.num_answers() * static_cast<size_t>(r) / kRows;
+    std::printf("  %6zu |", threshold);
+    for (int c = 0; c < kCols; ++c) {
+      double t = trace.completion_seconds * (c + 1) / kCols;
+      std::printf("%s", trace.AnswersAt(t) >= threshold ? "#" : " ");
+    }
+    std::printf("\n");
+  }
+  std::printf("         +%s\n", std::string(kCols, '-').c_str());
+  std::printf("          0%*.*fs\n", kCols - 1, 2, trace.completion_seconds);
+}
+
+}  // namespace
+
+int main() {
+  lslod::LakeConfig config;
+  config.scale = 0.25;
+  auto lake = lslod::BuildLake(config);
+  if (!lake.ok()) {
+    std::fprintf(stderr, "error: %s\n", lake.status().ToString().c_str());
+    return 1;
+  }
+  const std::string& q3 = lslod::FindQuery("Q3")->sparql;
+  std::printf("query Q3:\n%s\n", q3.c_str());
+
+  for (const net::NetworkProfile& profile :
+       net::NetworkProfile::PaperProfiles()) {
+    for (fed::PlanMode mode : {fed::PlanMode::kPhysicalDesignUnaware,
+                               fed::PlanMode::kPhysicalDesignAware}) {
+      fed::PlanOptions options;
+      options.mode = mode;
+      options.network = profile;
+      auto answer = (*lake)->engine->Execute(q3, options);
+      if (!answer.ok()) {
+        std::fprintf(stderr, "execution error: %s\n",
+                     answer.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("\n== %s / %s: %zu answers, %.3fs total, %llu rows "
+                  "shipped ==\n",
+                  profile.name.c_str(), fed::PlanModeToString(mode).c_str(),
+                  answer->rows.size(), answer->trace.completion_seconds,
+                  static_cast<unsigned long long>(
+                      answer->stats.messages_transferred));
+      PlotTrace(answer->trace);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a Semantic Data Lake, run a federated SPARQL query,
+// inspect the plan and the answers.
+//
+//   $ ./examples/quickstart
+
+#include <cstdio>
+
+#include "fed/engine.h"
+#include "lslod/generator.h"
+
+using namespace lakefed;
+
+int main() {
+  // 1. Build the synthetic LSLOD lake: ten relational endpoints, 3NF
+  //    tables, PK indexes, and advisor-selected secondary indexes.
+  lslod::LakeConfig config;
+  config.scale = 0.2;
+  auto lake = lslod::BuildLake(config);
+  if (!lake.ok()) {
+    std::fprintf(stderr, "error: %s\n", lake.status().ToString().c_str());
+    return 1;
+  }
+  fed::FederatedEngine& engine = *(*lake)->engine;
+  std::printf("Data Lake ready: %zu sources, %zu molecule templates\n",
+              engine.num_sources(), engine.catalog().size());
+
+  // 2. A federated query: drugs and their side effects, two sources.
+  const std::string query = R"(
+PREFIX db: <http://lslod.example.org/drugbank/vocab#>
+PREFIX sider: <http://lslod.example.org/sider/vocab#>
+SELECT ?name ?effect WHERE {
+  ?drug a db:Drug ; db:name ?name .
+  ?se a sider:SideEffect ; sider:drug ?drug ; sider:effectName ?effect .
+  FILTER STRSTARTS(?name, "drug00")
+} LIMIT 10)";
+
+  // 3. Plan it physical-design-aware on a slow network and show the QEP.
+  fed::PlanOptions options;
+  options.mode = fed::PlanMode::kPhysicalDesignAware;
+  options.network = net::NetworkProfile::Gamma2();
+
+  auto plan = engine.Plan(query, options);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "plan error: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n-- query execution plan --\n%s", plan->Explain().c_str());
+
+  // 4. Execute and print answers as they were produced over time.
+  auto answer = engine.Execute(query, options);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "execution error: %s\n",
+                 answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n-- answers (%zu, %.3fs total, first after %.3fs) --\n",
+              answer->rows.size(), answer->trace.completion_seconds,
+              answer->trace.TimeToFirst());
+  for (size_t i = 0; i < answer->rows.size(); ++i) {
+    const rdf::Binding& row = answer->rows[i];
+    std::printf("  [%5.3fs] %s -> %s\n", answer->trace.timestamps[i],
+                row.at("name").value().c_str(),
+                row.at("effect").value().c_str());
+  }
+  std::printf("\nrows shipped from sources: %llu (simulated delay %.1f ms)\n",
+              static_cast<unsigned long long>(
+                  answer->stats.messages_transferred),
+              answer->stats.network_delay_ms);
+  return 0;
+}

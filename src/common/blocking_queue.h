@@ -1,0 +1,116 @@
+// BlockingQueue<T>: a bounded multi-producer multi-consumer queue used to
+// connect wrapper threads and physical operator threads in the federated
+// engine (the ANAPSID-style adaptive dataflow).
+//
+// Semantics:
+//  * Push blocks while the queue is full (back-pressure).
+//  * Pop blocks while the queue is empty and not closed.
+//  * Close() wakes all waiters; after close, Push is rejected and Pop drains
+//    remaining items, then reports exhaustion.
+
+#ifndef LAKEFED_COMMON_BLOCKING_QUEUE_H_
+#define LAKEFED_COMMON_BLOCKING_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace lakefed {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  explicit BlockingQueue(size_t capacity = 1024) : capacity_(capacity) {}
+
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  // Counts every successful Push (used for operator statistics). Must be
+  // set before producers start.
+  void set_push_counter(std::shared_ptr<std::atomic<uint64_t>> counter) {
+    push_counter_ = std::move(counter);
+  }
+
+  // Blocks until there is room. Returns false (and drops the item) if the
+  // queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    if (push_counter_ != nullptr) {
+      push_counter_->fetch_add(1, std::memory_order_relaxed);
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  // Returns nullopt on exhaustion.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Non-blocking pop; nullopt if currently empty (regardless of closed state).
+  std::optional<T> TryPop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Marks the queue closed. Producers are rejected from now on; consumers
+  // drain what is left.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  // True once the queue is closed and all items have been consumed.
+  bool exhausted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_ && items_.empty();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::shared_ptr<std::atomic<uint64_t>> push_counter_;
+};
+
+}  // namespace lakefed
+
+#endif  // LAKEFED_COMMON_BLOCKING_QUEUE_H_

@@ -1,0 +1,60 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+#include "common/string_util.h"
+
+namespace lakefed {
+namespace {
+
+std::atomic<LogLevel> g_level{[] {
+  const char* env = std::getenv("LAKEFED_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  std::string v = ToLowerAscii(env);
+  if (v == "error") return LogLevel::kError;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "debug") return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}()};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+std::mutex& EmitMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
+    : level_(level), fatal_(fatal) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  {
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (fatal_) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace lakefed

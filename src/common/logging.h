@@ -1,0 +1,60 @@
+// Minimal leveled logging. Controlled at runtime via SetLogLevel or the
+// LAKEFED_LOG_LEVEL environment variable (error|warn|info|debug).
+//
+// LAKEFED_LOG(kInfo) << "message";
+// LAKEFED_CHECK(cond) << "details";   // aborts the process when cond is false
+
+#ifndef LAKEFED_COMMON_LOGGING_H_
+#define LAKEFED_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lakefed {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Accumulates one log line and emits it (thread-safely) on destruction.
+// When `fatal` is set, the destructor aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace lakefed
+
+#define LAKEFED_LOG(level)                                              \
+  if (static_cast<int>(::lakefed::LogLevel::level) >                    \
+      static_cast<int>(::lakefed::GetLogLevel())) {                     \
+  } else                                                                \
+    ::lakefed::internal_logging::LogMessage(::lakefed::LogLevel::level, \
+                                            __FILE__, __LINE__)         \
+        .stream()
+
+#define LAKEFED_CHECK(cond)                                              \
+  if (cond) {                                                            \
+  } else                                                                 \
+    ::lakefed::internal_logging::LogMessage(::lakefed::LogLevel::kError, \
+                                            __FILE__, __LINE__,          \
+                                            /*fatal=*/true)              \
+        .stream()                                                        \
+        << "Check failed: " #cond " "
+
+#endif  // LAKEFED_COMMON_LOGGING_H_

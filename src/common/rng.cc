@@ -1,0 +1,33 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <vector>
+
+namespace lakefed {
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n == 0) return 0;
+  // Inverse-CDF sampling over the truncated zeta weights. n is small in all
+  // our uses (value domains), so the linear scan is fine.
+  double total = 0;
+  for (size_t r = 0; r < n; ++r) total += 1.0 / std::pow(r + 1.0, s);
+  double u = UniformDouble(0.0, total);
+  double acc = 0;
+  for (size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(r + 1.0, s);
+    if (u <= acc) return r;
+  }
+  return n - 1;
+}
+
+std::string Rng::RandomWord(size_t length) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[UniformInt(0, 25)]);
+  }
+  return out;
+}
+
+}  // namespace lakefed

@@ -1,0 +1,57 @@
+// Seeded random helpers. All randomness in LakeFed (synthetic data, network
+// delay sampling) goes through Rng so experiments are reproducible.
+
+#ifndef LAKEFED_COMMON_RNG_H_
+#define LAKEFED_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace lakefed {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  // Bernoulli with probability p of true.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  // Gamma-distributed sample with shape alpha and scale beta (mean =
+  // alpha * beta). Matches numpy.random.gamma(alpha, beta) used by the paper.
+  double Gamma(double alpha, double beta) {
+    std::gamma_distribution<double> dist(alpha, beta);
+    return dist(engine_);
+  }
+
+  // Zipf-like skewed choice over [0, n): rank r with weight 1/(r+1)^s.
+  // Used by the synthetic data generator to create realistic value skew.
+  size_t Zipf(size_t n, double s = 1.0);
+
+  // Random lowercase ASCII identifier of the given length.
+  std::string RandomWord(size_t length);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace lakefed
+
+#endif  // LAKEFED_COMMON_RNG_H_

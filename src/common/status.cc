@@ -1,0 +1,61 @@
+#include "common/status.h"
+
+namespace lakefed {
+
+std::string StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "Invalid argument";
+    case StatusCode::kParseError: return "Parse error";
+    case StatusCode::kNotFound: return "Not found";
+    case StatusCode::kAlreadyExists: return "Already exists";
+    case StatusCode::kOutOfRange: return "Out of range";
+    case StatusCode::kNotImplemented: return "Not implemented";
+    case StatusCode::kInternal: return "Internal error";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kTypeError: return "Type error";
+    case StatusCode::kIoError: return "IO error";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_unique<State>(State{code, std::move(message)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.state_ != nullptr) {
+    state_ = std::make_unique<State>(*other.state_);
+  }
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ == nullptr ? nullptr
+                                     : std::make_unique<State>(*other.state_);
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return state_ == nullptr ? kEmpty : state_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return StatusCodeToString(state_->code) + ": " + state_->message;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(state_->code, context + ": " + state_->message);
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace lakefed

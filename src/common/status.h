@@ -1,0 +1,172 @@
+// Status and Result<T>: the error-handling model used across LakeFed.
+//
+// LakeFed never throws exceptions across library boundaries. Every fallible
+// operation returns a Status (or a Result<T> which is a Status plus a value).
+// The style follows Apache Arrow / RocksDB.
+
+#ifndef LAKEFED_COMMON_STATUS_H_
+#define LAKEFED_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lakefed {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+  kCancelled,
+  kTypeError,
+  kIoError,
+};
+
+// Human-readable name of a StatusCode, e.g. "Invalid argument".
+std::string StatusCodeToString(StatusCode code);
+
+// A Status holds either success (OK) or an error code plus a message.
+// OK status is cheap to construct and copy (no allocation).
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  // Returns a copy of this status with `context` prepended to the message.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK.
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Result<T>: either a value of type T or an error Status. Never holds an OK
+// status without a value.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(data_).ok()) {
+      data_ = Status::Internal("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  // Preconditions: ok(). Aborts otherwise (programming error).
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace lakefed
+
+// Propagates a non-OK Status from an expression.
+#define LAKEFED_RETURN_NOT_OK(expr)                \
+  do {                                             \
+    ::lakefed::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+// Evaluates a Result<T> expression; on error returns its Status, otherwise
+// assigns the value to `lhs` (which may be a declaration).
+#define LAKEFED_CONCAT_IMPL(x, y) x##y
+#define LAKEFED_CONCAT(x, y) LAKEFED_CONCAT_IMPL(x, y)
+#define LAKEFED_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  auto LAKEFED_CONCAT(_result_, __LINE__) = (rexpr);                 \
+  if (!LAKEFED_CONCAT(_result_, __LINE__).ok())                      \
+    return LAKEFED_CONCAT(_result_, __LINE__).status();              \
+  lhs = std::move(LAKEFED_CONCAT(_result_, __LINE__)).value()
+
+#endif  // LAKEFED_COMMON_STATUS_H_

@@ -1,0 +1,29 @@
+// Stopwatch: monotonic wall-clock timing used for answer traces and benches.
+
+#ifndef LAKEFED_COMMON_STOPWATCH_H_
+#define LAKEFED_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace lakefed {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lakefed
+
+#endif  // LAKEFED_COMMON_STOPWATCH_H_

@@ -1,0 +1,43 @@
+// Small string helpers shared across modules.
+
+#ifndef LAKEFED_COMMON_STRING_UTIL_H_
+#define LAKEFED_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lakefed {
+
+// Splits `input` on `delim`; empty pieces are kept.
+std::vector<std::string> SplitString(std::string_view input, char delim);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+// Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+std::string ToLowerAscii(std::string_view s);
+std::string ToUpperAscii(std::string_view s);
+
+// True if `haystack` contains `needle` (case sensitive).
+bool Contains(std::string_view haystack, std::string_view needle);
+
+// Replaces every occurrence of `from` in `s` with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+// SQL LIKE matching: '%' matches any run, '_' matches one char.
+bool SqlLikeMatch(std::string_view value, std::string_view pattern);
+
+}  // namespace lakefed
+
+#endif  // LAKEFED_COMMON_STRING_UTIL_H_

@@ -1,0 +1,126 @@
+#include "fed/decomposer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "rdf/term.h"
+
+namespace lakefed::fed {
+namespace {
+
+// Stable grouping key of a subject node.
+std::string SubjectKey(const rdf::PatternNode& subject) {
+  return subject.is_var ? "?" + subject.var : subject.term.ToString();
+}
+
+}  // namespace
+
+Result<DecomposedQuery> Decompose(const sparql::SelectQuery& query,
+                                  DecompositionKind kind) {
+  if (query.patterns.empty()) {
+    return Status::InvalidArgument("query has no triple patterns");
+  }
+  DecomposedQuery out;
+  std::map<std::string, size_t> star_of_subject;
+
+  for (const rdf::TriplePattern& pattern : query.patterns) {
+    size_t star_index;
+    if (kind == DecompositionKind::kTripleBased) {
+      // One sub-query per triple pattern.
+      StarSubQuery star;
+      star.subject = pattern.subject;
+      star_index = out.stars.size();
+      out.stars.push_back(std::move(star));
+    } else {
+      std::string key = SubjectKey(pattern.subject);
+      auto it = star_of_subject.find(key);
+      if (it == star_of_subject.end()) {
+        StarSubQuery star;
+        star.subject = pattern.subject;
+        star_of_subject[key] = out.stars.size();
+        out.stars.push_back(std::move(star));
+        it = star_of_subject.find(key);
+      }
+      star_index = it->second;
+    }
+    StarSubQuery& star = out.stars[star_index];
+    star.patterns.push_back(pattern);
+    // Class detection: constant rdf:type with a constant IRI object.
+    if (!pattern.predicate.is_var &&
+        pattern.predicate.term == rdf::Term::Iri(rdf::kRdfType) &&
+        !pattern.object.is_var && pattern.object.term.is_iri()) {
+      star.class_iri = pattern.object.term.value();
+    }
+  }
+
+  // Filter association: each conjunct goes to the star covering all its
+  // variables; conjuncts spanning stars stay global. When several stars
+  // cover a conjunct (rare), the one with the fewest variables wins.
+  for (const sparql::FilterExprPtr& filter : query.filters) {
+    for (const sparql::FilterExprPtr& conjunct :
+         sparql::SplitFilterConjuncts(filter)) {
+      std::vector<std::string> vars;
+      conjunct->CollectVariables(&vars);
+      StarSubQuery* best = nullptr;
+      size_t best_size = 0;
+      for (StarSubQuery& star : out.stars) {
+        std::vector<std::string> star_vars = star.Variables();
+        bool covers = !vars.empty();
+        for (const std::string& v : vars) {
+          if (std::find(star_vars.begin(), star_vars.end(), v) ==
+              star_vars.end()) {
+            covers = false;
+            break;
+          }
+        }
+        if (covers && (best == nullptr || star_vars.size() < best_size)) {
+          best = &star;
+          best_size = star_vars.size();
+        }
+      }
+      if (best != nullptr) {
+        best->filters.push_back(conjunct);
+      } else {
+        out.global_filters.push_back(conjunct);
+      }
+    }
+  }
+
+  // OPTIONAL groups: each must collapse to a single star.
+  for (const sparql::OptionalGroup& group : query.optionals) {
+    StarSubQuery star;
+    for (const rdf::TriplePattern& pattern : group.patterns) {
+      if (star.patterns.empty()) {
+        star.subject = pattern.subject;
+      } else if (SubjectKey(pattern.subject) != SubjectKey(star.subject)) {
+        return Status::NotImplemented(
+            "OPTIONAL groups spanning several subjects are not supported by "
+            "the federated engine");
+      }
+      star.patterns.push_back(pattern);
+      if (!pattern.predicate.is_var &&
+          pattern.predicate.term == rdf::Term::Iri(rdf::kRdfType) &&
+          !pattern.object.is_var && pattern.object.term.is_iri()) {
+        star.class_iri = pattern.object.term.value();
+      }
+    }
+    std::vector<std::string> star_vars = star.Variables();
+    for (const sparql::FilterExprPtr& filter : group.filters) {
+      std::vector<std::string> vars;
+      filter->CollectVariables(&vars);
+      for (const std::string& v : vars) {
+        if (std::find(star_vars.begin(), star_vars.end(), v) ==
+            star_vars.end()) {
+          return Status::NotImplemented(
+              "OPTIONAL filters over outer variables are not supported by "
+              "the federated engine");
+        }
+      }
+      star.filters.push_back(filter);
+    }
+    out.optional_stars.push_back(std::move(star));
+  }
+  return out;
+}
+
+}  // namespace lakefed::fed

@@ -1,0 +1,44 @@
+// Query decomposition into star-shaped sub-queries and filter association.
+
+#ifndef LAKEFED_FED_DECOMPOSER_H_
+#define LAKEFED_FED_DECOMPOSER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "fed/subquery.h"
+#include "sparql/ast.h"
+
+namespace lakefed::fed {
+
+// How the BGP is partitioned into sub-queries. The paper uses star-shaped
+// decomposition (its Section 2.1) and names triple-based decomposition as
+// future work; both are supported.
+enum class DecompositionKind {
+  kStarShaped,   // group triple patterns by subject (ANAPSID/MULDER/Ontario)
+  kTripleBased,  // one sub-query per triple pattern (FedX-style)
+};
+
+struct DecomposedQuery {
+  std::vector<StarSubQuery> stars;
+  // Filter conjuncts whose variables span several stars (or none); these
+  // must run at the engine above the joins.
+  std::vector<sparql::FilterExprPtr> global_filters;
+  // One star per OPTIONAL group (left-joined after the main tree). Each
+  // group must form a single star whose filters reference only its own
+  // variables.
+  std::vector<StarSubQuery> optional_stars;
+};
+
+// Partitions the BGP into SSQs (star-shaped: by subject, in
+// first-appearance order; triple-based: one pattern each), detects each
+// star's class (constant rdf:type object), splits FILTERs into conjuncts
+// and attaches each conjunct to the sub-query covering its variables with
+// the fewest variables (global otherwise).
+Result<DecomposedQuery> Decompose(
+    const sparql::SelectQuery& query,
+    DecompositionKind kind = DecompositionKind::kStarShaped);
+
+}  // namespace lakefed::fed
+
+#endif  // LAKEFED_FED_DECOMPOSER_H_

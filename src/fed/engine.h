@@ -1,0 +1,60 @@
+// FederatedEngine: the public entry point of LakeFed — the role Ontario
+// plays in the paper. Register wrappers for the Data Lake's sources, then
+// execute SPARQL queries under a chosen plan mode and network profile.
+
+#ifndef LAKEFED_FED_ENGINE_H_
+#define LAKEFED_FED_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fed/executor.h"
+#include "fed/options.h"
+#include "fed/plan.h"
+#include "fed/planner.h"
+#include "fed/wrapper.h"
+#include "mapping/rdf_mt.h"
+
+namespace lakefed::fed {
+
+class FederatedEngine {
+ public:
+  FederatedEngine() = default;
+  FederatedEngine(const FederatedEngine&) = delete;
+  FederatedEngine& operator=(const FederatedEngine&) = delete;
+
+  // Registers a source; its molecule templates join the engine's RDF-MT
+  // catalog (collected once, at registration — like Ontario's offline
+  // source-description step).
+  Status RegisterSource(std::unique_ptr<SourceWrapper> wrapper);
+
+  size_t num_sources() const { return wrappers_.size(); }
+  const mapping::RdfMtCatalog& catalog() const { return catalog_; }
+  SourceWrapper* wrapper(const std::string& source_id);
+
+  // Plans without executing (EXPLAIN).
+  Result<FederatedPlan> Plan(const std::string& sparql,
+                             const PlanOptions& options) const;
+
+  // Parses, plans and executes. UNION blocks execute one federated plan
+  // per branch combination; aggregates group the merged solutions at the
+  // mediator.
+  Result<QueryAnswer> Execute(const std::string& sparql,
+                              const PlanOptions& options) const;
+
+  // Execute for an already-parsed query.
+  Result<QueryAnswer> ExecuteParsed(const sparql::SelectQuery& query,
+                                    const PlanOptions& options) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<SourceWrapper>> owned_;
+  std::map<std::string, SourceWrapper*> wrappers_;
+  mapping::RdfMtCatalog catalog_;
+};
+
+}  // namespace lakefed::fed
+
+#endif  // LAKEFED_FED_ENGINE_H_

@@ -1,0 +1,511 @@
+#include "fed/executor.h"
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/blocking_queue.h"
+#include "common/stopwatch.h"
+
+namespace lakefed::fed {
+namespace {
+
+using RowQueue = BlockingQueue<rdf::Binding>;
+using RowQueuePtr = std::shared_ptr<RowQueue>;
+
+constexpr size_t kQueueCapacity = 4096;
+constexpr size_t kDependentJoinBatch = 64;
+
+// Serialized join key of a binding over `vars`. Empty vars = single bucket
+// (cross product).
+std::string JoinKey(const rdf::Binding& row,
+                    const std::vector<std::string>& vars) {
+  std::string key;
+  for (const std::string& v : vars) {
+    auto it = row.find(v);
+    if (it == row.end()) return std::string();  // unmatched sentinel below
+    key += it->second.ToString();
+    key.push_back('\x01');
+  }
+  return key;
+}
+
+bool HasAllVars(const rdf::Binding& row,
+                const std::vector<std::string>& vars) {
+  for (const std::string& v : vars) {
+    if (row.count(v) == 0) return false;
+  }
+  return true;
+}
+
+// Merges two compatible bindings (equal on shared variables by key
+// construction).
+rdf::Binding MergeBindings(const rdf::Binding& a, const rdf::Binding& b) {
+  rdf::Binding out = a;
+  out.insert(b.begin(), b.end());
+  return out;
+}
+
+// Runs one plan instance: builds the thread/queue dataflow and collects the
+// root output.
+class PlanRunner {
+ public:
+  PlanRunner(const std::map<std::string, SourceWrapper*>& wrappers,
+             const PlanOptions& options)
+      : wrappers_(wrappers), options_(options) {}
+
+  Result<QueryAnswer> Run(const FederatedPlan& plan) {
+    QueryAnswer answer;
+    answer.variables = plan.variables;
+    answer.plan_text = plan.Explain();
+
+    Stopwatch stopwatch;
+    RowQueuePtr root = StartNode(*plan.root);
+
+    while (auto row = root->Pop()) {
+      answer.trace.timestamps.push_back(stopwatch.ElapsedSeconds());
+      answer.rows.push_back(std::move(*row));
+    }
+    answer.trace.completion_seconds = stopwatch.ElapsedSeconds();
+
+    for (std::thread& t : threads_) t.join();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_.ok()) return error_;
+    }
+    for (const auto& [source, channel] : channels_) {
+      answer.stats.messages_transferred += channel->messages_transferred();
+      answer.stats.network_delay_ms += channel->total_delay_ms();
+    }
+    answer.stats.source_rows = answer.stats.messages_transferred;
+    for (const auto& [label, counter] : operator_counters_) {
+      answer.operator_rows.emplace_back(label, counter->load());
+    }
+    return answer;
+  }
+
+ private:
+  net::DelayChannel* ChannelFor(const std::string& source_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = channels_.find(source_id);
+    if (it == channels_.end()) {
+      uint64_t seed = options_.seed;
+      for (char c : source_id) seed = seed * 131 + static_cast<uint64_t>(c);
+      it = channels_
+               .emplace(source_id, std::make_unique<net::DelayChannel>(
+                                       options_.network, seed))
+               .first;
+    }
+    return it->second.get();
+  }
+
+  void RecordError(const Status& status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error_.ok()) error_ = status;
+  }
+
+  Result<SourceWrapper*> WrapperFor(const std::string& source_id) {
+    auto it = wrappers_.find(source_id);
+    if (it == wrappers_.end()) {
+      return Status::NotFound("no wrapper registered for source '" +
+                              source_id + "'");
+    }
+    return it->second;
+  }
+
+  // Creates a node's output queue with an operator-statistics counter
+  // attached (before any producer thread starts).
+  RowQueuePtr MakeOutQueue(const FedPlanNode& node) {
+    auto queue = std::make_shared<RowQueue>(kQueueCapacity);
+    std::string label = node.Describe();
+    if (size_t nl = label.find('\n'); nl != std::string::npos) {
+      label = label.substr(0, nl);
+    }
+    auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+    queue->set_push_counter(counter);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      operator_counters_.emplace_back(std::move(label), std::move(counter));
+    }
+    return queue;
+  }
+
+  // Spawns the subtree rooted at `node`; returns its output queue.
+  RowQueuePtr StartNode(const FedPlanNode& node) {
+    switch (node.kind) {
+      case FedPlanNode::Kind::kService: return StartService(node);
+      case FedPlanNode::Kind::kJoin: return StartJoin(node);
+      case FedPlanNode::Kind::kLeftJoin: return StartLeftJoin(node);
+      case FedPlanNode::Kind::kDependentJoin: return StartDependentJoin(node);
+      case FedPlanNode::Kind::kUnion: return StartUnion(node);
+      case FedPlanNode::Kind::kFilter: return StartFilter(node);
+      case FedPlanNode::Kind::kProject: return StartProject(node);
+      case FedPlanNode::Kind::kOrderBy: return StartOrderBy(node);
+      case FedPlanNode::Kind::kDistinct: return StartDistinct(node);
+      case FedPlanNode::Kind::kLimit: return StartLimit(node);
+    }
+    auto q = std::make_shared<RowQueue>(kQueueCapacity);
+    q->Close();
+    return q;
+  }
+
+  RowQueuePtr StartService(const FedPlanNode& node) {
+    RowQueuePtr out = MakeOutQueue(node);
+    auto wrapper = WrapperFor(node.subquery.source_id);
+    if (!wrapper.ok()) {
+      RecordError(wrapper.status());
+      out->Close();
+      return out;
+    }
+    SourceWrapper* w = *wrapper;
+    net::DelayChannel* channel = ChannelFor(node.subquery.source_id);
+    SubQuery subquery = node.subquery;
+    threads_.emplace_back([this, w, channel, subquery, out] {
+      Status st = w->Execute(subquery, channel, out.get());
+      if (!st.ok()) RecordError(st);
+      out->Close();
+    });
+    return out;
+  }
+
+  RowQueuePtr StartJoin(const FedPlanNode& node) {
+    RowQueuePtr left = StartNode(*node.children[0]);
+    RowQueuePtr right = StartNode(*node.children[1]);
+    RowQueuePtr out = MakeOutQueue(node);
+
+    // Tag-merge both inputs into one queue so the join thread can react to
+    // whichever side delivers next (the adaptive part of agjoin).
+    struct Tagged {
+      int side;
+      rdf::Binding row;
+    };
+    auto merged = std::make_shared<BlockingQueue<Tagged>>(kQueueCapacity);
+    auto active = std::make_shared<std::atomic<int>>(2);
+    auto forward = [merged, active](RowQueuePtr in, int side) {
+      while (auto row = in->Pop()) {
+        if (!merged->Push({side, std::move(*row)})) break;
+      }
+      in->Close();
+      if (active->fetch_sub(1) == 1) merged->Close();
+    };
+    threads_.emplace_back(forward, left, 0);
+    threads_.emplace_back(forward, right, 1);
+
+    std::vector<std::string> join_vars = node.join_vars;
+    threads_.emplace_back([merged, out, left, right, join_vars] {
+      std::unordered_map<std::string, std::vector<rdf::Binding>> table[2];
+      while (auto tagged = merged->Pop()) {
+        const int side = tagged->side;
+        const rdf::Binding& row = tagged->row;
+        if (!HasAllVars(row, join_vars)) continue;
+        std::string key = JoinKey(row, join_vars);
+        table[side][key].push_back(row);
+        auto it = table[1 - side].find(key);
+        if (it == table[1 - side].end()) continue;
+        bool cancelled = false;
+        for (const rdf::Binding& other : it->second) {
+          rdf::Binding merged_row = side == 0 ? MergeBindings(row, other)
+                                              : MergeBindings(other, row);
+          if (!out->Push(std::move(merged_row))) {
+            cancelled = true;
+            break;
+          }
+        }
+        if (cancelled) break;
+      }
+      merged->Close();
+      left->Close();
+      right->Close();
+      out->Close();
+    });
+    return out;
+  }
+
+  RowQueuePtr StartLeftJoin(const FedPlanNode& node) {
+    // OPTIONAL semantics: the right side (the optional star) must complete
+    // before unmatched left rows can be emitted, so the right input is
+    // materialized into a hash table, then the left streams through.
+    RowQueuePtr left = StartNode(*node.children[0]);
+    RowQueuePtr right = StartNode(*node.children[1]);
+    RowQueuePtr out = MakeOutQueue(node);
+    std::vector<std::string> join_vars = node.join_vars;
+    threads_.emplace_back([left, right, out, join_vars] {
+      std::unordered_map<std::string, std::vector<rdf::Binding>> table;
+      while (auto row = right->Pop()) {
+        if (!HasAllVars(*row, join_vars)) continue;
+        table[JoinKey(*row, join_vars)].push_back(std::move(*row));
+      }
+      bool cancelled = false;
+      while (!cancelled) {
+        auto row = left->Pop();
+        if (!row.has_value()) break;
+        auto it = HasAllVars(*row, join_vars)
+                      ? table.find(JoinKey(*row, join_vars))
+                      : table.end();
+        if (it == table.end() || it->second.empty()) {
+          // No extension: keep the left row (left-outer semantics).
+          if (!out->Push(std::move(*row))) break;
+          continue;
+        }
+        for (const rdf::Binding& extension : it->second) {
+          if (!out->Push(MergeBindings(*row, extension))) {
+            cancelled = true;
+            break;
+          }
+        }
+      }
+      left->Close();
+      right->Close();
+      out->Close();
+    });
+    return out;
+  }
+
+  RowQueuePtr StartOrderBy(const FedPlanNode& node) {
+    RowQueuePtr in = StartNode(*node.children[0]);
+    RowQueuePtr out = MakeOutQueue(node);
+    std::vector<sparql::OrderCondition> order_by = node.order_by;
+    threads_.emplace_back([in, out, order_by] {
+      std::vector<rdf::Binding> rows;
+      while (auto row = in->Pop()) rows.push_back(std::move(*row));
+      std::stable_sort(
+          rows.begin(), rows.end(),
+          [&](const rdf::Binding& a, const rdf::Binding& b) {
+            for (const sparql::OrderCondition& cond : order_by) {
+              auto ita = a.find(cond.variable);
+              auto itb = b.find(cond.variable);
+              bool ba = ita != a.end(), bb = itb != b.end();
+              int c;
+              if (!ba && !bb) {
+                c = 0;
+              } else if (ba != bb) {
+                c = ba ? 1 : -1;  // unbound sorts first
+              } else {
+                c = sparql::CompareTermsSparql(ita->second, itb->second);
+              }
+              if (c != 0) return cond.ascending ? c < 0 : c > 0;
+            }
+            return false;
+          });
+      for (rdf::Binding& row : rows) {
+        if (!out->Push(std::move(row))) break;
+      }
+      in->Close();
+      out->Close();
+    });
+    return out;
+  }
+
+  RowQueuePtr StartDependentJoin(const FedPlanNode& node) {
+    RowQueuePtr left = StartNode(*node.children[0]);
+    RowQueuePtr out = MakeOutQueue(node);
+    auto wrapper = WrapperFor(node.subquery.source_id);
+    if (!wrapper.ok()) {
+      RecordError(wrapper.status());
+      out->Close();
+      return out;
+    }
+    SourceWrapper* w = *wrapper;
+    net::DelayChannel* channel = ChannelFor(node.subquery.source_id);
+    SubQuery subquery = node.subquery;
+    std::vector<std::string> join_vars = node.join_vars;
+
+    threads_.emplace_back([this, w, channel, subquery, join_vars, left,
+                           out] {
+      const std::string& bind_var = join_vars.front();
+      std::vector<rdf::Binding> batch;
+      bool cancelled = false;
+
+      auto flush = [&]() -> bool {
+        if (batch.empty()) return true;
+        // Distinct instantiation terms for the bound variable.
+        std::vector<rdf::Term> terms;
+        std::unordered_set<std::string> seen;
+        for (const rdf::Binding& row : batch) {
+          auto it = row.find(bind_var);
+          if (it == row.end()) continue;
+          if (seen.insert(it->second.ToString()).second) {
+            terms.push_back(it->second);
+          }
+        }
+        SubQuery bound = subquery;
+        bound.instantiations[bind_var] = std::move(terms);
+        // Execute synchronously into a local queue large enough to never
+        // block (we are the only consumer and drain afterwards).
+        RowQueue local(static_cast<size_t>(1) << 30);
+        Status st = w->Execute(bound, channel, &local);
+        if (!st.ok()) {
+          RecordError(st);
+          return false;
+        }
+        local.Close();
+        std::unordered_map<std::string, std::vector<rdf::Binding>> right;
+        while (auto row = local.Pop()) {
+          if (!HasAllVars(*row, join_vars)) continue;
+          right[JoinKey(*row, join_vars)].push_back(std::move(*row));
+        }
+        for (const rdf::Binding& lrow : batch) {
+          if (!HasAllVars(lrow, join_vars)) continue;
+          auto it = right.find(JoinKey(lrow, join_vars));
+          if (it == right.end()) continue;
+          for (const rdf::Binding& rrow : it->second) {
+            if (!out->Push(MergeBindings(lrow, rrow))) return false;
+          }
+        }
+        batch.clear();
+        return true;
+      };
+
+      while (auto row = left->Pop()) {
+        batch.push_back(std::move(*row));
+        if (batch.size() >= kDependentJoinBatch && !flush()) {
+          cancelled = true;
+          break;
+        }
+      }
+      if (!cancelled) flush();
+      left->Close();
+      out->Close();
+    });
+    return out;
+  }
+
+  RowQueuePtr StartUnion(const FedPlanNode& node) {
+    RowQueuePtr out = MakeOutQueue(node);
+    auto active =
+        std::make_shared<std::atomic<int>>(static_cast<int>(
+            node.children.size()));
+    for (const FedPlanPtr& child : node.children) {
+      RowQueuePtr in = StartNode(*child);
+      threads_.emplace_back([in, out, active] {
+        while (auto row = in->Pop()) {
+          if (!out->Push(std::move(*row))) break;
+        }
+        in->Close();
+        if (active->fetch_sub(1) == 1) out->Close();
+      });
+    }
+    return out;
+  }
+
+  RowQueuePtr StartFilter(const FedPlanNode& node) {
+    RowQueuePtr in = StartNode(*node.children[0]);
+    RowQueuePtr out = MakeOutQueue(node);
+    std::vector<sparql::FilterExprPtr> filters = node.filters;
+    threads_.emplace_back([in, out, filters] {
+      while (auto row = in->Pop()) {
+        bool pass = true;
+        for (const sparql::FilterExprPtr& f : filters) {
+          Result<bool> r = f->EvalBool(*row);
+          // Evaluation errors (unbound variables, bad regex) reject the
+          // solution, matching the reference evaluator.
+          if (!r.ok() || !*r) {
+            pass = false;
+            break;
+          }
+        }
+        if (pass && !out->Push(std::move(*row))) break;
+      }
+      in->Close();
+      out->Close();
+    });
+    return out;
+  }
+
+  RowQueuePtr StartProject(const FedPlanNode& node) {
+    RowQueuePtr in = StartNode(*node.children[0]);
+    RowQueuePtr out = MakeOutQueue(node);
+    std::vector<std::string> projection = node.projection;
+    threads_.emplace_back([in, out, projection] {
+      while (auto row = in->Pop()) {
+        rdf::Binding projected;
+        for (const std::string& v : projection) {
+          auto it = row->find(v);
+          if (it != row->end()) projected.emplace(v, it->second);
+        }
+        if (!out->Push(std::move(projected))) break;
+      }
+      in->Close();
+      out->Close();
+    });
+    return out;
+  }
+
+  RowQueuePtr StartDistinct(const FedPlanNode& node) {
+    RowQueuePtr in = StartNode(*node.children[0]);
+    RowQueuePtr out = MakeOutQueue(node);
+    threads_.emplace_back([in, out] {
+      std::unordered_set<std::string> seen;
+      while (auto row = in->Pop()) {
+        std::string key;
+        for (const auto& [var, term] : *row) {
+          key += var;
+          key.push_back('\x02');
+          key += term.ToString();
+          key.push_back('\x01');
+        }
+        if (!seen.insert(key).second) continue;
+        if (!out->Push(std::move(*row))) break;
+      }
+      in->Close();
+      out->Close();
+    });
+    return out;
+  }
+
+  RowQueuePtr StartLimit(const FedPlanNode& node) {
+    RowQueuePtr in = StartNode(*node.children[0]);
+    RowQueuePtr out = MakeOutQueue(node);
+    int64_t limit = node.limit;
+    threads_.emplace_back([in, out, limit] {
+      int64_t emitted = 0;
+      while (emitted < limit) {
+        auto row = in->Pop();
+        if (!row.has_value()) break;
+        if (!out->Push(std::move(*row))) break;
+        ++emitted;
+      }
+      in->Close();  // cancels upstream
+      out->Close();
+    });
+    return out;
+  }
+
+  const std::map<std::string, SourceWrapper*>& wrappers_;
+  PlanOptions options_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  Status error_;
+  std::map<std::string, std::unique_ptr<net::DelayChannel>> channels_;
+  std::vector<std::pair<std::string, std::shared_ptr<std::atomic<uint64_t>>>>
+      operator_counters_;
+};
+
+}  // namespace
+
+std::string QueryAnswer::OperatorStatsText() const {
+  std::string out;
+  char buf[32];
+  for (const auto& [label, rows] : operator_rows) {
+    std::snprintf(buf, sizeof(buf), "%10llu  ",
+                  static_cast<unsigned long long>(rows));
+    out += buf;
+    out += label;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<QueryAnswer> ExecutePlan(
+    const FederatedPlan& plan,
+    const std::map<std::string, SourceWrapper*>& wrappers,
+    const PlanOptions& options) {
+  PlanRunner runner(wrappers, options);
+  return runner.Run(plan);
+}
+
+}  // namespace lakefed::fed

@@ -1,0 +1,53 @@
+// Execution of federated plans: every service scan and every operator runs
+// on its own thread connected by bounded queues, so answers stream to the
+// client as sources deliver them (ANAPSID's adaptive operator model). The
+// symmetric hash join produces results as soon as tuples arrive from either
+// input — the paper's answer traces (Figure 2) depend on this behaviour.
+
+#ifndef LAKEFED_FED_EXECUTOR_H_
+#define LAKEFED_FED_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fed/options.h"
+#include "fed/plan.h"
+#include "fed/trace.h"
+#include "fed/wrapper.h"
+
+namespace lakefed::fed {
+
+struct ExecutionStats {
+  // Messages retrieved from sources (each passed through the delay channel).
+  uint64_t messages_transferred = 0;
+  // Total simulated network delay injected, milliseconds.
+  double network_delay_ms = 0;
+  // Rows received from all sources (the intermediate-result size).
+  uint64_t source_rows = 0;
+};
+
+struct QueryAnswer {
+  std::vector<std::string> variables;
+  std::vector<rdf::Binding> rows;
+  AnswerTrace trace;
+  ExecutionStats stats;
+  std::string plan_text;
+  // Rows emitted by each operator of the plan, in spawn order
+  // (EXPLAIN-ANALYZE-style observability).
+  std::vector<std::pair<std::string, uint64_t>> operator_rows;
+
+  // Multi-line "rows  operator" rendering of operator_rows.
+  std::string OperatorStatsText() const;
+};
+
+// Runs `plan` to completion. `wrappers` maps source id -> wrapper.
+Result<QueryAnswer> ExecutePlan(
+    const FederatedPlan& plan,
+    const std::map<std::string, SourceWrapper*>& wrappers,
+    const PlanOptions& options);
+
+}  // namespace lakefed::fed
+
+#endif  // LAKEFED_FED_EXECUTOR_H_

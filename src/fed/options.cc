@@ -1,0 +1,10 @@
+#include "fed/options.h"
+
+namespace lakefed::fed {
+
+std::string PlanModeToString(PlanMode mode) {
+  return mode == PlanMode::kPhysicalDesignAware ? "physical-design-aware"
+                                                : "physical-design-unaware";
+}
+
+}  // namespace lakefed::fed

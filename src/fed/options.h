@@ -1,0 +1,63 @@
+// Planning/execution options of the federated engine, including the paper's
+// two QEP families and per-heuristic toggles for ablations.
+
+#ifndef LAKEFED_FED_OPTIONS_H_
+#define LAKEFED_FED_OPTIONS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "fed/decomposer.h"
+#include "fed/subquery.h"
+#include "net/network.h"
+
+namespace lakefed::fed {
+
+enum class PlanMode {
+  // Section 3(a): the QEP ignores indexes/normalization; as many operations
+  // as possible run at the query-engine level.
+  kPhysicalDesignUnaware,
+  // Section 3(b): the QEP exploits the physical design via the heuristics.
+  kPhysicalDesignAware,
+};
+
+std::string PlanModeToString(PlanMode mode);
+
+struct PlanOptions {
+  PlanMode mode = PlanMode::kPhysicalDesignAware;
+
+  // Per-heuristic toggles (meaningful in aware mode; used by ablations).
+  bool heuristic1_join_pushdown = true;
+  bool heuristic2_filter_placement = true;
+
+  // Simulated network; Heuristic 2 compares its mean latency against the
+  // threshold to decide whether the network is "slow".
+  net::NetworkProfile network = net::NetworkProfile::NoDelay();
+  double slow_network_threshold_ms = net::kSlowNetworkThresholdMs;
+
+  // Overrides Heuristic 2 for every relational filter (bench_h2 uses this
+  // to study both placements explicitly).
+  std::optional<FilterPlacement> force_filter_placement;
+
+  // Use ANAPSID-style dependent (bind) joins instead of symmetric hash
+  // joins where the inner side's join attribute is indexed.
+  bool use_dependent_join = false;
+
+  // Seed for the network delay sampling.
+  uint64_t seed = 42;
+
+  // Star-shaped (the paper) or triple-based (its future work) query
+  // decomposition.
+  DecompositionKind decomposition = DecompositionKind::kStarShaped;
+
+  // Emulates Ontario's *unoptimized* SPARQL-to-SQL translation for merged
+  // sub-queries (the limitation Section 3 reports): instead of one SQL
+  // join, each star is fetched separately and joined naively inside the
+  // wrapper. Used to reproduce the "pushing down the join increases the
+  // execution time" negative result.
+  bool naive_sql_translation = false;
+};
+
+}  // namespace lakefed::fed
+
+#endif  // LAKEFED_FED_OPTIONS_H_

@@ -1,0 +1,206 @@
+#include "fed/plan.h"
+
+#include <set>
+
+namespace lakefed::fed {
+namespace {
+
+void ExplainInto(const FedPlanNode& node, std::string* out, int indent) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append("-> ");
+  out->append(node.Describe());
+  out->push_back('\n');
+  for (const FedPlanPtr& child : node.children) {
+    ExplainInto(*child, out, indent + 1);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> FedPlanNode::OutputVariables() const {
+  switch (kind) {
+    case Kind::kService:
+      return subquery.Variables();
+    case Kind::kProject:
+      return projection;
+    case Kind::kDependentJoin: {
+      std::vector<std::string> out = children[0]->OutputVariables();
+      std::set<std::string> seen(out.begin(), out.end());
+      for (const std::string& v : subquery.Variables()) {
+        if (seen.insert(v).second) out.push_back(v);
+      }
+      return out;
+    }
+    case Kind::kJoin:
+    case Kind::kLeftJoin: {
+      std::vector<std::string> out = children[0]->OutputVariables();
+      std::set<std::string> seen(out.begin(), out.end());
+      for (const std::string& v : children[1]->OutputVariables()) {
+        if (seen.insert(v).second) out.push_back(v);
+      }
+      return out;
+    }
+    case Kind::kUnion:
+    case Kind::kFilter:
+    case Kind::kOrderBy:
+    case Kind::kDistinct:
+    case Kind::kLimit:
+      return children[0]->OutputVariables();
+  }
+  return {};
+}
+
+std::string FedPlanNode::Describe() const {
+  switch (kind) {
+    case Kind::kService:
+      return subquery.ToString();
+    case Kind::kJoin: {
+      std::string out = "SymmetricHashJoin on";
+      for (const std::string& v : join_vars) out += " ?" + v;
+      if (join_vars.empty()) out += " (cross product)";
+      return out;
+    }
+    case Kind::kLeftJoin: {
+      std::string out = "LeftJoin (OPTIONAL) on";
+      for (const std::string& v : join_vars) out += " ?" + v;
+      if (join_vars.empty()) out += " (unconditional)";
+      return out;
+    }
+    case Kind::kDependentJoin: {
+      std::string out = "DependentJoin on";
+      for (const std::string& v : join_vars) out += " ?" + v;
+      out += " into " + subquery.ToString();
+      return out;
+    }
+    case Kind::kUnion:
+      return "Union (" + std::to_string(children.size()) + " sources)";
+    case Kind::kFilter: {
+      std::string out = "EngineFilter";
+      for (const sparql::FilterExprPtr& f : filters) {
+        out += " " + f->ToString();
+      }
+      return out;
+    }
+    case Kind::kProject: {
+      std::string out = "Project";
+      for (const std::string& v : projection) out += " ?" + v;
+      return out;
+    }
+    case Kind::kOrderBy: {
+      std::string out = "OrderBy";
+      for (const sparql::OrderCondition& c : order_by) {
+        out += c.ascending ? " ?" + c.variable : " DESC(?" + c.variable + ")";
+      }
+      return out;
+    }
+    case Kind::kDistinct:
+      return "Distinct";
+    case Kind::kLimit:
+      return "Limit " + std::to_string(limit);
+  }
+  return "?";
+}
+
+std::string FedPlanNode::Explain() const {
+  std::string out;
+  ExplainInto(*this, &out, 0);
+  return out;
+}
+
+std::string FederatedPlan::Explain() const {
+  std::string out;
+  if (!decisions.empty()) {
+    out += "Heuristic decisions:\n";
+    for (const std::string& d : decisions) out += "  * " + d + "\n";
+  }
+  out += root->Explain();
+  return out;
+}
+
+FedPlanPtr MakeServiceNode(SubQuery subquery) {
+  auto node = std::make_unique<FedPlanNode>();
+  node->kind = FedPlanNode::Kind::kService;
+  node->subquery = std::move(subquery);
+  return node;
+}
+
+FedPlanPtr MakeJoinNode(FedPlanPtr left, FedPlanPtr right,
+                        std::vector<std::string> join_vars) {
+  auto node = std::make_unique<FedPlanNode>();
+  node->kind = FedPlanNode::Kind::kJoin;
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  node->join_vars = std::move(join_vars);
+  return node;
+}
+
+FedPlanPtr MakeLeftJoinNode(FedPlanPtr left, FedPlanPtr right,
+                            std::vector<std::string> join_vars) {
+  auto node = std::make_unique<FedPlanNode>();
+  node->kind = FedPlanNode::Kind::kLeftJoin;
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  node->join_vars = std::move(join_vars);
+  return node;
+}
+
+FedPlanPtr MakeOrderByNode(FedPlanPtr child,
+                           std::vector<sparql::OrderCondition> order_by) {
+  auto node = std::make_unique<FedPlanNode>();
+  node->kind = FedPlanNode::Kind::kOrderBy;
+  node->children.push_back(std::move(child));
+  node->order_by = std::move(order_by);
+  return node;
+}
+
+FedPlanPtr MakeDependentJoinNode(FedPlanPtr left, SubQuery right,
+                                 std::vector<std::string> join_vars) {
+  auto node = std::make_unique<FedPlanNode>();
+  node->kind = FedPlanNode::Kind::kDependentJoin;
+  node->children.push_back(std::move(left));
+  node->subquery = std::move(right);
+  node->join_vars = std::move(join_vars);
+  return node;
+}
+
+FedPlanPtr MakeUnionNode(std::vector<FedPlanPtr> children) {
+  auto node = std::make_unique<FedPlanNode>();
+  node->kind = FedPlanNode::Kind::kUnion;
+  node->children = std::move(children);
+  return node;
+}
+
+FedPlanPtr MakeFilterNode(FedPlanPtr child,
+                          std::vector<sparql::FilterExprPtr> filters) {
+  auto node = std::make_unique<FedPlanNode>();
+  node->kind = FedPlanNode::Kind::kFilter;
+  node->children.push_back(std::move(child));
+  node->filters = std::move(filters);
+  return node;
+}
+
+FedPlanPtr MakeProjectNode(FedPlanPtr child,
+                           std::vector<std::string> projection) {
+  auto node = std::make_unique<FedPlanNode>();
+  node->kind = FedPlanNode::Kind::kProject;
+  node->children.push_back(std::move(child));
+  node->projection = std::move(projection);
+  return node;
+}
+
+FedPlanPtr MakeDistinctNode(FedPlanPtr child) {
+  auto node = std::make_unique<FedPlanNode>();
+  node->kind = FedPlanNode::Kind::kDistinct;
+  node->children.push_back(std::move(child));
+  return node;
+}
+
+FedPlanPtr MakeLimitNode(FedPlanPtr child, int64_t limit) {
+  auto node = std::make_unique<FedPlanNode>();
+  node->kind = FedPlanNode::Kind::kLimit;
+  node->children.push_back(std::move(child));
+  node->limit = limit;
+  return node;
+}
+
+}  // namespace lakefed::fed

@@ -1,0 +1,78 @@
+// Federated query execution plans (QEPs): trees whose leaves are per-source
+// sub-queries and whose inner nodes are the mediator's operators.
+
+#ifndef LAKEFED_FED_PLAN_H_
+#define LAKEFED_FED_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fed/subquery.h"
+#include "sparql/ast.h"
+
+namespace lakefed::fed {
+
+struct FedPlanNode;
+using FedPlanPtr = std::unique_ptr<FedPlanNode>;
+
+struct FedPlanNode {
+  enum class Kind {
+    kService,        // leaf: execute `subquery` at its source
+    kJoin,           // ANAPSID-style symmetric hash join on `join_vars`
+    kLeftJoin,       // OPTIONAL: left outer join on `join_vars`
+    kDependentJoin,  // bind join: left drives instantiated right service
+    kUnion,          // multi-source molecule union
+    kFilter,         // engine-level FILTER evaluation
+    kProject,
+    kOrderBy,        // blocking sort on `order_by`
+    kDistinct,
+    kLimit,
+  };
+
+  Kind kind = Kind::kService;
+  std::vector<FedPlanPtr> children;
+
+  SubQuery subquery;                    // kService / kDependentJoin (right)
+  std::vector<std::string> join_vars;   // kJoin / kLeftJoin / kDependentJoin
+  std::vector<sparql::FilterExprPtr> filters;  // kFilter
+  std::vector<std::string> projection;  // kProject
+  std::vector<sparql::OrderCondition> order_by;  // kOrderBy
+  int64_t limit = 0;                    // kLimit
+
+  // Variables this node's output rows bind.
+  std::vector<std::string> OutputVariables() const;
+
+  std::string Describe() const;
+  std::string Explain() const;  // indented subtree
+};
+
+struct FederatedPlan {
+  FedPlanPtr root;
+  std::vector<std::string> variables;  // final projection
+  // Log of heuristic decisions taken during planning (for EXPLAIN output).
+  std::vector<std::string> decisions;
+
+  std::string Explain() const;
+};
+
+FedPlanPtr MakeServiceNode(SubQuery subquery);
+FedPlanPtr MakeJoinNode(FedPlanPtr left, FedPlanPtr right,
+                        std::vector<std::string> join_vars);
+FedPlanPtr MakeLeftJoinNode(FedPlanPtr left, FedPlanPtr right,
+                            std::vector<std::string> join_vars);
+FedPlanPtr MakeOrderByNode(FedPlanPtr child,
+                           std::vector<sparql::OrderCondition> order_by);
+FedPlanPtr MakeDependentJoinNode(FedPlanPtr left, SubQuery right,
+                                 std::vector<std::string> join_vars);
+FedPlanPtr MakeUnionNode(std::vector<FedPlanPtr> children);
+FedPlanPtr MakeFilterNode(FedPlanPtr child,
+                          std::vector<sparql::FilterExprPtr> filters);
+FedPlanPtr MakeProjectNode(FedPlanPtr child,
+                           std::vector<std::string> projection);
+FedPlanPtr MakeDistinctNode(FedPlanPtr child);
+FedPlanPtr MakeLimitNode(FedPlanPtr child, int64_t limit);
+
+}  // namespace lakefed::fed
+
+#endif  // LAKEFED_FED_PLAN_H_

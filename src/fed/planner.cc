@@ -1,0 +1,421 @@
+#include "fed/planner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "fed/decomposer.h"
+
+namespace lakefed::fed {
+namespace {
+
+// Candidate sources for a star via RDF-MT predicate containment.
+std::vector<std::string> SelectSources(const StarSubQuery& star,
+                                       const mapping::RdfMtCatalog& catalog) {
+  std::vector<std::string> predicates = star.ConstantPredicates();
+  // rdf:type is implied by every molecule; drop it from the containment
+  // check only if the star's class constrains the choice anyway.
+  std::vector<const mapping::RdfMt*> molecules =
+      catalog.Covering(star.class_iri, predicates);
+  std::vector<std::string> sources;
+  std::set<std::string> seen;
+  for (const mapping::RdfMt* m : molecules) {
+    for (const std::string& s : m->sources) {
+      if (seen.insert(s).second) sources.push_back(s);
+    }
+  }
+  return sources;
+}
+
+// Estimated number of rows a sub-query ships to the engine, derived from
+// the molecule cardinalities in the source descriptions (MULDER-style) and
+// shrunk by instantiations and source-placed filters. Smaller = more
+// selective = joined earlier.
+double EstimateTransferredRows(const SubQuery& sq,
+                               const mapping::RdfMtCatalog& catalog) {
+  constexpr double kDefaultCardinality = 1000;
+  constexpr double kObjectConstantSelectivity = 0.1;
+  constexpr double kSourceFilterSelectivity = 0.3;
+
+  double rows = 0;
+  for (const StarSubQuery& star : sq.stars) {
+    double card = kDefaultCardinality;
+    const mapping::RdfMt* molecule =
+        star.class_iri.has_value() ? catalog.Find(*star.class_iri) : nullptr;
+    if (molecule != nullptr) {
+      card = std::max<double>(molecule->cardinality, 1.0);
+    } else {
+      auto covering = catalog.Covering(star.class_iri,
+                                       star.ConstantPredicates());
+      if (!covering.empty()) {
+        card = 0;
+        for (const mapping::RdfMt* m : covering) {
+          card += static_cast<double>(m->cardinality);
+        }
+        card = std::max(card, 1.0);
+      }
+    }
+    double selectivity = 1.0;
+    if (!star.subject.is_var) selectivity = 1.0 / card;  // point lookup
+    for (const rdf::TriplePattern& p : star.patterns) {
+      bool is_type = !p.predicate.is_var &&
+                     p.predicate.term == rdf::Term::Iri(rdf::kRdfType);
+      if (!p.object.is_var && !is_type) {
+        selectivity *= kObjectConstantSelectivity;
+      }
+    }
+    // A merged (H1) sub-query ships the join result; approximate by the
+    // largest participating star.
+    rows = std::max(rows, card * selectivity);
+  }
+  for (const PlacedFilter& pf : sq.filters) {
+    if (pf.placement == FilterPlacement::kSource) {
+      rows *= kSourceFilterSelectivity;
+    }
+  }
+  return std::max(rows, 1.0);
+}
+
+}  // namespace
+
+bool VariableIsIndexed(const StarSubQuery& star, const std::string& var,
+                       const SourceWrapper& wrapper) {
+  if (star.SubjectIsVar(var)) {
+    return star.class_iri.has_value()
+               ? wrapper.IsSubjectKeyIndexed(*star.class_iri)
+               : false;
+  }
+  auto predicate = star.PredicateOfObjectVar(var);
+  if (!predicate.has_value() || !star.class_iri.has_value()) return false;
+  return wrapper.IsPredicateAttributeIndexed(*star.class_iri, *predicate);
+}
+
+Result<FederatedPlan> BuildPlan(
+    const sparql::SelectQuery& query, const mapping::RdfMtCatalog& catalog,
+    const std::map<std::string, SourceWrapper*>& wrappers,
+    const PlanOptions& options) {
+  LAKEFED_ASSIGN_OR_RETURN(DecomposedQuery decomposed,
+                           Decompose(query, options.decomposition));
+  FederatedPlan plan;
+  if (options.decomposition == DecompositionKind::kTripleBased) {
+    plan.decisions.push_back("triple-based decomposition: " +
+                             std::to_string(decomposed.stars.size()) +
+                             " single-pattern sub-queries");
+  }
+  const bool aware = options.mode == PlanMode::kPhysicalDesignAware;
+
+  // --- 1. Source selection ---------------------------------------------
+  // Each star becomes one SubQuery per selected source; multiple sources
+  // union. We keep, per star, the list of (source, SubQuery-index) to later
+  // build service/union nodes.
+  struct PlannedStar {
+    StarSubQuery star;
+    std::vector<std::string> sources;
+  };
+  std::vector<PlannedStar> planned;
+  for (StarSubQuery& star : decomposed.stars) {
+    std::vector<std::string> sources = SelectSources(star, catalog);
+    if (sources.empty()) {
+      return Status::NotFound("no source can answer sub-query " +
+                              star.ToString());
+    }
+    planned.push_back({std::move(star), std::move(sources)});
+  }
+
+  // --- 2. Heuristic 2: filter placement ----------------------------------
+  // Decides, per star-associated filter, engine vs source. The decision is
+  // shared by every source replica of the star.
+  const bool slow_network =
+      options.network.NominalLatencyMs() > options.slow_network_threshold_ms;
+  auto place_filters = [&](const StarSubQuery& star,
+                           const std::string& source_id)
+      -> std::vector<PlacedFilter> {
+    std::vector<PlacedFilter> out;
+    SourceWrapper* wrapper = wrappers.at(source_id);
+    for (const sparql::FilterExprPtr& filter : star.filters) {
+      PlacedFilter pf;
+      pf.filter = filter;
+      if (!aware) {
+        pf.placement = FilterPlacement::kEngine;
+        pf.reason = "physical-design-unaware: operations at engine";
+        out.push_back(std::move(pf));
+        continue;
+      }
+      if (wrapper->kind() == SourceKind::kRdf) {
+        pf.placement = FilterPlacement::kSource;
+        pf.reason = "native SPARQL endpoint evaluates its own filters";
+        out.push_back(std::move(pf));
+        continue;
+      }
+      if (options.force_filter_placement.has_value()) {
+        pf.placement = *options.force_filter_placement;
+        pf.reason = "placement forced by options";
+        out.push_back(std::move(pf));
+        continue;
+      }
+      if (!options.heuristic2_filter_placement) {
+        pf.placement = FilterPlacement::kEngine;
+        pf.reason = "heuristic 2 disabled";
+        out.push_back(std::move(pf));
+        continue;
+      }
+      std::string var;
+      bool simple = sparql::IsPushableToSql(*filter, &var);
+      bool indexed = simple && VariableIsIndexed(star, var, *wrapper);
+      if (simple && indexed && slow_network) {
+        pf.placement = FilterPlacement::kSource;
+        pf.reason = "H2: attribute indexed and network slow (" +
+                    options.network.name + ")";
+      } else {
+        pf.placement = FilterPlacement::kEngine;
+        pf.reason = simple ? (indexed ? "H2: network fast, filter at engine"
+                                      : "H2: attribute not indexed")
+                           : "complex filter evaluated at engine";
+      }
+      out.push_back(std::move(pf));
+    }
+    return out;
+  };
+
+  // --- 3. Build one execution unit per star ------------------------------
+  // A unit is either a single SubQuery (one source) or a union of them.
+  struct Unit {
+    // Invariant: single-source units hold exactly one SubQuery; multi-source
+    // units hold one per source and always execute as a Union.
+    std::vector<SubQuery> replicas;
+    bool IsSingle() const { return replicas.size() == 1; }
+    const SubQuery& front() const { return replicas.front(); }
+    std::vector<std::string> Variables() const {
+      return replicas.front().Variables();
+    }
+  };
+  std::vector<Unit> units;
+  for (PlannedStar& ps : planned) {
+    Unit unit;
+    for (const std::string& source : ps.sources) {
+      SubQuery sq;
+      sq.source_id = source;
+      sq.naive_translation = options.naive_sql_translation;
+      sq.stars.push_back(ps.star);
+      sq.filters = place_filters(ps.star, source);
+      unit.replicas.push_back(std::move(sq));
+    }
+    units.push_back(std::move(unit));
+  }
+
+  // --- 4. Heuristic 1: pushing down joins --------------------------------
+  // Merge two single-source units into one SubQuery when: same relational
+  // endpoint, the wrapper supports pushdown, they share a join variable and
+  // the join attribute is indexed. Repeat to fixpoint.
+  if (aware && options.heuristic1_join_pushdown) {
+    bool merged = true;
+    while (merged) {
+      merged = false;
+      for (size_t i = 0; i < units.size() && !merged; ++i) {
+        if (!units[i].IsSingle()) continue;
+        for (size_t j = i + 1; j < units.size() && !merged; ++j) {
+          if (!units[j].IsSingle()) continue;
+          SubQuery& a = units[i].replicas.front();
+          SubQuery& b = units[j].replicas.front();
+          if (a.source_id != b.source_id) continue;
+          SourceWrapper* wrapper = wrappers.at(a.source_id);
+          if (!wrapper->SupportsJoinPushdown()) continue;
+          std::vector<std::string> shared;
+          if (!a.SharesVariableWith(b, &shared)) continue;
+          // The join attribute must be indexed on both sides (subjects are
+          // PKs, hence indexed; objects need a secondary index).
+          const std::string& var = shared.front();
+          auto indexed_in = [&](const SubQuery& sq) {
+            for (const StarSubQuery& star : sq.stars) {
+              std::vector<std::string> vars = star.Variables();
+              if (std::find(vars.begin(), vars.end(), var) == vars.end()) {
+                continue;
+              }
+              if (VariableIsIndexed(star, var, *wrapper)) return true;
+            }
+            return false;
+          };
+          if (!indexed_in(a) || !indexed_in(b)) continue;
+          // Both sides must construct ?var's terms identically, or SQL
+          // column equality would not match RDF term equality.
+          bool compatible = true;
+          for (const StarSubQuery& sa : a.stars) {
+            for (const StarSubQuery& sb : b.stars) {
+              auto va = sa.Variables();
+              auto vb = sb.Variables();
+              if (std::find(va.begin(), va.end(), var) == va.end()) continue;
+              if (std::find(vb.begin(), vb.end(), var) == vb.end()) continue;
+              if (!wrapper->CanPushDownJoin(sa, sb, var)) compatible = false;
+            }
+          }
+          if (!compatible) continue;
+          plan.decisions.push_back(
+              "H1: merged SSQs over " + a.source_id + " on ?" + var +
+              " (join attribute indexed) -> join pushed to the source");
+          a.stars.insert(a.stars.end(), b.stars.begin(), b.stars.end());
+          a.filters.insert(a.filters.end(), b.filters.begin(),
+                           b.filters.end());
+          units.erase(units.begin() + static_cast<ptrdiff_t>(j));
+          merged = true;
+        }
+      }
+    }
+  } else if (!aware) {
+    plan.decisions.push_back(
+        "physical-design-unaware: no join pushdown, all joins and filters "
+        "at the engine");
+  }
+
+  // --- 5. Per-unit plan nodes (service [+ engine filter] [+ union]) ------
+  auto build_unit_node = [&](const Unit& unit) -> FedPlanPtr {
+    std::vector<FedPlanPtr> scans;
+    for (const SubQuery& sq : unit.replicas) {
+      FedPlanPtr node = MakeServiceNode(sq);
+      std::vector<sparql::FilterExprPtr> engine_filters = sq.EngineFilters();
+      if (!engine_filters.empty()) {
+        node = MakeFilterNode(std::move(node), std::move(engine_filters));
+      }
+      scans.push_back(std::move(node));
+    }
+    if (scans.size() == 1) return std::move(scans.front());
+    return MakeUnionNode(std::move(scans));
+  };
+
+  // --- 6. Join-tree construction (greedy, smallest estimate first) -------
+  std::vector<size_t> remaining(units.size());
+  for (size_t i = 0; i < units.size(); ++i) remaining[i] = i;
+  auto rows_of = [&](size_t idx) {
+    return EstimateTransferredRows(units[idx].front(), catalog);
+  };
+  std::sort(remaining.begin(), remaining.end(),
+            [&](size_t a, size_t b) { return rows_of(a) < rows_of(b); });
+
+  size_t first = remaining.front();
+  remaining.erase(remaining.begin());
+  FedPlanPtr root = build_unit_node(units[first]);
+  std::vector<std::string> bound_vars = units[first].Variables();
+
+  while (!remaining.empty()) {
+    // Among units sharing a variable with the current tree, pick the most
+    // selective; fall back to a cross product if none connects.
+    size_t pick_pos = remaining.size();
+    std::vector<std::string> pick_shared;
+    for (size_t pos = 0; pos < remaining.size(); ++pos) {
+      const Unit& unit = units[remaining[pos]];
+      std::vector<std::string> shared;
+      for (const std::string& v : unit.Variables()) {
+        if (std::find(bound_vars.begin(), bound_vars.end(), v) !=
+            bound_vars.end()) {
+          shared.push_back(v);
+        }
+      }
+      if (shared.empty()) continue;
+      if (pick_pos == remaining.size() ||
+          rows_of(remaining[pos]) < rows_of(remaining[pick_pos])) {
+        pick_pos = pos;
+        pick_shared = shared;
+      }
+    }
+    if (pick_pos == remaining.size()) {
+      pick_pos = 0;  // cross product
+      pick_shared.clear();
+      plan.decisions.push_back("no shared variable: cross product join");
+    }
+    size_t pick = remaining[pick_pos];
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(pick_pos));
+
+    const Unit& unit = units[pick];
+    bool dependent =
+        options.use_dependent_join && unit.IsSingle() &&
+        !pick_shared.empty() &&
+        unit.front().EngineFilters().empty() && [&] {
+          // dependent joins pay off when the bound variable probes an index
+          SourceWrapper* wrapper = wrappers.at(unit.front().source_id);
+          for (const StarSubQuery& star : unit.front().stars) {
+            std::vector<std::string> vars = star.Variables();
+            if (std::find(vars.begin(), vars.end(), pick_shared.front()) ==
+                vars.end()) {
+              continue;
+            }
+            if (VariableIsIndexed(star, pick_shared.front(), *wrapper)) {
+              return true;
+            }
+          }
+          return false;
+        }();
+    if (dependent) {
+      plan.decisions.push_back("dependent join on ?" + pick_shared.front() +
+                               " into " + unit.front().source_id);
+      root = MakeDependentJoinNode(std::move(root), unit.front(),
+                                   pick_shared);
+    } else {
+      root = MakeJoinNode(std::move(root), build_unit_node(unit),
+                          pick_shared);
+    }
+    for (const std::string& v : unit.Variables()) {
+      if (std::find(bound_vars.begin(), bound_vars.end(), v) ==
+          bound_vars.end()) {
+        bound_vars.push_back(v);
+      }
+    }
+  }
+
+  // --- 7. OPTIONAL groups: left joins after the main tree ----------------
+  for (StarSubQuery& star : decomposed.optional_stars) {
+    std::vector<std::string> sources = SelectSources(star, catalog);
+    if (sources.empty()) {
+      return Status::NotFound("no source can answer OPTIONAL sub-query " +
+                              star.ToString());
+    }
+    std::vector<FedPlanPtr> scans;
+    for (const std::string& source : sources) {
+      SubQuery sq;
+      sq.source_id = source;
+      sq.naive_translation = options.naive_sql_translation;
+      sq.stars.push_back(star);
+      sq.filters = place_filters(star, source);
+      FedPlanPtr node = MakeServiceNode(sq);
+      std::vector<sparql::FilterExprPtr> engine_filters = sq.EngineFilters();
+      if (!engine_filters.empty()) {
+        node = MakeFilterNode(std::move(node), std::move(engine_filters));
+      }
+      scans.push_back(std::move(node));
+    }
+    FedPlanPtr right = scans.size() == 1 ? std::move(scans.front())
+                                         : MakeUnionNode(std::move(scans));
+    std::vector<std::string> shared;
+    for (const std::string& v : star.Variables()) {
+      if (std::find(bound_vars.begin(), bound_vars.end(), v) !=
+          bound_vars.end()) {
+        shared.push_back(v);
+      }
+    }
+    plan.decisions.push_back("OPTIONAL star left-joined on " +
+                             std::to_string(shared.size()) +
+                             " shared variable(s)");
+    root = MakeLeftJoinNode(std::move(root), std::move(right), shared);
+    for (const std::string& v : star.Variables()) {
+      if (std::find(bound_vars.begin(), bound_vars.end(), v) ==
+          bound_vars.end()) {
+        bound_vars.push_back(v);
+      }
+    }
+  }
+
+  // --- 8. Global filters, ordering, projection, modifiers ----------------
+  if (!decomposed.global_filters.empty()) {
+    root = MakeFilterNode(std::move(root), decomposed.global_filters);
+  }
+  if (!query.order_by.empty()) {
+    root = MakeOrderByNode(std::move(root), query.order_by);
+  }
+  plan.variables = query.EffectiveProjection();
+  root = MakeProjectNode(std::move(root), plan.variables);
+  if (query.distinct) root = MakeDistinctNode(std::move(root));
+  if (query.limit.has_value()) {
+    root = MakeLimitNode(std::move(root), *query.limit);
+  }
+  plan.root = std::move(root);
+  return plan;
+}
+
+}  // namespace lakefed::fed

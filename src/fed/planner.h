@@ -1,0 +1,35 @@
+// The federated query planner: source selection over RDF-MTs, the paper's
+// Heuristic 1 (pushing down joins) and Heuristic 2 (pushing up
+// instantiations), and bushy join-tree construction over the sub-queries.
+
+#ifndef LAKEFED_FED_PLANNER_H_
+#define LAKEFED_FED_PLANNER_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "fed/options.h"
+#include "fed/plan.h"
+#include "fed/wrapper.h"
+#include "mapping/rdf_mt.h"
+#include "sparql/ast.h"
+
+namespace lakefed::fed {
+
+// Builds the QEP for `query` against the registered sources.
+// `wrappers` maps source id -> wrapper (borrowed).
+Result<FederatedPlan> BuildPlan(
+    const sparql::SelectQuery& query, const mapping::RdfMtCatalog& catalog,
+    const std::map<std::string, SourceWrapper*>& wrappers,
+    const PlanOptions& options);
+
+// Exposed for tests: is variable `var` backed by an indexed attribute within
+// `star` at `wrapper`'s source? (subject position -> subject key index;
+// object position -> index on the column its predicate maps to).
+bool VariableIsIndexed(const StarSubQuery& star, const std::string& var,
+                       const SourceWrapper& wrapper);
+
+}  // namespace lakefed::fed
+
+#endif  // LAKEFED_FED_PLANNER_H_

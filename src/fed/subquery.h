@@ -1,0 +1,82 @@
+// Star-shaped sub-queries (SSQs) and the per-source execution units of the
+// federated engine.
+//
+// A SPARQL query is decomposed into SSQs — maximal groups of triple patterns
+// sharing one subject [Vidal et al. 2010]. A SubQuery is what a wrapper
+// executes: one SSQ, or several merged by Heuristic 1 (join pushdown), plus
+// the filters whose placement Heuristic 2 decided.
+
+#ifndef LAKEFED_FED_SUBQUERY_H_
+#define LAKEFED_FED_SUBQUERY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdf/bgp.h"
+#include "sparql/filter_expr.h"
+
+namespace lakefed::fed {
+
+enum class SourceKind { kRdf, kRelational };
+
+std::string SourceKindToString(SourceKind kind);
+
+// Where a filter is evaluated (Heuristic 2's decision).
+enum class FilterPlacement { kEngine, kSource };
+
+struct PlacedFilter {
+  sparql::FilterExprPtr filter;
+  FilterPlacement placement = FilterPlacement::kEngine;
+  std::string reason;  // human-readable justification, shown by EXPLAIN
+};
+
+struct StarSubQuery {
+  rdf::PatternNode subject;
+  std::vector<rdf::TriplePattern> patterns;  // all share `subject`
+  // Filters whose variables all belong to this star.
+  std::vector<sparql::FilterExprPtr> filters;
+  // Object of a constant rdf:type pattern, when present.
+  std::optional<std::string> class_iri;
+
+  // Distinct variables of the star, subject first.
+  std::vector<std::string> Variables() const;
+  // IRIs of constant predicates (used for source selection).
+  std::vector<std::string> ConstantPredicates() const;
+  // The predicate whose object position binds `var`, if any.
+  std::optional<std::string> PredicateOfObjectVar(const std::string& var)
+      const;
+  bool SubjectIsVar(const std::string& var) const {
+    return subject.is_var && subject.var == var;
+  }
+
+  std::string ToString() const;
+};
+
+struct SubQuery {
+  std::string source_id;
+  std::vector<StarSubQuery> stars;    // size > 1 => Heuristic 1 merged
+  std::vector<PlacedFilter> filters;  // all filters over these stars
+  // IN-instantiations injected by a dependent join: var -> allowed terms.
+  std::map<std::string, std::vector<rdf::Term>> instantiations;
+  // When set, relational wrappers must emulate an unoptimized merged-SSQ
+  // translation (see PlanOptions::naive_sql_translation).
+  bool naive_translation = false;
+
+  // Distinct variables produced by the wrapper.
+  std::vector<std::string> Variables() const;
+  // Filters the wrapper must evaluate (placement == kSource).
+  std::vector<sparql::FilterExprPtr> SourceFilters() const;
+  // Filters the engine evaluates above the service scan.
+  std::vector<sparql::FilterExprPtr> EngineFilters() const;
+
+  bool SharesVariableWith(const SubQuery& other,
+                          std::vector<std::string>* shared) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace lakefed::fed
+
+#endif  // LAKEFED_FED_SUBQUERY_H_

@@ -1,0 +1,40 @@
+#include "fed/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lakefed::fed {
+
+size_t AnswerTrace::AnswersAt(double t) const {
+  return static_cast<size_t>(
+      std::upper_bound(timestamps.begin(), timestamps.end(), t) -
+      timestamps.begin());
+}
+
+std::string AnswerTrace::ToCsv() const {
+  std::string out = "time_s,answers\n";
+  char buf[64];
+  for (size_t i = 0; i < timestamps.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.6f,%zu\n", timestamps[i], i + 1);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.6f,%zu\n", completion_seconds,
+                timestamps.size());
+  out += buf;
+  return out;
+}
+
+std::string AnswerTrace::ToSampledCsv(size_t points) const {
+  std::string out = "time_s,answers\n";
+  char buf[64];
+  if (points < 2) points = 2;
+  for (size_t i = 0; i < points; ++i) {
+    double t = completion_seconds * static_cast<double>(i) /
+               static_cast<double>(points - 1);
+    std::snprintf(buf, sizeof(buf), "%.6f,%zu\n", t, AnswersAt(t));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace lakefed::fed

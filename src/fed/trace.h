@@ -1,0 +1,37 @@
+// AnswerTrace: the answer-over-time measurements behind the paper's Figure 2
+// ("answer traces show the generation of answers over time").
+
+#ifndef LAKEFED_FED_TRACE_H_
+#define LAKEFED_FED_TRACE_H_
+
+#include <string>
+#include <vector>
+
+namespace lakefed::fed {
+
+struct AnswerTrace {
+  // Arrival time of the i-th answer, seconds since execution start.
+  std::vector<double> timestamps;
+  // Total wall time of the execution (>= last timestamp).
+  double completion_seconds = 0;
+
+  size_t num_answers() const { return timestamps.size(); }
+
+  // Time to first answer; completion time when there are no answers.
+  double TimeToFirst() const {
+    return timestamps.empty() ? completion_seconds : timestamps.front();
+  }
+
+  // Number of answers produced by time `t` (seconds).
+  size_t AnswersAt(double t) const;
+
+  // "time_s,answers" CSV rows, one per answer (plus a final completion row).
+  std::string ToCsv() const;
+
+  // Sampled series with `points` rows — convenient for plotting figures.
+  std::string ToSampledCsv(size_t points = 50) const;
+};
+
+}  // namespace lakefed::fed
+
+#endif  // LAKEFED_FED_TRACE_H_

@@ -1,0 +1,73 @@
+// SourceWrapper: the mediator/wrapper boundary (Wiederhold architecture).
+// One wrapper fronts one Data Lake source; the engine talks to sources only
+// through this interface. Implementations live in src/wrapper/.
+
+#ifndef LAKEFED_FED_WRAPPER_H_
+#define LAKEFED_FED_WRAPPER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/status.h"
+#include "fed/subquery.h"
+#include "mapping/rdf_mt.h"
+#include "net/network.h"
+#include "rdf/bgp.h"
+
+namespace lakefed::fed {
+
+class SourceWrapper {
+ public:
+  virtual ~SourceWrapper() = default;
+
+  virtual const std::string& id() const = 0;
+  virtual SourceKind kind() const = 0;
+
+  // RDF molecule templates this source can answer (source description).
+  virtual std::vector<mapping::RdfMt> Molecules() const = 0;
+
+  // --- physical-design introspection (what the paper's heuristics read) ---
+
+  // Is the relational attribute reached by `predicate` on `class_iri`
+  // backed by an index? RDF sources report false (not applicable).
+  virtual bool IsPredicateAttributeIndexed(
+      const std::string& /*class_iri*/,
+      const std::string& /*predicate*/) const {
+    return false;
+  }
+
+  // Is the subject key of `class_iri` indexed (the PK, per the paper's
+  // layout assumption)?
+  virtual bool IsSubjectKeyIndexed(const std::string& /*class_iri*/) const {
+    return false;
+  }
+
+  // Can this source execute a merged multi-star sub-query (Heuristic 1)?
+  virtual bool SupportsJoinPushdown() const { return false; }
+
+  // May stars `a` and `b` be merged into one sub-query joined on `var`?
+  // Relational wrappers verify that both sides construct the shared
+  // variable's terms the same way (same IRI template / literal datatype),
+  // so that raw column equality in SQL coincides with RDF term equality.
+  virtual bool CanPushDownJoin(const StarSubQuery& /*a*/,
+                               const StarSubQuery& /*b*/,
+                               const std::string& /*var*/) const {
+    return SupportsJoinPushdown();
+  }
+
+  // --- execution ---
+
+  // Executes `subquery`, pushing one solution mapping per answer into `out`.
+  // Every answer retrieval passes through `channel` (network simulation).
+  // Blocking; the engine runs it on a dedicated thread and closes `out`
+  // afterwards. Implementations must stop early when Push returns false
+  // (downstream cancelled).
+  virtual Status Execute(const SubQuery& subquery,
+                         net::DelayChannel* channel,
+                         BlockingQueue<rdf::Binding>* out) = 0;
+};
+
+}  // namespace lakefed::fed
+
+#endif  // LAKEFED_FED_WRAPPER_H_

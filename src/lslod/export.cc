@@ -1,0 +1,62 @@
+#include "lslod/export.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "mapping/materialize.h"
+#include "rdf/ntriples.h"
+#include "rel/csv.h"
+
+namespace lakefed::lslod {
+namespace {
+
+Status WriteFile(const std::filesystem::path& path,
+                 const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open " + path.string() + " for writing");
+  }
+  out << content;
+  if (!out) return Status::IoError("write failed for " + path.string());
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<size_t> DumpLake(const DataLake& lake, const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory " + directory + ": " +
+                           ec.message());
+  }
+  size_t files = 0;
+  for (const auto& [dataset, db] : lake.databases) {
+    std::filesystem::path dataset_dir =
+        std::filesystem::path(directory) / dataset;
+    std::filesystem::create_directories(dataset_dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create directory " +
+                             dataset_dir.string() + ": " + ec.message());
+    }
+    for (const std::string& table_name : db->catalog().TableNames()) {
+      const rel::Table* table = db->catalog().GetTable(table_name);
+      LAKEFED_RETURN_NOT_OK(WriteFile(dataset_dir / (table_name + ".csv"),
+                                      rel::WriteTableCsv(*table)));
+      ++files;
+    }
+    // Materialized RDF view (identical to what an RDF endpoint would hold).
+    rdf::TripleStore store;
+    LAKEFED_RETURN_NOT_OK(mapping::MaterializeTriples(
+        *db, lake.mappings.at(dataset), &store));
+    std::vector<rdf::Triple> triples =
+        store.Match(std::nullopt, std::nullopt, std::nullopt);
+    LAKEFED_RETURN_NOT_OK(
+        WriteFile(std::filesystem::path(directory) / (dataset + ".nt"),
+                  rdf::WriteNTriples(triples)));
+    ++files;
+  }
+  return files;
+}
+
+}  // namespace lakefed::lslod

@@ -1,0 +1,23 @@
+// Lake export: dump every dataset of a DataLake to a directory — one CSV
+// per relational table plus the materialized N-Triples view per dataset —
+// so the synthetic data can be inspected or loaded into other systems.
+
+#ifndef LAKEFED_LSLOD_EXPORT_H_
+#define LAKEFED_LSLOD_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "lslod/generator.h"
+
+namespace lakefed::lslod {
+
+// Layout written under `directory` (created if missing):
+//   <dataset>/<table>.csv        every relational table
+//   <dataset>.nt                 the dataset's virtual RDF graph
+// Returns the number of files written.
+Result<size_t> DumpLake(const DataLake& lake, const std::string& directory);
+
+}  // namespace lakefed::lslod
+
+#endif  // LAKEFED_LSLOD_EXPORT_H_

@@ -1,0 +1,866 @@
+#include "lslod/generator.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "lslod/vocab.h"
+#include "mapping/materialize.h"
+#include "rdf/term.h"
+#include "wrapper/rdf_wrapper.h"
+#include "wrapper/sql_wrapper.h"
+
+namespace lakefed::lslod {
+namespace {
+
+using mapping::ClassMapping;
+using mapping::IriTemplate;
+using mapping::PredicateMapping;
+using mapping::SourceMapping;
+using rel::ColumnType;
+using rel::Schema;
+using rel::Value;
+
+// Shared value pools and sizing.
+struct Ctx {
+  explicit Ctx(const LakeConfig& config) : config(config), rng(config.seed) {}
+
+  int N(int base) const {
+    return std::max(1, static_cast<int>(std::llround(base * config.scale)));
+  }
+
+  LakeConfig config;
+  Rng rng;
+
+  std::vector<std::string> gene_symbols;
+  std::vector<std::string> disease_names;
+  std::vector<std::string> drug_names;
+  std::vector<std::string> species;
+  std::vector<std::string> categories;
+  std::vector<std::string> effects;
+  std::vector<std::string> go_terms;
+
+  int num_genes = 0, num_diseases = 0, num_drugs = 0;
+};
+
+std::string Padded(const char* prefix, int i, int width) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%0*d", prefix, width, i);
+  return buf;
+}
+
+void BuildPools(Ctx* ctx) {
+  ctx->num_genes = ctx->N(800);
+  ctx->num_diseases = ctx->N(400);
+  ctx->num_drugs = ctx->N(600);
+  for (int i = 0; i < ctx->num_genes; ++i) {
+    ctx->gene_symbols.push_back(Padded("GENE", i, 4));
+  }
+  for (int i = 0; i < ctx->num_diseases; ++i) {
+    ctx->disease_names.push_back(Padded("disease", i, 4) + "_" +
+                                 ctx->rng.RandomWord(6));
+  }
+  for (int i = 0; i < ctx->num_drugs; ++i) {
+    ctx->drug_names.push_back(Padded("drug", i, 3) + "_" +
+                              ctx->rng.RandomWord(5));
+  }
+  // The skewed species domain: "Homo sapiens" dominates (the paper's
+  // example of an attribute that fails the 15% indexing rule).
+  ctx->species.push_back("Homo sapiens");
+  for (int i = 0; i < 24; ++i) {
+    ctx->species.push_back("Species " + ctx->rng.RandomWord(7));
+  }
+  const char* cats[] = {"nsaid",        "opioid",      "antibiotic",
+                        "antiviral",    "vaccine",     "anticoagulant",
+                        "sedative",     "diuretic",    "statin",
+                        "betablocker",  "antifungal",  "antihistamine"};
+  for (const char* c : cats) ctx->categories.push_back(c);
+  for (int i = 0; i < 150; ++i) {
+    ctx->effects.push_back("effect_" + ctx->rng.RandomWord(6));
+  }
+  for (int i = 0; i < 400; ++i) {
+    ctx->go_terms.push_back(Padded("GO:", i, 7));
+  }
+}
+
+// --- mapping helpers --------------------------------------------------------
+
+PredicateMapping LitPred(const std::string& dataset, const std::string& local,
+                         const std::string& column,
+                         const std::string& datatype = "",
+                         const std::string& link_table = "",
+                         const std::string& link_fk = "") {
+  PredicateMapping pm;
+  pm.predicate = Vocab(dataset, local);
+  pm.column = column;
+  pm.link_table = link_table;
+  pm.link_fk = link_fk;
+  pm.object_is_iri = false;
+  pm.literal_datatype = datatype;
+  return pm;
+}
+
+PredicateMapping IriPred(const std::string& dataset, const std::string& local,
+                         const std::string& column,
+                         const std::string& iri_template,
+                         const std::string& link_table = "",
+                         const std::string& link_fk = "") {
+  PredicateMapping pm;
+  pm.predicate = Vocab(dataset, local);
+  pm.column = column;
+  pm.link_table = link_table;
+  pm.link_fk = link_fk;
+  pm.object_is_iri = true;
+  pm.iri_template = IriTemplate(iri_template);
+  return pm;
+}
+
+ClassMapping MakeClass(const std::string& class_iri,
+                       const std::string& base_table,
+                       const std::string& subject_template,
+                       std::vector<PredicateMapping> predicates) {
+  ClassMapping cm;
+  cm.class_iri = class_iri;
+  cm.base_table = base_table;
+  cm.pk_column = "id";
+  cm.subject_template = IriTemplate(subject_template);
+  cm.predicates = std::move(predicates);
+  return cm;
+}
+
+constexpr char kXsdInt[] = "http://www.w3.org/2001/XMLSchema#integer";
+constexpr char kXsdDouble[] = "http://www.w3.org/2001/XMLSchema#double";
+
+// --- dataset builders --------------------------------------------------------
+
+Status BuildDiseasome(Ctx* ctx, DataLake* lake) {
+  auto db = std::make_unique<rel::Database>(kDiseasome);
+  LAKEFED_ASSIGN_OR_RETURN(
+      rel::Table * gene,
+      db->catalog().CreateTable(
+          "gene",
+          Schema({{"id", ColumnType::kInt64, false},
+                  {"symbol", ColumnType::kString, false},
+                  {"chromosome", ColumnType::kString, true},
+                  {"degree", ColumnType::kInt64, true}}),
+          "id"));
+  for (int i = 0; i < ctx->num_genes; ++i) {
+    // Round-robin chromosomes: uniform and guaranteed to cover chr1..chr23
+    // at every scale (Q2 filters on a chromosome).
+    LAKEFED_RETURN_NOT_OK(gene->Insert(
+        {Value(int64_t{i}), Value(ctx->gene_symbols[i]),
+         Value("chr" + std::to_string(1 + i % 23)),
+         Value(ctx->rng.UniformInt(1, 50))}));
+  }
+
+  // Logical disease rows (emitted as 3NF or denormalized below).
+  struct DiseaseRow {
+    int64_t id;
+    std::string name, subtype;
+    int64_t degree;
+    std::vector<int64_t> genes;
+  };
+  std::vector<DiseaseRow> diseases;
+  for (int i = 0; i < ctx->num_diseases; ++i) {
+    DiseaseRow row;
+    row.id = i;
+    row.name = ctx->disease_names[i];
+    row.degree = ctx->rng.UniformInt(1, 20);
+    row.subtype = "type" + std::to_string(ctx->rng.UniformInt(1, 8));
+    int links = static_cast<int>(ctx->rng.UniformInt(1, 3));
+    for (int k = 0; k < links; ++k) {
+      // Deterministic spread over the gene pool so gene_id's value
+      // frequencies stay well below the 15% indexing threshold at every
+      // scale (the join attribute of Q2 must be indexable).
+      row.genes.push_back((i * 7 + k * 13) % ctx->num_genes);
+    }
+    diseases.push_back(std::move(row));
+  }
+
+  SourceMapping sm;
+  sm.source_id = kDiseasome;
+  sm.classes.push_back(MakeClass(
+      GeneClass(), "gene", EntityTemplate(kDiseasome, "gene"),
+      {LitPred(kDiseasome, "geneSymbol", "symbol"),
+       LitPred(kDiseasome, "chromosome", "chromosome"),
+       LitPred(kDiseasome, "degree", "degree", kXsdInt)}));
+
+  if (ctx->config.denormalized) {
+    // 1NF: one row per (disease, gene); disease attributes duplicated.
+    LAKEFED_ASSIGN_OR_RETURN(
+        rel::Table * flat,
+        db->catalog().CreateTable(
+            "disease_flat",
+            Schema({{"row_id", ColumnType::kInt64, false},
+                    {"id", ColumnType::kInt64, false},
+                    {"name", ColumnType::kString, false},
+                    {"degree", ColumnType::kInt64, true},
+                    {"subtype", ColumnType::kString, true},
+                    {"gene_id", ColumnType::kInt64, false}}),
+            "row_id"));
+    int64_t row_id = 0;
+    for (const DiseaseRow& d : diseases) {
+      for (int64_t g : d.genes) {
+        LAKEFED_RETURN_NOT_OK(flat->Insert(
+            {Value(row_id++), Value(d.id), Value(d.name), Value(d.degree),
+             Value(d.subtype), Value(g)}));
+      }
+    }
+    ClassMapping cm = MakeClass(
+        DiseaseClass(), "disease_flat", EntityTemplate(kDiseasome, "disease"),
+        {LitPred(kDiseasome, "name", "name"),
+         LitPred(kDiseasome, "diseaseDegree", "degree", kXsdInt),
+         LitPred(kDiseasome, "subtype", "subtype"),
+         IriPred(kDiseasome, "associatedGene", "gene_id",
+                 EntityTemplate(kDiseasome, "gene"))});
+    cm.pk_column = "id";  // the subject key column — NOT unique here
+    sm.classes.push_back(std::move(cm));
+  } else {
+    LAKEFED_ASSIGN_OR_RETURN(
+        rel::Table * disease,
+        db->catalog().CreateTable(
+            "disease",
+            Schema({{"id", ColumnType::kInt64, false},
+                    {"name", ColumnType::kString, false},
+                    {"degree", ColumnType::kInt64, true},
+                    {"subtype", ColumnType::kString, true}}),
+            "id"));
+    LAKEFED_ASSIGN_OR_RETURN(
+        rel::Table * disease_gene,
+        db->catalog().CreateTable(
+            "disease_gene",
+            Schema({{"id", ColumnType::kInt64, false},
+                    {"disease_id", ColumnType::kInt64, false},
+                    {"gene_id", ColumnType::kInt64, false}}),
+            "id"));
+    int64_t link_id = 0;
+    for (const DiseaseRow& d : diseases) {
+      LAKEFED_RETURN_NOT_OK(disease->Insert({Value(d.id), Value(d.name),
+                                             Value(d.degree),
+                                             Value(d.subtype)}));
+      for (int64_t g : d.genes) {
+        LAKEFED_RETURN_NOT_OK(disease_gene->Insert(
+            {Value(link_id++), Value(d.id), Value(g)}));
+      }
+    }
+    sm.classes.push_back(MakeClass(
+        DiseaseClass(), "disease", EntityTemplate(kDiseasome, "disease"),
+        {LitPred(kDiseasome, "name", "name"),
+         LitPred(kDiseasome, "diseaseDegree", "degree", kXsdInt),
+         LitPred(kDiseasome, "subtype", "subtype"),
+         IriPred(kDiseasome, "associatedGene", "gene_id",
+                 EntityTemplate(kDiseasome, "gene"), "disease_gene",
+                 "disease_id")}));
+  }
+  lake->mappings[kDiseasome] = std::move(sm);
+  lake->databases[kDiseasome] = std::move(db);
+  return Status::OK();
+}
+
+Status BuildAffymetrix(Ctx* ctx, DataLake* lake) {
+  auto db = std::make_unique<rel::Database>(kAffymetrix);
+  LAKEFED_ASSIGN_OR_RETURN(
+      rel::Table * probeset,
+      db->catalog().CreateTable(
+          "probeset",
+          Schema({{"id", ColumnType::kInt64, false},
+                  {"symbol", ColumnType::kString, false},
+                  {"species", ColumnType::kString, false},
+                  {"chromosome", ColumnType::kString, true},
+                  {"annotation", ColumnType::kString, true}}),
+          "id"));
+  int n = ctx->N(1500);
+  for (int i = 0; i < n; ++i) {
+    // 40% Homo sapiens, the rest Zipf over the other species.
+    std::string species =
+        ctx->rng.Bernoulli(0.4)
+            ? ctx->species[0]
+            : ctx->species[1 + ctx->rng.Zipf(ctx->species.size() - 1, 0.8)];
+    LAKEFED_RETURN_NOT_OK(probeset->Insert(
+        {Value(int64_t{i}),
+         Value(ctx->gene_symbols[static_cast<size_t>(
+             ctx->rng.UniformInt(0, ctx->num_genes - 1))]),
+         Value(species),
+         Value("chr" + std::to_string(ctx->rng.UniformInt(1, 23))),
+         Value("probe annotation " + ctx->rng.RandomWord(8))}));
+  }
+
+  SourceMapping sm;
+  sm.source_id = kAffymetrix;
+  sm.classes.push_back(MakeClass(
+      ProbesetClass(), "probeset", EntityTemplate(kAffymetrix, "probeset"),
+      {LitPred(kAffymetrix, "symbol", "symbol"),
+       LitPred(kAffymetrix, "scientificName", "species"),
+       LitPred(kAffymetrix, "chromosome", "chromosome"),
+       LitPred(kAffymetrix, "annotation", "annotation")}));
+  lake->mappings[kAffymetrix] = std::move(sm);
+  lake->databases[kAffymetrix] = std::move(db);
+  return Status::OK();
+}
+
+Status BuildDrugbank(Ctx* ctx, DataLake* lake) {
+  auto db = std::make_unique<rel::Database>(kDrugbank);
+
+  // Logical drug rows.
+  struct DrugRow {
+    int64_t id;
+    std::string name, indication;
+    double melting_point;
+    std::vector<std::string> categories, targets;
+    std::vector<int64_t> interactions;
+  };
+  std::vector<DrugRow> drugs;
+  for (int i = 0; i < ctx->num_drugs; ++i) {
+    DrugRow row;
+    row.id = i;
+    row.name = ctx->drug_names[i];
+    row.indication = "indication " + ctx->rng.RandomWord(10);
+    row.melting_point = ctx->rng.UniformDouble(50.0, 350.0);
+    int cats = static_cast<int>(ctx->rng.UniformInt(1, 3));
+    for (int k = 0; k < cats; ++k) {
+      row.categories.push_back(
+          ctx->categories[static_cast<size_t>(ctx->rng.UniformInt(
+              0, static_cast<int>(ctx->categories.size()) - 1))]);
+    }
+    int targets = static_cast<int>(ctx->rng.UniformInt(1, 2));
+    for (int k = 0; k < targets; ++k) {
+      row.targets.push_back(ctx->gene_symbols[static_cast<size_t>(
+          ctx->rng.UniformInt(0, ctx->num_genes - 1))]);
+    }
+    int interactions = static_cast<int>(ctx->rng.UniformInt(0, 3));
+    for (int k = 0; k < interactions; ++k) {
+      row.interactions.push_back(ctx->rng.UniformInt(0, ctx->num_drugs - 1));
+    }
+    drugs.push_back(std::move(row));
+  }
+
+  SourceMapping sm;
+  sm.source_id = kDrugbank;
+
+  if (ctx->config.denormalized) {
+    // 1NF universal relation: the cross product of the multi-valued
+    // attributes, one row per combination (NULL for drugs without
+    // interactions so the entity survives).
+    LAKEFED_ASSIGN_OR_RETURN(
+        rel::Table * flat,
+        db->catalog().CreateTable(
+            "drug_flat",
+            Schema({{"row_id", ColumnType::kInt64, false},
+                    {"id", ColumnType::kInt64, false},
+                    {"name", ColumnType::kString, false},
+                    {"indication", ColumnType::kString, true},
+                    {"melting_point", ColumnType::kDouble, true},
+                    {"category", ColumnType::kString, false},
+                    {"target_symbol", ColumnType::kString, false},
+                    {"other_id", ColumnType::kInt64, true}}),
+            "row_id"));
+    int64_t row_id = 0;
+    for (const DrugRow& d : drugs) {
+      for (const std::string& cat : d.categories) {
+        for (const std::string& target : d.targets) {
+          if (d.interactions.empty()) {
+            LAKEFED_RETURN_NOT_OK(flat->Insert(
+                {Value(row_id++), Value(d.id), Value(d.name),
+                 Value(d.indication), Value(d.melting_point), Value(cat),
+                 Value(target), Value()}));
+            continue;
+          }
+          for (int64_t other : d.interactions) {
+            LAKEFED_RETURN_NOT_OK(flat->Insert(
+                {Value(row_id++), Value(d.id), Value(d.name),
+                 Value(d.indication), Value(d.melting_point), Value(cat),
+                 Value(target), Value(other)}));
+          }
+        }
+      }
+    }
+    ClassMapping cm = MakeClass(
+        DrugClass(), "drug_flat", EntityTemplate(kDrugbank, "drug"),
+        {LitPred(kDrugbank, "name", "name"),
+         LitPred(kDrugbank, "indication", "indication"),
+         LitPred(kDrugbank, "meltingPoint", "melting_point", kXsdDouble),
+         LitPred(kDrugbank, "category", "category"),
+         LitPred(kDrugbank, "target", "target_symbol"),
+         IriPred(kDrugbank, "interactsWith", "other_id",
+                 EntityTemplate(kDrugbank, "drug"))});
+    cm.pk_column = "id";  // non-unique subject key
+    sm.classes.push_back(std::move(cm));
+  } else {
+    LAKEFED_ASSIGN_OR_RETURN(
+        rel::Table * drug,
+        db->catalog().CreateTable(
+            "drug",
+            Schema({{"id", ColumnType::kInt64, false},
+                    {"name", ColumnType::kString, false},
+                    {"indication", ColumnType::kString, true},
+                    {"melting_point", ColumnType::kDouble, true}}),
+            "id"));
+    LAKEFED_ASSIGN_OR_RETURN(
+        rel::Table * category,
+        db->catalog().CreateTable(
+            "drug_category",
+            Schema({{"id", ColumnType::kInt64, false},
+                    {"drug_id", ColumnType::kInt64, false},
+                    {"category", ColumnType::kString, false}}),
+            "id"));
+    LAKEFED_ASSIGN_OR_RETURN(
+        rel::Table * target,
+        db->catalog().CreateTable(
+            "drug_target",
+            Schema({{"id", ColumnType::kInt64, false},
+                    {"drug_id", ColumnType::kInt64, false},
+                    {"symbol", ColumnType::kString, false}}),
+            "id"));
+    LAKEFED_ASSIGN_OR_RETURN(
+        rel::Table * interaction,
+        db->catalog().CreateTable(
+            "drug_interaction",
+            Schema({{"id", ColumnType::kInt64, false},
+                    {"drug_id", ColumnType::kInt64, false},
+                    {"other_id", ColumnType::kInt64, false}}),
+            "id"));
+    int64_t cat_id = 0, tgt_id = 0, int_id = 0;
+    for (const DrugRow& d : drugs) {
+      LAKEFED_RETURN_NOT_OK(
+          drug->Insert({Value(d.id), Value(d.name), Value(d.indication),
+                        Value(d.melting_point)}));
+      for (const std::string& cat : d.categories) {
+        LAKEFED_RETURN_NOT_OK(
+            category->Insert({Value(cat_id++), Value(d.id), Value(cat)}));
+      }
+      for (const std::string& t : d.targets) {
+        LAKEFED_RETURN_NOT_OK(
+            target->Insert({Value(tgt_id++), Value(d.id), Value(t)}));
+      }
+      for (int64_t other : d.interactions) {
+        LAKEFED_RETURN_NOT_OK(interaction->Insert(
+            {Value(int_id++), Value(d.id), Value(other)}));
+      }
+    }
+    sm.classes.push_back(MakeClass(
+        DrugClass(), "drug", EntityTemplate(kDrugbank, "drug"),
+        {LitPred(kDrugbank, "name", "name"),
+         LitPred(kDrugbank, "indication", "indication"),
+         LitPred(kDrugbank, "meltingPoint", "melting_point", kXsdDouble),
+         LitPred(kDrugbank, "category", "category", "", "drug_category",
+                 "drug_id"),
+         LitPred(kDrugbank, "target", "symbol", "", "drug_target",
+                 "drug_id"),
+         IriPred(kDrugbank, "interactsWith", "other_id",
+                 EntityTemplate(kDrugbank, "drug"), "drug_interaction",
+                 "drug_id")}));
+  }
+  lake->mappings[kDrugbank] = std::move(sm);
+  lake->databases[kDrugbank] = std::move(db);
+  return Status::OK();
+}
+
+Status BuildSider(Ctx* ctx, DataLake* lake) {
+  auto db = std::make_unique<rel::Database>(kSider);
+  LAKEFED_ASSIGN_OR_RETURN(
+      rel::Table * se,
+      db->catalog().CreateTable(
+          "side_effect",
+          Schema({{"id", ColumnType::kInt64, false},
+                  {"drug_id", ColumnType::kInt64, false},
+                  {"effect", ColumnType::kString, false}}),
+          "id"));
+  int n = ctx->N(1500);
+  for (int i = 0; i < n; ++i) {
+    LAKEFED_RETURN_NOT_OK(se->Insert(
+        {Value(int64_t{i}),
+         Value(ctx->rng.UniformInt(0, ctx->num_drugs - 1)),
+         Value(ctx->effects[static_cast<size_t>(ctx->rng.UniformInt(
+             0, static_cast<int>(ctx->effects.size()) - 1))])}));
+  }
+
+  SourceMapping sm;
+  sm.source_id = kSider;
+  sm.classes.push_back(MakeClass(
+      SideEffectClass(), "side_effect", EntityTemplate(kSider, "se"),
+      {// Cross-dataset IRI link into DrugBank's namespace.
+       IriPred(kSider, "drug", "drug_id", EntityTemplate(kDrugbank, "drug")),
+       LitPred(kSider, "effectName", "effect")}));
+  lake->mappings[kSider] = std::move(sm);
+  lake->databases[kSider] = std::move(db);
+  return Status::OK();
+}
+
+Status BuildKegg(Ctx* ctx, DataLake* lake) {
+  auto db = std::make_unique<rel::Database>(kKegg);
+
+  struct CompoundRow {
+    int64_t id;
+    std::string name, formula;
+    double mass;
+    std::vector<std::string> symbols;
+  };
+  std::vector<CompoundRow> compounds;
+  int n = ctx->N(400);
+  for (int i = 0; i < n; ++i) {
+    CompoundRow row;
+    row.id = i;
+    row.name = "compound_" + ctx->rng.RandomWord(6);
+    row.formula = "C" + std::to_string(ctx->rng.UniformInt(1, 30)) + "H" +
+                  std::to_string(ctx->rng.UniformInt(1, 60));
+    row.mass = ctx->rng.UniformDouble(50.0, 600.0);
+    int links = static_cast<int>(ctx->rng.UniformInt(1, 3));
+    for (int k = 0; k < links; ++k) {
+      row.symbols.push_back(ctx->gene_symbols[static_cast<size_t>(
+          ctx->rng.UniformInt(0, ctx->num_genes - 1))]);
+    }
+    compounds.push_back(std::move(row));
+  }
+
+  SourceMapping sm;
+  sm.source_id = kKegg;
+
+  if (ctx->config.denormalized) {
+    LAKEFED_ASSIGN_OR_RETURN(
+        rel::Table * flat,
+        db->catalog().CreateTable(
+            "compound_flat",
+            Schema({{"row_id", ColumnType::kInt64, false},
+                    {"id", ColumnType::kInt64, false},
+                    {"name", ColumnType::kString, false},
+                    {"formula", ColumnType::kString, true},
+                    {"mass", ColumnType::kDouble, true},
+                    {"symbol", ColumnType::kString, false}}),
+            "row_id"));
+    int64_t row_id = 0;
+    for (const CompoundRow& c : compounds) {
+      for (const std::string& symbol : c.symbols) {
+        LAKEFED_RETURN_NOT_OK(flat->Insert(
+            {Value(row_id++), Value(c.id), Value(c.name), Value(c.formula),
+             Value(c.mass), Value(symbol)}));
+      }
+    }
+    ClassMapping cm = MakeClass(
+        CompoundClass(), "compound_flat", EntityTemplate(kKegg, "compound"),
+        {LitPred(kKegg, "name", "name"),
+         LitPred(kKegg, "formula", "formula"),
+         LitPred(kKegg, "mass", "mass", kXsdDouble),
+         LitPred(kKegg, "relatedSymbol", "symbol")});
+    cm.pk_column = "id";
+    sm.classes.push_back(std::move(cm));
+  } else {
+    LAKEFED_ASSIGN_OR_RETURN(
+        rel::Table * compound,
+        db->catalog().CreateTable(
+            "compound",
+            Schema({{"id", ColumnType::kInt64, false},
+                    {"name", ColumnType::kString, false},
+                    {"formula", ColumnType::kString, true},
+                    {"mass", ColumnType::kDouble, true}}),
+            "id"));
+    LAKEFED_ASSIGN_OR_RETURN(
+        rel::Table * compound_gene,
+        db->catalog().CreateTable(
+            "compound_gene",
+            Schema({{"id", ColumnType::kInt64, false},
+                    {"compound_id", ColumnType::kInt64, false},
+                    {"symbol", ColumnType::kString, false}}),
+            "id"));
+    int64_t link_id = 0;
+    for (const CompoundRow& c : compounds) {
+      LAKEFED_RETURN_NOT_OK(compound->Insert(
+          {Value(c.id), Value(c.name), Value(c.formula), Value(c.mass)}));
+      for (const std::string& symbol : c.symbols) {
+        LAKEFED_RETURN_NOT_OK(compound_gene->Insert(
+            {Value(link_id++), Value(c.id), Value(symbol)}));
+      }
+    }
+    sm.classes.push_back(MakeClass(
+        CompoundClass(), "compound", EntityTemplate(kKegg, "compound"),
+        {LitPred(kKegg, "name", "name"),
+         LitPred(kKegg, "formula", "formula"),
+         LitPred(kKegg, "mass", "mass", kXsdDouble),
+         LitPred(kKegg, "relatedSymbol", "symbol", "", "compound_gene",
+                 "compound_id")}));
+  }
+  lake->mappings[kKegg] = std::move(sm);
+  lake->databases[kKegg] = std::move(db);
+  return Status::OK();
+}
+
+Status BuildTcga(Ctx* ctx, DataLake* lake) {
+  auto db = std::make_unique<rel::Database>(kTcga);
+  LAKEFED_ASSIGN_OR_RETURN(
+      rel::Table * expression,
+      db->catalog().CreateTable(
+          "expression",
+          Schema({{"id", ColumnType::kInt64, false},
+                  {"patient", ColumnType::kString, false},
+                  {"gene", ColumnType::kString, false},
+                  {"value", ColumnType::kDouble, false}}),
+          "id"));
+  int n = ctx->N(2500);
+  int patients = ctx->N(200);
+  for (int i = 0; i < n; ++i) {
+    LAKEFED_RETURN_NOT_OK(expression->Insert(
+        {Value(int64_t{i}),
+         Value(Padded("TCGA-", static_cast<int>(ctx->rng.UniformInt(
+                                   0, patients - 1)),
+                      4)),
+         Value(ctx->gene_symbols[static_cast<size_t>(
+             ctx->rng.UniformInt(0, ctx->num_genes - 1))]),
+         Value(ctx->rng.UniformDouble(0.0, 12.0))}));
+  }
+
+  SourceMapping sm;
+  sm.source_id = kTcga;
+  sm.classes.push_back(MakeClass(
+      ExpressionClass(), "expression", EntityTemplate(kTcga, "expr"),
+      {LitPred(kTcga, "patient", "patient"),
+       LitPred(kTcga, "gene", "gene"),
+       LitPred(kTcga, "value", "value", kXsdDouble)}));
+  lake->mappings[kTcga] = std::move(sm);
+  lake->databases[kTcga] = std::move(db);
+  return Status::OK();
+}
+
+Status BuildChebi(Ctx* ctx, DataLake* lake) {
+  auto db = std::make_unique<rel::Database>(kChebi);
+  LAKEFED_ASSIGN_OR_RETURN(
+      rel::Table * entity,
+      db->catalog().CreateTable(
+          "entity",
+          Schema({{"id", ColumnType::kInt64, false},
+                  {"name", ColumnType::kString, false},
+                  {"mass", ColumnType::kDouble, true},
+                  {"charge", ColumnType::kInt64, true}}),
+          "id"));
+  int n = ctx->N(500);
+  for (int i = 0; i < n; ++i) {
+    LAKEFED_RETURN_NOT_OK(entity->Insert(
+        {Value(int64_t{i}), Value("chemical_" + ctx->rng.RandomWord(7)),
+         Value(ctx->rng.UniformDouble(10.0, 900.0)),
+         Value(ctx->rng.UniformInt(-3, 3))}));
+  }
+
+  SourceMapping sm;
+  sm.source_id = kChebi;
+  sm.classes.push_back(MakeClass(
+      ChemicalClass(), "entity", EntityTemplate(kChebi, "entity"),
+      {LitPred(kChebi, "name", "name"),
+       LitPred(kChebi, "mass", "mass", kXsdDouble),
+       LitPred(kChebi, "charge", "charge", kXsdInt)}));
+  lake->mappings[kChebi] = std::move(sm);
+  lake->databases[kChebi] = std::move(db);
+  return Status::OK();
+}
+
+Status BuildLinkedct(Ctx* ctx, DataLake* lake) {
+  auto db = std::make_unique<rel::Database>(kLinkedct);
+  LAKEFED_ASSIGN_OR_RETURN(
+      rel::Table * trial,
+      db->catalog().CreateTable(
+          "trial",
+          Schema({{"id", ColumnType::kInt64, false},
+                  {"title", ColumnType::kString, false},
+                  {"condition", ColumnType::kString, false},
+                  {"drug_name", ColumnType::kString, false},
+                  {"phase", ColumnType::kInt64, false}}),
+          "id"));
+  int n = ctx->N(400);
+  for (int i = 0; i < n; ++i) {
+    LAKEFED_RETURN_NOT_OK(trial->Insert(
+        {Value(int64_t{i}), Value("trial " + ctx->rng.RandomWord(9)),
+         Value(ctx->disease_names[static_cast<size_t>(
+             ctx->rng.UniformInt(0, ctx->num_diseases - 1))]),
+         Value(ctx->drug_names[static_cast<size_t>(
+             ctx->rng.UniformInt(0, ctx->num_drugs - 1))]),
+         Value(ctx->rng.UniformInt(1, 4))}));
+  }
+
+  SourceMapping sm;
+  sm.source_id = kLinkedct;
+  sm.classes.push_back(MakeClass(
+      TrialClass(), "trial", EntityTemplate(kLinkedct, "trial"),
+      {LitPred(kLinkedct, "title", "title"),
+       LitPred(kLinkedct, "condition", "condition"),
+       LitPred(kLinkedct, "drugName", "drug_name"),
+       LitPred(kLinkedct, "phase", "phase", kXsdInt)}));
+  lake->mappings[kLinkedct] = std::move(sm);
+  lake->databases[kLinkedct] = std::move(db);
+  return Status::OK();
+}
+
+Status BuildGoa(Ctx* ctx, DataLake* lake) {
+  auto db = std::make_unique<rel::Database>(kGoa);
+  LAKEFED_ASSIGN_OR_RETURN(
+      rel::Table * annotation,
+      db->catalog().CreateTable(
+          "annotation",
+          Schema({{"id", ColumnType::kInt64, false},
+                  {"symbol", ColumnType::kString, false},
+                  {"go_term", ColumnType::kString, false},
+                  {"evidence", ColumnType::kString, true}}),
+          "id"));
+  int n = ctx->N(1200);
+  for (int i = 0; i < n; ++i) {
+    LAKEFED_RETURN_NOT_OK(annotation->Insert(
+        {Value(int64_t{i}),
+         Value(ctx->gene_symbols[static_cast<size_t>(
+             ctx->rng.UniformInt(0, ctx->num_genes - 1))]),
+         Value(ctx->go_terms[static_cast<size_t>(ctx->rng.UniformInt(
+             0, static_cast<int>(ctx->go_terms.size()) - 1))]),
+         Value(std::string(ctx->rng.Bernoulli(0.5) ? "IEA" : "EXP"))}));
+  }
+
+  SourceMapping sm;
+  sm.source_id = kGoa;
+  sm.classes.push_back(MakeClass(
+      AnnotationClass(), "annotation", EntityTemplate(kGoa, "ann"),
+      {LitPred(kGoa, "symbol", "symbol"),
+       LitPred(kGoa, "goTerm", "go_term"),
+       LitPred(kGoa, "evidence", "evidence")}));
+  lake->mappings[kGoa] = std::move(sm);
+  lake->databases[kGoa] = std::move(db);
+  return Status::OK();
+}
+
+Status BuildPharmgkb(Ctx* ctx, DataLake* lake) {
+  auto db = std::make_unique<rel::Database>(kPharmgkb);
+  LAKEFED_ASSIGN_OR_RETURN(
+      rel::Table * gene_info,
+      db->catalog().CreateTable(
+          "gene_info",
+          Schema({{"id", ColumnType::kInt64, false},
+                  {"symbol", ColumnType::kString, false},
+                  {"pathway", ColumnType::kString, false}}),
+          "id"));
+  int n = ctx->N(600);
+  for (int i = 0; i < n; ++i) {
+    LAKEFED_RETURN_NOT_OK(gene_info->Insert(
+        {Value(int64_t{i}),
+         Value(ctx->gene_symbols[static_cast<size_t>(i) %
+                                 ctx->gene_symbols.size()]),
+         Value("pathway" + std::to_string(ctx->rng.UniformInt(1, 40)))}));
+  }
+
+  SourceMapping sm;
+  sm.source_id = kPharmgkb;
+  sm.classes.push_back(MakeClass(
+      GeneInfoClass(), "gene_info", EntityTemplate(kPharmgkb, "gene"),
+      {LitPred(kPharmgkb, "symbol", "symbol"),
+       LitPred(kPharmgkb, "pathway", "pathway")}));
+  lake->mappings[kPharmgkb] = std::move(sm);
+  lake->databases[kPharmgkb] = std::move(db);
+  return Status::OK();
+}
+
+// The workload attributes (used in joins or selections by Q1-Q5) that the
+// physical design advisor considers for secondary indexes — the paper's
+// indexing policy with the 15% rule.
+std::vector<std::pair<std::string, std::string>> WorkloadAttributes(
+    const std::string& dataset, bool denormalized) {
+  if (dataset == kDiseasome) {
+    if (denormalized) {
+      return {{"gene", "symbol"},
+              {"gene", "chromosome"},
+              {"disease_flat", "id"},
+              {"disease_flat", "name"},
+              {"disease_flat", "gene_id"}};
+    }
+    return {{"gene", "symbol"},
+            {"gene", "chromosome"},
+            {"disease", "name"},
+            {"disease_gene", "disease_id"},
+            {"disease_gene", "gene_id"}};
+  }
+  if (dataset == kAffymetrix) {
+    return {{"probeset", "symbol"}, {"probeset", "species"}};
+  }
+  if (dataset == kDrugbank) {
+    if (denormalized) {
+      return {{"drug_flat", "id"},
+              {"drug_flat", "name"},
+              {"drug_flat", "target_symbol"},
+              {"drug_flat", "other_id"}};
+    }
+    return {{"drug", "name"},
+            {"drug_category", "drug_id"},
+            {"drug_target", "drug_id"},
+            {"drug_target", "symbol"},
+            {"drug_interaction", "drug_id"}};
+  }
+  if (dataset == kSider) {
+    return {{"side_effect", "drug_id"}, {"side_effect", "effect"}};
+  }
+  if (dataset == kKegg) {
+    if (denormalized) {
+      return {{"compound_flat", "id"},
+              {"compound_flat", "mass"},
+              {"compound_flat", "symbol"}};
+    }
+    return {{"compound", "mass"},
+            {"compound_gene", "compound_id"},
+            {"compound_gene", "symbol"}};
+  }
+  if (dataset == kTcga) {
+    return {{"expression", "gene"},
+            {"expression", "value"},
+            {"expression", "patient"}};
+  }
+  if (dataset == kChebi) return {{"entity", "name"}};
+  if (dataset == kLinkedct) {
+    return {{"trial", "condition"}, {"trial", "drug_name"},
+            {"trial", "phase"}};
+  }
+  if (dataset == kGoa) return {{"annotation", "symbol"}};
+  if (dataset == kPharmgkb) return {{"gene_info", "symbol"}};
+  return {};
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DataLake>> BuildLake(const LakeConfig& config) {
+  auto lake = std::make_unique<DataLake>();
+  Ctx ctx(config);
+  BuildPools(&ctx);
+
+  LAKEFED_RETURN_NOT_OK(BuildDiseasome(&ctx, lake.get()));
+  LAKEFED_RETURN_NOT_OK(BuildAffymetrix(&ctx, lake.get()));
+  LAKEFED_RETURN_NOT_OK(BuildDrugbank(&ctx, lake.get()));
+  LAKEFED_RETURN_NOT_OK(BuildSider(&ctx, lake.get()));
+  LAKEFED_RETURN_NOT_OK(BuildKegg(&ctx, lake.get()));
+  LAKEFED_RETURN_NOT_OK(BuildTcga(&ctx, lake.get()));
+  LAKEFED_RETURN_NOT_OK(BuildChebi(&ctx, lake.get()));
+  LAKEFED_RETURN_NOT_OK(BuildLinkedct(&ctx, lake.get()));
+  LAKEFED_RETURN_NOT_OK(BuildGoa(&ctx, lake.get()));
+  LAKEFED_RETURN_NOT_OK(BuildPharmgkb(&ctx, lake.get()));
+
+  // Physical design: PKs are already indexed; secondary indexes follow the
+  // advisor's 15% rule over the workload attributes.
+  rel::PhysicalDesignAdvisor advisor;
+  for (auto& [dataset, db] : lake->databases) {
+    LAKEFED_ASSIGN_OR_RETURN(
+        std::vector<rel::IndexDecision> decisions,
+        advisor.Advise(db.get(),
+                       WorkloadAttributes(dataset, config.denormalized)));
+    lake->index_decisions.insert(lake->index_decisions.end(),
+                                 decisions.begin(), decisions.end());
+  }
+
+  // Register wrappers: RDB sources through the SQL wrapper; datasets listed
+  // in rdf_sources are materialized as triples and served natively.
+  lake->engine = std::make_unique<fed::FederatedEngine>();
+  for (auto& [dataset, db] : lake->databases) {
+    if (config.rdf_sources.count(dataset) > 0) {
+      auto store = std::make_unique<rdf::TripleStore>();
+      LAKEFED_RETURN_NOT_OK(mapping::MaterializeTriples(
+          *db, lake->mappings.at(dataset), store.get()));
+      LAKEFED_RETURN_NOT_OK(lake->engine->RegisterSource(
+          std::make_unique<wrapper::RdfWrapper>(dataset, store.get())));
+      lake->stores[dataset] = std::move(store);
+    } else {
+      LAKEFED_RETURN_NOT_OK(lake->engine->RegisterSource(
+          std::make_unique<wrapper::SqlWrapper>(dataset, db.get(),
+                                                lake->mappings.at(dataset))));
+    }
+  }
+  return lake;
+}
+
+}  // namespace lakefed::lslod

@@ -1,0 +1,64 @@
+// Synthetic LSLOD Data Lake generator.
+//
+// Substitution note (see DESIGN.md): the real LSLOD datasets are not
+// available offline, so this generator produces ten interlinked datasets
+// with the same roles and physical characteristics the paper relies on —
+// 3NF relational layouts, primary-key indexes, secondary indexes chosen by
+// the 15% rule (which rejects, e.g., Affymetrix's skewed species attribute,
+// the paper's own example), literal- and IRI-valued cross-dataset links,
+// and controllable sizes/selectivities.
+
+#ifndef LAKEFED_LSLOD_GENERATOR_H_
+#define LAKEFED_LSLOD_GENERATOR_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fed/engine.h"
+#include "mapping/relational_mapping.h"
+#include "rdf/triple_store.h"
+#include "rel/advisor.h"
+#include "rel/database.h"
+
+namespace lakefed::lslod {
+
+struct LakeConfig {
+  // Multiplies every base entity count. 1 = the default experiment size.
+  double scale = 1.0;
+  uint64_t seed = 7;
+  // Datasets served as native RDF endpoints instead of relational
+  // databases. Empty = the paper's setup (everything in an RDB). The data
+  // is identical in either model (materialized through the mappings).
+  std::set<std::string> rdf_sources;
+  // The paper's future work: "studying ... not normalized tables". When
+  // true, datasets with multi-valued attributes (diseasome, drugbank, kegg)
+  // are stored as flat 1NF tables — side tables folded into the base table,
+  // one row per value combination, entity attributes duplicated. Subjects
+  // then map to a *non-unique* key column. Answers are identical by
+  // construction (the wrappers deduplicate the virtual RDF graph).
+  bool denormalized = false;
+};
+
+struct DataLake {
+  // Relational endpoints ("one MySQL container per dataset").
+  std::map<std::string, std::unique_ptr<rel::Database>> databases;
+  // Native RDF endpoints (for datasets listed in rdf_sources).
+  std::map<std::string, std::unique_ptr<rdf::TripleStore>> stores;
+  // Mappings per relational dataset.
+  std::map<std::string, mapping::SourceMapping> mappings;
+  // The mediator with all wrappers registered.
+  std::unique_ptr<fed::FederatedEngine> engine;
+  // What the physical design advisor decided (paper's indexing policy).
+  std::vector<rel::IndexDecision> index_decisions;
+};
+
+// Builds the whole lake deterministically from the config.
+Result<std::unique_ptr<DataLake>> BuildLake(const LakeConfig& config = {});
+
+}  // namespace lakefed::lslod
+
+#endif  // LAKEFED_LSLOD_GENERATOR_H_

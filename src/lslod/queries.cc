@@ -1,0 +1,102 @@
+#include "lslod/queries.h"
+
+namespace lakefed::lslod {
+namespace {
+
+const char kPrefixes[] = R"(PREFIX dsv: <http://lslod.example.org/diseasome/vocab#>
+PREFIX affy: <http://lslod.example.org/affymetrix/vocab#>
+PREFIX db: <http://lslod.example.org/drugbank/vocab#>
+PREFIX sider: <http://lslod.example.org/sider/vocab#>
+PREFIX kegg: <http://lslod.example.org/kegg/vocab#>
+PREFIX tcga: <http://lslod.example.org/tcga/vocab#>
+PREFIX chebi: <http://lslod.example.org/chebi/vocab#>
+PREFIX ct: <http://lslod.example.org/linkedct/vocab#>
+PREFIX goa: <http://lslod.example.org/goa/vocab#>
+PREFIX pgk: <http://lslod.example.org/pharmgkb/vocab#>
+)";
+
+std::string WithPrefixes(const std::string& body) {
+  return std::string(kPrefixes) + body;
+}
+
+}  // namespace
+
+const BenchmarkQuery& MotivatingExampleQuery() {
+  static const BenchmarkQuery* kQuery = new BenchmarkQuery{
+      "FIG1",
+      "Motivating example (Figure 1): Diseasome gene+disease stars (join "
+      "pushable, H1) and an Affymetrix star with the unindexed species "
+      "filter (always evaluated at the engine).",
+      WithPrefixes(R"(SELECT ?disease ?name ?probe WHERE {
+  ?gene a dsv:Gene ; dsv:geneSymbol ?sym .
+  ?disease a dsv:Disease ; dsv:associatedGene ?gene ; dsv:name ?name .
+  ?probe a affy:Probeset ; affy:symbol ?sym ; affy:scientificName ?sp .
+  FILTER (?sp = "Homo sapiens")
+})")};
+  return *kQuery;
+}
+
+const std::vector<BenchmarkQuery>& BenchmarkQueries() {
+  static const std::vector<BenchmarkQuery>* kQueries =
+      new std::vector<BenchmarkQuery>{
+          {"Q1",
+           "Indexed string filter (drug.name, STRSTARTS) over DrugBank "
+           "joined with SIDER side effects via a cross-dataset IRI link. "
+           "Heuristic 2 decides the filter placement.",
+           WithPrefixes(R"(SELECT ?drug ?name ?effect WHERE {
+  ?drug a db:Drug ; db:name ?name .
+  ?se a sider:SideEffect ; sider:drug ?drug ; sider:effectName ?effect .
+  FILTER STRSTARTS(?name, "drug01")
+})")},
+          {"Q2",
+           "Two star-shaped sub-queries over the same endpoint (Diseasome) "
+           "sharing ?gene, whose join attribute (disease_gene.gene_id / "
+           "gene.id) is indexed: Heuristic 1 merges them into one SQL join.",
+           WithPrefixes(R"(SELECT ?disease ?dname ?sym WHERE {
+  ?disease a dsv:Disease ; dsv:name ?dname ; dsv:associatedGene ?gene .
+  ?gene a dsv:Gene ; dsv:geneSymbol ?sym ; dsv:chromosome ?chr .
+  FILTER (?chr = "chr7")
+})")},
+          {"Q3",
+           "Figure 2 query: large TCGA expression star with a range filter "
+           "on the indexed value attribute, joined with PharmGKB genes. The "
+           "unaware plan ships the whole star over the network.",
+           WithPrefixes(R"(SELECT ?patient ?val ?pathway WHERE {
+  ?e a tcga:Expression ; tcga:gene ?sym ; tcga:patient ?patient ;
+     tcga:value ?val .
+  ?g a pgk:GeneInfo ; pgk:symbol ?sym ; pgk:pathway ?pathway .
+  FILTER (?val >= 9.5)
+})")},
+          {"Q4",
+           "KEGG compounds (numeric indexed mass filter) joined with GOA "
+           "annotations on the gene symbol.",
+           WithPrefixes(R"(SELECT ?c ?cname ?go WHERE {
+  ?c a kegg:Compound ; kegg:name ?cname ; kegg:relatedSymbol ?sym ;
+     kegg:mass ?m .
+  ?a a goa:Annotation ; goa:symbol ?sym ; goa:goTerm ?go .
+  FILTER (?m >= 450.0)
+})")},
+          {"Q5",
+           "Three sources, three SSQs: diseases (Diseasome), trials "
+           "(LinkedCT) on the condition name, drugs (DrugBank) on the trial "
+           "drug name; the phase filter is on an attribute the 15% rule "
+           "left unindexed (always engine-side).",
+           WithPrefixes(R"(SELECT ?disease ?trial ?drug WHERE {
+  ?disease a dsv:Disease ; dsv:name ?cond .
+  ?trial a ct:Trial ; ct:condition ?cond ; ct:drugName ?dn ; ct:phase ?ph .
+  ?drug a db:Drug ; db:name ?dn .
+  FILTER (?ph >= 3)
+})")},
+      };
+  return *kQueries;
+}
+
+const BenchmarkQuery* FindQuery(const std::string& id) {
+  if (id == "FIG1") return &MotivatingExampleQuery();
+  for (const BenchmarkQuery& q : BenchmarkQueries()) {
+    if (q.id == id) return &q;
+  }
+  return nullptr;
+}
+
+}  // namespace lakefed::lslod

@@ -1,0 +1,44 @@
+// The experiment workload: five queries tailored to exercise the two
+// heuristics (Section 3: "we created five queries tailored for the
+// heuristics"), plus the motivating-example query of Figure 1.
+//
+// Design parameters per the paper: (a) query selectivity, (b) filter
+// expressions over indexed attributes, (c) possible joins of star-shaped
+// sub-queries over indexed attributes, and intermediate result size.
+
+#ifndef LAKEFED_LSLOD_QUERIES_H_
+#define LAKEFED_LSLOD_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace lakefed::lslod {
+
+struct BenchmarkQuery {
+  std::string id;           // "Q1".."Q5", "FIG1"
+  std::string description;  // what it exercises
+  std::string sparql;
+};
+
+// Figure 1: genes and diseases from Diseasome (join can be pushed down,
+// H1) plus Affymetrix probesets with the species filter (never pushed —
+// scientificName is not indexed because of the 15% rule).
+const BenchmarkQuery& MotivatingExampleQuery();
+
+// Q1: filter on an *indexed* attribute (drug name) over DrugBank joined
+// with SIDER side effects — Heuristic 2's placement decision matters.
+// Q2: two star-shaped sub-queries over the same endpoint (Diseasome)
+// joinable on an indexed attribute — Heuristic 1's showcase.
+// Q3: the Figure 2 query — large TCGA star whose indexed-value filter
+// determines how much intermediate result crosses the network.
+// Q4: KEGG compounds joined with GOA annotations, numeric indexed filter.
+// Q5: three sources (Diseasome, LinkedCT, DrugBank), three SSQs, with a
+// low-selectivity filter on an attribute the 15% rule left unindexed.
+const std::vector<BenchmarkQuery>& BenchmarkQueries();
+
+// Lookup by id ("Q1".."Q5", "FIG1"); nullptr when unknown.
+const BenchmarkQuery* FindQuery(const std::string& id);
+
+}  // namespace lakefed::lslod
+
+#endif  // LAKEFED_LSLOD_QUERIES_H_

@@ -1,0 +1,52 @@
+// IRI vocabulary of the synthetic LSLOD-like Data Lake. Ten life-science
+// datasets mirroring the roles of the LSLOD benchmark sources (Diseasome,
+// Affymetrix, DrugBank, KEGG, SIDER, TCGA, ChEBI, LinkedCT, GOA, PharmGKB).
+
+#ifndef LAKEFED_LSLOD_VOCAB_H_
+#define LAKEFED_LSLOD_VOCAB_H_
+
+#include <string>
+
+namespace lakefed::lslod {
+
+inline constexpr char kBase[] = "http://lslod.example.org/";
+
+// Dataset ids (= source ids = database names).
+inline constexpr char kDiseasome[] = "diseasome";
+inline constexpr char kAffymetrix[] = "affymetrix";
+inline constexpr char kDrugbank[] = "drugbank";
+inline constexpr char kSider[] = "sider";
+inline constexpr char kKegg[] = "kegg";
+inline constexpr char kTcga[] = "tcga";
+inline constexpr char kChebi[] = "chebi";
+inline constexpr char kLinkedct[] = "linkedct";
+inline constexpr char kGoa[] = "goa";
+inline constexpr char kPharmgkb[] = "pharmgkb";
+
+// Vocabulary helpers.
+inline std::string Vocab(const std::string& dataset,
+                         const std::string& local) {
+  return std::string(kBase) + dataset + "/vocab#" + local;
+}
+
+inline std::string EntityTemplate(const std::string& dataset,
+                                  const std::string& kind) {
+  return std::string(kBase) + dataset + "/" + kind + "/{}";
+}
+
+// Class IRIs.
+inline std::string DiseaseClass() { return Vocab(kDiseasome, "Disease"); }
+inline std::string GeneClass() { return Vocab(kDiseasome, "Gene"); }
+inline std::string ProbesetClass() { return Vocab(kAffymetrix, "Probeset"); }
+inline std::string DrugClass() { return Vocab(kDrugbank, "Drug"); }
+inline std::string SideEffectClass() { return Vocab(kSider, "SideEffect"); }
+inline std::string CompoundClass() { return Vocab(kKegg, "Compound"); }
+inline std::string ExpressionClass() { return Vocab(kTcga, "Expression"); }
+inline std::string ChemicalClass() { return Vocab(kChebi, "ChemicalEntity"); }
+inline std::string TrialClass() { return Vocab(kLinkedct, "Trial"); }
+inline std::string AnnotationClass() { return Vocab(kGoa, "Annotation"); }
+inline std::string GeneInfoClass() { return Vocab(kPharmgkb, "GeneInfo"); }
+
+}  // namespace lakefed::lslod
+
+#endif  // LAKEFED_LSLOD_VOCAB_H_

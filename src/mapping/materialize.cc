@@ -1,0 +1,52 @@
+#include "mapping/materialize.h"
+
+namespace lakefed::mapping {
+
+Status MaterializeTriples(const rel::Database& db,
+                          const SourceMapping& mapping,
+                          rdf::TripleStore* store) {
+  for (const ClassMapping& cm : mapping.classes) {
+    const rel::Table* base = db.catalog().GetTable(cm.base_table);
+    if (base == nullptr) {
+      return Status::NotFound("mapped base table '" + cm.base_table +
+                              "' missing in database " + db.name());
+    }
+    LAKEFED_ASSIGN_OR_RETURN(size_t pk_idx,
+                             base->schema().ColumnIndex(cm.pk_column));
+    for (const rel::Row& row : base->rows()) {
+      rdf::Term subject = SubjectFromValue(row[pk_idx], cm);
+      store->Add(subject, rdf::Term::Iri(rdf::kRdfType),
+                 rdf::Term::Iri(cm.class_iri));
+      for (const PredicateMapping& pm : cm.predicates) {
+        if (!pm.InBaseTable()) continue;
+        LAKEFED_ASSIGN_OR_RETURN(size_t col,
+                                 base->schema().ColumnIndex(pm.column));
+        if (row[col].is_null()) continue;
+        store->Add(subject, rdf::Term::Iri(pm.predicate),
+                   TermFromValue(row[col], pm));
+      }
+    }
+    // Multi-valued predicates from side tables.
+    for (const PredicateMapping& pm : cm.predicates) {
+      if (pm.InBaseTable()) continue;
+      const rel::Table* link = db.catalog().GetTable(pm.link_table);
+      if (link == nullptr) {
+        return Status::NotFound("mapped link table '" + pm.link_table +
+                                "' missing in database " + db.name());
+      }
+      LAKEFED_ASSIGN_OR_RETURN(size_t fk_idx,
+                               link->schema().ColumnIndex(pm.link_fk));
+      LAKEFED_ASSIGN_OR_RETURN(size_t val_idx,
+                               link->schema().ColumnIndex(pm.column));
+      for (const rel::Row& row : link->rows()) {
+        if (row[fk_idx].is_null() || row[val_idx].is_null()) continue;
+        store->Add(SubjectFromValue(row[fk_idx], cm),
+                   rdf::Term::Iri(pm.predicate),
+                   TermFromValue(row[val_idx], pm));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace lakefed::mapping

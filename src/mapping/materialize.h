@@ -1,0 +1,24 @@
+// Materialization: dump a mapped relational database as RDF triples. Used
+// to build the RDF variant of a dataset (the LSLOD data exists in both
+// models) and to cross-validate wrappers against the reference evaluator.
+
+#ifndef LAKEFED_MAPPING_MATERIALIZE_H_
+#define LAKEFED_MAPPING_MATERIALIZE_H_
+
+#include "common/status.h"
+#include "mapping/relational_mapping.h"
+#include "rdf/triple_store.h"
+#include "rel/database.h"
+
+namespace lakefed::mapping {
+
+// Emits, for every row of every mapped class: the rdf:type triple, one
+// triple per non-NULL base-table predicate, and one triple per link-table
+// row for multi-valued predicates.
+Status MaterializeTriples(const rel::Database& db,
+                          const SourceMapping& mapping,
+                          rdf::TripleStore* store);
+
+}  // namespace lakefed::mapping
+
+#endif  // LAKEFED_MAPPING_MATERIALIZE_H_

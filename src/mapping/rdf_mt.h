@@ -1,0 +1,60 @@
+// RDF Molecule Templates (RDF-MTs), following MULDER/Ontario: an abstract
+// description of the classes of entities a source can answer about — the
+// class IRI, the set of predicates its instances carry, and links to other
+// molecules. The mediator uses them for source selection.
+
+#ifndef LAKEFED_MAPPING_RDF_MT_H_
+#define LAKEFED_MAPPING_RDF_MT_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rdf/triple_store.h"
+
+namespace lakefed::mapping {
+
+struct RdfMt {
+  std::string class_iri;
+  std::set<std::string> predicates;  // predicate IRIs (rdf:type included)
+  // predicate IRI -> class IRI of the linked molecule (inter-molecule links).
+  std::map<std::string, std::string> links;
+  // ids of the sources able to answer this molecule.
+  std::vector<std::string> sources;
+  // Number of instances of the class (summed over sources when merged);
+  // the mediator's join-ordering estimates start from this.
+  size_t cardinality = 0;
+};
+
+class RdfMtCatalog {
+ public:
+  // Adds/merges a molecule description (same class from another source
+  // merges predicate sets and source lists).
+  void Add(const RdfMt& molecule);
+
+  const RdfMt* Find(const std::string& class_iri) const;
+
+  // Molecules whose predicate set covers every predicate in `predicates`,
+  // optionally constrained to a class. This implements ANAPSID/MULDER-style
+  // predicate-containment source selection.
+  std::vector<const RdfMt*> Covering(
+      const std::optional<std::string>& class_iri,
+      const std::vector<std::string>& predicates) const;
+
+  size_t size() const { return molecules_.size(); }
+  const std::map<std::string, RdfMt>& molecules() const { return molecules_; }
+
+  // Extracts molecule templates from a native RDF source: one molecule per
+  // rdf:type class, with the predicates its instances use.
+  static std::vector<RdfMt> ExtractFromTripleStore(
+      const std::string& source_id, const rdf::TripleStore& store);
+
+ private:
+  std::map<std::string, RdfMt> molecules_;  // by class IRI
+};
+
+}  // namespace lakefed::mapping
+
+#endif  // LAKEFED_MAPPING_RDF_MT_H_

@@ -1,0 +1,63 @@
+#include "net/network.h"
+
+#include <array>
+#include <chrono>
+#include <thread>
+
+namespace lakefed::net {
+
+NetworkProfile NetworkProfile::NoDelay() {
+  return NetworkProfile{"NoDelay", 0.0, 0.0, 1.0};
+}
+
+NetworkProfile NetworkProfile::Gamma1() {
+  return NetworkProfile{"Gamma1", 1.0, 0.3, 1.0};
+}
+
+NetworkProfile NetworkProfile::Gamma2() {
+  return NetworkProfile{"Gamma2", 3.0, 1.0, 1.0};
+}
+
+NetworkProfile NetworkProfile::Gamma3() {
+  return NetworkProfile{"Gamma3", 3.0, 1.5, 1.0};
+}
+
+NetworkProfile NetworkProfile::Custom(std::string name, double alpha,
+                                      double beta) {
+  return NetworkProfile{std::move(name), alpha, beta, 1.0};
+}
+
+const std::array<NetworkProfile, 4>& NetworkProfile::PaperProfiles() {
+  static const std::array<NetworkProfile, 4>* kProfiles =
+      new std::array<NetworkProfile, 4>{NoDelay(), Gamma1(), Gamma2(),
+                                        Gamma3()};
+  return *kProfiles;
+}
+
+DelayChannel::DelayChannel(NetworkProfile profile, uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed) {}
+
+double DelayChannel::SampleDelayMs() {
+  if (!profile_.HasDelay()) return 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return rng_.Gamma(profile_.alpha, profile_.beta) * profile_.time_scale;
+}
+
+void DelayChannel::Transfer() {
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  if (!profile_.HasDelay()) return;
+  double delay_ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    delay_ms = rng_.Gamma(profile_.alpha, profile_.beta) * profile_.time_scale;
+    total_delay_ms_ += delay_ms;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+}
+
+double DelayChannel::total_delay_ms() const {
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu_));
+  return total_delay_ms_;
+}
+
+}  // namespace lakefed::net

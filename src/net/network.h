@@ -1,0 +1,90 @@
+// Network simulation, reproducing the paper's setup: the retrieval of each
+// answer from a source is delayed by a gamma-distributed latency
+// (numpy.random.gamma(alpha, beta) + time.sleep in Ontario's SQL wrapper).
+//
+// Four built-in profiles match Section 3 of the paper:
+//   NoDelay             perfect network
+//   Gamma1 (a=1,b=0.3)  fast network,   mean latency 0.3 ms / message
+//   Gamma2 (a=3,b=1.0)  medium network, mean latency 3.0 ms / message
+//   Gamma3 (a=3,b=1.5)  slow network,   mean latency 4.5 ms / message
+
+#ifndef LAKEFED_NET_NETWORK_H_
+#define LAKEFED_NET_NETWORK_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+
+namespace lakefed::net {
+
+// Declarative description of a simulated network.
+struct NetworkProfile {
+  std::string name = "NoDelay";
+  // Gamma parameters; delay per message is Gamma(alpha, beta) milliseconds.
+  // alpha <= 0 means no delay at all.
+  double alpha = 0.0;
+  double beta = 0.0;
+  // Multiplier applied to every sampled delay. 1.0 reproduces the paper;
+  // tests may scale down to keep runtimes tiny without changing the shape.
+  double time_scale = 1.0;
+
+  // Mean latency per message in milliseconds (alpha * beta * time_scale).
+  double MeanLatencyMs() const {
+    return alpha <= 0 ? 0.0 : alpha * beta * time_scale;
+  }
+
+  // Latency of the *modelled* network, ignoring time_scale. Heuristics
+  // reason about this one: scaling the simulation down for fast test runs
+  // must not change planning decisions.
+  double NominalLatencyMs() const { return alpha <= 0 ? 0.0 : alpha * beta; }
+
+  bool HasDelay() const { return alpha > 0 && beta > 0 && time_scale > 0; }
+
+  static NetworkProfile NoDelay();
+  static NetworkProfile Gamma1();  // fast,   mean 0.3 ms
+  static NetworkProfile Gamma2();  // medium, mean 3.0 ms
+  static NetworkProfile Gamma3();  // slow,   mean 4.5 ms
+  static NetworkProfile Custom(std::string name, double alpha, double beta);
+
+  // All four paper profiles, in paper order.
+  static const std::array<NetworkProfile, 4>& PaperProfiles();
+};
+
+// The threshold (mean per-message latency, ms) above which Heuristic 2
+// considers the network "slow" and pushes indexed filters to the source.
+// Gamma2 (3 ms) and Gamma3 (4.5 ms) are slow; NoDelay and Gamma1 are fast.
+inline constexpr double kSlowNetworkThresholdMs = 1.0;
+
+// A DelayChannel injects the per-message delay. One channel is attached to
+// each wrapper; Transfer() is called once per retrieved answer (exactly
+// Ontario's injection point). Thread-safe.
+class DelayChannel {
+ public:
+  DelayChannel(NetworkProfile profile, uint64_t seed);
+
+  // Sleeps for one sampled message latency and accounts for it.
+  void Transfer();
+
+  // Samples a delay without sleeping (for tests and cost estimation).
+  double SampleDelayMs();
+
+  const NetworkProfile& profile() const { return profile_; }
+  uint64_t messages_transferred() const { return messages_.load(); }
+  double total_delay_ms() const;
+
+ private:
+  NetworkProfile profile_;
+  std::mutex mu_;  // guards rng_ and total_delay_ms_
+  Rng rng_;
+  std::atomic<uint64_t> messages_{0};
+  double total_delay_ms_ = 0;
+};
+
+}  // namespace lakefed::net
+
+#endif  // LAKEFED_NET_NETWORK_H_

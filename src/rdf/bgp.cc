@@ -1,0 +1,112 @@
+#include "rdf/bgp.h"
+
+#include <algorithm>
+
+namespace lakefed::rdf {
+namespace {
+
+// Resolves a pattern node under a binding: a concrete term, a bound
+// variable's value, or a wildcard.
+OptTerm Resolve(const PatternNode& node, const Binding& binding) {
+  if (!node.is_var) return node.term;
+  auto it = binding.find(node.var);
+  if (it != binding.end()) return it->second;
+  return std::nullopt;
+}
+
+// Number of bound components of `pattern` under `binding` (selectivity
+// proxy for join ordering).
+int Boundness(const TriplePattern& pattern, const Binding& binding) {
+  int n = 0;
+  if (Resolve(pattern.subject, binding).has_value()) ++n;
+  if (Resolve(pattern.predicate, binding).has_value()) ++n;
+  if (Resolve(pattern.object, binding).has_value()) ++n;
+  return n;
+}
+
+// Extends `binding` with the assignment node := term; returns false on a
+// conflicting prior assignment. Appends newly bound names to `added`.
+bool Bind(const PatternNode& node, const Term& term, Binding* binding,
+          std::vector<std::string>* added) {
+  if (!node.is_var) return node.term == term;
+  auto it = binding->find(node.var);
+  if (it != binding->end()) return it->second == term;
+  binding->emplace(node.var, term);
+  added->push_back(node.var);
+  return true;
+}
+
+bool Recurse(const TripleStore& store, std::vector<TriplePattern> remaining,
+             Binding* binding, const std::function<bool(const Binding&)>& fn) {
+  if (remaining.empty()) return fn(*binding);
+
+  // Pick the most-bound pattern next.
+  size_t best = 0;
+  int best_bound = -1;
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    int b = Boundness(remaining[i], *binding);
+    if (b > best_bound) {
+      best_bound = b;
+      best = i;
+    }
+  }
+  TriplePattern pattern = remaining[best];
+  remaining.erase(remaining.begin() + best);
+
+  bool keep_going = true;
+  store.MatchVisit(
+      Resolve(pattern.subject, *binding),
+      Resolve(pattern.predicate, *binding),
+      Resolve(pattern.object, *binding), [&](const Triple& t) {
+        std::vector<std::string> added;
+        bool ok = Bind(pattern.subject, t.subject, binding, &added) &&
+                  Bind(pattern.predicate, t.predicate, binding, &added) &&
+                  Bind(pattern.object, t.object, binding, &added);
+        if (ok) {
+          keep_going = Recurse(store, remaining, binding, fn);
+        }
+        for (const std::string& var : added) binding->erase(var);
+        return keep_going;
+      });
+  return keep_going;
+}
+
+}  // namespace
+
+std::vector<std::string> TriplePattern::Variables() const {
+  std::vector<std::string> out;
+  if (subject.is_var) out.push_back(subject.var);
+  if (predicate.is_var) out.push_back(predicate.var);
+  if (object.is_var) out.push_back(object.var);
+  return out;
+}
+
+Status EvaluateBgpVisit(const TripleStore& store,
+                        const std::vector<TriplePattern>& patterns,
+                        const std::function<bool(const Binding&)>& fn) {
+  return EvaluateBgpSeededVisit(store, patterns, Binding{}, fn);
+}
+
+Status EvaluateBgpSeededVisit(
+    const TripleStore& store, const std::vector<TriplePattern>& patterns,
+    const Binding& seed, const std::function<bool(const Binding&)>& fn) {
+  if (patterns.empty()) {
+    return Status::InvalidArgument("empty basic graph pattern");
+  }
+  Binding binding = seed;
+  Recurse(store, patterns, &binding, fn);
+  return Status::OK();
+}
+
+Result<std::vector<Binding>> EvaluateBgp(
+    const TripleStore& store, const std::vector<TriplePattern>& patterns) {
+  std::vector<Binding> out;
+  LAKEFED_RETURN_NOT_OK(EvaluateBgpVisit(store, patterns,
+                                         [&](const Binding& b) {
+                                           out.push_back(b);
+                                           return true;
+                                         }));
+  return out;
+}
+
+}  // namespace lakefed::rdf

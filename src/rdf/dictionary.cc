@@ -1,0 +1,20 @@
+#include "rdf/dictionary.h"
+
+namespace lakefed::rdf {
+
+TermId Dictionary::Intern(const Term& term) {
+  auto it = ids_.find(term);
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  ids_.emplace(term, id);
+  return id;
+}
+
+std::optional<TermId> Dictionary::Find(const Term& term) const {
+  auto it = ids_.find(term);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace lakefed::rdf

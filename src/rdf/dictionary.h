@@ -1,0 +1,36 @@
+// Dictionary: bidirectional Term <-> dense integer id mapping used by the
+// triple store for compact, cache-friendly indexes.
+
+#ifndef LAKEFED_RDF_DICTIONARY_H_
+#define LAKEFED_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace lakefed::rdf {
+
+using TermId = uint32_t;
+
+class Dictionary {
+ public:
+  // Returns the id of `term`, interning it if new.
+  TermId Intern(const Term& term);
+
+  // The id of `term` if already interned.
+  std::optional<TermId> Find(const Term& term) const;
+
+  const Term& term(TermId id) const { return terms_[id]; }
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::vector<Term> terms_;
+  std::unordered_map<Term, TermId, TermHash> ids_;
+};
+
+}  // namespace lakefed::rdf
+
+#endif  // LAKEFED_RDF_DICTIONARY_H_

@@ -1,0 +1,182 @@
+#include "rdf/ntriples.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace lakefed::rdf {
+namespace {
+
+// Cursor over one line.
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : line_(line) {}
+
+  void SkipSpace() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= line_.size();
+  }
+
+  Result<Term> ParseTerm() {
+    SkipSpace();
+    if (pos_ >= line_.size()) return Err("unexpected end of line");
+    char c = line_[pos_];
+    if (c == '<') return ParseIri();
+    if (c == '"') return ParseLiteral();
+    if (c == '_') return ParseBlank();
+    return Err(std::string("unexpected character '") + c + "'");
+  }
+
+  Status ExpectDot() {
+    SkipSpace();
+    if (pos_ >= line_.size() || line_[pos_] != '.') {
+      return Status::ParseError("expected '.' terminator in: " + line_);
+    }
+    ++pos_;
+    SkipSpace();
+    if (pos_ < line_.size()) {
+      return Status::ParseError("trailing content after '.': " + line_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at column " + std::to_string(pos_) +
+                              " in: " + line_);
+  }
+
+  Result<Term> ParseIri() {
+    size_t end = line_.find('>', pos_ + 1);
+    if (end == std::string::npos) return Err("unterminated IRI");
+    std::string iri = line_.substr(pos_ + 1, end - pos_ - 1);
+    pos_ = end + 1;
+    return Term::Iri(std::move(iri));
+  }
+
+  Result<Term> ParseBlank() {
+    if (pos_ + 1 >= line_.size() || line_[pos_ + 1] != ':') {
+      return Err("malformed blank node");
+    }
+    size_t start = pos_ + 2;
+    size_t end = start;
+    while (end < line_.size() &&
+           !std::isspace(static_cast<unsigned char>(line_[end]))) {
+      ++end;
+    }
+    if (end == start) return Err("empty blank node label");
+    std::string label = line_.substr(start, end - start);
+    pos_ = end;
+    return Term::Blank(std::move(label));
+  }
+
+  Result<Term> ParseLiteral() {
+    std::string lexical;
+    size_t i = pos_ + 1;
+    bool closed = false;
+    while (i < line_.size()) {
+      char c = line_[i];
+      if (c == '\\') {
+        if (i + 1 >= line_.size()) return Err("dangling escape");
+        char e = line_[i + 1];
+        switch (e) {
+          case 'n': lexical.push_back('\n'); break;
+          case 't': lexical.push_back('\t'); break;
+          case 'r': lexical.push_back('\r'); break;
+          case '"': lexical.push_back('"'); break;
+          case '\\': lexical.push_back('\\'); break;
+          default: return Err("unsupported escape");
+        }
+        i += 2;
+        continue;
+      }
+      if (c == '"') {
+        closed = true;
+        ++i;
+        break;
+      }
+      lexical.push_back(c);
+      ++i;
+    }
+    if (!closed) return Err("unterminated literal");
+    pos_ = i;
+    // Optional @lang or ^^<datatype>.
+    if (pos_ < line_.size() && line_[pos_] == '@') {
+      size_t start = ++pos_;
+      while (pos_ < line_.size() &&
+             (std::isalnum(static_cast<unsigned char>(line_[pos_])) ||
+              line_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ == start) return Err("empty language tag");
+      return Term::Literal(std::move(lexical), "",
+                           line_.substr(start, pos_ - start));
+    }
+    if (pos_ + 1 < line_.size() && line_[pos_] == '^' &&
+        line_[pos_ + 1] == '^') {
+      pos_ += 2;
+      if (pos_ >= line_.size() || line_[pos_] != '<') {
+        return Err("expected datatype IRI after ^^");
+      }
+      LAKEFED_ASSIGN_OR_RETURN(Term dt, ParseIri());
+      return Term::Literal(std::move(lexical), dt.value());
+    }
+    return Term::Literal(std::move(lexical));
+  }
+
+  const std::string& line_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Triple> ParseNTriplesLine(const std::string& line) {
+  LineParser parser(line);
+  LAKEFED_ASSIGN_OR_RETURN(Term s, parser.ParseTerm());
+  if (s.is_literal()) {
+    return Status::ParseError("literal as subject: " + line);
+  }
+  LAKEFED_ASSIGN_OR_RETURN(Term p, parser.ParseTerm());
+  if (!p.is_iri()) {
+    return Status::ParseError("predicate must be an IRI: " + line);
+  }
+  LAKEFED_ASSIGN_OR_RETURN(Term o, parser.ParseTerm());
+  LAKEFED_RETURN_NOT_OK(parser.ExpectDot());
+  return Triple{std::move(s), std::move(p), std::move(o)};
+}
+
+Result<std::vector<Triple>> ParseNTriples(const std::string& document) {
+  std::vector<Triple> out;
+  for (const std::string& raw : SplitString(document, '\n')) {
+    std::string_view line = TrimWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    LAKEFED_ASSIGN_OR_RETURN(Triple t, ParseNTriplesLine(std::string(line)));
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Result<size_t> LoadNTriples(const std::string& document, TripleStore* store) {
+  LAKEFED_ASSIGN_OR_RETURN(std::vector<Triple> triples,
+                           ParseNTriples(document));
+  for (const Triple& t : triples) store->Add(t);
+  return triples.size();
+}
+
+std::string WriteNTriples(const std::vector<Triple>& triples) {
+  std::string out;
+  for (const Triple& t : triples) {
+    out += t.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace lakefed::rdf

@@ -1,0 +1,30 @@
+// Minimal N-Triples reader/writer (the subset needed to exchange LSLOD-style
+// data): IRIs, plain/typed/language literals, blank nodes, '#' comments.
+
+#ifndef LAKEFED_RDF_NTRIPLES_H_
+#define LAKEFED_RDF_NTRIPLES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
+
+namespace lakefed::rdf {
+
+// Parses a single N-Triples line (must contain one triple).
+Result<Triple> ParseNTriplesLine(const std::string& line);
+
+// Parses a whole document; blank lines and '#' comment lines are skipped.
+Result<std::vector<Triple>> ParseNTriples(const std::string& document);
+
+// Loads a document into a store; returns the number of triples added.
+Result<size_t> LoadNTriples(const std::string& document, TripleStore* store);
+
+// Serializes triples to an N-Triples document.
+std::string WriteNTriples(const std::vector<Triple>& triples);
+
+}  // namespace lakefed::rdf
+
+#endif  // LAKEFED_RDF_NTRIPLES_H_

@@ -1,0 +1,76 @@
+#include "rdf/term.h"
+
+#include "common/string_util.h"
+
+namespace lakefed::rdf {
+
+Term Term::Iri(std::string iri) {
+  Term t;
+  t.kind_ = TermKind::kIri;
+  t.value_ = std::move(iri);
+  return t;
+}
+
+Term Term::Literal(std::string lexical, std::string datatype,
+                   std::string lang) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.value_ = std::move(lexical);
+  t.datatype_ = std::move(datatype);
+  t.lang_ = std::move(lang);
+  return t;
+}
+
+Term Term::Blank(std::string label) {
+  Term t;
+  t.kind_ = TermKind::kBlank;
+  t.value_ = std::move(label);
+  return t;
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case TermKind::kIri:
+      return "<" + value_ + ">";
+    case TermKind::kBlank:
+      return "_:" + value_;
+    case TermKind::kLiteral: {
+      std::string escaped = ReplaceAll(value_, "\\", "\\\\");
+      escaped = ReplaceAll(escaped, "\"", "\\\"");
+      escaped = ReplaceAll(escaped, "\n", "\\n");
+      std::string out = "\"" + escaped + "\"";
+      if (!lang_.empty()) {
+        out += "@" + lang_;
+      } else if (!datatype_.empty()) {
+        out += "^^<" + datatype_ + ">";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+int Term::Compare(const Term& other) const {
+  if (kind_ != other.kind_) {
+    return static_cast<int>(kind_) < static_cast<int>(other.kind_) ? -1 : 1;
+  }
+  if (int c = value_.compare(other.value_); c != 0) return c < 0 ? -1 : 1;
+  if (int c = datatype_.compare(other.datatype_); c != 0) return c < 0 ? -1 : 1;
+  if (int c = lang_.compare(other.lang_); c != 0) return c < 0 ? -1 : 1;
+  return 0;
+}
+
+size_t Term::Hash() const {
+  size_t h = std::hash<std::string>{}(value_);
+  h = h * 31 + static_cast<size_t>(kind_);
+  if (!datatype_.empty()) h = h * 31 + std::hash<std::string>{}(datatype_);
+  if (!lang_.empty()) h = h * 31 + std::hash<std::string>{}(lang_);
+  return h;
+}
+
+std::string Triple::ToString() const {
+  return subject.ToString() + " " + predicate.ToString() + " " +
+         object.ToString() + " .";
+}
+
+}  // namespace lakefed::rdf

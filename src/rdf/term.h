@@ -1,0 +1,77 @@
+// RDF terms (IRI, literal, blank node) and triples.
+
+#ifndef LAKEFED_RDF_TERM_H_
+#define LAKEFED_RDF_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace lakefed::rdf {
+
+enum class TermKind { kIri = 0, kLiteral = 1, kBlank = 2 };
+
+class Term {
+ public:
+  Term() = default;  // empty IRI; use the factories below
+
+  static Term Iri(std::string iri);
+  // A literal with optional datatype IRI and language tag (at most one of
+  // the two is customarily set).
+  static Term Literal(std::string lexical, std::string datatype = "",
+                      std::string lang = "");
+  static Term Blank(std::string label);
+
+  TermKind kind() const { return kind_; }
+  bool is_iri() const { return kind_ == TermKind::kIri; }
+  bool is_literal() const { return kind_ == TermKind::kLiteral; }
+  bool is_blank() const { return kind_ == TermKind::kBlank; }
+
+  // IRI string, lexical form, or blank label depending on kind.
+  const std::string& value() const { return value_; }
+  const std::string& datatype() const { return datatype_; }
+  const std::string& lang() const { return lang_; }
+
+  // N-Triples rendering: <iri> | "lex" | "lex"^^<dt> | "lex"@lang | _:label
+  std::string ToString() const;
+
+  // Total order: by kind, then value, then datatype, then lang.
+  int Compare(const Term& other) const;
+  bool operator==(const Term& other) const { return Compare(other) == 0; }
+  bool operator!=(const Term& other) const { return Compare(other) != 0; }
+  bool operator<(const Term& other) const { return Compare(other) < 0; }
+
+  size_t Hash() const;
+
+ private:
+  TermKind kind_ = TermKind::kIri;
+  std::string value_;
+  std::string datatype_;
+  std::string lang_;
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const { return t.Hash(); }
+};
+
+struct Triple {
+  Term subject, predicate, object;
+
+  bool operator==(const Triple& other) const {
+    return subject == other.subject && predicate == other.predicate &&
+           object == other.object;
+  }
+
+  std::string ToString() const;  // N-Triples line without trailing newline
+};
+
+// Well-known vocabulary IRIs.
+inline constexpr char kRdfType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr char kXsdInteger[] = "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr char kXsdDouble[] = "http://www.w3.org/2001/XMLSchema#double";
+inline constexpr char kXsdString[] = "http://www.w3.org/2001/XMLSchema#string";
+
+}  // namespace lakefed::rdf
+
+#endif  // LAKEFED_RDF_TERM_H_

@@ -1,0 +1,189 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <set>
+
+namespace lakefed::rdf {
+namespace {
+
+// Key orders of the three permutation indexes, as component permutations
+// over (0=subject, 1=predicate, 2=object).
+constexpr std::array<std::array<int, 3>, 3> kIndexOrders = {{
+    {0, 1, 2},  // SPO
+    {1, 2, 0},  // POS
+    {2, 0, 1},  // OSP
+}};
+
+}  // namespace
+
+void TripleStore::Add(const Triple& triple) {
+  Add(triple.subject, triple.predicate, triple.object);
+}
+
+void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
+  EncodedTriple t{dict_.Intern(s), dict_.Intern(p), dict_.Intern(o)};
+  triples_.push_back(t);
+  indexes_valid_ = false;
+}
+
+Triple TripleStore::Decode(const EncodedTriple& t) const {
+  return Triple{dict_.term(t.s), dict_.term(t.p), dict_.term(t.o)};
+}
+
+void TripleStore::EnsureIndexes() const {
+  if (indexes_valid_) return;
+  for (int k = 0; k < 3; ++k) {
+    const auto& order = kIndexOrders[k];
+    auto field = [&](const EncodedTriple& t, int component) -> TermId {
+      switch (component) {
+        case 0: return t.s;
+        case 1: return t.p;
+        default: return t.o;
+      }
+    };
+    indexes_[k] = triples_;
+    std::sort(indexes_[k].begin(), indexes_[k].end(),
+              [&](const EncodedTriple& a, const EncodedTriple& b) {
+                for (int c : order) {
+                  TermId fa = field(a, c), fb = field(b, c);
+                  if (fa != fb) return fa < fb;
+                }
+                return false;
+              });
+    // De-duplicate: the store has set semantics.
+    indexes_[k].erase(std::unique(indexes_[k].begin(), indexes_[k].end()),
+                      indexes_[k].end());
+  }
+  // Keep `triples_` deduplicated too so size() is honest.
+  const_cast<TripleStore*>(this)->triples_ = indexes_[0];
+  indexes_valid_ = true;
+}
+
+void TripleStore::MatchVisit(
+    const OptTerm& s, const OptTerm& p, const OptTerm& o,
+    const std::function<bool(const Triple&)>& fn) const {
+  EnsureIndexes();
+
+  // Encode bound components; a bound term absent from the dictionary cannot
+  // match anything.
+  std::array<std::optional<TermId>, 3> bound;
+  const OptTerm* terms[3] = {&s, &p, &o};
+  for (int c = 0; c < 3; ++c) {
+    if (terms[c]->has_value()) {
+      auto id = dict_.Find(**terms[c]);
+      if (!id.has_value()) return;
+      bound[c] = *id;
+    }
+  }
+
+  // Choose the index with the longest bound key prefix.
+  int best_index = 0, best_prefix = -1;
+  for (int k = 0; k < 3; ++k) {
+    int prefix = 0;
+    for (int c : kIndexOrders[k]) {
+      if (!bound[c].has_value()) break;
+      ++prefix;
+    }
+    if (prefix > best_prefix) {
+      best_prefix = prefix;
+      best_index = k;
+    }
+  }
+
+  const auto& order = kIndexOrders[best_index];
+  const auto& index = indexes_[best_index];
+  auto field = [](const EncodedTriple& t, int component) -> TermId {
+    switch (component) {
+      case 0: return t.s;
+      case 1: return t.p;
+      default: return t.o;
+    }
+  };
+
+  // Binary search the range matching the bound prefix.
+  auto prefix_less = [&](const EncodedTriple& t, bool upper) {
+    // Returns -1/0/1 comparing t's prefix against the bound prefix.
+    for (int i = 0; i < best_prefix; ++i) {
+      TermId tv = field(t, order[i]);
+      TermId bv = *bound[order[i]];
+      if (tv != bv) return tv < bv ? -1 : 1;
+    }
+    (void)upper;
+    return 0;
+  };
+  auto lo = std::lower_bound(index.begin(), index.end(), 0,
+                             [&](const EncodedTriple& t, int) {
+                               return prefix_less(t, false) < 0;
+                             });
+  auto hi = std::upper_bound(lo, index.end(), 0,
+                             [&](int, const EncodedTriple& t) {
+                               return prefix_less(t, true) > 0;
+                             });
+
+  for (auto it = lo; it != hi; ++it) {
+    bool ok = true;
+    for (int c = 0; c < 3; ++c) {
+      if (bound[c].has_value() && field(*it, c) != *bound[c]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && !fn(Decode(*it))) return;
+  }
+}
+
+std::vector<Triple> TripleStore::Match(const OptTerm& s, const OptTerm& p,
+                                       const OptTerm& o) const {
+  std::vector<Triple> out;
+  MatchVisit(s, p, o, [&](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+bool TripleStore::Contains(const Term& s, const Term& p, const Term& o) const {
+  bool found = false;
+  MatchVisit(s, p, o, [&](const Triple&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+std::vector<Term> TripleStore::DistinctPredicates() const {
+  EnsureIndexes();
+  std::vector<Term> out;
+  const auto& pos = indexes_[1];  // sorted by predicate first
+  for (size_t i = 0; i < pos.size(); ++i) {
+    if (i == 0 || pos[i].p != pos[i - 1].p) {
+      out.push_back(dict_.term(pos[i].p));
+    }
+  }
+  return out;
+}
+
+std::vector<Term> TripleStore::DistinctClasses() const {
+  std::set<Term> classes;
+  MatchVisit(std::nullopt, Term::Iri(kRdfType), std::nullopt,
+             [&](const Triple& t) {
+               classes.insert(t.object);
+               return true;
+             });
+  return std::vector<Term>(classes.begin(), classes.end());
+}
+
+std::vector<Term> TripleStore::PredicatesOfClass(const Term& cls) const {
+  std::set<Term> predicates;
+  MatchVisit(std::nullopt, Term::Iri(kRdfType), cls, [&](const Triple& t) {
+    MatchVisit(t.subject, std::nullopt, std::nullopt,
+               [&](const Triple& inner) {
+                 predicates.insert(inner.predicate);
+                 return true;
+               });
+    return true;
+  });
+  return std::vector<Term>(predicates.begin(), predicates.end());
+}
+
+}  // namespace lakefed::rdf

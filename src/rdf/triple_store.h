@@ -1,0 +1,77 @@
+// TripleStore: an in-memory RDF store with dictionary encoding and three
+// sorted permutation indexes (SPO, POS, OSP), the classic layout of native
+// triple stores. Plays the role of the RDF endpoints in the Data Lake.
+
+#ifndef LAKEFED_RDF_TRIPLE_STORE_H_
+#define LAKEFED_RDF_TRIPLE_STORE_H_
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace lakefed::rdf {
+
+// A triple pattern component: a concrete term or a wildcard.
+using OptTerm = std::optional<Term>;
+
+class TripleStore {
+ public:
+  TripleStore() = default;
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+
+  // Adds a triple (duplicates are ignored). Invalidates indexes until the
+  // next query, which rebuilds them lazily.
+  void Add(const Triple& triple);
+  void Add(const Term& s, const Term& p, const Term& o);
+
+  size_t size() const { return triples_.size(); }
+
+  // All triples matching the pattern (nullopt = wildcard), using the most
+  // selective permutation index.
+  std::vector<Triple> Match(const OptTerm& s, const OptTerm& p,
+                            const OptTerm& o) const;
+
+  // Streaming variant; return false from `fn` to stop.
+  void MatchVisit(const OptTerm& s, const OptTerm& p, const OptTerm& o,
+                  const std::function<bool(const Triple&)>& fn) const;
+
+  bool Contains(const Term& s, const Term& p, const Term& o) const;
+
+  // Distinct predicates in the store (used for RDF-MT extraction).
+  std::vector<Term> DistinctPredicates() const;
+  // Distinct classes, i.e. objects of rdf:type triples.
+  std::vector<Term> DistinctClasses() const;
+  // Distinct predicates attached to subjects of the given rdf:type class.
+  std::vector<Term> PredicatesOfClass(const Term& cls) const;
+
+  const Dictionary& dictionary() const { return dict_; }
+
+ private:
+  struct EncodedTriple {
+    TermId s, p, o;
+    bool operator==(const EncodedTriple& other) const {
+      return s == other.s && p == other.p && o == other.o;
+    }
+  };
+
+  void EnsureIndexes() const;
+  Triple Decode(const EncodedTriple& t) const;
+
+  Dictionary dict_;
+  std::vector<EncodedTriple> triples_;
+  // Permutation indexes: sorted copies of `triples_` by (s,p,o), (p,o,s),
+  // (o,s,p). Rebuilt lazily after inserts.
+  mutable std::array<std::vector<EncodedTriple>, 3> indexes_;
+  mutable bool indexes_valid_ = false;
+};
+
+}  // namespace lakefed::rdf
+
+#endif  // LAKEFED_RDF_TRIPLE_STORE_H_

@@ -1,0 +1,56 @@
+#include "rel/advisor.h"
+
+namespace lakefed::rel {
+
+Result<bool> PhysicalDesignAdvisor::WouldIndex(const Database& db,
+                                               const std::string& table,
+                                               const std::string& column)
+    const {
+  const Table* t = db.catalog().GetTable(table);
+  if (t == nullptr) return Status::NotFound("table '" + table + "'");
+  LAKEFED_ASSIGN_OR_RETURN(size_t col, t->schema().ColumnIndex(column));
+  if (t->num_rows() == 0) return true;
+  double fraction =
+      static_cast<double>(t->column_stats(col).max_value_frequency) /
+      static_cast<double>(t->num_rows());
+  return fraction <= max_frequency_fraction_;
+}
+
+Result<std::vector<IndexDecision>> PhysicalDesignAdvisor::Advise(
+    Database* db,
+    const std::vector<std::pair<std::string, std::string>>&
+        workload_attributes) const {
+  std::vector<IndexDecision> decisions;
+  for (const auto& [table, column] : workload_attributes) {
+    IndexDecision decision;
+    decision.table = table;
+    decision.column = column;
+    Table* t = db->catalog().GetTable(table);
+    if (t == nullptr) {
+      return Status::NotFound("table '" + table + "'");
+    }
+    if (t->HasIndexOn(column)) {
+      decision.created = false;
+      decision.reason = "already indexed";
+      decisions.push_back(std::move(decision));
+      continue;
+    }
+    LAKEFED_ASSIGN_OR_RETURN(bool allow, WouldIndex(*db, table, column));
+    if (!allow) {
+      decision.created = false;
+      decision.reason =
+          "a value is present in more than " +
+          std::to_string(static_cast<int>(max_frequency_fraction_ * 100)) +
+          "% of the records";
+      decisions.push_back(std::move(decision));
+      continue;
+    }
+    LAKEFED_RETURN_NOT_OK(t->CreateIndex(column));
+    decision.created = true;
+    decision.reason = "used by the workload and selective enough";
+    decisions.push_back(std::move(decision));
+  }
+  return decisions;
+}
+
+}  // namespace lakefed::rel

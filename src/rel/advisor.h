@@ -1,0 +1,52 @@
+// PhysicalDesignAdvisor: materializes the paper's indexing policy.
+//
+// The paper (Section 3, Data Sets): "Indexes are created for the primary
+// keys. Furthermore, additional indexes for some attributes that are used for
+// joins or selections in the queries used are generated" and (Section 1):
+// "No index is created since there are values that are present in more than
+// 15% of the records."
+
+#ifndef LAKEFED_REL_ADVISOR_H_
+#define LAKEFED_REL_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/database.h"
+
+namespace lakefed::rel {
+
+struct IndexDecision {
+  std::string table;
+  std::string column;
+  bool created = false;
+  std::string reason;
+};
+
+class PhysicalDesignAdvisor {
+ public:
+  // `max_frequency_fraction`: the paper's 15% rule threshold.
+  explicit PhysicalDesignAdvisor(double max_frequency_fraction = 0.15)
+      : max_frequency_fraction_(max_frequency_fraction) {}
+
+  // Considers a secondary index on every (table, column) pair in
+  // `workload_attributes` (attributes used for joins or selections). Creates
+  // the index unless a value occurs in more than the threshold fraction of
+  // rows. Returns one decision per pair, in input order.
+  Result<std::vector<IndexDecision>> Advise(
+      Database* db,
+      const std::vector<std::pair<std::string, std::string>>&
+          workload_attributes) const;
+
+  // Whether the rule permits indexing table.column (without creating it).
+  Result<bool> WouldIndex(const Database& db, const std::string& table,
+                          const std::string& column) const;
+
+ private:
+  double max_frequency_fraction_;
+};
+
+}  // namespace lakefed::rel
+
+#endif  // LAKEFED_REL_ADVISOR_H_

@@ -1,0 +1,387 @@
+#include "rel/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lakefed::rel {
+
+struct BPlusTree::Node {
+  bool is_leaf;
+  std::vector<Value> keys;
+  // Internal nodes: children.size() == keys.size() + 1. Subtree i holds keys
+  // in [keys[i-1], keys[i]) (unbounded at the ends).
+  std::vector<std::unique_ptr<Node>> children;
+  // Leaves: postings[i] = row ids carrying keys[i] (never empty).
+  std::vector<std::vector<RowId>> postings;
+  Node* next = nullptr;  // leaf chain, key order
+
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+};
+
+struct BPlusTree::InsertResult {
+  std::unique_ptr<Node> split_right;  // nullptr = no split
+  Value separator;
+};
+
+namespace {
+
+// Index of the child an internal node routes `key` to.
+size_t ChildIndex(const std::vector<Value>& keys, const Value& key) {
+  return static_cast<size_t>(
+      std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+// Position of `key` in a leaf's key vector (first not-less position).
+size_t LeafPos(const std::vector<Value>& keys, const Value& key) {
+  return static_cast<size_t>(
+      std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+}  // namespace
+
+BPlusTree::BPlusTree(bool unique, int fanout)
+    : unique_(unique), fanout_(std::max(fanout, 3)),
+      root_(std::make_unique<Node>(/*leaf=*/true)) {}
+
+BPlusTree::~BPlusTree() = default;
+
+Status BPlusTree::Insert(const Value& key, RowId row) {
+  Status status;
+  InsertResult result = InsertRec(root_.get(), key, row, &status);
+  if (!status.ok()) return status;
+  if (result.split_right != nullptr) {
+    auto new_root = std::make_unique<Node>(/*leaf=*/false);
+    new_root->keys.push_back(std::move(result.separator));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(result.split_right));
+    root_ = std::move(new_root);
+  }
+  return Status::OK();
+}
+
+BPlusTree::InsertResult BPlusTree::InsertRec(Node* node, const Value& key,
+                                             RowId row, Status* status) {
+  if (node->is_leaf) {
+    size_t pos = LeafPos(node->keys, key);
+    if (pos < node->keys.size() && node->keys[pos] == key) {
+      if (unique_) {
+        *status = Status::AlreadyExists("duplicate key '" + key.ToString() +
+                                        "' in unique index");
+        return {};
+      }
+      node->postings[pos].push_back(row);
+      ++num_entries_;
+      return {};
+    }
+    node->keys.insert(node->keys.begin() + pos, key);
+    node->postings.insert(node->postings.begin() + pos,
+                          std::vector<RowId>{row});
+    ++num_keys_;
+    ++num_entries_;
+    if (node->keys.size() <= static_cast<size_t>(fanout_)) return {};
+    // Split the leaf; the separator is the first key of the right half.
+    size_t mid = node->keys.size() / 2;
+    auto right = std::make_unique<Node>(/*leaf=*/true);
+    right->keys.assign(std::make_move_iterator(node->keys.begin() + mid),
+                       std::make_move_iterator(node->keys.end()));
+    right->postings.assign(
+        std::make_move_iterator(node->postings.begin() + mid),
+        std::make_move_iterator(node->postings.end()));
+    node->keys.resize(mid);
+    node->postings.resize(mid);
+    right->next = node->next;
+    node->next = right.get();
+    InsertResult result;
+    result.separator = right->keys.front();
+    result.split_right = std::move(right);
+    return result;
+  }
+
+  size_t idx = ChildIndex(node->keys, key);
+  InsertResult child_result =
+      InsertRec(node->children[idx].get(), key, row, status);
+  if (!status->ok() || child_result.split_right == nullptr) return {};
+  node->keys.insert(node->keys.begin() + idx,
+                    std::move(child_result.separator));
+  node->children.insert(node->children.begin() + idx + 1,
+                        std::move(child_result.split_right));
+  if (node->keys.size() <= static_cast<size_t>(fanout_)) return {};
+  // Split the internal node; the middle key moves up.
+  size_t mid = node->keys.size() / 2;
+  auto right = std::make_unique<Node>(/*leaf=*/false);
+  InsertResult result;
+  result.separator = std::move(node->keys[mid]);
+  right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+                     std::make_move_iterator(node->keys.end()));
+  right->children.assign(
+      std::make_move_iterator(node->children.begin() + mid + 1),
+      std::make_move_iterator(node->children.end()));
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  result.split_right = std::move(right);
+  return result;
+}
+
+Status BPlusTree::Erase(const Value& key, RowId row) {
+  Status status;
+  EraseRec(root_.get(), key, row, &status);
+  if (!status.ok()) return status;
+  if (!root_->is_leaf && root_->keys.empty()) {
+    root_ = std::move(root_->children.front());
+  }
+  return Status::OK();
+}
+
+// Returns true if `node` underflowed and its parent must rebalance.
+bool BPlusTree::EraseRec(Node* node, const Value& key, RowId row,
+                         Status* status) {
+  const size_t min_keys = static_cast<size_t>(fanout_) / 2;
+  if (node->is_leaf) {
+    size_t pos = LeafPos(node->keys, key);
+    if (pos >= node->keys.size() || node->keys[pos] != key) {
+      *status = Status::NotFound("key '" + key.ToString() + "' not in index");
+      return false;
+    }
+    auto& rows = node->postings[pos];
+    auto it = std::find(rows.begin(), rows.end(), row);
+    if (it == rows.end()) {
+      *status = Status::NotFound("row " + std::to_string(row) +
+                                 " not indexed under key '" + key.ToString() +
+                                 "'");
+      return false;
+    }
+    rows.erase(it);
+    --num_entries_;
+    if (rows.empty()) {
+      node->keys.erase(node->keys.begin() + pos);
+      node->postings.erase(node->postings.begin() + pos);
+      --num_keys_;
+    }
+    return node->keys.size() < min_keys;
+  }
+
+  size_t idx = ChildIndex(node->keys, key);
+  bool under = EraseRec(node->children[idx].get(), key, row, status);
+  if (!status->ok() || !under) return false;
+
+  // Rebalance children[idx]: borrow from a rich sibling, else merge.
+  Node* child = node->children[idx].get();
+  Node* left = idx > 0 ? node->children[idx - 1].get() : nullptr;
+  Node* right =
+      idx + 1 < node->children.size() ? node->children[idx + 1].get() : nullptr;
+
+  if (left != nullptr && left->keys.size() > min_keys) {
+    if (child->is_leaf) {
+      child->keys.insert(child->keys.begin(), std::move(left->keys.back()));
+      child->postings.insert(child->postings.begin(),
+                             std::move(left->postings.back()));
+      left->keys.pop_back();
+      left->postings.pop_back();
+      node->keys[idx - 1] = child->keys.front();
+    } else {
+      child->keys.insert(child->keys.begin(), std::move(node->keys[idx - 1]));
+      node->keys[idx - 1] = std::move(left->keys.back());
+      left->keys.pop_back();
+      child->children.insert(child->children.begin(),
+                             std::move(left->children.back()));
+      left->children.pop_back();
+    }
+  } else if (right != nullptr && right->keys.size() > min_keys) {
+    if (child->is_leaf) {
+      child->keys.push_back(std::move(right->keys.front()));
+      child->postings.push_back(std::move(right->postings.front()));
+      right->keys.erase(right->keys.begin());
+      right->postings.erase(right->postings.begin());
+      node->keys[idx] = right->keys.front();
+    } else {
+      child->keys.push_back(std::move(node->keys[idx]));
+      node->keys[idx] = std::move(right->keys.front());
+      right->keys.erase(right->keys.begin());
+      child->children.push_back(std::move(right->children.front()));
+      right->children.erase(right->children.begin());
+    }
+  } else {
+    // Merge child with a sibling. Normalize so we merge children[pos] (kept)
+    // with children[pos+1] (absorbed).
+    size_t pos = left != nullptr ? idx - 1 : idx;
+    Node* into = node->children[pos].get();
+    Node* from = node->children[pos + 1].get();
+    if (into->is_leaf) {
+      into->keys.insert(into->keys.end(),
+                        std::make_move_iterator(from->keys.begin()),
+                        std::make_move_iterator(from->keys.end()));
+      into->postings.insert(into->postings.end(),
+                            std::make_move_iterator(from->postings.begin()),
+                            std::make_move_iterator(from->postings.end()));
+      into->next = from->next;
+    } else {
+      into->keys.push_back(std::move(node->keys[pos]));
+      into->keys.insert(into->keys.end(),
+                        std::make_move_iterator(from->keys.begin()),
+                        std::make_move_iterator(from->keys.end()));
+      into->children.insert(into->children.end(),
+                            std::make_move_iterator(from->children.begin()),
+                            std::make_move_iterator(from->children.end()));
+    }
+    node->keys.erase(node->keys.begin() + pos);
+    node->children.erase(node->children.begin() + pos + 1);
+  }
+  return node->keys.size() < min_keys;
+}
+
+const BPlusTree::Node* BPlusTree::FindLeaf(const Value& key) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children[ChildIndex(node->keys, key)].get();
+  }
+  return node;
+}
+
+std::vector<RowId> BPlusTree::Lookup(const Value& key) const {
+  const Node* leaf = FindLeaf(key);
+  size_t pos = LeafPos(leaf->keys, key);
+  if (pos < leaf->keys.size() && leaf->keys[pos] == key) {
+    return leaf->postings[pos];
+  }
+  return {};
+}
+
+bool BPlusTree::ContainsKey(const Value& key) const {
+  const Node* leaf = FindLeaf(key);
+  size_t pos = LeafPos(leaf->keys, key);
+  return pos < leaf->keys.size() && leaf->keys[pos] == key;
+}
+
+std::vector<RowId> BPlusTree::Range(const Bound& lo, const Bound& hi) const {
+  std::vector<RowId> out;
+  const Node* leaf;
+  size_t pos;
+  if (lo.value.has_value()) {
+    leaf = FindLeaf(*lo.value);
+    pos = LeafPos(leaf->keys, *lo.value);
+  } else {
+    const Node* node = root_.get();
+    while (!node->is_leaf) node = node->children.front().get();
+    leaf = node;
+    pos = 0;
+  }
+  while (leaf != nullptr) {
+    for (; pos < leaf->keys.size(); ++pos) {
+      const Value& k = leaf->keys[pos];
+      if (lo.value.has_value()) {
+        int c = k.Compare(*lo.value);
+        if (c < 0 || (c == 0 && !lo.inclusive)) continue;
+      }
+      if (hi.value.has_value()) {
+        int c = k.Compare(*hi.value);
+        if (c > 0 || (c == 0 && !hi.inclusive)) return out;
+      }
+      out.insert(out.end(), leaf->postings[pos].begin(),
+                 leaf->postings[pos].end());
+    }
+    leaf = leaf->next;
+    pos = 0;
+  }
+  return out;
+}
+
+void BPlusTree::ScanAll(
+    const std::function<bool(const Value&, const std::vector<RowId>&)>& fn)
+    const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) node = node->children.front().get();
+  for (const Node* leaf = node; leaf != nullptr; leaf = leaf->next) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (!fn(leaf->keys[i], leaf->postings[i])) return;
+    }
+  }
+}
+
+int BPlusTree::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+Status BPlusTree::CheckNode(const Node* node, const Value* lo, const Value* hi,
+                            int depth, int leaf_depth) const {
+  const size_t min_keys = static_cast<size_t>(fanout_) / 2;
+  bool is_root = node == root_.get();
+  if (node->keys.size() > static_cast<size_t>(fanout_)) {
+    return Status::Internal("node exceeds fanout");
+  }
+  if (!is_root && node->keys.size() < min_keys) {
+    return Status::Internal("non-root node underflow: " +
+                            std::to_string(node->keys.size()) + " < " +
+                            std::to_string(min_keys));
+  }
+  for (size_t i = 0; i + 1 < node->keys.size(); ++i) {
+    if (!(node->keys[i] < node->keys[i + 1])) {
+      return Status::Internal("keys not strictly sorted");
+    }
+  }
+  for (const Value& k : node->keys) {
+    if (lo != nullptr && k < *lo) return Status::Internal("key below bound");
+    if (hi != nullptr && !(k < *hi)) return Status::Internal("key above bound");
+  }
+  if (node->is_leaf) {
+    if (depth != leaf_depth) return Status::Internal("uneven leaf depth");
+    if (node->postings.size() != node->keys.size()) {
+      return Status::Internal("leaf postings/keys size mismatch");
+    }
+    for (const auto& rows : node->postings) {
+      if (rows.empty()) return Status::Internal("empty posting list");
+      if (unique_ && rows.size() > 1) {
+        return Status::Internal("duplicate entries in unique index");
+      }
+    }
+    return Status::OK();
+  }
+  if (node->children.size() != node->keys.size() + 1) {
+    return Status::Internal("internal children/keys size mismatch");
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const Value* child_lo = i == 0 ? lo : &node->keys[i - 1];
+    const Value* child_hi = i == node->keys.size() ? hi : &node->keys[i];
+    LAKEFED_RETURN_NOT_OK(CheckNode(node->children[i].get(), child_lo,
+                                    child_hi, depth + 1, leaf_depth));
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::CheckInvariants() const {
+  LAKEFED_RETURN_NOT_OK(
+      CheckNode(root_.get(), nullptr, nullptr, 1, height()));
+  // Leaf chain must enumerate exactly num_keys_ keys in strictly ascending
+  // order and num_entries_ row ids.
+  size_t keys = 0, entries = 0;
+  const Value* prev = nullptr;
+  Status status;
+  ScanAll([&](const Value& k, const std::vector<RowId>& rows) {
+    if (prev != nullptr && !(*prev < k)) {
+      status = Status::Internal("leaf chain out of order");
+      return false;
+    }
+    prev = &k;
+    ++keys;
+    entries += rows.size();
+    return true;
+  });
+  LAKEFED_RETURN_NOT_OK(status);
+  if (keys != num_keys_) {
+    return Status::Internal("leaf chain has " + std::to_string(keys) +
+                            " keys, expected " + std::to_string(num_keys_));
+  }
+  if (entries != num_entries_) {
+    return Status::Internal("leaf chain has " + std::to_string(entries) +
+                            " entries, expected " +
+                            std::to_string(num_entries_));
+  }
+  return Status::OK();
+}
+
+}  // namespace lakefed::rel

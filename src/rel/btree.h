@@ -1,0 +1,91 @@
+// BPlusTree: an in-memory B+-tree index over Value keys with duplicate
+// support. This is the physical structure whose presence/absence the paper's
+// heuristics reason about: primary keys get a unique tree, selected
+// attributes get non-unique secondary trees.
+//
+// Keys live in leaves; each distinct key maps to the list of row ids holding
+// it. Leaves are chained for range scans.
+
+#ifndef LAKEFED_REL_BTREE_H_
+#define LAKEFED_REL_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/value.h"
+
+namespace lakefed::rel {
+
+using RowId = uint32_t;
+
+class BPlusTree {
+ public:
+  // `fanout` is the max number of keys in a node (>= 3).
+  // `unique` rejects duplicate keys (primary-key index).
+  explicit BPlusTree(bool unique = false, int fanout = 64);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) = default;
+  BPlusTree& operator=(BPlusTree&&) = default;
+
+  // Inserts (key, row). On a unique tree, AlreadyExists if key is present.
+  Status Insert(const Value& key, RowId row);
+
+  // Removes one (key, row) pair. NotFound if absent.
+  Status Erase(const Value& key, RowId row);
+
+  // All row ids with exactly this key (empty if none).
+  std::vector<RowId> Lookup(const Value& key) const;
+
+  bool ContainsKey(const Value& key) const;
+
+  // Row ids with lo <= key <= hi (either bound may be missing = unbounded,
+  // and either may be exclusive). Results are in key order.
+  struct Bound {
+    std::optional<Value> value;  // nullopt = unbounded
+    bool inclusive = true;
+  };
+  std::vector<RowId> Range(const Bound& lo, const Bound& hi) const;
+
+  // Visits every (key, rows) pair in key order; return false to stop early.
+  void ScanAll(
+      const std::function<bool(const Value&, const std::vector<RowId>&)>& fn)
+      const;
+
+  size_t num_keys() const { return num_keys_; }      // distinct keys
+  size_t num_entries() const { return num_entries_; }  // (key,row) pairs
+  bool unique() const { return unique_; }
+  int height() const;
+
+  // Structural invariants (node occupancy, sorted keys, leaf chain,
+  // separator correctness). Used by property tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct InsertResult;
+
+  InsertResult InsertRec(Node* node, const Value& key, RowId row,
+                         Status* status);
+  bool EraseRec(Node* node, const Value& key, RowId row, Status* status);
+  const Node* FindLeaf(const Value& key) const;
+  Status CheckNode(const Node* node, const Value* lo, const Value* hi,
+                   int depth, int leaf_depth) const;
+
+  bool unique_;
+  int fanout_;
+  std::unique_ptr<Node> root_;
+  size_t num_keys_ = 0;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace lakefed::rel
+
+#endif  // LAKEFED_REL_BTREE_H_

@@ -1,0 +1,201 @@
+#include "rel/csv.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace lakefed::rel {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendField(const Value& value, std::string* out) {
+  if (value.is_null()) return;  // NULL = empty unquoted field
+  std::string text = value.ToString();
+  // Unquoted empty means NULL, so empty strings are quoted too.
+  if (value.is_string() && (text.empty() || NeedsQuoting(text))) {
+    out->push_back('"');
+    out->append(ReplaceAll(text, "\"", "\"\""));
+    out->push_back('"');
+    return;
+  }
+  out->append(text);
+}
+
+std::string RowsToCsv(const std::vector<std::string>& header,
+                      const std::vector<Row>& rows) {
+  std::string out = JoinStrings(header, ",") + "\n";
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendField(row[i], &out);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+// Full-document CSV scanner: supports quoted fields with "" escapes and
+// embedded newlines. Fields carry a "was quoted" flag so empty-vs-NULL can
+// be told apart.
+struct CsvField {
+  std::string text;
+  bool quoted = false;
+};
+
+Result<std::vector<std::vector<CsvField>>> ScanCsv(const std::string& csv) {
+  std::vector<std::vector<CsvField>> records;
+  std::vector<CsvField> record;
+  CsvField field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    record.push_back(std::move(field));
+    field = CsvField{};
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (size_t i = 0; i < csv.size(); ++i) {
+    char c = csv[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < csv.size() && csv[i + 1] == '"') {
+          field.text.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.text.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field_started && !field.text.empty()) {
+          return Status::ParseError("unexpected '\"' inside unquoted field");
+        }
+        in_quotes = true;
+        field.quoted = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_record();
+        break;
+      default:
+        field.text.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  if (field_started || !record.empty()) end_record();
+  return records;
+}
+
+Result<Value> FieldToValue(const CsvField& field, const ColumnDef& column) {
+  if (field.text.empty() && !field.quoted) return Value::Null();
+  switch (column.type) {
+    case ColumnType::kInt64: {
+      char* end = nullptr;
+      int64_t v = std::strtoll(field.text.c_str(), &end, 10);
+      if (end != field.text.c_str() + field.text.size()) {
+        return Status::ParseError("'" + field.text +
+                                  "' is not an integer (column " +
+                                  column.name + ")");
+      }
+      return Value(v);
+    }
+    case ColumnType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.text.c_str(), &end);
+      if (end != field.text.c_str() + field.text.size()) {
+        return Status::ParseError("'" + field.text +
+                                  "' is not a number (column " +
+                                  column.name + ")");
+      }
+      return Value(v);
+    }
+    case ColumnType::kString:
+      return Value(field.text);
+  }
+  return Status::Internal("unknown column type");
+}
+
+}  // namespace
+
+std::string WriteTableCsv(const Table& table) {
+  std::vector<std::string> header;
+  for (const ColumnDef& col : table.schema().columns()) {
+    header.push_back(col.name);
+  }
+  return RowsToCsv(header, table.rows());
+}
+
+std::string WriteResultCsv(const QueryResult& result) {
+  return RowsToCsv(result.column_names, result.rows);
+}
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  LAKEFED_ASSIGN_OR_RETURN(auto records, ScanCsv(line));
+  if (records.size() != 1) {
+    return Status::ParseError("expected exactly one CSV record");
+  }
+  std::vector<std::string> out;
+  for (const CsvField& field : records[0]) out.push_back(field.text);
+  return out;
+}
+
+Status LoadTableCsv(const std::string& csv, Table* table) {
+  LAKEFED_ASSIGN_OR_RETURN(auto records, ScanCsv(csv));
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV document has no header");
+  }
+  const Schema& schema = table->schema();
+  const auto& header = records[0];
+  if (header.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "CSV header has " + std::to_string(header.size()) +
+        " columns, table has " + std::to_string(schema.num_columns()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i].text != schema.column(i).name) {
+      return Status::InvalidArgument("CSV header column '" + header[i].text +
+                                     "' does not match schema column '" +
+                                     schema.column(i).name + "'");
+    }
+  }
+  for (size_t r = 1; r < records.size(); ++r) {
+    const auto& record = records[r];
+    if (record.size() != schema.num_columns()) {
+      return Status::ParseError("CSV row " + std::to_string(r) + " has " +
+                                std::to_string(record.size()) + " fields");
+    }
+    Row row;
+    row.reserve(record.size());
+    for (size_t i = 0; i < record.size(); ++i) {
+      LAKEFED_ASSIGN_OR_RETURN(Value v,
+                               FieldToValue(record[i], schema.column(i)));
+      row.push_back(std::move(v));
+    }
+    LAKEFED_RETURN_NOT_OK(
+        table->Insert(std::move(row))
+            .WithContext("CSV row " + std::to_string(r)));
+  }
+  return Status::OK();
+}
+
+}  // namespace lakefed::rel

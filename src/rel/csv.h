@@ -1,0 +1,33 @@
+// CSV import/export for relational tables (RFC-4180-style quoting): the
+// interchange format for loading your own datasets into a Data Lake source
+// and for dumping query results.
+
+#ifndef LAKEFED_REL_CSV_H_
+#define LAKEFED_REL_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "rel/database.h"
+#include "rel/table.h"
+
+namespace lakefed::rel {
+
+// Serializes a table (header row + data rows). NULL renders as an empty,
+// unquoted field; strings are quoted when they contain , " or newlines.
+std::string WriteTableCsv(const Table& table);
+
+// Serializes a query result the same way.
+std::string WriteResultCsv(const QueryResult& result);
+
+// Parses one CSV document into rows of `schema` and appends them to
+// `table`. The first line must repeat the schema's column names. Empty
+// unquoted fields become NULL; numeric columns are parsed per the schema.
+Status LoadTableCsv(const std::string& csv, Table* table);
+
+// Splits one CSV line into fields, honouring quotes ("" unescaping).
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+}  // namespace lakefed::rel
+
+#endif  // LAKEFED_REL_CSV_H_

@@ -1,0 +1,43 @@
+#include "rel/database.h"
+
+namespace lakefed::rel {
+
+Result<QueryResult> Database::Execute(const std::string& sql) const {
+  LAKEFED_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+  return ExecuteStatement(stmt);
+}
+
+Result<QueryResult> Database::ExecuteStatement(
+    const SelectStatement& stmt) const {
+  LAKEFED_ASSIGN_OR_RETURN(PhysOpPtr plan,
+                           PlanSelect(stmt, catalog_, options_));
+  QueryResult result;
+  result.plan = plan->Explain();
+  for (const ColumnDef& col : plan->output_schema().columns()) {
+    result.column_names.push_back(col.name);
+  }
+  LAKEFED_RETURN_NOT_OK(plan->Open());
+  while (true) {
+    LAKEFED_ASSIGN_OR_RETURN(std::optional<Row> row, plan->Next());
+    if (!row.has_value()) break;
+    result.rows.push_back(std::move(*row));
+  }
+  plan->AccumulateCounters(&result.counters);
+  result.counters.rows_produced = result.rows.size();
+  return result;
+}
+
+Result<std::string> Database::Explain(const std::string& sql) const {
+  LAKEFED_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSql(sql));
+  LAKEFED_ASSIGN_OR_RETURN(PhysOpPtr plan,
+                           PlanSelect(stmt, catalog_, options_));
+  return plan->Explain();
+}
+
+bool Database::IsIndexed(const std::string& table,
+                         const std::string& column) const {
+  const Table* t = catalog_.GetTable(table);
+  return t != nullptr && t->HasIndexOn(column);
+}
+
+}  // namespace lakefed::rel

@@ -1,0 +1,62 @@
+#include "rel/schema.h"
+
+namespace lakefed::rel {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  if (auto idx = FindColumn(name)) return *idx;
+  return Status::NotFound("no column named '" + name + "' in schema [" +
+                          ToString() + "]");
+}
+
+Status Schema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const ColumnDef& col = columns_[i];
+    const Value& v = row[i];
+    if (v.is_null()) {
+      if (!col.nullable) {
+        return Status::InvalidArgument("NULL in non-nullable column '" +
+                                       col.name + "'");
+      }
+      continue;
+    }
+    bool ok = false;
+    switch (col.type) {
+      case ColumnType::kInt64: ok = v.is_int(); break;
+      case ColumnType::kDouble: ok = v.is_numeric(); break;
+      case ColumnType::kString: ok = v.is_string(); break;
+    }
+    if (!ok) {
+      return Status::TypeError("value '" + v.ToString() +
+                               "' does not match type " +
+                               ColumnTypeToString(col.type) + " of column '" +
+                               col.name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name + " " + ColumnTypeToString(columns_[i].type);
+    if (!columns_[i].nullable) out += " NOT NULL";
+  }
+  return out;
+}
+
+}  // namespace lakefed::rel

@@ -1,0 +1,49 @@
+// Schema: ordered, named, typed columns of a table or of an intermediate
+// operator output.
+
+#ifndef LAKEFED_REL_SCHEMA_H_
+#define LAKEFED_REL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/value.h"
+
+namespace lakefed::rel {
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kString;
+  bool nullable = true;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  // Index of the column with the given name, or nullopt.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  // Like FindColumn but returns a Status error naming the column.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  // Type-checks a row against this schema (arity, types, nullability).
+  Status ValidateRow(const Row& row) const;
+
+  // "name TYPE, name TYPE, ..." — for EXPLAIN and error messages.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace lakefed::rel
+
+#endif  // LAKEFED_REL_SCHEMA_H_

@@ -1,0 +1,73 @@
+#include "rel/sql_ast.h"
+
+namespace lakefed::rel {
+
+std::string AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kNone: return "";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kAvg: return "AVG";
+  }
+  return "";
+}
+
+bool SelectStatement::HasAggregates() const {
+  for (const SelectItem& item : items) {
+    if (item.IsAggregate()) return true;
+  }
+  return !group_by.empty();
+}
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  if (select_all) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += ", ";
+      std::string rendered;
+      if (items[i].IsAggregate()) {
+        rendered = AggFuncToString(items[i].agg) + "(" +
+                   (items[i].agg_distinct ? "DISTINCT " : "") +
+                   (items[i].expr == nullptr ? "*"
+                                             : items[i].expr->ToString()) +
+                   ")";
+      } else {
+        rendered = items[i].expr->ToString();
+      }
+      out += rendered;
+      if (!items[i].alias.empty() && items[i].alias != rendered) {
+        out += " AS " + items[i].alias;
+      }
+    }
+  }
+  out += " FROM " + from.ToString();
+  for (const JoinClause& join : joins) {
+    out += " JOIN " + join.table.ToString() + " ON " + join.on->ToString();
+  }
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i];
+    }
+  }
+  if (having != nullptr) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].column;
+      if (!order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+}  // namespace lakefed::rel

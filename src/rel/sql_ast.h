@@ -1,0 +1,68 @@
+// AST of the SQL subset the relational engine executes:
+//   SELECT [DISTINCT] list FROM t [alias] (JOIN t2 [alias] ON cond)*
+//     [WHERE expr] [ORDER BY col [ASC|DESC], ...] [LIMIT n]
+
+#ifndef LAKEFED_REL_SQL_AST_H_
+#define LAKEFED_REL_SQL_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rel/expr.h"
+
+namespace lakefed::rel {
+
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to the table name
+
+  std::string ToString() const {
+    return alias == table ? table : table + " AS " + alias;
+  }
+};
+
+struct JoinClause {
+  TableRef table;
+  ExprPtr on;
+};
+
+enum class AggFunc { kNone, kCount, kSum, kMin, kMax, kAvg };
+
+std::string AggFuncToString(AggFunc func);
+
+struct SelectItem {
+  ExprPtr expr;       // nullptr only for COUNT(*)
+  std::string alias;  // output column name; defaults to expr rendering
+  AggFunc agg = AggFunc::kNone;
+  bool agg_distinct = false;  // e.g. COUNT(DISTINCT x)
+
+  bool IsAggregate() const { return agg != AggFunc::kNone; }
+};
+
+struct OrderByItem {
+  std::string column;
+  bool ascending = true;
+};
+
+struct SelectStatement {
+  bool distinct = false;
+  bool select_all = false;  // SELECT *
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  ExprPtr where;  // nullptr when absent
+  std::vector<std::string> group_by;  // column names
+  ExprPtr having;                     // over the aggregate output columns
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+
+  bool HasAggregates() const;
+
+  // Renders back to executable SQL text.
+  std::string ToString() const;
+};
+
+}  // namespace lakefed::rel
+
+#endif  // LAKEFED_REL_SQL_AST_H_

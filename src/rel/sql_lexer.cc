@@ -1,0 +1,124 @@
+#include "rel/sql_lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace lakefed::rel {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "DISTINCT", "FROM", "JOIN", "INNER", "ON", "WHERE", "AND",
+      "OR", "NOT", "LIKE", "IN", "IS", "NULL", "AS", "ORDER", "BY", "ASC",
+      "DESC", "LIMIT", "TRUE", "FALSE", "GROUP", "HAVING", "COUNT", "SUM",
+      "MIN", "MAX", "AVG",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<SqlToken>> TokenizeSql(const std::string& sql) {
+  std::vector<SqlToken> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpperAscii(word);
+      if (Keywords().count(upper) > 0) {
+        tokens.push_back({SqlTokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back({SqlTokenType::kIdentifier, word, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') {
+          // "1.x" where x is not a digit is "1" followed by ".".
+          if (i + 1 >= n || !std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+            break;
+          }
+          is_float = true;
+        }
+        ++i;
+      }
+      tokens.push_back({is_float ? SqlTokenType::kFloat : SqlTokenType::kInteger,
+                        sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string content;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            content.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        content.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({SqlTokenType::kString, content, start});
+      continue;
+    }
+    // Multi-char symbols first.
+    if (c == '<' && i + 1 < n && (sql[i + 1] == '=' || sql[i + 1] == '>')) {
+      tokens.push_back({SqlTokenType::kSymbol, sql.substr(i, 2), start});
+      i += 2;
+      continue;
+    }
+    if (c == '>' && i + 1 < n && sql[i + 1] == '=') {
+      tokens.push_back({SqlTokenType::kSymbol, ">=", start});
+      i += 2;
+      continue;
+    }
+    if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+      tokens.push_back({SqlTokenType::kSymbol, "!=", start});
+      i += 2;
+      continue;
+    }
+    static const std::string kSingle = ",.()=<>*+-/;";
+    if (kSingle.find(c) != std::string::npos) {
+      tokens.push_back({SqlTokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(start));
+  }
+  tokens.push_back({SqlTokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace lakefed::rel

@@ -1,0 +1,41 @@
+// Tokenizer for the SQL subset.
+
+#ifndef LAKEFED_REL_SQL_LEXER_H_
+#define LAKEFED_REL_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lakefed::rel {
+
+enum class SqlTokenType {
+  kIdentifier,   // table, column, alias names (case preserved)
+  kKeyword,      // SELECT, FROM, ... (upper-cased in `text`)
+  kInteger,
+  kFloat,
+  kString,       // contents without quotes, '' unescaped
+  kSymbol,       // , . ( ) = <> != < <= > >= * + - /
+  kEnd,
+};
+
+struct SqlToken {
+  SqlTokenType type;
+  std::string text;
+  size_t position = 0;  // byte offset, for error messages
+
+  bool IsKeyword(const std::string& upper) const {
+    return type == SqlTokenType::kKeyword && text == upper;
+  }
+  bool IsSymbol(const std::string& sym) const {
+    return type == SqlTokenType::kSymbol && text == sym;
+  }
+};
+
+// Tokenizes `sql`; the terminating kEnd token is always present on success.
+Result<std::vector<SqlToken>> TokenizeSql(const std::string& sql);
+
+}  // namespace lakefed::rel
+
+#endif  // LAKEFED_REL_SQL_LEXER_H_

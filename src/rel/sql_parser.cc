@@ -1,0 +1,396 @@
+#include "rel/sql_parser.h"
+
+#include <cstdlib>
+
+#include "rel/sql_lexer.h"
+
+namespace lakefed::rel {
+namespace {
+
+// Expression grammar (loosest to tightest):
+//   or    := and (OR and)*
+//   and   := not (AND not)*
+//   not   := NOT not | pred
+//   pred  := add (cmp add | [NOT] LIKE str | [NOT] IN (...) | IS [NOT] NULL)?
+//   add   := mul (('+'|'-') mul)*
+//   mul   := unary (('*'|'/') unary)*
+//   unary := '-' unary | primary
+//   prim  := literal | qualified_column | '(' or ')'
+class Parser {
+ public:
+  explicit Parser(std::vector<SqlToken> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseSelect();
+
+ private:
+  const SqlToken& Peek() const { return tokens_[pos_]; }
+  const SqlToken& Advance() { return tokens_[pos_++]; }
+
+  bool MatchKeyword(const std::string& kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchSymbol(const std::string& sym) {
+    if (Peek().IsSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Error("expected " + kw);
+  }
+
+  Status ExpectSymbol(const std::string& sym) {
+    if (MatchSymbol(sym)) return Status::OK();
+    return Error("expected '" + sym + "'");
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at offset " +
+                              std::to_string(Peek().position) + " (near '" +
+                              Peek().text + "')");
+  }
+
+  Result<std::string> ParseIdentifier(const std::string& what) {
+    if (Peek().type != SqlTokenType::kIdentifier) {
+      return Error("expected " + what);
+    }
+    return Advance().text;
+  }
+
+  // ident or ident.ident
+  Result<std::string> ParseQualifiedName() {
+    LAKEFED_ASSIGN_OR_RETURN(std::string name, ParseIdentifier("name"));
+    if (MatchSymbol(".")) {
+      LAKEFED_ASSIGN_OR_RETURN(std::string col, ParseIdentifier("column"));
+      return name + "." + col;
+    }
+    return name;
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    LAKEFED_ASSIGN_OR_RETURN(ref.table, ParseIdentifier("table name"));
+    if (MatchKeyword("AS")) {
+      LAKEFED_ASSIGN_OR_RETURN(ref.alias, ParseIdentifier("alias"));
+    } else if (Peek().type == SqlTokenType::kIdentifier) {
+      ref.alias = Advance().text;
+    } else {
+      ref.alias = ref.table;
+    }
+    return ref;
+  }
+
+  Result<ExprPtr> ParseOr() {
+    LAKEFED_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (MatchKeyword("OR")) {
+      LAKEFED_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    LAKEFED_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (MatchKeyword("AND")) {
+      LAKEFED_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      LAKEFED_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      return ExprPtr(std::make_shared<NotExpr>(std::move(inner)));
+    }
+    return ParsePredicate();
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    LAKEFED_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+
+    // comparison
+    static const std::pair<const char*, BinaryOp> kCmps[] = {
+        {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"<>", BinaryOp::kNe},
+        {"!=", BinaryOp::kNe}, {"=", BinaryOp::kEq},  {"<", BinaryOp::kLt},
+        {">", BinaryOp::kGt},
+    };
+    for (const auto& [sym, op] : kCmps) {
+      if (MatchSymbol(sym)) {
+        LAKEFED_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return MakeBinary(op, std::move(lhs), std::move(rhs));
+      }
+    }
+
+    bool negated = false;
+    size_t saved = pos_;
+    if (MatchKeyword("NOT")) {
+      negated = true;
+      if (!Peek().IsKeyword("LIKE") && !Peek().IsKeyword("IN")) {
+        pos_ = saved;  // the NOT belongs to an enclosing expression
+        return lhs;
+      }
+    }
+    if (MatchKeyword("LIKE")) {
+      if (Peek().type != SqlTokenType::kString) {
+        return Error("expected string pattern after LIKE");
+      }
+      std::string pattern = Advance().text;
+      return ExprPtr(std::make_shared<LikeExpr>(std::move(lhs),
+                                                std::move(pattern), negated));
+    }
+    if (MatchKeyword("IN")) {
+      LAKEFED_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<Value> values;
+      while (true) {
+        LAKEFED_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        values.push_back(std::move(v));
+        if (MatchSymbol(",")) continue;
+        LAKEFED_RETURN_NOT_OK(ExpectSymbol(")"));
+        break;
+      }
+      return ExprPtr(std::make_shared<InExpr>(std::move(lhs),
+                                              std::move(values), negated));
+    }
+    if (MatchKeyword("IS")) {
+      bool is_not = MatchKeyword("NOT");
+      LAKEFED_RETURN_NOT_OK(ExpectKeyword("NULL"));
+      return ExprPtr(std::make_shared<IsNullExpr>(std::move(lhs), is_not));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    LAKEFED_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (MatchSymbol("+")) {
+        LAKEFED_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary(BinaryOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (MatchSymbol("-")) {
+        LAKEFED_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = MakeBinary(BinaryOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    LAKEFED_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (true) {
+      if (MatchSymbol("*")) {
+        LAKEFED_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary(BinaryOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (MatchSymbol("/")) {
+        LAKEFED_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+        lhs = MakeBinary(BinaryOp::kDiv, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (MatchSymbol("-")) {
+      LAKEFED_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      return MakeBinary(BinaryOp::kSub, MakeLiteral(Value(int64_t{0})),
+                        std::move(inner));
+    }
+    return ParsePrimary();
+  }
+
+  Result<Value> ParseLiteralValue() {
+    const SqlToken& tok = Peek();
+    switch (tok.type) {
+      case SqlTokenType::kInteger: {
+        Advance();
+        return Value(static_cast<int64_t>(std::strtoll(tok.text.c_str(),
+                                                       nullptr, 10)));
+      }
+      case SqlTokenType::kFloat: {
+        Advance();
+        return Value(std::strtod(tok.text.c_str(), nullptr));
+      }
+      case SqlTokenType::kString: {
+        Advance();
+        return Value(tok.text);
+      }
+      case SqlTokenType::kKeyword:
+        if (tok.text == "NULL") {
+          Advance();
+          return Value::Null();
+        }
+        if (tok.text == "TRUE") {
+          Advance();
+          return Value(int64_t{1});
+        }
+        if (tok.text == "FALSE") {
+          Advance();
+          return Value(int64_t{0});
+        }
+        break;
+      case SqlTokenType::kSymbol:
+        if (tok.text == "-") {
+          Advance();
+          LAKEFED_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+          if (v.is_int()) return Value(-v.AsInt());
+          if (v.is_double()) return Value(-v.AsDouble());
+          return Error("'-' before non-numeric literal");
+        }
+        break;
+      default:
+        break;
+    }
+    return Error("expected literal");
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const SqlToken& tok = Peek();
+    if (tok.type == SqlTokenType::kInteger ||
+        tok.type == SqlTokenType::kFloat ||
+        tok.type == SqlTokenType::kString ||
+        tok.IsKeyword("NULL") || tok.IsKeyword("TRUE") ||
+        tok.IsKeyword("FALSE")) {
+      LAKEFED_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      return MakeLiteral(std::move(v));
+    }
+    if (tok.type == SqlTokenType::kIdentifier) {
+      LAKEFED_ASSIGN_OR_RETURN(std::string name, ParseQualifiedName());
+      return MakeColumn(std::move(name));
+    }
+    if (MatchSymbol("(")) {
+      LAKEFED_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+      LAKEFED_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    return Error("expected expression");
+  }
+
+  std::vector<SqlToken> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<SelectStatement> Parser::ParseSelect() {
+  SelectStatement stmt;
+  LAKEFED_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+  stmt.distinct = MatchKeyword("DISTINCT");
+  if (MatchSymbol("*")) {
+    stmt.select_all = true;
+  } else {
+    while (true) {
+      SelectItem item;
+      // Aggregate functions: COUNT/SUM/MIN/MAX/AVG ( [DISTINCT] expr | * ).
+      static const std::pair<const char*, AggFunc> kAggs[] = {
+          {"COUNT", AggFunc::kCount}, {"SUM", AggFunc::kSum},
+          {"MIN", AggFunc::kMin},     {"MAX", AggFunc::kMax},
+          {"AVG", AggFunc::kAvg},
+      };
+      for (const auto& [kw, func] : kAggs) {
+        if (Peek().IsKeyword(kw)) {
+          Advance();
+          item.agg = func;
+          break;
+        }
+      }
+      if (item.IsAggregate()) {
+        LAKEFED_RETURN_NOT_OK(ExpectSymbol("("));
+        item.agg_distinct = MatchKeyword("DISTINCT");
+        if (MatchSymbol("*")) {
+          if (item.agg != AggFunc::kCount) {
+            return Error("'*' argument is only valid for COUNT");
+          }
+          item.expr = nullptr;
+        } else {
+          LAKEFED_ASSIGN_OR_RETURN(item.expr, ParseAdditive());
+        }
+        LAKEFED_RETURN_NOT_OK(ExpectSymbol(")"));
+      } else {
+        LAKEFED_ASSIGN_OR_RETURN(item.expr, ParseAdditive());
+      }
+      if (MatchKeyword("AS")) {
+        LAKEFED_ASSIGN_OR_RETURN(item.alias, ParseIdentifier("alias"));
+      } else if (item.IsAggregate()) {
+        item.alias = AggFuncToString(item.agg) + "(" +
+                     (item.agg_distinct ? "DISTINCT " : "") +
+                     (item.expr == nullptr ? "*" : item.expr->ToString()) +
+                     ")";
+      } else {
+        item.alias = item.expr->ToString();
+      }
+      stmt.items.push_back(std::move(item));
+      if (!MatchSymbol(",")) break;
+    }
+  }
+  LAKEFED_RETURN_NOT_OK(ExpectKeyword("FROM"));
+  LAKEFED_ASSIGN_OR_RETURN(stmt.from, ParseTableRef());
+  while (true) {
+    if (MatchKeyword("INNER")) {
+      LAKEFED_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+    } else if (!MatchKeyword("JOIN")) {
+      break;
+    }
+    JoinClause join;
+    LAKEFED_ASSIGN_OR_RETURN(join.table, ParseTableRef());
+    LAKEFED_RETURN_NOT_OK(ExpectKeyword("ON"));
+    LAKEFED_ASSIGN_OR_RETURN(join.on, ParseOr());
+    stmt.joins.push_back(std::move(join));
+  }
+  if (MatchKeyword("WHERE")) {
+    LAKEFED_ASSIGN_OR_RETURN(stmt.where, ParseOr());
+  }
+  if (MatchKeyword("GROUP")) {
+    LAKEFED_RETURN_NOT_OK(ExpectKeyword("BY"));
+    while (true) {
+      LAKEFED_ASSIGN_OR_RETURN(std::string column, ParseQualifiedName());
+      stmt.group_by.push_back(std::move(column));
+      if (!MatchSymbol(",")) break;
+    }
+  }
+  if (MatchKeyword("HAVING")) {
+    LAKEFED_ASSIGN_OR_RETURN(stmt.having, ParseOr());
+  }
+  if (MatchKeyword("ORDER")) {
+    LAKEFED_RETURN_NOT_OK(ExpectKeyword("BY"));
+    while (true) {
+      OrderByItem item;
+      LAKEFED_ASSIGN_OR_RETURN(item.column, ParseQualifiedName());
+      if (MatchKeyword("DESC")) {
+        item.ascending = false;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt.order_by.push_back(std::move(item));
+      if (!MatchSymbol(",")) break;
+    }
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().type != SqlTokenType::kInteger) {
+      return Error("expected integer after LIMIT");
+    }
+    stmt.limit = static_cast<int64_t>(
+        std::strtoll(Advance().text.c_str(), nullptr, 10));
+  }
+  MatchSymbol(";");
+  if (Peek().type != SqlTokenType::kEnd) {
+    return Error("unexpected trailing input");
+  }
+  return stmt;
+}
+
+}  // namespace
+
+Result<SelectStatement> ParseSql(const std::string& sql) {
+  LAKEFED_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, TokenizeSql(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelect();
+}
+
+}  // namespace lakefed::rel

@@ -1,0 +1,18 @@
+// Recursive-descent parser for the SQL subset (see sql_ast.h).
+
+#ifndef LAKEFED_REL_SQL_PARSER_H_
+#define LAKEFED_REL_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "rel/sql_ast.h"
+
+namespace lakefed::rel {
+
+// Parses one SELECT statement (a trailing ';' is permitted).
+Result<SelectStatement> ParseSql(const std::string& sql);
+
+}  // namespace lakefed::rel
+
+#endif  // LAKEFED_REL_SQL_PARSER_H_

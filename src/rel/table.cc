@@ -1,0 +1,113 @@
+#include "rel/table.h"
+
+#include <algorithm>
+
+namespace lakefed::rel {
+
+Table::Table(std::string name, Schema schema,
+             std::optional<std::string> primary_key)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      primary_key_(std::move(primary_key)) {
+  stats_.resize(schema_.num_columns());
+  value_counts_.resize(schema_.num_columns());
+  if (primary_key_.has_value()) {
+    indexes_[*primary_key_] = std::make_unique<BPlusTree>(/*unique=*/true);
+  }
+}
+
+Status Table::Insert(Row row) {
+  LAKEFED_RETURN_NOT_OK(
+      schema_.ValidateRow(row).WithContext("insert into " + name_));
+  RowId id = static_cast<RowId>(rows_.size());
+  // Index maintenance first so a PK violation leaves the table untouched.
+  for (auto& [column, index] : indexes_) {
+    size_t col = *schema_.FindColumn(column);
+    if (row[col].is_null()) continue;  // NULLs are not indexed
+    Status st = index->Insert(row[col], id);
+    if (!st.ok()) {
+      // Roll back the indexes updated so far (map order is deterministic).
+      for (auto& [col2, index2] : indexes_) {
+        if (col2 == column) break;
+        size_t c2 = *schema_.FindColumn(col2);
+        if (!row[c2].is_null()) {
+          index2->Erase(row[c2], id).WithContext("rollback");
+        }
+      }
+      return st.WithContext("insert into " + name_);
+    }
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (row[c].is_null()) {
+      ++stats_[c].num_nulls;
+      continue;
+    }
+    size_t& count = value_counts_[c][row[c]];
+    if (count == 0) ++stats_[c].num_distinct;
+    ++count;
+    stats_[c].max_value_frequency =
+        std::max(stats_[c].max_value_frequency, count);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  LAKEFED_ASSIGN_OR_RETURN(size_t col, schema_.ColumnIndex(column));
+  if (indexes_.count(column) > 0) {
+    return Status::AlreadyExists("index on " + name_ + "." + column);
+  }
+  auto index = std::make_unique<BPlusTree>(/*unique=*/false);
+  for (RowId id = 0; id < rows_.size(); ++id) {
+    if (rows_[id][col].is_null()) continue;
+    LAKEFED_RETURN_NOT_OK(index->Insert(rows_[id][col], id));
+  }
+  indexes_[column] = std::move(index);
+  return Status::OK();
+}
+
+Status Table::DropIndex(const std::string& column) {
+  if (primary_key_.has_value() && column == *primary_key_) {
+    return Status::InvalidArgument("cannot drop primary-key index on " +
+                                   name_ + "." + column);
+  }
+  if (indexes_.erase(column) == 0) {
+    return Status::NotFound("no index on " + name_ + "." + column);
+  }
+  return Status::OK();
+}
+
+bool Table::HasIndexOn(const std::string& column) const {
+  return indexes_.count(column) > 0;
+}
+
+const BPlusTree* Table::IndexOn(const std::string& column) const {
+  auto it = indexes_.find(column);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Table::IndexedColumns() const {
+  std::vector<std::string> out;
+  if (primary_key_.has_value()) out.push_back(*primary_key_);
+  for (const auto& [column, index] : indexes_) {
+    if (!primary_key_.has_value() || column != *primary_key_) {
+      out.push_back(column);
+    }
+  }
+  return out;
+}
+
+double Table::EstimateEqualitySelectivity(const std::string& column,
+                                          const Value& value) const {
+  auto col = schema_.FindColumn(column);
+  if (!col.has_value() || rows_.empty()) return 1.0;
+  auto it = value_counts_[*col].find(value);
+  if (it != value_counts_[*col].end()) {
+    return static_cast<double>(it->second) / static_cast<double>(rows_.size());
+  }
+  const ColumnStats& stats = stats_[*col];
+  if (stats.num_distinct == 0) return 0.0;
+  return 1.0 / static_cast<double>(stats.num_distinct);
+}
+
+}  // namespace lakefed::rel

@@ -1,0 +1,86 @@
+// Table: a row-store relation with a primary-key B+-tree and optional
+// secondary B+-tree indexes. Index metadata (which columns are indexed) is
+// what the federated mediator inspects to apply the paper's heuristics.
+
+#ifndef LAKEFED_REL_TABLE_H_
+#define LAKEFED_REL_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rel/btree.h"
+#include "rel/schema.h"
+#include "rel/value.h"
+
+namespace lakefed::rel {
+
+// Per-column statistics maintained on insert; used by the planner and by the
+// physical design advisor (the paper's 15% rule).
+struct ColumnStats {
+  size_t num_distinct = 0;
+  size_t max_value_frequency = 0;  // occurrences of the most frequent value
+  size_t num_nulls = 0;
+};
+
+class Table {
+ public:
+  // `primary_key` must name a column of `schema`; it is implicitly indexed
+  // (unique). Pass nullopt for a heap table without a PK.
+  Table(std::string name, Schema schema,
+        std::optional<std::string> primary_key);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  const std::optional<std::string>& primary_key() const { return primary_key_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  // Appends a row; validates against the schema, enforces PK uniqueness and
+  // maintains every index and the statistics.
+  Status Insert(Row row);
+
+  const Row& row(RowId id) const { return rows_[id]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  // Creates a secondary (non-unique) index on `column`.
+  Status CreateIndex(const std::string& column);
+  Status DropIndex(const std::string& column);
+
+  // True if `column` has any index (primary or secondary). This is the
+  // physical-design fact the paper's heuristics consume.
+  bool HasIndexOn(const std::string& column) const;
+
+  // The B+-tree on `column`, or nullptr.
+  const BPlusTree* IndexOn(const std::string& column) const;
+
+  // Names of all indexed columns (PK first if present).
+  std::vector<std::string> IndexedColumns() const;
+
+  const ColumnStats& column_stats(size_t column_index) const {
+    return stats_[column_index];
+  }
+
+  // Estimated fraction of rows matching `column = value` (uses the index or
+  // distinct counts). In [0, 1].
+  double EstimateEqualitySelectivity(const std::string& column,
+                                     const Value& value) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::optional<std::string> primary_key_;
+  std::vector<Row> rows_;
+  // column name -> index; the PK index lives here too (unique=true).
+  std::map<std::string, std::unique_ptr<BPlusTree>> indexes_;
+  std::vector<ColumnStats> stats_;
+  // Exact value frequency per column, maintained to compute
+  // max_value_frequency and distinct counts (memory is fine at lake scale).
+  std::vector<std::map<Value, size_t>> value_counts_;
+};
+
+}  // namespace lakefed::rel
+
+#endif  // LAKEFED_REL_TABLE_H_

@@ -1,0 +1,73 @@
+#include "rel/value.h"
+
+#include "common/string_util.h"
+
+namespace lakefed::rel {
+namespace {
+
+// Rank of the type in the total order: NULL < numeric < string.
+int TypeRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_numeric()) return 1;
+  return 2;
+}
+
+}  // namespace
+
+std::string ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64: return "INT";
+    case ColumnType::kDouble: return "DOUBLE";
+    case ColumnType::kString: return "VARCHAR";
+  }
+  return "?";
+}
+
+int Value::Compare(const Value& other) const {
+  int lr = TypeRank(*this), rr = TypeRank(other);
+  if (lr != rr) return lr < rr ? -1 : 1;
+  if (is_null()) return 0;
+  if (is_numeric()) {
+    if (is_int() && other.is_int()) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a == b ? 0 : 1);
+    }
+    double a = AsDouble(), b = other.AsDouble();
+    return a < b ? -1 : (a == b ? 0 : 1);
+  }
+  int c = AsString().compare(other.AsString());
+  return c < 0 ? -1 : (c == 0 ? 0 : 1);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    std::string s = std::to_string(AsDouble());
+    return s;
+  }
+  return AsString();
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (is_string()) {
+    return "'" + ReplaceAll(AsString(), "'", "''") + "'";
+  }
+  return ToString();
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ull;
+  if (is_int()) return std::hash<int64_t>{}(AsInt());
+  if (is_double()) {
+    double d = AsDouble();
+    // Hash integral doubles like their int counterpart so mixed-type join
+    // keys that compare equal also hash equal.
+    int64_t i = static_cast<int64_t>(d);
+    if (static_cast<double>(i) == d) return std::hash<int64_t>{}(i);
+    return std::hash<double>{}(d);
+  }
+  return std::hash<std::string>{}(AsString());
+}
+
+}  // namespace lakefed::rel

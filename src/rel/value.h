@@ -1,0 +1,82 @@
+// Value: the dynamically-typed cell of the relational engine.
+// Supported types: NULL, INT64, DOUBLE, STRING (matching the subset of MySQL
+// types the LSLOD relational schemas need).
+
+#ifndef LAKEFED_REL_VALUE_H_
+#define LAKEFED_REL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lakefed::rel {
+
+enum class ColumnType { kInt64, kDouble, kString };
+
+std::string ColumnTypeToString(ColumnType type);
+
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}  // NULL
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(data_))
+                    : std::get<double>(data_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  // SQL-style three-valued-logic-free total order used by indexes:
+  // NULL < numerics < strings; numerics compared as doubles when mixed.
+  // Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  // Rendering: NULL -> "NULL", strings unquoted.
+  std::string ToString() const;
+  // Rendering as a SQL literal: strings quoted with '' escaping.
+  std::string ToSqlLiteral() const;
+
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+using Row = std::vector<Value>;
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    size_t h = 1469598103934665603ull;
+    for (const Value& v : row) h = (h ^ v.Hash()) * 1099511628211ull;
+    return h;
+  }
+};
+
+}  // namespace lakefed::rel
+
+#endif  // LAKEFED_REL_VALUE_H_

@@ -1,0 +1,152 @@
+#include "sparql/ast.h"
+
+#include <set>
+
+namespace lakefed::sparql {
+
+std::vector<std::string> SelectQuery::PatternVariables() const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  auto add = [&](const rdf::TriplePattern& p) {
+    for (const std::string& v : p.Variables()) {
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  };
+  for (const rdf::TriplePattern& p : patterns) add(p);
+  for (const OptionalGroup& group : optionals) {
+    for (const rdf::TriplePattern& p : group.patterns) add(p);
+  }
+  for (const UnionBlock& block : unions) {
+    for (const UnionBlock::Branch& branch : block.branches) {
+      for (const rdf::TriplePattern& p : branch.patterns) add(p);
+    }
+  }
+  return out;
+}
+
+std::string AggregateFuncToString(SelectAggregate::Func func) {
+  switch (func) {
+    case SelectAggregate::Func::kCount: return "COUNT";
+    case SelectAggregate::Func::kSum: return "SUM";
+    case SelectAggregate::Func::kMin: return "MIN";
+    case SelectAggregate::Func::kMax: return "MAX";
+    case SelectAggregate::Func::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+std::vector<std::string> SelectQuery::EffectiveProjection() const {
+  if (HasAggregates()) {
+    std::vector<std::string> out = variables;  // grouping keys
+    for (const SelectAggregate& agg : aggregates) out.push_back(agg.alias);
+    return out;
+  }
+  return select_all ? PatternVariables() : variables;
+}
+
+std::vector<SelectQuery> ExpandUnions(const SelectQuery& query) {
+  if (query.unions.empty()) return {query};
+  // Branch combinations across all union blocks (usually just one block).
+  std::vector<SelectQuery> out;
+  SelectQuery base = query;
+  base.unions.clear();
+  base.distinct = false;
+  base.order_by.clear();
+  base.limit.reset();
+  // SELECT * must keep projecting the union of all variables, including
+  // those of branches absent from a particular rewrite.
+  if (base.select_all) {
+    base.select_all = false;
+    base.variables = query.EffectiveProjection();
+  }
+
+  std::vector<SelectQuery> combos = {base};
+  for (const UnionBlock& block : query.unions) {
+    std::vector<SelectQuery> next;
+    for (const SelectQuery& combo : combos) {
+      for (const UnionBlock::Branch& branch : block.branches) {
+        SelectQuery expanded = combo;
+        expanded.patterns.insert(expanded.patterns.end(),
+                                 branch.patterns.begin(),
+                                 branch.patterns.end());
+        expanded.filters.insert(expanded.filters.end(),
+                                branch.filters.begin(),
+                                branch.filters.end());
+        next.push_back(std::move(expanded));
+      }
+    }
+    combos = std::move(next);
+  }
+  return combos;
+}
+
+std::string SelectQuery::ToString() const {
+  std::string out;
+  for (const auto& [prefix, iri] : prefixes) {
+    out += "PREFIX " + prefix + ": <" + iri + ">\n";
+  }
+  out += "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  if (select_all) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < variables.size(); ++i) {
+      if (i > 0) out += " ";
+      out += "?" + variables[i];
+    }
+    for (const SelectAggregate& agg : aggregates) {
+      if (!out.empty() && out.back() != ' ') out += " ";
+      out += "(" + AggregateFuncToString(agg.func) + "(" +
+             (agg.distinct ? "DISTINCT " : "") +
+             (agg.var.empty() ? "*" : "?" + agg.var) + ") AS ?" + agg.alias +
+             ")";
+    }
+  }
+  out += " WHERE {\n";
+  for (const rdf::TriplePattern& p : patterns) {
+    out += "  " + p.ToString() + "\n";
+  }
+  for (const FilterExprPtr& f : filters) {
+    out += "  FILTER " + f->ToString() + "\n";
+  }
+  for (const OptionalGroup& group : optionals) {
+    out += "  OPTIONAL {\n";
+    for (const rdf::TriplePattern& p : group.patterns) {
+      out += "    " + p.ToString() + "\n";
+    }
+    for (const FilterExprPtr& f : group.filters) {
+      out += "    FILTER " + f->ToString() + "\n";
+    }
+    out += "  }\n";
+  }
+  for (const UnionBlock& block : unions) {
+    out += "  ";
+    for (size_t b = 0; b < block.branches.size(); ++b) {
+      if (b > 0) out += " UNION ";
+      out += "{\n";
+      for (const rdf::TriplePattern& p : block.branches[b].patterns) {
+        out += "    " + p.ToString() + "\n";
+      }
+      for (const FilterExprPtr& f : block.branches[b].filters) {
+        out += "    FILTER " + f->ToString() + "\n";
+      }
+      out += "  }";
+    }
+    out += "\n";
+  }
+  out += "}";
+  if (!group_by.empty()) {
+    out += " GROUP BY";
+    for (const std::string& v : group_by) out += " ?" + v;
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY";
+    for (const OrderCondition& c : order_by) {
+      out += c.ascending ? " ?" + c.variable : " DESC(?" + c.variable + ")";
+    }
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+}  // namespace lakefed::sparql

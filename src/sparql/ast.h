@@ -1,0 +1,87 @@
+// SPARQL SELECT query AST (the subset used by the paper's workload):
+// PREFIX declarations, SELECT [DISTINCT] vars|*, a WHERE block of triple
+// patterns (with ';'/',' abbreviations) and FILTERs, and LIMIT.
+
+#ifndef LAKEFED_SPARQL_AST_H_
+#define LAKEFED_SPARQL_AST_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdf/bgp.h"
+#include "sparql/filter_expr.h"
+
+namespace lakefed::sparql {
+
+// An OPTIONAL { ... } group: patterns plus group-scoped filters.
+struct OptionalGroup {
+  std::vector<rdf::TriplePattern> patterns;
+  std::vector<FilterExprPtr> filters;
+};
+
+// One `{ ... } UNION { ... } [UNION ...]` block: two or more alternative
+// branches, each a small group of patterns and filters.
+struct UnionBlock {
+  struct Branch {
+    std::vector<rdf::TriplePattern> patterns;
+    std::vector<FilterExprPtr> filters;
+  };
+  std::vector<Branch> branches;  // >= 2
+};
+
+struct OrderCondition {
+  std::string variable;  // without '?'
+  bool ascending = true;
+};
+
+// A `(FUNC(?var) AS ?alias)` select item. Aggregation happens at the
+// mediator over the grouped solutions.
+struct SelectAggregate {
+  enum class Func { kCount, kSum, kMin, kMax, kAvg };
+  Func func = Func::kCount;
+  std::string var;    // empty = COUNT(*)
+  bool distinct = false;
+  std::string alias;  // output variable (without '?')
+};
+
+std::string AggregateFuncToString(SelectAggregate::Func func);
+
+struct SelectQuery {
+  std::map<std::string, std::string> prefixes;  // prefix -> IRI base
+  bool distinct = false;
+  bool select_all = false;               // SELECT *
+  std::vector<std::string> variables;    // projection (names without '?')
+  // Aggregate select items; when non-empty, `variables` must equal
+  // `group_by` (plain variables are the grouping keys).
+  std::vector<SelectAggregate> aggregates;
+  std::vector<std::string> group_by;     // GROUP BY variables
+  std::vector<rdf::TriplePattern> patterns;
+  std::vector<FilterExprPtr> filters;    // implicitly conjoined
+  std::vector<OptionalGroup> optionals;
+  std::vector<UnionBlock> unions;
+  std::vector<OrderCondition> order_by;
+  std::optional<int64_t> limit;
+
+  bool HasAggregates() const { return !aggregates.empty(); }
+
+  // All variables appearing in the BGP (optional groups included), in
+  // first-appearance order.
+  std::vector<std::string> PatternVariables() const;
+
+  // Projection after resolving SELECT * (all pattern variables).
+  std::vector<std::string> EffectiveProjection() const;
+
+  std::string ToString() const;
+};
+
+// Rewrites UNION blocks away: one query per combination of branches (the
+// branch patterns/filters inlined into the main group), with DISTINCT,
+// ORDER BY and LIMIT stripped — the caller applies those to the merged
+// result. Queries without unions expand to themselves (modifiers intact).
+std::vector<SelectQuery> ExpandUnions(const SelectQuery& query);
+
+}  // namespace lakefed::sparql
+
+#endif  // LAKEFED_SPARQL_AST_H_

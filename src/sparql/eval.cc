@@ -1,0 +1,251 @@
+#include "sparql/eval.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sparql/aggregate.h"
+
+namespace lakefed::sparql {
+namespace {
+
+bool PassesFilters(const std::vector<FilterExprPtr>& filters,
+                   const rdf::Binding& binding) {
+  for (const FilterExprPtr& filter : filters) {
+    // Evaluation errors (e.g. unbound variable) reject the solution.
+    Result<bool> pass = filter->EvalBool(binding);
+    if (!pass.ok() || !*pass) return false;
+  }
+  return true;
+}
+
+SolutionRow ProjectRow(const rdf::Binding& binding,
+                       const std::vector<std::string>& projection) {
+  SolutionRow row;
+  row.values.reserve(projection.size());
+  for (const std::string& var : projection) {
+    auto it = binding.find(var);
+    // Unbound (possible under OPTIONAL) is the empty term.
+    row.values.push_back(it == binding.end() ? rdf::Term() : it->second);
+  }
+  return row;
+}
+
+}  // namespace
+
+bool SolutionRow::operator<(const SolutionRow& other) const {
+  size_t n = std::min(values.size(), other.values.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = values[i].Compare(other.values[i]);
+    if (c != 0) return c < 0;
+  }
+  return values.size() < other.values.size();
+}
+
+Status EvaluateVisit(const SelectQuery& query, const rdf::TripleStore& store,
+                     const std::function<bool(const SolutionRow&)>& fn) {
+  std::vector<std::string> projection = query.EffectiveProjection();
+
+  // Aggregates: evaluate the inner (aggregate-free) query, then group at
+  // this level; ordering/DISTINCT/LIMIT apply to the aggregated rows.
+  if (query.HasAggregates()) {
+    SelectQuery inner = query;
+    inner.aggregates.clear();
+    inner.group_by.clear();
+    inner.order_by.clear();
+    inner.limit.reset();
+    inner.distinct = false;
+    inner.select_all = false;
+    bool count_star = false;
+    std::set<std::string> needed(query.group_by.begin(),
+                                 query.group_by.end());
+    for (const SelectAggregate& agg : query.aggregates) {
+      if (agg.var.empty()) {
+        count_star = true;
+      } else {
+        needed.insert(agg.var);
+      }
+    }
+    inner.variables =
+        count_star ? query.PatternVariables()
+                   : std::vector<std::string>(needed.begin(), needed.end());
+    if (inner.variables.empty()) inner.variables = query.PatternVariables();
+    LAKEFED_ASSIGN_OR_RETURN(EvalResult base, Evaluate(inner, store));
+
+    std::vector<rdf::Binding> solutions;
+    solutions.reserve(base.rows.size());
+    for (const SolutionRow& row : base.rows) {
+      rdf::Binding b;
+      for (size_t i = 0; i < base.variables.size(); ++i) {
+        const rdf::Term& t = row.values[i];
+        if (t.is_iri() && t.value().empty()) continue;  // unbound
+        b.emplace(base.variables[i], t);
+      }
+      solutions.push_back(std::move(b));
+    }
+    std::vector<rdf::Binding> aggregated =
+        AggregateSolutions(solutions, query.group_by, query.aggregates);
+    SortBindings(&aggregated, query.order_by);
+
+    std::set<SolutionRow> seen;
+    int64_t emitted = 0;
+    for (const rdf::Binding& row : aggregated) {
+      SolutionRow out = ProjectRow(row, projection);
+      if (query.distinct && !seen.insert(out).second) continue;
+      ++emitted;
+      if (!fn(out)) break;
+      if (query.limit.has_value() && emitted >= *query.limit) break;
+    }
+    return Status::OK();
+  }
+
+  // UNION blocks: evaluate every branch combination, merge (bag union),
+  // then apply ordering/DISTINCT/LIMIT over the merged result.
+  if (!query.unions.empty()) {
+    // Sorting may reference non-projected variables: extend the expanded
+    // projection, sort, then truncate.
+    std::vector<std::string> extended = projection;
+    for (const OrderCondition& cond : query.order_by) {
+      if (std::find(extended.begin(), extended.end(), cond.variable) ==
+          extended.end()) {
+        extended.push_back(cond.variable);
+      }
+    }
+    std::vector<SolutionRow> merged;
+    for (SelectQuery& branch : ExpandUnions(query)) {
+      branch.variables = extended;
+      LAKEFED_ASSIGN_OR_RETURN(EvalResult result, Evaluate(branch, store));
+      merged.insert(merged.end(),
+                    std::make_move_iterator(result.rows.begin()),
+                    std::make_move_iterator(result.rows.end()));
+    }
+    if (!query.order_by.empty()) {
+      std::stable_sort(
+          merged.begin(), merged.end(),
+          [&](const SolutionRow& a, const SolutionRow& b) {
+            for (const OrderCondition& cond : query.order_by) {
+              size_t idx = static_cast<size_t>(
+                  std::find(extended.begin(), extended.end(),
+                            cond.variable) -
+                  extended.begin());
+              const rdf::Term& ta = a.values[idx];
+              const rdf::Term& tb = b.values[idx];
+              bool ba = !(ta.is_iri() && ta.value().empty());
+              bool bb = !(tb.is_iri() && tb.value().empty());
+              int c;
+              if (!ba && !bb) {
+                c = 0;
+              } else if (ba != bb) {
+                c = ba ? 1 : -1;  // unbound first
+              } else {
+                c = CompareTermsSparql(ta, tb);
+              }
+              if (c != 0) return cond.ascending ? c < 0 : c > 0;
+            }
+            return false;
+          });
+    }
+    std::set<SolutionRow> seen;
+    int64_t emitted = 0;
+    for (SolutionRow& row : merged) {
+      row.values.resize(projection.size());  // strip sort-only columns
+      if (query.distinct && !seen.insert(row).second) continue;
+      ++emitted;
+      if (!fn(row)) break;
+      if (query.limit.has_value() && emitted >= *query.limit) break;
+    }
+    return Status::OK();
+  }
+
+  // Fast streaming path: no optionals, no ordering.
+  if (query.optionals.empty() && query.order_by.empty()) {
+    std::set<SolutionRow> seen;  // for DISTINCT
+    int64_t emitted = 0;
+    return rdf::EvaluateBgpVisit(
+        store, query.patterns, [&](const rdf::Binding& binding) {
+          if (!PassesFilters(query.filters, binding)) return true;
+          SolutionRow row = ProjectRow(binding, projection);
+          if (query.distinct && !seen.insert(row).second) return true;
+          ++emitted;
+          if (!fn(row)) return false;
+          return !(query.limit.has_value() && emitted >= *query.limit);
+        });
+  }
+
+  // General path: materialize, extend with OPTIONAL groups, filter, sort.
+  std::vector<rdf::Binding> solutions;
+  LAKEFED_RETURN_NOT_OK(rdf::EvaluateBgpVisit(
+      store, query.patterns, [&](const rdf::Binding& binding) {
+        solutions.push_back(binding);
+        return true;
+      }));
+
+  for (const OptionalGroup& group : query.optionals) {
+    std::vector<rdf::Binding> extended;
+    for (const rdf::Binding& solution : solutions) {
+      bool found = false;
+      LAKEFED_RETURN_NOT_OK(rdf::EvaluateBgpSeededVisit(
+          store, group.patterns, solution, [&](const rdf::Binding& b) {
+            if (!PassesFilters(group.filters, b)) return true;
+            extended.push_back(b);
+            found = true;
+            return true;
+          }));
+      // Left-outer semantics: keep the solution when nothing extends it.
+      if (!found) extended.push_back(solution);
+    }
+    solutions = std::move(extended);
+  }
+
+  solutions.erase(std::remove_if(solutions.begin(), solutions.end(),
+                                 [&](const rdf::Binding& b) {
+                                   return !PassesFilters(query.filters, b);
+                                 }),
+                  solutions.end());
+
+  if (!query.order_by.empty()) {
+    std::stable_sort(
+        solutions.begin(), solutions.end(),
+        [&](const rdf::Binding& a, const rdf::Binding& b) {
+          for (const OrderCondition& cond : query.order_by) {
+            auto ita = a.find(cond.variable);
+            auto itb = b.find(cond.variable);
+            bool ba = ita != a.end(), bb = itb != b.end();
+            int c;
+            if (!ba && !bb) {
+              c = 0;  // both unbound
+            } else if (ba != bb) {
+              c = ba ? 1 : -1;  // unbound sorts first
+            } else {
+              c = CompareTermsSparql(ita->second, itb->second);
+            }
+            if (c != 0) return cond.ascending ? c < 0 : c > 0;
+          }
+          return false;
+        });
+  }
+
+  std::set<SolutionRow> seen;
+  int64_t emitted = 0;
+  for (const rdf::Binding& solution : solutions) {
+    SolutionRow row = ProjectRow(solution, projection);
+    if (query.distinct && !seen.insert(row).second) continue;
+    ++emitted;
+    if (!fn(row)) break;
+    if (query.limit.has_value() && emitted >= *query.limit) break;
+  }
+  return Status::OK();
+}
+
+Result<EvalResult> Evaluate(const SelectQuery& query,
+                            const rdf::TripleStore& store) {
+  EvalResult result;
+  result.variables = query.EffectiveProjection();
+  LAKEFED_RETURN_NOT_OK(EvaluateVisit(query, store,
+                                      [&](const SolutionRow& row) {
+                                        result.rows.push_back(row);
+                                        return true;
+                                      }));
+  return result;
+}
+
+}  // namespace lakefed::sparql

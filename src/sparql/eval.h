@@ -1,0 +1,45 @@
+// Direct evaluation of a SelectQuery against a single TripleStore: BGP
+// matching + FILTERs + projection + DISTINCT + LIMIT. Serves as (a) the
+// query engine of native RDF endpoints and (b) the single-store reference
+// oracle the federation tests compare against.
+
+#ifndef LAKEFED_SPARQL_EVAL_H_
+#define LAKEFED_SPARQL_EVAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/bgp.h"
+#include "rdf/triple_store.h"
+#include "sparql/ast.h"
+
+namespace lakefed::sparql {
+
+// One result row: terms in the order of the query's effective projection.
+// Variables a solution leaves unbound (impossible in pure BGPs) are empty
+// IRIs.
+struct SolutionRow {
+  std::vector<rdf::Term> values;
+
+  bool operator==(const SolutionRow& other) const {
+    return values == other.values;
+  }
+  bool operator<(const SolutionRow& other) const;
+};
+
+struct EvalResult {
+  std::vector<std::string> variables;  // projection
+  std::vector<SolutionRow> rows;
+};
+
+Result<EvalResult> Evaluate(const SelectQuery& query,
+                            const rdf::TripleStore& store);
+
+// Streaming variant: invokes `fn` per solution; return false to stop.
+Status EvaluateVisit(const SelectQuery& query, const rdf::TripleStore& store,
+                     const std::function<bool(const SolutionRow&)>& fn);
+
+}  // namespace lakefed::sparql
+
+#endif  // LAKEFED_SPARQL_EVAL_H_

@@ -1,0 +1,224 @@
+#include "sparql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace lakefed::sparql {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "DISTINCT", "WHERE", "FILTER", "PREFIX", "LIMIT", "A",
+      "OPTIONAL", "UNION", "ORDER", "BY", "ASC", "DESC", "GROUP",
+      "COUNT", "SUM", "MIN", "MAX", "AVG", "AS",
+  };
+  return *kKeywords;
+}
+
+const std::unordered_set<std::string>& Functions() {
+  static const auto* kFunctions = new std::unordered_set<std::string>{
+      "REGEX", "CONTAINS", "STRSTARTS", "STRENDS", "BOUND", "STR", "LANG",
+      "DATATYPE",
+  };
+  return *kFunctions;
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> TokenizeSparql(const std::string& query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = query.size();
+  while (i < n) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < n && query[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (c == '?' || c == '$') {
+      ++i;
+      size_t name_start = i;
+      while (i < n && IsNameChar(query[i])) ++i;
+      if (i == name_start) {
+        return Status::ParseError("empty variable name at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenType::kVariable,
+                        query.substr(name_start, i - name_start), start});
+      continue;
+    }
+    if (c == '<') {
+      // '<' is an IRI opener only when a '>' follows with no whitespace in
+      // between; otherwise it is the less-than operator (FILTERs).
+      size_t end = i + 1;
+      while (end < n && query[end] != '>' &&
+             !std::isspace(static_cast<unsigned char>(query[end]))) {
+        ++end;
+      }
+      if (end < n && query[end] == '>') {
+        tokens.push_back({TokenType::kIriRef,
+                          query.substr(i + 1, end - i - 1), start});
+        i = end + 1;
+        continue;
+      }
+      if (i + 1 < n && query[i + 1] == '=') {
+        tokens.push_back({TokenType::kSymbol, "<=", start});
+        i += 2;
+      } else {
+        tokens.push_back({TokenType::kSymbol, "<", start});
+        ++i;
+      }
+      continue;
+    }
+    if (c == '"') {
+      std::string content;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (query[i] == '\\' && i + 1 < n) {
+          char e = query[i + 1];
+          switch (e) {
+            case 'n': content.push_back('\n'); break;
+            case 't': content.push_back('\t'); break;
+            case '"': content.push_back('"'); break;
+            case '\\': content.push_back('\\'); break;
+            default:
+              return Status::ParseError("unsupported escape at offset " +
+                                        std::to_string(i));
+          }
+          i += 2;
+          continue;
+        }
+        if (query[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        content.push_back(query[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenType::kString, std::move(content), start});
+      continue;
+    }
+    if (c == '@') {
+      ++i;
+      size_t tag_start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(query[i])) ||
+                       query[i] == '-')) {
+        ++i;
+      }
+      if (i == tag_start) {
+        return Status::ParseError("empty language tag at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenType::kLangTag,
+                        query.substr(tag_start, i - tag_start), start});
+      continue;
+    }
+    if (c == '^' && i + 1 < n && query[i + 1] == '^') {
+      tokens.push_back({TokenType::kDtCaret, "^^", start});
+      i += 2;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(query[i + 1])))) {
+      bool is_decimal = false;
+      ++i;  // consume digit or '-'
+      while (i < n && (std::isdigit(static_cast<unsigned char>(query[i])) ||
+                       query[i] == '.')) {
+        if (query[i] == '.') {
+          if (i + 1 >= n ||
+              !std::isdigit(static_cast<unsigned char>(query[i + 1]))) {
+            break;  // the '.' is a triple terminator
+          }
+          is_decimal = true;
+        }
+        ++i;
+      }
+      tokens.push_back(
+          {is_decimal ? TokenType::kDecimal : TokenType::kInteger,
+           query.substr(start, i - start), start});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && IsNameChar(query[i])) ++i;
+      std::string word = query.substr(start, i - start);
+      // prefix:local (PNAME) — the ':' distinguishes it.
+      if (i < n && query[i] == ':') {
+        ++i;
+        size_t local_start = i;
+        while (i < n && IsNameChar(query[i])) ++i;
+        tokens.push_back({TokenType::kPname,
+                          word + ":" + query.substr(local_start,
+                                                    i - local_start),
+                          start});
+        continue;
+      }
+      std::string upper = ToUpperAscii(word);
+      if (Keywords().count(upper) > 0) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else if (Functions().count(upper) > 0) {
+        tokens.push_back({TokenType::kFunction, upper, start});
+      } else if (upper == "TRUE" || upper == "FALSE") {
+        // booleans surface as strings of a boolean datatype in the parser
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        return Status::ParseError("unexpected word '" + word +
+                                  "' at offset " + std::to_string(start));
+      }
+      continue;
+    }
+    if (c == ':') {  // PNAME with empty prefix, ":local"
+      ++i;
+      size_t local_start = i;
+      while (i < n && IsNameChar(query[i])) ++i;
+      tokens.push_back({TokenType::kPname,
+                        ":" + query.substr(local_start, i - local_start),
+                        start});
+      continue;
+    }
+    if ((c == '&' || c == '|') && i + 1 < n && query[i + 1] == c) {
+      tokens.push_back({TokenType::kSymbol, std::string(2, c), start});
+      i += 2;
+      continue;
+    }
+    if (c == '!' && i + 1 < n && query[i + 1] == '=') {
+      tokens.push_back({TokenType::kSymbol, "!=", start});
+      i += 2;
+      continue;
+    }
+    if ((c == '<' || c == '>') && i + 1 < n && query[i + 1] == '=') {
+      tokens.push_back({TokenType::kSymbol, query.substr(i, 2), start});
+      i += 2;
+      continue;
+    }
+    static const std::string kSingle = "{}.;,()!=<>*";
+    if (kSingle.find(c) != std::string::npos) {
+      tokens.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(start));
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace lakefed::sparql

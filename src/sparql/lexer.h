@@ -1,0 +1,46 @@
+// Tokenizer for the SPARQL subset.
+
+#ifndef LAKEFED_SPARQL_LEXER_H_
+#define LAKEFED_SPARQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace lakefed::sparql {
+
+enum class TokenType {
+  kKeyword,     // SELECT, DISTINCT, WHERE, FILTER, PREFIX, LIMIT, A (upper)
+  kVariable,    // ?name (text = name without '?')
+  kIriRef,      // <...> (text = IRI without brackets)
+  kPname,       // prefix:local (text verbatim); also bare "prefix:" in decls
+  kString,      // "..." (text = unescaped contents)
+  kLangTag,     // @en (text = en); follows a string
+  kDtCaret,     // ^^
+  kInteger,
+  kDecimal,
+  kFunction,    // REGEX, CONTAINS, STRSTARTS, STRENDS, BOUND, STR, LANG,
+                // DATATYPE (upper-cased)
+  kSymbol,      // { } . ; , ( ) && || ! = != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;
+  size_t position = 0;
+
+  bool IsKeyword(const std::string& upper) const {
+    return type == TokenType::kKeyword && text == upper;
+  }
+  bool IsSymbol(const std::string& sym) const {
+    return type == TokenType::kSymbol && text == sym;
+  }
+};
+
+Result<std::vector<Token>> TokenizeSparql(const std::string& query);
+
+}  // namespace lakefed::sparql
+
+#endif  // LAKEFED_SPARQL_LEXER_H_

@@ -1,0 +1,555 @@
+#include "sparql/parser.h"
+
+#include <cstdlib>
+
+#include "rdf/term.h"
+#include "sparql/lexer.h"
+
+namespace lakefed::sparql {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectQuery> Parse();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Peek2() const {
+    return tokens_[std::min(pos_ + 1, tokens_.size() - 1)];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool MatchKeyword(const std::string& kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchSymbol(const std::string& sym) {
+    if (Peek().IsSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(const std::string& sym) {
+    if (MatchSymbol(sym)) return Status::OK();
+    return Error("expected '" + sym + "'");
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at offset " +
+                              std::to_string(Peek().position) + " (near '" +
+                              Peek().text + "')");
+  }
+
+  // Expands "prefix:local" against the declared prefixes.
+  Result<std::string> ExpandPname(const std::string& pname) const {
+    size_t colon = pname.find(':');
+    std::string prefix = pname.substr(0, colon);
+    std::string local = pname.substr(colon + 1);
+    auto it = query_.prefixes.find(prefix);
+    if (it == query_.prefixes.end()) {
+      return Status::ParseError("undeclared prefix '" + prefix + ":'");
+    }
+    return it->second + local;
+  }
+
+  Result<rdf::Term> ParseIriTerm() {
+    const Token& tok = Peek();
+    if (tok.type == TokenType::kIriRef) {
+      Advance();
+      return rdf::Term::Iri(tok.text);
+    }
+    if (tok.type == TokenType::kPname) {
+      Advance();
+      LAKEFED_ASSIGN_OR_RETURN(std::string iri, ExpandPname(tok.text));
+      return rdf::Term::Iri(std::move(iri));
+    }
+    return Error("expected IRI");
+  }
+
+  Result<rdf::Term> ParseLiteralTerm() {
+    const Token& tok = Peek();
+    if (tok.type == TokenType::kString) {
+      Advance();
+      std::string lexical = tok.text;
+      if (Peek().type == TokenType::kLangTag) {
+        return rdf::Term::Literal(std::move(lexical), "", Advance().text);
+      }
+      if (Peek().type == TokenType::kDtCaret) {
+        Advance();
+        LAKEFED_ASSIGN_OR_RETURN(rdf::Term dt, ParseIriTerm());
+        return rdf::Term::Literal(std::move(lexical), dt.value());
+      }
+      return rdf::Term::Literal(std::move(lexical));
+    }
+    if (tok.type == TokenType::kInteger) {
+      Advance();
+      return rdf::Term::Literal(tok.text, rdf::kXsdInteger);
+    }
+    if (tok.type == TokenType::kDecimal) {
+      Advance();
+      return rdf::Term::Literal(tok.text, rdf::kXsdDouble);
+    }
+    if (tok.IsKeyword("TRUE") || tok.IsKeyword("FALSE")) {
+      Advance();
+      return rdf::Term::Literal(tok.text == "TRUE" ? "true" : "false",
+                                "http://www.w3.org/2001/XMLSchema#boolean");
+    }
+    return Error("expected literal");
+  }
+
+  // subject/object/verb node.
+  Result<rdf::PatternNode> ParseNode(bool allow_literal, bool is_verb) {
+    const Token& tok = Peek();
+    if (tok.type == TokenType::kVariable) {
+      Advance();
+      return rdf::PatternNode::Var(tok.text);
+    }
+    if (is_verb && tok.IsKeyword("A")) {
+      Advance();
+      return rdf::PatternNode::Const(rdf::Term::Iri(rdf::kRdfType));
+    }
+    if (tok.type == TokenType::kIriRef || tok.type == TokenType::kPname) {
+      LAKEFED_ASSIGN_OR_RETURN(rdf::Term iri, ParseIriTerm());
+      return rdf::PatternNode::Const(std::move(iri));
+    }
+    if (allow_literal) {
+      LAKEFED_ASSIGN_OR_RETURN(rdf::Term lit, ParseLiteralTerm());
+      return rdf::PatternNode::Const(std::move(lit));
+    }
+    return Error("expected variable or IRI");
+  }
+
+  // One triples block with ';' and ',' abbreviations, appended to `out`.
+  Status ParseTriplesBlock(std::vector<rdf::TriplePattern>* out) {
+    LAKEFED_ASSIGN_OR_RETURN(
+        rdf::PatternNode subject,
+        ParseNode(/*allow_literal=*/false, /*is_verb=*/false));
+    while (true) {
+      LAKEFED_ASSIGN_OR_RETURN(
+          rdf::PatternNode verb,
+          ParseNode(/*allow_literal=*/false, /*is_verb=*/true));
+      while (true) {
+        LAKEFED_ASSIGN_OR_RETURN(
+            rdf::PatternNode object,
+            ParseNode(/*allow_literal=*/true, /*is_verb=*/false));
+        out->push_back({subject, verb, object});
+        if (!MatchSymbol(",")) break;
+      }
+      if (!MatchSymbol(";")) break;
+      // A dangling ';' before '.' or '}' is tolerated.
+      if (Peek().IsSymbol(".") || Peek().IsSymbol("}")) break;
+    }
+    MatchSymbol(".");  // the final '.' before '}' is optional
+    return Status::OK();
+  }
+
+  // { patterns/filters } UNION { ... } [UNION { ... }]*
+  Status ParseUnionBlock() {
+    UnionBlock block;
+    while (true) {
+      LAKEFED_RETURN_NOT_OK(ExpectSymbol("{"));
+      UnionBlock::Branch branch;
+      while (!Peek().IsSymbol("}")) {
+        if (Peek().type == TokenType::kEnd) {
+          return Error("unterminated UNION branch");
+        }
+        if (Peek().IsKeyword("OPTIONAL") || Peek().IsKeyword("UNION") ||
+            Peek().IsSymbol("{")) {
+          return Error("nested groups inside UNION are not supported");
+        }
+        if (MatchKeyword("FILTER")) {
+          LAKEFED_ASSIGN_OR_RETURN(FilterExprPtr filter,
+                                   ParseFilterPrimary());
+          branch.filters.push_back(std::move(filter));
+          MatchSymbol(".");
+          continue;
+        }
+        LAKEFED_RETURN_NOT_OK(ParseTriplesBlock(&branch.patterns));
+      }
+      LAKEFED_RETURN_NOT_OK(ExpectSymbol("}"));
+      if (branch.patterns.empty()) return Error("empty UNION branch");
+      block.branches.push_back(std::move(branch));
+      if (!MatchKeyword("UNION")) break;
+    }
+    if (block.branches.size() < 2) {
+      return Error("expected UNION after group");
+    }
+    query_.unions.push_back(std::move(block));
+    return Status::OK();
+  }
+
+  // OPTIONAL { patterns and filters } — nesting is not supported.
+  Status ParseOptionalGroup() {
+    LAKEFED_RETURN_NOT_OK(ExpectSymbol("{"));
+    OptionalGroup group;
+    while (!Peek().IsSymbol("}")) {
+      if (Peek().type == TokenType::kEnd) {
+        return Error("unterminated OPTIONAL {");
+      }
+      if (MatchKeyword("OPTIONAL")) {
+        return Error("nested OPTIONAL is not supported");
+      }
+      if (MatchKeyword("FILTER")) {
+        LAKEFED_ASSIGN_OR_RETURN(FilterExprPtr filter, ParseFilterPrimary());
+        group.filters.push_back(std::move(filter));
+        MatchSymbol(".");
+        continue;
+      }
+      LAKEFED_RETURN_NOT_OK(ParseTriplesBlock(&group.patterns));
+    }
+    LAKEFED_RETURN_NOT_OK(ExpectSymbol("}"));
+    if (group.patterns.empty()) {
+      return Error("empty OPTIONAL group");
+    }
+    query_.optionals.push_back(std::move(group));
+    return Status::OK();
+  }
+
+  // --- FILTER expressions -------------------------------------------------
+
+  Result<FilterExprPtr> ParseFilterOr() {
+    LAKEFED_ASSIGN_OR_RETURN(FilterExprPtr lhs, ParseFilterAnd());
+    while (MatchSymbol("||")) {
+      LAKEFED_ASSIGN_OR_RETURN(FilterExprPtr rhs, ParseFilterAnd());
+      lhs = FilterExpr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FilterExprPtr> ParseFilterAnd() {
+    LAKEFED_ASSIGN_OR_RETURN(FilterExprPtr lhs, ParseFilterUnary());
+    while (MatchSymbol("&&")) {
+      LAKEFED_ASSIGN_OR_RETURN(FilterExprPtr rhs, ParseFilterUnary());
+      lhs = FilterExpr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FilterExprPtr> ParseFilterUnary() {
+    if (MatchSymbol("!")) {
+      LAKEFED_ASSIGN_OR_RETURN(FilterExprPtr inner, ParseFilterUnary());
+      return FilterExpr::Not(std::move(inner));
+    }
+    return ParseFilterRelational();
+  }
+
+  Result<FilterExprPtr> ParseFilterRelational() {
+    LAKEFED_ASSIGN_OR_RETURN(FilterExprPtr lhs, ParseFilterPrimary());
+    static const std::pair<const char*, FilterExpr::CompareOp> kCmps[] = {
+        {"<=", FilterExpr::CompareOp::kLe},
+        {">=", FilterExpr::CompareOp::kGe},
+        {"!=", FilterExpr::CompareOp::kNe},
+        {"=", FilterExpr::CompareOp::kEq},
+        {"<", FilterExpr::CompareOp::kLt},
+        {">", FilterExpr::CompareOp::kGt},
+    };
+    for (const auto& [sym, op] : kCmps) {
+      if (MatchSymbol(sym)) {
+        LAKEFED_ASSIGN_OR_RETURN(FilterExprPtr rhs, ParseFilterPrimary());
+        return FilterExpr::Compare(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;
+  }
+
+  Result<FilterExprPtr> ParseFilterPrimary() {
+    const Token& tok = Peek();
+    if (tok.IsSymbol("(")) {
+      Advance();
+      LAKEFED_ASSIGN_OR_RETURN(FilterExprPtr inner, ParseFilterOr());
+      LAKEFED_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    if (tok.type == TokenType::kVariable) {
+      Advance();
+      return FilterExpr::Var(tok.text);
+    }
+    if (tok.type == TokenType::kFunction) {
+      std::string name = Advance().text;
+      LAKEFED_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<FilterExprPtr> args;
+      if (!Peek().IsSymbol(")")) {
+        while (true) {
+          LAKEFED_ASSIGN_OR_RETURN(FilterExprPtr arg, ParseFilterOr());
+          args.push_back(std::move(arg));
+          if (!MatchSymbol(",")) break;
+        }
+      }
+      LAKEFED_RETURN_NOT_OK(ExpectSymbol(")"));
+      FilterExpr::Func func;
+      if (name == "REGEX") func = FilterExpr::Func::kRegex;
+      else if (name == "CONTAINS") func = FilterExpr::Func::kContains;
+      else if (name == "STRSTARTS") func = FilterExpr::Func::kStrStarts;
+      else if (name == "STRENDS") func = FilterExpr::Func::kStrEnds;
+      else if (name == "BOUND") func = FilterExpr::Func::kBound;
+      else if (name == "STR") func = FilterExpr::Func::kStr;
+      else if (name == "LANG") func = FilterExpr::Func::kLang;
+      else if (name == "DATATYPE") func = FilterExpr::Func::kDatatype;
+      else return Error("unknown function " + name);
+      return FilterExpr::Function(func, std::move(args));
+    }
+    if (tok.type == TokenType::kIriRef || tok.type == TokenType::kPname) {
+      LAKEFED_ASSIGN_OR_RETURN(rdf::Term iri, ParseIriTerm());
+      return FilterExpr::Literal(std::move(iri));
+    }
+    LAKEFED_ASSIGN_OR_RETURN(rdf::Term lit, ParseLiteralTerm());
+    return FilterExpr::Literal(std::move(lit));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  SelectQuery query_;
+};
+
+Result<SelectQuery> Parser::Parse() {
+  // PREFIX declarations.
+  while (MatchKeyword("PREFIX")) {
+    const Token& pname = Peek();
+    if (pname.type != TokenType::kPname) {
+      return Error("expected prefix name");
+    }
+    Advance();
+    size_t colon = pname.text.find(':');
+    std::string prefix = pname.text.substr(0, colon);
+    if (pname.text.size() > colon + 1) {
+      return Error("prefix declaration must end with ':'");
+    }
+    const Token& iri = Peek();
+    if (iri.type != TokenType::kIriRef) {
+      return Error("expected IRI in prefix declaration");
+    }
+    Advance();
+    query_.prefixes[prefix] = iri.text;
+  }
+
+  if (!MatchKeyword("SELECT")) return Error("expected SELECT");
+  query_.distinct = MatchKeyword("DISTINCT");
+  if (MatchSymbol("*")) {
+    query_.select_all = true;
+  } else {
+    while (true) {
+      if (Peek().type == TokenType::kVariable) {
+        query_.variables.push_back(Advance().text);
+        continue;
+      }
+      if (Peek().IsSymbol("(")) {
+        // (FUNC([DISTINCT] ?var|*) AS ?alias)
+        Advance();
+        SelectAggregate agg;
+        if (MatchKeyword("COUNT")) agg.func = SelectAggregate::Func::kCount;
+        else if (MatchKeyword("SUM")) agg.func = SelectAggregate::Func::kSum;
+        else if (MatchKeyword("MIN")) agg.func = SelectAggregate::Func::kMin;
+        else if (MatchKeyword("MAX")) agg.func = SelectAggregate::Func::kMax;
+        else if (MatchKeyword("AVG")) agg.func = SelectAggregate::Func::kAvg;
+        else return Error("expected aggregate function");
+        LAKEFED_RETURN_NOT_OK(ExpectSymbol("("));
+        agg.distinct = MatchKeyword("DISTINCT");
+        if (MatchSymbol("*")) {
+          if (agg.func != SelectAggregate::Func::kCount) {
+            return Error("'*' is only valid in COUNT");
+          }
+        } else if (Peek().type == TokenType::kVariable) {
+          agg.var = Advance().text;
+        } else {
+          return Error("expected variable or * in aggregate");
+        }
+        LAKEFED_RETURN_NOT_OK(ExpectSymbol(")"));
+        if (!MatchKeyword("AS")) return Error("expected AS in aggregate");
+        if (Peek().type != TokenType::kVariable) {
+          return Error("expected alias variable after AS");
+        }
+        agg.alias = Advance().text;
+        LAKEFED_RETURN_NOT_OK(ExpectSymbol(")"));
+        query_.aggregates.push_back(std::move(agg));
+        continue;
+      }
+      break;
+    }
+    if (query_.variables.empty() && query_.aggregates.empty()) {
+      return Error("expected projection variables or *");
+    }
+  }
+
+  if (!MatchKeyword("WHERE")) return Error("expected WHERE");
+  LAKEFED_RETURN_NOT_OK(ExpectSymbol("{"));
+  while (!Peek().IsSymbol("}")) {
+    if (Peek().type == TokenType::kEnd) return Error("unterminated WHERE {");
+    if (MatchKeyword("FILTER")) {
+      // FILTER (expr) or FILTER func(...).
+      LAKEFED_ASSIGN_OR_RETURN(FilterExprPtr filter, ParseFilterPrimary());
+      // Allow infix continuation when the filter was written without
+      // parentheses, e.g. FILTER ?x = 3 && ?y > 2.
+      if (Peek().IsSymbol("&&") || Peek().IsSymbol("||") ||
+          Peek().IsSymbol("=") || Peek().IsSymbol("!=") ||
+          Peek().IsSymbol("<") || Peek().IsSymbol("<=") ||
+          Peek().IsSymbol(">") || Peek().IsSymbol(">=")) {
+        // restart the relational/boolean parse with `filter` as the lhs
+        for (const auto& [sym, op] :
+             std::initializer_list<std::pair<const char*,
+                                             FilterExpr::CompareOp>>{
+                 {"<=", FilterExpr::CompareOp::kLe},
+                 {">=", FilterExpr::CompareOp::kGe},
+                 {"!=", FilterExpr::CompareOp::kNe},
+                 {"=", FilterExpr::CompareOp::kEq},
+                 {"<", FilterExpr::CompareOp::kLt},
+                 {">", FilterExpr::CompareOp::kGt}}) {
+          if (MatchSymbol(sym)) {
+            LAKEFED_ASSIGN_OR_RETURN(FilterExprPtr rhs, ParseFilterPrimary());
+            filter = FilterExpr::Compare(op, std::move(filter),
+                                         std::move(rhs));
+            break;
+          }
+        }
+        while (Peek().IsSymbol("&&") || Peek().IsSymbol("||")) {
+          bool is_and = MatchSymbol("&&");
+          if (!is_and) MatchSymbol("||");
+          LAKEFED_ASSIGN_OR_RETURN(FilterExprPtr rhs, ParseFilterAnd());
+          filter = is_and ? FilterExpr::And(std::move(filter), std::move(rhs))
+                          : FilterExpr::Or(std::move(filter), std::move(rhs));
+        }
+      }
+      query_.filters.push_back(std::move(filter));
+      MatchSymbol(".");
+      continue;
+    }
+    if (MatchKeyword("OPTIONAL")) {
+      LAKEFED_RETURN_NOT_OK(ParseOptionalGroup());
+      MatchSymbol(".");
+      continue;
+    }
+    if (Peek().IsSymbol("{")) {
+      LAKEFED_RETURN_NOT_OK(ParseUnionBlock());
+      MatchSymbol(".");
+      continue;
+    }
+    LAKEFED_RETURN_NOT_OK(ParseTriplesBlock(&query_.patterns));
+  }
+  LAKEFED_RETURN_NOT_OK(ExpectSymbol("}"));
+
+  if (MatchKeyword("GROUP")) {
+    if (!MatchKeyword("BY")) return Error("expected BY after GROUP");
+    while (Peek().type == TokenType::kVariable) {
+      query_.group_by.push_back(Advance().text);
+    }
+    if (query_.group_by.empty()) {
+      return Error("expected at least one GROUP BY variable");
+    }
+  }
+
+  if (MatchKeyword("ORDER")) {
+    if (!MatchKeyword("BY")) return Error("expected BY after ORDER");
+    while (true) {
+      OrderCondition cond;
+      if (MatchKeyword("ASC") || Peek().IsKeyword("DESC")) {
+        cond.ascending = !MatchKeyword("DESC");
+        LAKEFED_RETURN_NOT_OK(ExpectSymbol("("));
+        if (Peek().type != TokenType::kVariable) {
+          return Error("expected variable in ORDER BY");
+        }
+        cond.variable = Advance().text;
+        LAKEFED_RETURN_NOT_OK(ExpectSymbol(")"));
+      } else if (Peek().type == TokenType::kVariable) {
+        cond.variable = Advance().text;
+      } else {
+        break;
+      }
+      query_.order_by.push_back(std::move(cond));
+    }
+    if (query_.order_by.empty()) {
+      return Error("expected at least one ORDER BY condition");
+    }
+  }
+
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kInteger) {
+      return Error("expected integer after LIMIT");
+    }
+    query_.limit = static_cast<int64_t>(
+        std::strtoll(Advance().text.c_str(), nullptr, 10));
+  }
+  if (Peek().type != TokenType::kEnd) return Error("unexpected trailing input");
+  if (query_.patterns.empty() && query_.unions.empty()) {
+    return Status::ParseError("query has no triple patterns");
+  }
+
+  // Projection and ORDER BY variables must occur in the BGP (aggregate
+  // aliases count as projected variables).
+  auto in_patterns = query_.PatternVariables();
+  auto occurs = [&](const std::string& v) {
+    for (const std::string& pv : in_patterns) {
+      if (pv == v) return true;
+    }
+    return false;
+  };
+  auto is_alias = [&](const std::string& v) {
+    for (const SelectAggregate& agg : query_.aggregates) {
+      if (agg.alias == v) return true;
+    }
+    return false;
+  };
+  if (!query_.select_all) {
+    for (const std::string& v : query_.variables) {
+      if (!occurs(v)) {
+        return Status::ParseError("projected variable ?" + v +
+                                  " does not occur in the pattern");
+      }
+    }
+  }
+  for (const SelectAggregate& agg : query_.aggregates) {
+    if (!agg.var.empty() && !occurs(agg.var)) {
+      return Status::ParseError("aggregated variable ?" + agg.var +
+                                " does not occur in the pattern");
+    }
+    if (occurs(agg.alias)) {
+      return Status::ParseError("aggregate alias ?" + agg.alias +
+                                " collides with a pattern variable");
+    }
+  }
+  if (query_.HasAggregates()) {
+    if (query_.select_all) {
+      return Status::ParseError("SELECT * cannot be combined with "
+                                "aggregates");
+    }
+    // Plain projected variables must be grouping keys.
+    for (const std::string& v : query_.variables) {
+      if (std::find(query_.group_by.begin(), query_.group_by.end(), v) ==
+          query_.group_by.end()) {
+        return Status::ParseError("projected variable ?" + v +
+                                  " must appear in GROUP BY");
+      }
+    }
+  } else if (!query_.group_by.empty()) {
+    return Status::ParseError("GROUP BY requires aggregate select items");
+  }
+  for (const std::string& v : query_.group_by) {
+    if (!occurs(v)) {
+      return Status::ParseError("GROUP BY variable ?" + v +
+                                " does not occur in the pattern");
+    }
+  }
+  for (const OrderCondition& c : query_.order_by) {
+    if (!occurs(c.variable) && !is_alias(c.variable)) {
+      return Status::ParseError("ORDER BY variable ?" + c.variable +
+                                " does not occur in the pattern");
+    }
+  }
+  return std::move(query_);
+}
+
+}  // namespace
+
+Result<SelectQuery> ParseSparql(const std::string& query) {
+  LAKEFED_ASSIGN_OR_RETURN(std::vector<Token> tokens, TokenizeSparql(query));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace lakefed::sparql

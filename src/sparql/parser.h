@@ -1,0 +1,17 @@
+// Recursive-descent parser for the SPARQL subset (see ast.h).
+
+#ifndef LAKEFED_SPARQL_PARSER_H_
+#define LAKEFED_SPARQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sparql/ast.h"
+
+namespace lakefed::sparql {
+
+Result<SelectQuery> ParseSparql(const std::string& query);
+
+}  // namespace lakefed::sparql
+
+#endif  // LAKEFED_SPARQL_PARSER_H_

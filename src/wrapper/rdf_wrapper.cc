@@ -1,0 +1,62 @@
+#include "wrapper/rdf_wrapper.h"
+
+#include <set>
+#include <unordered_set>
+
+namespace lakefed::wrapper {
+
+RdfWrapper::RdfWrapper(std::string id, const rdf::TripleStore* store)
+    : id_(std::move(id)), store_(store) {}
+
+std::vector<mapping::RdfMt> RdfWrapper::Molecules() const {
+  return mapping::RdfMtCatalog::ExtractFromTripleStore(id_, *store_);
+}
+
+Status RdfWrapper::Execute(const fed::SubQuery& subquery,
+                           net::DelayChannel* channel,
+                           BlockingQueue<rdf::Binding>* out) {
+  // Gather the BGP of every star (normally one; merged stars also work —
+  // BGP evaluation joins them locally).
+  std::vector<rdf::TriplePattern> patterns;
+  for (const fed::StarSubQuery& star : subquery.stars) {
+    patterns.insert(patterns.end(), star.patterns.begin(),
+                    star.patterns.end());
+  }
+  if (patterns.empty()) {
+    return Status::InvalidArgument("empty sub-query for source " + id_);
+  }
+  std::vector<sparql::FilterExprPtr> filters = subquery.SourceFilters();
+
+  // Instantiation sets from dependent joins.
+  std::map<std::string, std::unordered_set<std::string>> allowed;
+  for (const auto& [var, terms] : subquery.instantiations) {
+    auto& set = allowed[var];
+    for (const rdf::Term& t : terms) set.insert(t.ToString());
+  }
+
+  std::vector<std::string> variables = subquery.Variables();
+  return rdf::EvaluateBgpVisit(
+      *store_, patterns, [&](const rdf::Binding& binding) {
+        for (const auto& [var, set] : allowed) {
+          auto it = binding.find(var);
+          if (it == binding.end() || set.count(it->second.ToString()) == 0) {
+            return true;  // rejected, keep scanning
+          }
+        }
+        for (const sparql::FilterExprPtr& filter : filters) {
+          Result<bool> pass = filter->EvalBool(binding);
+          if (!pass.ok() || !*pass) return true;
+        }
+        // Project to the sub-query's variables and ship one answer through
+        // the simulated network.
+        rdf::Binding projected;
+        for (const std::string& var : variables) {
+          auto it = binding.find(var);
+          if (it != binding.end()) projected.emplace(var, it->second);
+        }
+        channel->Transfer();
+        return out->Push(std::move(projected));
+      });
+}
+
+}  // namespace lakefed::wrapper

@@ -1,0 +1,35 @@
+// RdfWrapper: fronts a native RDF endpoint (an in-memory TripleStore).
+// Star-shaped sub-queries are answered by BGP evaluation with source-placed
+// filters applied during matching — the behaviour of a SPARQL endpoint.
+
+#ifndef LAKEFED_WRAPPER_RDF_WRAPPER_H_
+#define LAKEFED_WRAPPER_RDF_WRAPPER_H_
+
+#include <memory>
+#include <string>
+
+#include "fed/wrapper.h"
+#include "rdf/triple_store.h"
+
+namespace lakefed::wrapper {
+
+class RdfWrapper : public fed::SourceWrapper {
+ public:
+  // Borrows `store`, which must outlive the wrapper.
+  RdfWrapper(std::string id, const rdf::TripleStore* store);
+
+  const std::string& id() const override { return id_; }
+  fed::SourceKind kind() const override { return fed::SourceKind::kRdf; }
+  std::vector<mapping::RdfMt> Molecules() const override;
+
+  Status Execute(const fed::SubQuery& subquery, net::DelayChannel* channel,
+                 BlockingQueue<rdf::Binding>* out) override;
+
+ private:
+  std::string id_;
+  const rdf::TripleStore* store_;
+};
+
+}  // namespace lakefed::wrapper
+
+#endif  // LAKEFED_WRAPPER_RDF_WRAPPER_H_

@@ -1,0 +1,571 @@
+#include "wrapper/sql_wrapper.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace lakefed::wrapper {
+namespace {
+
+using mapping::ClassMapping;
+using mapping::PredicateMapping;
+
+rel::ExprPtr TriviallyTrue() {
+  return rel::MakeBinary(rel::BinaryOp::kEq,
+                         rel::MakeLiteral(rel::Value(int64_t{1})),
+                         rel::MakeLiteral(rel::Value(int64_t{1})));
+}
+
+rel::ExprPtr TriviallyFalse() {
+  return rel::MakeBinary(rel::BinaryOp::kEq,
+                         rel::MakeLiteral(rel::Value(int64_t{1})),
+                         rel::MakeLiteral(rel::Value(int64_t{0})));
+}
+
+rel::BinaryOp ToRelOp(sparql::FilterExpr::CompareOp op) {
+  switch (op) {
+    case sparql::FilterExpr::CompareOp::kEq: return rel::BinaryOp::kEq;
+    case sparql::FilterExpr::CompareOp::kNe: return rel::BinaryOp::kNe;
+    case sparql::FilterExpr::CompareOp::kLt: return rel::BinaryOp::kLt;
+    case sparql::FilterExpr::CompareOp::kLe: return rel::BinaryOp::kLe;
+    case sparql::FilterExpr::CompareOp::kGt: return rel::BinaryOp::kGt;
+    case sparql::FilterExpr::CompareOp::kGe: return rel::BinaryOp::kGe;
+  }
+  return rel::BinaryOp::kEq;
+}
+
+// Mirrors a comparison when the variable sits on the right-hand side.
+sparql::FilterExpr::CompareOp Mirror(sparql::FilterExpr::CompareOp op) {
+  switch (op) {
+    case sparql::FilterExpr::CompareOp::kLt:
+      return sparql::FilterExpr::CompareOp::kGt;
+    case sparql::FilterExpr::CompareOp::kLe:
+      return sparql::FilterExpr::CompareOp::kGe;
+    case sparql::FilterExpr::CompareOp::kGt:
+      return sparql::FilterExpr::CompareOp::kLt;
+    case sparql::FilterExpr::CompareOp::kGe:
+      return sparql::FilterExpr::CompareOp::kLe;
+    default:
+      return op;
+  }
+}
+
+}  // namespace
+
+struct SqlWrapper::VarInfo {
+  std::string column_expr;  // "alias.column"
+  bool is_subject = false;
+  const ClassMapping* cm = nullptr;
+  const PredicateMapping* pm = nullptr;  // null for subjects
+};
+
+SqlWrapper::SqlWrapper(std::string id, const rel::Database* db,
+                       mapping::SourceMapping mapping)
+    : id_(std::move(id)), db_(db), mapping_(std::move(mapping)) {}
+
+std::vector<mapping::RdfMt> SqlWrapper::Molecules() const {
+  std::vector<mapping::RdfMt> molecules =
+      mapping::MoleculesFromMapping(mapping_);
+  // Fill instance counts from the catalog: the number of distinct subject
+  // keys of each mapped class.
+  for (mapping::RdfMt& molecule : molecules) {
+    const ClassMapping* cm = mapping_.FindClass(molecule.class_iri);
+    if (cm == nullptr) continue;
+    const rel::Table* table = db_->catalog().GetTable(cm->base_table);
+    if (table == nullptr) continue;
+    auto pk = table->schema().FindColumn(cm->pk_column);
+    molecule.cardinality =
+        pk.has_value() ? table->column_stats(*pk).num_distinct
+                       : table->num_rows();
+  }
+  return molecules;
+}
+
+bool SqlWrapper::IsPredicateAttributeIndexed(
+    const std::string& class_iri, const std::string& predicate) const {
+  const ClassMapping* cm = mapping_.FindClass(class_iri);
+  if (cm == nullptr) return false;
+  const PredicateMapping* pm = cm->FindPredicate(predicate);
+  if (pm == nullptr) return false;
+  const std::string& table = pm->InBaseTable() ? cm->base_table
+                                               : pm->link_table;
+  return db_->IsIndexed(table, pm->column);
+}
+
+bool SqlWrapper::IsSubjectKeyIndexed(const std::string& class_iri) const {
+  const ClassMapping* cm = mapping_.FindClass(class_iri);
+  return cm != nullptr && db_->IsIndexed(cm->base_table, cm->pk_column);
+}
+
+namespace {
+
+// Class of a star at this source: the declared rdf:type, or the class that
+// maps the star's first non-type constant predicate.
+const ClassMapping* ResolveClass(const mapping::SourceMapping& mapping,
+                                 const fed::StarSubQuery& star) {
+  if (star.class_iri.has_value()) {
+    return mapping.FindClass(*star.class_iri);
+  }
+  for (const std::string& p : star.ConstantPredicates()) {
+    if (p == rdf::kRdfType) continue;
+    const ClassMapping* cm = mapping.ClassOfPredicate(p);
+    if (cm != nullptr) return cm;
+  }
+  return nullptr;
+}
+
+// Fingerprint of how `var`'s terms are constructed within `star`; merged
+// joins require equal fingerprints on both sides.
+std::optional<std::string> TermConstructorOf(
+    const mapping::SourceMapping& mapping, const fed::StarSubQuery& star,
+    const std::string& var) {
+  const ClassMapping* cm = ResolveClass(mapping, star);
+  if (cm == nullptr) return std::nullopt;
+  if (star.SubjectIsVar(var)) {
+    return "iri:" + cm->subject_template.pattern();
+  }
+  auto predicate = star.PredicateOfObjectVar(var);
+  if (!predicate.has_value()) return std::nullopt;
+  const PredicateMapping* pm = cm->FindPredicate(*predicate);
+  if (pm == nullptr) return std::nullopt;
+  if (pm->object_is_iri) return "iri:" + pm->iri_template.pattern();
+  return "lit:" + pm->literal_datatype;
+}
+
+}  // namespace
+
+bool SqlWrapper::CanPushDownJoin(const fed::StarSubQuery& a,
+                                 const fed::StarSubQuery& b,
+                                 const std::string& var) const {
+  auto ca = TermConstructorOf(mapping_, a, var);
+  auto cb = TermConstructorOf(mapping_, b, var);
+  return ca.has_value() && cb.has_value() && *ca == *cb;
+}
+
+Result<SqlWrapper::Translation> SqlWrapper::Translate(
+    const fed::SubQuery& subquery) const {
+  if (subquery.stars.empty()) {
+    return Status::InvalidArgument("empty sub-query for source " + id_);
+  }
+  Translation tr;
+  // The virtual RDF graph has set semantics: duplicate table rows map to
+  // the same triple, so the SQL must deduplicate.
+  tr.statement.distinct = true;
+  std::map<std::string, VarInfo> vars;
+  std::vector<rel::ExprPtr> where;
+
+  // Registers a variable occurrence: first one defines the column, later
+  // ones contribute equality conditions (intra- or inter-star joins).
+  auto add_var = [&](const std::string& var, VarInfo info) {
+    auto [it, inserted] = vars.emplace(var, info);
+    if (!inserted) {
+      where.push_back(rel::MakeBinary(rel::BinaryOp::kEq,
+                                      rel::MakeColumn(it->second.column_expr),
+                                      rel::MakeColumn(info.column_expr)));
+    }
+  };
+
+  for (size_t star_idx = 0; star_idx < subquery.stars.size(); ++star_idx) {
+    const fed::StarSubQuery& star = subquery.stars[star_idx];
+    const ClassMapping* cm = ResolveClass(mapping_, star);
+    if (cm == nullptr) {
+      return Status::NotFound("source " + id_ +
+                              " has no mapping for sub-query " +
+                              star.ToString());
+    }
+    std::string alias = "s" + std::to_string(star_idx);
+    if (star_idx == 0) {
+      tr.statement.from = {cm->base_table, alias};
+    } else {
+      // Merged star (Heuristic 1): the join condition materializes through
+      // the shared-variable equalities below.
+      tr.statement.joins.push_back({{cm->base_table, alias},
+                                    TriviallyTrue()});
+    }
+
+    std::string subject_expr = alias + "." + cm->pk_column;
+    if (star.subject.is_var) {
+      add_var(star.subject.var, {subject_expr, true, cm, nullptr});
+    } else {
+      LAKEFED_ASSIGN_OR_RETURN(
+          rel::Value pk, PkValueFromSubject(star.subject.term, *cm));
+      where.push_back(rel::MakeBinary(rel::BinaryOp::kEq,
+                                      rel::MakeColumn(subject_expr),
+                                      rel::MakeLiteral(std::move(pk))));
+    }
+
+    int link_idx = 0;
+    for (const rdf::TriplePattern& pattern : star.patterns) {
+      if (pattern.predicate.is_var) {
+        return Status::NotImplemented(
+            "variable predicates cannot be answered by relational source " +
+            id_);
+      }
+      const std::string& p = pattern.predicate.term.value();
+      if (p == rdf::kRdfType) {
+        if (pattern.object.is_var) {
+          tr.fixed[pattern.object.var] = rdf::Term::Iri(cm->class_iri);
+        } else if (pattern.object.term.value() != cm->class_iri) {
+          where.push_back(TriviallyFalse());  // contradictory type
+        }
+        continue;
+      }
+      const PredicateMapping* pm = cm->FindPredicate(p);
+      if (pm == nullptr) {
+        return Status::NotFound("predicate <" + p +
+                                "> not mapped for class <" + cm->class_iri +
+                                "> at source " + id_);
+      }
+      std::string column_expr;
+      if (pm->InBaseTable()) {
+        column_expr = alias + "." + pm->column;
+      } else {
+        // 3NF multi-valued attribute: join the side table.
+        std::string lalias = alias + "l" + std::to_string(link_idx++);
+        tr.statement.joins.push_back(
+            {{pm->link_table, lalias},
+             rel::MakeBinary(rel::BinaryOp::kEq,
+                             rel::MakeColumn(subject_expr),
+                             rel::MakeColumn(lalias + "." + pm->link_fk))});
+        column_expr = lalias + "." + pm->column;
+      }
+      if (pattern.object.is_var) {
+        add_var(pattern.object.var, {column_expr, false, cm, pm});
+      } else {
+        LAKEFED_ASSIGN_OR_RETURN(
+            rel::Value v, ValueFromTerm(pattern.object.term, *pm));
+        where.push_back(rel::MakeBinary(rel::BinaryOp::kEq,
+                                        rel::MakeColumn(column_expr),
+                                        rel::MakeLiteral(std::move(v))));
+      }
+    }
+  }
+
+  // Source-placed filters -> SQL conditions; untranslatable ones fall back
+  // to wrapper-side evaluation on decoded rows.
+  for (const sparql::FilterExprPtr& filter : subquery.SourceFilters()) {
+    std::string var;
+    const VarInfo* info = nullptr;
+    if (sparql::IsPushableToSql(*filter, &var)) {
+      auto it = vars.find(var);
+      if (it != vars.end()) info = &it->second;
+    }
+    rel::ExprPtr condition;
+    if (info != nullptr &&
+        filter->kind() == sparql::FilterExpr::Kind::kCompare) {
+      const sparql::FilterExpr& lhs = *filter->args()[0];
+      const sparql::FilterExpr& rhs = *filter->args()[1];
+      const rdf::Term& literal =
+          lhs.kind() == sparql::FilterExpr::Kind::kLiteral ? lhs.literal()
+                                                           : rhs.literal();
+      sparql::FilterExpr::CompareOp op = filter->compare_op();
+      if (lhs.kind() == sparql::FilterExpr::Kind::kLiteral) op = Mirror(op);
+      Result<rel::Value> value = Status::NotImplemented("");
+      if (info->is_subject && literal.is_iri()) {
+        value = mapping::PkValueFromSubject(literal, *info->cm);
+      } else if (info->pm != nullptr && info->pm->object_is_iri &&
+                 literal.is_iri()) {
+        value = mapping::ValueFromTerm(literal, *info->pm);
+      } else if (info->pm != nullptr && !info->pm->object_is_iri &&
+                 literal.is_literal()) {
+        value = mapping::ValueFromLexical(literal.value(),
+                                          literal.datatype().empty()
+                                              ? info->pm->literal_datatype
+                                              : literal.datatype());
+      }
+      if (value.ok()) {
+        condition = rel::MakeBinary(ToRelOp(op),
+                                    rel::MakeColumn(info->column_expr),
+                                    rel::MakeLiteral(std::move(*value)));
+      }
+    } else if (info != nullptr && info->pm != nullptr &&
+               !info->pm->object_is_iri &&
+               filter->kind() == sparql::FilterExpr::Kind::kFunction) {
+      const std::string& needle = filter->args()[1]->literal().value();
+      if (needle.find_first_of("%_") == std::string::npos) {
+        std::string like;
+        switch (filter->func()) {
+          case sparql::FilterExpr::Func::kContains:
+            like = "%" + needle + "%";
+            break;
+          case sparql::FilterExpr::Func::kStrStarts:
+            like = needle + "%";
+            break;
+          case sparql::FilterExpr::Func::kStrEnds:
+            like = "%" + needle;
+            break;
+          case sparql::FilterExpr::Func::kRegex: {
+            std::string core = needle;
+            bool anchored_front = StartsWith(core, "^");
+            bool anchored_back = EndsWith(core, "$");
+            if (anchored_front) core = core.substr(1);
+            if (anchored_back && !core.empty()) {
+              core = core.substr(0, core.size() - 1);
+            }
+            like = (anchored_front ? "" : "%") + core +
+                   (anchored_back ? "" : "%");
+            break;
+          }
+          default:
+            break;
+        }
+        if (!like.empty()) {
+          condition = std::make_shared<rel::LikeExpr>(
+              rel::MakeColumn(info->column_expr), like);
+        }
+      }
+    }
+    if (condition != nullptr) {
+      where.push_back(std::move(condition));
+    } else {
+      tr.residual_filters.push_back(filter);
+    }
+  }
+
+  // Dependent-join instantiations -> IN lists.
+  for (const auto& [var, terms] : subquery.instantiations) {
+    auto it = vars.find(var);
+    if (it == vars.end()) {
+      if (tr.fixed.count(var) > 0) continue;  // checked at decode time
+      return Status::InvalidArgument("instantiated variable ?" + var +
+                                     " not produced by sub-query");
+    }
+    const VarInfo& info = it->second;
+    std::vector<rel::Value> values;
+    for (const rdf::Term& term : terms) {
+      Result<rel::Value> v =
+          info.is_subject ? mapping::PkValueFromSubject(term, *info.cm)
+                          : mapping::ValueFromTerm(term, *info.pm);
+      if (v.ok()) values.push_back(std::move(*v));
+      // terms that cannot decode can never match; drop them
+    }
+    if (values.empty()) {
+      where.push_back(TriviallyFalse());
+    } else {
+      where.push_back(std::make_shared<rel::InExpr>(
+          rel::MakeColumn(info.column_expr), std::move(values)));
+    }
+  }
+
+  // SELECT list: one column per variable (alphabetical via std::map).
+  for (const auto& [var, info] : vars) {
+    tr.statement.items.push_back(
+        {rel::MakeColumn(info.column_expr), "v_" + var});
+    tr.variables.push_back(var);
+  }
+  if (tr.statement.items.empty()) {
+    // Fully instantiated sub-query: select the first star's key so row
+    // presence signals a match.
+    tr.statement.items.push_back(
+        {rel::MakeColumn(tr.statement.from.alias + "." +
+                         ResolveClass(mapping_, subquery.stars.front())
+                             ->pk_column),
+         "one"});
+  }
+  tr.statement.where = rel::MakeAndAll(std::move(where));
+
+  for (const std::string& var : tr.variables) {
+    const VarInfo& info = vars.at(var);
+    tr.decoders.push_back({info.is_subject, info.cm, info.pm});
+  }
+  return tr;
+}
+
+Result<std::vector<rdf::Binding>> SqlWrapper::FetchAndDecode(
+    const Translation& tr) const {
+  LAKEFED_ASSIGN_OR_RETURN(rel::QueryResult result,
+                           db_->ExecuteStatement(tr.statement));
+  std::vector<rdf::Binding> rows;
+  rows.reserve(result.rows.size());
+  for (const rel::Row& row : result.rows) {
+    rdf::Binding binding;
+    bool valid = true;
+    for (size_t i = 0; i < tr.variables.size(); ++i) {
+      const rel::Value& value = row[i];
+      if (value.is_null()) {
+        valid = false;  // NULL cell = no triple = no solution
+        break;
+      }
+      const Translation::Decoder& d = tr.decoders[i];
+      binding[tr.variables[i]] =
+          d.is_subject ? mapping::SubjectFromValue(value, *d.cm)
+                       : mapping::TermFromValue(value, *d.pm);
+    }
+    if (!valid) continue;
+    for (const auto& [var, term] : tr.fixed) binding[var] = term;
+    rows.push_back(std::move(binding));
+  }
+  return rows;
+}
+
+Status SqlWrapper::ShipRows(
+    std::vector<rdf::Binding> rows, const fed::SubQuery& subquery,
+    const std::vector<sparql::FilterExprPtr>& residual_filters,
+    net::DelayChannel* channel, BlockingQueue<rdf::Binding>* out) const {
+  // Instantiation membership sets (re-checked after decoding; also covers
+  // fixed variables that had no SQL column).
+  std::map<std::string, std::unordered_set<std::string>> allowed;
+  for (const auto& [var, terms] : subquery.instantiations) {
+    auto& set = allowed[var];
+    for (const rdf::Term& t : terms) set.insert(t.ToString());
+  }
+
+  for (rdf::Binding& binding : rows) {
+    bool valid = true;
+    for (const auto& [var, set] : allowed) {
+      auto it = binding.find(var);
+      if (it == binding.end() || set.count(it->second.ToString()) == 0) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) continue;
+    bool pass = true;
+    for (const sparql::FilterExprPtr& f : residual_filters) {
+      Result<bool> r = f->EvalBool(binding);
+      if (!r.ok() || !*r) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    channel->Transfer();
+    if (!out->Push(std::move(binding))) break;
+  }
+  return Status::OK();
+}
+
+Status SqlWrapper::Execute(const fed::SubQuery& subquery,
+                           net::DelayChannel* channel,
+                           BlockingQueue<rdf::Binding>* out) {
+  if (subquery.naive_translation && subquery.stars.size() > 1) {
+    return ExecuteNaiveMerged(subquery, channel, out);
+  }
+  LAKEFED_ASSIGN_OR_RETURN(Translation tr, Translate(subquery));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_sql_ = tr.statement.ToString();
+  }
+  LAKEFED_ASSIGN_OR_RETURN(std::vector<rdf::Binding> rows,
+                           FetchAndDecode(tr));
+  return ShipRows(std::move(rows), subquery, tr.residual_filters, channel,
+                  out);
+}
+
+Status SqlWrapper::ExecuteNaiveMerged(const fed::SubQuery& subquery,
+                                      net::DelayChannel* channel,
+                                      BlockingQueue<rdf::Binding>* out) {
+  // Emulation of the unoptimized merged translation: one SQL per star, then
+  // a naive nested-loop join over the decoded rows. This inflates the
+  // execution time at the source exactly the way the paper describes.
+  std::vector<std::vector<rdf::Binding>> per_star;
+  std::vector<sparql::FilterExprPtr> residual_filters;
+  std::string naive_sql;
+
+  for (const fed::StarSubQuery& star : subquery.stars) {
+    fed::SubQuery single;
+    single.source_id = subquery.source_id;
+    single.stars.push_back(star);
+    // A filter goes with the star that covers its variables; filters over
+    // variables of several stars run after the naive join.
+    std::vector<std::string> star_vars = star.Variables();
+    auto covered = [&](const sparql::FilterExprPtr& filter) {
+      std::vector<std::string> vars;
+      filter->CollectVariables(&vars);
+      for (const std::string& v : vars) {
+        if (std::find(star_vars.begin(), star_vars.end(), v) ==
+            star_vars.end()) {
+          return false;
+        }
+      }
+      return true;
+    };
+    for (const fed::PlacedFilter& pf : subquery.filters) {
+      if (pf.placement == fed::FilterPlacement::kSource &&
+          covered(pf.filter)) {
+        single.filters.push_back(pf);
+      }
+    }
+    LAKEFED_ASSIGN_OR_RETURN(Translation tr, Translate(single));
+    naive_sql += (naive_sql.empty() ? "" : " ;; ") + tr.statement.ToString();
+    LAKEFED_ASSIGN_OR_RETURN(std::vector<rdf::Binding> rows,
+                             FetchAndDecode(tr));
+    for (rdf::Binding& row : rows) {
+      bool pass = true;
+      for (const sparql::FilterExprPtr& f : tr.residual_filters) {
+        Result<bool> r = f->EvalBool(row);
+        if (!r.ok() || !*r) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) row.clear();
+    }
+    rows.erase(std::remove_if(rows.begin(), rows.end(),
+                              [](const rdf::Binding& b) { return b.empty(); }),
+               rows.end());
+    per_star.push_back(std::move(rows));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_sql_ = naive_sql;
+  }
+
+  // Source filters not attached to any single star run after the join.
+  for (const fed::PlacedFilter& pf : subquery.filters) {
+    bool attached = false;
+    std::vector<std::string> vars;
+    pf.filter->CollectVariables(&vars);
+    for (const fed::StarSubQuery& star : subquery.stars) {
+      std::vector<std::string> star_vars = star.Variables();
+      bool all = true;
+      for (const std::string& v : vars) {
+        if (std::find(star_vars.begin(), star_vars.end(), v) ==
+            star_vars.end()) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        attached = true;
+        break;
+      }
+    }
+    if (!attached && pf.placement == fed::FilterPlacement::kSource) {
+      residual_filters.push_back(pf.filter);
+    }
+  }
+
+  // Naive nested-loop join (deliberately quadratic, no hashing): join rows
+  // agree when every shared variable binds the same term.
+  std::vector<rdf::Binding> joined = std::move(per_star.front());
+  for (size_t s = 1; s < per_star.size(); ++s) {
+    std::vector<rdf::Binding> next;
+    for (const rdf::Binding& left : joined) {
+      for (const rdf::Binding& right : per_star[s]) {
+        bool compatible = true;
+        for (const auto& [var, term] : right) {
+          auto it = left.find(var);
+          if (it != left.end() && !(it->second == term)) {
+            compatible = false;
+            break;
+          }
+        }
+        if (!compatible) continue;
+        rdf::Binding merged = left;
+        merged.insert(right.begin(), right.end());
+        next.push_back(std::move(merged));
+      }
+    }
+    joined = std::move(next);
+  }
+  return ShipRows(std::move(joined), subquery, residual_filters, channel,
+                  out);
+}
+
+std::string SqlWrapper::last_sql() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_sql_;
+}
+
+}  // namespace lakefed::wrapper

@@ -1,0 +1,108 @@
+// SqlWrapper: fronts a relational endpoint of the Data Lake. Translates
+// star-shaped sub-queries (and Heuristic-1-merged multi-star sub-queries)
+// into SQL over the source's 3NF tables using the class mappings, executes
+// them on the embedded relational engine, and decodes rows back into RDF
+// solution mappings.
+
+#ifndef LAKEFED_WRAPPER_SQL_WRAPPER_H_
+#define LAKEFED_WRAPPER_SQL_WRAPPER_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fed/wrapper.h"
+#include "mapping/relational_mapping.h"
+#include "rel/database.h"
+
+namespace lakefed::wrapper {
+
+class SqlWrapper : public fed::SourceWrapper {
+ public:
+  // Borrows `db`, which must outlive the wrapper.
+  SqlWrapper(std::string id, const rel::Database* db,
+             mapping::SourceMapping mapping);
+
+  const std::string& id() const override { return id_; }
+  fed::SourceKind kind() const override {
+    return fed::SourceKind::kRelational;
+  }
+  std::vector<mapping::RdfMt> Molecules() const override;
+
+  bool IsPredicateAttributeIndexed(const std::string& class_iri,
+                                   const std::string& predicate)
+      const override;
+  bool IsSubjectKeyIndexed(const std::string& class_iri) const override;
+  bool SupportsJoinPushdown() const override { return true; }
+  bool CanPushDownJoin(const fed::StarSubQuery& a,
+                       const fed::StarSubQuery& b,
+                       const std::string& var) const override;
+
+  // Executes the sub-query. Honours SubQuery::naive_translation for merged
+  // multi-star sub-queries: instead of one SQL join, every star is fetched
+  // with its own SQL and joined by a naive nested loop inside the wrapper —
+  // emulating the unoptimized translation the paper reports as Ontario's
+  // limitation.
+  Status Execute(const fed::SubQuery& subquery, net::DelayChannel* channel,
+                 BlockingQueue<rdf::Binding>* out) override;
+
+  // --- introspection for tests, examples and EXPLAIN ---
+
+  // The SQL most recently sent to the endpoint.
+  std::string last_sql() const;
+
+  struct Translation {
+    rel::SelectStatement statement;
+    // Output variable i decodes from statement column i.
+    std::vector<std::string> variables;
+    // How column i's values become RDF terms.
+    struct Decoder {
+      bool is_subject = false;
+      const mapping::ClassMapping* cm = nullptr;
+      const mapping::PredicateMapping* pm = nullptr;
+    };
+    std::vector<Decoder> decoders;  // parallel to `variables`
+    // Filters that were placed at the source but could not be translated
+    // to SQL; the wrapper evaluates them on decoded rows before shipping.
+    std::vector<sparql::FilterExprPtr> residual_filters;
+    // Variables bound to a constant (e.g. `?t` in `?d a ?t` with a known
+    // class): decoded without a SQL column.
+    std::map<std::string, rdf::Term> fixed;
+  };
+
+  // SPARQL -> SQL translation (exposed for tests).
+  Result<Translation> Translate(const fed::SubQuery& subquery) const;
+
+  const mapping::SourceMapping& source_mapping() const { return mapping_; }
+
+ private:
+  struct VarInfo;
+
+  // Runs the translated statement and decodes rows to solution mappings
+  // (rows with NULL cells are dropped; residual filters NOT yet applied).
+  Result<std::vector<rdf::Binding>> FetchAndDecode(
+      const Translation& tr) const;
+
+  // Applies instantiation membership and residual filters, then ships each
+  // surviving row through the channel into `out`.
+  Status ShipRows(std::vector<rdf::Binding> rows,
+                  const fed::SubQuery& subquery,
+                  const std::vector<sparql::FilterExprPtr>& residual_filters,
+                  net::DelayChannel* channel,
+                  BlockingQueue<rdf::Binding>* out) const;
+
+  // The naive merged execution path (see Execute).
+  Status ExecuteNaiveMerged(const fed::SubQuery& subquery,
+                            net::DelayChannel* channel,
+                            BlockingQueue<rdf::Binding>* out);
+
+  std::string id_;
+  const rel::Database* db_;
+  mapping::SourceMapping mapping_;
+  mutable std::mutex mu_;
+  std::string last_sql_;
+};
+
+}  // namespace lakefed::wrapper
+
+#endif  // LAKEFED_WRAPPER_SQL_WRAPPER_H_

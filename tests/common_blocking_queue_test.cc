@@ -1,0 +1,118 @@
+#include "common/blocking_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace lakefed {
+namespace {
+
+TEST(BlockingQueueTest, PushPopSingleThread) {
+  BlockingQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.TryPop(), std::nullopt);
+}
+
+TEST(BlockingQueueTest, CloseDrainsThenExhausts) {
+  BlockingQueue<int> q(4);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // rejected after close
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(q.Pop(), std::nullopt);
+  EXPECT_TRUE(q.exhausted());
+}
+
+TEST(BlockingQueueTest, PopBlocksUntilPush) {
+  BlockingQueue<int> q(4);
+  std::optional<int> got;
+  std::thread consumer([&] { got = q.Pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Push(42);
+  consumer.join();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(BlockingQueueTest, PushBlocksWhenFull) {
+  BlockingQueue<int> q(1);
+  q.Push(1);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.Push(2);
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.Pop(), 2);
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedConsumer) {
+  BlockingQueue<int> q(4);
+  std::optional<int> got = 7;
+  std::thread consumer([&] { got = q.Pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(got, std::nullopt);
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedProducer) {
+  BlockingQueue<int> q(1);
+  q.Push(1);
+  std::atomic<bool> result{true};
+  std::thread producer([&] { result = q.Push(2); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  producer.join();
+  EXPECT_FALSE(result.load());
+}
+
+TEST(BlockingQueueTest, ManyProducersManyConsumers) {
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 1000;
+  BlockingQueue<int> q(16);
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Push(p * kPerProducer + i);
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum += *v;
+        ++consumed;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  int total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), total);
+  EXPECT_EQ(sum.load(), int64_t{total} * (total - 1) / 2);
+}
+
+TEST(BlockingQueueTest, MoveOnlyPayload) {
+  BlockingQueue<std::unique_ptr<int>> q(2);
+  q.Push(std::make_unique<int>(9));
+  auto v = q.Pop();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(**v, 9);
+}
+
+}  // namespace
+}  // namespace lakefed

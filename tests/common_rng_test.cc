@@ -1,0 +1,101 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lakefed {
+namespace {
+
+TEST(RngTest, DeterministicWithSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleWithinBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble(0.25, 0.75);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 0.75);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+// The paper's network settings rely on gamma(alpha, beta) having mean
+// alpha*beta; verify the sampler empirically for all three configurations.
+struct GammaParams {
+  double alpha, beta;
+};
+
+class GammaMeanTest : public ::testing::TestWithParam<GammaParams> {};
+
+TEST_P(GammaMeanTest, EmpiricalMeanMatches) {
+  const auto [alpha, beta] = GetParam();
+  Rng rng(11);
+  constexpr int kSamples = 200000;
+  double sum = 0, min = 1e300;
+  for (int i = 0; i < kSamples; ++i) {
+    double v = rng.Gamma(alpha, beta);
+    sum += v;
+    min = std::min(min, v);
+  }
+  double mean = sum / kSamples;
+  EXPECT_NEAR(mean, alpha * beta, 0.05 * alpha * beta);
+  EXPECT_GE(min, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperNetworks, GammaMeanTest,
+                         ::testing::Values(GammaParams{1.0, 0.3},
+                                           GammaParams{3.0, 1.0},
+                                           GammaParams{3.0, 1.5}));
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    size_t r = rng.Zipf(10, 1.0);
+    ASSERT_LT(r, 10u);
+    ++counts[r];
+  }
+  EXPECT_GT(counts[0], counts[9] * 3);
+  EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(RngTest, ZipfEdgeCases) {
+  Rng rng(6);
+  EXPECT_EQ(rng.Zipf(0), 0u);
+  EXPECT_EQ(rng.Zipf(1), 0u);
+}
+
+TEST(RngTest, RandomWordShapeAndDeterminism) {
+  Rng a(9), b(9);
+  std::string w = a.RandomWord(12);
+  EXPECT_EQ(w.size(), 12u);
+  for (char c : w) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+  EXPECT_EQ(w, b.RandomWord(12));
+}
+
+}  // namespace
+}  // namespace lakefed

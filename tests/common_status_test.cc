@@ -1,0 +1,117 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace lakefed {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing table");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing table");
+  EXPECT_EQ(st.ToString(), "Not found: missing table");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::ParseError("bad token");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsParseError());
+  EXPECT_EQ(copy.message(), "bad token");
+  EXPECT_EQ(st, copy);
+}
+
+TEST(StatusTest, AssignmentAndSelfAssignment) {
+  Status a = Status::Internal("x");
+  Status b;
+  b = a;
+  EXPECT_TRUE(b.IsInternal());
+  b = b;  // NOLINT(clang-diagnostic-self-assign-overloaded)
+  EXPECT_TRUE(b.IsInternal());
+  b = Status::OK();
+  EXPECT_TRUE(b.ok());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status st = Status::InvalidArgument("bad value").WithContext("insert");
+  EXPECT_EQ(st.message(), "insert: bad value");
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_TRUE(Status::OK().WithContext("noop").ok());
+}
+
+TEST(StatusTest, AllPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("").IsInvalidArgument());
+  EXPECT_TRUE(Status::ParseError("").IsParseError());
+  EXPECT_TRUE(Status::NotFound("").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("").IsOutOfRange());
+  EXPECT_TRUE(Status::NotImplemented("").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("").IsInternal());
+  EXPECT_TRUE(Status::Cancelled("").IsCancelled());
+  EXPECT_TRUE(Status::TypeError("").IsTypeError());
+  EXPECT_TRUE(Status::IoError("").IsIoError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(3), 3);
+}
+
+TEST(ResultTest, OkStatusWithoutValueBecomesInternalError) {
+  Result<int> r{Status::OK()};
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+Result<int> Doubler(Result<int> in) {
+  LAKEFED_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  EXPECT_TRUE(Doubler(Status::Internal("boom")).status().IsInternal());
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status Chain(int v) {
+  LAKEFED_RETURN_NOT_OK(FailIfNegative(v));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_TRUE(Chain(-1).IsOutOfRange());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+}  // namespace
+}  // namespace lakefed

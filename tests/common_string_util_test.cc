@@ -1,0 +1,79 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace lakefed {
+namespace {
+
+TEST(SplitStringTest, Basic) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitString(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(JoinStringsTest, Basic) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+  EXPECT_EQ(JoinStrings({"x"}, ", "), "x");
+}
+
+TEST(TrimWhitespaceTest, Basic) {
+  EXPECT_EQ(TrimWhitespace("  hi  "), "hi");
+  EXPECT_EQ(TrimWhitespace("hi"), "hi");
+  EXPECT_EQ(TrimWhitespace("\t\n hi\r"), "hi");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(PrefixSuffixTest, Basic) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("http", "http://"));
+  EXPECT_TRUE(EndsWith("file.cc", ".cc"));
+  EXPECT_FALSE(EndsWith(".cc", "file.cc"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(EqualsIgnoreCaseTest, Basic) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(CaseConversionTest, Basic) {
+  EXPECT_EQ(ToLowerAscii("SeLeCt"), "select");
+  EXPECT_EQ(ToUpperAscii("SeLeCt"), "SELECT");
+  EXPECT_EQ(ToUpperAscii("a1_b"), "A1_B");
+}
+
+TEST(ReplaceAllTest, Basic) {
+  EXPECT_EQ(ReplaceAll("a'b'c", "'", "''"), "a''b''c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");
+  EXPECT_EQ(ReplaceAll("{id}", "{id}", "42"), "42");
+}
+
+TEST(SqlLikeMatchTest, ExactAndWildcards) {
+  EXPECT_TRUE(SqlLikeMatch("hello", "hello"));
+  EXPECT_FALSE(SqlLikeMatch("hello", "hell"));
+  EXPECT_TRUE(SqlLikeMatch("hello", "h%"));
+  EXPECT_TRUE(SqlLikeMatch("hello", "%o"));
+  EXPECT_TRUE(SqlLikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(SqlLikeMatch("hello", "h_llo"));
+  EXPECT_FALSE(SqlLikeMatch("hello", "h_lo"));
+  EXPECT_TRUE(SqlLikeMatch("hello", "%"));
+  EXPECT_TRUE(SqlLikeMatch("", "%"));
+  EXPECT_FALSE(SqlLikeMatch("", "_"));
+  EXPECT_TRUE(SqlLikeMatch("abc", "a%c"));
+  EXPECT_FALSE(SqlLikeMatch("abd", "a%c"));
+  EXPECT_TRUE(SqlLikeMatch("Homo sapiens", "Homo%"));
+  EXPECT_TRUE(SqlLikeMatch("aXbXc", "a%b%c"));
+  // Backtracking case: the first '%' must not greedily eat the 'b'.
+  EXPECT_TRUE(SqlLikeMatch("abab", "%ab"));
+}
+
+}  // namespace
+}  // namespace lakefed

@@ -1,0 +1,132 @@
+#include "fed/decomposer.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace lakefed::fed {
+namespace {
+
+Result<DecomposedQuery> DecomposeText(const std::string& text) {
+  auto query = sparql::ParseSparql(text);
+  if (!query.ok()) return query.status();
+  return Decompose(*query);
+}
+
+TEST(DecomposerTest, SingleStar) {
+  auto d = DecomposeText(R"(PREFIX ex: <http://ex/>
+    SELECT ?d ?n WHERE { ?d a ex:Drug ; ex:name ?n ; ex:weight ?w . })");
+  ASSERT_TRUE(d.ok()) << d.status();
+  ASSERT_EQ(d->stars.size(), 1u);
+  EXPECT_EQ(d->stars[0].patterns.size(), 3u);
+  EXPECT_EQ(d->stars[0].class_iri, "http://ex/Drug");
+  EXPECT_EQ(d->stars[0].Variables(),
+            (std::vector<std::string>{"d", "n", "w"}));
+}
+
+TEST(DecomposerTest, TwoStarsSharingVariable) {
+  auto d = DecomposeText(R"(PREFIX ex: <http://ex/>
+    SELECT ?d ?g WHERE {
+      ?d ex:associatedGene ?g ; ex:name ?n .
+      ?g ex:symbol ?s .
+    })");
+  ASSERT_TRUE(d.ok()) << d.status();
+  ASSERT_EQ(d->stars.size(), 2u);
+  EXPECT_EQ(d->stars[0].subject.var, "d");
+  EXPECT_EQ(d->stars[1].subject.var, "g");
+  EXPECT_EQ(d->stars[0].patterns.size(), 2u);
+  EXPECT_EQ(d->stars[1].patterns.size(), 1u);
+}
+
+TEST(DecomposerTest, ConstantSubjectsGroupTogether) {
+  auto d = DecomposeText(R"(PREFIX ex: <http://ex/>
+    SELECT ?p ?o WHERE {
+      ex:thing ?p ?o .
+      ex:thing ex:name ?n .
+    })");
+  ASSERT_TRUE(d.ok()) << d.status();
+  ASSERT_EQ(d->stars.size(), 1u);
+  EXPECT_FALSE(d->stars[0].subject.is_var);
+}
+
+TEST(DecomposerTest, StarsPartitionThePatterns) {
+  auto d = DecomposeText(R"(PREFIX ex: <http://ex/>
+    SELECT * WHERE {
+      ?a ex:p1 ?x . ?b ex:p2 ?x . ?a ex:p3 ?y . ?c ex:p4 ?b .
+    })");
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->stars.size(), 3u);
+  size_t total = 0;
+  for (const StarSubQuery& star : d->stars) total += star.patterns.size();
+  EXPECT_EQ(total, 4u);
+  // Every pattern of a star shares the star's subject.
+  for (const StarSubQuery& star : d->stars) {
+    for (const rdf::TriplePattern& p : star.patterns) {
+      EXPECT_EQ(p.subject.ToString(), star.subject.ToString());
+    }
+  }
+}
+
+TEST(DecomposerTest, FilterAttachedToCoveringStar) {
+  auto d = DecomposeText(R"(PREFIX ex: <http://ex/>
+    SELECT ?d WHERE {
+      ?d ex:weight ?w .
+      ?g ex:symbol ?s .
+      FILTER (?w > 10)
+      FILTER (?s = "BRCA1")
+    })");
+  ASSERT_TRUE(d.ok()) << d.status();
+  ASSERT_EQ(d->stars.size(), 2u);
+  ASSERT_EQ(d->stars[0].filters.size(), 1u);
+  ASSERT_EQ(d->stars[1].filters.size(), 1u);
+  EXPECT_TRUE(d->global_filters.empty());
+}
+
+TEST(DecomposerTest, CrossStarFilterStaysGlobal) {
+  auto d = DecomposeText(R"(PREFIX ex: <http://ex/>
+    SELECT * WHERE {
+      ?a ex:v ?x . ?b ex:w ?y .
+      FILTER (?x > ?y)
+    })");
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->stars.size(), 2u);
+  EXPECT_TRUE(d->stars[0].filters.empty());
+  EXPECT_TRUE(d->stars[1].filters.empty());
+  ASSERT_EQ(d->global_filters.size(), 1u);
+}
+
+TEST(DecomposerTest, ConjunctionIsSplitAcrossStars) {
+  auto d = DecomposeText(R"(PREFIX ex: <http://ex/>
+    SELECT * WHERE {
+      ?a ex:v ?x . ?b ex:w ?y .
+      FILTER (?x > 1 && ?y < 5)
+    })");
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->stars[0].filters.size(), 1u);
+  EXPECT_EQ(d->stars[1].filters.size(), 1u);
+  EXPECT_TRUE(d->global_filters.empty());
+}
+
+TEST(DecomposerTest, ClassDetectionRequiresConstantType) {
+  auto d = DecomposeText(R"(PREFIX ex: <http://ex/>
+    SELECT * WHERE { ?a a ?t ; ex:name ?n . })");
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_FALSE(d->stars[0].class_iri.has_value());
+}
+
+TEST(DecomposerTest, PredicateHelpers) {
+  auto d = DecomposeText(R"(PREFIX ex: <http://ex/>
+    SELECT * WHERE { ?a a ex:T ; ex:name ?n ; ex:link ?b . })");
+  ASSERT_TRUE(d.ok()) << d.status();
+  const StarSubQuery& star = d->stars[0];
+  auto preds = star.ConstantPredicates();
+  EXPECT_EQ(preds.size(), 3u);  // rdf:type, name, link
+  EXPECT_EQ(star.PredicateOfObjectVar("n"), "http://ex/name");
+  EXPECT_EQ(star.PredicateOfObjectVar("b"), "http://ex/link");
+  EXPECT_EQ(star.PredicateOfObjectVar("zzz"), std::nullopt);
+  EXPECT_TRUE(star.SubjectIsVar("a"));
+  EXPECT_FALSE(star.SubjectIsVar("n"));
+}
+
+}  // namespace
+}  // namespace lakefed::fed

@@ -1,0 +1,190 @@
+// Plan-shape tests for the federated planner: source selection, Heuristic 1
+// (join pushdown) and Heuristic 2 (filter placement) under both plan modes
+// and all network profiles.
+
+#include "fed/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "fed_test_util.h"
+#include "lslod/queries.h"
+#include "lslod/vocab.h"
+
+namespace lakefed::fed {
+namespace {
+
+class FedPlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lake_ = BuildTinyLake();
+    ASSERT_NE(lake_, nullptr);
+  }
+
+  std::string Explain(const std::string& query, const PlanOptions& options) {
+    auto plan = lake_->engine->Plan(query, options);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    return plan.ok() ? plan->Explain() : "";
+  }
+
+  std::unique_ptr<lslod::DataLake> lake_;
+};
+
+PlanOptions Aware(net::NetworkProfile network =
+                      net::NetworkProfile::NoDelay()) {
+  PlanOptions options;
+  options.mode = PlanMode::kPhysicalDesignAware;
+  options.network = std::move(network);
+  return options;
+}
+
+PlanOptions Unaware(net::NetworkProfile network =
+                        net::NetworkProfile::NoDelay()) {
+  PlanOptions options;
+  options.mode = PlanMode::kPhysicalDesignUnaware;
+  options.network = std::move(network);
+  return options;
+}
+
+TEST_F(FedPlannerTest, H1MergesSameSourceStarsInAwareMode) {
+  const std::string& q2 = lslod::FindQuery("Q2")->sparql;
+  std::string aware = Explain(q2, Aware());
+  EXPECT_TRUE(Contains(aware, "merged 2 SSQs")) << aware;
+  EXPECT_TRUE(Contains(aware, "H1")) << aware;
+  // One service, no engine join between the two diseasome stars.
+  EXPECT_FALSE(Contains(aware, "SymmetricHashJoin")) << aware;
+}
+
+TEST_F(FedPlannerTest, UnawareModeNeverMerges) {
+  const std::string& q2 = lslod::FindQuery("Q2")->sparql;
+  std::string unaware = Explain(q2, Unaware());
+  EXPECT_FALSE(Contains(unaware, "merged")) << unaware;
+  EXPECT_TRUE(Contains(unaware, "SymmetricHashJoin")) << unaware;
+}
+
+TEST_F(FedPlannerTest, H1DisabledKeepsStarsSeparate) {
+  PlanOptions options = Aware();
+  options.heuristic1_join_pushdown = false;
+  std::string plan = Explain(lslod::FindQuery("Q2")->sparql, options);
+  EXPECT_FALSE(Contains(plan, "merged")) << plan;
+  EXPECT_TRUE(Contains(plan, "SymmetricHashJoin")) << plan;
+}
+
+TEST_F(FedPlannerTest, H1NeverMergesAcrossSources) {
+  // Q1 joins DrugBank and SIDER: different endpoints, no merge.
+  std::string plan = Explain(lslod::FindQuery("Q1")->sparql, Aware());
+  EXPECT_FALSE(Contains(plan, "merged")) << plan;
+  EXPECT_TRUE(Contains(plan, "SymmetricHashJoin")) << plan;
+}
+
+TEST_F(FedPlannerTest, H2PushesIndexedFilterOnlyOnSlowNetworks) {
+  const std::string& q3 = lslod::FindQuery("Q3")->sparql;
+  // Fast network (NoDelay, Gamma1): indexed filter stays at the engine.
+  for (auto profile : {net::NetworkProfile::NoDelay(),
+                       net::NetworkProfile::Gamma1()}) {
+    std::string plan = Explain(q3, Aware(profile));
+    EXPECT_TRUE(Contains(plan, "@engine")) << profile.name << "\n" << plan;
+    EXPECT_TRUE(Contains(plan, "network fast")) << profile.name << "\n"
+                                                << plan;
+  }
+  // Slow networks (Gamma2, Gamma3): pushed to the source.
+  for (auto profile : {net::NetworkProfile::Gamma2(),
+                       net::NetworkProfile::Gamma3()}) {
+    std::string plan = Explain(q3, Aware(profile));
+    EXPECT_TRUE(Contains(plan, "@source")) << profile.name << "\n" << plan;
+    EXPECT_TRUE(Contains(plan, "network slow")) << profile.name << "\n"
+                                                << plan;
+  }
+}
+
+TEST_F(FedPlannerTest, H2NeverPushesUnindexedFilter) {
+  // FIG1's species filter: scientificName failed the 15% rule.
+  std::string plan =
+      Explain(lslod::MotivatingExampleQuery().sparql,
+              Aware(net::NetworkProfile::Gamma3()));
+  EXPECT_TRUE(Contains(plan, "not indexed")) << plan;
+  EXPECT_TRUE(Contains(plan, "@engine")) << plan;
+}
+
+TEST_F(FedPlannerTest, UnawareModeKeepsAllFiltersAtEngine) {
+  std::string plan = Explain(lslod::FindQuery("Q3")->sparql,
+                             Unaware(net::NetworkProfile::Gamma3()));
+  EXPECT_TRUE(Contains(plan, "@engine")) << plan;
+  EXPECT_FALSE(Contains(plan, "@source")) << plan;
+}
+
+TEST_F(FedPlannerTest, H2DisabledKeepsFilterAtEngine) {
+  PlanOptions options = Aware(net::NetworkProfile::Gamma3());
+  options.heuristic2_filter_placement = false;
+  std::string plan = Explain(lslod::FindQuery("Q3")->sparql, options);
+  EXPECT_TRUE(Contains(plan, "heuristic 2 disabled")) << plan;
+  EXPECT_TRUE(Contains(plan, "@engine")) << plan;
+}
+
+TEST_F(FedPlannerTest, ForcedPlacementOverridesH2) {
+  PlanOptions options = Aware(net::NetworkProfile::NoDelay());
+  options.force_filter_placement = FilterPlacement::kSource;
+  std::string plan = Explain(lslod::FindQuery("Q3")->sparql, options);
+  EXPECT_TRUE(Contains(plan, "@source")) << plan;
+  EXPECT_TRUE(Contains(plan, "forced")) << plan;
+}
+
+TEST_F(FedPlannerTest, ThreeSourceQueryHasTwoJoins) {
+  std::string plan = Explain(lslod::FindQuery("Q5")->sparql, Aware());
+  size_t first = plan.find("SymmetricHashJoin");
+  ASSERT_NE(first, std::string::npos) << plan;
+  size_t second = plan.find("SymmetricHashJoin", first + 1);
+  EXPECT_NE(second, std::string::npos) << plan;
+}
+
+TEST_F(FedPlannerTest, ProjectionAndModifiersOnTop) {
+  std::string plan = Explain(
+      "PREFIX dsv: <http://lslod.example.org/diseasome/vocab#> "
+      "SELECT DISTINCT ?n WHERE { ?d a dsv:Disease ; dsv:name ?n . } "
+      "LIMIT 5",
+      Aware());
+  EXPECT_TRUE(Contains(plan, "Limit 5")) << plan;
+  EXPECT_TRUE(Contains(plan, "Distinct")) << plan;
+  EXPECT_TRUE(Contains(plan, "Project ?n")) << plan;
+}
+
+TEST_F(FedPlannerTest, UnanswerableQueryFails) {
+  auto plan = lake_->engine->Plan(
+      "PREFIX x: <http://nowhere/> SELECT ?s WHERE { ?s x:nope ?o . }",
+      Aware());
+  EXPECT_TRUE(plan.status().IsNotFound()) << plan.status();
+}
+
+TEST_F(FedPlannerTest, DependentJoinUsedWhenRequested) {
+  // Gamma3 pushes Q3's value filter into the source, so the TCGA star has
+  // no engine-side filters and qualifies for a dependent (bind) join on its
+  // indexed ?sym attribute.
+  PlanOptions options = Aware(net::NetworkProfile::Gamma3());
+  options.use_dependent_join = true;
+  std::string plan = Explain(lslod::FindQuery("Q3")->sparql, options);
+  EXPECT_TRUE(Contains(plan, "DependentJoin")) << plan;
+}
+
+TEST_F(FedPlannerTest, VariableIsIndexedHelper) {
+  auto* wrapper = lake_->engine->wrapper(lslod::kTcga);
+  ASSERT_NE(wrapper, nullptr);
+  StarSubQuery star;
+  star.subject = rdf::PatternNode::Var("e");
+  star.class_iri = lslod::ExpressionClass();
+  star.patterns.push_back(
+      {rdf::PatternNode::Var("e"),
+       rdf::PatternNode::Const(
+           rdf::Term::Iri(lslod::Vocab(lslod::kTcga, "value"))),
+       rdf::PatternNode::Var("v")});
+  star.patterns.push_back(
+      {rdf::PatternNode::Var("e"),
+       rdf::PatternNode::Const(
+           rdf::Term::Iri(lslod::Vocab(lslod::kTcga, "patient"))),
+       rdf::PatternNode::Var("p")});
+  EXPECT_TRUE(VariableIsIndexed(star, "e", *wrapper));  // subject: PK
+  EXPECT_TRUE(VariableIsIndexed(star, "v", *wrapper));  // value: advisor
+  EXPECT_FALSE(VariableIsIndexed(star, "zz", *wrapper));
+}
+
+}  // namespace
+}  // namespace lakefed::fed

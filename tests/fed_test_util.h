@@ -1,0 +1,82 @@
+// Shared helpers for federation tests: a small LSLOD lake and a
+// single-store oracle (all sources materialized into one triple store and
+// evaluated by the reference SPARQL evaluator).
+
+#ifndef LAKEFED_TESTS_FED_TEST_UTIL_H_
+#define LAKEFED_TESTS_FED_TEST_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fed/executor.h"
+#include "lslod/generator.h"
+#include "mapping/materialize.h"
+#include "sparql/eval.h"
+#include "sparql/parser.h"
+
+namespace lakefed {
+
+inline std::unique_ptr<lslod::DataLake> BuildTinyLake(
+    double scale = 0.05, std::set<std::string> rdf_sources = {}) {
+  lslod::LakeConfig config;
+  config.scale = scale;
+  config.seed = 7;
+  config.rdf_sources = std::move(rdf_sources);
+  auto lake = lslod::BuildLake(config);
+  return lake.ok() ? std::move(*lake) : nullptr;
+}
+
+// Serializes the answers of a federated execution to a sorted multiset of
+// strings, using the projection order.
+inline std::vector<std::string> SerializeAnswers(
+    const fed::QueryAnswer& answer) {
+  std::vector<std::string> out;
+  for (const rdf::Binding& row : answer.rows) {
+    std::string s;
+    for (const std::string& var : answer.variables) {
+      auto it = row.find(var);
+      s += (it == row.end() ? std::string("~unbound~")
+                            : it->second.ToString());
+      s.push_back('|');
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Evaluates `query_text` over the union of all sources in one store
+// (ground truth).
+inline std::vector<std::string> OracleAnswers(const lslod::DataLake& lake,
+                                              const std::string& query_text) {
+  rdf::TripleStore store;
+  for (const auto& [id, db] : lake.databases) {
+    Status st = mapping::MaterializeTriples(*db, lake.mappings.at(id),
+                                            &store);
+    if (!st.ok()) return {"materialize-error: " + st.ToString()};
+  }
+  auto query = sparql::ParseSparql(query_text);
+  if (!query.ok()) return {"parse-error: " + query.status().ToString()};
+  auto result = sparql::Evaluate(*query, store);
+  if (!result.ok()) return {"eval-error: " + result.status().ToString()};
+  std::vector<std::string> out;
+  for (const sparql::SolutionRow& row : result->rows) {
+    std::string s;
+    for (const rdf::Term& term : row.values) {
+      // The evaluator renders unbound values (OPTIONAL) as empty terms;
+      // match the federated serialization.
+      bool unbound = term.is_iri() && term.value().empty();
+      s += unbound ? std::string("~unbound~") : term.ToString();
+      s.push_back('|');
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lakefed
+
+#endif  // LAKEFED_TESTS_FED_TEST_UTIL_H_

@@ -1,0 +1,57 @@
+#include "fed/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+namespace lakefed::fed {
+namespace {
+
+AnswerTrace MakeTrace() {
+  AnswerTrace trace;
+  trace.timestamps = {0.1, 0.2, 0.5, 0.9};
+  trace.completion_seconds = 1.0;
+  return trace;
+}
+
+TEST(AnswerTraceTest, Counts) {
+  AnswerTrace trace = MakeTrace();
+  EXPECT_EQ(trace.num_answers(), 4u);
+  EXPECT_DOUBLE_EQ(trace.TimeToFirst(), 0.1);
+}
+
+TEST(AnswerTraceTest, AnswersAt) {
+  AnswerTrace trace = MakeTrace();
+  EXPECT_EQ(trace.AnswersAt(0.0), 0u);
+  EXPECT_EQ(trace.AnswersAt(0.1), 1u);
+  EXPECT_EQ(trace.AnswersAt(0.15), 1u);
+  EXPECT_EQ(trace.AnswersAt(0.5), 3u);
+  EXPECT_EQ(trace.AnswersAt(2.0), 4u);
+}
+
+TEST(AnswerTraceTest, EmptyTrace) {
+  AnswerTrace trace;
+  trace.completion_seconds = 0.5;
+  EXPECT_EQ(trace.num_answers(), 0u);
+  EXPECT_DOUBLE_EQ(trace.TimeToFirst(), 0.5);
+  EXPECT_EQ(trace.AnswersAt(1.0), 0u);
+}
+
+TEST(AnswerTraceTest, CsvHasHeaderAndRows) {
+  std::string csv = MakeTrace().ToCsv();
+  EXPECT_TRUE(StartsWith(csv, "time_s,answers\n"));
+  // 4 answers + 1 completion row.
+  EXPECT_EQ(SplitString(csv, '\n').size(), 7u);  // header + 5 + trailing ""
+  EXPECT_TRUE(Contains(csv, "0.500000,3"));
+}
+
+TEST(AnswerTraceTest, SampledCsvHasRequestedPoints) {
+  std::string csv = MakeTrace().ToSampledCsv(11);
+  auto lines = SplitString(csv, '\n');
+  EXPECT_EQ(lines.size(), 13u);  // header + 11 + trailing ""
+  EXPECT_EQ(lines[1], "0.000000,0");
+  EXPECT_EQ(lines[11], "1.000000,4");
+}
+
+}  // namespace
+}  // namespace lakefed::fed

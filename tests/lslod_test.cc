@@ -1,0 +1,164 @@
+// Generator invariants: the synthetic lake must exhibit the physical-design
+// properties the paper's experiment depends on.
+
+#include "lslod/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "lslod/queries.h"
+#include "lslod/vocab.h"
+#include "sparql/parser.h"
+
+namespace lakefed::lslod {
+namespace {
+
+class LslodTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    LakeConfig config;
+    config.scale = 0.1;
+    auto lake = BuildLake(config);
+    ASSERT_TRUE(lake.ok()) << lake.status();
+    lake_ = lake->release();
+  }
+  static void TearDownTestSuite() {
+    delete lake_;
+    lake_ = nullptr;
+  }
+
+  static DataLake* lake_;
+};
+
+DataLake* LslodTest::lake_ = nullptr;
+
+TEST_F(LslodTest, TenRelationalSources) {
+  EXPECT_EQ(lake_->databases.size(), 10u);
+  EXPECT_EQ(lake_->engine->num_sources(), 10u);
+  EXPECT_TRUE(lake_->stores.empty());
+}
+
+TEST_F(LslodTest, ScaleControlsSizes) {
+  LakeConfig small;
+  small.scale = 0.05;
+  auto lake = BuildLake(small);
+  ASSERT_TRUE(lake.ok()) << lake.status();
+  size_t small_rows = (*lake)
+                          ->databases.at(kTcga)
+                          ->catalog()
+                          .GetTable("expression")
+                          ->num_rows();
+  size_t big_rows = lake_->databases.at(kTcga)
+                        ->catalog()
+                        .GetTable("expression")
+                        ->num_rows();
+  EXPECT_LT(small_rows, big_rows);
+}
+
+TEST_F(LslodTest, DeterministicForSameSeed) {
+  LakeConfig config;
+  config.scale = 0.05;
+  auto a = BuildLake(config);
+  auto b = BuildLake(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  const rel::Table* ta =
+      (*a)->databases.at(kDrugbank)->catalog().GetTable("drug");
+  const rel::Table* tb =
+      (*b)->databases.at(kDrugbank)->catalog().GetTable("drug");
+  ASSERT_EQ(ta->num_rows(), tb->num_rows());
+  for (size_t i = 0; i < ta->num_rows(); ++i) {
+    EXPECT_EQ(ta->row(static_cast<rel::RowId>(i)),
+              tb->row(static_cast<rel::RowId>(i)));
+  }
+}
+
+TEST_F(LslodTest, PrimaryKeysAreIndexed) {
+  for (const auto& [id, db] : lake_->databases) {
+    for (const std::string& table_name : db->catalog().TableNames()) {
+      const rel::Table* table = db->catalog().GetTable(table_name);
+      ASSERT_TRUE(table->primary_key().has_value()) << table_name;
+      EXPECT_TRUE(table->HasIndexOn(*table->primary_key())) << table_name;
+    }
+  }
+}
+
+TEST_F(LslodTest, FifteenPercentRuleRejectsSkewedSpecies) {
+  // The paper's own example: Affymetrix scientificName has values present
+  // in more than 15% of records, so it must not be indexed.
+  EXPECT_FALSE(
+      lake_->databases.at(kAffymetrix)->IsIndexed("probeset", "species"));
+  EXPECT_TRUE(
+      lake_->databases.at(kAffymetrix)->IsIndexed("probeset", "symbol"));
+  bool species_rejected = false;
+  for (const rel::IndexDecision& d : lake_->index_decisions) {
+    if (d.table == "probeset" && d.column == "species") {
+      species_rejected = !d.created;
+      EXPECT_NE(d.reason.find("15%"), std::string::npos) << d.reason;
+    }
+  }
+  EXPECT_TRUE(species_rejected);
+}
+
+TEST_F(LslodTest, FifteenPercentRuleRejectsTrialPhase) {
+  EXPECT_FALSE(lake_->databases.at(kLinkedct)->IsIndexed("trial", "phase"));
+  EXPECT_TRUE(
+      lake_->databases.at(kLinkedct)->IsIndexed("trial", "condition"));
+}
+
+TEST_F(LslodTest, WorkloadJoinAttributesAreIndexed) {
+  EXPECT_TRUE(
+      lake_->databases.at(kDiseasome)->IsIndexed("disease_gene", "gene_id"));
+  EXPECT_TRUE(lake_->databases.at(kTcga)->IsIndexed("expression", "value"));
+  EXPECT_TRUE(lake_->databases.at(kDrugbank)->IsIndexed("drug", "name"));
+  EXPECT_TRUE(
+      lake_->databases.at(kPharmgkb)->IsIndexed("gene_info", "symbol"));
+}
+
+TEST_F(LslodTest, MoleculeCatalogCoversAllClasses) {
+  const auto& catalog = lake_->engine->catalog();
+  for (const std::string& cls :
+       {DiseaseClass(), GeneClass(), ProbesetClass(), DrugClass(),
+        SideEffectClass(), CompoundClass(), ExpressionClass(),
+        ChemicalClass(), TrialClass(), AnnotationClass(), GeneInfoClass()}) {
+    EXPECT_NE(catalog.Find(cls), nullptr) << cls;
+  }
+}
+
+TEST_F(LslodTest, QueriesParseAndHaveDistinctShapes) {
+  EXPECT_EQ(BenchmarkQueries().size(), 5u);
+  for (const BenchmarkQuery& q : BenchmarkQueries()) {
+    auto parsed = sparql::ParseSparql(q.sparql);
+    EXPECT_TRUE(parsed.ok()) << q.id << ": " << parsed.status();
+  }
+  auto fig1 = sparql::ParseSparql(MotivatingExampleQuery().sparql);
+  EXPECT_TRUE(fig1.ok()) << fig1.status();
+  EXPECT_EQ(FindQuery("Q3")->id, "Q3");
+  EXPECT_EQ(FindQuery("FIG1")->id, "FIG1");
+  EXPECT_EQ(FindQuery("nope"), nullptr);
+}
+
+TEST_F(LslodTest, AllBenchmarkQueriesReturnAnswers) {
+  fed::PlanOptions options;
+  for (const BenchmarkQuery& q : BenchmarkQueries()) {
+    auto answer = lake_->engine->Execute(q.sparql, options);
+    ASSERT_TRUE(answer.ok()) << q.id << ": " << answer.status();
+    EXPECT_GT(answer->rows.size(), 0u) << q.id;
+  }
+  auto fig1 = lake_->engine->Execute(MotivatingExampleQuery().sparql,
+                                     options);
+  ASSERT_TRUE(fig1.ok()) << fig1.status();
+  EXPECT_GT(fig1->rows.size(), 0u);
+}
+
+TEST_F(LslodTest, MixedLakeBuildsRdfStores) {
+  LakeConfig config;
+  config.scale = 0.05;
+  config.rdf_sources = {kKegg, kGoa};
+  auto lake = BuildLake(config);
+  ASSERT_TRUE(lake.ok()) << lake.status();
+  EXPECT_EQ((*lake)->stores.size(), 2u);
+  EXPECT_GT((*lake)->stores.at(kKegg)->size(), 0u);
+  EXPECT_EQ((*lake)->engine->num_sources(), 10u);
+}
+
+}  // namespace
+}  // namespace lakefed::lslod

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "mapping/materialize.h"
+#include "mapping/rdf_mt.h"
+#include "mapping/relational_mapping.h"
+
+namespace lakefed::mapping {
+namespace {
+
+TEST(IriTemplateTest, FormatAndExtract) {
+  IriTemplate tmpl("http://ex/drug/{}");
+  EXPECT_EQ(tmpl.Format(rel::Value(int64_t{7})), "http://ex/drug/7");
+  EXPECT_EQ(tmpl.Extract("http://ex/drug/7"), "7");
+  EXPECT_EQ(tmpl.Extract("http://ex/gene/7"), std::nullopt);
+  EXPECT_EQ(tmpl.pattern(), "http://ex/drug/{}");
+}
+
+TEST(IriTemplateTest, SuffixedTemplate) {
+  IriTemplate tmpl("http://ex/{}/resource");
+  EXPECT_EQ(tmpl.Format(rel::Value("abc")), "http://ex/abc/resource");
+  EXPECT_EQ(tmpl.Extract("http://ex/abc/resource"), "abc");
+  EXPECT_EQ(tmpl.Extract("http://ex/abc/other"), std::nullopt);
+}
+
+TEST(ValueFromLexicalTest, DatatypeDriven) {
+  EXPECT_TRUE(ValueFromLexical("5", rdf::kXsdInteger).is_int());
+  EXPECT_TRUE(ValueFromLexical("5.5", rdf::kXsdDouble).is_double());
+  EXPECT_TRUE(ValueFromLexical("text", "").is_string());
+  EXPECT_EQ(ValueFromLexical("5", rdf::kXsdInteger).AsInt(), 5);
+}
+
+class ConversionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cm_.class_iri = "http://ex/vocab#Drug";
+    cm_.base_table = "drug";
+    cm_.pk_column = "id";
+    cm_.subject_template = IriTemplate("http://ex/drug/{}");
+
+    lit_pm_.predicate = "http://ex/vocab#weight";
+    lit_pm_.column = "weight";
+    lit_pm_.literal_datatype = rdf::kXsdDouble;
+
+    iri_pm_.predicate = "http://ex/vocab#interactsWith";
+    iri_pm_.column = "other_id";
+    iri_pm_.object_is_iri = true;
+    iri_pm_.iri_template = IriTemplate("http://ex/drug/{}");
+  }
+
+  ClassMapping cm_;
+  PredicateMapping lit_pm_, iri_pm_;
+};
+
+TEST_F(ConversionTest, SubjectRoundTrip) {
+  rdf::Term subject = SubjectFromValue(rel::Value(int64_t{42}), cm_);
+  EXPECT_EQ(subject, rdf::Term::Iri("http://ex/drug/42"));
+  auto value = PkValueFromSubject(subject, cm_);
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_EQ(value->AsInt(), 42);
+}
+
+TEST_F(ConversionTest, SubjectErrors) {
+  EXPECT_FALSE(PkValueFromSubject(rdf::Term::Literal("x"), cm_).ok());
+  EXPECT_FALSE(
+      PkValueFromSubject(rdf::Term::Iri("http://other/42"), cm_).ok());
+}
+
+TEST_F(ConversionTest, LiteralObjectRoundTrip) {
+  rdf::Term term = TermFromValue(rel::Value(2.5), lit_pm_);
+  EXPECT_TRUE(term.is_literal());
+  EXPECT_EQ(term.datatype(), rdf::kXsdDouble);
+  auto value = ValueFromTerm(term, lit_pm_);
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_DOUBLE_EQ(value->AsDouble(), 2.5);
+}
+
+TEST_F(ConversionTest, IriObjectRoundTrip) {
+  rdf::Term term = TermFromValue(rel::Value(int64_t{9}), iri_pm_);
+  EXPECT_EQ(term, rdf::Term::Iri("http://ex/drug/9"));
+  auto value = ValueFromTerm(term, iri_pm_);
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_EQ(value->AsInt(), 9);
+}
+
+TEST_F(ConversionTest, TypeMismatchErrors) {
+  EXPECT_TRUE(
+      ValueFromTerm(rdf::Term::Literal("x"), iri_pm_).status().IsTypeError());
+  EXPECT_TRUE(
+      ValueFromTerm(rdf::Term::Iri("http://x"), lit_pm_).status()
+          .IsTypeError());
+}
+
+TEST(RdfMtCatalogTest, AddMergesSources) {
+  RdfMtCatalog catalog;
+  RdfMt a;
+  a.class_iri = "http://ex/C";
+  a.predicates = {"p1", "p2"};
+  a.sources = {"s1"};
+  a.cardinality = 100;
+  RdfMt b;
+  b.class_iri = "http://ex/C";
+  b.predicates = {"p2", "p3"};
+  b.sources = {"s2"};
+  b.cardinality = 40;
+  catalog.Add(a);
+  catalog.Add(b);
+  const RdfMt* merged = catalog.Find("http://ex/C");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->predicates.size(), 3u);
+  EXPECT_EQ(merged->sources.size(), 2u);
+  EXPECT_EQ(merged->cardinality, 140u);  // summed across sources
+}
+
+TEST(RdfMtCatalogTest, CoveringByPredicates) {
+  RdfMtCatalog catalog;
+  RdfMt drug;
+  drug.class_iri = "http://ex/Drug";
+  drug.predicates = {"name", "weight"};
+  drug.sources = {"db"};
+  RdfMt gene;
+  gene.class_iri = "http://ex/Gene";
+  gene.predicates = {"name", "symbol"};
+  gene.sources = {"ds"};
+  catalog.Add(drug);
+  catalog.Add(gene);
+
+  EXPECT_EQ(catalog.Covering(std::nullopt, {"name"}).size(), 2u);
+  EXPECT_EQ(catalog.Covering(std::nullopt, {"name", "symbol"}).size(), 1u);
+  EXPECT_EQ(catalog.Covering(std::nullopt, {"unknown"}).size(), 0u);
+  EXPECT_EQ(catalog.Covering(std::string("http://ex/Drug"), {"name"}).size(),
+            1u);
+  EXPECT_EQ(
+      catalog.Covering(std::string("http://ex/Gene"), {"weight"}).size(),
+      0u);
+}
+
+TEST(MaterializeTest, EmitsTypeBaseAndLinkTriples) {
+  rel::Database db("test");
+  auto drug = db.catalog().CreateTable(
+      "drug",
+      rel::Schema({{"id", rel::ColumnType::kInt64, false},
+                   {"name", rel::ColumnType::kString, true}}),
+      "id");
+  ASSERT_TRUE(drug.ok());
+  auto cat = db.catalog().CreateTable(
+      "drug_cat",
+      rel::Schema({{"id", rel::ColumnType::kInt64, false},
+                   {"drug_id", rel::ColumnType::kInt64, false},
+                   {"cat", rel::ColumnType::kString, false}}),
+      "id");
+  ASSERT_TRUE(cat.ok());
+  ASSERT_TRUE(
+      (*drug)->Insert({rel::Value(int64_t{1}), rel::Value("aspirin")}).ok());
+  ASSERT_TRUE((*drug)
+                  ->Insert({rel::Value(int64_t{2}), rel::Value()})
+                  .ok());  // NULL name: no triple
+  ASSERT_TRUE(
+      (*cat)
+          ->Insert({rel::Value(int64_t{0}), rel::Value(int64_t{1}),
+                    rel::Value("nsaid")})
+          .ok());
+
+  SourceMapping sm;
+  sm.source_id = "test";
+  ClassMapping cm;
+  cm.class_iri = "http://ex/Drug";
+  cm.base_table = "drug";
+  cm.pk_column = "id";
+  cm.subject_template = IriTemplate("http://ex/drug/{}");
+  PredicateMapping name;
+  name.predicate = "http://ex/name";
+  name.column = "name";
+  PredicateMapping category;
+  category.predicate = "http://ex/category";
+  category.column = "cat";
+  category.link_table = "drug_cat";
+  category.link_fk = "drug_id";
+  cm.predicates = {name, category};
+  sm.classes.push_back(cm);
+
+  rdf::TripleStore store;
+  ASSERT_TRUE(MaterializeTriples(db, sm, &store).ok());
+  // 2 type triples + 1 name + 1 category.
+  EXPECT_EQ(store.Match(std::nullopt, std::nullopt, std::nullopt).size(),
+            4u);
+  EXPECT_TRUE(store.Contains(rdf::Term::Iri("http://ex/drug/1"),
+                             rdf::Term::Iri("http://ex/category"),
+                             rdf::Term::Literal("nsaid")));
+}
+
+TEST(MoleculesFromMappingTest, LinksDetectedViaTemplates) {
+  SourceMapping sm;
+  sm.source_id = "ds";
+  ClassMapping disease;
+  disease.class_iri = "http://ex/Disease";
+  disease.base_table = "disease";
+  disease.pk_column = "id";
+  disease.subject_template = IriTemplate("http://ex/disease/{}");
+  PredicateMapping link;
+  link.predicate = "http://ex/gene";
+  link.column = "gene_id";
+  link.object_is_iri = true;
+  link.iri_template = IriTemplate("http://ex/gene/{}");
+  disease.predicates = {link};
+  ClassMapping gene;
+  gene.class_iri = "http://ex/Gene";
+  gene.base_table = "gene";
+  gene.pk_column = "id";
+  gene.subject_template = IriTemplate("http://ex/gene/{}");
+  sm.classes = {disease, gene};
+
+  auto molecules = MoleculesFromMapping(sm);
+  ASSERT_EQ(molecules.size(), 2u);
+  EXPECT_EQ(molecules[0].links.at("http://ex/gene"), "http://ex/Gene");
+  EXPECT_TRUE(molecules[0].predicates.count(rdf::kRdfType));
+}
+
+}  // namespace
+}  // namespace lakefed::mapping

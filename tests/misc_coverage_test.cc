@@ -1,0 +1,128 @@
+// Coverage batch for smaller paths: logging, EXPLAIN output of the
+// relational database, index-condition rendering, network custom profiles,
+// wrapper cancellation, and answer-trace CSV plumbing.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "fed/engine.h"
+#include "lslod/generator.h"
+#include "lslod/queries.h"
+#include "lslod/vocab.h"
+#include "net/network.h"
+#include "rel_test_util.h"
+#include "wrapper/sql_wrapper.h"
+
+namespace lakefed {
+namespace {
+
+TEST(LoggingTest, LevelsAreOrderedAndSettable) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  // Emitting at an enabled and a disabled level must not crash.
+  LAKEFED_LOG(kDebug) << "debug message";
+  SetLogLevel(LogLevel::kError);
+  LAKEFED_LOG(kInfo) << "suppressed";
+  SetLogLevel(before);
+}
+
+TEST(StatusStreamTest, OstreamOperator) {
+  std::ostringstream out;
+  out << Status::NotFound("thing");
+  EXPECT_EQ(out.str(), "Not found: thing");
+}
+
+TEST(DatabaseExplainTest, ShowsPlanWithoutExecuting) {
+  auto db = rel::MakeTestDatabase();
+  ASSERT_NE(db, nullptr);
+  auto plan = db->Explain(
+      "SELECT d.name FROM drug d JOIN interaction i ON d.id = i.drug1 "
+      "WHERE i.severity = 'high'");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(Contains(*plan, "->")) << *plan;
+  EXPECT_TRUE(Contains(*plan, "drug")) << *plan;
+}
+
+TEST(IndexConditionTest, Rendering) {
+  rel::IndexCondition eq{"k", {rel::Value(int64_t{5})}, {}, {}};
+  EXPECT_EQ(eq.ToString(), "k = 5");
+  rel::IndexCondition in{"k",
+                         {rel::Value(int64_t{1}), rel::Value("x")},
+                         {},
+                         {}};
+  EXPECT_EQ(in.ToString(), "k IN (1, 'x')");
+  rel::IndexCondition range;
+  range.column = "k";
+  range.lo = {rel::Value(int64_t{3}), true};
+  range.hi = {rel::Value(int64_t{9}), false};
+  EXPECT_EQ(range.ToString(), "3 <= k < 9");
+}
+
+TEST(NetworkTest, CustomProfile) {
+  net::NetworkProfile p = net::NetworkProfile::Custom("lab", 2.0, 0.5);
+  EXPECT_EQ(p.name, "lab");
+  EXPECT_DOUBLE_EQ(p.NominalLatencyMs(), 1.0);
+  EXPECT_TRUE(p.HasDelay());
+}
+
+TEST(SqlWrapperCancellationTest, StopsOnClosedQueue) {
+  lslod::LakeConfig config;
+  config.scale = 0.05;
+  auto lake = lslod::BuildLake(config);
+  ASSERT_TRUE(lake.ok());
+  wrapper::SqlWrapper wrapper(
+      lslod::kTcga, (*lake)->databases.at(lslod::kTcga).get(),
+      (*lake)->mappings.at(lslod::kTcga));
+  fed::SubQuery sq;
+  sq.source_id = lslod::kTcga;
+  fed::StarSubQuery star;
+  star.subject = rdf::PatternNode::Var("e");
+  star.class_iri = lslod::ExpressionClass();
+  star.patterns.push_back(
+      {rdf::PatternNode::Var("e"),
+       rdf::PatternNode::Const(rdf::Term::Iri(rdf::kRdfType)),
+       rdf::PatternNode::Const(rdf::Term::Iri(lslod::ExpressionClass()))});
+  sq.stars.push_back(star);
+
+  net::DelayChannel channel(net::NetworkProfile::NoDelay(), 1);
+  BlockingQueue<rdf::Binding> out(2);
+  out.Close();
+  EXPECT_TRUE(wrapper.Execute(sq, &channel, &out).ok());
+  EXPECT_LE(channel.messages_transferred(), 1u);
+}
+
+TEST(ShellQueriesTest, BenchmarkDescriptionsNonEmpty) {
+  for (const lslod::BenchmarkQuery& q : lslod::BenchmarkQueries()) {
+    EXPECT_FALSE(q.description.empty()) << q.id;
+    EXPECT_TRUE(Contains(q.sparql, "SELECT")) << q.id;
+  }
+}
+
+TEST(AnswerTraceCsvTest, EngineTraceRoundTrip) {
+  lslod::LakeConfig config;
+  config.scale = 0.05;
+  auto lake = lslod::BuildLake(config);
+  ASSERT_TRUE(lake.ok());
+  fed::PlanOptions options;
+  auto answer =
+      (*lake)->engine->Execute(lslod::FindQuery("Q2")->sparql, options);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  std::string csv = answer->trace.ToCsv();
+  EXPECT_TRUE(StartsWith(csv, "time_s,answers\n"));
+  // one line per answer + header + completion + trailing newline split
+  EXPECT_EQ(SplitString(csv, '\n').size(), answer->rows.size() + 3);
+}
+
+TEST(PlanModeTest, Names) {
+  EXPECT_EQ(fed::PlanModeToString(fed::PlanMode::kPhysicalDesignAware),
+            "physical-design-aware");
+  EXPECT_EQ(fed::PlanModeToString(fed::PlanMode::kPhysicalDesignUnaware),
+            "physical-design-unaware");
+  EXPECT_EQ(fed::SourceKindToString(fed::SourceKind::kRdf), "RDF");
+  EXPECT_EQ(fed::SourceKindToString(fed::SourceKind::kRelational), "RDB");
+}
+
+}  // namespace
+}  // namespace lakefed

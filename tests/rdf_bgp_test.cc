@@ -1,0 +1,125 @@
+#include "rdf/bgp.h"
+
+#include <gtest/gtest.h>
+
+namespace lakefed::rdf {
+namespace {
+
+Term I(const std::string& s) { return Term::Iri("http://ex/" + s); }
+Term L(const std::string& s) { return Term::Literal(s); }
+PatternNode V(const std::string& s) { return PatternNode::Var(s); }
+PatternNode C(const Term& t) { return PatternNode::Const(t); }
+
+class BgpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two drugs, one gene; d1 interacts with d2 and targets g1.
+    store_.Add(I("d1"), I("type"), I("Drug"));
+    store_.Add(I("d1"), I("name"), L("aspirin"));
+    store_.Add(I("d1"), I("interactsWith"), I("d2"));
+    store_.Add(I("d1"), I("targets"), I("g1"));
+    store_.Add(I("d2"), I("type"), I("Drug"));
+    store_.Add(I("d2"), I("name"), L("warfarin"));
+    store_.Add(I("g1"), I("type"), I("Gene"));
+    store_.Add(I("g1"), I("label"), L("BRCA1"));
+  }
+  TripleStore store_;
+};
+
+TEST_F(BgpTest, SinglePatternAllVariables) {
+  auto r = EvaluateBgp(store_, {{V("s"), V("p"), V("o")}});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 8u);
+}
+
+TEST_F(BgpTest, SinglePatternBoundPredicate) {
+  auto r = EvaluateBgp(store_, {{V("s"), C(I("name")), V("n")}});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  for (const Binding& b : *r) {
+    EXPECT_EQ(b.size(), 2u);
+    EXPECT_TRUE(b.count("s"));
+    EXPECT_TRUE(b.count("n"));
+  }
+}
+
+TEST_F(BgpTest, StarJoinOnSubject) {
+  // Star-shaped sub-query: all drugs with their names.
+  auto r = EvaluateBgp(store_, {
+                                   {V("d"), C(I("type")), C(I("Drug"))},
+                                   {V("d"), C(I("name")), V("n")},
+                               });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST_F(BgpTest, PathJoinAcrossSubjects) {
+  // d interacts with e, e has a name.
+  auto r = EvaluateBgp(store_, {
+                                   {V("d"), C(I("interactsWith")), V("e")},
+                                   {V("e"), C(I("name")), V("n")},
+                               });
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].at("n"), L("warfarin"));
+}
+
+TEST_F(BgpTest, ThreePatternChain) {
+  auto r = EvaluateBgp(store_, {
+                                   {V("d"), C(I("type")), C(I("Drug"))},
+                                   {V("d"), C(I("targets")), V("g")},
+                                   {V("g"), C(I("label")), V("l")},
+                               });
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].at("l"), L("BRCA1"));
+  EXPECT_EQ((*r)[0].at("d"), I("d1"));
+}
+
+TEST_F(BgpTest, RepeatedVariableWithinPattern) {
+  store_.Add(I("x"), I("selfLoop"), I("x"));
+  auto r = EvaluateBgp(store_, {{V("v"), C(I("selfLoop")), V("v")}});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].at("v"), I("x"));
+}
+
+TEST_F(BgpTest, NoMatches) {
+  auto r = EvaluateBgp(store_, {{V("d"), C(I("type")), C(I("Protein"))}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST_F(BgpTest, EmptyBgpIsAnError) {
+  EXPECT_TRUE(EvaluateBgp(store_, {}).status().IsInvalidArgument());
+}
+
+TEST_F(BgpTest, EarlyStopVisit) {
+  int count = 0;
+  ASSERT_TRUE(EvaluateBgpVisit(store_, {{V("s"), V("p"), V("o")}},
+                               [&](const Binding&) {
+                                 ++count;
+                                 return count < 2;
+                               })
+                  .ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(BgpTest, VariablePredicateJoin) {
+  auto r = EvaluateBgp(store_, {
+                                   {C(I("d1")), V("p"), V("o")},
+                                   {C(I("d2")), V("p"), V("o2")},
+                               });
+  ASSERT_TRUE(r.ok());
+  // shared predicate variable: type and name both present on d1 and d2
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(TriplePatternTest, VariablesAndToString) {
+  TriplePattern p{V("s"), C(Term::Iri("http://p")), V("o")};
+  EXPECT_EQ(p.Variables(), (std::vector<std::string>{"s", "o"}));
+  EXPECT_EQ(p.ToString(), "?s <http://p> ?o .");
+}
+
+}  // namespace
+}  // namespace lakefed::rdf

@@ -1,0 +1,105 @@
+#include "rdf/ntriples.h"
+
+#include <gtest/gtest.h>
+
+namespace lakefed::rdf {
+namespace {
+
+TEST(NTriplesTest, ParseIriTriple) {
+  auto t = ParseNTriplesLine("<http://a> <http://b> <http://c> .");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->subject, Term::Iri("http://a"));
+  EXPECT_EQ(t->predicate, Term::Iri("http://b"));
+  EXPECT_EQ(t->object, Term::Iri("http://c"));
+}
+
+TEST(NTriplesTest, ParsePlainLiteral) {
+  auto t = ParseNTriplesLine("<http://a> <http://b> \"hello world\" .");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->object, Term::Literal("hello world"));
+}
+
+TEST(NTriplesTest, ParseTypedLiteral) {
+  auto t = ParseNTriplesLine(
+      "<http://a> <http://b> "
+      "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->object.datatype(), kXsdInteger);
+  EXPECT_EQ(t->object.value(), "5");
+}
+
+TEST(NTriplesTest, ParseLangLiteral) {
+  auto t = ParseNTriplesLine("<http://a> <http://b> \"hi\"@en-GB .");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->object.lang(), "en-GB");
+}
+
+TEST(NTriplesTest, ParseBlankNodes) {
+  auto t = ParseNTriplesLine("_:b0 <http://p> _:b1 .");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_TRUE(t->subject.is_blank());
+  EXPECT_EQ(t->subject.value(), "b0");
+  EXPECT_TRUE(t->object.is_blank());
+}
+
+TEST(NTriplesTest, ParseEscapes) {
+  auto t = ParseNTriplesLine(
+      R"(<http://a> <http://b> "line\nbreak \"q\" back\\slash" .)");
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->object.value(), "line\nbreak \"q\" back\\slash");
+}
+
+TEST(NTriplesTest, Errors) {
+  EXPECT_TRUE(ParseNTriplesLine("").status().IsParseError());
+  EXPECT_TRUE(ParseNTriplesLine("<a> <b> <c>").status().IsParseError());
+  EXPECT_TRUE(ParseNTriplesLine("<a> <b> <c> . extra")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseNTriplesLine("\"lit\" <b> <c> .").status().IsParseError());
+  EXPECT_TRUE(ParseNTriplesLine("<a> \"lit\" <c> .").status().IsParseError());
+  EXPECT_TRUE(ParseNTriplesLine("<a> _:b <c> .").status().IsParseError());
+  EXPECT_TRUE(
+      ParseNTriplesLine("<a> <b> \"open .").status().IsParseError());
+  EXPECT_TRUE(ParseNTriplesLine("<a <b> <c> .").status().IsParseError());
+}
+
+TEST(NTriplesTest, ParseDocumentSkipsCommentsAndBlanks) {
+  const std::string doc = R"(# a comment
+<http://a> <http://p> "1" .
+
+  # indented comment
+<http://b> <http://p> "2" .
+)";
+  auto triples = ParseNTriples(doc);
+  ASSERT_TRUE(triples.ok()) << triples.status();
+  EXPECT_EQ(triples->size(), 2u);
+}
+
+TEST(NTriplesTest, RoundTrip) {
+  std::vector<Triple> triples = {
+      {Term::Iri("http://s"), Term::Iri("http://p"), Term::Literal("v")},
+      {Term::Blank("x"), Term::Iri("http://p"),
+       Term::Literal("5", kXsdInteger)},
+      {Term::Iri("http://s"), Term::Iri("http://q"),
+       Term::Literal("hi", "", "en")},
+  };
+  std::string doc = WriteNTriples(triples);
+  auto parsed = ParseNTriples(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, triples);
+}
+
+TEST(NTriplesTest, LoadIntoStore) {
+  TripleStore store;
+  auto n = LoadNTriples(
+      "<http://a> <http://p> \"1\" .\n<http://a> <http://p> \"2\" .\n",
+      &store);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 2u);
+  EXPECT_EQ(store.Match(Term::Iri("http://a"), std::nullopt, std::nullopt)
+                .size(),
+            2u);
+}
+
+}  // namespace
+}  // namespace lakefed::rdf

@@ -1,0 +1,89 @@
+#include "rdf/term.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+
+namespace lakefed::rdf {
+namespace {
+
+TEST(TermTest, Factories) {
+  Term iri = Term::Iri("http://example.org/x");
+  EXPECT_TRUE(iri.is_iri());
+  EXPECT_EQ(iri.value(), "http://example.org/x");
+
+  Term lit = Term::Literal("42", kXsdInteger);
+  EXPECT_TRUE(lit.is_literal());
+  EXPECT_EQ(lit.value(), "42");
+  EXPECT_EQ(lit.datatype(), kXsdInteger);
+
+  Term lang = Term::Literal("hallo", "", "de");
+  EXPECT_EQ(lang.lang(), "de");
+
+  Term blank = Term::Blank("b0");
+  EXPECT_TRUE(blank.is_blank());
+}
+
+TEST(TermTest, NTriplesRendering) {
+  EXPECT_EQ(Term::Iri("http://x/y").ToString(), "<http://x/y>");
+  EXPECT_EQ(Term::Literal("plain").ToString(), "\"plain\"");
+  EXPECT_EQ(Term::Literal("5", kXsdInteger).ToString(),
+            "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+  EXPECT_EQ(Term::Literal("hi", "", "en").ToString(), "\"hi\"@en");
+  EXPECT_EQ(Term::Blank("b1").ToString(), "_:b1");
+  // escaping
+  EXPECT_EQ(Term::Literal("a\"b\\c\nd").ToString(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(TermTest, EqualityAndOrder) {
+  EXPECT_EQ(Term::Iri("a"), Term::Iri("a"));
+  EXPECT_NE(Term::Iri("a"), Term::Literal("a"));
+  EXPECT_NE(Term::Literal("a"), Term::Literal("a", kXsdString));
+  EXPECT_NE(Term::Literal("a", "", "en"), Term::Literal("a", "", "fr"));
+  EXPECT_LT(Term::Iri("a"), Term::Literal("a"));    // IRIs sort first
+  EXPECT_LT(Term::Literal("a"), Term::Blank("a"));  // blanks last
+  EXPECT_LT(Term::Iri("a"), Term::Iri("b"));
+}
+
+TEST(TermTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Term::Iri("x").Hash(), Term::Iri("x").Hash());
+  EXPECT_NE(Term::Iri("x").Hash(), Term::Literal("x").Hash());
+  EXPECT_NE(Term::Literal("x", "", "en").Hash(),
+            Term::Literal("x", "", "fr").Hash());
+}
+
+TEST(TripleTest, ToString) {
+  Triple t{Term::Iri("s"), Term::Iri("p"), Term::Literal("o")};
+  EXPECT_EQ(t.ToString(), "<s> <p> \"o\" .");
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  TermId a = dict.Intern(Term::Iri("x"));
+  TermId b = dict.Intern(Term::Iri("x"));
+  TermId c = dict.Intern(Term::Iri("y"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.term(a), Term::Iri("x"));
+}
+
+TEST(DictionaryTest, FindWithoutIntern) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Find(Term::Iri("z")), std::nullopt);
+  TermId id = dict.Intern(Term::Iri("z"));
+  EXPECT_EQ(dict.Find(Term::Iri("z")), id);
+}
+
+TEST(DictionaryTest, DistinguishesLiteralFlavours) {
+  Dictionary dict;
+  TermId plain = dict.Intern(Term::Literal("v"));
+  TermId typed = dict.Intern(Term::Literal("v", kXsdString));
+  TermId langed = dict.Intern(Term::Literal("v", "", "en"));
+  EXPECT_NE(plain, typed);
+  EXPECT_NE(plain, langed);
+  EXPECT_NE(typed, langed);
+}
+
+}  // namespace
+}  // namespace lakefed::rdf

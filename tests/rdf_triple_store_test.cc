@@ -1,0 +1,111 @@
+#include "rdf/triple_store.h"
+
+#include <gtest/gtest.h>
+
+namespace lakefed::rdf {
+namespace {
+
+Term I(const std::string& s) { return Term::Iri("http://ex/" + s); }
+Term L(const std::string& s) { return Term::Literal(s); }
+
+class TripleStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_.Add(I("d1"), I("type"), I("Drug"));
+    store_.Add(I("d1"), I("name"), L("aspirin"));
+    store_.Add(I("d1"), I("interactsWith"), I("d2"));
+    store_.Add(I("d2"), I("type"), I("Drug"));
+    store_.Add(I("d2"), I("name"), L("warfarin"));
+    store_.Add(I("g1"), Term::Iri(kRdfType), I("Gene"));
+    store_.Add(I("g1"), I("label"), L("BRCA1"));
+  }
+  TripleStore store_;
+};
+
+TEST_F(TripleStoreTest, SizeAndDedup) {
+  EXPECT_EQ(store_.size(), 7u);
+  store_.Add(I("d1"), I("name"), L("aspirin"));  // duplicate
+  // set semantics: after the next query the duplicate is gone
+  EXPECT_EQ(store_.Match(std::nullopt, std::nullopt, std::nullopt).size(),
+            7u);
+  EXPECT_EQ(store_.size(), 7u);
+}
+
+TEST_F(TripleStoreTest, MatchBySubject) {
+  auto r = store_.Match(I("d1"), std::nullopt, std::nullopt);
+  EXPECT_EQ(r.size(), 3u);
+  for (const Triple& t : r) EXPECT_EQ(t.subject, I("d1"));
+}
+
+TEST_F(TripleStoreTest, MatchByPredicate) {
+  auto r = store_.Match(std::nullopt, I("name"), std::nullopt);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST_F(TripleStoreTest, MatchByObject) {
+  auto r = store_.Match(std::nullopt, std::nullopt, I("Drug"));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST_F(TripleStoreTest, MatchBySubjectPredicate) {
+  auto r = store_.Match(I("d1"), I("name"), std::nullopt);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].object, L("aspirin"));
+}
+
+TEST_F(TripleStoreTest, MatchByPredicateObject) {
+  auto r = store_.Match(std::nullopt, I("type"), I("Drug"));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST_F(TripleStoreTest, MatchFullTriple) {
+  EXPECT_TRUE(store_.Contains(I("d1"), I("name"), L("aspirin")));
+  EXPECT_FALSE(store_.Contains(I("d1"), I("name"), L("warfarin")));
+}
+
+TEST_F(TripleStoreTest, MatchUnknownTermIsEmpty) {
+  EXPECT_TRUE(store_.Match(I("nope"), std::nullopt, std::nullopt).empty());
+  EXPECT_TRUE(
+      store_.Match(std::nullopt, std::nullopt, L("unknown")).empty());
+}
+
+TEST_F(TripleStoreTest, MatchAllWildcards) {
+  EXPECT_EQ(store_.Match(std::nullopt, std::nullopt, std::nullopt).size(),
+            7u);
+}
+
+TEST_F(TripleStoreTest, MatchVisitEarlyStop) {
+  int count = 0;
+  store_.MatchVisit(std::nullopt, std::nullopt, std::nullopt,
+                    [&](const Triple&) {
+                      ++count;
+                      return count < 3;
+                    });
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(TripleStoreTest, DistinctPredicates) {
+  auto preds = store_.DistinctPredicates();
+  EXPECT_EQ(preds.size(), 5u);  // type, name, interactsWith, rdf:type, label
+}
+
+TEST_F(TripleStoreTest, DistinctClassesUsesRdfType) {
+  auto classes = store_.DistinctClasses();
+  // only g1 uses the real rdf:type IRI
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0], I("Gene"));
+}
+
+TEST_F(TripleStoreTest, PredicatesOfClass) {
+  auto preds = store_.PredicatesOfClass(I("Gene"));
+  ASSERT_EQ(preds.size(), 2u);  // rdf:type and label
+}
+
+TEST_F(TripleStoreTest, InsertAfterQueryRebuildsIndexes) {
+  EXPECT_EQ(store_.Match(std::nullopt, I("label"), std::nullopt).size(), 1u);
+  store_.Add(I("g2"), I("label"), L("TP53"));
+  EXPECT_EQ(store_.Match(std::nullopt, I("label"), std::nullopt).size(), 2u);
+}
+
+}  // namespace
+}  // namespace lakefed::rdf

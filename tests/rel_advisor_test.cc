@@ -1,0 +1,99 @@
+#include "rel/advisor.h"
+
+#include <gtest/gtest.h>
+
+namespace lakefed::rel {
+namespace {
+
+std::unique_ptr<Database> MakeSkewedDatabase() {
+  auto db = std::make_unique<Database>("skewed");
+  auto table = db->catalog().CreateTable(
+      "probe",
+      Schema({{"id", ColumnType::kInt64, false},
+              {"species", ColumnType::kString, true},
+              {"gene", ColumnType::kString, true}}),
+      "id");
+  if (!table.ok()) return nullptr;
+  // species: 40% "Homo sapiens" (fails the 15% rule), gene: all distinct.
+  for (int i = 0; i < 100; ++i) {
+    std::string species = i < 40 ? "Homo sapiens" : "sp" + std::to_string(i);
+    if (!(*table)
+             ->Insert({Value(int64_t{i}), Value(species),
+                       Value("g" + std::to_string(i))})
+             .ok()) {
+      return nullptr;
+    }
+  }
+  return db;
+}
+
+TEST(AdvisorTest, FifteenPercentRuleBlocksSkewedAttribute) {
+  auto db = MakeSkewedDatabase();
+  ASSERT_NE(db, nullptr);
+  PhysicalDesignAdvisor advisor;  // default 15%
+  auto would = advisor.WouldIndex(*db, "probe", "species");
+  ASSERT_TRUE(would.ok()) << would.status();
+  EXPECT_FALSE(*would);
+  would = advisor.WouldIndex(*db, "probe", "gene");
+  ASSERT_TRUE(would.ok());
+  EXPECT_TRUE(*would);
+}
+
+TEST(AdvisorTest, AdviseCreatesOnlySelectiveIndexes) {
+  auto db = MakeSkewedDatabase();
+  ASSERT_NE(db, nullptr);
+  PhysicalDesignAdvisor advisor;
+  auto decisions = advisor.Advise(
+      db.get(), {{"probe", "species"}, {"probe", "gene"}});
+  ASSERT_TRUE(decisions.ok()) << decisions.status();
+  ASSERT_EQ(decisions->size(), 2u);
+  EXPECT_FALSE((*decisions)[0].created);
+  EXPECT_NE((*decisions)[0].reason.find("15%"), std::string::npos);
+  EXPECT_TRUE((*decisions)[1].created);
+  EXPECT_FALSE(db->IsIndexed("probe", "species"));
+  EXPECT_TRUE(db->IsIndexed("probe", "gene"));
+}
+
+TEST(AdvisorTest, AlreadyIndexedIsReported) {
+  auto db = MakeSkewedDatabase();
+  ASSERT_NE(db, nullptr);
+  PhysicalDesignAdvisor advisor;
+  auto decisions = advisor.Advise(db.get(), {{"probe", "id"}});
+  ASSERT_TRUE(decisions.ok());
+  EXPECT_FALSE((*decisions)[0].created);
+  EXPECT_EQ((*decisions)[0].reason, "already indexed");
+}
+
+TEST(AdvisorTest, ThresholdIsConfigurable) {
+  auto db = MakeSkewedDatabase();
+  ASSERT_NE(db, nullptr);
+  PhysicalDesignAdvisor permissive(/*max_frequency_fraction=*/0.5);
+  auto would = permissive.WouldIndex(*db, "probe", "species");
+  ASSERT_TRUE(would.ok());
+  EXPECT_TRUE(*would);
+}
+
+TEST(AdvisorTest, UnknownTableErrors) {
+  auto db = MakeSkewedDatabase();
+  ASSERT_NE(db, nullptr);
+  PhysicalDesignAdvisor advisor;
+  EXPECT_TRUE(advisor.WouldIndex(*db, "nope", "x").status().IsNotFound());
+  EXPECT_TRUE(advisor.Advise(db.get(), {{"nope", "x"}}).status().IsNotFound());
+}
+
+TEST(AdvisorTest, EmptyTableIsIndexable) {
+  Database db("empty");
+  ASSERT_TRUE(db.catalog()
+                  .CreateTable("t",
+                               Schema({{"id", ColumnType::kInt64, false},
+                                       {"v", ColumnType::kString, true}}),
+                               "id")
+                  .ok());
+  PhysicalDesignAdvisor advisor;
+  auto would = advisor.WouldIndex(db, "t", "v");
+  ASSERT_TRUE(would.ok());
+  EXPECT_TRUE(*would);
+}
+
+}  // namespace
+}  // namespace lakefed::rel

@@ -1,0 +1,158 @@
+// GROUP BY / HAVING / aggregate function tests for the relational engine.
+
+#include <gtest/gtest.h>
+
+#include "rel_test_util.h"
+
+namespace lakefed::rel {
+namespace {
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTestDatabase();
+    ASSERT_NE(db_, nullptr);
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto result = db_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << "\n" << result.status();
+    return result.ok() ? std::move(*result) : QueryResult{};
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(AggregateTest, CountStar) {
+  QueryResult r = Run("SELECT COUNT(*) FROM drug");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+  EXPECT_EQ(r.column_names[0], "COUNT(*)");
+}
+
+TEST_F(AggregateTest, CountStarWithWhere) {
+  QueryResult r = Run("SELECT COUNT(*) FROM drug WHERE category = 'nsaid'");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(AggregateTest, CountStarOnEmptyInputIsZero) {
+  QueryResult r = Run("SELECT COUNT(*) FROM drug WHERE id = 999");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+}
+
+TEST_F(AggregateTest, SumMinMaxAvg) {
+  QueryResult r = Run(
+      "SELECT SUM(weight) AS s, MIN(weight) AS lo, MAX(weight) AS hi, "
+      "AVG(weight) AS mean FROM drug");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 100 + 101 + 102 + 103 + 104);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsDouble(), 100.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsDouble(), 104.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].AsDouble(), 102.0);
+  EXPECT_EQ(r.column_names,
+            (std::vector<std::string>{"s", "lo", "hi", "mean"}));
+}
+
+TEST_F(AggregateTest, GroupByWithCount) {
+  QueryResult r = Run(
+      "SELECT category, COUNT(*) AS n FROM drug GROUP BY category "
+      "ORDER BY n DESC, category");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "nsaid");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_EQ(r.rows[1][0].AsString(), "opioid");
+  EXPECT_EQ(r.rows[1][1].AsInt(), 2);
+  EXPECT_EQ(r.rows[2][0].AsString(), "anticoagulant");
+  EXPECT_EQ(r.rows[2][1].AsInt(), 1);
+}
+
+TEST_F(AggregateTest, GroupByOverJoin) {
+  QueryResult r = Run(
+      "SELECT d.category, COUNT(*) AS interactions FROM drug d JOIN "
+      "interaction i ON d.id = i.drug1 GROUP BY d.category "
+      "ORDER BY interactions DESC");
+  ASSERT_FALSE(r.rows.empty());
+  int64_t total = 0;
+  for (const Row& row : r.rows) total += row[1].AsInt();
+  EXPECT_EQ(total, 5);  // five interactions altogether
+}
+
+TEST_F(AggregateTest, Having) {
+  QueryResult r = Run(
+      "SELECT category, COUNT(*) AS n FROM drug GROUP BY category "
+      "HAVING n >= 2 ORDER BY category");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "nsaid");
+  EXPECT_EQ(r.rows[1][0].AsString(), "opioid");
+}
+
+TEST_F(AggregateTest, CountDistinct) {
+  QueryResult r = Run("SELECT COUNT(DISTINCT category) AS c FROM drug");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(AggregateTest, AggregateOverExpression) {
+  QueryResult r = Run("SELECT MAX(weight * 2) AS m FROM drug");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 208.0);
+}
+
+TEST_F(AggregateTest, NullsIgnoredSumOfNoValuesIsNull) {
+  ASSERT_TRUE(db_->catalog()
+                  .GetTable("drug")
+                  ->Insert({Value(int64_t{10}), Value("mystery"),
+                            Value::Null(), Value::Null()})
+                  .ok());
+  QueryResult r = Run(
+      "SELECT COUNT(category) AS c, SUM(weight) AS s FROM drug "
+      "WHERE id = 10");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);  // NULL not counted
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(AggregateTest, LimitAfterAggregation) {
+  QueryResult r = Run(
+      "SELECT category, COUNT(*) AS n FROM drug GROUP BY category "
+      "ORDER BY category LIMIT 2");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(AggregateTest, Errors) {
+  // non-grouped bare column
+  EXPECT_FALSE(
+      db_->Execute("SELECT name, COUNT(*) FROM drug GROUP BY category")
+          .ok());
+  // SELECT * with GROUP BY
+  EXPECT_TRUE(db_->Execute("SELECT * FROM drug GROUP BY category")
+                  .status()
+                  .IsInvalidArgument());
+  // '*' only valid for COUNT
+  EXPECT_TRUE(db_->Execute("SELECT SUM(*) FROM drug").status()
+                  .IsParseError());
+  // SUM over strings
+  EXPECT_TRUE(
+      db_->Execute("SELECT SUM(name) FROM drug").status().IsTypeError());
+  // unknown ORDER BY column after aggregation
+  EXPECT_TRUE(db_->Execute(
+                      "SELECT category, COUNT(*) AS n FROM drug GROUP BY "
+                      "category ORDER BY weight")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(AggregateTest, ParserRendering) {
+  auto stmt = ParseSql(
+      "SELECT category, COUNT(DISTINCT name) AS n FROM drug GROUP BY "
+      "category HAVING n > 1 ORDER BY n DESC LIMIT 3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  auto reparsed = ParseSql(stmt->ToString());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << stmt->ToString();
+  EXPECT_EQ(stmt->ToString(), reparsed->ToString());
+}
+
+}  // namespace
+}  // namespace lakefed::rel

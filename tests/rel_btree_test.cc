@@ -1,0 +1,225 @@
+#include "rel/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+
+namespace lakefed::rel {
+namespace {
+
+Value IntKey(int64_t v) { return Value(v); }
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.num_keys(), 0u);
+  EXPECT_EQ(tree.num_entries(), 0u);
+  EXPECT_TRUE(tree.Lookup(IntKey(1)).empty());
+  EXPECT_FALSE(tree.ContainsKey(IntKey(1)));
+  EXPECT_TRUE(tree.Range({}, {}).empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, InsertAndLookup) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.Insert(IntKey(5), 50).ok());
+  ASSERT_TRUE(tree.Insert(IntKey(3), 30).ok());
+  ASSERT_TRUE(tree.Insert(IntKey(5), 51).ok());
+  EXPECT_EQ(tree.num_keys(), 2u);
+  EXPECT_EQ(tree.num_entries(), 3u);
+  EXPECT_EQ(tree.Lookup(IntKey(3)), (std::vector<RowId>{30}));
+  EXPECT_EQ(tree.Lookup(IntKey(5)), (std::vector<RowId>{50, 51}));
+  EXPECT_TRUE(tree.Lookup(IntKey(4)).empty());
+}
+
+TEST(BPlusTreeTest, UniqueRejectsDuplicates) {
+  BPlusTree tree(/*unique=*/true);
+  ASSERT_TRUE(tree.Insert(IntKey(1), 10).ok());
+  Status st = tree.Insert(IntKey(1), 11);
+  EXPECT_TRUE(st.IsAlreadyExists());
+  EXPECT_EQ(tree.num_entries(), 1u);
+}
+
+TEST(BPlusTreeTest, SplitsKeepAllKeysFindable) {
+  BPlusTree tree(/*unique=*/true, /*fanout=*/4);  // force many splits
+  constexpr int kN = 1000;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(tree.Insert(IntKey(i), static_cast<RowId>(i)).ok());
+  }
+  EXPECT_GT(tree.height(), 2);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(tree.Lookup(IntKey(i)), (std::vector<RowId>{
+                                           static_cast<RowId>(i)}));
+  }
+}
+
+TEST(BPlusTreeTest, ReverseAndShuffledInsertOrders) {
+  for (int order = 0; order < 2; ++order) {
+    BPlusTree tree(/*unique=*/true, /*fanout=*/5);
+    std::vector<int> keys(500);
+    for (size_t i = 0; i < keys.size(); ++i) keys[i] = static_cast<int>(i);
+    if (order == 0) {
+      std::reverse(keys.begin(), keys.end());
+    } else {
+      std::mt19937 gen(13);
+      std::shuffle(keys.begin(), keys.end(), gen);
+    }
+    for (int k : keys) {
+      ASSERT_TRUE(tree.Insert(IntKey(k), static_cast<RowId>(k)).ok());
+    }
+    ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+    std::vector<RowId> all = tree.Range({}, {});
+    ASSERT_EQ(all.size(), keys.size());
+    EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+  }
+}
+
+TEST(BPlusTreeTest, RangeBounds) {
+  BPlusTree tree;
+  for (int i = 0; i < 100; i += 2) {  // even keys 0..98
+    ASSERT_TRUE(tree.Insert(IntKey(i), static_cast<RowId>(i)).ok());
+  }
+  // inclusive both ends
+  auto r = tree.Range({IntKey(10), true}, {IntKey(20), true});
+  EXPECT_EQ(r, (std::vector<RowId>{10, 12, 14, 16, 18, 20}));
+  // exclusive ends
+  r = tree.Range({IntKey(10), false}, {IntKey(20), false});
+  EXPECT_EQ(r, (std::vector<RowId>{12, 14, 16, 18}));
+  // bounds between keys
+  r = tree.Range({IntKey(11), true}, {IntKey(15), true});
+  EXPECT_EQ(r, (std::vector<RowId>{12, 14}));
+  // unbounded low
+  r = tree.Range({}, {IntKey(4), true});
+  EXPECT_EQ(r, (std::vector<RowId>{0, 2, 4}));
+  // unbounded high
+  r = tree.Range({IntKey(94), true}, {});
+  EXPECT_EQ(r, (std::vector<RowId>{94, 96, 98}));
+  // empty range
+  EXPECT_TRUE(tree.Range({IntKey(13), true}, {IntKey(13), true}).empty());
+}
+
+TEST(BPlusTreeTest, StringKeys) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.Insert(Value("banana"), 1).ok());
+  ASSERT_TRUE(tree.Insert(Value("apple"), 2).ok());
+  ASSERT_TRUE(tree.Insert(Value("cherry"), 3).ok());
+  auto r = tree.Range({Value("apple"), true}, {Value("banana"), true});
+  EXPECT_EQ(r, (std::vector<RowId>{2, 1}));
+}
+
+TEST(BPlusTreeTest, EraseSimple) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.Insert(IntKey(1), 10).ok());
+  ASSERT_TRUE(tree.Insert(IntKey(1), 11).ok());
+  ASSERT_TRUE(tree.Erase(IntKey(1), 10).ok());
+  EXPECT_EQ(tree.Lookup(IntKey(1)), (std::vector<RowId>{11}));
+  EXPECT_EQ(tree.num_keys(), 1u);
+  ASSERT_TRUE(tree.Erase(IntKey(1), 11).ok());
+  EXPECT_EQ(tree.num_keys(), 0u);
+  EXPECT_TRUE(tree.Erase(IntKey(1), 11).IsNotFound());
+  EXPECT_TRUE(tree.Erase(IntKey(9), 0).IsNotFound());
+}
+
+TEST(BPlusTreeTest, EraseTriggersMergesAndStaysValid) {
+  BPlusTree tree(/*unique=*/true, /*fanout=*/4);
+  constexpr int kN = 500;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(tree.Insert(IntKey(i), static_cast<RowId>(i)).ok());
+  }
+  // Delete every other key, then the rest.
+  for (int i = 0; i < kN; i += 2) {
+    ASSERT_TRUE(tree.Erase(IntKey(i), static_cast<RowId>(i)).ok());
+    ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  }
+  EXPECT_EQ(tree.num_keys(), static_cast<size_t>(kN / 2));
+  for (int i = 1; i < kN; i += 2) {
+    ASSERT_TRUE(tree.Erase(IntKey(i), static_cast<RowId>(i)).ok());
+  }
+  EXPECT_EQ(tree.num_keys(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+// Property test: the tree must behave exactly like a std::multimap model
+// under a random workload of inserts, erases, lookups and range scans,
+// across several fanouts.
+class BPlusTreeModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BPlusTreeModelTest, MatchesMultimapModel) {
+  const int fanout = GetParam();
+  BPlusTree tree(/*unique=*/false, fanout);
+  std::multimap<int64_t, RowId> model;
+  std::mt19937 gen(fanout * 1000 + 17);
+  std::uniform_int_distribution<int64_t> key_dist(0, 200);
+  RowId next_row = 0;
+
+  auto model_lookup = [&](int64_t k) {
+    std::vector<RowId> out;
+    auto [lo, hi] = model.equal_range(k);
+    for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  for (int step = 0; step < 5000; ++step) {
+    int64_t k = key_dist(gen);
+    int action = static_cast<int>(gen() % 10);
+    if (action < 6) {  // insert
+      ASSERT_TRUE(tree.Insert(IntKey(k), next_row).ok());
+      model.emplace(k, next_row);
+      ++next_row;
+    } else if (action < 8) {  // erase one entry of key k if present
+      auto it = model.find(k);
+      if (it == model.end()) {
+        EXPECT_TRUE(tree.Erase(IntKey(k), 0).IsNotFound());
+      } else {
+        ASSERT_TRUE(tree.Erase(IntKey(k), it->second).ok());
+        model.erase(it);
+      }
+    } else if (action == 8) {  // point lookup
+      std::vector<RowId> got = tree.Lookup(IntKey(k));
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, model_lookup(k));
+    } else {  // range scan
+      int64_t lo = key_dist(gen), hi = key_dist(gen);
+      if (lo > hi) std::swap(lo, hi);
+      std::vector<RowId> got = tree.Range({IntKey(lo), true},
+                                          {IntKey(hi), true});
+      std::vector<RowId> expected;
+      for (auto it = model.lower_bound(lo); it != model.upper_bound(hi);
+           ++it) {
+        expected.push_back(it->second);
+      }
+      std::sort(got.begin(), got.end());
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(got, expected);
+    }
+    if (step % 500 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+    }
+    ASSERT_EQ(tree.num_entries(), model.size());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BPlusTreeModelTest,
+                         ::testing::Values(3, 4, 5, 8, 16, 64));
+
+TEST(BPlusTreeTest, ScanAllVisitsInOrderAndStopsEarly) {
+  BPlusTree tree(/*unique=*/true, /*fanout=*/4);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree.Insert(IntKey(i), static_cast<RowId>(i)).ok());
+  }
+  int visits = 0;
+  tree.ScanAll([&](const Value& k, const std::vector<RowId>&) {
+    EXPECT_EQ(k.AsInt(), visits);
+    ++visits;
+    return visits < 10;
+  });
+  EXPECT_EQ(visits, 10);
+}
+
+}  // namespace
+}  // namespace lakefed::rel

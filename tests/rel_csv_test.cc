@@ -1,0 +1,107 @@
+#include "rel/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "rel_test_util.h"
+
+namespace lakefed::rel {
+namespace {
+
+Schema SmallSchema() {
+  return Schema({{"id", ColumnType::kInt64, false},
+                 {"name", ColumnType::kString, true},
+                 {"score", ColumnType::kDouble, true}});
+}
+
+TEST(CsvWriteTest, HeaderAndRows) {
+  Table t("t", SmallSchema(), "id");
+  ASSERT_TRUE(t.Insert({Value(int64_t{1}), Value("plain"), Value(1.5)}).ok());
+  ASSERT_TRUE(t.Insert({Value(int64_t{2}), Value::Null(), Value::Null()}).ok());
+  std::string csv = WriteTableCsv(t);
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "id,name,score");
+  EXPECT_NE(csv.find("1,plain,1.5"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("2,,"), std::string::npos) << csv;
+}
+
+TEST(CsvWriteTest, QuotingRules) {
+  Table t("t", SmallSchema(), "id");
+  ASSERT_TRUE(
+      t.Insert({Value(int64_t{1}), Value("has,comma"), Value(1.0)}).ok());
+  ASSERT_TRUE(
+      t.Insert({Value(int64_t{2}), Value("say \"hi\""), Value(1.0)}).ok());
+  ASSERT_TRUE(t.Insert({Value(int64_t{3}), Value(""), Value(1.0)}).ok());
+  std::string csv = WriteTableCsv(t);
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos) << csv;
+  EXPECT_NE(csv.find("3,\"\","), std::string::npos) << csv;  // empty string
+}
+
+TEST(CsvRoundTripTest, TablePreserved) {
+  Table source("t", SmallSchema(), "id");
+  ASSERT_TRUE(
+      source.Insert({Value(int64_t{1}), Value("a,b\nc"), Value(2.5)}).ok());
+  ASSERT_TRUE(
+      source.Insert({Value(int64_t{2}), Value::Null(), Value(-1.0)}).ok());
+  ASSERT_TRUE(source.Insert({Value(int64_t{3}), Value(""), Value::Null()})
+                  .ok());
+  std::string csv = WriteTableCsv(source);
+
+  Table loaded("t2", SmallSchema(), "id");
+  ASSERT_TRUE(LoadTableCsv(csv, &loaded).ok()) << csv;
+  ASSERT_EQ(loaded.num_rows(), source.num_rows());
+  for (size_t i = 0; i < source.num_rows(); ++i) {
+    EXPECT_EQ(loaded.row(static_cast<RowId>(i)),
+              source.row(static_cast<RowId>(i)))
+        << "row " << i;
+  }
+}
+
+TEST(CsvLoadTest, TypedParsing) {
+  Table t("t", SmallSchema(), "id");
+  ASSERT_TRUE(LoadTableCsv("id,name,score\n7,seven,7.5\n", &t).ok());
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.row(0)[0].AsInt(), 7);
+  EXPECT_TRUE(t.row(0)[2].is_double());
+}
+
+TEST(CsvLoadTest, Errors) {
+  Table t("t", SmallSchema(), "id");
+  // header mismatch
+  EXPECT_TRUE(LoadTableCsv("a,b,c\n", &t).IsInvalidArgument());
+  EXPECT_TRUE(LoadTableCsv("id,name\n", &t).IsInvalidArgument());
+  EXPECT_TRUE(LoadTableCsv("", &t).IsInvalidArgument());
+  // wrong arity
+  EXPECT_TRUE(
+      LoadTableCsv("id,name,score\n1,two\n", &t).IsParseError());
+  // bad number
+  EXPECT_TRUE(
+      LoadTableCsv("id,name,score\nx,two,3\n", &t).IsParseError());
+  // NULL into non-nullable pk
+  EXPECT_TRUE(
+      LoadTableCsv("id,name,score\n,two,3\n", &t).IsInvalidArgument());
+  // unterminated quote
+  EXPECT_TRUE(
+      LoadTableCsv("id,name,score\n1,\"open,3\n", &t).IsParseError());
+}
+
+TEST(CsvParseLineTest, Fields) {
+  auto fields = ParseCsvLine("a,\"b,c\",,\"d\"\"e\"");
+  ASSERT_TRUE(fields.ok()) << fields.status();
+  EXPECT_EQ(*fields,
+            (std::vector<std::string>{"a", "b,c", "", "d\"e"}));
+}
+
+TEST(CsvResultTest, QueryResultsExport) {
+  auto db = MakeTestDatabase();
+  ASSERT_NE(db, nullptr);
+  auto result = db->Execute(
+      "SELECT category, COUNT(*) AS n FROM drug GROUP BY category "
+      "ORDER BY category");
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::string csv = WriteResultCsv(*result);
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "category,n");
+  EXPECT_NE(csv.find("nsaid,2"), std::string::npos) << csv;
+}
+
+}  // namespace
+}  // namespace lakefed::rel

@@ -1,0 +1,182 @@
+// End-to-end SQL execution tests through Database::Execute.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rel_test_util.h"
+
+namespace lakefed::rel {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTestDatabase();
+    ASSERT_NE(db_, nullptr);
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto result = db_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << "\n" << result.status();
+    return result.ok() ? std::move(*result) : QueryResult{};
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExecutorTest, SelectStar) {
+  QueryResult r = Run("SELECT * FROM drug");
+  EXPECT_EQ(r.rows.size(), 5u);
+  ASSERT_EQ(r.column_names.size(), 4u);
+  EXPECT_EQ(r.column_names[0], "drug.id");
+}
+
+TEST_F(ExecutorTest, Projection) {
+  QueryResult r = Run("SELECT name FROM drug WHERE id = 2");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "codeine");
+  EXPECT_EQ(r.column_names[0], "name");
+}
+
+TEST_F(ExecutorTest, FilterEquality) {
+  QueryResult r = Run("SELECT id FROM drug WHERE category = 'nsaid'");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, FilterRangeAndLike) {
+  QueryResult r = Run("SELECT id FROM drug WHERE weight > 102");
+  EXPECT_EQ(r.rows.size(), 2u);
+  r = Run("SELECT id FROM drug WHERE name LIKE '%ine'");
+  EXPECT_EQ(r.rows.size(), 2u);  // codeine, morphine
+  r = Run("SELECT id FROM drug WHERE name NOT LIKE '%in%'");
+  EXPECT_EQ(r.rows.size(), 1u);  // only "ibuprofen" lacks the substring
+}
+
+TEST_F(ExecutorTest, InPredicate) {
+  QueryResult r = Run("SELECT name FROM drug WHERE id IN (0, 4)");
+  ASSERT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, JoinOnExplicit) {
+  QueryResult r = Run(
+      "SELECT d.name, i.severity FROM drug d JOIN interaction i ON "
+      "d.id = i.drug1");
+  EXPECT_EQ(r.rows.size(), 5u);
+}
+
+TEST_F(ExecutorTest, JoinWithFilter) {
+  QueryResult r = Run(
+      "SELECT d.name FROM drug d JOIN interaction i ON d.id = i.drug1 "
+      "WHERE i.severity = 'high'");
+  ASSERT_EQ(r.rows.size(), 3u);
+  std::vector<std::string> names;
+  for (const Row& row : r.rows) names.push_back(row[0].AsString());
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"aspirin", "ibuprofen", "morphine"}));
+}
+
+TEST_F(ExecutorTest, ThreeWayJoin) {
+  // drug1 -> drug, drug2 -> drug (self-join through interaction).
+  QueryResult r = Run(
+      "SELECT a.name, b.name FROM interaction i JOIN drug a ON i.drug1 = "
+      "a.id JOIN drug b ON i.drug2 = b.id WHERE i.severity = 'high'");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(ExecutorTest, JoinInWhereClauseInsteadOfOn) {
+  QueryResult a = Run(
+      "SELECT d.name FROM drug d JOIN interaction i ON d.id = i.drug1");
+  // Same join expressed in WHERE (comma-join style is not supported, but ON
+  // TRUE-like constant plus WHERE equality is equivalent).
+  QueryResult b = Run(
+      "SELECT d.name FROM drug d JOIN interaction i ON 1 = 1 WHERE "
+      "d.id = i.drug1");
+  EXPECT_EQ(a.rows.size(), b.rows.size());
+}
+
+TEST_F(ExecutorTest, DistinctAndOrderByAndLimit) {
+  QueryResult r = Run("SELECT DISTINCT severity FROM interaction");
+  EXPECT_EQ(r.rows.size(), 3u);
+  r = Run("SELECT name FROM drug ORDER BY weight DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "warfarin");
+  EXPECT_EQ(r.rows[1][0].AsString(), "morphine");
+}
+
+TEST_F(ExecutorTest, OrderByQualifiedColumnWithSelectStar) {
+  QueryResult r = Run("SELECT * FROM drug ORDER BY drug.id DESC");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+}
+
+TEST_F(ExecutorTest, ArithmeticProjection) {
+  QueryResult r = Run("SELECT weight * 2 AS dbl FROM drug WHERE id = 0");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 200.0);
+  EXPECT_EQ(r.column_names[0], "dbl");
+}
+
+TEST_F(ExecutorTest, EmptyResult) {
+  QueryResult r = Run("SELECT * FROM drug WHERE id = 999");
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(ExecutorTest, ErrorsPropagate) {
+  EXPECT_TRUE(db_->Execute("SELECT * FROM nope").status().IsNotFound());
+  EXPECT_TRUE(db_->Execute("SELECT missing FROM drug").status().IsNotFound());
+  EXPECT_TRUE(db_->Execute("SELECT * FROM drug d JOIN drug d ON 1 = 1")
+                  .status()
+                  .IsInvalidArgument());  // duplicate alias
+  EXPECT_TRUE(db_->Execute("SELECT id FROM drug ORDER BY nosuchcol")
+                  .status()
+                  .IsNotFound());  // unknown ORDER BY column
+}
+
+TEST_F(ExecutorTest, AmbiguousColumn) {
+  Status st = db_->Execute(
+                     "SELECT id FROM drug d JOIN interaction i ON "
+                     "d.id = i.drug1")
+                  .status();
+  EXPECT_TRUE(st.IsInvalidArgument()) << st;
+}
+
+TEST_F(ExecutorTest, CountersReflectWork) {
+  QueryResult r = Run("SELECT * FROM drug WHERE id = 1");
+  EXPECT_EQ(r.counters.rows_produced, 1u);
+  EXPECT_GE(r.counters.index_lookups, 1u);  // PK index used
+  EXPECT_LE(r.counters.rows_scanned, 1u);   // no full scan
+}
+
+// Plans with and without secondary indexes must return identical answers.
+TEST_F(ExecutorTest, IndexOnOffEquivalence) {
+  const std::string queries[] = {
+      "SELECT d.name, i.severity FROM drug d JOIN interaction i ON d.id = "
+      "i.drug1 WHERE i.severity = 'high'",
+      "SELECT * FROM interaction WHERE drug1 = 0",
+      "SELECT name FROM drug WHERE weight >= 101 AND weight <= 103",
+  };
+  for (const std::string& sql : queries) {
+    db_->options().enable_secondary_indexes = true;
+    db_->options().enable_index_joins = true;
+    QueryResult with_idx = Run(sql);
+    db_->options().enable_secondary_indexes = false;
+    db_->options().enable_index_joins = false;
+    QueryResult without_idx = Run(sql);
+    auto key = [](const Row& row) {
+      std::string k;
+      for (const Value& v : row) k += v.ToString() + "|";
+      return k;
+    };
+    std::vector<std::string> a, b;
+    for (const Row& row : with_idx.rows) a.push_back(key(row));
+    for (const Row& row : without_idx.rows) b.push_back(key(row));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << sql;
+  }
+}
+
+}  // namespace
+}  // namespace lakefed::rel

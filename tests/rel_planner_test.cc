@@ -1,0 +1,123 @@
+// Plan-shape tests: verify the planner picks index access paths and join
+// algorithms according to the physical design, since that is exactly the
+// behaviour the paper's heuristics rely on.
+
+#include "rel/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "rel_test_util.h"
+
+namespace lakefed::rel {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = MakeTestDatabase();
+    ASSERT_NE(db_, nullptr);
+  }
+
+  std::string Plan(const std::string& sql) {
+    auto explain = db_->Explain(sql);
+    EXPECT_TRUE(explain.ok()) << sql << "\n" << explain.status();
+    return explain.ok() ? *explain : "";
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(PlannerTest, PkEqualityUsesIndexScan) {
+  std::string plan = Plan("SELECT * FROM drug WHERE id = 3");
+  EXPECT_TRUE(Contains(plan, "IndexScan drug")) << plan;
+  EXPECT_FALSE(Contains(plan, "SeqScan")) << plan;
+}
+
+TEST_F(PlannerTest, UnindexedPredicateUsesSeqScan) {
+  std::string plan = Plan("SELECT * FROM drug WHERE name = 'aspirin'");
+  EXPECT_TRUE(Contains(plan, "SeqScan drug")) << plan;
+  EXPECT_TRUE(Contains(plan, "Filter")) << plan;
+}
+
+TEST_F(PlannerTest, SecondaryIndexUsedWhenEnabled) {
+  std::string plan = Plan("SELECT * FROM interaction WHERE drug1 = 0");
+  EXPECT_TRUE(Contains(plan, "IndexScan interaction")) << plan;
+  db_->options().enable_secondary_indexes = false;
+  plan = Plan("SELECT * FROM interaction WHERE drug1 = 0");
+  EXPECT_TRUE(Contains(plan, "SeqScan interaction")) << plan;
+}
+
+TEST_F(PlannerTest, RangePredicateUsesIndexRangeScan) {
+  std::string plan = Plan("SELECT * FROM drug WHERE id > 2");
+  EXPECT_TRUE(Contains(plan, "IndexScan drug")) << plan;
+}
+
+TEST_F(PlannerTest, InPredicateUsesIndexProbes) {
+  std::string plan = Plan("SELECT * FROM drug WHERE id IN (1, 3)");
+  EXPECT_TRUE(Contains(plan, "IndexScan drug")) << plan;
+  EXPECT_TRUE(Contains(plan, "IN (1, 3)")) << plan;
+}
+
+TEST_F(PlannerTest, EqualityPreferredOverRange) {
+  std::string plan = Plan("SELECT * FROM drug WHERE id > 1 AND id = 3");
+  // equality wins the index; range becomes a residual filter
+  EXPECT_TRUE(Contains(plan, "id = 3")) << plan;
+  EXPECT_TRUE(Contains(plan, "Filter")) << plan;
+}
+
+TEST_F(PlannerTest, JoinOnIndexedColumnUsesIndexNestedLoop) {
+  std::string plan = Plan(
+      "SELECT d.name FROM drug d JOIN interaction i ON d.id = i.drug1 "
+      "WHERE d.category = 'opioid'");
+  EXPECT_TRUE(Contains(plan, "IndexNLJoin")) << plan;
+}
+
+TEST_F(PlannerTest, IndexJoinsDisabledFallsBackToHashJoin) {
+  db_->options().enable_index_joins = false;
+  std::string plan = Plan(
+      "SELECT d.name FROM drug d JOIN interaction i ON d.id = i.drug1");
+  EXPECT_TRUE(Contains(plan, "HashJoin")) << plan;
+  EXPECT_FALSE(Contains(plan, "IndexNLJoin")) << plan;
+}
+
+TEST_F(PlannerTest, CrossJoinWithoutEdgesStillPlans) {
+  std::string plan = Plan("SELECT * FROM drug d JOIN interaction i ON 1 = 1");
+  EXPECT_TRUE(Contains(plan, "HashJoin")) << plan;
+}
+
+TEST_F(PlannerTest, ThreeTableJoinPlansAllTables) {
+  std::string plan = Plan(
+      "SELECT a.name FROM interaction i JOIN drug a ON i.drug1 = a.id "
+      "JOIN drug b ON i.drug2 = b.id");
+  EXPECT_TRUE(Contains(plan, "interaction")) << plan;
+  // both drug occurrences must appear
+  EXPECT_TRUE(Contains(plan, "AS a")) << plan;
+  EXPECT_TRUE(Contains(plan, "AS b")) << plan;
+}
+
+TEST_F(PlannerTest, ProjectDistinctSortLimitStack) {
+  std::string plan = Plan(
+      "SELECT DISTINCT name FROM drug ORDER BY name DESC LIMIT 3");
+  // order in the explain: Limit > Sort > Distinct > Project
+  size_t limit = plan.find("Limit");
+  size_t sort = plan.find("Sort");
+  size_t distinct = plan.find("Distinct");
+  size_t project = plan.find("Project");
+  ASSERT_NE(limit, std::string::npos) << plan;
+  ASSERT_NE(sort, std::string::npos) << plan;
+  ASSERT_NE(distinct, std::string::npos) << plan;
+  ASSERT_NE(project, std::string::npos) << plan;
+  EXPECT_LT(limit, sort);
+  EXPECT_LT(sort, distinct);
+  EXPECT_LT(distinct, project);
+}
+
+TEST_F(PlannerTest, IndexScansDisabled) {
+  db_->options().enable_index_scans = false;
+  std::string plan = Plan("SELECT * FROM drug WHERE id = 3");
+  EXPECT_TRUE(Contains(plan, "SeqScan")) << plan;
+}
+
+}  // namespace
+}  // namespace lakefed::rel

@@ -1,0 +1,148 @@
+#include "rel/sql_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "rel/sql_lexer.h"
+
+namespace lakefed::rel {
+namespace {
+
+TEST(SqlLexerTest, TokenKinds) {
+  auto tokens = TokenizeSql("SELECT a.b, 'it''s' FROM t WHERE x >= 1.5");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  const auto& v = *tokens;
+  EXPECT_EQ(v[0].type, SqlTokenType::kKeyword);
+  EXPECT_EQ(v[0].text, "SELECT");
+  EXPECT_EQ(v[1].type, SqlTokenType::kIdentifier);
+  EXPECT_EQ(v[1].text, "a");
+  EXPECT_TRUE(v[2].IsSymbol("."));
+  EXPECT_EQ(v[5].type, SqlTokenType::kString);
+  EXPECT_EQ(v[5].text, "it's");
+  EXPECT_TRUE(v.back().type == SqlTokenType::kEnd);
+}
+
+TEST(SqlLexerTest, Errors) {
+  EXPECT_TRUE(TokenizeSql("SELECT 'unterminated").status().IsParseError());
+  EXPECT_TRUE(TokenizeSql("SELECT @").status().IsParseError());
+}
+
+TEST(SqlLexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = TokenizeSql("select X from T");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_TRUE((*tokens)[2].IsKeyword("FROM"));
+  // identifiers keep their case
+  EXPECT_EQ((*tokens)[1].text, "X");
+}
+
+TEST(SqlParserTest, MinimalSelect) {
+  auto stmt = ParseSql("SELECT * FROM drug");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_TRUE(stmt->select_all);
+  EXPECT_EQ(stmt->from.table, "drug");
+  EXPECT_EQ(stmt->from.alias, "drug");
+  EXPECT_EQ(stmt->where, nullptr);
+}
+
+TEST(SqlParserTest, SelectListWithAliases) {
+  auto stmt = ParseSql("SELECT d.id AS drug_id, d.name FROM drug d");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[0].alias, "drug_id");
+  EXPECT_EQ(stmt->items[1].alias, "d.name");
+  EXPECT_EQ(stmt->from.alias, "d");
+}
+
+TEST(SqlParserTest, JoinsWithOn) {
+  auto stmt = ParseSql(
+      "SELECT * FROM a x JOIN b y ON x.k = y.k INNER JOIN c AS z ON "
+      "y.m = z.m");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_EQ(stmt->joins.size(), 2u);
+  EXPECT_EQ(stmt->joins[0].table.alias, "y");
+  EXPECT_EQ(stmt->joins[1].table.alias, "z");
+  EXPECT_EQ(stmt->joins[0].on->ToString(), "(x.k = y.k)");
+}
+
+TEST(SqlParserTest, WherePrecedence) {
+  auto stmt = ParseSql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  // AND binds tighter than OR.
+  EXPECT_EQ(stmt->where->ToString(), "((a = 1) OR ((b = 2) AND (c = 3)))");
+}
+
+TEST(SqlParserTest, PredicateForms) {
+  auto stmt = ParseSql(
+      "SELECT * FROM t WHERE name LIKE 'Homo%' AND id IN (1, 2, 3) AND "
+      "note IS NOT NULL AND flag NOT LIKE '%x%' AND x NOT IN (9)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  std::string s = stmt->where->ToString();
+  EXPECT_NE(s.find("name LIKE 'Homo%'"), std::string::npos);
+  EXPECT_NE(s.find("id IN (1, 2, 3)"), std::string::npos);
+  EXPECT_NE(s.find("note IS NOT NULL"), std::string::npos);
+  EXPECT_NE(s.find("flag NOT LIKE '%x%'"), std::string::npos);
+  EXPECT_NE(s.find("x NOT IN (9)"), std::string::npos);
+}
+
+TEST(SqlParserTest, ComparisonOperators) {
+  for (const char* op : {"=", "<>", "!=", "<", "<=", ">", ">="}) {
+    auto stmt = ParseSql(std::string("SELECT * FROM t WHERE a ") + op + " 5");
+    ASSERT_TRUE(stmt.ok()) << op << ": " << stmt.status();
+  }
+}
+
+TEST(SqlParserTest, ArithmeticInSelect) {
+  auto stmt = ParseSql("SELECT a + b * 2 AS s FROM t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->items[0].expr->ToString(), "(a + (b * 2))");
+}
+
+TEST(SqlParserTest, OrderByAndLimit) {
+  auto stmt = ParseSql(
+      "SELECT * FROM t ORDER BY a DESC, t.b ASC, c LIMIT 10;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_EQ(stmt->order_by.size(), 3u);
+  EXPECT_FALSE(stmt->order_by[0].ascending);
+  EXPECT_TRUE(stmt->order_by[1].ascending);
+  EXPECT_EQ(stmt->order_by[1].column, "t.b");
+  EXPECT_EQ(stmt->limit, 10);
+}
+
+TEST(SqlParserTest, Distinct) {
+  auto stmt = ParseSql("SELECT DISTINCT a FROM t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_TRUE(stmt->distinct);
+}
+
+TEST(SqlParserTest, NegativeNumbersAndNull) {
+  auto stmt = ParseSql("SELECT * FROM t WHERE a = -5 AND b = NULL");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+}
+
+TEST(SqlParserTest, Errors) {
+  EXPECT_TRUE(ParseSql("").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT * FROM").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT * FROM t WHERE").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT * FROM t JOIN u").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT * FROM t LIMIT x").status().IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT * FROM t extra garbage 42")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseSql("UPDATE t SET a = 1").status().IsParseError());
+}
+
+TEST(SqlParserTest, RoundTripThroughToString) {
+  const std::string sql =
+      "SELECT DISTINCT d.id AS i, d.name FROM drug AS d JOIN ref AS r ON "
+      "(d.id = r.drug_id) WHERE (d.name LIKE 'a%') LIMIT 5";
+  auto stmt = ParseSql(sql);
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  // Re-parsing the rendering yields the same rendering (fixpoint).
+  auto stmt2 = ParseSql(stmt->ToString());
+  ASSERT_TRUE(stmt2.ok()) << stmt2.status() << "\nSQL: " << stmt->ToString();
+  EXPECT_EQ(stmt->ToString(), stmt2->ToString());
+}
+
+}  // namespace
+}  // namespace lakefed::rel

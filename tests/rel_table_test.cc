@@ -1,0 +1,137 @@
+#include "rel/table.h"
+
+#include <gtest/gtest.h>
+
+namespace lakefed::rel {
+namespace {
+
+Schema DrugSchema() {
+  return Schema({{"id", ColumnType::kInt64, false},
+                 {"name", ColumnType::kString, true},
+                 {"weight", ColumnType::kDouble, true}});
+}
+
+Row DrugRow(int64_t id, const std::string& name, double weight) {
+  return {Value(id), Value(name), Value(weight)};
+}
+
+TEST(TableTest, InsertAndRead) {
+  Table t("drug", DrugSchema(), "id");
+  ASSERT_TRUE(t.Insert(DrugRow(1, "aspirin", 180.2)).ok());
+  ASSERT_TRUE(t.Insert(DrugRow(2, "ibuprofen", 206.3)).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.row(0)[1].AsString(), "aspirin");
+}
+
+TEST(TableTest, PrimaryKeyIsIndexedAndUnique) {
+  Table t("drug", DrugSchema(), "id");
+  EXPECT_TRUE(t.HasIndexOn("id"));
+  EXPECT_FALSE(t.HasIndexOn("name"));
+  ASSERT_TRUE(t.Insert(DrugRow(1, "a", 1.0)).ok());
+  Status st = t.Insert(DrugRow(1, "b", 2.0));
+  EXPECT_TRUE(st.IsAlreadyExists());
+  EXPECT_EQ(t.num_rows(), 1u);  // failed insert left no trace
+  EXPECT_EQ(t.IndexOn("id")->num_entries(), 1u);
+}
+
+TEST(TableTest, SchemaValidation) {
+  Table t("drug", DrugSchema(), "id");
+  // wrong arity
+  EXPECT_TRUE(t.Insert({Value(int64_t{1})}).IsInvalidArgument());
+  // wrong type
+  EXPECT_TRUE(
+      t.Insert({Value("x"), Value("a"), Value(1.0)}).IsTypeError());
+  // NULL in non-nullable column
+  EXPECT_TRUE(
+      t.Insert({Value::Null(), Value("a"), Value(1.0)}).IsInvalidArgument());
+  // int accepted for DOUBLE column
+  EXPECT_TRUE(
+      t.Insert({Value(int64_t{5}), Value("a"), Value(int64_t{3})}).ok());
+}
+
+TEST(TableTest, SecondaryIndexBackfillsExistingRows) {
+  Table t("drug", DrugSchema(), "id");
+  ASSERT_TRUE(t.Insert(DrugRow(1, "a", 1.0)).ok());
+  ASSERT_TRUE(t.Insert(DrugRow(2, "a", 2.0)).ok());
+  ASSERT_TRUE(t.Insert(DrugRow(3, "b", 3.0)).ok());
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  EXPECT_TRUE(t.HasIndexOn("name"));
+  EXPECT_EQ(t.IndexOn("name")->Lookup(Value("a")),
+            (std::vector<RowId>{0, 1}));
+  // New inserts are maintained.
+  ASSERT_TRUE(t.Insert(DrugRow(4, "a", 4.0)).ok());
+  EXPECT_EQ(t.IndexOn("name")->Lookup(Value("a")),
+            (std::vector<RowId>{0, 1, 3}));
+}
+
+TEST(TableTest, CreateIndexErrors) {
+  Table t("drug", DrugSchema(), "id");
+  EXPECT_TRUE(t.CreateIndex("nope").IsNotFound());
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  EXPECT_TRUE(t.CreateIndex("name").IsAlreadyExists());
+}
+
+TEST(TableTest, DropIndex) {
+  Table t("drug", DrugSchema(), "id");
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  ASSERT_TRUE(t.DropIndex("name").ok());
+  EXPECT_FALSE(t.HasIndexOn("name"));
+  EXPECT_TRUE(t.DropIndex("name").IsNotFound());
+  EXPECT_TRUE(t.DropIndex("id").IsInvalidArgument());  // PK protected
+}
+
+TEST(TableTest, IndexedColumnsListsPkFirst) {
+  Table t("drug", DrugSchema(), "id");
+  ASSERT_TRUE(t.CreateIndex("weight").ok());
+  ASSERT_TRUE(t.CreateIndex("name").ok());
+  std::vector<std::string> cols = t.IndexedColumns();
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], "id");
+}
+
+TEST(TableTest, StatsTrackDistinctAndFrequency) {
+  Table t("drug", DrugSchema(), "id");
+  ASSERT_TRUE(t.Insert(DrugRow(1, "a", 1.0)).ok());
+  ASSERT_TRUE(t.Insert(DrugRow(2, "a", 2.0)).ok());
+  ASSERT_TRUE(t.Insert(DrugRow(3, "b", 3.0)).ok());
+  ASSERT_TRUE(t.Insert({Value(int64_t{4}), Value::Null(), Value(4.0)}).ok());
+  const ColumnStats& name_stats = t.column_stats(1);
+  EXPECT_EQ(name_stats.num_distinct, 2u);
+  EXPECT_EQ(name_stats.max_value_frequency, 2u);
+  EXPECT_EQ(name_stats.num_nulls, 1u);
+}
+
+TEST(TableTest, EqualitySelectivityEstimates) {
+  Table t("drug", DrugSchema(), "id");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Insert(DrugRow(i, i < 8 ? "common" : "rare", 1.0)).ok());
+  }
+  EXPECT_DOUBLE_EQ(t.EstimateEqualitySelectivity("name", Value("common")),
+                   0.8);
+  EXPECT_DOUBLE_EQ(t.EstimateEqualitySelectivity("name", Value("rare")), 0.2);
+  // Unknown value falls back to 1/distinct.
+  EXPECT_DOUBLE_EQ(t.EstimateEqualitySelectivity("name", Value("unseen")),
+                   0.5);
+}
+
+TEST(TableTest, NullsAreNotIndexed) {
+  Schema schema({{"id", ColumnType::kInt64, false},
+                 {"tag", ColumnType::kString, true}});
+  Table t("x", schema, "id");
+  ASSERT_TRUE(t.CreateIndex("tag").ok());
+  ASSERT_TRUE(t.Insert({Value(int64_t{1}), Value::Null()}).ok());
+  ASSERT_TRUE(t.Insert({Value(int64_t{2}), Value("t")}).ok());
+  EXPECT_EQ(t.IndexOn("tag")->num_entries(), 1u);
+}
+
+TEST(TableTest, HeapTableWithoutPrimaryKey) {
+  Table t("log", DrugSchema(), std::nullopt);
+  EXPECT_FALSE(t.HasIndexOn("id"));
+  ASSERT_TRUE(t.Insert(DrugRow(1, "a", 1.0)).ok());
+  ASSERT_TRUE(t.Insert(DrugRow(1, "a", 1.0)).ok());  // duplicates allowed
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_TRUE(t.IndexedColumns().empty());
+}
+
+}  // namespace
+}  // namespace lakefed::rel

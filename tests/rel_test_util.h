@@ -1,0 +1,63 @@
+// Shared fixtures for relational-engine tests: a small two-dataset schema
+// (drugs + interactions) shaped like the LSLOD relational layout.
+
+#ifndef LAKEFED_TESTS_REL_TEST_UTIL_H_
+#define LAKEFED_TESTS_REL_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "rel/database.h"
+
+namespace lakefed::rel {
+
+// drug(id PK, name, category, weight), interaction(id PK, drug1, drug2,
+// severity) with a secondary index on interaction.drug1.
+inline std::unique_ptr<Database> MakeTestDatabase() {
+  auto db = std::make_unique<Database>("testdb");
+  auto drug = db->catalog().CreateTable(
+      "drug",
+      Schema({{"id", ColumnType::kInt64, false},
+              {"name", ColumnType::kString, true},
+              {"category", ColumnType::kString, true},
+              {"weight", ColumnType::kDouble, true}}),
+      "id");
+  auto interaction = db->catalog().CreateTable(
+      "interaction",
+      Schema({{"id", ColumnType::kInt64, false},
+              {"drug1", ColumnType::kInt64, true},
+              {"drug2", ColumnType::kInt64, true},
+              {"severity", ColumnType::kString, true}}),
+      "id");
+  if (!drug.ok() || !interaction.ok()) return nullptr;
+
+  const char* names[] = {"aspirin", "ibuprofen", "codeine", "morphine",
+                         "warfarin"};
+  const char* categories[] = {"nsaid", "nsaid", "opioid", "opioid",
+                              "anticoagulant"};
+  for (int i = 0; i < 5; ++i) {
+    if (!(*drug)
+             ->Insert({Value(int64_t{i}), Value(names[i]),
+                       Value(categories[i]), Value(100.0 + i)})
+             .ok()) {
+      return nullptr;
+    }
+  }
+  // interactions: (0,1),(0,4),(1,4),(2,3),(3,4)
+  int pairs[][2] = {{0, 1}, {0, 4}, {1, 4}, {2, 3}, {3, 4}};
+  const char* severities[] = {"low", "high", "high", "medium", "high"};
+  for (int i = 0; i < 5; ++i) {
+    if (!(*interaction)
+             ->Insert({Value(int64_t{i}), Value(int64_t{pairs[i][0]}),
+                       Value(int64_t{pairs[i][1]}), Value(severities[i])})
+             .ok()) {
+      return nullptr;
+    }
+  }
+  if (!(*interaction)->CreateIndex("drug1").ok()) return nullptr;
+  return db;
+}
+
+}  // namespace lakefed::rel
+
+#endif  // LAKEFED_TESTS_REL_TEST_UTIL_H_

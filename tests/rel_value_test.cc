@@ -1,0 +1,73 @@
+#include "rel/value.h"
+
+#include <gtest/gtest.h>
+
+namespace lakefed::rel {
+namespace {
+
+TEST(ValueTest, NullBasics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+  EXPECT_EQ(v, Value::Null());
+}
+
+TEST(ValueTest, TypedAccessors) {
+  Value i(int64_t{42});
+  Value d(2.5);
+  Value s(std::string("hi"));
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(i.is_numeric());
+  EXPECT_EQ(i.AsInt(), 42);
+  EXPECT_DOUBLE_EQ(i.AsDouble(), 42.0);
+  EXPECT_TRUE(d.is_double());
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 2.5);
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(s.AsString(), "hi");
+}
+
+TEST(ValueTest, TotalOrderAcrossTypes) {
+  // NULL < numeric < string.
+  EXPECT_LT(Value::Null(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{1000}), Value("a"));
+  EXPECT_LT(Value(0.5), Value("0.5"));
+}
+
+TEST(ValueTest, MixedNumericComparison) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_LT(Value(int64_t{3}), Value(3.5));
+  EXPECT_GT(Value(4.5), Value(int64_t{4}));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value("x"), Value("x"));
+  EXPECT_LT(Value(""), Value("a"));
+}
+
+TEST(ValueTest, SqlLiteralQuoting) {
+  EXPECT_EQ(Value("o'neil").ToSqlLiteral(), "'o''neil'");
+  EXPECT_EQ(Value(int64_t{5}).ToSqlLiteral(), "5");
+  EXPECT_EQ(Value::Null().ToSqlLiteral(), "NULL");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  // Values that compare equal must hash equal (hash-join correctness),
+  // including across int/double.
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(7.0).Hash());
+  EXPECT_EQ(Value("k").Hash(), Value(std::string("k")).Hash());
+  EXPECT_NE(Value(int64_t{7}).Hash(), Value(int64_t{8}).Hash());
+}
+
+TEST(RowHashTest, EqualRowsHashEqual) {
+  Row a = {Value(int64_t{1}), Value("x"), Value::Null()};
+  Row b = {Value(int64_t{1}), Value("x"), Value::Null()};
+  Row c = {Value(int64_t{2}), Value("x"), Value::Null()};
+  EXPECT_EQ(RowHash{}(a), RowHash{}(b));
+  EXPECT_NE(RowHash{}(a), RowHash{}(c));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace lakefed::rel

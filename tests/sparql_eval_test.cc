@@ -1,0 +1,126 @@
+// End-to-end SPARQL evaluation against a single triple store.
+
+#include "sparql/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace lakefed::sparql {
+namespace {
+
+using rdf::Term;
+
+class SparqlEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto iri = [](const std::string& s) { return Term::Iri("http://ex/" + s); };
+    auto type = Term::Iri(rdf::kRdfType);
+    for (int i = 0; i < 10; ++i) {
+      Term drug = iri("drug" + std::to_string(i));
+      store_.Add(drug, type, iri("Drug"));
+      store_.Add(drug, iri("name"),
+                 Term::Literal("drug" + std::to_string(i)));
+      store_.Add(drug, iri("weight"),
+                 Term::Literal(std::to_string(100 + i * 10),
+                               rdf::kXsdInteger));
+      store_.Add(drug, iri("category"),
+                 Term::Literal(i % 2 == 0 ? "nsaid" : "opioid"));
+    }
+  }
+
+  EvalResult Run(const std::string& text) {
+    auto q = ParseSparql(text);
+    EXPECT_TRUE(q.ok()) << q.status();
+    auto r = Evaluate(*q, store_);
+    EXPECT_TRUE(r.ok()) << r.status();
+    return r.ok() ? std::move(*r) : EvalResult{};
+  }
+
+  rdf::TripleStore store_;
+};
+
+TEST_F(SparqlEvalTest, StarQuery) {
+  EvalResult r = Run(R"(PREFIX ex: <http://ex/>
+    SELECT ?d ?n WHERE { ?d a ex:Drug ; ex:name ?n . })");
+  EXPECT_EQ(r.rows.size(), 10u);
+  EXPECT_EQ(r.variables, (std::vector<std::string>{"d", "n"}));
+}
+
+TEST_F(SparqlEvalTest, NumericFilter) {
+  EvalResult r = Run(R"(PREFIX ex: <http://ex/>
+    SELECT ?d WHERE { ?d ex:weight ?w . FILTER (?w > 150) })");
+  EXPECT_EQ(r.rows.size(), 4u);  // 160, 170, 180, 190
+}
+
+TEST_F(SparqlEvalTest, StringEqualityFilter) {
+  EvalResult r = Run(R"(PREFIX ex: <http://ex/>
+    SELECT ?d WHERE { ?d ex:category ?c . FILTER (?c = "nsaid") })");
+  EXPECT_EQ(r.rows.size(), 5u);
+}
+
+TEST_F(SparqlEvalTest, ConjunctiveFilters) {
+  EvalResult r = Run(R"(PREFIX ex: <http://ex/>
+    SELECT ?d WHERE {
+      ?d ex:weight ?w ; ex:category ?c .
+      FILTER (?w >= 120 && ?w <= 160)
+      FILTER (?c = "nsaid")
+    })");
+  EXPECT_EQ(r.rows.size(), 3u);  // 120, 140, 160
+}
+
+TEST_F(SparqlEvalTest, ContainsFilter) {
+  EvalResult r = Run(R"(PREFIX ex: <http://ex/>
+    SELECT ?d WHERE { ?d ex:name ?n . FILTER CONTAINS(?n, "drug1") })");
+  EXPECT_EQ(r.rows.size(), 1u);
+}
+
+TEST_F(SparqlEvalTest, DistinctCollapsesDuplicates) {
+  EvalResult with = Run(R"(PREFIX ex: <http://ex/>
+    SELECT DISTINCT ?c WHERE { ?d ex:category ?c . })");
+  EXPECT_EQ(with.rows.size(), 2u);
+  EvalResult without = Run(R"(PREFIX ex: <http://ex/>
+    SELECT ?c WHERE { ?d ex:category ?c . })");
+  EXPECT_EQ(without.rows.size(), 10u);
+}
+
+TEST_F(SparqlEvalTest, LimitStopsEarly) {
+  EvalResult r = Run(R"(PREFIX ex: <http://ex/>
+    SELECT ?d WHERE { ?d a ex:Drug . } LIMIT 3)");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(SparqlEvalTest, SelectStarProjectsAllVariables) {
+  EvalResult r = Run(R"(PREFIX ex: <http://ex/>
+    SELECT * WHERE { ?d ex:name ?n . } LIMIT 1)");
+  ASSERT_EQ(r.variables.size(), 2u);
+  ASSERT_EQ(r.rows[0].values.size(), 2u);
+}
+
+TEST_F(SparqlEvalTest, EmptyResult) {
+  EvalResult r = Run(R"(PREFIX ex: <http://ex/>
+    SELECT ?d WHERE { ?d ex:nonexistent ?x . })");
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(SparqlEvalTest, FilterOnIriViaStr) {
+  EvalResult r = Run(R"(PREFIX ex: <http://ex/>
+    SELECT ?d WHERE { ?d a ex:Drug . FILTER STRENDS(STR(?d), "drug7") })");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].values[0].value(), "http://ex/drug7");
+}
+
+TEST_F(SparqlEvalTest, VisitEarlyStop) {
+  auto q = ParseSparql(R"(PREFIX ex: <http://ex/>
+    SELECT ?d WHERE { ?d a ex:Drug . })");
+  ASSERT_TRUE(q.ok());
+  int count = 0;
+  ASSERT_TRUE(EvaluateVisit(*q, store_, [&](const SolutionRow&) {
+                ++count;
+                return count < 4;
+              }).ok());
+  EXPECT_EQ(count, 4);
+}
+
+}  // namespace
+}  // namespace lakefed::sparql

@@ -1,0 +1,196 @@
+#include "sparql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace lakefed::sparql {
+namespace {
+
+TEST(SparqlParserTest, MinimalQuery) {
+  auto q = ParseSparql("SELECT ?s WHERE { ?s ?p ?o . }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->variables, (std::vector<std::string>{"s"}));
+  ASSERT_EQ(q->patterns.size(), 1u);
+  EXPECT_TRUE(q->patterns[0].subject.is_var);
+  EXPECT_FALSE(q->distinct);
+  EXPECT_FALSE(q->limit.has_value());
+}
+
+TEST(SparqlParserTest, PrefixesExpand) {
+  auto q = ParseSparql(R"(
+    PREFIX ex: <http://example.org/>
+    PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+    SELECT ?d WHERE { ?d rdf:type ex:Drug . }
+  )");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->patterns.size(), 1u);
+  EXPECT_EQ(q->patterns[0].predicate.term.value(),
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  EXPECT_EQ(q->patterns[0].object.term.value(), "http://example.org/Drug");
+}
+
+TEST(SparqlParserTest, UndeclaredPrefixErrors) {
+  auto q = ParseSparql("SELECT ?d WHERE { ?d ex:name ?n . }");
+  EXPECT_TRUE(q.status().IsParseError());
+}
+
+TEST(SparqlParserTest, RdfTypeShorthandA) {
+  auto q = ParseSparql(
+      "PREFIX ex: <http://ex/> SELECT ?d WHERE { ?d a ex:Drug . }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->patterns[0].predicate.term.value(),
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+}
+
+TEST(SparqlParserTest, PredicateObjectLists) {
+  auto q = ParseSparql(R"(PREFIX ex: <http://ex/>
+    SELECT ?d ?n WHERE {
+      ?d a ex:Drug ;
+         ex:name ?n ;
+         ex:category "nsaid" .
+    })");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->patterns.size(), 3u);
+  // all share the subject ?d
+  for (const auto& p : q->patterns) {
+    ASSERT_TRUE(p.subject.is_var);
+    EXPECT_EQ(p.subject.var, "d");
+  }
+}
+
+TEST(SparqlParserTest, ObjectLists) {
+  auto q = ParseSparql(
+      "PREFIX ex: <http://ex/> SELECT ?d WHERE { ?d ex:tag \"a\", \"b\" . }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->patterns.size(), 2u);
+}
+
+TEST(SparqlParserTest, SelectStar) {
+  auto q = ParseSparql("SELECT * WHERE { ?s ?p ?o . }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->select_all);
+  EXPECT_EQ(q->EffectiveProjection(),
+            (std::vector<std::string>{"s", "p", "o"}));
+}
+
+TEST(SparqlParserTest, DistinctAndLimit) {
+  auto q = ParseSparql(
+      "SELECT DISTINCT ?s WHERE { ?s ?p ?o . } LIMIT 10");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->distinct);
+  EXPECT_EQ(q->limit, 10);
+}
+
+TEST(SparqlParserTest, FilterComparison) {
+  auto q = ParseSparql(R"(PREFIX ex: <http://ex/>
+    SELECT ?d WHERE {
+      ?d ex:weight ?w .
+      FILTER (?w > 100)
+    })");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->filters.size(), 1u);
+  EXPECT_EQ(q->filters[0]->ToString(),
+            "(?w > \"100\"^^<http://www.w3.org/2001/XMLSchema#integer>)");
+}
+
+TEST(SparqlParserTest, FilterLogical) {
+  auto q = ParseSparql(R"(SELECT ?s WHERE {
+      ?s ?p ?o .
+      FILTER (?o > 1 && ?o < 10 || !(?o = 5))
+    })");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->filters.size(), 1u);
+  auto s = q->filters[0]->ToString();
+  EXPECT_NE(s.find("&&"), std::string::npos);
+  EXPECT_NE(s.find("||"), std::string::npos);
+  EXPECT_NE(s.find("!("), std::string::npos);
+}
+
+TEST(SparqlParserTest, FilterFunctions) {
+  auto q = ParseSparql(R"(SELECT ?s WHERE {
+      ?s ?p ?n .
+      FILTER CONTAINS(?n, "sapiens")
+      FILTER REGEX(STR(?s), "^http")
+      FILTER STRSTARTS(?n, "Homo")
+      FILTER BOUND(?n)
+    })");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->filters.size(), 4u);
+  EXPECT_EQ(q->filters[0]->ToString(), "CONTAINS(?n, \"sapiens\")");
+  EXPECT_EQ(q->filters[1]->ToString(), "REGEX(STR(?s), \"^http\")");
+}
+
+TEST(SparqlParserTest, FilterStringEquality) {
+  auto q = ParseSparql(R"(PREFIX ex: <http://ex/>
+    SELECT ?x WHERE {
+      ?x ex:species ?sp .
+      FILTER (?sp = "Homo sapiens")
+    })");
+  ASSERT_TRUE(q.ok()) << q.status();
+  std::string var;
+  ASSERT_EQ(q->filters.size(), 1u);
+  EXPECT_TRUE(IsSimpleVarFilter(*q->filters[0], &var));
+  EXPECT_EQ(var, "sp");
+}
+
+TEST(SparqlParserTest, LiteralForms) {
+  auto q = ParseSparql(R"(PREFIX ex: <http://ex/>
+    SELECT ?s WHERE {
+      ?s ex:a "plain" .
+      ?s ex:b "tagged"@en .
+      ?s ex:c "5"^^<http://www.w3.org/2001/XMLSchema#integer> .
+      ?s ex:d 42 .
+      ?s ex:e 2.5 .
+      ?s ex:f true .
+    })");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->patterns.size(), 6u);
+  EXPECT_EQ(q->patterns[1].object.term.lang(), "en");
+  EXPECT_EQ(q->patterns[3].object.term.datatype(),
+            "http://www.w3.org/2001/XMLSchema#integer");
+  EXPECT_EQ(q->patterns[4].object.term.datatype(),
+            "http://www.w3.org/2001/XMLSchema#double");
+  EXPECT_EQ(q->patterns[5].object.term.value(), "true");
+}
+
+TEST(SparqlParserTest, Errors) {
+  EXPECT_TRUE(ParseSparql("").status().IsParseError());
+  EXPECT_TRUE(ParseSparql("SELECT WHERE { ?s ?p ?o }").status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseSparql("SELECT ?s { ?s ?p ?o }").status().IsParseError());
+  EXPECT_TRUE(
+      ParseSparql("SELECT ?s WHERE { ?s ?p ?o ").status().IsParseError());
+  EXPECT_TRUE(ParseSparql("SELECT ?s WHERE { }").status().IsParseError());
+  // projected variable not in pattern
+  EXPECT_TRUE(ParseSparql("SELECT ?x WHERE { ?s ?p ?o . }")
+                  .status()
+                  .IsParseError());
+  // trailing garbage
+  EXPECT_TRUE(ParseSparql("SELECT ?s WHERE { ?s ?p ?o . } LIMIT 2 garbage")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(SparqlParserTest, CommentsAreIgnored) {
+  auto q = ParseSparql(R"(# leading comment
+    SELECT ?s WHERE {
+      ?s ?p ?o . # trailing comment
+    })");
+  ASSERT_TRUE(q.ok()) << q.status();
+}
+
+TEST(SparqlParserTest, ToStringReparses) {
+  auto q = ParseSparql(R"(PREFIX ex: <http://ex/>
+    SELECT DISTINCT ?d ?n WHERE {
+      ?d a ex:Drug ; ex:name ?n .
+      FILTER (?n != "x")
+    } LIMIT 7)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  auto q2 = ParseSparql(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q2.status() << "\n" << q->ToString();
+  EXPECT_EQ(q->ToString(), q2->ToString());
+  EXPECT_EQ(q2->patterns.size(), 2u);
+  EXPECT_EQ(q2->limit, 7);
+}
+
+}  // namespace
+}  // namespace lakefed::sparql
