@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_heuristics"
+  "../bench/bench_ablation_heuristics.pdb"
+  "CMakeFiles/bench_ablation_heuristics.dir/bench_ablation_heuristics.cc.o"
+  "CMakeFiles/bench_ablation_heuristics.dir/bench_ablation_heuristics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_answer_trace.cc" "bench_build/CMakeFiles/bench_fig2_answer_trace.dir/bench_fig2_answer_trace.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig2_answer_trace.dir/bench_fig2_answer_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lslod/CMakeFiles/lakefed_lslod.dir/DependInfo.cmake"
+  "/root/repo/build/src/wrapper/CMakeFiles/lakefed_wrapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/fed/CMakeFiles/lakefed_fed.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lakefed_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/lakefed_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/lakefed_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/lakefed_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/lakefed_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lakefed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_answer_trace"
+  "../bench/bench_fig2_answer_trace.pdb"
+  "CMakeFiles/bench_fig2_answer_trace.dir/bench_fig2_answer_trace.cc.o"
+  "CMakeFiles/bench_fig2_answer_trace.dir/bench_fig2_answer_trace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_answer_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_grid_exec_time"
+  "../bench/bench_grid_exec_time.pdb"
+  "CMakeFiles/bench_grid_exec_time.dir/bench_grid_exec_time.cc.o"
+  "CMakeFiles/bench_grid_exec_time.dir/bench_grid_exec_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grid_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_h2_filter_placement"
+  "../bench/bench_h2_filter_placement.pdb"
+  "CMakeFiles/bench_h2_filter_placement.dir/bench_h2_filter_placement.cc.o"
+  "CMakeFiles/bench_h2_filter_placement.dir/bench_h2_filter_placement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_h2_filter_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

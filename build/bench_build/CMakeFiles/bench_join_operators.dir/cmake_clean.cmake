@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_join_operators"
+  "../bench/bench_join_operators.pdb"
+  "CMakeFiles/bench_join_operators.dir/bench_join_operators.cc.o"
+  "CMakeFiles/bench_join_operators.dir/bench_join_operators.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

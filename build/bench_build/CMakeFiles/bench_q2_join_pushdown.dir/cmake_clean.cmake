@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_q2_join_pushdown"
+  "../bench/bench_q2_join_pushdown.pdb"
+  "CMakeFiles/bench_q2_join_pushdown.dir/bench_q2_join_pushdown.cc.o"
+  "CMakeFiles/bench_q2_join_pushdown.dir/bench_q2_join_pushdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q2_join_pushdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_btree"
+  "../bench/micro_btree.pdb"
+  "CMakeFiles/micro_btree.dir/micro_btree.cc.o"
+  "CMakeFiles/micro_btree.dir/micro_btree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

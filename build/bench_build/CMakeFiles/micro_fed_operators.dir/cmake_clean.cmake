@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_fed_operators"
+  "../bench/micro_fed_operators.pdb"
+  "CMakeFiles/micro_fed_operators.dir/micro_fed_operators.cc.o"
+  "CMakeFiles/micro_fed_operators.dir/micro_fed_operators.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fed_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_rdf_sparql"
+  "../bench/micro_rdf_sparql.pdb"
+  "CMakeFiles/micro_rdf_sparql.dir/micro_rdf_sparql.cc.o"
+  "CMakeFiles/micro_rdf_sparql.dir/micro_rdf_sparql.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rdf_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

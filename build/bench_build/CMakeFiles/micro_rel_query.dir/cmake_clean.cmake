@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_rel_query"
+  "../bench/micro_rel_query.pdb"
+  "CMakeFiles/micro_rel_query.dir/micro_rel_query.cc.o"
+  "CMakeFiles/micro_rel_query.dir/micro_rel_query.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rel_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

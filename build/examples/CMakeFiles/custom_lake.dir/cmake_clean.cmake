@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_lake.dir/custom_lake.cpp.o"
+  "CMakeFiles/custom_lake.dir/custom_lake.cpp.o.d"
+  "custom_lake"
+  "custom_lake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_lake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_lake.dir/heterogeneous_lake.cpp.o"
+  "CMakeFiles/heterogeneous_lake.dir/heterogeneous_lake.cpp.o.d"
+  "heterogeneous_lake"
+  "heterogeneous_lake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_lake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

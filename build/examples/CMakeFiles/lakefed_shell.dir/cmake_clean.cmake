@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakefed_shell.dir/lakefed_shell.cpp.o"
+  "CMakeFiles/lakefed_shell.dir/lakefed_shell.cpp.o.d"
+  "lakefed_shell"
+  "lakefed_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakefed_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_study.dir/network_study.cpp.o"
+  "CMakeFiles/network_study.dir/network_study.cpp.o.d"
+  "network_study"
+  "network_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

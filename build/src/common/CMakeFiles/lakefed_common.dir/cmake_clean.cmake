@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakefed_common.dir/logging.cc.o"
+  "CMakeFiles/lakefed_common.dir/logging.cc.o.d"
+  "CMakeFiles/lakefed_common.dir/rng.cc.o"
+  "CMakeFiles/lakefed_common.dir/rng.cc.o.d"
+  "CMakeFiles/lakefed_common.dir/status.cc.o"
+  "CMakeFiles/lakefed_common.dir/status.cc.o.d"
+  "CMakeFiles/lakefed_common.dir/string_util.cc.o"
+  "CMakeFiles/lakefed_common.dir/string_util.cc.o.d"
+  "liblakefed_common.a"
+  "liblakefed_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakefed_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

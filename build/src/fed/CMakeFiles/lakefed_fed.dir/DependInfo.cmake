@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fed/decomposer.cc" "src/fed/CMakeFiles/lakefed_fed.dir/decomposer.cc.o" "gcc" "src/fed/CMakeFiles/lakefed_fed.dir/decomposer.cc.o.d"
+  "/root/repo/src/fed/engine.cc" "src/fed/CMakeFiles/lakefed_fed.dir/engine.cc.o" "gcc" "src/fed/CMakeFiles/lakefed_fed.dir/engine.cc.o.d"
+  "/root/repo/src/fed/executor.cc" "src/fed/CMakeFiles/lakefed_fed.dir/executor.cc.o" "gcc" "src/fed/CMakeFiles/lakefed_fed.dir/executor.cc.o.d"
+  "/root/repo/src/fed/options.cc" "src/fed/CMakeFiles/lakefed_fed.dir/options.cc.o" "gcc" "src/fed/CMakeFiles/lakefed_fed.dir/options.cc.o.d"
+  "/root/repo/src/fed/plan.cc" "src/fed/CMakeFiles/lakefed_fed.dir/plan.cc.o" "gcc" "src/fed/CMakeFiles/lakefed_fed.dir/plan.cc.o.d"
+  "/root/repo/src/fed/planner.cc" "src/fed/CMakeFiles/lakefed_fed.dir/planner.cc.o" "gcc" "src/fed/CMakeFiles/lakefed_fed.dir/planner.cc.o.d"
+  "/root/repo/src/fed/subquery.cc" "src/fed/CMakeFiles/lakefed_fed.dir/subquery.cc.o" "gcc" "src/fed/CMakeFiles/lakefed_fed.dir/subquery.cc.o.d"
+  "/root/repo/src/fed/trace.cc" "src/fed/CMakeFiles/lakefed_fed.dir/trace.cc.o" "gcc" "src/fed/CMakeFiles/lakefed_fed.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lakefed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lakefed_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/lakefed_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/lakefed_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/lakefed_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/lakefed_rel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakefed_fed.dir/decomposer.cc.o"
+  "CMakeFiles/lakefed_fed.dir/decomposer.cc.o.d"
+  "CMakeFiles/lakefed_fed.dir/engine.cc.o"
+  "CMakeFiles/lakefed_fed.dir/engine.cc.o.d"
+  "CMakeFiles/lakefed_fed.dir/executor.cc.o"
+  "CMakeFiles/lakefed_fed.dir/executor.cc.o.d"
+  "CMakeFiles/lakefed_fed.dir/options.cc.o"
+  "CMakeFiles/lakefed_fed.dir/options.cc.o.d"
+  "CMakeFiles/lakefed_fed.dir/plan.cc.o"
+  "CMakeFiles/lakefed_fed.dir/plan.cc.o.d"
+  "CMakeFiles/lakefed_fed.dir/planner.cc.o"
+  "CMakeFiles/lakefed_fed.dir/planner.cc.o.d"
+  "CMakeFiles/lakefed_fed.dir/subquery.cc.o"
+  "CMakeFiles/lakefed_fed.dir/subquery.cc.o.d"
+  "CMakeFiles/lakefed_fed.dir/trace.cc.o"
+  "CMakeFiles/lakefed_fed.dir/trace.cc.o.d"
+  "liblakefed_fed.a"
+  "liblakefed_fed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakefed_fed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

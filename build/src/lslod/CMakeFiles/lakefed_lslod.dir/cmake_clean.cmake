@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakefed_lslod.dir/export.cc.o"
+  "CMakeFiles/lakefed_lslod.dir/export.cc.o.d"
+  "CMakeFiles/lakefed_lslod.dir/generator.cc.o"
+  "CMakeFiles/lakefed_lslod.dir/generator.cc.o.d"
+  "CMakeFiles/lakefed_lslod.dir/queries.cc.o"
+  "CMakeFiles/lakefed_lslod.dir/queries.cc.o.d"
+  "liblakefed_lslod.a"
+  "liblakefed_lslod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakefed_lslod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

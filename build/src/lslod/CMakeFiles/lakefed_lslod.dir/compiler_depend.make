@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lakefed_lslod.
+# This may be replaced when dependencies are built.

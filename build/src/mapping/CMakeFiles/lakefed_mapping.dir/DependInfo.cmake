@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/materialize.cc" "src/mapping/CMakeFiles/lakefed_mapping.dir/materialize.cc.o" "gcc" "src/mapping/CMakeFiles/lakefed_mapping.dir/materialize.cc.o.d"
+  "/root/repo/src/mapping/rdf_mt.cc" "src/mapping/CMakeFiles/lakefed_mapping.dir/rdf_mt.cc.o" "gcc" "src/mapping/CMakeFiles/lakefed_mapping.dir/rdf_mt.cc.o.d"
+  "/root/repo/src/mapping/relational_mapping.cc" "src/mapping/CMakeFiles/lakefed_mapping.dir/relational_mapping.cc.o" "gcc" "src/mapping/CMakeFiles/lakefed_mapping.dir/relational_mapping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lakefed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/lakefed_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/lakefed_rel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakefed_mapping.dir/materialize.cc.o"
+  "CMakeFiles/lakefed_mapping.dir/materialize.cc.o.d"
+  "CMakeFiles/lakefed_mapping.dir/rdf_mt.cc.o"
+  "CMakeFiles/lakefed_mapping.dir/rdf_mt.cc.o.d"
+  "CMakeFiles/lakefed_mapping.dir/relational_mapping.cc.o"
+  "CMakeFiles/lakefed_mapping.dir/relational_mapping.cc.o.d"
+  "liblakefed_mapping.a"
+  "liblakefed_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakefed_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

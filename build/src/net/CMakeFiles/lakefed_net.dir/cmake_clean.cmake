@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakefed_net.dir/network.cc.o"
+  "CMakeFiles/lakefed_net.dir/network.cc.o.d"
+  "liblakefed_net.a"
+  "liblakefed_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakefed_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

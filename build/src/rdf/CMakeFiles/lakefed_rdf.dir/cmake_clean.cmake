@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakefed_rdf.dir/bgp.cc.o"
+  "CMakeFiles/lakefed_rdf.dir/bgp.cc.o.d"
+  "CMakeFiles/lakefed_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/lakefed_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/lakefed_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/lakefed_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/lakefed_rdf.dir/term.cc.o"
+  "CMakeFiles/lakefed_rdf.dir/term.cc.o.d"
+  "CMakeFiles/lakefed_rdf.dir/triple_store.cc.o"
+  "CMakeFiles/lakefed_rdf.dir/triple_store.cc.o.d"
+  "liblakefed_rdf.a"
+  "liblakefed_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakefed_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rel/advisor.cc" "src/rel/CMakeFiles/lakefed_rel.dir/advisor.cc.o" "gcc" "src/rel/CMakeFiles/lakefed_rel.dir/advisor.cc.o.d"
+  "/root/repo/src/rel/btree.cc" "src/rel/CMakeFiles/lakefed_rel.dir/btree.cc.o" "gcc" "src/rel/CMakeFiles/lakefed_rel.dir/btree.cc.o.d"
+  "/root/repo/src/rel/catalog.cc" "src/rel/CMakeFiles/lakefed_rel.dir/catalog.cc.o" "gcc" "src/rel/CMakeFiles/lakefed_rel.dir/catalog.cc.o.d"
+  "/root/repo/src/rel/csv.cc" "src/rel/CMakeFiles/lakefed_rel.dir/csv.cc.o" "gcc" "src/rel/CMakeFiles/lakefed_rel.dir/csv.cc.o.d"
+  "/root/repo/src/rel/database.cc" "src/rel/CMakeFiles/lakefed_rel.dir/database.cc.o" "gcc" "src/rel/CMakeFiles/lakefed_rel.dir/database.cc.o.d"
+  "/root/repo/src/rel/executor.cc" "src/rel/CMakeFiles/lakefed_rel.dir/executor.cc.o" "gcc" "src/rel/CMakeFiles/lakefed_rel.dir/executor.cc.o.d"
+  "/root/repo/src/rel/expr.cc" "src/rel/CMakeFiles/lakefed_rel.dir/expr.cc.o" "gcc" "src/rel/CMakeFiles/lakefed_rel.dir/expr.cc.o.d"
+  "/root/repo/src/rel/planner.cc" "src/rel/CMakeFiles/lakefed_rel.dir/planner.cc.o" "gcc" "src/rel/CMakeFiles/lakefed_rel.dir/planner.cc.o.d"
+  "/root/repo/src/rel/schema.cc" "src/rel/CMakeFiles/lakefed_rel.dir/schema.cc.o" "gcc" "src/rel/CMakeFiles/lakefed_rel.dir/schema.cc.o.d"
+  "/root/repo/src/rel/sql_ast.cc" "src/rel/CMakeFiles/lakefed_rel.dir/sql_ast.cc.o" "gcc" "src/rel/CMakeFiles/lakefed_rel.dir/sql_ast.cc.o.d"
+  "/root/repo/src/rel/sql_lexer.cc" "src/rel/CMakeFiles/lakefed_rel.dir/sql_lexer.cc.o" "gcc" "src/rel/CMakeFiles/lakefed_rel.dir/sql_lexer.cc.o.d"
+  "/root/repo/src/rel/sql_parser.cc" "src/rel/CMakeFiles/lakefed_rel.dir/sql_parser.cc.o" "gcc" "src/rel/CMakeFiles/lakefed_rel.dir/sql_parser.cc.o.d"
+  "/root/repo/src/rel/table.cc" "src/rel/CMakeFiles/lakefed_rel.dir/table.cc.o" "gcc" "src/rel/CMakeFiles/lakefed_rel.dir/table.cc.o.d"
+  "/root/repo/src/rel/value.cc" "src/rel/CMakeFiles/lakefed_rel.dir/value.cc.o" "gcc" "src/rel/CMakeFiles/lakefed_rel.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lakefed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakefed_rel.dir/advisor.cc.o"
+  "CMakeFiles/lakefed_rel.dir/advisor.cc.o.d"
+  "CMakeFiles/lakefed_rel.dir/btree.cc.o"
+  "CMakeFiles/lakefed_rel.dir/btree.cc.o.d"
+  "CMakeFiles/lakefed_rel.dir/catalog.cc.o"
+  "CMakeFiles/lakefed_rel.dir/catalog.cc.o.d"
+  "CMakeFiles/lakefed_rel.dir/csv.cc.o"
+  "CMakeFiles/lakefed_rel.dir/csv.cc.o.d"
+  "CMakeFiles/lakefed_rel.dir/database.cc.o"
+  "CMakeFiles/lakefed_rel.dir/database.cc.o.d"
+  "CMakeFiles/lakefed_rel.dir/executor.cc.o"
+  "CMakeFiles/lakefed_rel.dir/executor.cc.o.d"
+  "CMakeFiles/lakefed_rel.dir/expr.cc.o"
+  "CMakeFiles/lakefed_rel.dir/expr.cc.o.d"
+  "CMakeFiles/lakefed_rel.dir/planner.cc.o"
+  "CMakeFiles/lakefed_rel.dir/planner.cc.o.d"
+  "CMakeFiles/lakefed_rel.dir/schema.cc.o"
+  "CMakeFiles/lakefed_rel.dir/schema.cc.o.d"
+  "CMakeFiles/lakefed_rel.dir/sql_ast.cc.o"
+  "CMakeFiles/lakefed_rel.dir/sql_ast.cc.o.d"
+  "CMakeFiles/lakefed_rel.dir/sql_lexer.cc.o"
+  "CMakeFiles/lakefed_rel.dir/sql_lexer.cc.o.d"
+  "CMakeFiles/lakefed_rel.dir/sql_parser.cc.o"
+  "CMakeFiles/lakefed_rel.dir/sql_parser.cc.o.d"
+  "CMakeFiles/lakefed_rel.dir/table.cc.o"
+  "CMakeFiles/lakefed_rel.dir/table.cc.o.d"
+  "CMakeFiles/lakefed_rel.dir/value.cc.o"
+  "CMakeFiles/lakefed_rel.dir/value.cc.o.d"
+  "liblakefed_rel.a"
+  "liblakefed_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakefed_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblakefed_rel.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakefed_sparql.dir/aggregate.cc.o"
+  "CMakeFiles/lakefed_sparql.dir/aggregate.cc.o.d"
+  "CMakeFiles/lakefed_sparql.dir/ast.cc.o"
+  "CMakeFiles/lakefed_sparql.dir/ast.cc.o.d"
+  "CMakeFiles/lakefed_sparql.dir/eval.cc.o"
+  "CMakeFiles/lakefed_sparql.dir/eval.cc.o.d"
+  "CMakeFiles/lakefed_sparql.dir/filter_expr.cc.o"
+  "CMakeFiles/lakefed_sparql.dir/filter_expr.cc.o.d"
+  "CMakeFiles/lakefed_sparql.dir/lexer.cc.o"
+  "CMakeFiles/lakefed_sparql.dir/lexer.cc.o.d"
+  "CMakeFiles/lakefed_sparql.dir/parser.cc.o"
+  "CMakeFiles/lakefed_sparql.dir/parser.cc.o.d"
+  "liblakefed_sparql.a"
+  "liblakefed_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakefed_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

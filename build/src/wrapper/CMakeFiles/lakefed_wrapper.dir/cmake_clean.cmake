@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lakefed_wrapper.dir/rdf_wrapper.cc.o"
+  "CMakeFiles/lakefed_wrapper.dir/rdf_wrapper.cc.o.d"
+  "CMakeFiles/lakefed_wrapper.dir/sql_wrapper.cc.o"
+  "CMakeFiles/lakefed_wrapper.dir/sql_wrapper.cc.o.d"
+  "liblakefed_wrapper.a"
+  "liblakefed_wrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lakefed_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

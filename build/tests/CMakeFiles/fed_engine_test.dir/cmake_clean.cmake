@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fed_engine_test.dir/fed_engine_test.cc.o"
+  "CMakeFiles/fed_engine_test.dir/fed_engine_test.cc.o.d"
+  "fed_engine_test"
+  "fed_engine_test.pdb"
+  "fed_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fed_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fed_extensions_test.dir/fed_extensions_test.cc.o"
+  "CMakeFiles/fed_extensions_test.dir/fed_extensions_test.cc.o.d"
+  "fed_extensions_test"
+  "fed_extensions_test.pdb"
+  "fed_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fed_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fed_planner_test.dir/fed_planner_test.cc.o"
+  "CMakeFiles/fed_planner_test.dir/fed_planner_test.cc.o.d"
+  "fed_planner_test"
+  "fed_planner_test.pdb"
+  "fed_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fed_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fed_robustness_test.dir/fed_robustness_test.cc.o"
+  "CMakeFiles/fed_robustness_test.dir/fed_robustness_test.cc.o.d"
+  "fed_robustness_test"
+  "fed_robustness_test.pdb"
+  "fed_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fed_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

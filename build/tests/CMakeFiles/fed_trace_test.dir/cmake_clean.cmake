@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fed_trace_test.dir/fed_trace_test.cc.o"
+  "CMakeFiles/fed_trace_test.dir/fed_trace_test.cc.o.d"
+  "fed_trace_test"
+  "fed_trace_test.pdb"
+  "fed_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fed_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

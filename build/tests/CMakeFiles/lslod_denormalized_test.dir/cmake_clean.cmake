@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lslod_denormalized_test.dir/lslod_denormalized_test.cc.o"
+  "CMakeFiles/lslod_denormalized_test.dir/lslod_denormalized_test.cc.o.d"
+  "lslod_denormalized_test"
+  "lslod_denormalized_test.pdb"
+  "lslod_denormalized_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lslod_denormalized_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lslod_export_test.dir/lslod_export_test.cc.o"
+  "CMakeFiles/lslod_export_test.dir/lslod_export_test.cc.o.d"
+  "lslod_export_test"
+  "lslod_export_test.pdb"
+  "lslod_export_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lslod_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdf_triple_store_test.dir/rdf_triple_store_test.cc.o"
+  "CMakeFiles/rdf_triple_store_test.dir/rdf_triple_store_test.cc.o.d"
+  "rdf_triple_store_test"
+  "rdf_triple_store_test.pdb"
+  "rdf_triple_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdf_triple_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

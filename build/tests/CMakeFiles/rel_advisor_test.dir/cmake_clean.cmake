@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_advisor_test.dir/rel_advisor_test.cc.o"
+  "CMakeFiles/rel_advisor_test.dir/rel_advisor_test.cc.o.d"
+  "rel_advisor_test"
+  "rel_advisor_test.pdb"
+  "rel_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

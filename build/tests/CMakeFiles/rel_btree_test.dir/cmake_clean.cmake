@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_btree_test.dir/rel_btree_test.cc.o"
+  "CMakeFiles/rel_btree_test.dir/rel_btree_test.cc.o.d"
+  "rel_btree_test"
+  "rel_btree_test.pdb"
+  "rel_btree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_csv_test.dir/rel_csv_test.cc.o"
+  "CMakeFiles/rel_csv_test.dir/rel_csv_test.cc.o.d"
+  "rel_csv_test"
+  "rel_csv_test.pdb"
+  "rel_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

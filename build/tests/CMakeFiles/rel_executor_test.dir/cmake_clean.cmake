@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_executor_test.dir/rel_executor_test.cc.o"
+  "CMakeFiles/rel_executor_test.dir/rel_executor_test.cc.o.d"
+  "rel_executor_test"
+  "rel_executor_test.pdb"
+  "rel_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_expr_test.dir/rel_expr_test.cc.o"
+  "CMakeFiles/rel_expr_test.dir/rel_expr_test.cc.o.d"
+  "rel_expr_test"
+  "rel_expr_test.pdb"
+  "rel_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

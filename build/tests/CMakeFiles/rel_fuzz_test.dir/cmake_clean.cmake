@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_fuzz_test.dir/rel_fuzz_test.cc.o"
+  "CMakeFiles/rel_fuzz_test.dir/rel_fuzz_test.cc.o.d"
+  "rel_fuzz_test"
+  "rel_fuzz_test.pdb"
+  "rel_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_planner_test.dir/rel_planner_test.cc.o"
+  "CMakeFiles/rel_planner_test.dir/rel_planner_test.cc.o.d"
+  "rel_planner_test"
+  "rel_planner_test.pdb"
+  "rel_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_sql_parser_test.dir/rel_sql_parser_test.cc.o"
+  "CMakeFiles/rel_sql_parser_test.dir/rel_sql_parser_test.cc.o.d"
+  "rel_sql_parser_test"
+  "rel_sql_parser_test.pdb"
+  "rel_sql_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_sql_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

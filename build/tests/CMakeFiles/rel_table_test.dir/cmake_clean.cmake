@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_table_test.dir/rel_table_test.cc.o"
+  "CMakeFiles/rel_table_test.dir/rel_table_test.cc.o.d"
+  "rel_table_test"
+  "rel_table_test.pdb"
+  "rel_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

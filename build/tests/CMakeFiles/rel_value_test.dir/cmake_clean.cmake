@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rel_value_test.dir/rel_value_test.cc.o"
+  "CMakeFiles/rel_value_test.dir/rel_value_test.cc.o.d"
+  "rel_value_test"
+  "rel_value_test.pdb"
+  "rel_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rel_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

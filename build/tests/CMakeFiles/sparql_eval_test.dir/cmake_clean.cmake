@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_eval_test.dir/sparql_eval_test.cc.o"
+  "CMakeFiles/sparql_eval_test.dir/sparql_eval_test.cc.o.d"
+  "sparql_eval_test"
+  "sparql_eval_test.pdb"
+  "sparql_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_filter_test.dir/sparql_filter_test.cc.o"
+  "CMakeFiles/sparql_filter_test.dir/sparql_filter_test.cc.o.d"
+  "sparql_filter_test"
+  "sparql_filter_test.pdb"
+  "sparql_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

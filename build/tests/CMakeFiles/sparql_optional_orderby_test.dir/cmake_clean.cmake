@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_optional_orderby_test.dir/sparql_optional_orderby_test.cc.o"
+  "CMakeFiles/sparql_optional_orderby_test.dir/sparql_optional_orderby_test.cc.o.d"
+  "sparql_optional_orderby_test"
+  "sparql_optional_orderby_test.pdb"
+  "sparql_optional_orderby_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_optional_orderby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

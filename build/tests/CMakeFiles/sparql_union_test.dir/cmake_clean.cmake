@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_union_test.dir/sparql_union_test.cc.o"
+  "CMakeFiles/sparql_union_test.dir/sparql_union_test.cc.o.d"
+  "sparql_union_test"
+  "sparql_union_test.pdb"
+  "sparql_union_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_union_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrapper_rdf_test.dir/wrapper_rdf_test.cc.o"
+  "CMakeFiles/wrapper_rdf_test.dir/wrapper_rdf_test.cc.o.d"
+  "wrapper_rdf_test"
+  "wrapper_rdf_test.pdb"
+  "wrapper_rdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrapper_rdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

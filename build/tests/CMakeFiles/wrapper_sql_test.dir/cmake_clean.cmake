@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrapper_sql_test.dir/wrapper_sql_test.cc.o"
+  "CMakeFiles/wrapper_sql_test.dir/wrapper_sql_test.cc.o.d"
+  "wrapper_sql_test"
+  "wrapper_sql_test.pdb"
+  "wrapper_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrapper_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
