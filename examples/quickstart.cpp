@@ -3,6 +3,7 @@
 //
 //   $ ./examples/quickstart
 
+#include <chrono>
 #include <cstdio>
 
 #include "fed/engine.h"
@@ -47,25 +48,47 @@ SELECT ?name ?effect WHERE {
   }
   std::printf("\n-- query execution plan --\n%s", plan->Explain().c_str());
 
-  // 4. Execute and print answers as they were produced over time.
+  // 4. Open a streaming session and print answers as they arrive. A
+  //    deadline guards the whole query: past it, the stream terminates
+  //    with kDeadlineExceeded and every source scan is torn down.
+  fed::QueryRequest request = fed::QueryRequest::Text(query, options);
+  request.timeout = std::chrono::seconds(30);
+  auto stream = engine.CreateSession(std::move(request));
+  if (!stream.ok()) {
+    std::fprintf(stderr, "session error: %s\n",
+                 stream.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n-- answers (streaming) --\n");
+  rdf::Binding row;
+  size_t rows = 0;
+  while ((*stream)->Next(&row)) {
+    std::printf("  [%5.3fs] %s -> %s\n",
+                (*stream)->trace().timestamps[rows++],
+                row.at("name").value().c_str(),
+                row.at("effect").value().c_str());
+  }
+  Status status = (*stream)->Finish();
+  if (!status.ok()) {
+    std::fprintf(stderr, "execution error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const fed::AnswerTrace& trace = (*stream)->trace();
+  std::printf("\n%zu answers in %.3fs (first after %.3fs)\n", rows,
+              trace.completion_seconds, trace.TimeToFirst());
+  std::printf("rows shipped from sources: %llu (simulated delay %.1f ms)\n",
+              static_cast<unsigned long long>(
+                  (*stream)->stats().messages_transferred),
+              (*stream)->stats().network_delay_ms);
+
+  // 5. The classic blocking call is still there — it is a shim over a
+  //    drained session and returns the materialized QueryAnswer.
   auto answer = engine.Execute(query, options);
   if (!answer.ok()) {
     std::fprintf(stderr, "execution error: %s\n",
                  answer.status().ToString().c_str());
     return 1;
   }
-  std::printf("\n-- answers (%zu, %.3fs total, first after %.3fs) --\n",
-              answer->rows.size(), answer->trace.completion_seconds,
-              answer->trace.TimeToFirst());
-  for (size_t i = 0; i < answer->rows.size(); ++i) {
-    const rdf::Binding& row = answer->rows[i];
-    std::printf("  [%5.3fs] %s -> %s\n", answer->trace.timestamps[i],
-                row.at("name").value().c_str(),
-                row.at("effect").value().c_str());
-  }
-  std::printf("\nrows shipped from sources: %llu (simulated delay %.1f ms)\n",
-              static_cast<unsigned long long>(
-                  answer->stats.messages_transferred),
-              answer->stats.network_delay_ms);
+  std::printf("blocking shim agrees: %zu answers\n", answer->rows.size());
   return 0;
 }

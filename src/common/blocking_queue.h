@@ -7,6 +7,16 @@
 //  * Pop blocks while the queue is empty and not closed.
 //  * Close() wakes all waiters; after close, Push is rejected and Pop drains
 //    remaining items, then reports exhaustion.
+//
+// The token-aware overloads additionally observe a CancellationToken:
+//  * Push(item, token) returns false and Pop(token) returns nullopt as soon
+//    as the token is cancelled — Pop does NOT drain remaining items, so a
+//    cancelled dataflow tears down promptly.
+//  * A token deadline bounds every wait, so a thread blocked on a full or
+//    empty queue notices the expiry without outside help.
+//  * Explicit Cancel() does not signal the queue's own condition variables;
+//    the session wires `token.OnCancel([q] { q->Close(); })` for each queue
+//    so blocked waiters wake immediately (closing is idempotent).
 
 #ifndef LAKEFED_COMMON_BLOCKING_QUEUE_H_
 #define LAKEFED_COMMON_BLOCKING_QUEUE_H_
@@ -18,6 +28,8 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/cancellation.h"
 
 namespace lakefed {
 
@@ -63,6 +75,48 @@ class BlockingQueue {
     return item;
   }
 
+  // Token-aware Push: additionally gives up (returning false) once `token`
+  // is cancelled or its deadline passes. The token check runs outside the
+  // queue lock — a cancellation callback may close this very queue.
+  bool Push(T item, const CancellationToken& token) {
+    for (;;) {
+      if (token.IsCancelled()) return false;
+      std::unique_lock<std::mutex> lock(mu_);
+      if (closed_) return false;
+      if (items_.size() < capacity_) {
+        items_.push_back(std::move(item));
+        lock.unlock();
+        if (push_counter_ != nullptr) {
+          push_counter_->fetch_add(1, std::memory_order_relaxed);
+        }
+        not_empty_.notify_one();
+        return true;
+      }
+      WaitFor(not_full_, lock, token,
+              [&] { return closed_ || items_.size() < capacity_; });
+    }
+  }
+
+  // Token-aware Pop: returns nullopt as soon as `token` is cancelled, even
+  // if items remain (teardown must not drain), and wakes at the token's
+  // deadline while blocked on an empty queue.
+  std::optional<T> Pop(const CancellationToken& token) {
+    for (;;) {
+      if (token.IsCancelled()) return std::nullopt;
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!items_.empty()) {
+        T item = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return item;
+      }
+      if (closed_) return std::nullopt;
+      WaitFor(not_empty_, lock, token,
+              [&] { return closed_ || !items_.empty(); });
+    }
+  }
+
   // Non-blocking pop; nullopt if currently empty (regardless of closed state).
   std::optional<T> TryPop() {
     std::unique_lock<std::mutex> lock(mu_);
@@ -102,6 +156,21 @@ class BlockingQueue {
   }
 
  private:
+  // One bounded wait: until the predicate holds, the token's deadline
+  // passes, or (via the OnCancel queue-closing callback) a cancellation
+  // closes the queue. Callers loop and re-check the token.
+  template <typename Pred>
+  static void WaitFor(std::condition_variable& cv,
+                      std::unique_lock<std::mutex>& lock,
+                      const CancellationToken& token, Pred pred) {
+    auto deadline = token.deadline();
+    if (deadline.has_value()) {
+      cv.wait_until(lock, *deadline, pred);
+    } else {
+      cv.wait(lock, pred);
+    }
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;

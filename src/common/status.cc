@@ -13,6 +13,7 @@ std::string StatusCodeToString(StatusCode code) {
     case StatusCode::kNotImplemented: return "Not implemented";
     case StatusCode::kInternal: return "Internal error";
     case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kDeadlineExceeded: return "Deadline exceeded";
     case StatusCode::kTypeError: return "Type error";
     case StatusCode::kIoError: return "IO error";
   }

@@ -25,6 +25,7 @@ enum class StatusCode {
   kNotImplemented,
   kInternal,
   kCancelled,
+  kDeadlineExceeded,
   kTypeError,
   kIoError,
 };
@@ -69,6 +70,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
   }
@@ -88,6 +92,9 @@ class Status {
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
 

@@ -1,16 +1,16 @@
 #include "fed/engine.h"
 
-#include <algorithm>
-#include <set>
-
-#include "sparql/aggregate.h"
-#include "sparql/filter_expr.h"
 #include "sparql/parser.h"
 
 namespace lakefed::fed {
 
 Status FederatedEngine::RegisterSource(
     std::unique_ptr<SourceWrapper> wrapper) {
+  if (sealed()) {
+    return Status::InvalidArgument(
+        "engine is sealed: sources cannot be registered once a session has "
+        "been created");
+  }
   const std::string& id = wrapper->id();
   if (owned_.count(id) > 0) {
     return Status::AlreadyExists("source '" + id + "' already registered");
@@ -47,182 +47,39 @@ Result<FederatedPlan> FederatedEngine::Plan(const std::string& sparql,
   return plan;
 }
 
+Result<std::unique_ptr<ResultStream>> FederatedEngine::CreateSession(
+    QueryRequest request) const {
+  LAKEFED_RETURN_NOT_OK(request.options.Validate());
+  Seal();
+  sparql::SelectQuery query;
+  if (request.parsed.has_value()) {
+    query = std::move(*request.parsed);
+  } else {
+    LAKEFED_ASSIGN_OR_RETURN(query, sparql::ParseSparql(request.query));
+  }
+  CancellationToken token =
+      request.timeout.has_value()
+          ? CancellationToken::WithDeadline(CancellationToken::Clock::now() +
+                                            *request.timeout)
+          : CancellationToken::Cancellable();
+  return ResultStream::Create(catalog_, wrappers_, std::move(query),
+                              std::move(request.options), std::move(token));
+}
+
 Result<QueryAnswer> FederatedEngine::Execute(const std::string& sparql,
                                              const PlanOptions& options)
     const {
-  LAKEFED_ASSIGN_OR_RETURN(sparql::SelectQuery query,
-                           sparql::ParseSparql(sparql));
-  return ExecuteParsed(query, options);
+  LAKEFED_ASSIGN_OR_RETURN(std::unique_ptr<ResultStream> stream,
+                           CreateSession(QueryRequest::Text(sparql, options)));
+  return stream->Drain();
 }
 
 Result<QueryAnswer> FederatedEngine::ExecuteParsed(
-    const sparql::SelectQuery& original, const PlanOptions& options) const {
-  // Aggregates always run at the mediator: execute the aggregate-free inner
-  // query federated, then group the merged solutions here.
-  if (original.HasAggregates()) {
-    sparql::SelectQuery inner = original;
-    inner.aggregates.clear();
-    inner.group_by.clear();
-    inner.order_by.clear();
-    inner.limit.reset();
-    inner.distinct = false;
-    inner.select_all = false;
-    bool count_star = false;
-    std::set<std::string> needed(original.group_by.begin(),
-                                 original.group_by.end());
-    for (const sparql::SelectAggregate& agg : original.aggregates) {
-      if (agg.var.empty()) {
-        count_star = true;
-      } else {
-        needed.insert(agg.var);
-      }
-    }
-    inner.variables =
-        count_star ? original.PatternVariables()
-                   : std::vector<std::string>(needed.begin(), needed.end());
-    if (inner.variables.empty()) {
-      inner.variables = original.PatternVariables();
-    }
-    LAKEFED_ASSIGN_OR_RETURN(QueryAnswer base,
-                             ExecuteParsed(inner, options));
-    QueryAnswer answer;
-    answer.variables = original.EffectiveProjection();
-    answer.plan_text = base.plan_text + "-> EngineAggregate (GROUP BY at "
-                                        "the mediator)\n";
-    answer.stats = base.stats;
-    answer.operator_rows = std::move(base.operator_rows);
-    std::vector<rdf::Binding> aggregated = sparql::AggregateSolutions(
-        base.rows, original.group_by, original.aggregates);
-    sparql::SortBindings(&aggregated, original.order_by);
-    if (original.distinct) {
-      std::set<std::string> seen;
-      std::vector<rdf::Binding> rows;
-      for (rdf::Binding& row : aggregated) {
-        std::string key;
-        for (const std::string& var : answer.variables) {
-          auto it = row.find(var);
-          key += it == row.end() ? std::string("~") : it->second.ToString();
-          key.push_back('\x01');
-        }
-        if (seen.insert(key).second) rows.push_back(std::move(row));
-      }
-      aggregated = std::move(rows);
-    }
-    if (original.limit.has_value() &&
-        aggregated.size() > static_cast<size_t>(*original.limit)) {
-      aggregated.resize(static_cast<size_t>(*original.limit));
-    }
-    answer.rows = std::move(aggregated);
-    // Aggregation is blocking: all answers materialize at completion time.
-    answer.trace.completion_seconds = base.trace.completion_seconds;
-    answer.trace.timestamps.assign(answer.rows.size(),
-                                   base.trace.completion_seconds);
-    answer.operator_rows.emplace_back("EngineAggregate",
-                                      answer.rows.size());
-    return answer;
-  }
-
-  const sparql::SelectQuery& query = original;
-  std::vector<sparql::SelectQuery> branches = sparql::ExpandUnions(query);
-  if (branches.size() == 1) {
-    LAKEFED_ASSIGN_OR_RETURN(
-        FederatedPlan plan,
-        BuildPlan(branches.front(), catalog_, wrappers_, options));
-    return ExecutePlan(plan, wrappers_, options);
-  }
-
-  // UNION: execute every branch combination and merge (bag union), then
-  // apply ORDER BY / DISTINCT / LIMIT over the merged rows at the engine.
-  QueryAnswer merged;
-  merged.variables = query.EffectiveProjection();
-  // Branches additionally project ORDER BY variables so the merged sort can
-  // see them; they are stripped again after sorting.
-  std::vector<std::string> extended = merged.variables;
-  for (const sparql::OrderCondition& cond : query.order_by) {
-    if (std::find(extended.begin(), extended.end(), cond.variable) ==
-        extended.end()) {
-      extended.push_back(cond.variable);
-    }
-  }
-  double offset = 0;
-  for (sparql::SelectQuery& branch : branches) {
-    branch.variables = extended;
-    LAKEFED_ASSIGN_OR_RETURN(
-        FederatedPlan plan, BuildPlan(branch, catalog_, wrappers_, options));
-    LAKEFED_ASSIGN_OR_RETURN(QueryAnswer part,
-                             ExecutePlan(plan, wrappers_, options));
-    merged.plan_text += plan.Explain();
-    for (size_t i = 0; i < part.rows.size(); ++i) {
-      merged.trace.timestamps.push_back(offset + part.trace.timestamps[i]);
-      merged.rows.push_back(std::move(part.rows[i]));
-    }
-    offset += part.trace.completion_seconds;
-    merged.stats.messages_transferred += part.stats.messages_transferred;
-    merged.stats.network_delay_ms += part.stats.network_delay_ms;
-    merged.stats.source_rows += part.stats.source_rows;
-    merged.operator_rows.insert(merged.operator_rows.end(),
-                                part.operator_rows.begin(),
-                                part.operator_rows.end());
-  }
-  merged.trace.completion_seconds = offset;
-
-  if (!query.order_by.empty()) {
-    // Pair rows with timestamps so the trace stays aligned after sorting.
-    std::vector<size_t> order(merged.rows.size());
-    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-    std::stable_sort(
-        order.begin(), order.end(), [&](size_t ia, size_t ib) {
-          const rdf::Binding& a = merged.rows[ia];
-          const rdf::Binding& b = merged.rows[ib];
-          for (const sparql::OrderCondition& cond : query.order_by) {
-            auto ita = a.find(cond.variable);
-            auto itb = b.find(cond.variable);
-            bool ba = ita != a.end(), bb = itb != b.end();
-            int c;
-            if (!ba && !bb) {
-              c = 0;
-            } else if (ba != bb) {
-              c = ba ? 1 : -1;
-            } else {
-              c = sparql::CompareTermsSparql(ita->second, itb->second);
-            }
-            if (c != 0) return cond.ascending ? c < 0 : c > 0;
-          }
-          return false;
-        });
-    std::vector<rdf::Binding> rows;
-    rows.reserve(order.size());
-    for (size_t idx : order) rows.push_back(std::move(merged.rows[idx]));
-    merged.rows = std::move(rows);
-  }
-  if (query.distinct) {
-    std::set<std::string> seen;
-    std::vector<rdf::Binding> rows;
-    for (rdf::Binding& row : merged.rows) {
-      std::string key;
-      for (const std::string& var : merged.variables) {
-        auto it = row.find(var);
-        key += it == row.end() ? std::string("~") : it->second.ToString();
-        key.push_back('\x01');
-      }
-      if (seen.insert(key).second) rows.push_back(std::move(row));
-    }
-    merged.rows = std::move(rows);
-  }
-  if (query.limit.has_value() &&
-      merged.rows.size() > static_cast<size_t>(*query.limit)) {
-    merged.rows.resize(static_cast<size_t>(*query.limit));
-  }
-  // Strip the sort-only variables.
-  if (extended.size() > merged.variables.size()) {
-    for (rdf::Binding& row : merged.rows) {
-      for (size_t i = merged.variables.size(); i < extended.size(); ++i) {
-        row.erase(extended[i]);
-      }
-    }
-  }
-  merged.trace.timestamps.resize(merged.rows.size());
-  return merged;
+    const sparql::SelectQuery& query, const PlanOptions& options) const {
+  LAKEFED_ASSIGN_OR_RETURN(
+      std::unique_ptr<ResultStream> stream,
+      CreateSession(QueryRequest::Parsed(query, options)));
+  return stream->Drain();
 }
 
 }  // namespace lakefed::fed

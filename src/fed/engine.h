@@ -1,10 +1,29 @@
 // FederatedEngine: the public entry point of LakeFed — the role Ontario
 // plays in the paper. Register wrappers for the Data Lake's sources, then
-// execute SPARQL queries under a chosen plan mode and network profile.
+// run SPARQL queries under a chosen plan mode and network profile.
+//
+// The primary API is session-based: CreateSession(QueryRequest) returns a
+// ResultStream that yields solution mappings incrementally, supports
+// Cancel() from any thread and honours a per-query deadline. The classic
+// blocking calls (Execute / ExecuteParsed) remain as thin shims that create
+// a session and drain it.
+//
+// Plan vs Execute: Plan() is EXPLAIN — it builds the same QEP that a
+// session would run (for a UNION, the first branch combination) without
+// touching the sources. Execute/CreateSession re-plan internally; a plan
+// object is never handed back in, so options are the only execution knob.
+//
+// Concurrency: the engine seals its catalog at the first CreateSession (or
+// explicitly via Seal()) — afterwards RegisterSource fails and the catalog
+// and wrapper registry are immutable, so any number of sessions may run
+// concurrently against one engine. All per-query state lives in the
+// session. Wrappers must tolerate concurrent Execute calls (the bundled
+// ones do: their stores are read-only at query time).
 
 #ifndef LAKEFED_FED_ENGINE_H_
 #define LAKEFED_FED_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -15,6 +34,7 @@
 #include "fed/options.h"
 #include "fed/plan.h"
 #include "fed/planner.h"
+#include "fed/session.h"
 #include "fed/wrapper.h"
 #include "mapping/rdf_mt.h"
 
@@ -28,8 +48,13 @@ class FederatedEngine {
 
   // Registers a source; its molecule templates join the engine's RDF-MT
   // catalog (collected once, at registration — like Ontario's offline
-  // source-description step).
+  // source-description step). Fails once the engine is sealed.
   Status RegisterSource(std::unique_ptr<SourceWrapper> wrapper);
+
+  // Freezes the source registry/catalog, making the engine safe for
+  // concurrent sessions. Implicit in the first CreateSession; idempotent.
+  void Seal() const { sealed_.store(true, std::memory_order_release); }
+  bool sealed() const { return sealed_.load(std::memory_order_acquire); }
 
   size_t num_sources() const { return wrappers_.size(); }
   const mapping::RdfMtCatalog& catalog() const { return catalog_; }
@@ -39,13 +64,20 @@ class FederatedEngine {
   Result<FederatedPlan> Plan(const std::string& sparql,
                              const PlanOptions& options) const;
 
-  // Parses, plans and executes. UNION blocks execute one federated plan
-  // per branch combination; aggregates group the merged solutions at the
-  // mediator.
+  // Starts one streaming query session: validates request.options, parses
+  // request.query (unless request.parsed is given), plans, spawns the
+  // dataflow and hands back the live stream. Seals the engine.
+  Result<std::unique_ptr<ResultStream>> CreateSession(
+      QueryRequest request) const;
+
+  // Blocking shim: parses, plans, executes and materializes the full
+  // answer — equivalent to CreateSession + ResultStream::Drain. UNION
+  // blocks execute one federated plan per branch combination; aggregates
+  // group the merged solutions at the mediator.
   Result<QueryAnswer> Execute(const std::string& sparql,
                               const PlanOptions& options) const;
 
-  // Execute for an already-parsed query.
+  // Blocking shim for an already-parsed query.
   Result<QueryAnswer> ExecuteParsed(const sparql::SelectQuery& query,
                                     const PlanOptions& options) const;
 
@@ -53,6 +85,9 @@ class FederatedEngine {
   std::map<std::string, std::unique_ptr<SourceWrapper>> owned_;
   std::map<std::string, SourceWrapper*> wrappers_;
   mapping::RdfMtCatalog catalog_;
+  // Set on the first CreateSession; guards the registry against mutation
+  // while sessions run (Seal() is const so const engines can host sessions).
+  mutable std::atomic<bool> sealed_{false};
 };
 
 }  // namespace lakefed::fed

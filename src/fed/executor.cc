@@ -50,45 +50,76 @@ rdf::Binding MergeBindings(const rdf::Binding& a, const rdf::Binding& b) {
   return out;
 }
 
-// Runs one plan instance: builds the thread/queue dataflow and collects the
-// root output.
-class PlanRunner {
+}  // namespace
+
+// Builds the thread/queue dataflow of one plan instance and exposes its
+// root queue. Teardown is two-layered: the cancellation token closes every
+// queue as soon as it fires (waking blocked threads), and Finish() closes
+// them again defensively before joining, so abandoning a stream mid-way can
+// never leave a producer blocked on a full queue.
+class PlanExecution::Impl {
  public:
-  PlanRunner(const std::map<std::string, SourceWrapper*>& wrappers,
-             const PlanOptions& options)
-      : wrappers_(wrappers), options_(options) {}
+  Impl(const std::map<std::string, SourceWrapper*>& wrappers,
+       const PlanOptions& options, CancellationToken token)
+      : wrappers_(wrappers), options_(options), token_(std::move(token)) {}
 
-  Result<QueryAnswer> Run(const FederatedPlan& plan) {
-    QueryAnswer answer;
-    answer.variables = plan.variables;
-    answer.plan_text = plan.Explain();
+  ~Impl() { Finish(); }
 
-    Stopwatch stopwatch;
-    RowQueuePtr root = StartNode(*plan.root);
+  void Start(const FederatedPlan& plan) { root_ = StartNode(*plan.root); }
 
-    while (auto row = root->Pop()) {
-      answer.trace.timestamps.push_back(stopwatch.ElapsedSeconds());
-      answer.rows.push_back(std::move(*row));
-    }
-    answer.trace.completion_seconds = stopwatch.ElapsedSeconds();
+  std::optional<rdf::Binding> Next() {
+    if (root_ == nullptr || finished_) return std::nullopt;
+    return root_->Pop(token_);
+  }
 
+  Status Finish() {
+    if (finished_) return final_status_;
+    CloseAllQueues();
     for (std::thread& t : threads_) t.join();
+    threads_.clear();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!error_.ok()) return error_;
+      final_status_ = error_.ok() ? token_.ToStatus() : error_;
     }
     for (const auto& [source, channel] : channels_) {
-      answer.stats.messages_transferred += channel->messages_transferred();
-      answer.stats.network_delay_ms += channel->total_delay_ms();
+      stats_.messages_transferred += channel->messages_transferred();
+      stats_.network_delay_ms += channel->total_delay_ms();
     }
-    answer.stats.source_rows = answer.stats.messages_transferred;
+    stats_.source_rows = stats_.messages_transferred;
     for (const auto& [label, counter] : operator_counters_) {
-      answer.operator_rows.emplace_back(label, counter->load());
+      operator_rows_.emplace_back(label, counter->load());
     }
-    return answer;
+    finished_ = true;
+    return final_status_;
+  }
+
+  const ExecutionStats& stats() const { return stats_; }
+  const std::vector<std::pair<std::string, uint64_t>>& operator_rows() const {
+    return operator_rows_;
   }
 
  private:
+  // Registers a queue for teardown: closed when the token fires and again
+  // by Finish(). The closures capture the shared_ptr, keeping the queue
+  // alive for as long as the token may still invoke the callback.
+  template <typename Q>
+  void RegisterQueue(const std::shared_ptr<Q>& queue) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closers_.push_back([queue] { queue->Close(); });
+    }
+    token_.OnCancel([queue] { queue->Close(); });
+  }
+
+  void CloseAllQueues() {
+    std::vector<std::function<void()>> closers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closers = closers_;
+    }
+    for (const std::function<void()>& close : closers) close();
+  }
+
   net::DelayChannel* ChannelFor(const std::string& source_id) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = channels_.find(source_id);
@@ -131,6 +162,7 @@ class PlanRunner {
       std::lock_guard<std::mutex> lock(mu_);
       operator_counters_.emplace_back(std::move(label), std::move(counter));
     }
+    RegisterQueue(queue);
     return queue;
   }
 
@@ -164,8 +196,9 @@ class PlanRunner {
     SourceWrapper* w = *wrapper;
     net::DelayChannel* channel = ChannelFor(node.subquery.source_id);
     SubQuery subquery = node.subquery;
-    threads_.emplace_back([this, w, channel, subquery, out] {
-      Status st = w->Execute(subquery, channel, out.get());
+    CancellationToken token = token_;
+    threads_.emplace_back([this, w, channel, subquery, out, token] {
+      Status st = w->Execute(subquery, channel, out.get(), token);
       if (!st.ok()) RecordError(st);
       out->Close();
     });
@@ -184,10 +217,12 @@ class PlanRunner {
       rdf::Binding row;
     };
     auto merged = std::make_shared<BlockingQueue<Tagged>>(kQueueCapacity);
+    RegisterQueue(merged);
     auto active = std::make_shared<std::atomic<int>>(2);
-    auto forward = [merged, active](RowQueuePtr in, int side) {
-      while (auto row = in->Pop()) {
-        if (!merged->Push({side, std::move(*row)})) break;
+    CancellationToken token = token_;
+    auto forward = [merged, active, token](RowQueuePtr in, int side) {
+      while (auto row = in->Pop(token)) {
+        if (!merged->Push({side, std::move(*row)}, token)) break;
       }
       in->Close();
       if (active->fetch_sub(1) == 1) merged->Close();
@@ -196,9 +231,9 @@ class PlanRunner {
     threads_.emplace_back(forward, right, 1);
 
     std::vector<std::string> join_vars = node.join_vars;
-    threads_.emplace_back([merged, out, left, right, join_vars] {
+    threads_.emplace_back([merged, out, left, right, join_vars, token] {
       std::unordered_map<std::string, std::vector<rdf::Binding>> table[2];
-      while (auto tagged = merged->Pop()) {
+      while (auto tagged = merged->Pop(token)) {
         const int side = tagged->side;
         const rdf::Binding& row = tagged->row;
         if (!HasAllVars(row, join_vars)) continue;
@@ -210,7 +245,7 @@ class PlanRunner {
         for (const rdf::Binding& other : it->second) {
           rdf::Binding merged_row = side == 0 ? MergeBindings(row, other)
                                               : MergeBindings(other, row);
-          if (!out->Push(std::move(merged_row))) {
+          if (!out->Push(std::move(merged_row), token)) {
             cancelled = true;
             break;
           }
@@ -233,26 +268,27 @@ class PlanRunner {
     RowQueuePtr right = StartNode(*node.children[1]);
     RowQueuePtr out = MakeOutQueue(node);
     std::vector<std::string> join_vars = node.join_vars;
-    threads_.emplace_back([left, right, out, join_vars] {
+    CancellationToken token = token_;
+    threads_.emplace_back([left, right, out, join_vars, token] {
       std::unordered_map<std::string, std::vector<rdf::Binding>> table;
-      while (auto row = right->Pop()) {
+      while (auto row = right->Pop(token)) {
         if (!HasAllVars(*row, join_vars)) continue;
         table[JoinKey(*row, join_vars)].push_back(std::move(*row));
       }
       bool cancelled = false;
       while (!cancelled) {
-        auto row = left->Pop();
+        auto row = left->Pop(token);
         if (!row.has_value()) break;
         auto it = HasAllVars(*row, join_vars)
                       ? table.find(JoinKey(*row, join_vars))
                       : table.end();
         if (it == table.end() || it->second.empty()) {
           // No extension: keep the left row (left-outer semantics).
-          if (!out->Push(std::move(*row))) break;
+          if (!out->Push(std::move(*row), token)) break;
           continue;
         }
         for (const rdf::Binding& extension : it->second) {
-          if (!out->Push(MergeBindings(*row, extension))) {
+          if (!out->Push(MergeBindings(*row, extension), token)) {
             cancelled = true;
             break;
           }
@@ -269,9 +305,10 @@ class PlanRunner {
     RowQueuePtr in = StartNode(*node.children[0]);
     RowQueuePtr out = MakeOutQueue(node);
     std::vector<sparql::OrderCondition> order_by = node.order_by;
-    threads_.emplace_back([in, out, order_by] {
+    CancellationToken token = token_;
+    threads_.emplace_back([in, out, order_by, token] {
       std::vector<rdf::Binding> rows;
-      while (auto row = in->Pop()) rows.push_back(std::move(*row));
+      while (auto row = in->Pop(token)) rows.push_back(std::move(*row));
       std::stable_sort(
           rows.begin(), rows.end(),
           [&](const rdf::Binding& a, const rdf::Binding& b) {
@@ -292,7 +329,7 @@ class PlanRunner {
             return false;
           });
       for (rdf::Binding& row : rows) {
-        if (!out->Push(std::move(row))) break;
+        if (!out->Push(std::move(row), token)) break;
       }
       in->Close();
       out->Close();
@@ -313,15 +350,17 @@ class PlanRunner {
     net::DelayChannel* channel = ChannelFor(node.subquery.source_id);
     SubQuery subquery = node.subquery;
     std::vector<std::string> join_vars = node.join_vars;
+    CancellationToken token = token_;
 
-    threads_.emplace_back([this, w, channel, subquery, join_vars, left,
-                           out] {
+    threads_.emplace_back([this, w, channel, subquery, join_vars, left, out,
+                           token] {
       const std::string& bind_var = join_vars.front();
       std::vector<rdf::Binding> batch;
       bool cancelled = false;
 
       auto flush = [&]() -> bool {
         if (batch.empty()) return true;
+        if (token.IsCancelled()) return false;
         // Distinct instantiation terms for the bound variable.
         std::vector<rdf::Term> terms;
         std::unordered_set<std::string> seen;
@@ -337,14 +376,14 @@ class PlanRunner {
         // Execute synchronously into a local queue large enough to never
         // block (we are the only consumer and drain afterwards).
         RowQueue local(static_cast<size_t>(1) << 30);
-        Status st = w->Execute(bound, channel, &local);
+        Status st = w->Execute(bound, channel, &local, token);
         if (!st.ok()) {
           RecordError(st);
           return false;
         }
         local.Close();
         std::unordered_map<std::string, std::vector<rdf::Binding>> right;
-        while (auto row = local.Pop()) {
+        while (auto row = local.Pop(token)) {
           if (!HasAllVars(*row, join_vars)) continue;
           right[JoinKey(*row, join_vars)].push_back(std::move(*row));
         }
@@ -353,14 +392,14 @@ class PlanRunner {
           auto it = right.find(JoinKey(lrow, join_vars));
           if (it == right.end()) continue;
           for (const rdf::Binding& rrow : it->second) {
-            if (!out->Push(MergeBindings(lrow, rrow))) return false;
+            if (!out->Push(MergeBindings(lrow, rrow), token)) return false;
           }
         }
         batch.clear();
         return true;
       };
 
-      while (auto row = left->Pop()) {
+      while (auto row = left->Pop(token)) {
         batch.push_back(std::move(*row));
         if (batch.size() >= kDependentJoinBatch && !flush()) {
           cancelled = true;
@@ -379,11 +418,12 @@ class PlanRunner {
     auto active =
         std::make_shared<std::atomic<int>>(static_cast<int>(
             node.children.size()));
+    CancellationToken token = token_;
     for (const FedPlanPtr& child : node.children) {
       RowQueuePtr in = StartNode(*child);
-      threads_.emplace_back([in, out, active] {
-        while (auto row = in->Pop()) {
-          if (!out->Push(std::move(*row))) break;
+      threads_.emplace_back([in, out, active, token] {
+        while (auto row = in->Pop(token)) {
+          if (!out->Push(std::move(*row), token)) break;
         }
         in->Close();
         if (active->fetch_sub(1) == 1) out->Close();
@@ -396,8 +436,9 @@ class PlanRunner {
     RowQueuePtr in = StartNode(*node.children[0]);
     RowQueuePtr out = MakeOutQueue(node);
     std::vector<sparql::FilterExprPtr> filters = node.filters;
-    threads_.emplace_back([in, out, filters] {
-      while (auto row = in->Pop()) {
+    CancellationToken token = token_;
+    threads_.emplace_back([in, out, filters, token] {
+      while (auto row = in->Pop(token)) {
         bool pass = true;
         for (const sparql::FilterExprPtr& f : filters) {
           Result<bool> r = f->EvalBool(*row);
@@ -408,7 +449,7 @@ class PlanRunner {
             break;
           }
         }
-        if (pass && !out->Push(std::move(*row))) break;
+        if (pass && !out->Push(std::move(*row), token)) break;
       }
       in->Close();
       out->Close();
@@ -420,14 +461,15 @@ class PlanRunner {
     RowQueuePtr in = StartNode(*node.children[0]);
     RowQueuePtr out = MakeOutQueue(node);
     std::vector<std::string> projection = node.projection;
-    threads_.emplace_back([in, out, projection] {
-      while (auto row = in->Pop()) {
+    CancellationToken token = token_;
+    threads_.emplace_back([in, out, projection, token] {
+      while (auto row = in->Pop(token)) {
         rdf::Binding projected;
         for (const std::string& v : projection) {
           auto it = row->find(v);
           if (it != row->end()) projected.emplace(v, it->second);
         }
-        if (!out->Push(std::move(projected))) break;
+        if (!out->Push(std::move(projected), token)) break;
       }
       in->Close();
       out->Close();
@@ -438,9 +480,10 @@ class PlanRunner {
   RowQueuePtr StartDistinct(const FedPlanNode& node) {
     RowQueuePtr in = StartNode(*node.children[0]);
     RowQueuePtr out = MakeOutQueue(node);
-    threads_.emplace_back([in, out] {
+    CancellationToken token = token_;
+    threads_.emplace_back([in, out, token] {
       std::unordered_set<std::string> seen;
-      while (auto row = in->Pop()) {
+      while (auto row = in->Pop(token)) {
         std::string key;
         for (const auto& [var, term] : *row) {
           key += var;
@@ -449,7 +492,7 @@ class PlanRunner {
           key.push_back('\x01');
         }
         if (!seen.insert(key).second) continue;
-        if (!out->Push(std::move(*row))) break;
+        if (!out->Push(std::move(*row), token)) break;
       }
       in->Close();
       out->Close();
@@ -461,12 +504,13 @@ class PlanRunner {
     RowQueuePtr in = StartNode(*node.children[0]);
     RowQueuePtr out = MakeOutQueue(node);
     int64_t limit = node.limit;
-    threads_.emplace_back([in, out, limit] {
+    CancellationToken token = token_;
+    threads_.emplace_back([in, out, limit, token] {
       int64_t emitted = 0;
       while (emitted < limit) {
-        auto row = in->Pop();
+        auto row = in->Pop(token);
         if (!row.has_value()) break;
-        if (!out->Push(std::move(*row))) break;
+        if (!out->Push(std::move(*row), token)) break;
         ++emitted;
       }
       in->Close();  // cancels upstream
@@ -477,15 +521,41 @@ class PlanRunner {
 
   const std::map<std::string, SourceWrapper*>& wrappers_;
   PlanOptions options_;
+  CancellationToken token_;
+  RowQueuePtr root_;
   std::vector<std::thread> threads_;
   std::mutex mu_;
   Status error_;
+  std::vector<std::function<void()>> closers_;
   std::map<std::string, std::unique_ptr<net::DelayChannel>> channels_;
   std::vector<std::pair<std::string, std::shared_ptr<std::atomic<uint64_t>>>>
       operator_counters_;
+
+  bool finished_ = false;
+  Status final_status_;
+  ExecutionStats stats_;
+  std::vector<std::pair<std::string, uint64_t>> operator_rows_;
 };
 
-}  // namespace
+PlanExecution::PlanExecution(
+    const std::map<std::string, SourceWrapper*>& wrappers,
+    const PlanOptions& options, CancellationToken token)
+    : impl_(std::make_unique<Impl>(wrappers, options, std::move(token))) {}
+
+PlanExecution::~PlanExecution() = default;
+
+void PlanExecution::Start(const FederatedPlan& plan) { impl_->Start(plan); }
+
+std::optional<rdf::Binding> PlanExecution::Next() { return impl_->Next(); }
+
+Status PlanExecution::Finish() { return impl_->Finish(); }
+
+const ExecutionStats& PlanExecution::stats() const { return impl_->stats(); }
+
+const std::vector<std::pair<std::string, uint64_t>>&
+PlanExecution::operator_rows() const {
+  return impl_->operator_rows();
+}
 
 std::string QueryAnswer::OperatorStatsText() const {
   std::string out;
@@ -503,9 +573,24 @@ std::string QueryAnswer::OperatorStatsText() const {
 Result<QueryAnswer> ExecutePlan(
     const FederatedPlan& plan,
     const std::map<std::string, SourceWrapper*>& wrappers,
-    const PlanOptions& options) {
-  PlanRunner runner(wrappers, options);
-  return runner.Run(plan);
+    const PlanOptions& options, CancellationToken token) {
+  QueryAnswer answer;
+  answer.variables = plan.variables;
+  answer.plan_text = plan.Explain();
+
+  Stopwatch stopwatch;
+  PlanExecution execution(wrappers, options, std::move(token));
+  execution.Start(plan);
+  while (auto row = execution.Next()) {
+    answer.trace.timestamps.push_back(stopwatch.ElapsedSeconds());
+    answer.rows.push_back(std::move(*row));
+  }
+  answer.trace.completion_seconds = stopwatch.ElapsedSeconds();
+
+  LAKEFED_RETURN_NOT_OK(execution.Finish());
+  answer.stats = execution.stats();
+  answer.operator_rows = execution.operator_rows();
+  return answer;
 }
 
 }  // namespace lakefed::fed

@@ -3,14 +3,23 @@
 // client as sources deliver them (ANAPSID's adaptive operator model). The
 // symmetric hash join produces results as soon as tuples arrive from either
 // input — the paper's answer traces (Figure 2) depend on this behaviour.
+//
+// Two entry points:
+//  * PlanExecution — the incremental form: spawn the dataflow, pull rows
+//    one at a time, tear down cooperatively via a CancellationToken. This
+//    is what streaming sessions (fed/session.h) run on.
+//  * ExecutePlan — the materializing convenience wrapper used by the
+//    blocking Execute shims: drains a PlanExecution to completion.
 
 #ifndef LAKEFED_FED_EXECUTOR_H_
 #define LAKEFED_FED_EXECUTOR_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "fed/options.h"
 #include "fed/plan.h"
@@ -42,11 +51,50 @@ struct QueryAnswer {
   std::string OperatorStatsText() const;
 };
 
-// Runs `plan` to completion. `wrappers` maps source id -> wrapper.
+// A live, incremental execution of one federated plan: Start() spawns the
+// wrapper/operator threads, Next() pulls rows from the root queue as they
+// are produced, Finish() tears everything down and reports the terminal
+// status. Cancelling the token (or its deadline expiring) closes every
+// queue of the dataflow, so blocked producers, consumers and mid-delay
+// network transfers unwind promptly instead of draining.
+class PlanExecution {
+ public:
+  PlanExecution(const std::map<std::string, SourceWrapper*>& wrappers,
+                const PlanOptions& options, CancellationToken token);
+  ~PlanExecution();  // equivalent to Finish()
+
+  PlanExecution(const PlanExecution&) = delete;
+  PlanExecution& operator=(const PlanExecution&) = delete;
+
+  // Spawns the dataflow for `plan`. Call exactly once, before Next().
+  void Start(const FederatedPlan& plan);
+
+  // Blocks for the next root row. nullopt means end-of-stream: completion,
+  // error, cancellation or deadline expiry — Finish() discriminates.
+  std::optional<rdf::Binding> Next();
+
+  // Closes all queues, joins every thread and freezes the statistics.
+  // Idempotent. Returns the first wrapper/operator error if any, otherwise
+  // the token's status (kCancelled / kDeadlineExceeded), otherwise OK.
+  Status Finish();
+
+  // Valid after Finish(). Partial results of a cancelled or expired run are
+  // reported faithfully (stats cover the work actually performed).
+  const ExecutionStats& stats() const;
+  const std::vector<std::pair<std::string, uint64_t>>& operator_rows() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Runs `plan` to completion. `wrappers` maps source id -> wrapper. The
+// token, when cancellable, aborts the run (the returned status is then the
+// cancellation reason).
 Result<QueryAnswer> ExecutePlan(
     const FederatedPlan& plan,
     const std::map<std::string, SourceWrapper*>& wrappers,
-    const PlanOptions& options);
+    const PlanOptions& options, CancellationToken token = {});
 
 }  // namespace lakefed::fed
 

@@ -7,4 +7,24 @@ std::string PlanModeToString(PlanMode mode) {
                                                 : "physical-design-unaware";
 }
 
+Status PlanOptions::Validate() const {
+  if (slow_network_threshold_ms < 0) {
+    return Status::InvalidArgument(
+        "slow_network_threshold_ms must be non-negative, got " +
+        std::to_string(slow_network_threshold_ms));
+  }
+  if (force_filter_placement.has_value() && !heuristic2_filter_placement) {
+    return Status::InvalidArgument(
+        "force_filter_placement contradicts disabled "
+        "heuristic2_filter_placement: forcing a placement is an override of "
+        "Heuristic 2 and requires it enabled");
+  }
+  if (network.alpha < 0 || network.beta < 0 || network.time_scale < 0) {
+    return Status::InvalidArgument(
+        "network profile '" + network.name +
+        "' has negative gamma parameters or time scale");
+  }
+  return Status::OK();
+}
+
 }  // namespace lakefed::fed

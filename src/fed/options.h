@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/status.h"
 #include "fed/decomposer.h"
 #include "fed/subquery.h"
 #include "net/network.h"
@@ -56,6 +57,11 @@ struct PlanOptions {
   // wrapper. Used to reproduce the "pushing down the join increases the
   // execution time" negative result.
   bool naive_sql_translation = false;
+
+  // Rejects inconsistent option combinations. Called by the engine at
+  // session creation, so invalid options fail fast instead of silently
+  // producing nonsensical plans.
+  Status Validate() const;
 };
 
 }  // namespace lakefed::fed

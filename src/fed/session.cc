@@ -1,0 +1,368 @@
+#include "fed/session.h"
+
+#include <algorithm>
+#include <set>
+
+#include "fed/planner.h"
+#include "sparql/aggregate.h"
+#include "sparql/filter_expr.h"
+
+namespace lakefed::fed {
+
+ResultStream::ResultStream(const mapping::RdfMtCatalog& catalog,
+                           const std::map<std::string, SourceWrapper*>& wrappers,
+                           sparql::SelectQuery query, PlanOptions options,
+                           CancellationToken token)
+    : catalog_(catalog),
+      wrappers_(wrappers),
+      query_(std::move(query)),
+      options_(std::move(options)),
+      token_(std::move(token)) {}
+
+ResultStream::~ResultStream() { Finish(); }
+
+Result<std::unique_ptr<ResultStream>> ResultStream::Create(
+    const mapping::RdfMtCatalog& catalog,
+    const std::map<std::string, SourceWrapper*>& wrappers,
+    sparql::SelectQuery query, PlanOptions options, CancellationToken token) {
+  std::unique_ptr<ResultStream> stream(
+      new ResultStream(catalog, wrappers, std::move(query), std::move(options),
+                       std::move(token)));
+  const sparql::SelectQuery& q = stream->query_;
+
+  // Aggregates group the merged solutions at the mediator: inherently
+  // blocking, so the session runs buffered.
+  if (q.HasAggregates()) {
+    stream->buffered_ = true;
+    stream->variables_ = q.EffectiveProjection();
+    return stream;
+  }
+
+  stream->branches_ = sparql::ExpandUnions(q);
+  if (stream->branches_.size() > 1) {
+    const bool modifiers =
+        !q.order_by.empty() || q.distinct || q.limit.has_value();
+    if (modifiers) {
+      // ORDER BY / DISTINCT / LIMIT apply across the merged branches, so
+      // the union cannot stream: run buffered.
+      stream->buffered_ = true;
+      stream->variables_ = q.EffectiveProjection();
+      stream->branches_.clear();
+      return stream;
+    }
+    // Pure bag union: branches stream sequentially on one clock.
+    stream->variables_ = q.EffectiveProjection();
+    for (sparql::SelectQuery& branch : stream->branches_) {
+      branch.variables = stream->variables_;
+    }
+  }
+
+  // Streaming mode: plan and spawn the first branch now, so creation
+  // errors surface here and the dataflow is already running when the
+  // stream is handed out.
+  LAKEFED_RETURN_NOT_OK(stream->StartBranch());
+  return stream;
+}
+
+Status ResultStream::StartBranch() {
+  LAKEFED_ASSIGN_OR_RETURN(
+      FederatedPlan plan,
+      BuildPlan(branches_[branch_index_], catalog_, wrappers_, options_));
+  if (branch_index_ == 0 && branches_.size() == 1) {
+    variables_ = plan.variables;
+  }
+  plan_text_ += plan.Explain();
+  execution_ = std::make_unique<PlanExecution>(wrappers_, options_, token_);
+  execution_->Start(plan);
+  return Status::OK();
+}
+
+void ResultStream::AccumulateExecution() {
+  const ExecutionStats& s = execution_->stats();
+  stats_.messages_transferred += s.messages_transferred;
+  stats_.network_delay_ms += s.network_delay_ms;
+  stats_.source_rows += s.source_rows;
+  const auto& ops = execution_->operator_rows();
+  operator_rows_.insert(operator_rows_.end(), ops.begin(), ops.end());
+}
+
+bool ResultStream::Next(rdf::Binding* row) {
+  if (ended_ || finished_) return false;
+  return buffered_ ? NextBuffered(row) : NextStreaming(row);
+}
+
+bool ResultStream::NextStreaming(rdf::Binding* row) {
+  for (;;) {
+    std::optional<rdf::Binding> next =
+        execution_ != nullptr ? execution_->Next() : std::nullopt;
+    if (next.has_value()) {
+      trace_.timestamps.push_back(stopwatch_.ElapsedSeconds());
+      *row = std::move(*next);
+      return true;
+    }
+    // Current branch exhausted (completed, errored or cancelled).
+    trace_.completion_seconds = stopwatch_.ElapsedSeconds();
+    if (execution_ != nullptr) {
+      Status branch_status = execution_->Finish();
+      AccumulateExecution();
+      execution_.reset();
+      if (!branch_status.ok()) {
+        status_ = branch_status;
+        ended_ = true;
+        return false;
+      }
+    }
+    ++branch_index_;
+    if (branch_index_ >= branches_.size()) {
+      ended_ = true;
+      fully_drained_ = true;
+      return false;
+    }
+    Status start_status = StartBranch();
+    if (!start_status.ok()) {
+      status_ = start_status;
+      ended_ = true;
+      return false;
+    }
+  }
+}
+
+bool ResultStream::NextBuffered(rdf::Binding* row) {
+  if (!buffered_ran_) {
+    buffered_ran_ = true;
+    Result<QueryAnswer> answer = RunBlocking(query_);
+    if (!answer.ok()) {
+      status_ = answer.status();
+      ended_ = true;
+      return false;
+    }
+    variables_ = std::move(answer->variables);
+    buffered_rows_ = std::move(answer->rows);
+    trace_ = std::move(answer->trace);
+    stats_ = answer->stats;
+    plan_text_ = std::move(answer->plan_text);
+    operator_rows_ = std::move(answer->operator_rows);
+  }
+  if (token_.IsCancelled()) {
+    status_ = token_.ToStatus();
+    ended_ = true;
+    return false;
+  }
+  if (buffered_cursor_ >= buffered_rows_.size()) {
+    ended_ = true;
+    fully_drained_ = true;
+    return false;
+  }
+  *row = std::move(buffered_rows_[buffered_cursor_]);
+  ++buffered_cursor_;
+  return true;
+}
+
+void ResultStream::Cancel() {
+  if (token_.can_cancel()) token_.Cancel();
+}
+
+Status ResultStream::Finish() {
+  if (finished_) return status_;
+  finished_ = true;
+  if (!ended_) {
+    // Abandoned mid-stream: tear the dataflow down cooperatively before
+    // joining, so producers blocked on full queues unwind.
+    if (token_.can_cancel() && !token_.IsCancelled()) token_.Cancel();
+    if (!buffered_ && trace_.completion_seconds == 0) {
+      trace_.completion_seconds = stopwatch_.ElapsedSeconds();
+    }
+  }
+  if (execution_ != nullptr) {
+    Status terminal = execution_->Finish();
+    AccumulateExecution();
+    execution_.reset();
+    if (status_.ok()) status_ = terminal;
+  }
+  if (status_.ok() && !fully_drained_) status_ = token_.ToStatus();
+  return status_;
+}
+
+Result<QueryAnswer> ResultStream::Drain() {
+  QueryAnswer answer;
+  rdf::Binding row;
+  while (Next(&row)) answer.rows.push_back(std::move(row));
+  LAKEFED_RETURN_NOT_OK(Finish());
+  answer.variables = variables_;
+  answer.trace = trace_;
+  answer.stats = stats_;
+  answer.plan_text = plan_text_;
+  answer.operator_rows = operator_rows_;
+  return answer;
+}
+
+Result<QueryAnswer> ResultStream::RunBlocking(
+    const sparql::SelectQuery& original) {
+  // Aggregates always run at the mediator: execute the aggregate-free inner
+  // query federated, then group the merged solutions here.
+  if (original.HasAggregates()) {
+    sparql::SelectQuery inner = original;
+    inner.aggregates.clear();
+    inner.group_by.clear();
+    inner.order_by.clear();
+    inner.limit.reset();
+    inner.distinct = false;
+    inner.select_all = false;
+    bool count_star = false;
+    std::set<std::string> needed(original.group_by.begin(),
+                                 original.group_by.end());
+    for (const sparql::SelectAggregate& agg : original.aggregates) {
+      if (agg.var.empty()) {
+        count_star = true;
+      } else {
+        needed.insert(agg.var);
+      }
+    }
+    inner.variables =
+        count_star ? original.PatternVariables()
+                   : std::vector<std::string>(needed.begin(), needed.end());
+    if (inner.variables.empty()) {
+      inner.variables = original.PatternVariables();
+    }
+    LAKEFED_ASSIGN_OR_RETURN(QueryAnswer base, RunBlocking(inner));
+    QueryAnswer answer;
+    answer.variables = original.EffectiveProjection();
+    answer.plan_text = base.plan_text + "-> EngineAggregate (GROUP BY at "
+                                        "the mediator)\n";
+    answer.stats = base.stats;
+    answer.operator_rows = std::move(base.operator_rows);
+    std::vector<rdf::Binding> aggregated = sparql::AggregateSolutions(
+        base.rows, original.group_by, original.aggregates);
+    sparql::SortBindings(&aggregated, original.order_by);
+    if (original.distinct) {
+      std::set<std::string> seen;
+      std::vector<rdf::Binding> rows;
+      for (rdf::Binding& row : aggregated) {
+        std::string key;
+        for (const std::string& var : answer.variables) {
+          auto it = row.find(var);
+          key += it == row.end() ? std::string("~") : it->second.ToString();
+          key.push_back('\x01');
+        }
+        if (seen.insert(key).second) rows.push_back(std::move(row));
+      }
+      aggregated = std::move(rows);
+    }
+    if (original.limit.has_value() &&
+        aggregated.size() > static_cast<size_t>(*original.limit)) {
+      aggregated.resize(static_cast<size_t>(*original.limit));
+    }
+    answer.rows = std::move(aggregated);
+    // Aggregation is blocking: all answers materialize at completion time.
+    answer.trace.completion_seconds = base.trace.completion_seconds;
+    answer.trace.timestamps.assign(answer.rows.size(),
+                                   base.trace.completion_seconds);
+    answer.operator_rows.emplace_back("EngineAggregate",
+                                      answer.rows.size());
+    return answer;
+  }
+
+  const sparql::SelectQuery& query = original;
+  std::vector<sparql::SelectQuery> branches = sparql::ExpandUnions(query);
+  if (branches.size() == 1) {
+    LAKEFED_ASSIGN_OR_RETURN(
+        FederatedPlan plan,
+        BuildPlan(branches.front(), catalog_, wrappers_, options_));
+    return ExecutePlan(plan, wrappers_, options_, token_);
+  }
+
+  // UNION: execute every branch combination and merge (bag union), then
+  // apply ORDER BY / DISTINCT / LIMIT over the merged rows at the engine.
+  QueryAnswer merged;
+  merged.variables = query.EffectiveProjection();
+  // Branches additionally project ORDER BY variables so the merged sort can
+  // see them; they are stripped again after sorting.
+  std::vector<std::string> extended = merged.variables;
+  for (const sparql::OrderCondition& cond : query.order_by) {
+    if (std::find(extended.begin(), extended.end(), cond.variable) ==
+        extended.end()) {
+      extended.push_back(cond.variable);
+    }
+  }
+  double offset = 0;
+  for (sparql::SelectQuery& branch : branches) {
+    branch.variables = extended;
+    LAKEFED_ASSIGN_OR_RETURN(
+        FederatedPlan plan, BuildPlan(branch, catalog_, wrappers_, options_));
+    LAKEFED_ASSIGN_OR_RETURN(QueryAnswer part,
+                             ExecutePlan(plan, wrappers_, options_, token_));
+    merged.plan_text += plan.Explain();
+    for (size_t i = 0; i < part.rows.size(); ++i) {
+      merged.trace.timestamps.push_back(offset + part.trace.timestamps[i]);
+      merged.rows.push_back(std::move(part.rows[i]));
+    }
+    offset += part.trace.completion_seconds;
+    merged.stats.messages_transferred += part.stats.messages_transferred;
+    merged.stats.network_delay_ms += part.stats.network_delay_ms;
+    merged.stats.source_rows += part.stats.source_rows;
+    merged.operator_rows.insert(merged.operator_rows.end(),
+                                part.operator_rows.begin(),
+                                part.operator_rows.end());
+  }
+  merged.trace.completion_seconds = offset;
+
+  if (!query.order_by.empty()) {
+    // Pair rows with timestamps so the trace stays aligned after sorting.
+    std::vector<size_t> order(merged.rows.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(
+        order.begin(), order.end(), [&](size_t ia, size_t ib) {
+          const rdf::Binding& a = merged.rows[ia];
+          const rdf::Binding& b = merged.rows[ib];
+          for (const sparql::OrderCondition& cond : query.order_by) {
+            auto ita = a.find(cond.variable);
+            auto itb = b.find(cond.variable);
+            bool ba = ita != a.end(), bb = itb != b.end();
+            int c;
+            if (!ba && !bb) {
+              c = 0;
+            } else if (ba != bb) {
+              c = ba ? 1 : -1;
+            } else {
+              c = sparql::CompareTermsSparql(ita->second, itb->second);
+            }
+            if (c != 0) return cond.ascending ? c < 0 : c > 0;
+          }
+          return false;
+        });
+    std::vector<rdf::Binding> rows;
+    rows.reserve(order.size());
+    for (size_t idx : order) rows.push_back(std::move(merged.rows[idx]));
+    merged.rows = std::move(rows);
+  }
+  if (query.distinct) {
+    std::set<std::string> seen;
+    std::vector<rdf::Binding> rows;
+    for (rdf::Binding& row : merged.rows) {
+      std::string key;
+      for (const std::string& var : merged.variables) {
+        auto it = row.find(var);
+        key += it == row.end() ? std::string("~") : it->second.ToString();
+        key.push_back('\x01');
+      }
+      if (seen.insert(key).second) rows.push_back(std::move(row));
+    }
+    merged.rows = std::move(rows);
+  }
+  if (query.limit.has_value() &&
+      merged.rows.size() > static_cast<size_t>(*query.limit)) {
+    merged.rows.resize(static_cast<size_t>(*query.limit));
+  }
+  // Strip the sort-only variables.
+  if (extended.size() > merged.variables.size()) {
+    for (rdf::Binding& row : merged.rows) {
+      for (size_t i = merged.variables.size(); i < extended.size(); ++i) {
+        row.erase(extended[i]);
+      }
+    }
+  }
+  merged.trace.timestamps.resize(merged.rows.size());
+  return merged;
+}
+
+}  // namespace lakefed::fed

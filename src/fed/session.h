@@ -1,0 +1,184 @@
+// Streaming query sessions: the incremental, cancellable form of the
+// engine's API. A QueryRequest (text or pre-parsed query + options +
+// optional deadline) becomes a ResultStream via
+// FederatedEngine::CreateSession; the stream yields solution mappings as
+// the sources deliver them, can be cancelled at any time from any thread,
+// and reports the terminal Status plus the execution's AnswerTrace and
+// ExecutionStats once finished.
+//
+// Relationship to the blocking API: FederatedEngine::Execute and
+// ExecuteParsed are thin shims that create a session and Drain() it, so a
+// QueryAnswer is exactly "a fully consumed ResultStream".
+
+#ifndef LAKEFED_FED_SESSION_H_
+#define LAKEFED_FED_SESSION_H_
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "fed/executor.h"
+#include "fed/options.h"
+#include "mapping/rdf_mt.h"
+#include "sparql/ast.h"
+
+namespace lakefed::fed {
+
+// Everything needed to start one query session. Either `parsed` (takes
+// precedence) or `query` (SPARQL text, parsed at session creation) supplies
+// the query. `timeout`, when set, becomes a deadline on the session's
+// cancellation token: past it the stream terminates with kDeadlineExceeded,
+// tearing down all source scans.
+struct QueryRequest {
+  std::string query;
+  std::optional<sparql::SelectQuery> parsed;
+  PlanOptions options;
+  std::optional<std::chrono::milliseconds> timeout;
+
+  static QueryRequest Text(std::string sparql, PlanOptions options = {}) {
+    QueryRequest request;
+    request.query = std::move(sparql);
+    request.options = std::move(options);
+    return request;
+  }
+  static QueryRequest Parsed(sparql::SelectQuery query,
+                             PlanOptions options = {}) {
+    QueryRequest request;
+    request.parsed = std::move(query);
+    request.options = std::move(options);
+    return request;
+  }
+};
+
+// A live query execution. Created by FederatedEngine::CreateSession; the
+// dataflow (wrapper/operator threads) is already running when the stream is
+// handed out, so Next() simply pulls from the plan's root queue.
+//
+// Two internal modes, chosen from the query shape:
+//  * streaming — plain queries and pure UNIONs: rows surface incrementally
+//    while sources are still delivering (UNION branches run sequentially on
+//    one clock).
+//  * buffered — aggregates, and UNIONs under ORDER BY / DISTINCT / LIMIT:
+//    these are blocking by nature, so the first Next() materializes the
+//    whole answer at the mediator (still cancellable cooperatively) and the
+//    rows stream out of the buffer.
+//
+// Threading: Next(), Finish() and Drain() belong to one consumer thread;
+// Cancel() may be called concurrently from any thread. trace()/stats()/
+// operator_rows() are stable once Finish() returned.
+class ResultStream {
+ public:
+  ~ResultStream();  // cancels if not fully consumed, joins all threads
+
+  ResultStream(const ResultStream&) = delete;
+  ResultStream& operator=(const ResultStream&) = delete;
+
+  // Pulls the next solution mapping into `*row`. Blocks until a row is
+  // available. Returns false at end-of-stream — completion, error,
+  // cancellation or deadline expiry; Finish() discriminates.
+  bool Next(rdf::Binding* row);
+
+  // Requests cooperative cancellation: every queue of the dataflow closes
+  // and mid-delay network transfers wake, so source scans unwind promptly.
+  // Safe from any thread, idempotent.
+  void Cancel();
+
+  // Tears the session down (joining every thread) and returns the terminal
+  // status: OK for a fully drained stream, the first wrapper/operator error,
+  // kCancelled after Cancel(), kDeadlineExceeded after an expired deadline.
+  // Calling Finish() on a stream that still has rows pending cancels it.
+  // Idempotent.
+  Status Finish();
+
+  // Convenience: consumes the rest of the stream into a QueryAnswer and
+  // Finish()es. The blocking Execute shims are implemented with this.
+  Result<QueryAnswer> Drain();
+
+  // Projection of the result rows. Valid from creation.
+  const std::vector<std::string>& variables() const { return variables_; }
+
+  // Arrival timestamps of the rows delivered so far (the paper's answer
+  // trace); completion_seconds is set once the stream ends.
+  const AnswerTrace& trace() const { return trace_; }
+
+  // Source/network statistics of the work actually performed — partial
+  // results of a cancelled or expired session are reported faithfully.
+  // Complete after Finish().
+  const ExecutionStats& stats() const { return stats_; }
+
+  // EXPLAIN text of the executed plan(s). For UNIONs, branch plans append
+  // as they start.
+  const std::string& plan_text() const { return plan_text_; }
+
+  // Rows emitted per operator, in spawn order. Complete after Finish().
+  const std::vector<std::pair<std::string, uint64_t>>& operator_rows() const {
+    return operator_rows_;
+  }
+
+  // The session's cancellation token (shared with every operator thread).
+  CancellationToken token() const { return token_; }
+
+ private:
+  friend class FederatedEngine;
+
+  ResultStream(const mapping::RdfMtCatalog& catalog,
+               const std::map<std::string, SourceWrapper*>& wrappers,
+               sparql::SelectQuery query, PlanOptions options,
+               CancellationToken token);
+
+  // Plans the first branch and spawns its dataflow (streaming mode) or
+  // records the buffered-mode pending state. Returns the creation error, if
+  // any; called by FederatedEngine::CreateSession.
+  static Result<std::unique_ptr<ResultStream>> Create(
+      const mapping::RdfMtCatalog& catalog,
+      const std::map<std::string, SourceWrapper*>& wrappers,
+      sparql::SelectQuery query, PlanOptions options, CancellationToken token);
+
+  bool NextStreaming(rdf::Binding* row);
+  bool NextBuffered(rdf::Binding* row);
+  // Plans branches_[branch_index_] and starts its dataflow.
+  Status StartBranch();
+  // Folds a finished PlanExecution's statistics into the session's.
+  void AccumulateExecution();
+  // The blocking evaluation used in buffered mode (aggregates at the
+  // mediator; UNION merge under solution modifiers).
+  Result<QueryAnswer> RunBlocking(const sparql::SelectQuery& query);
+
+  const mapping::RdfMtCatalog& catalog_;
+  const std::map<std::string, SourceWrapper*>& wrappers_;
+  sparql::SelectQuery query_;
+  PlanOptions options_;
+  CancellationToken token_;
+
+  bool buffered_ = false;
+  std::vector<sparql::SelectQuery> branches_;  // streaming mode
+  size_t branch_index_ = 0;
+  std::unique_ptr<PlanExecution> execution_;
+  Stopwatch stopwatch_;
+
+  bool buffered_ran_ = false;  // buffered mode
+  std::vector<rdf::Binding> buffered_rows_;
+  size_t buffered_cursor_ = 0;
+
+  std::vector<std::string> variables_;
+  AnswerTrace trace_;
+  ExecutionStats stats_;
+  std::string plan_text_;
+  std::vector<std::pair<std::string, uint64_t>> operator_rows_;
+
+  bool ended_ = false;          // Next() hit end-of-stream
+  bool fully_drained_ = false;  // ended by completion, not error/cancel
+  bool finished_ = false;       // Finish() ran
+  Status status_;
+};
+
+}  // namespace lakefed::fed
+
+#endif  // LAKEFED_FED_SESSION_H_

@@ -66,6 +66,20 @@ class SourceWrapper {
   virtual Status Execute(const SubQuery& subquery,
                          net::DelayChannel* channel,
                          BlockingQueue<rdf::Binding>* out) = 0;
+
+  // Cancellation-aware variant: the session's executor always calls this
+  // one. Implementations should poll `token` between answers, pass it to
+  // channel->Transfer and out->Push, and return Status::OK() when stopping
+  // because of cancellation (the session derives the terminal kCancelled /
+  // kDeadlineExceeded status from the token itself). The default delegates
+  // to the legacy overload above; legacy wrappers still tear down promptly
+  // because cancellation closes `out`, making Push return false.
+  virtual Status Execute(const SubQuery& subquery, net::DelayChannel* channel,
+                         BlockingQueue<rdf::Binding>* out,
+                         const CancellationToken& token) {
+    (void)token;
+    return Execute(subquery, channel, out);
+  }
 };
 
 }  // namespace lakefed::fed

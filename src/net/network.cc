@@ -43,7 +43,9 @@ double DelayChannel::SampleDelayMs() {
   return rng_.Gamma(profile_.alpha, profile_.beta) * profile_.time_scale;
 }
 
-void DelayChannel::Transfer() {
+void DelayChannel::Transfer() { Transfer(CancellationToken()); }
+
+void DelayChannel::Transfer(const CancellationToken& token) {
   messages_.fetch_add(1, std::memory_order_relaxed);
   if (!profile_.HasDelay()) return;
   double delay_ms;
@@ -52,7 +54,7 @@ void DelayChannel::Transfer() {
     delay_ms = rng_.Gamma(profile_.alpha, profile_.beta) * profile_.time_scale;
     total_delay_ms_ += delay_ms;
   }
-  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+  token.SleepFor(delay_ms);
 }
 
 double DelayChannel::total_delay_ms() const {

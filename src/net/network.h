@@ -18,6 +18,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/cancellation.h"
 #include "common/rng.h"
 
 namespace lakefed::net {
@@ -69,6 +70,13 @@ class DelayChannel {
 
   // Sleeps for one sampled message latency and accounts for it.
   void Transfer();
+
+  // As Transfer(), but the sleep observes `token`: an explicit cancel wakes
+  // it immediately and the token's deadline caps it, so a source stuck in a
+  // simulated slow network tears down mid-delay instead of finishing the
+  // sleep. The full sampled delay is still accounted (the simulation's
+  // network cost does not depend on who aborted the wait).
+  void Transfer(const CancellationToken& token);
 
   // Samples a delay without sleeping (for tests and cost estimation).
   double SampleDelayMs();

@@ -31,7 +31,9 @@ Triple TripleStore::Decode(const EncodedTriple& t) const {
 }
 
 void TripleStore::EnsureIndexes() const {
-  if (indexes_valid_) return;
+  if (indexes_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(index_mu_);
+  if (indexes_valid_.load(std::memory_order_relaxed)) return;
   for (int k = 0; k < 3; ++k) {
     const auto& order = kIndexOrders[k];
     auto field = [&](const EncodedTriple& t, int component) -> TermId {
@@ -56,7 +58,7 @@ void TripleStore::EnsureIndexes() const {
   }
   // Keep `triples_` deduplicated too so size() is honest.
   const_cast<TripleStore*>(this)->triples_ = indexes_[0];
-  indexes_valid_ = true;
+  indexes_valid_.store(true, std::memory_order_release);
 }
 
 void TripleStore::MatchVisit(

@@ -6,7 +6,9 @@
 #define LAKEFED_RDF_TRIPLE_STORE_H_
 
 #include <array>
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -67,9 +69,12 @@ class TripleStore {
   Dictionary dict_;
   std::vector<EncodedTriple> triples_;
   // Permutation indexes: sorted copies of `triples_` by (s,p,o), (p,o,s),
-  // (o,s,p). Rebuilt lazily after inserts.
+  // (o,s,p). Rebuilt lazily after inserts. The rebuild is guarded so that
+  // concurrent read-only queries (parallel engine sessions) may race to
+  // trigger it safely; Add() itself is still single-writer.
   mutable std::array<std::vector<EncodedTriple>, 3> indexes_;
-  mutable bool indexes_valid_ = false;
+  mutable std::atomic<bool> indexes_valid_{false};
+  mutable std::mutex index_mu_;
 };
 
 }  // namespace lakefed::rdf

@@ -15,6 +15,13 @@ std::vector<mapping::RdfMt> RdfWrapper::Molecules() const {
 Status RdfWrapper::Execute(const fed::SubQuery& subquery,
                            net::DelayChannel* channel,
                            BlockingQueue<rdf::Binding>* out) {
+  return Execute(subquery, channel, out, CancellationToken());
+}
+
+Status RdfWrapper::Execute(const fed::SubQuery& subquery,
+                           net::DelayChannel* channel,
+                           BlockingQueue<rdf::Binding>* out,
+                           const CancellationToken& token) {
   // Gather the BGP of every star (normally one; merged stars also work —
   // BGP evaluation joins them locally).
   std::vector<rdf::TriplePattern> patterns;
@@ -37,6 +44,7 @@ Status RdfWrapper::Execute(const fed::SubQuery& subquery,
   std::vector<std::string> variables = subquery.Variables();
   return rdf::EvaluateBgpVisit(
       *store_, patterns, [&](const rdf::Binding& binding) {
+        if (token.IsCancelled()) return false;  // stop the scan
         for (const auto& [var, set] : allowed) {
           auto it = binding.find(var);
           if (it == binding.end() || set.count(it->second.ToString()) == 0) {
@@ -54,8 +62,8 @@ Status RdfWrapper::Execute(const fed::SubQuery& subquery,
           auto it = binding.find(var);
           if (it != binding.end()) projected.emplace(var, it->second);
         }
-        channel->Transfer();
-        return out->Push(std::move(projected));
+        channel->Transfer(token);
+        return out->Push(std::move(projected), token);
       });
 }
 

@@ -25,6 +25,13 @@ class RdfWrapper : public fed::SourceWrapper {
   Status Execute(const fed::SubQuery& subquery, net::DelayChannel* channel,
                  BlockingQueue<rdf::Binding>* out) override;
 
+  // Cancellation-aware execution: the BGP visitor checks the token per
+  // match, so cancel/deadline stops the store scan itself, not just the
+  // shipping of answers.
+  Status Execute(const fed::SubQuery& subquery, net::DelayChannel* channel,
+                 BlockingQueue<rdf::Binding>* out,
+                 const CancellationToken& token) override;
+
  private:
   std::string id_;
   const rdf::TripleStore* store_;

@@ -401,7 +401,8 @@ Result<std::vector<rdf::Binding>> SqlWrapper::FetchAndDecode(
 Status SqlWrapper::ShipRows(
     std::vector<rdf::Binding> rows, const fed::SubQuery& subquery,
     const std::vector<sparql::FilterExprPtr>& residual_filters,
-    net::DelayChannel* channel, BlockingQueue<rdf::Binding>* out) const {
+    net::DelayChannel* channel, BlockingQueue<rdf::Binding>* out,
+    const CancellationToken& token) const {
   // Instantiation membership sets (re-checked after decoding; also covers
   // fixed variables that had no SQL column).
   std::map<std::string, std::unordered_set<std::string>> allowed;
@@ -411,6 +412,7 @@ Status SqlWrapper::ShipRows(
   }
 
   for (rdf::Binding& binding : rows) {
+    if (token.IsCancelled()) break;
     bool valid = true;
     for (const auto& [var, set] : allowed) {
       auto it = binding.find(var);
@@ -429,8 +431,8 @@ Status SqlWrapper::ShipRows(
       }
     }
     if (!pass) continue;
-    channel->Transfer();
-    if (!out->Push(std::move(binding))) break;
+    channel->Transfer(token);
+    if (!out->Push(std::move(binding), token)) break;
   }
   return Status::OK();
 }
@@ -438,8 +440,15 @@ Status SqlWrapper::ShipRows(
 Status SqlWrapper::Execute(const fed::SubQuery& subquery,
                            net::DelayChannel* channel,
                            BlockingQueue<rdf::Binding>* out) {
+  return Execute(subquery, channel, out, CancellationToken());
+}
+
+Status SqlWrapper::Execute(const fed::SubQuery& subquery,
+                           net::DelayChannel* channel,
+                           BlockingQueue<rdf::Binding>* out,
+                           const CancellationToken& token) {
   if (subquery.naive_translation && subquery.stars.size() > 1) {
-    return ExecuteNaiveMerged(subquery, channel, out);
+    return ExecuteNaiveMerged(subquery, channel, out, token);
   }
   LAKEFED_ASSIGN_OR_RETURN(Translation tr, Translate(subquery));
   {
@@ -449,12 +458,13 @@ Status SqlWrapper::Execute(const fed::SubQuery& subquery,
   LAKEFED_ASSIGN_OR_RETURN(std::vector<rdf::Binding> rows,
                            FetchAndDecode(tr));
   return ShipRows(std::move(rows), subquery, tr.residual_filters, channel,
-                  out);
+                  out, token);
 }
 
 Status SqlWrapper::ExecuteNaiveMerged(const fed::SubQuery& subquery,
                                       net::DelayChannel* channel,
-                                      BlockingQueue<rdf::Binding>* out) {
+                                      BlockingQueue<rdf::Binding>* out,
+                                      const CancellationToken& token) {
   // Emulation of the unoptimized merged translation: one SQL per star, then
   // a naive nested-loop join over the decoded rows. This inflates the
   // execution time at the source exactly the way the paper describes.
@@ -463,6 +473,7 @@ Status SqlWrapper::ExecuteNaiveMerged(const fed::SubQuery& subquery,
   std::string naive_sql;
 
   for (const fed::StarSubQuery& star : subquery.stars) {
+    if (token.IsCancelled()) return Status::OK();
     fed::SubQuery single;
     single.source_id = subquery.source_id;
     single.stars.push_back(star);
@@ -542,6 +553,7 @@ Status SqlWrapper::ExecuteNaiveMerged(const fed::SubQuery& subquery,
   for (size_t s = 1; s < per_star.size(); ++s) {
     std::vector<rdf::Binding> next;
     for (const rdf::Binding& left : joined) {
+      if (token.IsCancelled()) return Status::OK();
       for (const rdf::Binding& right : per_star[s]) {
         bool compatible = true;
         for (const auto& [var, term] : right) {
@@ -560,7 +572,7 @@ Status SqlWrapper::ExecuteNaiveMerged(const fed::SubQuery& subquery,
     joined = std::move(next);
   }
   return ShipRows(std::move(joined), subquery, residual_filters, channel,
-                  out);
+                  out, token);
 }
 
 std::string SqlWrapper::last_sql() const {

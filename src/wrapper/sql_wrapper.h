@@ -46,6 +46,12 @@ class SqlWrapper : public fed::SourceWrapper {
   Status Execute(const fed::SubQuery& subquery, net::DelayChannel* channel,
                  BlockingQueue<rdf::Binding>* out) override;
 
+  // Cancellation-aware execution: polls the token between shipped rows, so
+  // a cancelled or expired session stops the scan without draining it.
+  Status Execute(const fed::SubQuery& subquery, net::DelayChannel* channel,
+                 BlockingQueue<rdf::Binding>* out,
+                 const CancellationToken& token) override;
+
   // --- introspection for tests, examples and EXPLAIN ---
 
   // The SQL most recently sent to the endpoint.
@@ -84,17 +90,20 @@ class SqlWrapper : public fed::SourceWrapper {
       const Translation& tr) const;
 
   // Applies instantiation membership and residual filters, then ships each
-  // surviving row through the channel into `out`.
+  // surviving row through the channel into `out`. Stops early on
+  // cancellation.
   Status ShipRows(std::vector<rdf::Binding> rows,
                   const fed::SubQuery& subquery,
                   const std::vector<sparql::FilterExprPtr>& residual_filters,
                   net::DelayChannel* channel,
-                  BlockingQueue<rdf::Binding>* out) const;
+                  BlockingQueue<rdf::Binding>* out,
+                  const CancellationToken& token) const;
 
   // The naive merged execution path (see Execute).
   Status ExecuteNaiveMerged(const fed::SubQuery& subquery,
                             net::DelayChannel* channel,
-                            BlockingQueue<rdf::Binding>* out);
+                            BlockingQueue<rdf::Binding>* out,
+                            const CancellationToken& token);
 
   std::string id_;
   const rel::Database* db_;

@@ -3,8 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "common/cancellation.h"
+#include "common/stopwatch.h"
 
 namespace lakefed {
 namespace {
@@ -112,6 +117,69 @@ TEST(BlockingQueueTest, MoveOnlyPayload) {
   auto v = q.Pop();
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(**v, 9);
+}
+
+// --- cancellation-token integration (streaming sessions) ---
+
+TEST(BlockingQueueTest, CancelUnblocksProducerOnFullQueue) {
+  // Teardown regression: a producer blocked on a full queue whose consumer
+  // is gone must unwind when the session cancels. The session wires
+  // OnCancel -> Close for every queue; Push(token) must then return false
+  // instead of deadlocking on the full queue.
+  auto q = std::make_shared<BlockingQueue<int>>(1);
+  CancellationToken token = CancellationToken::Cancellable();
+  token.OnCancel([q] { q->Close(); });
+  ASSERT_TRUE(q->Push(1, token));  // queue now full
+  std::atomic<bool> result{true};
+  std::thread producer([&] { result = q->Push(2, token); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(result.load());  // still blocked (not yet returned)
+  token.Cancel();
+  producer.join();
+  EXPECT_FALSE(result.load());
+}
+
+TEST(BlockingQueueTest, CancelledPopDoesNotDrain) {
+  BlockingQueue<int> q(4);
+  CancellationToken token = CancellationToken::Cancellable();
+  q.Push(1, token);
+  q.Push(2, token);
+  token.Cancel();
+  // Remaining items must not be drained after cancellation.
+  EXPECT_EQ(q.Pop(token), std::nullopt);
+  EXPECT_EQ(q.size(), 2u);
+  // The plain overload still drains (legacy close semantics are untouched).
+  EXPECT_EQ(q.Pop(), 1);
+}
+
+TEST(BlockingQueueTest, ClosedFullQueueRejectsTokenPush) {
+  BlockingQueue<int> q(1);
+  CancellationToken token = CancellationToken::Cancellable();
+  ASSERT_TRUE(q.Push(1, token));
+  q.Close();
+  // Closed-but-full: the push must fail immediately, not block for room.
+  EXPECT_FALSE(q.Push(2, token));
+}
+
+TEST(BlockingQueueTest, DeadlineWakesBlockedConsumer) {
+  BlockingQueue<int> q(4);
+  CancellationToken token = CancellationToken::WithDeadline(
+      CancellationToken::Clock::now() + std::chrono::milliseconds(50));
+  Stopwatch sw;
+  EXPECT_EQ(q.Pop(token), std::nullopt);  // empty queue, never closed
+  EXPECT_LT(sw.ElapsedSeconds(), 5.0);
+  EXPECT_TRUE(token.ToStatus().IsDeadlineExceeded());
+}
+
+TEST(BlockingQueueTest, DeadlineWakesBlockedProducer) {
+  BlockingQueue<int> q(1);
+  CancellationToken token = CancellationToken::WithDeadline(
+      CancellationToken::Clock::now() + std::chrono::milliseconds(50));
+  ASSERT_TRUE(q.Push(1, token));
+  Stopwatch sw;
+  EXPECT_FALSE(q.Push(2, token));  // full queue, no consumer
+  EXPECT_LT(sw.ElapsedSeconds(), 5.0);
+  EXPECT_TRUE(token.ToStatus().IsDeadlineExceeded());
 }
 
 }  // namespace
