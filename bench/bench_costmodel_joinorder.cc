@@ -1,0 +1,102 @@
+// COST — construction-order vs cost-ordered plans: every benchmark query
+// under every Gamma profile, with the statistics-based cost model off and
+// on. Reports answers, shipped rows and wall time per combination, and
+// writes the table as BENCH_costmodel.json (the `bench_json` target).
+//
+// Expected shape: identical answers everywhere; with the cost model on,
+// shipped rows drop on the filter- and join-heavy queries once the network
+// is slow enough for Heuristic 2 and the dependent-join arbitration to
+// fire (Gamma2/Gamma3), and never rise.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace lakefed::bench {
+namespace {
+
+struct Cell {
+  std::string network;
+  std::string query;
+  bool cost_model = false;
+  RunResult run;
+};
+
+void WriteJson(const std::vector<Cell>& cells, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"costmodel_joinorder\",\n");
+  std::fprintf(f, "  \"scale\": %g,\n  \"time_scale\": %g,\n",
+               EnvDouble("LAKEFED_BENCH_SCALE", 0.4), TimeScale());
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"network\": \"%s\", \"query\": \"%s\", "
+                 "\"cost_model\": %s, \"total_s\": %.6f, \"first_s\": %.6f, "
+                 "\"answers\": %zu, \"source_rows\": %llu, "
+                 "\"delay_ms\": %.3f}%s\n",
+                 c.network.c_str(), c.query.c_str(),
+                 c.cost_model ? "true" : "false", c.run.total_s,
+                 c.run.first_s, c.run.answers,
+                 static_cast<unsigned long long>(c.run.transferred),
+                 c.run.delay_ms, i + 1 == cells.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu rows)\n", path, cells.size());
+}
+
+void Run() {
+  PrintHeader(
+      "Cost model: construction-order vs cost-ordered plans, Gamma grid");
+  auto lake = BuildBenchLake();
+
+  std::vector<Cell> cells;
+  for (const net::NetworkProfile& profile :
+       net::NetworkProfile::PaperProfiles()) {
+    std::printf("\n-- %s --\n", profile.name.c_str());
+    std::printf("%-5s %12s %12s %10s %10s %12s\n", "query", "rows(off)",
+                "rows(on)", "t_off_s", "t_on_s", "answers");
+    int strictly_lower = 0;
+    for (const lslod::BenchmarkQuery& query : lslod::BenchmarkQueries()) {
+      RunResult off, on;
+      for (bool cost_model : {false, true}) {
+        fed::PlanOptions options = ModeOptions(
+            fed::PlanMode::kPhysicalDesignAware, profile);
+        options.use_cost_model = cost_model;
+        RunResult r = RunOnce(*lake, query.sparql, options);
+        (cost_model ? on : off) = r;
+        cells.push_back({profile.name, query.id, cost_model, r});
+      }
+      if (on.answers != off.answers) {
+        std::fprintf(stderr, "%s/%s: answer count diverged (%zu vs %zu)\n",
+                     profile.name.c_str(), query.id.c_str(), on.answers,
+                     off.answers);
+        std::exit(1);
+      }
+      if (on.transferred < off.transferred) ++strictly_lower;
+      std::printf("%-5s %12llu %12llu %10.3f %10.3f %12zu\n",
+                  query.id.c_str(),
+                  static_cast<unsigned long long>(off.transferred),
+                  static_cast<unsigned long long>(on.transferred),
+                  off.total_s, on.total_s, on.answers);
+    }
+    std::printf("%d of %zu queries ship strictly fewer rows cost-ordered\n",
+                strictly_lower, lslod::BenchmarkQueries().size());
+  }
+  WriteJson(cells, "BENCH_costmodel.json");
+}
+
+}  // namespace
+}  // namespace lakefed::bench
+
+int main() {
+  lakefed::bench::Run();
+  return 0;
+}

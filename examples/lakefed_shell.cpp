@@ -6,6 +6,11 @@
 //   .mode aware|unaware   switch the QEP family
 //   .network NoDelay|Gamma1|Gamma2|Gamma3
 //   .explain on|off       print the QEP before every execution
+//   .explain <query>      cost-model EXPLAIN ANALYZE of a built-in query id
+//                         (Q1..Q5, FIG1) or an inline SPARQL string: prints
+//                         the plan with per-node estimated cardinalities,
+//                         executes it, then shows estimated vs actual rows
+//   .cost on|off          statistics-based (cost-model) planning
 //   .h1 on|off  .h2 on|off  toggle the heuristics (aware mode)
 //   .sources              list sources
 //   .molecules            list RDF molecule templates
@@ -84,6 +89,31 @@ class Shell {
     last_stats_ = answer->OperatorStatsText();
   }
 
+  // Cost-model EXPLAIN ANALYZE: plan `text` (a built-in query id or inline
+  // SPARQL) with statistics-based planning forced on, execute it, and show
+  // each operator's estimated vs actual cardinality.
+  void ExplainQuery(const std::string& text) {
+    const lslod::BenchmarkQuery* q = lslod::FindQuery(text);
+    const std::string& sparql = q != nullptr ? q->sparql : text;
+    fed::PlanOptions opts = options_;
+    opts.use_cost_model = true;
+    auto plan = lake_->engine->Plan(sparql, opts);
+    if (!plan.ok()) {
+      std::printf("plan error: %s\n", plan.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s\n", plan->Explain().c_str());
+    auto answer = lake_->engine->Execute(sparql, opts);
+    if (!answer.ok()) {
+      std::printf("error: %s\n", answer.status().ToString().c_str());
+      return;
+    }
+    PrintAnswer(*answer);
+    last_stats_ = answer->OperatorStatsText();
+    std::printf("operators (actual rows, [est≈...] where estimated):\n%s",
+                last_stats_.c_str());
+  }
+
   // Returns false on .quit.
   bool Command(const std::string& line) {
     std::istringstream in(line);
@@ -94,7 +124,8 @@ class Shell {
       std::printf(
           "Enter a SPARQL query followed by an empty line, or:\n"
           "  .mode aware|unaware   .network NoDelay|Gamma1|Gamma2|Gamma3\n"
-          "  .explain on|off       .h1 on|off   .h2 on|off\n"
+          "  .explain on|off       .explain <query id or SPARQL>\n"
+          "  .cost on|off          .h1 on|off   .h2 on|off\n"
           "  .sources  .molecules  .queries  .run <id>  .sql  .stats  "
           ".quit\n");
     } else if (cmd == ".mode") {
@@ -120,8 +151,17 @@ class Shell {
                   found ? options_.network.name.c_str() : arg.c_str(),
                   found ? options_.network.MeanLatencyMs() : 0.0);
     } else if (cmd == ".explain") {
-      explain_ = arg != "off";
-      std::printf("explain = %s\n", explain_ ? "on" : "off");
+      if (arg.empty() || arg == "on" || arg == "off") {
+        explain_ = arg != "off";
+        std::printf("explain = %s\n", explain_ ? "on" : "off");
+      } else {
+        // EXPLAIN ANALYZE of the rest of the line (query id or SPARQL).
+        std::string rest(TrimWhitespace(line.substr(cmd.size())));
+        ExplainQuery(rest);
+      }
+    } else if (cmd == ".cost") {
+      options_.use_cost_model = arg != "off";
+      std::printf("cost model = %s\n", arg != "off" ? "on" : "off");
     } else if (cmd == ".h1") {
       options_.heuristic1_join_pushdown = arg != "off";
       std::printf("heuristic 1 = %s\n", arg != "off" ? "on" : "off");

@@ -28,15 +28,57 @@ SourceWrapper* FederatedEngine::wrapper(const std::string& source_id) {
   return it == wrappers_.end() ? nullptr : it->second;
 }
 
+Status FederatedEngine::AnalyzeSources(
+    const stats::AnalyzeOptions& options) const {
+  Seal();
+  auto catalog = std::make_unique<stats::StatsCatalog>();
+  for (const auto& [id, source] : wrappers_) {
+    stats::SourceStats stats;
+    LAKEFED_RETURN_NOT_OK(source->CollectStatistics(options, &stats));
+    catalog->AddSource(std::move(stats));
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (stats_ != nullptr) {
+    catalog->MergeFeedbackFrom(*stats_);
+    retired_stats_.push_back(std::move(stats_));
+  }
+  stats_ = std::move(catalog);
+  return Status::OK();
+}
+
+const stats::StatsCatalog* FederatedEngine::stats_catalog() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_.get();
+}
+
+Status FederatedEngine::PrepareStats(PlanOptions* options) const {
+  if (!options->use_cost_model || options->stats_catalog != nullptr) {
+    return Status::OK();
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (stats_ != nullptr) {
+      options->stats_catalog = stats_.get();
+      return Status::OK();
+    }
+  }
+  LAKEFED_RETURN_NOT_OK(AnalyzeSources());
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  options->stats_catalog = stats_.get();
+  return Status::OK();
+}
+
 Result<FederatedPlan> FederatedEngine::Plan(const std::string& sparql,
                                             const PlanOptions& options)
     const {
+  PlanOptions effective = options;
+  LAKEFED_RETURN_NOT_OK(PrepareStats(&effective));
   LAKEFED_ASSIGN_OR_RETURN(sparql::SelectQuery query,
                            sparql::ParseSparql(sparql));
   std::vector<sparql::SelectQuery> branches = sparql::ExpandUnions(query);
   LAKEFED_ASSIGN_OR_RETURN(
       FederatedPlan plan,
-      BuildPlan(branches.front(), catalog_, wrappers_, options));
+      BuildPlan(branches.front(), catalog_, wrappers_, effective));
   if (branches.size() > 1) {
     plan.decisions.insert(
         plan.decisions.begin(),
@@ -51,6 +93,7 @@ Result<std::unique_ptr<ResultStream>> FederatedEngine::CreateSession(
     QueryRequest request) const {
   LAKEFED_RETURN_NOT_OK(request.options.Validate());
   Seal();
+  LAKEFED_RETURN_NOT_OK(PrepareStats(&request.options));
   sparql::SelectQuery query;
   if (request.parsed.has_value()) {
     query = std::move(*request.parsed);

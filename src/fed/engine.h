@@ -26,6 +26,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,8 @@
 #include "fed/session.h"
 #include "fed/wrapper.h"
 #include "mapping/rdf_mt.h"
+#include "stats/analyze.h"
+#include "stats/stats_catalog.h"
 
 namespace lakefed::fed {
 
@@ -60,6 +63,17 @@ class FederatedEngine {
   const mapping::RdfMtCatalog& catalog() const { return catalog_; }
   SourceWrapper* wrapper(const std::string& source_id);
 
+  // Profiles every registered source into the engine's statistics catalog
+  // — the ANALYZE step of the cost-based planner. Seals the engine.
+  // Re-analyzing replaces the catalog but carries the runtime cardinality
+  // feedback forward; catalogs already handed to running sessions stay
+  // valid (they are retired, not destroyed).
+  Status AnalyzeSources(const stats::AnalyzeOptions& options = {}) const;
+
+  // The engine's statistics catalog, or nullptr until AnalyzeSources has
+  // run (directly, or lazily through the first cost-model query).
+  const stats::StatsCatalog* stats_catalog() const;
+
   // Plans without executing (EXPLAIN).
   Result<FederatedPlan> Plan(const std::string& sparql,
                              const PlanOptions& options) const;
@@ -82,12 +96,23 @@ class FederatedEngine {
                                     const PlanOptions& options) const;
 
  private:
+  // Fills options->stats_catalog for cost-model runs, lazily analyzing the
+  // sources on the first such query. No-op when the cost model is off or a
+  // catalog was supplied explicitly.
+  Status PrepareStats(PlanOptions* options) const;
+
   std::map<std::string, std::unique_ptr<SourceWrapper>> owned_;
   std::map<std::string, SourceWrapper*> wrappers_;
   mapping::RdfMtCatalog catalog_;
   // Set on the first CreateSession; guards the registry against mutation
   // while sessions run (Seal() is const so const engines can host sessions).
   mutable std::atomic<bool> sealed_{false};
+
+  // Statistics catalog (cost-based planning). `retired_stats_` keeps every
+  // superseded catalog alive because sessions hold raw pointers into it.
+  mutable std::mutex stats_mu_;
+  mutable std::unique_ptr<stats::StatsCatalog> stats_;
+  mutable std::vector<std::unique_ptr<stats::StatsCatalog>> retired_stats_;
 };
 
 }  // namespace lakefed::fed

@@ -10,6 +10,7 @@
 
 #include "common/blocking_queue.h"
 #include "common/stopwatch.h"
+#include "stats/stats_catalog.h"
 
 namespace lakefed::fed {
 namespace {
@@ -84,10 +85,23 @@ class PlanExecution::Impl {
     for (const auto& [source, channel] : channels_) {
       stats_.messages_transferred += channel->messages_transferred();
       stats_.network_delay_ms += channel->total_delay_ms();
+      ExecutionStats::SourceBreakdown& breakdown = stats_.per_source[source];
+      breakdown.messages += channel->messages_transferred();
+      breakdown.rows += channel->messages_transferred();
+      breakdown.delay_ms += channel->total_delay_ms();
     }
     stats_.source_rows = stats_.messages_transferred;
-    for (const auto& [label, counter] : operator_counters_) {
-      operator_rows_.emplace_back(label, counter->load());
+    for (const auto& entry : operator_counters_) {
+      operator_rows_.emplace_back(entry.label, entry.counter->load());
+      operator_estimates_.push_back(entry.estimate);
+      // Runtime cardinality feedback: fold the observed row count back into
+      // the stats catalog, but only for clean completions — partial counts
+      // of cancelled/expired runs would poison the estimates.
+      if (options_.stats_catalog != nullptr && !entry.stats_key.empty() &&
+          final_status_.ok()) {
+        options_.stats_catalog->RecordActual(entry.stats_key,
+                                             entry.counter->load());
+      }
     }
     finished_ = true;
     return final_status_;
@@ -96,6 +110,9 @@ class PlanExecution::Impl {
   const ExecutionStats& stats() const { return stats_; }
   const std::vector<std::pair<std::string, uint64_t>>& operator_rows() const {
     return operator_rows_;
+  }
+  const std::vector<double>& operator_estimates() const {
+    return operator_estimates_;
   }
 
  private:
@@ -160,7 +177,8 @@ class PlanExecution::Impl {
     queue->set_push_counter(counter);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      operator_counters_.emplace_back(std::move(label), std::move(counter));
+      operator_counters_.push_back({std::move(label), node.stats_key,
+                                    node.estimated_rows, std::move(counter)});
     }
     RegisterQueue(queue);
     return queue;
@@ -528,13 +546,19 @@ class PlanExecution::Impl {
   Status error_;
   std::vector<std::function<void()>> closers_;
   std::map<std::string, std::unique_ptr<net::DelayChannel>> channels_;
-  std::vector<std::pair<std::string, std::shared_ptr<std::atomic<uint64_t>>>>
-      operator_counters_;
+  struct OperatorCounter {
+    std::string label;
+    std::string stats_key;  // feedback key; empty = no feedback
+    double estimate;        // planner's estimate; -1 = none
+    std::shared_ptr<std::atomic<uint64_t>> counter;
+  };
+  std::vector<OperatorCounter> operator_counters_;
 
   bool finished_ = false;
   Status final_status_;
   ExecutionStats stats_;
   std::vector<std::pair<std::string, uint64_t>> operator_rows_;
+  std::vector<double> operator_estimates_;
 };
 
 PlanExecution::PlanExecution(
@@ -557,15 +581,48 @@ PlanExecution::operator_rows() const {
   return impl_->operator_rows();
 }
 
+const std::vector<double>& PlanExecution::operator_estimates() const {
+  return impl_->operator_estimates();
+}
+
+void ExecutionStats::MergeFrom(const ExecutionStats& other) {
+  messages_transferred += other.messages_transferred;
+  network_delay_ms += other.network_delay_ms;
+  source_rows += other.source_rows;
+  for (const auto& [source, b] : other.per_source) {
+    SourceBreakdown& mine = per_source[source];
+    mine.rows += b.rows;
+    mine.messages += b.messages;
+    mine.delay_ms += b.delay_ms;
+  }
+}
+
 std::string QueryAnswer::OperatorStatsText() const {
   std::string out;
-  char buf[32];
-  for (const auto& [label, rows] : operator_rows) {
+  char buf[64];
+  for (size_t i = 0; i < operator_rows.size(); ++i) {
+    const auto& [label, rows] = operator_rows[i];
     std::snprintf(buf, sizeof(buf), "%10llu  ",
                   static_cast<unsigned long long>(rows));
     out += buf;
     out += label;
+    if (i < operator_estimates.size() && operator_estimates[i] >= 0.0) {
+      std::snprintf(buf, sizeof(buf), "  [est≈%lld]",
+                    static_cast<long long>(operator_estimates[i]));
+      out += buf;
+    }
     out.push_back('\n');
+  }
+  if (!stats.per_source.empty()) {
+    out += "per-source traffic:\n";
+    for (const auto& [source, b] : stats.per_source) {
+      std::snprintf(buf, sizeof(buf), "%10llu rows  %10llu msgs  %10.2f ms  ",
+                    static_cast<unsigned long long>(b.rows),
+                    static_cast<unsigned long long>(b.messages), b.delay_ms);
+      out += buf;
+      out += source;
+      out.push_back('\n');
+    }
   }
   return out;
 }
@@ -590,6 +647,7 @@ Result<QueryAnswer> ExecutePlan(
   LAKEFED_RETURN_NOT_OK(execution.Finish());
   answer.stats = execution.stats();
   answer.operator_rows = execution.operator_rows();
+  answer.operator_estimates = execution.operator_estimates();
   return answer;
 }
 

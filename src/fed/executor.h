@@ -35,6 +35,18 @@ struct ExecutionStats {
   double network_delay_ms = 0;
   // Rows received from all sources (the intermediate-result size).
   uint64_t source_rows = 0;
+
+  // Per-source share of the traffic above (keyed by source id).
+  struct SourceBreakdown {
+    uint64_t rows = 0;      // result rows shipped by this source
+    uint64_t messages = 0;  // delay-channel transfers
+    double delay_ms = 0;    // simulated delay injected on this channel
+  };
+  std::map<std::string, SourceBreakdown> per_source;
+
+  // Folds `other` into this (totals summed, per-source entries merged) —
+  // used by sessions accumulating multiple plan executions.
+  void MergeFrom(const ExecutionStats& other);
 };
 
 struct QueryAnswer {
@@ -46,8 +58,12 @@ struct QueryAnswer {
   // Rows emitted by each operator of the plan, in spawn order
   // (EXPLAIN-ANALYZE-style observability).
   std::vector<std::pair<std::string, uint64_t>> operator_rows;
+  // Parallel to operator_rows: the planner's estimated cardinality of each
+  // operator, or -1 when no estimate was made (cost model off).
+  std::vector<double> operator_estimates;
 
-  // Multi-line "rows  operator" rendering of operator_rows.
+  // Multi-line "rows  operator" rendering of operator_rows (with estimates
+  // when present) followed by the per-source traffic breakdown.
   std::string OperatorStatsText() const;
 };
 
@@ -82,6 +98,7 @@ class PlanExecution {
   // reported faithfully (stats cover the work actually performed).
   const ExecutionStats& stats() const;
   const std::vector<std::pair<std::string, uint64_t>>& operator_rows() const;
+  const std::vector<double>& operator_estimates() const;
 
  private:
   class Impl;

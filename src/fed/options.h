@@ -12,6 +12,10 @@
 #include "fed/subquery.h"
 #include "net/network.h"
 
+namespace lakefed::stats {
+class StatsCatalog;
+}  // namespace lakefed::stats
+
 namespace lakefed::fed {
 
 enum class PlanMode {
@@ -57,6 +61,16 @@ struct PlanOptions {
   // wrapper. Used to reproduce the "pushing down the join increases the
   // execution time" negative result.
   bool naive_sql_translation = false;
+
+  // Cost-based planning (stats subsystem). Off by default so plans stay
+  // bit-identical to the heuristic-only planner. When on, the planner uses
+  // `stats_catalog` (not owned; FederatedEngine fills it in automatically
+  // from its analyzed sources when left null) to estimate SSQ cardinalities,
+  // order the join tree by ascending estimated size, and arbitrate the
+  // heuristics when estimates and index rules disagree. Finished executions
+  // fold actual operator cardinalities back into the catalog.
+  bool use_cost_model = false;
+  stats::StatsCatalog* stats_catalog = nullptr;
 
   // Rejects inconsistent option combinations. Called by the engine at
   // session creation, so invalid options fail fast instead of silently

@@ -9,6 +9,11 @@ void ExplainInto(const FedPlanNode& node, std::string* out, int indent) {
   out->append(static_cast<size_t>(indent) * 2, ' ');
   out->append("-> ");
   out->append(node.Describe());
+  if (node.estimated_rows >= 0.0) {
+    out->append(" [est≈" +
+                std::to_string(static_cast<long long>(node.estimated_rows)) +
+                " rows]");
+  }
   out->push_back('\n');
   for (const FedPlanPtr& child : node.children) {
     ExplainInto(*child, out, indent + 1);

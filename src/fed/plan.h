@@ -40,6 +40,12 @@ struct FedPlanNode {
   std::vector<sparql::OrderCondition> order_by;  // kOrderBy
   int64_t limit = 0;                    // kLimit
 
+  // Cost-model annotations (set only when PlanOptions::use_cost_model is
+  // on). estimated_rows < 0 means "no estimate"; stats_key identifies the
+  // sub-query for the runtime cardinality feedback loop (kService only).
+  double estimated_rows = -1.0;
+  std::string stats_key;
+
   // Variables this node's output rows bind.
   std::vector<std::string> OutputVariables() const;
 

@@ -1,9 +1,14 @@
 #include "fed/planner.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <optional>
 #include <set>
 
 #include "fed/decomposer.h"
+#include "stats/estimator.h"
+#include "stats/stats_catalog.h"
 
 namespace lakefed::fed {
 namespace {
@@ -75,6 +80,110 @@ double EstimateTransferredRows(const SubQuery& sq,
   return std::max(rows, 1.0);
 }
 
+// --- cost-model helpers (PlanOptions::use_cost_model) ----------------------
+
+// True if every variable of `filter` is produced by `star`.
+bool StarCoversFilter(const StarSubQuery& star,
+                      const sparql::FilterExpr& filter) {
+  std::vector<std::string> fvars;
+  filter.CollectVariables(&fvars);
+  std::vector<std::string> svars = star.Variables();
+  for (const std::string& v : fvars) {
+    if (std::find(svars.begin(), svars.end(), v) == svars.end()) return false;
+  }
+  return true;
+}
+
+// Builds the estimator's fed-neutral view of one star routed to one source.
+stats::PatternSpec SpecForStar(const StarSubQuery& star,
+                               const std::string& source_id) {
+  stats::PatternSpec spec;
+  spec.source_id = source_id;
+  if (star.class_iri.has_value()) spec.class_iri = *star.class_iri;
+  spec.subject_is_constant = !star.subject.is_var;
+  if (star.subject.is_var) spec.subject_var = star.subject.var;
+  for (const rdf::TriplePattern& p : star.patterns) {
+    if (p.predicate.is_var || !p.predicate.term.is_iri()) continue;
+    const std::string& pred = p.predicate.term.value();
+    if (pred == rdf::kRdfType) continue;
+    stats::PatternPredicate pp;
+    pp.predicate = pred;
+    if (p.object.is_var) {
+      spec.var_predicates.emplace(p.object.var, pred);
+    } else {
+      pp.object = p.object.term;
+    }
+    spec.predicates.push_back(std::move(pp));
+  }
+  return spec;
+}
+
+struct SubQueryEstimate {
+  double shipped = 0;  // rows the wrapper sends over the network
+  double output = 0;   // rows after the engine-side filters above the scan
+};
+
+// Statistics-based estimate of one (possibly H1-merged) sub-query. Merged
+// stars combine through the containment join formula; each placed filter is
+// charged to the first star covering its variables.
+SubQueryEstimate EstimateSubQuery(const SubQuery& sq,
+                                  const stats::CardinalityEstimator& est) {
+  std::vector<stats::PatternSpec> specs;
+  std::vector<const StarSubQuery*> stars;
+  for (const StarSubQuery& star : sq.stars) {
+    specs.push_back(SpecForStar(star, sq.source_id));
+    stars.push_back(&star);
+  }
+  double engine_sel = 1.0;
+  for (const PlacedFilter& pf : sq.filters) {
+    if (pf.filter == nullptr) continue;
+    for (size_t i = 0; i < stars.size(); ++i) {
+      if (!StarCoversFilter(*stars[i], *pf.filter)) continue;
+      if (pf.placement == FilterPlacement::kSource) {
+        specs[i].source_filters.push_back(pf.filter);
+      } else {
+        engine_sel *= est.EstimateFilterSelectivity(specs[i], *pf.filter);
+      }
+      break;
+    }
+  }
+  SubQueryEstimate out;
+  double rows = est.EstimateShippedRows(specs[0]);
+  for (size_t i = 1; i < specs.size(); ++i) {
+    const double right = est.EstimateShippedRows(specs[i]);
+    // Join variable: the first one the accumulated stars share with star i.
+    std::string var;
+    size_t left_idx = 0;
+    std::vector<std::string> vi = stars[i]->Variables();
+    for (size_t j = 0; j < i && var.empty(); ++j) {
+      for (const std::string& v : stars[j]->Variables()) {
+        if (std::find(vi.begin(), vi.end(), v) != vi.end()) {
+          var = v;
+          left_idx = j;
+          break;
+        }
+      }
+    }
+    if (var.empty()) {
+      rows *= right;  // cross product inside the source
+      continue;
+    }
+    const double dv_l = est.EstimateDistinct(specs[left_idx], var, rows);
+    const double dv_r = est.EstimateDistinct(specs[i], var, right);
+    rows = stats::CardinalityEstimator::EstimateJoinRows(rows, right, dv_l,
+                                                         dv_r);
+  }
+  out.shipped = rows;
+  out.output = rows * engine_sel;
+  return out;
+}
+
+std::string FormatEstimate(double rows) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", rows);
+  return buf;
+}
+
 }  // namespace
 
 bool VariableIsIndexed(const StarSubQuery& star, const std::string& var,
@@ -102,6 +211,16 @@ Result<FederatedPlan> BuildPlan(
                              " single-pattern sub-queries");
   }
   const bool aware = options.mode == PlanMode::kPhysicalDesignAware;
+  const bool cost_model =
+      options.use_cost_model && options.stats_catalog != nullptr;
+  std::optional<stats::CardinalityEstimator> estimator;
+  if (cost_model) {
+    estimator.emplace(options.stats_catalog, &catalog);
+    plan.decisions.push_back(
+        "cost model: statistics-based planning over " +
+        std::to_string(options.stats_catalog->num_sources()) +
+        " analyzed source(s)");
+  }
 
   // --- 1. Source selection ---------------------------------------------
   // Each star becomes one SubQuery per selected source; multiple sources
@@ -161,6 +280,29 @@ Result<FederatedPlan> BuildPlan(
       std::string var;
       bool simple = sparql::IsPushableToSql(*filter, &var);
       bool indexed = simple && VariableIsIndexed(star, var, *wrapper);
+      if (cost_model && simple) {
+        // Cost arbitration of Heuristic 2: push any translatable filter to
+        // the source when the network injects delay and the filter actually
+        // discards rows — even without an index, evaluating at the source
+        // beats shipping rows that the engine would drop.
+        const double sel = estimator->EstimateFilterSelectivity(
+            SpecForStar(star, source_id), *filter);
+        const bool has_latency = options.network.NominalLatencyMs() > 0;
+        if (has_latency && sel < 0.95) {
+          pf.placement = FilterPlacement::kSource;
+          pf.reason = "cost: est selectivity " + FormatEstimate(sel) +
+                      " cuts shipped rows over delayed network" +
+                      (indexed ? " (indexed)" : " (no index)");
+        } else {
+          pf.placement = FilterPlacement::kEngine;
+          pf.reason = has_latency
+                          ? "cost: est selectivity " + FormatEstimate(sel) +
+                                " saves nothing, evaluated at engine"
+                          : "cost: no network delay, evaluated at engine";
+        }
+        out.push_back(std::move(pf));
+        continue;
+      }
       if (simple && indexed && slow_network) {
         pf.placement = FilterPlacement::kSource;
         pf.reason = "H2: attribute indexed and network slow (" +
@@ -201,6 +343,21 @@ Result<FederatedPlan> BuildPlan(
     }
     units.push_back(std::move(unit));
   }
+
+  // Calibrated cost-model estimate of one sub-query: the raw statistics
+  // estimate, overridden by runtime feedback from earlier executions of the
+  // same sub-query (the output estimate scales proportionally).
+  auto est_subquery = [&](const SubQuery& sq) -> SubQueryEstimate {
+    SubQueryEstimate e = EstimateSubQuery(sq, *estimator);
+    const double calibrated =
+        options.stats_catalog->Calibrated(SubQueryStatsKey(sq), e.shipped);
+    if (calibrated != e.shipped) {
+      e.output = e.shipped > 0 ? e.output * (calibrated / e.shipped)
+                               : calibrated;
+      e.shipped = calibrated;
+    }
+    return e;
+  };
 
   // --- 4. Heuristic 1: pushing down joins --------------------------------
   // Merge two single-source units into one SubQuery when: same relational
@@ -248,6 +405,27 @@ Result<FederatedPlan> BuildPlan(
             }
           }
           if (!compatible) continue;
+          if (cost_model) {
+            // Cost arbitration of Heuristic 1: merging ships the join
+            // result instead of both inputs — reject the merge when the
+            // estimated join result is the larger transfer.
+            SubQuery merged = a;
+            merged.stars.insert(merged.stars.end(), b.stars.begin(),
+                                b.stars.end());
+            merged.filters.insert(merged.filters.end(), b.filters.begin(),
+                                  b.filters.end());
+            const double est_merged = est_subquery(merged).shipped;
+            const double est_separate =
+                est_subquery(a).shipped + est_subquery(b).shipped;
+            if (est_merged > est_separate) {
+              plan.decisions.push_back(
+                  "cost: H1 merge on ?" + var + " over " + a.source_id +
+                  " rejected (est " + FormatEstimate(est_merged) +
+                  " merged vs " + FormatEstimate(est_separate) +
+                  " separate rows shipped)");
+              continue;
+            }
+          }
           plan.decisions.push_back(
               "H1: merged SSQs over " + a.source_id + " on ?" + var +
               " (join attribute indexed) -> join pushed to the source");
@@ -270,21 +448,67 @@ Result<FederatedPlan> BuildPlan(
     std::vector<FedPlanPtr> scans;
     for (const SubQuery& sq : unit.replicas) {
       FedPlanPtr node = MakeServiceNode(sq);
+      SubQueryEstimate estimate;
+      if (cost_model) {
+        estimate = est_subquery(sq);
+        node->estimated_rows = estimate.shipped;
+        node->stats_key = SubQueryStatsKey(sq);
+      }
       std::vector<sparql::FilterExprPtr> engine_filters = sq.EngineFilters();
       if (!engine_filters.empty()) {
         node = MakeFilterNode(std::move(node), std::move(engine_filters));
+        if (cost_model) node->estimated_rows = estimate.output;
       }
       scans.push_back(std::move(node));
     }
     if (scans.size() == 1) return std::move(scans.front());
-    return MakeUnionNode(std::move(scans));
+    double union_estimate = 0;
+    if (cost_model) {
+      for (const FedPlanPtr& scan : scans) {
+        union_estimate += std::max(scan->estimated_rows, 0.0);
+      }
+    }
+    FedPlanPtr node = MakeUnionNode(std::move(scans));
+    if (cost_model) node->estimated_rows = union_estimate;
+    return node;
   };
 
   // --- 6. Join-tree construction (greedy, smallest estimate first) -------
+  // With the cost model on, unit estimates come from the statistics and the
+  // greedy criterion is the estimated *join output* against the current
+  // tree; otherwise the molecule-cardinality heuristic orders units.
   std::vector<size_t> remaining(units.size());
   for (size_t i = 0; i < units.size(); ++i) remaining[i] = i;
+  std::vector<double> unit_shipped(units.size(), -1.0);
+  std::vector<double> unit_output(units.size(), -1.0);
+  if (cost_model) {
+    for (size_t i = 0; i < units.size(); ++i) {
+      double shipped = 0, output = 0;
+      for (const SubQuery& sq : units[i].replicas) {
+        SubQueryEstimate e = est_subquery(sq);
+        shipped += e.shipped;
+        output += e.output;
+      }
+      unit_shipped[i] = shipped;
+      unit_output[i] = output;
+    }
+  }
   auto rows_of = [&](size_t idx) {
+    if (cost_model) return unit_output[idx];
     return EstimateTransferredRows(units[idx].front(), catalog);
+  };
+  // Estimated distinct values of `var` among one unit's output rows.
+  auto unit_var_distinct = [&](size_t idx, const std::string& var,
+                               double rows) -> double {
+    for (const SubQuery& sq : units[idx].replicas) {
+      for (const StarSubQuery& star : sq.stars) {
+        std::vector<std::string> vars = star.Variables();
+        if (std::find(vars.begin(), vars.end(), var) == vars.end()) continue;
+        return estimator->EstimateDistinct(SpecForStar(star, sq.source_id),
+                                           var, rows);
+      }
+    }
+    return rows;
   };
   std::sort(remaining.begin(), remaining.end(),
             [&](size_t a, size_t b) { return rows_of(a) < rows_of(b); });
@@ -293,12 +517,25 @@ Result<FederatedPlan> BuildPlan(
   remaining.erase(remaining.begin());
   FedPlanPtr root = build_unit_node(units[first]);
   std::vector<std::string> bound_vars = units[first].Variables();
+  // Cost-model running state: estimated rows of the current tree and the
+  // estimated distinct values of each bound variable.
+  double est_tree = cost_model ? unit_output[first] : -1.0;
+  std::map<std::string, double> tree_distinct;
+  if (cost_model) {
+    for (const std::string& v : bound_vars) {
+      tree_distinct[v] =
+          std::min(unit_var_distinct(first, v, est_tree),
+                   std::max(est_tree, 1.0));
+    }
+  }
 
   while (!remaining.empty()) {
     // Among units sharing a variable with the current tree, pick the most
-    // selective; fall back to a cross product if none connects.
+    // selective (cost model: the smallest estimated join output); fall back
+    // to a cross product if none connects.
     size_t pick_pos = remaining.size();
     std::vector<std::string> pick_shared;
+    double pick_join_est = -1.0;
     for (size_t pos = 0; pos < remaining.size(); ++pos) {
       const Unit& unit = units[remaining[pos]];
       std::vector<std::string> shared;
@@ -309,8 +546,22 @@ Result<FederatedPlan> BuildPlan(
         }
       }
       if (shared.empty()) continue;
-      if (pick_pos == remaining.size() ||
-          rows_of(remaining[pos]) < rows_of(remaining[pick_pos])) {
+      if (cost_model) {
+        const size_t idx = remaining[pos];
+        const std::string& v = shared.front();
+        auto it = tree_distinct.find(v);
+        const double dv_tree = it != tree_distinct.end() ? it->second
+                                                         : est_tree;
+        const double dv_unit = unit_var_distinct(idx, v, unit_output[idx]);
+        const double join_est = stats::CardinalityEstimator::EstimateJoinRows(
+            est_tree, unit_output[idx], dv_tree, dv_unit);
+        if (pick_pos == remaining.size() || join_est < pick_join_est) {
+          pick_pos = pos;
+          pick_shared = shared;
+          pick_join_est = join_est;
+        }
+      } else if (pick_pos == remaining.size() ||
+                 rows_of(remaining[pos]) < rows_of(remaining[pick_pos])) {
         pick_pos = pos;
         pick_shared = shared;
       }
@@ -318,30 +569,45 @@ Result<FederatedPlan> BuildPlan(
     if (pick_pos == remaining.size()) {
       pick_pos = 0;  // cross product
       pick_shared.clear();
+      if (cost_model) {
+        pick_join_est = est_tree * std::max(unit_output[remaining[0]], 0.0);
+      }
       plan.decisions.push_back("no shared variable: cross product join");
     }
     size_t pick = remaining[pick_pos];
     remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(pick_pos));
 
     const Unit& unit = units[pick];
-    bool dependent =
-        options.use_dependent_join && unit.IsSingle() &&
-        !pick_shared.empty() &&
-        unit.front().EngineFilters().empty() && [&] {
-          // dependent joins pay off when the bound variable probes an index
-          SourceWrapper* wrapper = wrappers.at(unit.front().source_id);
-          for (const StarSubQuery& star : unit.front().stars) {
-            std::vector<std::string> vars = star.Variables();
-            if (std::find(vars.begin(), vars.end(), pick_shared.front()) ==
-                vars.end()) {
-              continue;
-            }
-            if (VariableIsIndexed(star, pick_shared.front(), *wrapper)) {
-              return true;
-            }
-          }
-          return false;
-        }();
+    auto index_supported_bind = [&] {
+      // dependent joins pay off when the bound variable probes an index
+      SourceWrapper* wrapper = wrappers.at(unit.front().source_id);
+      for (const StarSubQuery& star : unit.front().stars) {
+        std::vector<std::string> vars = star.Variables();
+        if (std::find(vars.begin(), vars.end(), pick_shared.front()) ==
+            vars.end()) {
+          continue;
+        }
+        if (VariableIsIndexed(star, pick_shared.front(), *wrapper)) {
+          return true;
+        }
+      }
+      return false;
+    };
+    const bool bind_eligible = unit.IsSingle() && !pick_shared.empty() &&
+                               unit.front().EngineFilters().empty();
+    bool dependent = options.use_dependent_join && bind_eligible &&
+                     index_supported_bind();
+    if (cost_model && !dependent && bind_eligible &&
+        pick_join_est < unit_shipped[pick]) {
+      // Cost decision: a bind join ships only the ~join-result rows from
+      // this source instead of its full extension.
+      dependent = true;
+      plan.decisions.push_back(
+          "cost: dependent join on ?" + pick_shared.front() + " into " +
+          unit.front().source_id + " (est join " +
+          FormatEstimate(pick_join_est) + " < est shipped " +
+          FormatEstimate(unit_shipped[pick]) + " rows)");
+    }
     if (dependent) {
       plan.decisions.push_back("dependent join on ?" + pick_shared.front() +
                                " into " + unit.front().source_id);
@@ -351,10 +617,23 @@ Result<FederatedPlan> BuildPlan(
       root = MakeJoinNode(std::move(root), build_unit_node(unit),
                           pick_shared);
     }
+    if (cost_model) {
+      root->estimated_rows = pick_join_est;
+      est_tree = std::max(pick_join_est, 0.0);
+    }
     for (const std::string& v : unit.Variables()) {
       if (std::find(bound_vars.begin(), bound_vars.end(), v) ==
           bound_vars.end()) {
         bound_vars.push_back(v);
+      }
+      if (cost_model) {
+        const double dv = std::min(
+            unit_var_distinct(pick, v, unit_output[pick]),
+            std::max(est_tree, 1.0));
+        auto it = tree_distinct.find(v);
+        if (it == tree_distinct.end() || dv < it->second) {
+          tree_distinct[v] = dv;
+        }
       }
     }
   }
@@ -374,9 +653,16 @@ Result<FederatedPlan> BuildPlan(
       sq.stars.push_back(star);
       sq.filters = place_filters(star, source);
       FedPlanPtr node = MakeServiceNode(sq);
+      SubQueryEstimate estimate;
+      if (cost_model) {
+        estimate = est_subquery(sq);
+        node->estimated_rows = estimate.shipped;
+        node->stats_key = SubQueryStatsKey(sq);
+      }
       std::vector<sparql::FilterExprPtr> engine_filters = sq.EngineFilters();
       if (!engine_filters.empty()) {
         node = MakeFilterNode(std::move(node), std::move(engine_filters));
+        if (cost_model) node->estimated_rows = estimate.output;
       }
       scans.push_back(std::move(node));
     }
@@ -393,6 +679,7 @@ Result<FederatedPlan> BuildPlan(
                              std::to_string(shared.size()) +
                              " shared variable(s)");
     root = MakeLeftJoinNode(std::move(root), std::move(right), shared);
+    if (cost_model) root->estimated_rows = est_tree;  // outer side preserved
     for (const std::string& v : star.Variables()) {
       if (std::find(bound_vars.begin(), bound_vars.end(), v) ==
           bound_vars.end()) {

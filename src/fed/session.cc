@@ -78,12 +78,12 @@ Status ResultStream::StartBranch() {
 }
 
 void ResultStream::AccumulateExecution() {
-  const ExecutionStats& s = execution_->stats();
-  stats_.messages_transferred += s.messages_transferred;
-  stats_.network_delay_ms += s.network_delay_ms;
-  stats_.source_rows += s.source_rows;
+  stats_.MergeFrom(execution_->stats());
   const auto& ops = execution_->operator_rows();
   operator_rows_.insert(operator_rows_.end(), ops.begin(), ops.end());
+  const auto& ests = execution_->operator_estimates();
+  operator_estimates_.insert(operator_estimates_.end(), ests.begin(),
+                             ests.end());
 }
 
 bool ResultStream::Next(rdf::Binding* row) {
@@ -142,6 +142,7 @@ bool ResultStream::NextBuffered(rdf::Binding* row) {
     stats_ = answer->stats;
     plan_text_ = std::move(answer->plan_text);
     operator_rows_ = std::move(answer->operator_rows);
+    operator_estimates_ = std::move(answer->operator_estimates);
   }
   if (token_.IsCancelled()) {
     status_ = token_.ToStatus();
@@ -193,6 +194,7 @@ Result<QueryAnswer> ResultStream::Drain() {
   answer.stats = stats_;
   answer.plan_text = plan_text_;
   answer.operator_rows = operator_rows_;
+  answer.operator_estimates = operator_estimates_;
   return answer;
 }
 
@@ -231,6 +233,7 @@ Result<QueryAnswer> ResultStream::RunBlocking(
                                         "the mediator)\n";
     answer.stats = base.stats;
     answer.operator_rows = std::move(base.operator_rows);
+    answer.operator_estimates = std::move(base.operator_estimates);
     std::vector<rdf::Binding> aggregated = sparql::AggregateSolutions(
         base.rows, original.group_by, original.aggregates);
     sparql::SortBindings(&aggregated, original.order_by);
@@ -259,6 +262,7 @@ Result<QueryAnswer> ResultStream::RunBlocking(
                                    base.trace.completion_seconds);
     answer.operator_rows.emplace_back("EngineAggregate",
                                       answer.rows.size());
+    answer.operator_estimates.push_back(-1.0);
     return answer;
   }
 
@@ -297,12 +301,13 @@ Result<QueryAnswer> ResultStream::RunBlocking(
       merged.rows.push_back(std::move(part.rows[i]));
     }
     offset += part.trace.completion_seconds;
-    merged.stats.messages_transferred += part.stats.messages_transferred;
-    merged.stats.network_delay_ms += part.stats.network_delay_ms;
-    merged.stats.source_rows += part.stats.source_rows;
+    merged.stats.MergeFrom(part.stats);
     merged.operator_rows.insert(merged.operator_rows.end(),
                                 part.operator_rows.begin(),
                                 part.operator_rows.end());
+    merged.operator_estimates.insert(merged.operator_estimates.end(),
+                                     part.operator_estimates.begin(),
+                                     part.operator_estimates.end());
   }
   merged.trace.completion_seconds = offset;
 

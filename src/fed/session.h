@@ -122,6 +122,12 @@ class ResultStream {
     return operator_rows_;
   }
 
+  // Planner cardinality estimates parallel to operator_rows() (-1 where no
+  // estimate exists, e.g. cost model off). Complete after Finish().
+  const std::vector<double>& operator_estimates() const {
+    return operator_estimates_;
+  }
+
   // The session's cancellation token (shared with every operator thread).
   CancellationToken token() const { return token_; }
 
@@ -172,6 +178,7 @@ class ResultStream {
   ExecutionStats stats_;
   std::string plan_text_;
   std::vector<std::pair<std::string, uint64_t>> operator_rows_;
+  std::vector<double> operator_estimates_;
 
   bool ended_ = false;          // Next() hit end-of-stream
   bool fully_drained_ = false;  // ended by completion, not error/cancel

@@ -112,4 +112,13 @@ std::string SubQuery::ToString() const {
   return out;
 }
 
+std::string SubQueryStatsKey(const SubQuery& sq) {
+  std::string key = sq.source_id;
+  for (const StarSubQuery& star : sq.stars) key += "|" + star.ToString();
+  for (const sparql::FilterExprPtr& f : sq.SourceFilters()) {
+    key += "|F:" + f->ToString();
+  }
+  return key;
+}
+
 }  // namespace lakefed::fed

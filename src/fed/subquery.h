@@ -77,6 +77,12 @@ struct SubQuery {
   std::string ToString() const;
 };
 
+// Stable identity of a sub-query for the runtime statistics feedback loop:
+// source, star structure and source-placed filters. Dependent-join
+// instantiations are deliberately excluded — they vary per execution and
+// would fragment the feedback map.
+std::string SubQueryStatsKey(const SubQuery& sq);
+
 }  // namespace lakefed::fed
 
 #endif  // LAKEFED_FED_SUBQUERY_H_

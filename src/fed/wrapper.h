@@ -14,6 +14,8 @@
 #include "mapping/rdf_mt.h"
 #include "net/network.h"
 #include "rdf/bgp.h"
+#include "stats/analyze.h"
+#include "stats/stats_catalog.h"
 
 namespace lakefed::fed {
 
@@ -54,6 +56,19 @@ class SourceWrapper {
                                const StarSubQuery& /*b*/,
                                const std::string& /*var*/) const {
     return SupportsJoinPushdown();
+  }
+
+  // Scans the source and fills `out` with its statistics (class/entity
+  // counts, per-attribute NDV and histograms) for the cost-based planner.
+  // The default yields an empty profile: the estimator then falls back to
+  // molecule cardinalities. Called offline (engine AnalyzeSources), never
+  // on the query path.
+  virtual Status CollectStatistics(const stats::AnalyzeOptions& options,
+                                   stats::SourceStats* out) const {
+    (void)options;
+    out->source_id = id();
+    out->classes.clear();
+    return Status::OK();
   }
 
   // --- execution ---

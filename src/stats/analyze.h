@@ -1,0 +1,52 @@
+// AnalyzeSource: the offline statistics-collection pass. Walks a relational
+// catalog (through its class mappings) or an RDF store and produces the
+// per-class, per-predicate statistics the CardinalityEstimator consumes:
+// entity counts, triple counts, NDV, null counts and equi-depth histograms.
+//
+// Sampling is deterministic: histogram samples are drawn with a reservoir
+// seeded from AnalyzeOptions::seed and the (source, class, predicate) names,
+// so stats-dependent plans are reproducible across runs and platforms.
+
+#ifndef LAKEFED_STATS_ANALYZE_H_
+#define LAKEFED_STATS_ANALYZE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "mapping/relational_mapping.h"
+#include "rdf/triple_store.h"
+#include "rel/database.h"
+#include "stats/stats_catalog.h"
+
+namespace lakefed::stats {
+
+struct AnalyzeOptions {
+  uint64_t seed = 42;            // drives reservoir sampling only
+  size_t histogram_buckets = 16; // equi-depth bucket count
+  size_t max_sample = 8192;      // values kept per attribute for histograms
+};
+
+// Collects statistics for one relational source: one ClassStats per mapped
+// class (entity count = base-table rows), one AttributeStats per mapped
+// predicate. Base-table columns are scanned directly; side tables (multi-
+// valued predicates) count rows and distinct FK values.
+Result<SourceStats> AnalyzeRelationalSource(
+    const std::string& source_id, const rel::Database& db,
+    const mapping::SourceMapping& mapping, const AnalyzeOptions& options = {});
+
+// Collects statistics for one RDF source in a single pass over the store:
+// classes come from rdf:type triples, and every (class, predicate) pair of a
+// typed subject contributes to that class's attribute statistics.
+Result<SourceStats> AnalyzeRdfSource(const std::string& source_id,
+                                     const rdf::TripleStore& store,
+                                     const AnalyzeOptions& options = {});
+
+// The common value space histograms are built in (and constants are probed
+// in): IRIs become their full string, literals parse through their datatype
+// so numeric literals interpolate within buckets.
+rel::Value ValueFromObjectTerm(const rdf::Term& term);
+
+}  // namespace lakefed::stats
+
+#endif  // LAKEFED_STATS_ANALYZE_H_

@@ -1,0 +1,327 @@
+#include "stats/stats_catalog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace lakefed::stats {
+namespace {
+
+// Feedback smoothing: how much one new observation moves the stored value.
+constexpr double kFeedbackAlpha = 0.5;
+
+// %-escapes spaces, '%' and newlines so fields survive the line format.
+std::string EscapeField(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == ' ' || c == '%' || c == '\n' || c == '\r') {
+      char buf[4];
+      std::snprintf(buf, sizeof(buf), "%%%02X", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '%' && i + 2 < in.size()) {
+      out.push_back(static_cast<char>(
+          std::stoi(in.substr(i + 1, 2), nullptr, 16)));
+      i += 2;
+    } else {
+      out.push_back(in[i]);
+    }
+  }
+  return out;
+}
+
+// Type-tagged value rendering: I<int>, D<double>, S<string>, N (NULL).
+std::string ValueField(const rel::Value& v) {
+  if (v.is_null()) return "N";
+  if (v.is_int()) return "I" + std::to_string(v.AsInt());
+  if (v.is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "D%.17g", v.AsDouble());
+    return buf;
+  }
+  return "S" + EscapeField(v.AsString());
+}
+
+Result<rel::Value> ParseValueField(const std::string& field) {
+  if (field.empty()) return Status::InvalidArgument("empty value field");
+  const std::string body = field.substr(1);
+  switch (field[0]) {
+    case 'N': return rel::Value::Null();
+    case 'I': return rel::Value(static_cast<int64_t>(std::stoll(body)));
+    case 'D': return rel::Value(std::strtod(body.c_str(), nullptr));
+    case 'S': return rel::Value(UnescapeField(body));
+    default:
+      return Status::InvalidArgument("bad value tag in '" + field + "'");
+  }
+}
+
+}  // namespace
+
+Histogram Histogram::FromValues(std::vector<rel::Value> values,
+                                size_t buckets) {
+  Histogram h;
+  if (values.empty() || buckets == 0) return h;
+  std::sort(values.begin(), values.end());
+  h.total_ = values.size();
+  h.min_ = values.front();
+  buckets = std::min(buckets, values.size());
+  const double per_bucket =
+      static_cast<double>(values.size()) / static_cast<double>(buckets);
+  size_t start = 0;
+  for (size_t b = 0; b < buckets; ++b) {
+    size_t end = b + 1 == buckets
+                     ? values.size()
+                     : static_cast<size_t>(
+                           std::llround(per_bucket * static_cast<double>(b + 1)));
+    end = std::max(end, start + 1);
+    end = std::min(end, values.size());
+    h.upper_bounds_.push_back(values[end - 1]);
+    h.counts_.push_back(end - start);
+    start = end;
+    if (start >= values.size()) break;
+  }
+  return h;
+}
+
+Histogram Histogram::FromBuckets(rel::Value min,
+                                 std::vector<rel::Value> upper_bounds,
+                                 std::vector<size_t> counts, size_t total) {
+  Histogram h;
+  h.min_ = std::move(min);
+  h.upper_bounds_ = std::move(upper_bounds);
+  h.counts_ = std::move(counts);
+  h.total_ = total;
+  return h;
+}
+
+double Histogram::FractionBelow(const rel::Value& v, bool inclusive) const {
+  if (empty()) return 0.5;
+  if (v < min_) return 0.0;
+  double covered = 0;
+  rel::Value lower = min_;
+  for (size_t b = 0; b < upper_bounds_.size(); ++b) {
+    const rel::Value& upper = upper_bounds_[b];
+    const double bucket_frac =
+        static_cast<double>(counts_[b]) / static_cast<double>(total_);
+    if (inclusive ? upper <= v : upper < v) {
+      covered += bucket_frac;
+      lower = upper;
+      continue;
+    }
+    if (v < lower || (!inclusive && v == lower)) break;
+    // v falls inside this bucket: interpolate numerically when possible,
+    // otherwise assume the middle of the bucket.
+    double within = 0.5;
+    if (v.is_numeric() && lower.is_numeric() && upper.is_numeric() &&
+        upper.AsDouble() > lower.AsDouble()) {
+      within = (v.AsDouble() - lower.AsDouble()) /
+               (upper.AsDouble() - lower.AsDouble());
+      within = std::clamp(within, 0.0, 1.0);
+    }
+    covered += bucket_frac * within;
+    break;
+  }
+  return std::clamp(covered, 0.0, 1.0);
+}
+
+double Histogram::FractionEqual(const rel::Value& v, uint64_t ndv) const {
+  if (empty()) return ndv == 0 ? 0.1 : 1.0 / static_cast<double>(ndv);
+  if (v < min_ || max() < v) return 0.0;
+  if (ndv == 0) return 0.1;
+  return std::min(1.0, 1.0 / static_cast<double>(ndv));
+}
+
+void StatsCatalog::AddSource(SourceStats stats) {
+  sources_[stats.source_id] = std::move(stats);
+}
+
+const SourceStats* StatsCatalog::FindSource(
+    const std::string& source_id) const {
+  auto it = sources_.find(source_id);
+  return it == sources_.end() ? nullptr : &it->second;
+}
+
+const ClassStats* StatsCatalog::Find(const std::string& source_id,
+                                     const std::string& class_iri) const {
+  const SourceStats* s = FindSource(source_id);
+  return s == nullptr ? nullptr : s->Find(class_iri);
+}
+
+const AttributeStats* StatsCatalog::FindAttribute(
+    const std::string& source_id, const std::string& class_iri,
+    const std::string& predicate) const {
+  const ClassStats* cs = Find(source_id, class_iri);
+  return cs == nullptr ? nullptr : cs->Find(predicate);
+}
+
+void StatsCatalog::RecordActual(const std::string& key,
+                                uint64_t actual_rows) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  auto it = feedback_.find(key);
+  if (it == feedback_.end()) {
+    feedback_[key] = static_cast<double>(actual_rows);
+  } else {
+    it->second = (1.0 - kFeedbackAlpha) * it->second +
+                 kFeedbackAlpha * static_cast<double>(actual_rows);
+  }
+}
+
+std::optional<double> StatsCatalog::Feedback(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  auto it = feedback_.find(key);
+  if (it == feedback_.end()) return std::nullopt;
+  return it->second;
+}
+
+double StatsCatalog::Calibrated(const std::string& key, double raw) const {
+  std::optional<double> fb = Feedback(key);
+  return fb.has_value() ? *fb : raw;
+}
+
+size_t StatsCatalog::feedback_size() const {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  return feedback_.size();
+}
+
+void StatsCatalog::MergeFeedbackFrom(const StatsCatalog& other) {
+  std::map<std::string, double> theirs;
+  {
+    std::lock_guard<std::mutex> lock(other.feedback_mu_);
+    theirs = other.feedback_;
+  }
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  for (const auto& [key, value] : theirs) feedback_.emplace(key, value);
+}
+
+std::string StatsCatalog::Serialize() const {
+  std::string out = "lakefed-stats v1\n";
+  for (const auto& [sid, source] : sources_) {
+    out += "source " + EscapeField(sid) + "\n";
+    for (const auto& [cls, cs] : source.classes) {
+      out += "class " + EscapeField(cls) + " " +
+             std::to_string(cs.entity_count) + "\n";
+      for (const auto& [pred, attr] : cs.attributes) {
+        out += "attr " + EscapeField(pred) + " " +
+               std::to_string(attr.triple_count) + " " +
+               std::to_string(attr.distinct_subjects) + " " +
+               std::to_string(attr.distinct_objects) + " " +
+               std::to_string(attr.null_count) + "\n";
+        const Histogram& h = attr.histogram;
+        if (!h.empty()) {
+          out += "hist " + std::to_string(h.total()) + " " +
+                 ValueField(h.min());
+          for (size_t b = 0; b < h.num_buckets(); ++b) {
+            out += " " + ValueField(h.upper_bounds()[b]) + ":" +
+                   std::to_string(h.counts()[b]);
+          }
+          out += "\n";
+        }
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(feedback_mu_);
+    for (const auto& [key, value] : feedback_) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      out += "feedback " + EscapeField(key) + " " + buf + "\n";
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<StatsCatalog>> StatsCatalog::Deserialize(
+    const std::string& text) {
+  auto catalog = std::make_unique<StatsCatalog>();
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "lakefed-stats v1") {
+    return Status::InvalidArgument("bad stats header: '" + line + "'");
+  }
+  SourceStats* source = nullptr;
+  ClassStats* cls = nullptr;
+  AttributeStats* attr = nullptr;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "source") {
+      std::string sid;
+      fields >> sid;
+      const std::string id = UnescapeField(sid);
+      source = &catalog->sources_[id];
+      source->source_id = id;
+      cls = nullptr;
+      attr = nullptr;
+    } else if (tag == "class") {
+      if (source == nullptr) {
+        return Status::InvalidArgument("class line before source line");
+      }
+      std::string iri;
+      uint64_t count = 0;
+      fields >> iri >> count;
+      const std::string id = UnescapeField(iri);
+      cls = &source->classes[id];
+      cls->class_iri = id;
+      cls->entity_count = count;
+      attr = nullptr;
+    } else if (tag == "attr") {
+      if (cls == nullptr) {
+        return Status::InvalidArgument("attr line before class line");
+      }
+      std::string pred;
+      AttributeStats a;
+      fields >> pred >> a.triple_count >> a.distinct_subjects >>
+          a.distinct_objects >> a.null_count;
+      attr = &cls->attributes[UnescapeField(pred)];
+      *attr = std::move(a);
+    } else if (tag == "hist") {
+      if (attr == nullptr) {
+        return Status::InvalidArgument("hist line before attr line");
+      }
+      size_t total = 0;
+      std::string min_field;
+      fields >> total >> min_field;
+      LAKEFED_ASSIGN_OR_RETURN(rel::Value min_value,
+                               ParseValueField(min_field));
+      std::string bucket;
+      std::vector<rel::Value> bounds;
+      std::vector<size_t> counts;
+      while (fields >> bucket) {
+        size_t colon = bucket.rfind(':');
+        if (colon == std::string::npos) {
+          return Status::InvalidArgument("bad hist bucket '" + bucket + "'");
+        }
+        LAKEFED_ASSIGN_OR_RETURN(rel::Value bound,
+                                 ParseValueField(bucket.substr(0, colon)));
+        bounds.push_back(std::move(bound));
+        counts.push_back(static_cast<size_t>(
+            std::stoull(bucket.substr(colon + 1))));
+      }
+      attr->histogram = Histogram::FromBuckets(
+          std::move(min_value), std::move(bounds), std::move(counts), total);
+    } else if (tag == "feedback") {
+      std::string key;
+      double value = 0;
+      fields >> key >> value;
+      catalog->feedback_[UnescapeField(key)] = value;
+    } else {
+      return Status::InvalidArgument("unknown stats line tag '" + tag + "'");
+    }
+  }
+  return catalog;
+}
+
+}  // namespace lakefed::stats

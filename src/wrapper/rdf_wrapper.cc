@@ -12,6 +12,13 @@ std::vector<mapping::RdfMt> RdfWrapper::Molecules() const {
   return mapping::RdfMtCatalog::ExtractFromTripleStore(id_, *store_);
 }
 
+Status RdfWrapper::CollectStatistics(const stats::AnalyzeOptions& options,
+                                     stats::SourceStats* out) const {
+  LAKEFED_ASSIGN_OR_RETURN(*out,
+                           stats::AnalyzeRdfSource(id_, *store_, options));
+  return Status::OK();
+}
+
 Status RdfWrapper::Execute(const fed::SubQuery& subquery,
                            net::DelayChannel* channel,
                            BlockingQueue<rdf::Binding>* out) {

@@ -22,6 +22,11 @@ class RdfWrapper : public fed::SourceWrapper {
   fed::SourceKind kind() const override { return fed::SourceKind::kRdf; }
   std::vector<mapping::RdfMt> Molecules() const override;
 
+  // Profiles the triple store (per-class entity counts, per-predicate NDV
+  // and sampled histograms) for the cost-based planner.
+  Status CollectStatistics(const stats::AnalyzeOptions& options,
+                           stats::SourceStats* out) const override;
+
   Status Execute(const fed::SubQuery& subquery, net::DelayChannel* channel,
                  BlockingQueue<rdf::Binding>* out) override;
 

@@ -63,6 +63,13 @@ SqlWrapper::SqlWrapper(std::string id, const rel::Database* db,
                        mapping::SourceMapping mapping)
     : id_(std::move(id)), db_(db), mapping_(std::move(mapping)) {}
 
+Status SqlWrapper::CollectStatistics(const stats::AnalyzeOptions& options,
+                                     stats::SourceStats* out) const {
+  LAKEFED_ASSIGN_OR_RETURN(
+      *out, stats::AnalyzeRelationalSource(id_, *db_, mapping_, options));
+  return Status::OK();
+}
+
 std::vector<mapping::RdfMt> SqlWrapper::Molecules() const {
   std::vector<mapping::RdfMt> molecules =
       mapping::MoleculesFromMapping(mapping_);

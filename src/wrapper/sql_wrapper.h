@@ -38,6 +38,11 @@ class SqlWrapper : public fed::SourceWrapper {
                        const fed::StarSubQuery& b,
                        const std::string& var) const override;
 
+  // Profiles the relational source (exact counts from column stats, sampled
+  // equi-depth histograms) for the cost-based planner.
+  Status CollectStatistics(const stats::AnalyzeOptions& options,
+                           stats::SourceStats* out) const override;
+
   // Executes the sub-query. Honours SubQuery::naive_translation for merged
   // multi-star sub-queries: instead of one SQL join, every star is fetched
   // with its own SQL and joined by a naive nested loop inside the wrapper —

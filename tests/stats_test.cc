@@ -1,0 +1,377 @@
+// Tests of the statistics subsystem: equi-depth histograms, the analyze
+// pass over relational and RDF sources, catalog serialization, the runtime
+// feedback loop and the cardinality estimator's edge cases.
+
+#include <gtest/gtest.h>
+
+#include "mapping/relational_mapping.h"
+#include "rdf/triple_store.h"
+#include "rel/database.h"
+#include "sparql/filter_expr.h"
+#include "stats/analyze.h"
+#include "stats/estimator.h"
+#include "stats/stats_catalog.h"
+
+namespace lakefed::stats {
+namespace {
+
+using rel::ColumnType;
+using rel::Value;
+
+// --- Histogram ---------------------------------------------------------
+
+TEST(HistogramTest, EmptyHistogramIsNeutral) {
+  Histogram h = Histogram::FromValues({}, 8);
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.FractionBelow(Value(int64_t{5}), false), 0.5);
+  EXPECT_DOUBLE_EQ(h.FractionEqual(Value(int64_t{5}), 10), 0.1);
+}
+
+TEST(HistogramTest, SingleValueColumn) {
+  std::vector<Value> values(100, Value(int64_t{7}));
+  Histogram h = Histogram::FromValues(values, 8);
+  EXPECT_FALSE(h.empty());
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.min(), Value(int64_t{7}));
+  EXPECT_EQ(h.max(), Value(int64_t{7}));
+  // Everything equals the one value; nothing is strictly below or above.
+  EXPECT_DOUBLE_EQ(h.FractionBelow(Value(int64_t{7}), true), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(Value(int64_t{6}), true), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionEqual(Value(int64_t{7}), 1), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionEqual(Value(int64_t{8}), 1), 0.0);
+}
+
+TEST(HistogramTest, UniformIntegersInterpolate) {
+  std::vector<Value> values;
+  for (int64_t i = 0; i < 1000; ++i) values.push_back(Value(i));
+  Histogram h = Histogram::FromValues(values, 10);
+  EXPECT_EQ(h.total(), 1000u);
+  // Uniform data: FractionBelow(v) should track v/1000 closely.
+  for (int64_t probe : {100, 250, 500, 900}) {
+    double frac = h.FractionBelow(Value(probe), false);
+    EXPECT_NEAR(frac, probe / 1000.0, 0.05) << "probe " << probe;
+  }
+  // Out-of-range probes clamp to the extremes.
+  EXPECT_DOUBLE_EQ(h.FractionBelow(Value(int64_t{-5}), false), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(Value(int64_t{5000}), true), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionEqual(Value(int64_t{5000}), 1000), 0.0);
+  EXPECT_NEAR(h.FractionEqual(Value(int64_t{500}), 1000), 0.001, 1e-9);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpper) {
+  // 4 buckets over 0..99: bucket boundaries at 24/49/74/99.
+  std::vector<Value> values;
+  for (int64_t i = 0; i < 100; ++i) values.push_back(Value(i));
+  Histogram h = Histogram::FromValues(values, 4);
+  ASSERT_EQ(h.num_buckets(), 4u);
+  // <= max is everything; < min is nothing (equality mass is
+  // FractionEqual's job, not FractionBelow's).
+  EXPECT_DOUBLE_EQ(h.FractionBelow(h.max(), true), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(h.min(), false), 0.0);
+  // FractionBelow is monotone in v, including probes that land exactly on
+  // the bucket bounds, and each bound covers its cumulative bucket share.
+  double prev = 0.0;
+  for (size_t b = 0; b < h.num_buckets(); ++b) {
+    const Value& bound = h.upper_bounds()[b];
+    double below = h.FractionBelow(bound, false);
+    double below_eq = h.FractionBelow(bound, true);
+    EXPECT_LE(prev, below) << "bucket " << b;
+    EXPECT_LE(below, below_eq) << "bucket " << b;
+    EXPECT_NEAR(below_eq, 0.25 * static_cast<double>(b + 1), 0.05)
+        << "bucket " << b;
+    prev = below_eq;
+  }
+}
+
+TEST(HistogramTest, FewerDistinctValuesThanBuckets) {
+  std::vector<Value> values;
+  for (int i = 0; i < 30; ++i) values.push_back(Value(int64_t{i % 3}));
+  Histogram h = Histogram::FromValues(values, 16);
+  EXPECT_LE(h.num_buckets(), 16u);
+  EXPECT_EQ(h.total(), 30u);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(Value(int64_t{2}), true), 1.0);
+}
+
+// --- analyze: relational sources ---------------------------------------
+
+class RelationalAnalyzeTest : public ::testing::Test {
+ protected:
+  RelationalAnalyzeTest() : db_("rdb") {}
+
+  void SetUp() override {
+    rel::Schema schema({{"id", ColumnType::kInt64, false},
+                        {"name", ColumnType::kString, true},
+                        {"weight", ColumnType::kDouble, true}});
+    auto table = db_.catalog().CreateTable("drug", std::move(schema), "id");
+    ASSERT_TRUE(table.ok()) << table.status();
+    table_ = *table;
+
+    mapping_.source_id = "rdb";
+    mapping::ClassMapping cm;
+    cm.class_iri = "http://ex/vocab#Drug";
+    cm.base_table = "drug";
+    cm.pk_column = "id";
+    cm.subject_template = mapping::IriTemplate("http://ex/drug/{}");
+    mapping::PredicateMapping name_pm;
+    name_pm.predicate = "http://ex/vocab#name";
+    name_pm.column = "name";
+    mapping::PredicateMapping weight_pm;
+    weight_pm.predicate = "http://ex/vocab#weight";
+    weight_pm.column = "weight";
+    weight_pm.literal_datatype = rdf::kXsdDouble;
+    cm.predicates = {name_pm, weight_pm};
+    mapping_.classes = {cm};
+  }
+
+  rel::Database db_;
+  rel::Table* table_ = nullptr;
+  mapping::SourceMapping mapping_;
+};
+
+TEST_F(RelationalAnalyzeTest, EmptyTableYieldsZeroCounts) {
+  auto stats = AnalyzeRelationalSource("rdb", db_, mapping_);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  const ClassStats* cls = stats->Find("http://ex/vocab#Drug");
+  ASSERT_NE(cls, nullptr);
+  EXPECT_EQ(cls->entity_count, 0u);
+  const AttributeStats* name = cls->Find("http://ex/vocab#name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->triple_count, 0u);
+  EXPECT_TRUE(name->histogram.empty());
+}
+
+TEST_F(RelationalAnalyzeTest, NullHeavyColumnCounted) {
+  // 10 rows; `weight` is NULL in 7 of them, `name` has 2 distinct values.
+  for (int64_t i = 0; i < 10; ++i) {
+    rel::Row row{Value(i), Value(i % 2 == 0 ? "even" : "odd"),
+                 i < 3 ? Value(1.5 * static_cast<double>(i + 1))
+                       : Value()};
+    ASSERT_TRUE(table_->Insert(std::move(row)).ok());
+  }
+  auto stats = AnalyzeRelationalSource("rdb", db_, mapping_);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  const ClassStats* cls = stats->Find("http://ex/vocab#Drug");
+  ASSERT_NE(cls, nullptr);
+  EXPECT_EQ(cls->entity_count, 10u);
+  const AttributeStats* weight = cls->Find("http://ex/vocab#weight");
+  ASSERT_NE(weight, nullptr);
+  EXPECT_EQ(weight->triple_count, 3u);
+  EXPECT_EQ(weight->null_count, 7u);
+  EXPECT_EQ(weight->histogram.total(), 3u);
+  const AttributeStats* name = cls->Find("http://ex/vocab#name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->triple_count, 10u);
+  EXPECT_EQ(name->distinct_objects, 2u);
+  EXPECT_EQ(name->null_count, 0u);
+}
+
+TEST_F(RelationalAnalyzeTest, DeterministicAcrossRuns) {
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(table_
+                    ->Insert({Value(i), Value("n" + std::to_string(i % 37)),
+                              Value(0.5 * static_cast<double>(i))})
+                    .ok());
+  }
+  AnalyzeOptions options;
+  options.seed = 7;
+  options.max_sample = 64;  // force the reservoir to actually sample
+  auto a = AnalyzeRelationalSource("rdb", db_, mapping_, options);
+  auto b = AnalyzeRelationalSource("rdb", db_, mapping_, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  StatsCatalog ca, cb;
+  ca.AddSource(*std::move(a));
+  cb.AddSource(*std::move(b));
+  EXPECT_EQ(ca.Serialize(), cb.Serialize());
+
+  // A different seed changes the sample (histograms differ) but not the
+  // exact counters.
+  options.seed = 8;
+  auto c = AnalyzeRelationalSource("rdb", db_, mapping_, options);
+  ASSERT_TRUE(c.ok());
+  const AttributeStats* weight =
+      c->Find("http://ex/vocab#Drug")->Find("http://ex/vocab#weight");
+  ASSERT_NE(weight, nullptr);
+  EXPECT_EQ(weight->triple_count, 500u);
+}
+
+// --- analyze: RDF sources ----------------------------------------------
+
+TEST(RdfAnalyzeTest, ClassAndAttributeCounts) {
+  rdf::TripleStore store;
+  const std::string cls = "http://ex/vocab#Gene";
+  for (int i = 0; i < 20; ++i) {
+    rdf::Term subj = rdf::Term::Iri("http://ex/gene/" + std::to_string(i));
+    store.Add(subj, rdf::Term::Iri(rdf::kRdfType), rdf::Term::Iri(cls));
+    store.Add(subj, rdf::Term::Iri("http://ex/vocab#chromosome"),
+              rdf::Term::Literal(std::to_string(i % 4), rdf::kXsdInteger));
+    if (i < 5) {  // sparse predicate: 15 of 20 entities lack it
+      store.Add(subj, rdf::Term::Iri("http://ex/vocab#alias"),
+                rdf::Term::Literal("alias" + std::to_string(i)));
+    }
+  }
+  auto stats = AnalyzeRdfSource("rdf", store);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  const ClassStats* gene = stats->Find(cls);
+  ASSERT_NE(gene, nullptr);
+  EXPECT_EQ(gene->entity_count, 20u);
+  const AttributeStats* chrom = gene->Find("http://ex/vocab#chromosome");
+  ASSERT_NE(chrom, nullptr);
+  EXPECT_EQ(chrom->triple_count, 20u);
+  EXPECT_EQ(chrom->distinct_subjects, 20u);
+  EXPECT_EQ(chrom->distinct_objects, 4u);
+  EXPECT_EQ(chrom->null_count, 0u);
+  const AttributeStats* alias = gene->Find("http://ex/vocab#alias");
+  ASSERT_NE(alias, nullptr);
+  EXPECT_EQ(alias->triple_count, 5u);
+  EXPECT_EQ(alias->null_count, 15u);
+}
+
+// --- serialization ------------------------------------------------------
+
+TEST(StatsCatalogTest, SerializeRoundTrip) {
+  rdf::TripleStore store;
+  for (int i = 0; i < 50; ++i) {
+    rdf::Term subj = rdf::Term::Iri("http://ex/e/" + std::to_string(i));
+    store.Add(subj, rdf::Term::Iri(rdf::kRdfType),
+              rdf::Term::Iri("http://ex/vocab#Thing"));
+    store.Add(subj, rdf::Term::Iri("http://ex/vocab#score"),
+              rdf::Term::Literal(std::to_string(i * 2), rdf::kXsdInteger));
+    store.Add(subj, rdf::Term::Iri("http://ex/vocab#label with space"),
+              rdf::Term::Literal("v%" + std::to_string(i % 3)));
+  }
+  auto stats = AnalyzeRdfSource("src one", store);
+  ASSERT_TRUE(stats.ok());
+  StatsCatalog catalog;
+  catalog.AddSource(*std::move(stats));
+  catalog.RecordActual("key with space|and%percent", 42);
+
+  std::string text = catalog.Serialize();
+  auto restored = StatsCatalog::Deserialize(text);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ((*restored)->Serialize(), text);
+  auto fb = (*restored)->Feedback("key with space|and%percent");
+  ASSERT_TRUE(fb.has_value());
+  EXPECT_DOUBLE_EQ(*fb, 42.0);
+  const AttributeStats* score = (*restored)->FindAttribute(
+      "src one", "http://ex/vocab#Thing", "http://ex/vocab#score");
+  ASSERT_NE(score, nullptr);
+  EXPECT_EQ(score->triple_count, 50u);
+  EXPECT_EQ(score->histogram.total(), 50u);
+}
+
+TEST(StatsCatalogTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(StatsCatalog::Deserialize("not a stats file").ok());
+  EXPECT_FALSE(StatsCatalog::Deserialize("").ok());
+}
+
+// --- feedback loop ------------------------------------------------------
+
+TEST(StatsCatalogTest, FeedbackSmoothsTowardObservations) {
+  StatsCatalog catalog;
+  EXPECT_EQ(catalog.Feedback("k"), std::nullopt);
+  EXPECT_DOUBLE_EQ(catalog.Calibrated("k", 100.0), 100.0);
+
+  catalog.RecordActual("k", 10);
+  EXPECT_DOUBLE_EQ(catalog.Calibrated("k", 100.0), 10.0);
+  // EWMA with alpha 0.5: 10 -> (10+30)/2 = 20.
+  catalog.RecordActual("k", 30);
+  EXPECT_DOUBLE_EQ(*catalog.Feedback("k"), 20.0);
+  EXPECT_EQ(catalog.feedback_size(), 1u);
+
+  StatsCatalog fresh;
+  fresh.MergeFeedbackFrom(catalog);
+  EXPECT_DOUBLE_EQ(*fresh.Feedback("k"), 20.0);
+}
+
+// --- estimator ----------------------------------------------------------
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rdf::TripleStore store;
+    for (int i = 0; i < 200; ++i) {
+      rdf::Term subj = rdf::Term::Iri("http://ex/d/" + std::to_string(i));
+      store.Add(subj, rdf::Term::Iri(rdf::kRdfType),
+                rdf::Term::Iri("http://ex/vocab#Drug"));
+      store.Add(subj, rdf::Term::Iri("http://ex/vocab#category"),
+                rdf::Term::Literal("cat" + std::to_string(i % 10)));
+      store.Add(subj, rdf::Term::Iri("http://ex/vocab#weight"),
+                rdf::Term::Literal(std::to_string(i), rdf::kXsdInteger));
+    }
+    auto stats = AnalyzeRdfSource("src", store);
+    ASSERT_TRUE(stats.ok());
+    catalog_.AddSource(*std::move(stats));
+  }
+
+  PatternSpec DrugSpec() const {
+    PatternSpec spec;
+    spec.source_id = "src";
+    spec.class_iri = "http://ex/vocab#Drug";
+    spec.subject_var = "d";
+    spec.predicates.push_back({"http://ex/vocab#category", std::nullopt});
+    spec.predicates.push_back({"http://ex/vocab#weight", std::nullopt});
+    spec.var_predicates["c"] = "http://ex/vocab#category";
+    spec.var_predicates["w"] = "http://ex/vocab#weight";
+    return spec;
+  }
+
+  StatsCatalog catalog_;
+};
+
+TEST_F(EstimatorTest, UnconstrainedStarShipsAllEntities) {
+  CardinalityEstimator est(&catalog_);
+  EXPECT_NEAR(est.EstimateShippedRows(DrugSpec()), 200.0, 1.0);
+}
+
+TEST_F(EstimatorTest, ObjectConstantUsesNdv) {
+  CardinalityEstimator est(&catalog_);
+  PatternSpec spec = DrugSpec();
+  spec.predicates[0].object = rdf::Term::Literal("cat3");
+  // 200 entities / 10 categories = 20.
+  EXPECT_NEAR(est.EstimateShippedRows(spec), 20.0, 2.0);
+  // An out-of-range constant estimates (near) zero.
+  spec.predicates[0].object = rdf::Term::Literal("zzz-not-a-category");
+  EXPECT_NEAR(est.EstimateShippedRows(spec), 0.0, 1.0);
+}
+
+TEST_F(EstimatorTest, RangeFilterUsesHistogram) {
+  CardinalityEstimator est(&catalog_);
+  PatternSpec spec = DrugSpec();
+  // weight < 50 over uniform 0..199 ≈ 0.25 selectivity.
+  sparql::FilterExprPtr filter = sparql::FilterExpr::Compare(
+      sparql::FilterExpr::CompareOp::kLt, sparql::FilterExpr::Var("w"),
+      sparql::FilterExpr::Literal(
+          rdf::Term::Literal("50", rdf::kXsdInteger)));
+  double sel = est.EstimateFilterSelectivity(spec, *filter);
+  EXPECT_NEAR(sel, 0.25, 0.08);
+  spec.source_filters.push_back(filter);
+  EXPECT_NEAR(est.EstimateShippedRows(spec), 50.0, 18.0);
+}
+
+TEST_F(EstimatorTest, UnknownSourceFallsBackToDefault) {
+  CardinalityEstimator est(&catalog_);
+  PatternSpec spec;
+  spec.source_id = "nowhere";
+  spec.class_iri = "http://ex/vocab#Unknown";
+  spec.subject_var = "x";
+  EXPECT_DOUBLE_EQ(est.EstimateShippedRows(spec),
+                   CardinalityEstimator::kDefaultCardinality);
+}
+
+TEST_F(EstimatorTest, DistinctAndJoinEstimates) {
+  CardinalityEstimator est(&catalog_);
+  PatternSpec spec = DrugSpec();
+  // Subject NDV caps at the entity count, object NDV at the attribute NDV.
+  EXPECT_DOUBLE_EQ(est.EstimateDistinct(spec, "d", 500.0), 200.0);
+  EXPECT_DOUBLE_EQ(est.EstimateDistinct(spec, "c", 500.0), 10.0);
+  // Containment join: 200·200 / max(200, 10).
+  EXPECT_DOUBLE_EQ(
+      CardinalityEstimator::EstimateJoinRows(200.0, 200.0, 200.0, 10.0),
+      200.0);
+  // Degenerate NDVs never divide by zero.
+  EXPECT_DOUBLE_EQ(CardinalityEstimator::EstimateJoinRows(5.0, 4.0, 0.0, 0.0),
+                   20.0);
+}
+
+}  // namespace
+}  // namespace lakefed::stats
