@@ -17,12 +17,21 @@
 //   .queries              list the built-in benchmark queries
 //   .run Q1..Q5|FIG1      execute a built-in query
 //   .sql                  show the last SQL sent to each relational source
+//   .faults               list fault profiles; `.faults <source> <spec>`
+//                         injects faults (spec: outage, rate=0.1,
+//                         drop_after=50, fail_connections=2, stall=20);
+//                         `.faults clear` heals the lake and the breakers
+//   .retry                show the retry policy; `.retry <attempts>
+//                         [timeout_ms]` arms it, `.retry off` disarms
+//   .failmode failfast|besteffort   unrecoverable-source handling
+//   .breakers             per-source circuit breaker states
 //   .quit
 //
 //   $ ./examples/lakefed_shell            # interactive
 //   $ echo ".run Q2" | ./examples/lakefed_shell
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -63,6 +72,21 @@ void PrintAnswer(const fed::QueryAnswer& answer) {
               static_cast<unsigned long long>(
                   answer.stats.messages_transferred),
               answer.stats.network_delay_ms);
+  const fed::ExecutionStats& stats = answer.stats;
+  if (stats.retries > 0 || stats.failovers > 0 || stats.faults_injected > 0 ||
+      stats.breaker_rejections > 0 || stats.partial ||
+      !stats.failed_sources.empty()) {
+    std::printf("recovery: %llu retries, %llu failovers, %llu faults "
+                "injected, %llu breaker rejections%s\n",
+                static_cast<unsigned long long>(stats.retries),
+                static_cast<unsigned long long>(stats.failovers),
+                static_cast<unsigned long long>(stats.faults_injected),
+                static_cast<unsigned long long>(stats.breaker_rejections),
+                stats.partial ? " — PARTIAL ANSWER" : "");
+    for (const auto& [source, error] : stats.failed_sources) {
+      std::printf("  failed source %s: %s\n", source.c_str(), error.c_str());
+    }
+  }
 }
 
 class Shell {
@@ -127,7 +151,14 @@ class Shell {
           "  .explain on|off       .explain <query id or SPARQL>\n"
           "  .cost on|off          .h1 on|off   .h2 on|off\n"
           "  .sources  .molecules  .queries  .run <id>  .sql  .stats  "
-          ".quit\n");
+          ".quit\n"
+          "  .faults [<source> <spec> | clear]   inject network faults\n"
+          "      spec: outage rate=0.1 drop_after=50 fail_connections=2 "
+          "stall=20\n"
+          "  .retry [<attempts> [timeout_ms] | off]   retry with backoff\n"
+          "  .failmode failfast|besteffort   drop dead sources vs fail "
+          "fast\n"
+          "  .breakers             circuit breaker states\n");
     } else if (cmd == ".mode") {
       if (arg == "aware") {
         options_.mode = fed::PlanMode::kPhysicalDesignAware;
@@ -196,6 +227,93 @@ class Shell {
     } else if (cmd == ".stats") {
       std::printf("%s", last_stats_.empty() ? "(no execution yet)\n"
                                             : last_stats_.c_str());
+    } else if (cmd == ".faults") {
+      if (arg.empty()) {
+        if (options_.faults.empty()) {
+          std::printf("no fault profiles (network healthy)\n");
+        }
+        for (const auto& [source, profile] : options_.faults) {
+          std::printf("  %-12s %s\n", source.c_str(),
+                      profile.ToString().c_str());
+        }
+      } else if (arg == "clear") {
+        options_.faults.clear();
+        lake_->engine->breakers()->Reset();
+        std::printf("fault profiles cleared; circuit breakers reset\n");
+      } else {
+        // `.faults <source> <spec...>` — everything after the source name
+        // is the fault spec.
+        std::string rest(TrimWhitespace(line.substr(cmd.size())));
+        std::string spec(TrimWhitespace(rest.substr(arg.size())));
+        auto profile = net::ParseFaultProfile(spec);
+        if (!profile.ok()) {
+          std::printf("error: %s\n", profile.status().ToString().c_str());
+        } else if (lake_->engine->wrapper(arg) == nullptr) {
+          std::printf("unknown source '%s' (try .sources)\n", arg.c_str());
+        } else {
+          options_.faults[arg] = *profile;
+          std::printf("  %-12s %s\n", arg.c_str(),
+                      profile->ToString().c_str());
+        }
+      }
+    } else if (cmd == ".retry") {
+      if (arg.empty()) {
+        if (!options_.retry.enabled()) {
+          std::printf("retry = off (single attempt)\n");
+        } else {
+          std::printf("retry = %d attempts, backoff %.1f..%.1f ms x%.1f, "
+                      "attempt timeout %.1f ms\n",
+                      options_.retry.max_attempts,
+                      options_.retry.initial_backoff_ms,
+                      options_.retry.max_backoff_ms,
+                      options_.retry.backoff_multiplier,
+                      options_.retry.attempt_timeout_ms);
+        }
+      } else if (arg == "off") {
+        options_.retry = RetryPolicy();
+        std::printf("retry = off (single attempt)\n");
+      } else {
+        int attempts = std::atoi(arg.c_str());
+        if (attempts < 1) {
+          std::printf("usage: .retry <attempts> [timeout_ms] | off\n");
+          return true;
+        }
+        options_.retry.max_attempts = attempts;
+        std::string timeout;
+        if (in >> timeout) {
+          options_.retry.attempt_timeout_ms = std::atof(timeout.c_str());
+        }
+        std::printf("retry = %d attempts, attempt timeout %.1f ms\n",
+                    options_.retry.max_attempts,
+                    options_.retry.attempt_timeout_ms);
+      }
+    } else if (cmd == ".failmode") {
+      if (arg == "besteffort" || arg == "best-effort") {
+        options_.failure_mode = fed::FailureMode::kBestEffort;
+      } else if (arg == "failfast" || arg == "fail-fast") {
+        options_.failure_mode = fed::FailureMode::kFailFast;
+      } else {
+        std::printf("usage: .failmode failfast|besteffort\n");
+        return true;
+      }
+      std::printf("failure mode = %s\n",
+                  fed::FailureModeToString(options_.failure_mode).c_str());
+    } else if (cmd == ".breakers") {
+      auto snapshot = lake_->engine->breakers()->Snapshot();
+      if (snapshot.empty()) {
+        std::printf("no circuit breaker activity yet\n");
+      }
+      for (const auto& entry : snapshot) {
+        std::printf("  %-12s %-9s %llu consecutive, %llu total failures, "
+                    "%llu rejected\n",
+                    entry.source_id.c_str(),
+                    fed::BreakerStateToString(entry.state).c_str(),
+                    static_cast<unsigned long long>(
+                        entry.consecutive_failures),
+                    static_cast<unsigned long long>(entry.total_failures),
+                    static_cast<unsigned long long>(
+                        entry.rejected_requests));
+      }
     } else if (cmd == ".sql") {
       for (const auto& [id, db] : lake_->databases) {
         auto* w = dynamic_cast<wrapper::SqlWrapper*>(lake_->engine->wrapper(id));

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full pre-merge check: tier-1 build + test suite, then a ThreadSanitizer
+# build running the federation and robustness suites (the streaming
+# executor, retry/failover path and circuit breaker are heavily
+# multi-threaded — tsan is the test that counts there).
+#
+#   scripts/check.sh               # both phases
+#   SKIP_TSAN=1 scripts/check.sh   # tier-1 only
+#
+# Build trees: build/ (tier-1) and build-tsan/ (sanitized).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
+  echo "== SKIP_TSAN=1: skipping ThreadSanitizer phase =="
+  exit 0
+fi
+
+echo "== tsan: LAKEFED_SANITIZE=thread build + fed/robustness tests =="
+cmake -B build-tsan -S . -DLAKEFED_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+# Robustness-labelled suites (fault injection, retry, failover, fuzz) plus
+# every fed_* suite (sessions, executor, engine) under tsan.
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L robustness
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R '^Fed'
+
+echo "== all checks passed =="

@@ -1,0 +1,71 @@
+// RetryPolicy: bounded retries with exponential backoff and seeded jitter
+// for transient source failures (Status::IsRetryable()). The federated
+// executor re-runs failed leaf sub-queries under a policy; RunWithRetry is
+// the generic loop for simpler call sites and for unit tests.
+//
+// Determinism: jitter is sampled from a caller-owned common/rng Rng, so the
+// same seed produces the same backoff schedule — fault-recovery tests and
+// benches are exactly reproducible.
+
+#ifndef LAKEFED_COMMON_RETRY_H_
+#define LAKEFED_COMMON_RETRY_H_
+
+#include <functional>
+#include <string>
+
+#include "common/cancellation.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace lakefed {
+
+struct RetryPolicy {
+  // Total attempts including the first one. 1 = no retries (the default:
+  // fault-free executions behave exactly like the pre-retry engine).
+  int max_attempts = 1;
+
+  // Backoff before retry k (1-based) is
+  //   min(initial_backoff_ms * multiplier^(k-1), max_backoff_ms)
+  // scaled by a jitter factor uniform in [1 - jitter, 1 + jitter].
+  double initial_backoff_ms = 1.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 100.0;
+  double jitter = 0.5;  // fraction of the backoff; 0 = deterministic delay
+
+  // Upper bound on one attempt's duration, enforced via a per-attempt
+  // deadline token. 0 = unbounded (only the session deadline applies). An
+  // attempt that exceeds it fails with kDeadlineExceeded, which is
+  // retryable — distinct from the session deadline, which is terminal.
+  double attempt_timeout_ms = 0;
+
+  bool enabled() const { return max_attempts > 1; }
+
+  Status Validate() const;
+};
+
+// The backoff to sleep before retry `retry_number` (1-based: the delay
+// between attempt k and attempt k+1), with jitter sampled from `rng`.
+double BackoffMs(const RetryPolicy& policy, int retry_number, Rng* rng);
+
+// Runs `attempt` up to policy.max_attempts times. Each invocation receives
+// a per-attempt token: the session `token` bounded additionally by
+// policy.attempt_timeout_ms. Stops early on success, on a permanent
+// (non-retryable) error, or when `token` itself is cancelled/expired — the
+// session's cancellation is never retried. Sleeps the backoff between
+// attempts (observing `token`). `retries_out`, when non-null, receives the
+// number of re-executions performed.
+Status RunWithRetry(const RetryPolicy& policy, const CancellationToken& token,
+                    Rng* rng,
+                    const std::function<Status(const CancellationToken&)>& attempt,
+                    int* retries_out = nullptr);
+
+// A per-attempt child token: cancellable, bounded by `attempt_timeout_ms`
+// (when > 0) and linked to `session` so cancelling the session cancels the
+// attempt. With no timeout and no cancellable session token, returns
+// `session` unchanged.
+CancellationToken MakeAttemptToken(const CancellationToken& session,
+                                   double attempt_timeout_ms);
+
+}  // namespace lakefed
+
+#endif  // LAKEFED_COMMON_RETRY_H_

@@ -16,6 +16,7 @@ std::string StatusCodeToString(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "Deadline exceeded";
     case StatusCode::kTypeError: return "Type error";
     case StatusCode::kIoError: return "IO error";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

@@ -28,6 +28,10 @@ enum class StatusCode {
   kDeadlineExceeded,
   kTypeError,
   kIoError,
+  // A source (or other dependency) is temporarily unreachable: the request
+  // may succeed if retried. The retry layer treats kUnavailable, kIoError
+  // and kDeadlineExceeded (per-attempt timeouts) as transient.
+  kUnavailable,
 };
 
 // Human-readable name of a StatusCode, e.g. "Invalid argument".
@@ -79,6 +83,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -97,6 +104,23 @@ class Status {
   }
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+
+  // True for errors that may succeed if the operation is retried: transient
+  // source/network failures (kUnavailable, kIoError) and per-attempt
+  // timeouts (kDeadlineExceeded). Everything else — parse errors, planning
+  // errors, cancellation, internal errors — is permanent: retrying would
+  // re-fail identically or repeat work the caller asked to stop.
+  bool IsRetryable() const {
+    switch (code()) {
+      case StatusCode::kUnavailable:
+      case StatusCode::kIoError:
+      case StatusCode::kDeadlineExceeded:
+        return true;
+      default:
+        return false;
+    }
+  }
 
   // "OK" or "<Code>: <message>".
   std::string ToString() const;

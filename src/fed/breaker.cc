@@ -1,0 +1,108 @@
+#include "fed/breaker.h"
+
+namespace lakefed::fed {
+
+std::string BreakerStateToString(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+BreakerRegistry::Breaker& BreakerRegistry::Get(const std::string& source_id) {
+  return breakers_[source_id];
+}
+
+bool BreakerRegistry::AllowRequest(const std::string& source_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = Get(source_id);
+  switch (b.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen: {
+      const auto cooldown =
+          std::chrono::duration_cast<Clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  config_.open_cooldown_ms));
+      if (Clock::now() - b.opened_at >= cooldown) {
+        b.state = BreakerState::kHalfOpen;
+        b.probe_in_flight = true;
+        return true;  // this caller is the probe
+      }
+      ++b.rejected_requests;
+      return false;
+    }
+    case BreakerState::kHalfOpen:
+      if (!b.probe_in_flight) {
+        b.probe_in_flight = true;
+        return true;
+      }
+      ++b.rejected_requests;
+      return false;  // hold further traffic until the probe reports
+  }
+  return true;
+}
+
+void BreakerRegistry::OnSuccess(const std::string& source_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = Get(source_id);
+  b.state = BreakerState::kClosed;
+  b.consecutive_failures = 0;
+  b.probe_in_flight = false;
+}
+
+void BreakerRegistry::OnFailure(const std::string& source_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Breaker& b = Get(source_id);
+  ++b.total_failures;
+  ++b.consecutive_failures;
+  b.probe_in_flight = false;
+  if (b.state == BreakerState::kHalfOpen ||
+      b.consecutive_failures >= config_.failure_threshold) {
+    b.state = BreakerState::kOpen;
+    b.opened_at = Clock::now();
+  }
+}
+
+BreakerState BreakerRegistry::state(const std::string& source_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(source_id);
+  return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+bool BreakerRegistry::IsOpen(const std::string& source_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(source_id);
+  return it != breakers_.end() && it->second.state != BreakerState::kClosed;
+}
+
+bool BreakerRegistry::ShouldAvoid(const std::string& source_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(source_id);
+  if (it == breakers_.end() || it->second.state != BreakerState::kOpen) {
+    return false;
+  }
+  const auto cooldown = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(config_.open_cooldown_ms));
+  return Clock::now() - it->second.opened_at < cooldown;
+}
+
+std::vector<BreakerRegistry::Entry> BreakerRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(breakers_.size());
+  for (const auto& [id, b] : breakers_) {
+    out.push_back({id, b.state, b.consecutive_failures, b.total_failures,
+                   b.rejected_requests});
+  }
+  return out;
+}
+
+void BreakerRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  breakers_.clear();
+}
+
+}  // namespace lakefed::fed

@@ -1,0 +1,104 @@
+// Per-source circuit breakers: the engine-level memory of which Data Lake
+// sources are known-down. Each source has a classic three-state breaker:
+//
+//   closed    — healthy; requests flow, consecutive failures are counted.
+//   open      — `failure_threshold` consecutive failures tripped it; all
+//               requests are rejected for `open_cooldown_ms`, so sessions
+//               stop hammering a dead endpoint and the planner can route
+//               around it.
+//   half-open — the cooldown elapsed; exactly one probe request is let
+//               through. Success closes the breaker, failure re-opens it.
+//
+// One BreakerRegistry lives in the FederatedEngine and is shared by every
+// session (PlanOptions::breakers); all methods are thread-safe. Fault-free
+// workloads never trip a breaker, so default behaviour is unchanged.
+
+#ifndef LAKEFED_FED_BREAKER_H_
+#define LAKEFED_FED_BREAKER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lakefed::fed {
+
+struct BreakerConfig {
+  // Consecutive failures that open a source's breaker.
+  int failure_threshold = 5;
+  // How long an open breaker rejects requests before letting a probe
+  // through (half-open).
+  double open_cooldown_ms = 1000.0;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+std::string BreakerStateToString(BreakerState state);
+
+class BreakerRegistry {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit BreakerRegistry(BreakerConfig config = {}) : config_(config) {}
+
+  // May a request be sent to `source_id` now? Open breakers reject until
+  // the cooldown elapses; the first caller after that becomes the probe
+  // (half-open) and the next AllowRequest holds further traffic until the
+  // probe reports back.
+  bool AllowRequest(const std::string& source_id);
+
+  // Reports the outcome of a request (or probe) against `source_id`.
+  void OnSuccess(const std::string& source_id);
+  void OnFailure(const std::string& source_id);
+
+  BreakerState state(const std::string& source_id) const;
+
+  // True when the source's breaker is open (or holding for an in-flight
+  // probe). Display/diagnostics.
+  bool IsOpen(const std::string& source_id) const;
+
+  // True while requests to the source would be rejected outright: open and
+  // still inside the cooldown window. The planner routes around such
+  // sources; once the cooldown elapses the source re-enters plans so a
+  // probe can close the breaker again. Does not consume the probe slot.
+  bool ShouldAvoid(const std::string& source_id) const;
+
+  // Snapshot of every tracked source (sources that never failed and were
+  // never asked about are absent). For shell/stats display.
+  struct Entry {
+    std::string source_id;
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    uint64_t total_failures = 0;
+    uint64_t rejected_requests = 0;
+  };
+  std::vector<Entry> Snapshot() const;
+
+  // Closes every breaker and forgets all counts (tests; shell `.faults
+  // clear` resets the world).
+  void Reset();
+
+  const BreakerConfig& config() const { return config_; }
+
+ private:
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    uint64_t total_failures = 0;
+    uint64_t rejected_requests = 0;
+    Clock::time_point opened_at{};
+    bool probe_in_flight = false;
+  };
+
+  Breaker& Get(const std::string& source_id);
+
+  const BreakerConfig config_;
+  mutable std::mutex mu_;
+  std::map<std::string, Breaker> breakers_;
+};
+
+}  // namespace lakefed::fed
+
+#endif  // LAKEFED_FED_BREAKER_H_

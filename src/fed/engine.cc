@@ -72,6 +72,7 @@ Result<FederatedPlan> FederatedEngine::Plan(const std::string& sparql,
                                             const PlanOptions& options)
     const {
   PlanOptions effective = options;
+  if (effective.breakers == nullptr) effective.breakers = &breakers_;
   LAKEFED_RETURN_NOT_OK(PrepareStats(&effective));
   LAKEFED_ASSIGN_OR_RETURN(sparql::SelectQuery query,
                            sparql::ParseSparql(sparql));
@@ -94,6 +95,9 @@ Result<std::unique_ptr<ResultStream>> FederatedEngine::CreateSession(
   LAKEFED_RETURN_NOT_OK(request.options.Validate());
   Seal();
   LAKEFED_RETURN_NOT_OK(PrepareStats(&request.options));
+  if (request.options.breakers == nullptr) {
+    request.options.breakers = &breakers_;
+  }
   sparql::SelectQuery query;
   if (request.parsed.has_value()) {
     query = std::move(*request.parsed);

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "fed/breaker.h"
 #include "fed/executor.h"
 #include "fed/options.h"
 #include "fed/plan.h"
@@ -74,6 +75,12 @@ class FederatedEngine {
   // run (directly, or lazily through the first cost-model query).
   const stats::StatsCatalog* stats_catalog() const;
 
+  // The engine's per-source circuit breakers: shared across sessions, so a
+  // source that kept failing in one query is routed around (and probed) by
+  // the next. Sessions receive it via PlanOptions::breakers unless the
+  // caller supplied a registry of their own.
+  BreakerRegistry* breakers() const { return &breakers_; }
+
   // Plans without executing (EXPLAIN).
   Result<FederatedPlan> Plan(const std::string& sparql,
                              const PlanOptions& options) const;
@@ -113,6 +120,9 @@ class FederatedEngine {
   mutable std::mutex stats_mu_;
   mutable std::unique_ptr<stats::StatsCatalog> stats_;
   mutable std::vector<std::unique_ptr<stats::StatsCatalog>> retired_stats_;
+
+  // Circuit-breaker registry (thread-safe; outlives every session).
+  mutable BreakerRegistry breakers_;
 };
 
 }  // namespace lakefed::fed

@@ -9,7 +9,9 @@
 #include <unordered_set>
 
 #include "common/blocking_queue.h"
+#include "common/retry.h"
 #include "common/stopwatch.h"
+#include "fed/breaker.h"
 #include "stats/stats_catalog.h"
 
 namespace lakefed::fed {
@@ -91,6 +93,23 @@ class PlanExecution::Impl {
       breakdown.delay_ms += channel->total_delay_ms();
     }
     stats_.source_rows = stats_.messages_transferred;
+    for (const auto& [source, injector] : injectors_) {
+      stats_.faults_injected += injector->faults_injected();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.retries = retries_;
+      stats_.failovers = failovers_;
+      stats_.breaker_rejections = breaker_rejections_;
+      stats_.failed_sources = failed_sources_;
+      for (const AnswerTrace::Event& event : recovery_events_) {
+        stats_.recovery_events.push_back(event.label);
+      }
+      stats_.partial = degraded_;
+      for (const auto& [source, retries] : source_retries_) {
+        stats_.per_source[source].retries += retries;
+      }
+    }
     for (const auto& entry : operator_counters_) {
       operator_rows_.emplace_back(entry.label, entry.counter->load());
       operator_estimates_.push_back(entry.estimate);
@@ -113,6 +132,10 @@ class PlanExecution::Impl {
   }
   const std::vector<double>& operator_estimates() const {
     return operator_estimates_;
+  }
+  // Timestamped recovery events; valid after Finish() like the stats.
+  const std::vector<AnswerTrace::Event>& trace_events() const {
+    return recovery_events_;
   }
 
  private:
@@ -147,6 +170,15 @@ class PlanExecution::Impl {
                .emplace(source_id, std::make_unique<net::DelayChannel>(
                                        options_.network, seed))
                .first;
+      // Attach the source's fault injector, seeded independently of the
+      // delay sampling so fault schedules do not perturb the delays.
+      auto fault = options_.faults.find(source_id);
+      if (fault != options_.faults.end() && fault->second.Active()) {
+        auto injector = std::make_unique<net::FaultInjector>(
+            source_id, fault->second, seed ^ UINT64_C(0x9e3779b97f4a7c15));
+        it->second->set_fault_injector(injector.get());
+        injectors_.emplace(source_id, std::move(injector));
+      }
     }
     return it->second.get();
   }
@@ -163,6 +195,142 @@ class PlanExecution::Impl {
                               source_id + "'");
     }
     return it->second;
+  }
+
+  // --- fault-tolerant leaf execution -----------------------------------
+  // Engaged only when the options ask for it; otherwise leaves run on the
+  // exact historic direct-streaming path, so default behaviour (including
+  // error propagation and answer streaming granularity) is unchanged.
+  bool FaultTolerant() const {
+    return options_.retry.enabled() ||
+           options_.failure_mode == FailureMode::kBestEffort ||
+           !options_.faults.empty();
+  }
+
+  void AddRecoveryEvent(std::string event) {
+    std::lock_guard<std::mutex> lock(mu_);
+    recovery_events_.push_back({clock_.ElapsedSeconds(), std::move(event)});
+  }
+
+  // One sub-query against one source under the retry policy. Every attempt
+  // runs into a private staging queue and is forwarded to `sink` only on
+  // success, so downstream operators never observe duplicate or torn
+  // attempts. A closed `sink` (downstream satisfied) counts as success.
+  Status ExecuteWithRetry(SourceWrapper* w, const SubQuery& subquery,
+                          net::DelayChannel* channel, RowQueue* sink,
+                          const CancellationToken& token, Rng* rng,
+                          int* retries_out) {
+    net::FaultInjector* injector = channel->fault_injector();
+    return RunWithRetry(
+        options_.retry, token, rng,
+        [&](const CancellationToken& attempt_token) -> Status {
+          RowQueue staging(static_cast<size_t>(1) << 30);
+          if (injector != nullptr) {
+            LAKEFED_RETURN_NOT_OK(injector->OnConnect(attempt_token));
+          }
+          LAKEFED_RETURN_NOT_OK(
+              w->Execute(subquery, channel, &staging, attempt_token));
+          // Wrappers stop quietly when their token fires; surface the
+          // attempt timeout here so the retry loop can tell a retryable
+          // per-attempt expiry from a clean completion.
+          if (attempt_token.IsCancelled()) return attempt_token.ToStatus();
+          staging.Close();
+          while (auto row = staging.Pop(token)) {
+            if (!sink->Push(std::move(*row), token)) break;
+          }
+          return Status::OK();
+        },
+        retries_out);
+  }
+
+  // Runs one leaf sub-query with the full recovery ladder: retry against
+  // its own source, then against each failover alternate (same molecule),
+  // consulting the per-source circuit breakers throughout. Returns OK as
+  // soon as any candidate completes; otherwise the last error.
+  Status ExecuteLeafWithRecovery(const SubQuery& subquery,
+                                 const std::vector<std::string>& alternates,
+                                 RowQueue* sink,
+                                 const CancellationToken& token) {
+    std::vector<std::string> candidates;
+    candidates.push_back(subquery.source_id);
+    candidates.insert(candidates.end(), alternates.begin(), alternates.end());
+    // Per-leaf jitter RNG, derived from the session seed and the leaf's
+    // primary source so repeated sessions replay the same backoff schedule.
+    uint64_t seed = options_.seed ^ UINT64_C(0x7fb5d329728ea185);
+    for (char c : subquery.source_id) {
+      seed = seed * 131 + static_cast<uint64_t>(c);
+    }
+    Rng rng(seed);
+    BreakerRegistry* breakers = options_.breakers;
+    Status last = Status::Unavailable("no candidate source attempted");
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (token.IsCancelled()) return token.ToStatus();
+      const std::string& source = candidates[i];
+      if (i > 0) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++failovers_;
+        }
+        AddRecoveryEvent("failover " + subquery.source_id + " -> " + source +
+                         " after: " + last.message());
+      }
+      if (breakers != nullptr && !breakers->AllowRequest(source)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++breaker_rejections_;
+        last = Status::Unavailable("circuit breaker open for source '" +
+                                   source + "'");
+        continue;
+      }
+      Result<SourceWrapper*> wrapper = WrapperFor(source);
+      if (!wrapper.ok()) {
+        last = wrapper.status();
+        continue;
+      }
+      SubQuery sq = subquery;
+      sq.source_id = source;
+      net::DelayChannel* channel = ChannelFor(source);
+      int retries = 0;
+      Status st =
+          ExecuteWithRetry(*wrapper, sq, channel, sink, token, &rng, &retries);
+      if (retries > 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        retries_ += static_cast<uint64_t>(retries);
+        source_retries_[source] += static_cast<uint64_t>(retries);
+        recovery_events_.push_back({clock_.ElapsedSeconds(),
+                                    "retried " + source + " x" +
+                                        std::to_string(retries)});
+      }
+      if (st.ok()) {
+        if (breakers != nullptr) breakers->OnSuccess(source);
+        return st;
+      }
+      if (breakers != nullptr) {
+        breakers->OnFailure(source);
+        if (breakers->IsOpen(source)) {
+          AddRecoveryEvent("breaker opened for " + source);
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        failed_sources_[source] = st.message();
+      }
+      last = st;
+      if (token.IsCancelled()) return token.ToStatus();
+    }
+    return last;
+  }
+
+  // A leaf (or bind-join probe) was unrecoverable. Best-effort drops its
+  // contribution and marks the answer partial; fail-fast surfaces the
+  // error as the execution's status.
+  void HandleLeafFailure(const Status& status, const CancellationToken& token) {
+    if (options_.failure_mode == FailureMode::kBestEffort &&
+        !token.IsCancelled()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      degraded_ = true;
+      return;
+    }
+    RecordError(status);
   }
 
   // Creates a node's output queue with an operator-statistics counter
@@ -205,6 +373,18 @@ class PlanExecution::Impl {
 
   RowQueuePtr StartService(const FedPlanNode& node) {
     RowQueuePtr out = MakeOutQueue(node);
+    if (FaultTolerant()) {
+      SubQuery subquery = node.subquery;
+      std::vector<std::string> alternates = node.failover_sources;
+      CancellationToken token = token_;
+      threads_.emplace_back([this, subquery, alternates, out, token] {
+        Status st = ExecuteLeafWithRecovery(subquery, alternates, out.get(),
+                                            token);
+        if (!st.ok()) HandleLeafFailure(st, token);
+        out->Close();
+      });
+      return out;
+    }
     auto wrapper = WrapperFor(node.subquery.source_id);
     if (!wrapper.ok()) {
       RecordError(wrapper.status());
@@ -368,10 +548,11 @@ class PlanExecution::Impl {
     net::DelayChannel* channel = ChannelFor(node.subquery.source_id);
     SubQuery subquery = node.subquery;
     std::vector<std::string> join_vars = node.join_vars;
+    std::vector<std::string> failover = node.failover_sources;
     CancellationToken token = token_;
 
-    threads_.emplace_back([this, w, channel, subquery, join_vars, left, out,
-                           token] {
+    threads_.emplace_back([this, w, channel, subquery, join_vars, failover,
+                           left, out, token] {
       const std::string& bind_var = join_vars.front();
       std::vector<rdf::Binding> batch;
       bool cancelled = false;
@@ -394,9 +575,16 @@ class PlanExecution::Impl {
         // Execute synchronously into a local queue large enough to never
         // block (we are the only consumer and drain afterwards).
         RowQueue local(static_cast<size_t>(1) << 30);
-        Status st = w->Execute(bound, channel, &local, token);
+        Status st = FaultTolerant()
+                        ? ExecuteLeafWithRecovery(bound, failover, &local,
+                                                  token)
+                        : w->Execute(bound, channel, &local, token);
         if (!st.ok()) {
-          RecordError(st);
+          if (FaultTolerant()) {
+            HandleLeafFailure(st, token);
+          } else {
+            RecordError(st);
+          }
           return false;
         }
         local.Close();
@@ -546,6 +734,16 @@ class PlanExecution::Impl {
   Status error_;
   std::vector<std::function<void()>> closers_;
   std::map<std::string, std::unique_ptr<net::DelayChannel>> channels_;
+  std::map<std::string, std::unique_ptr<net::FaultInjector>> injectors_;
+  // Recovery accounting, guarded by mu_ while the dataflow runs.
+  uint64_t retries_ = 0;
+  uint64_t failovers_ = 0;
+  uint64_t breaker_rejections_ = 0;
+  std::map<std::string, uint64_t> source_retries_;
+  std::map<std::string, std::string> failed_sources_;
+  std::vector<AnswerTrace::Event> recovery_events_;
+  Stopwatch clock_;  // event timestamps, seconds since execution creation
+  bool degraded_ = false;
   struct OperatorCounter {
     std::string label;
     std::string stats_key;  // feedback key; empty = no feedback
@@ -585,6 +783,10 @@ const std::vector<double>& PlanExecution::operator_estimates() const {
   return impl_->operator_estimates();
 }
 
+const std::vector<AnswerTrace::Event>& PlanExecution::trace_events() const {
+  return impl_->trace_events();
+}
+
 void ExecutionStats::MergeFrom(const ExecutionStats& other) {
   messages_transferred += other.messages_transferred;
   network_delay_ms += other.network_delay_ms;
@@ -594,7 +796,18 @@ void ExecutionStats::MergeFrom(const ExecutionStats& other) {
     mine.rows += b.rows;
     mine.messages += b.messages;
     mine.delay_ms += b.delay_ms;
+    mine.retries += b.retries;
   }
+  retries += other.retries;
+  failovers += other.failovers;
+  faults_injected += other.faults_injected;
+  breaker_rejections += other.breaker_rejections;
+  for (const auto& [source, error] : other.failed_sources) {
+    failed_sources[source] = error;
+  }
+  recovery_events.insert(recovery_events.end(), other.recovery_events.begin(),
+                         other.recovery_events.end());
+  partial = partial || other.partial;
 }
 
 std::string QueryAnswer::OperatorStatsText() const {
@@ -621,7 +834,25 @@ std::string QueryAnswer::OperatorStatsText() const {
                     static_cast<unsigned long long>(b.messages), b.delay_ms);
       out += buf;
       out += source;
+      if (b.retries > 0) {
+        out += "  (" + std::to_string(b.retries) + " retries)";
+      }
       out.push_back('\n');
+    }
+  }
+  // Recovery section: rendered only when the fault-tolerance layer acted,
+  // so fault-free output is byte-identical to the historic format.
+  if (stats.retries > 0 || stats.failovers > 0 || stats.faults_injected > 0 ||
+      stats.breaker_rejections > 0 || stats.partial ||
+      !stats.failed_sources.empty()) {
+    out += "recovery: " + std::to_string(stats.retries) + " retries  " +
+           std::to_string(stats.failovers) + " failovers  " +
+           std::to_string(stats.faults_injected) + " faults injected  " +
+           std::to_string(stats.breaker_rejections) + " breaker rejections";
+    if (stats.partial) out += "  (partial answer)";
+    out.push_back('\n');
+    for (const auto& [source, error] : stats.failed_sources) {
+      out += "  failed source " + source + ": " + error + "\n";
     }
   }
   return out;
@@ -645,6 +876,7 @@ Result<QueryAnswer> ExecutePlan(
   answer.trace.completion_seconds = stopwatch.ElapsedSeconds();
 
   LAKEFED_RETURN_NOT_OK(execution.Finish());
+  answer.trace.events = execution.trace_events();
   answer.stats = execution.stats();
   answer.operator_rows = execution.operator_rows();
   answer.operator_estimates = execution.operator_estimates();

@@ -41,8 +41,30 @@ struct ExecutionStats {
     uint64_t rows = 0;      // result rows shipped by this source
     uint64_t messages = 0;  // delay-channel transfers
     double delay_ms = 0;    // simulated delay injected on this channel
+    uint64_t retries = 0;   // sub-query re-attempts against this source
   };
   std::map<std::string, SourceBreakdown> per_source;
+
+  // ---- Fault-tolerance accounting (all zero on fault-free runs) --------
+  // Leaf sub-query re-attempts after transient failures (retry policy).
+  uint64_t retries = 0;
+  // Leaf attempts moved to a failover alternate serving the same molecule.
+  uint64_t failovers = 0;
+  // Faults fired by configured fault injectors (PlanOptions::faults).
+  uint64_t faults_injected = 0;
+  // Requests refused because a source's circuit breaker was open.
+  uint64_t breaker_rejections = 0;
+  // Sources that exhausted their retries during this execution, keyed by
+  // source id, with the last error observed. A listed source may still be
+  // covered by a failover alternate — `partial` says whether answers were
+  // actually lost.
+  std::map<std::string, std::string> failed_sources;
+  // Ordered human-readable log of recovery actions (retries, failovers,
+  // breaker trips) taken during the execution.
+  std::vector<std::string> recovery_events;
+  // True when best-effort execution dropped an unrecoverable leaf: the
+  // answer is missing that leaf's contribution.
+  bool partial = false;
 
   // Folds `other` into this (totals summed, per-source entries merged) —
   // used by sessions accumulating multiple plan executions.
@@ -99,6 +121,9 @@ class PlanExecution {
   const ExecutionStats& stats() const;
   const std::vector<std::pair<std::string, uint64_t>>& operator_rows() const;
   const std::vector<double>& operator_estimates() const;
+  // Timestamped recovery events (retries, failovers, breaker trips),
+  // seconds since the execution was created. Empty on fault-free runs.
+  const std::vector<AnswerTrace::Event>& trace_events() const;
 
  private:
   class Impl;

@@ -7,6 +7,10 @@ std::string PlanModeToString(PlanMode mode) {
                                                 : "physical-design-unaware";
 }
 
+std::string FailureModeToString(FailureMode mode) {
+  return mode == FailureMode::kBestEffort ? "best-effort" : "fail-fast";
+}
+
 Status PlanOptions::Validate() const {
   if (slow_network_threshold_ms < 0) {
     return Status::InvalidArgument(
@@ -23,6 +27,14 @@ Status PlanOptions::Validate() const {
     return Status::InvalidArgument(
         "network profile '" + network.name +
         "' has negative gamma parameters or time scale");
+  }
+  LAKEFED_RETURN_NOT_OK(retry.Validate());
+  for (const auto& [source, profile] : faults) {
+    Status s = profile.Validate();
+    if (!s.ok()) {
+      return Status::InvalidArgument("fault profile for source '" + source +
+                                     "': " + s.message());
+    }
   }
   return Status::OK();
 }

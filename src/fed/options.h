@@ -7,9 +7,11 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "fed/decomposer.h"
 #include "fed/subquery.h"
+#include "net/fault.h"
 #include "net/network.h"
 
 namespace lakefed::stats {
@@ -17,6 +19,20 @@ class StatsCatalog;
 }  // namespace lakefed::stats
 
 namespace lakefed::fed {
+
+class BreakerRegistry;
+
+enum class FailureMode {
+  // Any unrecoverable source error (after retries and failover) fails the
+  // whole query. The default; matches the engine's historic behaviour.
+  kFailFast,
+  // Unrecoverable sources are dropped from the answer: the query still
+  // streams results from the healthy sources and the per-source errors are
+  // reported in ExecutionStats (the answer is marked partial).
+  kBestEffort,
+};
+
+std::string FailureModeToString(FailureMode mode);
 
 enum class PlanMode {
   // Section 3(a): the QEP ignores indexes/normalization; as many operations
@@ -71,6 +87,29 @@ struct PlanOptions {
   // fold actual operator cardinalities back into the catalog.
   bool use_cost_model = false;
   stats::StatsCatalog* stats_catalog = nullptr;
+
+  // ---- Fault tolerance ------------------------------------------------
+  // All defaults leave the engine on the exact historic code path: no
+  // retries, fail-fast, no injected faults, no breaker consultation.
+
+  // What to do when a source is unrecoverable (retries and failover
+  // exhausted).
+  FailureMode failure_mode = FailureMode::kFailFast;
+
+  // Retry policy for source sub-queries. Disabled (max_attempts = 1) by
+  // default. Backoff jitter draws from a per-leaf RNG derived from `seed`,
+  // so fault runs are reproducible.
+  RetryPolicy retry;
+
+  // Deterministic fault injection: source id -> fault profile. Injectors
+  // are seeded from `seed`, so the same plan + seed + faults yields the
+  // same fault schedule. Empty = healthy network.
+  net::FaultPlan faults;
+
+  // Per-source circuit breakers (not owned). FederatedEngine fills in its
+  // registry automatically when left null; executions report outcomes and
+  // the planner routes around sources whose breaker is open.
+  BreakerRegistry* breakers = nullptr;
 
   // Rejects inconsistent option combinations. Called by the engine at
   // session creation, so invalid options fail fast instead of silently

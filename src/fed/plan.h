@@ -46,6 +46,13 @@ struct FedPlanNode {
   double estimated_rows = -1.0;
   std::string stats_key;
 
+  // Alternate sources serving the same molecule(s) as this leaf — its union
+  // siblings, filled by the planner for kService nodes. When the leaf's own
+  // source is unrecoverable (retries exhausted) the executor fails over to
+  // the first healthy alternate. Deliberately absent from Describe/Explain
+  // so plan text is unchanged by the fault-tolerance layer.
+  std::vector<std::string> failover_sources;
+
   // Variables this node's output rows bind.
   std::vector<std::string> OutputVariables() const;
 

@@ -6,6 +6,7 @@
 #include <optional>
 #include <set>
 
+#include "fed/breaker.h"
 #include "fed/decomposer.h"
 #include "stats/estimator.h"
 #include "stats/stats_catalog.h"
@@ -226,13 +227,36 @@ Result<FederatedPlan> BuildPlan(
   // Each star becomes one SubQuery per selected source; multiple sources
   // union. We keep, per star, the list of (source, SubQuery-index) to later
   // build service/union nodes.
+  //
+  // Sources whose circuit breaker is open (inside its cooldown) are routed
+  // around while a healthy replica remains — a known-down endpoint should
+  // not even be attempted. Once the cooldown elapses the source re-enters
+  // plans so the executor can probe it. With no recorded failures the
+  // registry is empty and source selection is untouched.
+  auto route_around_open = [&](std::vector<std::string> sources)
+      -> std::vector<std::string> {
+    if (options.breakers == nullptr || sources.size() < 2) return sources;
+    std::vector<std::string> healthy;
+    for (const std::string& s : sources) {
+      if (!options.breakers->ShouldAvoid(s)) healthy.push_back(s);
+    }
+    if (healthy.empty() || healthy.size() == sources.size()) return sources;
+    for (const std::string& s : sources) {
+      if (std::find(healthy.begin(), healthy.end(), s) == healthy.end()) {
+        plan.decisions.push_back("breaker: routed around open source '" + s +
+                                 "'");
+      }
+    }
+    return healthy;
+  };
   struct PlannedStar {
     StarSubQuery star;
     std::vector<std::string> sources;
   };
   std::vector<PlannedStar> planned;
   for (StarSubQuery& star : decomposed.stars) {
-    std::vector<std::string> sources = SelectSources(star, catalog);
+    std::vector<std::string> sources =
+        route_around_open(SelectSources(star, catalog));
     if (sources.empty()) {
       return Status::NotFound("no source can answer sub-query " +
                               star.ToString());
@@ -448,6 +472,13 @@ Result<FederatedPlan> BuildPlan(
     std::vector<FedPlanPtr> scans;
     for (const SubQuery& sq : unit.replicas) {
       FedPlanPtr node = MakeServiceNode(sq);
+      // Union siblings serve the same molecule: they are the leaf's
+      // failover alternates.
+      for (const SubQuery& sibling : unit.replicas) {
+        if (sibling.source_id != sq.source_id) {
+          node->failover_sources.push_back(sibling.source_id);
+        }
+      }
       SubQueryEstimate estimate;
       if (cost_model) {
         estimate = est_subquery(sq);
@@ -640,7 +671,8 @@ Result<FederatedPlan> BuildPlan(
 
   // --- 7. OPTIONAL groups: left joins after the main tree ----------------
   for (StarSubQuery& star : decomposed.optional_stars) {
-    std::vector<std::string> sources = SelectSources(star, catalog);
+    std::vector<std::string> sources =
+        route_around_open(SelectSources(star, catalog));
     if (sources.empty()) {
       return Status::NotFound("no source can answer OPTIONAL sub-query " +
                               star.ToString());
@@ -653,6 +685,9 @@ Result<FederatedPlan> BuildPlan(
       sq.stars.push_back(star);
       sq.filters = place_filters(star, source);
       FedPlanPtr node = MakeServiceNode(sq);
+      for (const std::string& sibling : sources) {
+        if (sibling != source) node->failover_sources.push_back(sibling);
+      }
       SubQueryEstimate estimate;
       if (cost_model) {
         estimate = est_subquery(sq);

@@ -65,6 +65,7 @@ Result<std::unique_ptr<ResultStream>> ResultStream::Create(
 }
 
 Status ResultStream::StartBranch() {
+  branch_start_s_ = stopwatch_.ElapsedSeconds();
   LAKEFED_ASSIGN_OR_RETURN(
       FederatedPlan plan,
       BuildPlan(branches_[branch_index_], catalog_, wrappers_, options_));
@@ -79,6 +80,11 @@ Status ResultStream::StartBranch() {
 
 void ResultStream::AccumulateExecution() {
   stats_.MergeFrom(execution_->stats());
+  // Branch executions keep event times relative to their own start; shift
+  // them onto the session clock (branches run sequentially).
+  for (const AnswerTrace::Event& event : execution_->trace_events()) {
+    trace_.events.push_back({branch_start_s_ + event.time_s, event.label});
+  }
   const auto& ops = execution_->operator_rows();
   operator_rows_.insert(operator_rows_.end(), ops.begin(), ops.end());
   const auto& ests = execution_->operator_estimates();
@@ -299,6 +305,9 @@ Result<QueryAnswer> ResultStream::RunBlocking(
     for (size_t i = 0; i < part.rows.size(); ++i) {
       merged.trace.timestamps.push_back(offset + part.trace.timestamps[i]);
       merged.rows.push_back(std::move(part.rows[i]));
+    }
+    for (const AnswerTrace::Event& event : part.trace.events) {
+      merged.trace.events.push_back({offset + event.time_s, event.label});
     }
     offset += part.trace.completion_seconds;
     merged.stats.MergeFrom(part.stats);

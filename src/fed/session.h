@@ -168,6 +168,7 @@ class ResultStream {
   size_t branch_index_ = 0;
   std::unique_ptr<PlanExecution> execution_;
   Stopwatch stopwatch_;
+  double branch_start_s_ = 0;  // session time the current branch started
 
   bool buffered_ran_ = false;  // buffered mode
   std::vector<rdf::Binding> buffered_rows_;

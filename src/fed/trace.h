@@ -14,6 +14,13 @@ struct AnswerTrace {
   std::vector<double> timestamps;
   // Total wall time of the execution (>= last timestamp).
   double completion_seconds = 0;
+  // Timestamped execution events (retries, failovers, breaker trips, ...),
+  // in occurrence order. Empty for fault-free runs.
+  struct Event {
+    double time_s = 0;
+    std::string label;
+  };
+  std::vector<Event> events;
 
   size_t num_answers() const { return timestamps.size(); }
 

@@ -1,0 +1,147 @@
+#include "net/fault.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace lakefed::net {
+
+Status FaultProfile::Validate() const {
+  if (error_rate < 0 || error_rate > 1.0) {
+    return Status::InvalidArgument("fault error_rate must be in [0, 1], got " +
+                                   std::to_string(error_rate));
+  }
+  if (fail_connections < 0) {
+    return Status::InvalidArgument("fault fail_connections must be >= 0");
+  }
+  if (drop_after_messages < -1) {
+    return Status::InvalidArgument(
+        "fault drop_after_messages must be -1 (never) or >= 0");
+  }
+  if (stall_ms < 0) {
+    return Status::InvalidArgument("fault stall_ms must be >= 0");
+  }
+  return Status::OK();
+}
+
+std::string FaultProfile::ToString() const {
+  std::ostringstream out;
+  bool any = false;
+  auto sep = [&]() -> std::ostringstream& {
+    if (any) out << ' ';
+    any = true;
+    return out;
+  };
+  if (permanent_outage) sep() << "outage";
+  if (fail_connections > 0) sep() << "fail_connections=" << fail_connections;
+  if (drop_after_messages >= 0) sep() << "drop_after=" << drop_after_messages;
+  if (error_rate > 0) sep() << "rate=" << error_rate;
+  if (stall_ms > 0) sep() << "stall=" << stall_ms;
+  if (!any) out << "healthy";
+  return out.str();
+}
+
+Result<FaultProfile> ParseFaultProfile(const std::string& spec) {
+  FaultProfile profile;
+  std::istringstream in(spec);
+  std::string item;
+  while (in >> item) {
+    std::string key = item;
+    std::string value;
+    if (size_t eq = item.find('='); eq != std::string::npos) {
+      key = item.substr(0, eq);
+      value = item.substr(eq + 1);
+    }
+    auto number = [&]() -> Result<double> {
+      char* end = nullptr;
+      double v = std::strtod(value.c_str(), &end);
+      if (value.empty() || end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("fault spec '" + key +
+                                       "' needs a numeric value, got '" +
+                                       value + "'");
+      }
+      return v;
+    };
+    if (key == "outage" || key == "permanent") {
+      profile.permanent_outage = true;
+    } else if (key == "rate" || key == "error_rate") {
+      LAKEFED_ASSIGN_OR_RETURN(double v, number());
+      profile.error_rate = v;
+    } else if (key == "drop_after" || key == "drop_after_messages") {
+      LAKEFED_ASSIGN_OR_RETURN(double v, number());
+      profile.drop_after_messages = static_cast<int64_t>(v);
+    } else if (key == "fail_connections" || key == "fail_attempts") {
+      LAKEFED_ASSIGN_OR_RETURN(double v, number());
+      profile.fail_connections = static_cast<int>(v);
+    } else if (key == "stall" || key == "stall_ms") {
+      LAKEFED_ASSIGN_OR_RETURN(double v, number());
+      profile.stall_ms = v;
+    } else {
+      return Status::InvalidArgument(
+          "unknown fault spec key '" + key +
+          "' (expected outage, rate=, drop_after=, fail_connections=, "
+          "stall=)");
+    }
+  }
+  LAKEFED_RETURN_NOT_OK(profile.Validate());
+  return profile;
+}
+
+FaultInjector::FaultInjector(std::string source_id, FaultProfile profile,
+                             uint64_t seed)
+    : source_id_(std::move(source_id)),
+      profile_(std::move(profile)),
+      rng_(seed) {}
+
+Status FaultInjector::Inject(const CancellationToken& token,
+                             const std::string& what) {
+  faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  if (profile_.stall_ms > 0) token.SleepFor(profile_.stall_ms);
+  return Status::Unavailable("injected fault: source '" + source_id_ +
+                             "' " + what);
+}
+
+Status FaultInjector::OnConnect(const CancellationToken& token) {
+  int64_t attempt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attempt = ++connects_;
+    messages_this_attempt_ = 0;
+  }
+  if (profile_.permanent_outage) {
+    return Inject(token, "is permanently down");
+  }
+  if (attempt <= profile_.fail_connections) {
+    return Inject(token, "refused connection (attempt " +
+                             std::to_string(attempt) + " of " +
+                             std::to_string(profile_.fail_connections) +
+                             " scripted failures)");
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnMessage(const CancellationToken& token) {
+  bool drop = false;
+  bool transient = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++messages_this_attempt_;
+    if (profile_.drop_after_messages >= 0 &&
+        messages_this_attempt_ > profile_.drop_after_messages) {
+      drop = true;
+    } else if (profile_.error_rate > 0 &&
+               rng_.Bernoulli(profile_.error_rate)) {
+      transient = true;
+    }
+  }
+  if (drop) {
+    return Inject(token, "dropped the connection after " +
+                             std::to_string(profile_.drop_after_messages) +
+                             " message(s)");
+  }
+  if (transient) return Inject(token, "hit a transient error");
+  return Status::OK();
+}
+
+}  // namespace lakefed::net

@@ -1,0 +1,104 @@
+// Fault injection for the simulated network: a FaultProfile declares the
+// failure behaviour of one source's link, a FaultInjector enacts it. The
+// injector is attached to the source's DelayChannel (the same place the
+// paper's gamma delays are injected), so every failure mode fires at the
+// exact point answers cross the simulated network and is reproducible from
+// a seed — tests and benches replay identical fault schedules.
+//
+// Failure taxonomy (all composable in one profile):
+//  * scripted connection failures — the first `fail_connections` attempts
+//    to execute against the source fail immediately (kUnavailable);
+//  * permanent outage — every attempt fails (a dead source);
+//  * message drop — the connection is lost (kUnavailable) after
+//    `drop_after_messages` answers of one attempt have been transferred;
+//  * probabilistic transient errors — each message independently fails
+//    with `error_rate` probability;
+//  * stalls — each injected failure is preceded by `stall_ms` of dead air
+//    (bounded by the caller's cancellation token / deadline).
+
+#ifndef LAKEFED_NET_FAULT_H_
+#define LAKEFED_NET_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/cancellation.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace lakefed::net {
+
+// Declarative description of one source's failure behaviour. The default
+// profile injects nothing.
+struct FaultProfile {
+  // First N connection attempts fail with kUnavailable (then recover).
+  int fail_connections = 0;
+  // Every connection attempt fails — the source is permanently down.
+  bool permanent_outage = false;
+  // Connection drops after this many messages of one attempt; -1 = never.
+  int64_t drop_after_messages = -1;
+  // Per-message probability of a transient error, in [0, 1].
+  double error_rate = 0;
+  // Dead air before each injected failure surfaces, milliseconds.
+  double stall_ms = 0;
+
+  bool Active() const {
+    return fail_connections > 0 || permanent_outage ||
+           drop_after_messages >= 0 || error_rate > 0;
+  }
+
+  Status Validate() const;
+
+  // One-line "key=value ..." rendering (inverse of ParseFaultProfile).
+  std::string ToString() const;
+};
+
+// Parses "rate=0.1 drop_after=50 fail_connections=2 outage stall=20" style
+// specs (shell `.faults` command, bench configs). Unknown keys error.
+Result<FaultProfile> ParseFaultProfile(const std::string& spec);
+
+// A fault plan maps source ids to their profiles; sources absent from the
+// map are healthy. Copyable value type carried by PlanOptions.
+using FaultPlan = std::map<std::string, FaultProfile>;
+
+// Enacts one profile on one source's channel. Thread-safe; seeded, so the
+// fault schedule is a pure function of (profile, seed, call sequence).
+// Lifetime: owned by the PlanExecution that owns the channel.
+class FaultInjector {
+ public:
+  FaultInjector(std::string source_id, FaultProfile profile, uint64_t seed);
+
+  // Called by the executor when an attempt (connection) against the source
+  // starts. Returns kUnavailable for scripted/permanent connection faults.
+  Status OnConnect(const CancellationToken& token);
+
+  // Called by DelayChannel::Transfer for every message. Returns
+  // kUnavailable when the profile injects a fault at this message.
+  Status OnMessage(const CancellationToken& token);
+
+  const std::string& source_id() const { return source_id_; }
+  const FaultProfile& profile() const { return profile_; }
+
+  // Total faults injected (connection + message level).
+  uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Status Inject(const CancellationToken& token, const std::string& what);
+
+  const std::string source_id_;
+  const FaultProfile profile_;
+  std::mutex mu_;  // guards rng_ and the per-attempt message counter
+  Rng rng_;
+  int64_t connects_ = 0;
+  int64_t messages_this_attempt_ = 0;
+  std::atomic<uint64_t> faults_injected_{0};
+};
+
+}  // namespace lakefed::net
+
+#endif  // LAKEFED_NET_FAULT_H_

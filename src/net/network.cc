@@ -43,10 +43,20 @@ double DelayChannel::SampleDelayMs() {
   return rng_.Gamma(profile_.alpha, profile_.beta) * profile_.time_scale;
 }
 
-void DelayChannel::Transfer() { Transfer(CancellationToken()); }
-
-void DelayChannel::Transfer(const CancellationToken& token) {
+void DelayChannel::Transfer() {
   messages_.fetch_add(1, std::memory_order_relaxed);
+  Delay(CancellationToken());
+}
+
+Status DelayChannel::Transfer(const CancellationToken& token) {
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  Delay(token);
+  // Faults fire after the delay: the message cost was paid either way.
+  if (injector_ != nullptr) return injector_->OnMessage(token);
+  return Status::OK();
+}
+
+void DelayChannel::Delay(const CancellationToken& token) {
   if (!profile_.HasDelay()) return;
   double delay_ms;
   {

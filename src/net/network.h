@@ -20,6 +20,8 @@
 
 #include "common/cancellation.h"
 #include "common/rng.h"
+#include "common/status.h"
+#include "net/fault.h"
 
 namespace lakefed::net {
 
@@ -64,19 +66,33 @@ inline constexpr double kSlowNetworkThresholdMs = 1.0;
 // A DelayChannel injects the per-message delay. One channel is attached to
 // each wrapper; Transfer() is called once per retrieved answer (exactly
 // Ontario's injection point). Thread-safe.
+//
+// A FaultInjector may be attached alongside the delay sampling: each
+// token-aware Transfer then also consults the injector, and returns
+// kUnavailable when the injector fires a fault for this message. Wrappers
+// propagate that status out of Execute so the executor's retry/failover
+// layer can recover; legacy wrappers that ignore it simply see no faults.
 class DelayChannel {
  public:
   DelayChannel(NetworkProfile profile, uint64_t seed);
 
-  // Sleeps for one sampled message latency and accounts for it.
+  // Sleeps for one sampled message latency and accounts for it. No fault
+  // injection (legacy entry point).
   void Transfer();
 
   // As Transfer(), but the sleep observes `token`: an explicit cancel wakes
   // it immediately and the token's deadline caps it, so a source stuck in a
   // simulated slow network tears down mid-delay instead of finishing the
   // sleep. The full sampled delay is still accounted (the simulation's
-  // network cost does not depend on who aborted the wait).
-  void Transfer(const CancellationToken& token);
+  // network cost does not depend on who aborted the wait). Returns the
+  // attached fault injector's verdict for this message (OK when no
+  // injector is attached).
+  Status Transfer(const CancellationToken& token);
+
+  // Attaches the per-source fault injector (not owned; must outlive the
+  // channel's use). Set before wrapper threads start.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
 
   // Samples a delay without sleeping (for tests and cost estimation).
   double SampleDelayMs();
@@ -86,11 +102,15 @@ class DelayChannel {
   double total_delay_ms() const;
 
  private:
+  // Samples and sleeps one message delay (shared by both Transfer forms).
+  void Delay(const CancellationToken& token);
+
   NetworkProfile profile_;
   std::mutex mu_;  // guards rng_ and total_delay_ms_
   Rng rng_;
   std::atomic<uint64_t> messages_{0};
   double total_delay_ms_ = 0;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace lakefed::net

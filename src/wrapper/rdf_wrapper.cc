@@ -49,7 +49,8 @@ Status RdfWrapper::Execute(const fed::SubQuery& subquery,
   }
 
   std::vector<std::string> variables = subquery.Variables();
-  return rdf::EvaluateBgpVisit(
+  Status fault;  // injected network fault, surfaced after the scan stops
+  Status scan = rdf::EvaluateBgpVisit(
       *store_, patterns, [&](const rdf::Binding& binding) {
         if (token.IsCancelled()) return false;  // stop the scan
         for (const auto& [var, set] : allowed) {
@@ -69,9 +70,12 @@ Status RdfWrapper::Execute(const fed::SubQuery& subquery,
           auto it = binding.find(var);
           if (it != binding.end()) projected.emplace(var, it->second);
         }
-        channel->Transfer(token);
+        fault = channel->Transfer(token);
+        if (!fault.ok()) return false;  // connection lost: abort the scan
         return out->Push(std::move(projected), token);
       });
+  LAKEFED_RETURN_NOT_OK(scan);
+  return fault;
 }
 
 }  // namespace lakefed::wrapper

@@ -438,7 +438,7 @@ Status SqlWrapper::ShipRows(
       }
     }
     if (!pass) continue;
-    channel->Transfer(token);
+    LAKEFED_RETURN_NOT_OK(channel->Transfer(token));
     if (!out->Push(std::move(binding), token)) break;
   }
   return Status::OK();

@@ -58,6 +58,32 @@ TEST(StatusTest, AllPredicates) {
   EXPECT_TRUE(Status::Cancelled("").IsCancelled());
   EXPECT_TRUE(Status::TypeError("").IsTypeError());
   EXPECT_TRUE(Status::IoError("").IsIoError());
+  EXPECT_TRUE(Status::Unavailable("").IsUnavailable());
+}
+
+TEST(StatusTest, UnavailableCarriesCodeAndMessage) {
+  Status st = Status::Unavailable("source s1 unreachable");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(st.ToString(), "Unavailable: source s1 unreachable");
+}
+
+TEST(StatusTest, RetryableSplit) {
+  // Transient: a retry may succeed.
+  EXPECT_TRUE(Status::Unavailable("").IsRetryable());
+  EXPECT_TRUE(Status::IoError("").IsRetryable());
+  EXPECT_TRUE(Status::DeadlineExceeded("").IsRetryable());
+  // Permanent: retrying cannot change the outcome.
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("").IsRetryable());
+  EXPECT_FALSE(Status::ParseError("").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("").IsRetryable());
+  EXPECT_FALSE(Status::AlreadyExists("").IsRetryable());
+  EXPECT_FALSE(Status::OutOfRange("").IsRetryable());
+  EXPECT_FALSE(Status::NotImplemented("").IsRetryable());
+  EXPECT_FALSE(Status::Internal("").IsRetryable());
+  EXPECT_FALSE(Status::Cancelled("").IsRetryable());
+  EXPECT_FALSE(Status::TypeError("").IsRetryable());
 }
 
 TEST(ResultTest, HoldsValue) {

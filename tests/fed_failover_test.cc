@@ -1,0 +1,342 @@
+// Fault-tolerant federated execution: retry with backoff, failover to
+// replica sources, circuit breakers and best-effort degradation, all driven
+// by deterministic fault injection (PlanOptions::faults).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "fed/engine.h"
+
+namespace lakefed::fed {
+namespace {
+
+constexpr char kClass[] = "http://t/C";
+constexpr char kPred[] = "http://t/p";
+
+const char kStarQuery[] =
+    "SELECT ?s ?o WHERE { ?s a <http://t/C> ; <http://t/p> ?o . }";
+
+// Emits `rows` scripted bindings, shipping each through the delay channel —
+// injected faults surface exactly as they would for a real wrapper.
+class ScriptedWrapper : public SourceWrapper {
+ public:
+  ScriptedWrapper(std::string id, int rows)
+      : id_(std::move(id)), rows_(rows) {}
+
+  const std::string& id() const override { return id_; }
+  SourceKind kind() const override { return SourceKind::kRdf; }
+
+  std::vector<mapping::RdfMt> Molecules() const override {
+    mapping::RdfMt molecule;
+    molecule.class_iri = kClass;
+    molecule.predicates = {rdf::kRdfType, kPred};
+    molecule.sources = {id_};
+    return {molecule};
+  }
+
+  Status Execute(const SubQuery& subquery, net::DelayChannel* channel,
+                 BlockingQueue<rdf::Binding>* out) override {
+    return Execute(subquery, channel, out, CancellationToken());
+  }
+
+  Status Execute(const SubQuery& subquery, net::DelayChannel* channel,
+                 BlockingQueue<rdf::Binding>* out,
+                 const CancellationToken& token) override {
+    std::vector<std::string> vars = subquery.Variables();
+    for (int i = 0; i < rows_; ++i) {
+      if (token.IsCancelled()) return Status::OK();
+      rdf::Binding row;
+      for (const std::string& var : vars) {
+        row[var] = rdf::Term::Literal(id_ + "_" + var + "_" +
+                                      std::to_string(i));
+      }
+      LAKEFED_RETURN_NOT_OK(channel->Transfer(token));
+      if (!out->Push(std::move(row), token)) return Status::OK();
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string id_;
+  int rows_;
+};
+
+std::unique_ptr<FederatedEngine> MakeEngine(
+    std::vector<std::pair<std::string, int>> sources) {
+  auto engine = std::make_unique<FederatedEngine>();
+  for (auto& [id, rows] : sources) {
+    Status st =
+        engine->RegisterSource(std::make_unique<ScriptedWrapper>(id, rows));
+    if (!st.ok()) return nullptr;
+  }
+  return engine;
+}
+
+PlanOptions RecoveryOptions() {
+  PlanOptions options;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 0.1;
+  options.retry.max_backoff_ms = 1;
+  return options;
+}
+
+std::set<std::string> SubjectSet(const QueryAnswer& answer) {
+  std::set<std::string> subjects;
+  for (const rdf::Binding& row : answer.rows) {
+    auto it = row.find("s");
+    if (it != row.end()) subjects.insert(it->second.ToString());
+  }
+  return subjects;
+}
+
+// The acceptance scenario: a molecule replicated on two sources, one of
+// them permanently dead. Best-effort execution must still answer from the
+// survivor, report the dead source, and count retries and a failover.
+TEST(FedFailoverTest, DeadReplicaFailsOverToSurvivor) {
+  auto engine = MakeEngine({{"s1", 8}, {"s2", 8}});
+  ASSERT_NE(engine, nullptr);
+  PlanOptions options = RecoveryOptions();
+  options.failure_mode = FailureMode::kBestEffort;
+  options.faults["s2"].permanent_outage = true;
+
+  auto answer = engine->Execute(kStarQuery, options);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_FALSE(answer->rows.empty());
+  // Every surviving answer comes from s1 (s2 never delivered a row).
+  for (const rdf::Binding& row : answer->rows) {
+    EXPECT_EQ(row.at("s").ToString().find("s2_"), std::string::npos);
+  }
+  EXPECT_EQ(SubjectSet(*answer).size(), 8u);  // full coverage via failover
+  EXPECT_GE(answer->stats.retries, 1u);
+  EXPECT_GE(answer->stats.failovers, 1u);
+  EXPECT_GE(answer->stats.faults_injected, 1u);
+  ASSERT_EQ(answer->stats.failed_sources.count("s2"), 1u);
+  // The dead replica was covered by its sibling: nothing was lost.
+  EXPECT_FALSE(answer->stats.partial);
+  EXPECT_FALSE(answer->stats.recovery_events.empty());
+  // Recovery events also land on the answer trace, timestamped and in
+  // occurrence order.
+  ASSERT_EQ(answer->trace.events.size(), answer->stats.recovery_events.size());
+  for (size_t i = 0; i < answer->trace.events.size(); ++i) {
+    EXPECT_EQ(answer->trace.events[i].label, answer->stats.recovery_events[i]);
+    EXPECT_GE(answer->trace.events[i].time_s, 0.0);
+    if (i > 0) {
+      EXPECT_GE(answer->trace.events[i].time_s,
+                answer->trace.events[i - 1].time_s);
+    }
+  }
+  // The recovery section shows up in the observability text.
+  EXPECT_NE(answer->OperatorStatsText().find("recovery:"), std::string::npos);
+  EXPECT_NE(answer->OperatorStatsText().find("failed source s2"),
+            std::string::npos);
+}
+
+TEST(FedFailoverTest, BestEffortDropsUnrecoverableSoloSource) {
+  auto engine = MakeEngine({{"s1", 8}});
+  ASSERT_NE(engine, nullptr);
+  PlanOptions options = RecoveryOptions();
+  options.failure_mode = FailureMode::kBestEffort;
+  options.faults["s1"].permanent_outage = true;
+
+  auto answer = engine->Execute(kStarQuery, options);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_TRUE(answer->rows.empty());
+  EXPECT_TRUE(answer->stats.partial);
+  EXPECT_EQ(answer->stats.failed_sources.count("s1"), 1u);
+}
+
+TEST(FedFailoverTest, FailFastStillSurfacesUnrecoverableError) {
+  auto engine = MakeEngine({{"s1", 8}});
+  ASSERT_NE(engine, nullptr);
+  PlanOptions options = RecoveryOptions();  // kFailFast default
+  options.faults["s1"].permanent_outage = true;
+
+  auto answer = engine->Execute(kStarQuery, options);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_TRUE(answer.status().IsUnavailable()) << answer.status();
+}
+
+TEST(FedFailoverTest, TransientConnectionFaultsRecoverViaRetry) {
+  auto engine = MakeEngine({{"s1", 10}});
+  ASSERT_NE(engine, nullptr);
+  PlanOptions options = RecoveryOptions();
+  options.faults["s1"].fail_connections = 2;  // recovers on the 3rd attempt
+
+  auto answer = engine->Execute(kStarQuery, options);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_EQ(answer->rows.size(), 10u);
+  EXPECT_EQ(answer->stats.retries, 2u);
+  EXPECT_EQ(answer->stats.failovers, 0u);
+  EXPECT_EQ(answer->stats.faults_injected, 2u);
+  EXPECT_FALSE(answer->stats.partial);
+  EXPECT_EQ(answer->stats.per_source.at("s1").retries, 2u);
+}
+
+TEST(FedFailoverTest, DroppedConnectionNeverDuplicatesRows) {
+  // The connection drops mid-stream on the first attempt; the retry must
+  // re-ship from scratch without the first attempt's rows leaking through.
+  auto engine = MakeEngine({{"s1", 12}});
+  ASSERT_NE(engine, nullptr);
+  PlanOptions options = RecoveryOptions();
+  options.faults["s1"].drop_after_messages = 5;
+  // Drops every attempt at message 6: retries exhaust. Best-effort keeps
+  // the answer empty rather than torn.
+  options.failure_mode = FailureMode::kBestEffort;
+
+  auto answer = engine->Execute(kStarQuery, options);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_TRUE(answer->rows.empty());  // no torn attempt leaked
+  EXPECT_TRUE(answer->stats.partial);
+  EXPECT_EQ(answer->stats.retries, 2u);
+}
+
+TEST(FedFailoverTest, FaultFreeRunsReportNoRecoveryActivity) {
+  auto engine = MakeEngine({{"s1", 6}});
+  ASSERT_NE(engine, nullptr);
+  PlanOptions options = RecoveryOptions();  // retry armed, nothing fails
+
+  auto answer = engine->Execute(kStarQuery, options);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_EQ(answer->rows.size(), 6u);
+  EXPECT_EQ(answer->stats.retries, 0u);
+  EXPECT_EQ(answer->stats.failovers, 0u);
+  EXPECT_EQ(answer->stats.faults_injected, 0u);
+  EXPECT_FALSE(answer->stats.partial);
+  EXPECT_TRUE(answer->stats.failed_sources.empty());
+  EXPECT_EQ(answer->OperatorStatsText().find("recovery:"), std::string::npos);
+}
+
+// Same seed + same fault plan => identical answers and identical recovery
+// counters, session after session (the deterministic-injection guarantee).
+TEST(FedFailoverTest, FaultScheduleIsDeterministicAcrossSessions) {
+  std::optional<std::set<std::string>> subjects;
+  std::optional<uint64_t> retries;
+  std::optional<uint64_t> faults;
+  for (int run = 0; run < 5; ++run) {
+    auto engine = MakeEngine({{"s1", 20}});
+    ASSERT_NE(engine, nullptr);
+    PlanOptions options;
+    options.seed = 1234;
+    options.retry.max_attempts = 10;
+    options.retry.initial_backoff_ms = 0.1;
+    options.retry.max_backoff_ms = 1;
+    options.faults["s1"].error_rate = 0.02;
+
+    auto answer = engine->Execute(kStarQuery, options);
+    ASSERT_TRUE(answer.ok()) << "run " << run << ": " << answer.status();
+    std::set<std::string> got = SubjectSet(*answer);
+    if (!subjects.has_value()) {
+      subjects = got;
+      retries = answer->stats.retries;
+      faults = answer->stats.faults_injected;
+    } else {
+      EXPECT_EQ(got, *subjects) << "run " << run;
+      EXPECT_EQ(answer->stats.retries, *retries) << "run " << run;
+      EXPECT_EQ(answer->stats.faults_injected, *faults) << "run " << run;
+    }
+  }
+}
+
+TEST(FedFailoverTest, FailoverScenarioIsDeterministicAcrossSessions) {
+  std::optional<std::set<std::string>> subjects;
+  std::optional<uint64_t> retries;
+  std::optional<uint64_t> failovers;
+  for (int run = 0; run < 5; ++run) {
+    auto engine = MakeEngine({{"s1", 8}, {"s2", 8}});
+    ASSERT_NE(engine, nullptr);
+    PlanOptions options = RecoveryOptions();
+    options.failure_mode = FailureMode::kBestEffort;
+    options.faults["s2"].permanent_outage = true;
+
+    auto answer = engine->Execute(kStarQuery, options);
+    ASSERT_TRUE(answer.ok()) << "run " << run << ": " << answer.status();
+    std::set<std::string> got = SubjectSet(*answer);
+    if (!subjects.has_value()) {
+      subjects = got;
+      retries = answer->stats.retries;
+      failovers = answer->stats.failovers;
+    } else {
+      EXPECT_EQ(got, *subjects) << "run " << run;
+      EXPECT_EQ(answer->stats.retries, *retries) << "run " << run;
+      EXPECT_EQ(answer->stats.failovers, *failovers) << "run " << run;
+    }
+  }
+}
+
+// After enough consecutive failures the engine-level breaker opens and the
+// planner routes the next query around the dead source.
+TEST(FedFailoverTest, BreakerOpensAndPlannerRoutesAround) {
+  auto engine = MakeEngine({{"ok", 5}, {"dead", 5}});
+  ASSERT_NE(engine, nullptr);
+  PlanOptions options = RecoveryOptions();
+  options.failure_mode = FailureMode::kBestEffort;
+  options.faults["dead"].permanent_outage = true;
+
+  const int threshold = engine->breakers()->config().failure_threshold;
+  for (int i = 0; i < threshold; ++i) {
+    auto answer = engine->Execute(kStarQuery, options);
+    ASSERT_TRUE(answer.ok()) << "iteration " << i << ": " << answer.status();
+  }
+  EXPECT_EQ(engine->breakers()->state("dead"), BreakerState::kOpen);
+  EXPECT_TRUE(engine->breakers()->ShouldAvoid("dead"));
+
+  auto plan = engine->Plan(kStarQuery, options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  bool routed = false;
+  for (const std::string& decision : plan->decisions) {
+    if (decision.find("routed around open source 'dead'") !=
+        std::string::npos) {
+      routed = true;
+    }
+  }
+  EXPECT_TRUE(routed);
+  // The routed plan is a single service scan: no union branch for 'dead'.
+  EXPECT_EQ(plan->Explain().find("Union"), std::string::npos)
+      << plan->Explain();
+
+  // A healthy execution against the surviving source closes nothing and
+  // still succeeds without touching the open breaker's probe slot.
+  auto answer = engine->Execute(kStarQuery, options);
+  ASSERT_TRUE(answer.ok()) << answer.status();
+  EXPECT_EQ(SubjectSet(*answer).size(), 5u);
+}
+
+TEST(FedFailoverTest, BreakerRecoversViaProbeAfterCooldown) {
+  BreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_cooldown_ms = 0;  // probe immediately
+  BreakerRegistry registry(config);
+  registry.OnFailure("s1");
+  EXPECT_EQ(registry.state("s1"), BreakerState::kOpen);
+  // Cooldown elapsed: the next request is the probe.
+  EXPECT_TRUE(registry.AllowRequest("s1"));
+  EXPECT_EQ(registry.state("s1"), BreakerState::kHalfOpen);
+  // While the probe is in flight other requests hold.
+  EXPECT_FALSE(registry.AllowRequest("s1"));
+  registry.OnSuccess("s1");
+  EXPECT_EQ(registry.state("s1"), BreakerState::kClosed);
+  EXPECT_TRUE(registry.AllowRequest("s1"));
+  // A failed probe re-opens.
+  registry.OnFailure("s1");
+  EXPECT_TRUE(registry.AllowRequest("s1"));  // probe again (cooldown 0)
+  registry.OnFailure("s1");
+  EXPECT_EQ(registry.state("s1"), BreakerState::kOpen);
+}
+
+TEST(FedFailoverTest, ValidateRejectsBadRetryAndFaultOptions) {
+  auto engine = MakeEngine({{"s1", 3}});
+  ASSERT_NE(engine, nullptr);
+  PlanOptions options;
+  options.retry.max_attempts = 0;
+  EXPECT_TRUE(engine->Execute(kStarQuery, options).status()
+                  .IsInvalidArgument());
+  options = PlanOptions();
+  options.faults["s1"].error_rate = 2.0;
+  EXPECT_TRUE(engine->Execute(kStarQuery, options).status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace lakefed::fed

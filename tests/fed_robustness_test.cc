@@ -42,8 +42,15 @@ class ScriptedWrapper : public SourceWrapper {
 
   Status Execute(const SubQuery& subquery, net::DelayChannel* channel,
                  BlockingQueue<rdf::Binding>* out) override {
+    return Execute(subquery, channel, out, CancellationToken());
+  }
+
+  Status Execute(const SubQuery& subquery, net::DelayChannel* channel,
+                 BlockingQueue<rdf::Binding>* out,
+                 const CancellationToken& token) override {
     std::vector<std::string> vars = subquery.Variables();
     for (int i = 0; i < script_.rows; ++i) {
+      if (token.IsCancelled()) return Status::OK();
       if (script_.fail_after >= 0 && i >= script_.fail_after) {
         return Status::IoError("source " + id_ + " lost its connection");
       }
@@ -56,8 +63,9 @@ class ScriptedWrapper : public SourceWrapper {
         row[var] = rdf::Term::Literal(id_ + "_" + var + "_" +
                                       std::to_string(i % 50));
       }
-      channel->Transfer();
-      if (!out->Push(std::move(row))) return Status::OK();  // cancelled
+      // Token-aware transfer: injected network faults surface here.
+      LAKEFED_RETURN_NOT_OK(channel->Transfer(token));
+      if (!out->Push(std::move(row), token)) return Status::OK();  // cancelled
     }
     return Status::OK();
   }

@@ -1,0 +1,161 @@
+#include "net/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace lakefed::net {
+namespace {
+
+TEST(FaultProfileTest, DefaultIsInactiveAndHealthy) {
+  FaultProfile profile;
+  EXPECT_FALSE(profile.Active());
+  EXPECT_TRUE(profile.Validate().ok());
+  EXPECT_EQ(profile.ToString(), "healthy");
+}
+
+TEST(FaultProfileTest, ValidateRejectsBadValues) {
+  FaultProfile profile;
+  profile.error_rate = 1.5;
+  EXPECT_TRUE(profile.Validate().IsInvalidArgument());
+  profile = FaultProfile();
+  profile.fail_connections = -1;
+  EXPECT_TRUE(profile.Validate().IsInvalidArgument());
+  profile = FaultProfile();
+  profile.drop_after_messages = -2;
+  EXPECT_TRUE(profile.Validate().IsInvalidArgument());
+  profile = FaultProfile();
+  profile.stall_ms = -1;
+  EXPECT_TRUE(profile.Validate().IsInvalidArgument());
+}
+
+TEST(FaultProfileTest, ParseFullSpec) {
+  Result<FaultProfile> parsed =
+      ParseFaultProfile("rate=0.25 drop_after=10 fail_connections=2 stall=5");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->error_rate, 0.25);
+  EXPECT_EQ(parsed->drop_after_messages, 10);
+  EXPECT_EQ(parsed->fail_connections, 2);
+  EXPECT_DOUBLE_EQ(parsed->stall_ms, 5);
+  EXPECT_FALSE(parsed->permanent_outage);
+  EXPECT_TRUE(parsed->Active());
+}
+
+TEST(FaultProfileTest, ParseOutageAndAliases) {
+  Result<FaultProfile> parsed = ParseFaultProfile("outage");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->permanent_outage);
+  parsed = ParseFaultProfile("error_rate=0.1 drop_after_messages=3 "
+                             "fail_attempts=1 stall_ms=2 permanent");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->permanent_outage);
+  EXPECT_DOUBLE_EQ(parsed->error_rate, 0.1);
+  EXPECT_EQ(parsed->drop_after_messages, 3);
+  EXPECT_EQ(parsed->fail_connections, 1);
+}
+
+TEST(FaultProfileTest, ParseRejectsUnknownKeysAndBadNumbers) {
+  EXPECT_TRUE(ParseFaultProfile("explode=1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseFaultProfile("rate=abc").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseFaultProfile("rate=2.0").status().IsInvalidArgument());
+}
+
+TEST(FaultProfileTest, ToStringRoundTrips) {
+  Result<FaultProfile> parsed =
+      ParseFaultProfile("outage fail_connections=2 drop_after=7 rate=0.5");
+  ASSERT_TRUE(parsed.ok());
+  Result<FaultProfile> again = ParseFaultProfile(parsed->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->permanent_outage, parsed->permanent_outage);
+  EXPECT_EQ(again->fail_connections, parsed->fail_connections);
+  EXPECT_EQ(again->drop_after_messages, parsed->drop_after_messages);
+  EXPECT_DOUBLE_EQ(again->error_rate, parsed->error_rate);
+}
+
+TEST(FaultInjectorTest, PermanentOutageFailsEveryConnect) {
+  FaultProfile profile;
+  profile.permanent_outage = true;
+  FaultInjector injector("s1", profile, 1);
+  for (int i = 0; i < 5; ++i) {
+    Status st = injector.OnConnect(CancellationToken());
+    EXPECT_TRUE(st.IsUnavailable());
+    EXPECT_TRUE(st.IsRetryable());
+  }
+  EXPECT_EQ(injector.faults_injected(), 5u);
+}
+
+TEST(FaultInjectorTest, ScriptedConnectionFailuresThenRecovery) {
+  FaultProfile profile;
+  profile.fail_connections = 2;
+  FaultInjector injector("s1", profile, 1);
+  EXPECT_TRUE(injector.OnConnect(CancellationToken()).IsUnavailable());
+  EXPECT_TRUE(injector.OnConnect(CancellationToken()).IsUnavailable());
+  EXPECT_TRUE(injector.OnConnect(CancellationToken()).ok());
+  EXPECT_TRUE(injector.OnConnect(CancellationToken()).ok());
+  EXPECT_EQ(injector.faults_injected(), 2u);
+}
+
+TEST(FaultInjectorTest, DropAfterMessagesResetsPerAttempt) {
+  FaultProfile profile;
+  profile.drop_after_messages = 3;
+  FaultInjector injector("s1", profile, 1);
+  ASSERT_TRUE(injector.OnConnect(CancellationToken()).ok());
+  EXPECT_TRUE(injector.OnMessage(CancellationToken()).ok());
+  EXPECT_TRUE(injector.OnMessage(CancellationToken()).ok());
+  EXPECT_TRUE(injector.OnMessage(CancellationToken()).ok());
+  EXPECT_TRUE(injector.OnMessage(CancellationToken()).IsUnavailable());
+  // A fresh attempt gets a fresh message budget.
+  ASSERT_TRUE(injector.OnConnect(CancellationToken()).ok());
+  EXPECT_TRUE(injector.OnMessage(CancellationToken()).ok());
+}
+
+TEST(FaultInjectorTest, ErrorRateScheduleIsSeededDeterministic) {
+  FaultProfile profile;
+  profile.error_rate = 0.3;
+  auto schedule = [&](uint64_t seed) {
+    FaultInjector injector("s1", profile, seed);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 200; ++i) {
+      outcomes.push_back(injector.OnMessage(CancellationToken()).ok());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(schedule(7), schedule(7));
+  EXPECT_NE(schedule(7), schedule(8));
+}
+
+TEST(FaultInjectorTest, ZeroRateInjectsNothing) {
+  FaultInjector injector("s1", FaultProfile(), 1);
+  ASSERT_TRUE(injector.OnConnect(CancellationToken()).ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(injector.OnMessage(CancellationToken()).ok());
+  }
+  EXPECT_EQ(injector.faults_injected(), 0u);
+}
+
+TEST(DelayChannelFaultTest, TransferSurfacesInjectedFaults) {
+  FaultProfile profile;
+  profile.drop_after_messages = 2;
+  FaultInjector injector("s1", profile, 1);
+  DelayChannel channel(NetworkProfile::NoDelay(), 1);
+  channel.set_fault_injector(&injector);
+  ASSERT_TRUE(injector.OnConnect(CancellationToken()).ok());
+  EXPECT_TRUE(channel.Transfer(CancellationToken()).ok());
+  EXPECT_TRUE(channel.Transfer(CancellationToken()).ok());
+  EXPECT_TRUE(channel.Transfer(CancellationToken()).IsUnavailable());
+  // The message cost is paid either way: all transfers are counted.
+  EXPECT_EQ(channel.messages_transferred(), 3u);
+}
+
+TEST(DelayChannelFaultTest, NoInjectorMeansNoFaults) {
+  DelayChannel channel(NetworkProfile::NoDelay(), 1);
+  EXPECT_EQ(channel.fault_injector(), nullptr);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(channel.Transfer(CancellationToken()).ok());
+  }
+}
+
+}  // namespace
+}  // namespace lakefed::net
