@@ -29,8 +29,12 @@ void BM_PlanBenchmarkQueries(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanBenchmarkQueries);
 
-void BM_FederatedJoinThroughput(benchmark::State& state) {
-  // End-to-end symmetric hash join across two sources, no network delay.
+// End-to-end symmetric hash join across two sources, no network delay.
+// `metrics` toggles PlanOptions::collect_metrics — scripts/check.sh runs
+// both variants and fails when instrumentation costs more than a few
+// percent, which keeps the observability layer honest about "near-zero
+// overhead when disabled" AND cheap when enabled.
+void FederatedJoinThroughput(benchmark::State& state, bool metrics) {
   lslod::LakeConfig config;
   config.scale = static_cast<double>(state.range(0)) / 100.0;
   auto lake = lslod::BuildLake(config);
@@ -41,6 +45,7 @@ void BM_FederatedJoinThroughput(benchmark::State& state) {
       "SELECT ?g ?probe WHERE { ?g a dsv:Gene ; dsv:geneSymbol ?sym . "
       "?probe a affy:Probeset ; affy:symbol ?sym . }";
   fed::PlanOptions options;
+  options.collect_metrics = metrics;
   size_t answers = 0;
   for (auto _ : state) {
     auto answer = (*lake)->engine->Execute(query, options);
@@ -51,7 +56,17 @@ void BM_FederatedJoinThroughput(benchmark::State& state) {
   state.counters["answers"] = static_cast<double>(answers);
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(answers));
 }
+
+void BM_FederatedJoinThroughput(benchmark::State& state) {
+  FederatedJoinThroughput(state, /*metrics=*/true);
+}
 BENCHMARK(BM_FederatedJoinThroughput)->Arg(10)->Arg(40)->Unit(
+    benchmark::kMillisecond);
+
+void BM_FederatedJoinThroughputNoMetrics(benchmark::State& state) {
+  FederatedJoinThroughput(state, /*metrics=*/false);
+}
+BENCHMARK(BM_FederatedJoinThroughputNoMetrics)->Arg(10)->Arg(40)->Unit(
     benchmark::kMillisecond);
 
 void BM_DelayChannelNoDelayOverhead(benchmark::State& state) {

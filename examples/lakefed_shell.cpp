@@ -25,6 +25,12 @@
 //                         [timeout_ms]` arms it, `.retry off` disarms
 //   .failmode failfast|besteffort   unrecoverable-source handling
 //   .breakers             per-source circuit breaker states
+//   .metrics [json]       engine-wide metrics snapshot (counters, gauges,
+//                         latency histograms with p50/p95/p99), as aligned
+//                         text or stable JSON
+//   .spans <id|SPARQL>    execute a query in a session and print the
+//                         hierarchical span tree (parse -> plan -> execute
+//                         -> per-operator -> wrapper -> network transfer)
 //   .quit
 //
 //   $ ./examples/lakefed_shell            # interactive
@@ -158,7 +164,10 @@ class Shell {
           "  .retry [<attempts> [timeout_ms] | off]   retry with backoff\n"
           "  .failmode failfast|besteffort   drop dead sources vs fail "
           "fast\n"
-          "  .breakers             circuit breaker states\n");
+          "  .breakers             circuit breaker states\n"
+          "  .metrics [json]       engine-wide metrics (counters, latency "
+          "histograms)\n"
+          "  .spans <id|SPARQL>    run a query and print its span tree\n");
     } else if (cmd == ".mode") {
       if (arg == "aware") {
         options_.mode = fed::PlanMode::kPhysicalDesignAware;
@@ -314,6 +323,44 @@ class Shell {
                     static_cast<unsigned long long>(
                         entry.rejected_requests));
       }
+    } else if (cmd == ".metrics") {
+      obs::MetricsSnapshot snapshot = lake_->engine->MetricsSnapshot();
+      if (snapshot.empty()) {
+        std::printf("no metrics yet (run a query first)\n");
+      } else if (arg == "json") {
+        std::printf("%s\n", snapshot.ToJson().c_str());
+      } else {
+        std::printf("%s", snapshot.ToText().c_str());
+      }
+    } else if (cmd == ".spans") {
+      // `.spans <query id or SPARQL>` — run the query through a session
+      // and print its span tree.
+      std::string rest(TrimWhitespace(line.substr(cmd.size())));
+      if (rest.empty()) {
+        std::printf("usage: .spans <query id or SPARQL>\n");
+        return true;
+      }
+      const lslod::BenchmarkQuery* q = lslod::FindQuery(rest);
+      const std::string& sparql = q != nullptr ? q->sparql : rest;
+      auto stream = lake_->engine->CreateSession(
+          fed::QueryRequest::Text(sparql, options_));
+      if (!stream.ok()) {
+        std::printf("error: %s\n", stream.status().ToString().c_str());
+        return true;
+      }
+      auto answer = (*stream)->Drain();
+      if (!answer.ok()) {
+        std::printf("error: %s\n", answer.status().ToString().c_str());
+        return true;
+      }
+      const obs::SpanRecorder* spans = (*stream)->spans();
+      if (spans == nullptr) {
+        std::printf("span collection is off\n");
+      } else {
+        std::printf("%s", spans->ToText().c_str());
+      }
+      std::printf("%zu answer(s)\n", answer->rows.size());
+      last_stats_ = answer->OperatorStatsText();
     } else if (cmd == ".sql") {
       for (const auto& [id, db] : lake_->databases) {
         auto* w = dynamic_cast<wrapper::SqlWrapper*>(lake_->engine->wrapper(id));

@@ -4,8 +4,9 @@
 # executor, retry/failover path and circuit breaker are heavily
 # multi-threaded — tsan is the test that counts there).
 #
-#   scripts/check.sh               # both phases
-#   SKIP_TSAN=1 scripts/check.sh   # tier-1 only
+#   scripts/check.sh               # all phases
+#   SKIP_TSAN=1 scripts/check.sh   # skip the sanitizer phase
+#   SKIP_OVERHEAD=1 scripts/check.sh   # skip the metrics-overhead guard
 #
 # Build trees: build/ (tier-1) and build-tsan/ (sanitized).
 
@@ -18,6 +19,47 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${SKIP_OVERHEAD:-0}" == "1" ]]; then
+  echo "== SKIP_OVERHEAD=1: skipping metrics-overhead guard =="
+else
+  echo "== metrics-overhead guard: micro_fed_operators with metrics on/off =="
+  # The observability layer promises cheap collection: compare the floor
+  # (min across repetitions — the classic microbench denoiser) of the
+  # end-to-end federated join with metrics on vs off, and fail when the
+  # metrics-on variant costs > 5%. Shared-machine noise drifts a few
+  # percent either way, so the guard takes the best of up to 3 measurement
+  # attempts — a real regression fails all of them.
+  OVERHEAD_OK=0
+  for attempt in 1 2 3; do
+    BENCH_CSV="$(build/bench/micro_fed_operators \
+        --benchmark_filter='BM_FederatedJoinThroughput(NoMetrics)?/40$' \
+        --benchmark_repetitions=8 --benchmark_format=csv 2>/dev/null)"
+    ON_MS="$(echo "$BENCH_CSV" | awk -F, \
+        '$1 == "\"BM_FederatedJoinThroughput/40\"" {if (!m || $3 < m) m = $3}
+         END {print m}')"
+    OFF_MS="$(echo "$BENCH_CSV" | awk -F, \
+        '$1 == "\"BM_FederatedJoinThroughputNoMetrics/40\"" {if (!m || $3 < m) m = $3}
+         END {print m}')"
+    if [[ -z "$ON_MS" || -z "$OFF_MS" ]]; then
+      echo "error: could not parse bench output:"
+      echo "$BENCH_CSV"
+      exit 1
+    fi
+    DELTA_PCT="$(awk -v on="$ON_MS" -v off="$OFF_MS" \
+        'BEGIN {printf "%.1f", (on - off) / off * 100}')"
+    echo "attempt ${attempt}: metrics on ${ON_MS} ms, off ${OFF_MS} ms," \
+         "delta ${DELTA_PCT}%"
+    if awk -v d="$DELTA_PCT" 'BEGIN {exit !(d <= 5.0)}'; then
+      OVERHEAD_OK=1
+      break
+    fi
+  done
+  if [[ "$OVERHEAD_OK" != "1" ]]; then
+    echo "error: metrics collection consistently costs > 5%"
+    exit 1
+  fi
+fi
 
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
   echo "== SKIP_TSAN=1: skipping ThreadSanitizer phase =="

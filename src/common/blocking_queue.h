@@ -92,8 +92,15 @@ class BlockingQueue {
         not_empty_.notify_one();
         return true;
       }
-      WaitFor(not_full_, lock, token,
-              [&] { return closed_ || items_.size() < capacity_; });
+      if (!WaitFor(not_full_, lock, token,
+                   [&] { return closed_ || items_.size() < capacity_; })) {
+        // Deadline expired while the queue was still full: promote the
+        // expiry to cancellation (outside the lock — the OnCancel callback
+        // may close this very queue) and give up instead of spinning.
+        lock.unlock();
+        token.IsCancelled();
+        return false;
+      }
     }
   }
 
@@ -112,8 +119,13 @@ class BlockingQueue {
         return item;
       }
       if (closed_) return std::nullopt;
-      WaitFor(not_empty_, lock, token,
-              [&] { return closed_ || !items_.empty(); });
+      if (!WaitFor(not_empty_, lock, token,
+                   [&] { return closed_ || !items_.empty(); })) {
+        // Deadline expired on an empty queue: promote and return promptly.
+        lock.unlock();
+        token.IsCancelled();
+        return std::nullopt;
+      }
     }
   }
 
@@ -158,17 +170,21 @@ class BlockingQueue {
  private:
   // One bounded wait: until the predicate holds, the token's deadline
   // passes, or (via the OnCancel queue-closing callback) a cancellation
-  // closes the queue. Callers loop and re-check the token.
+  // closes the queue. Returns true when the predicate held at wake-up;
+  // false means the deadline passed with the predicate still false — the
+  // caller must treat that as cancellation and bail out, because looping
+  // back would make every subsequent wait_until return immediately and
+  // turn the wait into a hot spin.
   template <typename Pred>
-  static void WaitFor(std::condition_variable& cv,
+  static bool WaitFor(std::condition_variable& cv,
                       std::unique_lock<std::mutex>& lock,
                       const CancellationToken& token, Pred pred) {
     auto deadline = token.deadline();
     if (deadline.has_value()) {
-      cv.wait_until(lock, *deadline, pred);
-    } else {
-      cv.wait(lock, pred);
+      return cv.wait_until(lock, *deadline, pred);
     }
+    cv.wait(lock, pred);
+    return true;
   }
 
   const size_t capacity_;

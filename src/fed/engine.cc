@@ -98,10 +98,21 @@ Result<std::unique_ptr<ResultStream>> FederatedEngine::CreateSession(
   if (request.options.breakers == nullptr) {
     request.options.breakers = &breakers_;
   }
+  // The session's span recorder is created before parsing so the parse
+  // phase is the first child of the root "session" span; the stream takes
+  // ownership and closes the root at Finish().
+  std::unique_ptr<obs::SpanRecorder> spans;
+  uint64_t session_span = 0;
+  if (request.options.collect_metrics) {
+    spans = std::make_unique<obs::SpanRecorder>();
+    session_span = spans->StartSpan("session");
+  }
+  metrics_.GetCounter("engine.sessions")->Increment();
   sparql::SelectQuery query;
   if (request.parsed.has_value()) {
     query = std::move(*request.parsed);
   } else {
+    obs::Span parse_span(spans.get(), "parse", session_span);
     LAKEFED_ASSIGN_OR_RETURN(query, sparql::ParseSparql(request.query));
   }
   CancellationToken token =
@@ -110,7 +121,8 @@ Result<std::unique_ptr<ResultStream>> FederatedEngine::CreateSession(
                                             *request.timeout)
           : CancellationToken::Cancellable();
   return ResultStream::Create(catalog_, wrappers_, std::move(query),
-                              std::move(request.options), std::move(token));
+                              std::move(request.options), std::move(token),
+                              std::move(spans), session_span, &metrics_);
 }
 
 Result<QueryAnswer> FederatedEngine::Execute(const std::string& sparql,

@@ -39,6 +39,8 @@
 #include "fed/session.h"
 #include "fed/wrapper.h"
 #include "mapping/rdf_mt.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "stats/analyze.h"
 #include "stats/stats_catalog.h"
 
@@ -80,6 +82,14 @@ class FederatedEngine {
   // the next. Sessions receive it via PlanOptions::breakers unless the
   // caller supplied a registry of their own.
   BreakerRegistry* breakers() const { return &breakers_; }
+
+  // Engine-wide metrics: the aggregate of every finished session's registry
+  // (sessions with collect_metrics on) plus session/query counters. Cut at
+  // any time; rendered by the shell's `.metrics`.
+  obs::MetricsSnapshot MetricsSnapshot() const { return metrics_.Snapshot(); }
+
+  // The engine-wide registry itself (thread-safe; outlives every session).
+  obs::MetricsRegistry* metrics() const { return &metrics_; }
 
   // Plans without executing (EXPLAIN).
   Result<FederatedPlan> Plan(const std::string& sparql,
@@ -123,6 +133,9 @@ class FederatedEngine {
 
   // Circuit-breaker registry (thread-safe; outlives every session).
   mutable BreakerRegistry breakers_;
+
+  // Engine-wide metrics registry (thread-safe; outlives every session).
+  mutable obs::MetricsRegistry metrics_;
 };
 
 }  // namespace lakefed::fed

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -12,6 +13,8 @@
 #include "common/retry.h"
 #include "common/stopwatch.h"
 #include "fed/breaker.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "stats/stats_catalog.h"
 
 namespace lakefed::fed {
@@ -64,11 +67,30 @@ class PlanExecution::Impl {
  public:
   Impl(const std::map<std::string, SourceWrapper*>& wrappers,
        const PlanOptions& options, CancellationToken token)
-      : wrappers_(wrappers), options_(options), token_(std::move(token)) {}
+      : wrappers_(wrappers), options_(options), token_(std::move(token)) {
+    // Recovery accounting always goes through the local registry (it is
+    // what ExecutionStats reads at Finish, and it must stay per-execution:
+    // a UNION session runs several executions whose stats are reported
+    // separately). Histograms and spans are recorded only when metrics
+    // collection is on, and directly into the session's registry when one
+    // is attached — skipping a snapshot+merge round trip per query.
+    retries_counter_ = local_metrics_.GetCounter("exec.retries");
+    failovers_counter_ = local_metrics_.GetCounter("exec.failovers");
+    breaker_rejections_counter_ =
+        local_metrics_.GetCounter("exec.breaker_rejections");
+    sink_ = options_.collect_metrics && options_.metrics != nullptr
+                ? options_.metrics
+                : &local_metrics_;
+    if (options_.collect_metrics) spans_ = options_.spans;
+  }
 
   ~Impl() { Finish(); }
 
-  void Start(const FederatedPlan& plan) { root_ = StartNode(*plan.root); }
+  void Start(const FederatedPlan& plan) {
+    exec_span_ = obs::Span(spans_, "execute", options_.parent_span);
+    exec_span_id_ = exec_span_.id();
+    root_ = StartNode(*plan.root);
+  }
 
   std::optional<rdf::Binding> Next() {
     if (root_ == nullptr || finished_) return std::nullopt;
@@ -98,16 +120,26 @@ class PlanExecution::Impl {
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      stats_.retries = retries_;
-      stats_.failovers = failovers_;
-      stats_.breaker_rejections = breaker_rejections_;
       stats_.failed_sources = failed_sources_;
       for (const AnswerTrace::Event& event : recovery_events_) {
         stats_.recovery_events.push_back(event.label);
       }
       stats_.partial = degraded_;
-      for (const auto& [source, retries] : source_retries_) {
-        stats_.per_source[source].retries += retries;
+    }
+    // Recovery counters live in the metrics registry (the single sink all
+    // statistics channels feed); ExecutionStats is a projection of it.
+    stats_.retries = retries_counter_->Value();
+    stats_.failovers = failovers_counter_->Value();
+    stats_.breaker_rejections = breaker_rejections_counter_->Value();
+    constexpr const char* kRetriesSuffix = ".retries";
+    for (const auto& [suffix, value] :
+         local_metrics_.CountersWithPrefix("source.")) {
+      if (suffix.size() > strlen(kRetriesSuffix) &&
+          suffix.compare(suffix.size() - strlen(kRetriesSuffix),
+                         strlen(kRetriesSuffix), kRetriesSuffix) == 0) {
+        stats_.per_source[suffix.substr(
+                              0, suffix.size() - strlen(kRetriesSuffix))]
+            .retries += value;
       }
     }
     for (const auto& entry : operator_counters_) {
@@ -122,9 +154,43 @@ class PlanExecution::Impl {
                                              entry.counter->load());
       }
     }
+    if (options_.collect_metrics) {
+      sink_->GetCounter("exec.messages")
+          ->Increment(stats_.messages_transferred);
+      sink_->GetCounter("exec.source_rows")->Increment(stats_.source_rows);
+      if (stats_.faults_injected > 0) {
+        sink_->GetCounter("exec.faults_injected")
+            ->Increment(stats_.faults_injected);
+      }
+      for (const auto& [source, breakdown] : stats_.per_source) {
+        sink_->GetCounter("source." + source + ".messages")
+            ->Increment(breakdown.messages);
+        sink_->GetCounter("source." + source + ".rows")
+            ->Increment(breakdown.rows);
+      }
+      for (const auto& entry : operator_counters_) {
+        sink_->GetCounter("op.rows." + entry.label)
+            ->Increment(entry.counter->load());
+      }
+      if (sink_ != &local_metrics_) {
+        // Hand the per-execution recovery counters over to the session's
+        // registry: everything else was recorded there directly, so the
+        // transfer is a handful of counter adds, not a snapshot+merge.
+        for (const auto& [name, value] :
+             local_metrics_.CountersWithPrefix("")) {
+          if (value > 0) sink_->GetCounter(name)->Increment(value);
+        }
+      }
+    }
+    exec_span_.End();
     finished_ = true;
     return final_status_;
   }
+
+  // The registry this execution recorded into: the session's, when one was
+  // attached, else the execution-local fallback (standalone ExecutePlan).
+  // Stable once Finish() ran.
+  obs::MetricsSnapshot metrics_snapshot() const { return sink_->Snapshot(); }
 
   const ExecutionStats& stats() const { return stats_; }
   const std::vector<std::pair<std::string, uint64_t>>& operator_rows() const {
@@ -179,6 +245,11 @@ class PlanExecution::Impl {
         it->second->set_fault_injector(injector.get());
         injectors_.emplace(source_id, std::move(injector));
       }
+      if (options_.collect_metrics) {
+        it->second->set_observer(
+            sink_->GetHistogram("net." + source_id + ".transfer_ms"),
+            spans_, exec_span_id_, "xfer:" + source_id);
+      }
     }
     return it->second.get();
   }
@@ -195,6 +266,21 @@ class PlanExecution::Impl {
                               source_id + "'");
     }
     return it->second;
+  }
+
+  // One instrumented wrapper call: a "wrapper:<source>" span under
+  // `parent_span` plus a per-source call-latency histogram.
+  Status WrapperCall(SourceWrapper* w, const SubQuery& subquery,
+                     net::DelayChannel* channel, RowQueue* out,
+                     const CancellationToken& token, uint64_t parent_span) {
+    obs::Span span(spans_, "wrapper:" + subquery.source_id, parent_span);
+    Stopwatch watch;
+    Status st = w->Execute(subquery, channel, out, token);
+    if (options_.collect_metrics) {
+      sink_->GetHistogram("wrapper." + subquery.source_id + ".call_ms")
+          ->Record(watch.ElapsedMillis());
+    }
+    return st;
   }
 
   // --- fault-tolerant leaf execution -----------------------------------
@@ -219,7 +305,7 @@ class PlanExecution::Impl {
   Status ExecuteWithRetry(SourceWrapper* w, const SubQuery& subquery,
                           net::DelayChannel* channel, RowQueue* sink,
                           const CancellationToken& token, Rng* rng,
-                          int* retries_out) {
+                          int* retries_out, uint64_t parent_span) {
     net::FaultInjector* injector = channel->fault_injector();
     return RunWithRetry(
         options_.retry, token, rng,
@@ -228,8 +314,8 @@ class PlanExecution::Impl {
           if (injector != nullptr) {
             LAKEFED_RETURN_NOT_OK(injector->OnConnect(attempt_token));
           }
-          LAKEFED_RETURN_NOT_OK(
-              w->Execute(subquery, channel, &staging, attempt_token));
+          LAKEFED_RETURN_NOT_OK(WrapperCall(w, subquery, channel, &staging,
+                                            attempt_token, parent_span));
           // Wrappers stop quietly when their token fires; surface the
           // attempt timeout here so the retry loop can tell a retryable
           // per-attempt expiry from a clean completion.
@@ -250,7 +336,8 @@ class PlanExecution::Impl {
   Status ExecuteLeafWithRecovery(const SubQuery& subquery,
                                  const std::vector<std::string>& alternates,
                                  RowQueue* sink,
-                                 const CancellationToken& token) {
+                                 const CancellationToken& token,
+                                 uint64_t parent_span) {
     std::vector<std::string> candidates;
     candidates.push_back(subquery.source_id);
     candidates.insert(candidates.end(), alternates.begin(), alternates.end());
@@ -267,16 +354,12 @@ class PlanExecution::Impl {
       if (token.IsCancelled()) return token.ToStatus();
       const std::string& source = candidates[i];
       if (i > 0) {
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          ++failovers_;
-        }
+        failovers_counter_->Increment();
         AddRecoveryEvent("failover " + subquery.source_id + " -> " + source +
                          " after: " + last.message());
       }
       if (breakers != nullptr && !breakers->AllowRequest(source)) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++breaker_rejections_;
+        breaker_rejections_counter_->Increment();
         last = Status::Unavailable("circuit breaker open for source '" +
                                    source + "'");
         continue;
@@ -290,15 +373,14 @@ class PlanExecution::Impl {
       sq.source_id = source;
       net::DelayChannel* channel = ChannelFor(source);
       int retries = 0;
-      Status st =
-          ExecuteWithRetry(*wrapper, sq, channel, sink, token, &rng, &retries);
+      Status st = ExecuteWithRetry(*wrapper, sq, channel, sink, token, &rng,
+                                   &retries, parent_span);
       if (retries > 0) {
-        std::lock_guard<std::mutex> lock(mu_);
-        retries_ += static_cast<uint64_t>(retries);
-        source_retries_[source] += static_cast<uint64_t>(retries);
-        recovery_events_.push_back({clock_.ElapsedSeconds(),
-                                    "retried " + source + " x" +
-                                        std::to_string(retries)});
+        retries_counter_->Increment(static_cast<uint64_t>(retries));
+        local_metrics_.GetCounter("source." + source + ".retries")
+            ->Increment(static_cast<uint64_t>(retries));
+        AddRecoveryEvent("retried " + source + " x" +
+                         std::to_string(retries));
       }
       if (st.ok()) {
         if (breakers != nullptr) breakers->OnSuccess(source);
@@ -378,8 +460,9 @@ class PlanExecution::Impl {
       std::vector<std::string> alternates = node.failover_sources;
       CancellationToken token = token_;
       threads_.emplace_back([this, subquery, alternates, out, token] {
+        obs::Span op(spans_, "service:" + subquery.source_id, exec_span_id_);
         Status st = ExecuteLeafWithRecovery(subquery, alternates, out.get(),
-                                            token);
+                                            token, op.id());
         if (!st.ok()) HandleLeafFailure(st, token);
         out->Close();
       });
@@ -396,7 +479,8 @@ class PlanExecution::Impl {
     SubQuery subquery = node.subquery;
     CancellationToken token = token_;
     threads_.emplace_back([this, w, channel, subquery, out, token] {
-      Status st = w->Execute(subquery, channel, out.get(), token);
+      obs::Span op(spans_, "service:" + subquery.source_id, exec_span_id_);
+      Status st = WrapperCall(w, subquery, channel, out.get(), token, op.id());
       if (!st.ok()) RecordError(st);
       out->Close();
     });
@@ -429,7 +513,8 @@ class PlanExecution::Impl {
     threads_.emplace_back(forward, right, 1);
 
     std::vector<std::string> join_vars = node.join_vars;
-    threads_.emplace_back([merged, out, left, right, join_vars, token] {
+    threads_.emplace_back([this, merged, out, left, right, join_vars, token] {
+      obs::Span op(spans_, "join", exec_span_id_);
       std::unordered_map<std::string, std::vector<rdf::Binding>> table[2];
       while (auto tagged = merged->Pop(token)) {
         const int side = tagged->side;
@@ -467,7 +552,8 @@ class PlanExecution::Impl {
     RowQueuePtr out = MakeOutQueue(node);
     std::vector<std::string> join_vars = node.join_vars;
     CancellationToken token = token_;
-    threads_.emplace_back([left, right, out, join_vars, token] {
+    threads_.emplace_back([this, left, right, out, join_vars, token] {
+      obs::Span op(spans_, "leftjoin", exec_span_id_);
       std::unordered_map<std::string, std::vector<rdf::Binding>> table;
       while (auto row = right->Pop(token)) {
         if (!HasAllVars(*row, join_vars)) continue;
@@ -504,7 +590,8 @@ class PlanExecution::Impl {
     RowQueuePtr out = MakeOutQueue(node);
     std::vector<sparql::OrderCondition> order_by = node.order_by;
     CancellationToken token = token_;
-    threads_.emplace_back([in, out, order_by, token] {
+    threads_.emplace_back([this, in, out, order_by, token] {
+      obs::Span op(spans_, "orderby", exec_span_id_);
       std::vector<rdf::Binding> rows;
       while (auto row = in->Pop(token)) rows.push_back(std::move(*row));
       std::stable_sort(
@@ -553,6 +640,8 @@ class PlanExecution::Impl {
 
     threads_.emplace_back([this, w, channel, subquery, join_vars, failover,
                            left, out, token] {
+      obs::Span op(spans_, "depjoin:" + subquery.source_id, exec_span_id_);
+      const uint64_t op_span = op.id();
       const std::string& bind_var = join_vars.front();
       std::vector<rdf::Binding> batch;
       bool cancelled = false;
@@ -577,8 +666,9 @@ class PlanExecution::Impl {
         RowQueue local(static_cast<size_t>(1) << 30);
         Status st = FaultTolerant()
                         ? ExecuteLeafWithRecovery(bound, failover, &local,
-                                                  token)
-                        : w->Execute(bound, channel, &local, token);
+                                                  token, op_span)
+                        : WrapperCall(w, bound, channel, &local, token,
+                                      op_span);
         if (!st.ok()) {
           if (FaultTolerant()) {
             HandleLeafFailure(st, token);
@@ -627,7 +717,8 @@ class PlanExecution::Impl {
     CancellationToken token = token_;
     for (const FedPlanPtr& child : node.children) {
       RowQueuePtr in = StartNode(*child);
-      threads_.emplace_back([in, out, active, token] {
+      threads_.emplace_back([this, in, out, active, token] {
+        obs::Span op(spans_, "union-arm", exec_span_id_);
         while (auto row = in->Pop(token)) {
           if (!out->Push(std::move(*row), token)) break;
         }
@@ -643,7 +734,8 @@ class PlanExecution::Impl {
     RowQueuePtr out = MakeOutQueue(node);
     std::vector<sparql::FilterExprPtr> filters = node.filters;
     CancellationToken token = token_;
-    threads_.emplace_back([in, out, filters, token] {
+    threads_.emplace_back([this, in, out, filters, token] {
+      obs::Span op(spans_, "filter", exec_span_id_);
       while (auto row = in->Pop(token)) {
         bool pass = true;
         for (const sparql::FilterExprPtr& f : filters) {
@@ -668,7 +760,8 @@ class PlanExecution::Impl {
     RowQueuePtr out = MakeOutQueue(node);
     std::vector<std::string> projection = node.projection;
     CancellationToken token = token_;
-    threads_.emplace_back([in, out, projection, token] {
+    threads_.emplace_back([this, in, out, projection, token] {
+      obs::Span op(spans_, "project", exec_span_id_);
       while (auto row = in->Pop(token)) {
         rdf::Binding projected;
         for (const std::string& v : projection) {
@@ -687,7 +780,8 @@ class PlanExecution::Impl {
     RowQueuePtr in = StartNode(*node.children[0]);
     RowQueuePtr out = MakeOutQueue(node);
     CancellationToken token = token_;
-    threads_.emplace_back([in, out, token] {
+    threads_.emplace_back([this, in, out, token] {
+      obs::Span op(spans_, "distinct", exec_span_id_);
       std::unordered_set<std::string> seen;
       while (auto row = in->Pop(token)) {
         std::string key;
@@ -711,7 +805,8 @@ class PlanExecution::Impl {
     RowQueuePtr out = MakeOutQueue(node);
     int64_t limit = node.limit;
     CancellationToken token = token_;
-    threads_.emplace_back([in, out, limit, token] {
+    threads_.emplace_back([this, in, out, limit, token] {
+      obs::Span op(spans_, "limit", exec_span_id_);
       int64_t emitted = 0;
       while (emitted < limit) {
         auto row = in->Pop(token);
@@ -735,11 +830,22 @@ class PlanExecution::Impl {
   std::vector<std::function<void()>> closers_;
   std::map<std::string, std::unique_ptr<net::DelayChannel>> channels_;
   std::map<std::string, std::unique_ptr<net::FaultInjector>> injectors_;
+  // Per-execution recovery counters (what ExecutionStats is derived from
+  // at Finish — they must not be shared across a session's executions).
+  // Also the fallback sink when no session registry is attached.
+  obs::MetricsRegistry local_metrics_;
+  // Where everything else is recorded: the session's registry (via
+  // PlanOptions::metrics) when collection is on and one is attached, else
+  // &local_metrics_. Local recovery counters are transferred over at
+  // Finish with plain counter adds.
+  obs::MetricsRegistry* sink_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* failovers_counter_ = nullptr;
+  obs::Counter* breaker_rejections_counter_ = nullptr;
+  obs::SpanRecorder* spans_ = nullptr;  // null when collection is off
+  obs::Span exec_span_;
+  uint64_t exec_span_id_ = 0;
   // Recovery accounting, guarded by mu_ while the dataflow runs.
-  uint64_t retries_ = 0;
-  uint64_t failovers_ = 0;
-  uint64_t breaker_rejections_ = 0;
-  std::map<std::string, uint64_t> source_retries_;
   std::map<std::string, std::string> failed_sources_;
   std::vector<AnswerTrace::Event> recovery_events_;
   Stopwatch clock_;  // event timestamps, seconds since execution creation
@@ -785,6 +891,10 @@ const std::vector<double>& PlanExecution::operator_estimates() const {
 
 const std::vector<AnswerTrace::Event>& PlanExecution::trace_events() const {
   return impl_->trace_events();
+}
+
+obs::MetricsSnapshot PlanExecution::metrics_snapshot() const {
+  return impl_->metrics_snapshot();
 }
 
 void ExecutionStats::MergeFrom(const ExecutionStats& other) {
@@ -880,6 +990,9 @@ Result<QueryAnswer> ExecutePlan(
   answer.stats = execution.stats();
   answer.operator_rows = execution.operator_rows();
   answer.operator_estimates = execution.operator_estimates();
+  if (options.collect_metrics) {
+    answer.metrics_json = execution.metrics_snapshot().ToJson();
+  }
   return answer;
 }
 

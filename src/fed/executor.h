@@ -25,6 +25,7 @@
 #include "fed/plan.h"
 #include "fed/trace.h"
 #include "fed/wrapper.h"
+#include "obs/metrics.h"
 
 namespace lakefed::fed {
 
@@ -83,6 +84,10 @@ struct QueryAnswer {
   // Parallel to operator_rows: the planner's estimated cardinality of each
   // operator, or -1 when no estimate was made (cost model off).
   std::vector<double> operator_estimates;
+  // Stable-JSON rendering of the query's metrics registry (src/obs):
+  // counters, gauges and latency histograms with p50/p95/p99. Empty when
+  // PlanOptions::collect_metrics is off.
+  std::string metrics_json;
 
   // Multi-line "rows  operator" rendering of operator_rows (with estimates
   // when present) followed by the per-source traffic breakdown.
@@ -124,6 +129,10 @@ class PlanExecution {
   // Timestamped recovery events (retries, failovers, breaker trips),
   // seconds since the execution was created. Empty on fault-free runs.
   const std::vector<AnswerTrace::Event>& trace_events() const;
+  // Snapshot of the execution's metrics registry (counters always; latency
+  // histograms only when PlanOptions::collect_metrics). Stable after
+  // Finish().
+  obs::MetricsSnapshot metrics_snapshot() const;
 
  private:
   class Impl;

@@ -18,6 +18,11 @@ namespace lakefed::stats {
 class StatsCatalog;
 }  // namespace lakefed::stats
 
+namespace lakefed::obs {
+class MetricsRegistry;
+class SpanRecorder;
+}  // namespace lakefed::obs
+
 namespace lakefed::fed {
 
 class BreakerRegistry;
@@ -110,6 +115,28 @@ struct PlanOptions {
   // registry automatically when left null; executions report outcomes and
   // the planner routes around sources whose breaker is open.
   BreakerRegistry* breakers = nullptr;
+
+  // ---- Observability --------------------------------------------------
+  // Metrics and span collection (src/obs). Default on: sessions record
+  // latency histograms, per-operator/wrapper/transfer spans and the
+  // execution counters into one registry. Off skips every histogram and
+  // span on the hot path (scalar accounting needed by ExecutionStats is
+  // atomic counters either way), leaving near-zero overhead.
+  bool collect_metrics = true;
+
+  // Per-query metrics registry (not owned). Sessions own one and fill this
+  // in automatically; a standalone ExecutePlan run without a registry
+  // falls back to an execution-local one so QueryAnswer::metrics_json is
+  // still populated. Ignored when collect_metrics is false.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  // Hierarchical span recorder (not owned; null = no spans). Sessions own
+  // one covering parse -> plan -> execute -> wrapper -> network transfer.
+  obs::SpanRecorder* spans = nullptr;
+
+  // Span id under which planner/executor spans nest (0 = root). Set by the
+  // session to its root span.
+  uint64_t parent_span = 0;
 
   // Rejects inconsistent option combinations. Called by the engine at
   // session creation, so invalid options fail fast instead of silently

@@ -8,6 +8,7 @@
 
 #include "fed/breaker.h"
 #include "fed/decomposer.h"
+#include "obs/span.h"
 #include "stats/estimator.h"
 #include "stats/stats_catalog.h"
 
@@ -203,8 +204,13 @@ Result<FederatedPlan> BuildPlan(
     const sparql::SelectQuery& query, const mapping::RdfMtCatalog& catalog,
     const std::map<std::string, SourceWrapper*>& wrappers,
     const PlanOptions& options) {
+  obs::SpanRecorder* recorder =
+      options.collect_metrics ? options.spans : nullptr;
+  obs::Span plan_span(recorder, "plan", options.parent_span);
+  obs::Span decompose_span(recorder, "decompose", plan_span.id());
   LAKEFED_ASSIGN_OR_RETURN(DecomposedQuery decomposed,
                            Decompose(query, options.decomposition));
+  decompose_span.End();
   FederatedPlan plan;
   if (options.decomposition == DecompositionKind::kTripleBased) {
     plan.decisions.push_back("triple-based decomposition: " +
@@ -254,6 +260,7 @@ Result<FederatedPlan> BuildPlan(
     std::vector<std::string> sources;
   };
   std::vector<PlannedStar> planned;
+  obs::Span select_span(recorder, "source-select", plan_span.id());
   for (StarSubQuery& star : decomposed.stars) {
     std::vector<std::string> sources =
         route_around_open(SelectSources(star, catalog));
@@ -263,6 +270,7 @@ Result<FederatedPlan> BuildPlan(
     }
     planned.push_back({std::move(star), std::move(sources)});
   }
+  select_span.End();
 
   // --- 2. Heuristic 2: filter placement ----------------------------------
   // Decides, per star-associated filter, engine vs source. The decision is

@@ -24,10 +24,24 @@ ResultStream::~ResultStream() { Finish(); }
 Result<std::unique_ptr<ResultStream>> ResultStream::Create(
     const mapping::RdfMtCatalog& catalog,
     const std::map<std::string, SourceWrapper*>& wrappers,
-    sparql::SelectQuery query, PlanOptions options, CancellationToken token) {
+    sparql::SelectQuery query, PlanOptions options, CancellationToken token,
+    std::unique_ptr<obs::SpanRecorder> spans, uint64_t session_span,
+    obs::MetricsRegistry* engine_metrics) {
   std::unique_ptr<ResultStream> stream(
       new ResultStream(catalog, wrappers, std::move(query), std::move(options),
                        std::move(token)));
+  stream->spans_ = std::move(spans);
+  stream->session_span_ = session_span;
+  stream->engine_metrics_ = engine_metrics;
+  if (stream->options_.collect_metrics) {
+    stream->metrics_ = std::make_unique<obs::MetricsRegistry>();
+    stream->options_.metrics = stream->metrics_.get();
+    stream->options_.spans = stream->spans_.get();
+    stream->options_.parent_span = session_span;
+  } else {
+    stream->options_.metrics = nullptr;
+    stream->options_.spans = nullptr;
+  }
   const sparql::SelectQuery& q = stream->query_;
 
   // Aggregates group the merged solutions at the mediator: inherently
@@ -187,6 +201,25 @@ Status ResultStream::Finish() {
     if (status_.ok()) status_ = terminal;
   }
   if (status_.ok() && !fully_drained_) status_ = token_.ToStatus();
+  // Seal the session's observability: session-level instruments, the root
+  // span, the JSON export, and the fold into the engine-wide registry.
+  if (spans_ != nullptr) spans_->EndSpan(session_span_);
+  if (metrics_ != nullptr) {
+    metrics_->GetHistogram("session.query_ms")
+        ->Record(stopwatch_.ElapsedMillis());
+    metrics_->GetCounter("session.rows")
+        ->Increment(trace_.timestamps.size());
+    if (!status_.ok()) metrics_->GetCounter("session.errors")->Increment();
+    obs::MetricsSnapshot snapshot = metrics_->Snapshot();
+    metrics_json_ = snapshot.ToJson();
+    if (engine_metrics_ != nullptr) engine_metrics_->Merge(snapshot);
+  }
+  if (engine_metrics_ != nullptr) {
+    engine_metrics_
+        ->GetCounter(status_.ok() ? "engine.queries_ok"
+                                  : "engine.queries_error")
+        ->Increment();
+  }
   return status_;
 }
 
@@ -201,6 +234,7 @@ Result<QueryAnswer> ResultStream::Drain() {
   answer.plan_text = plan_text_;
   answer.operator_rows = operator_rows_;
   answer.operator_estimates = operator_estimates_;
+  answer.metrics_json = metrics_json_;
   return answer;
 }
 

@@ -27,6 +27,8 @@
 #include "fed/executor.h"
 #include "fed/options.h"
 #include "mapping/rdf_mt.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sparql/ast.h"
 
 namespace lakefed::fed {
@@ -131,6 +133,15 @@ class ResultStream {
   // The session's cancellation token (shared with every operator thread).
   CancellationToken token() const { return token_; }
 
+  // The session's span recorder (parse -> plan -> execute -> wrapper ->
+  // network transfer), or nullptr when collect_metrics is off. The tree is
+  // complete after Finish().
+  const obs::SpanRecorder* spans() const { return spans_.get(); }
+
+  // Stable-JSON snapshot of the session's metrics registry; empty string
+  // when collect_metrics is off. Complete after Finish().
+  const std::string& metrics_json() const { return metrics_json_; }
+
  private:
   friend class FederatedEngine;
 
@@ -141,11 +152,17 @@ class ResultStream {
 
   // Plans the first branch and spawns its dataflow (streaming mode) or
   // records the buffered-mode pending state. Returns the creation error, if
-  // any; called by FederatedEngine::CreateSession.
+  // any; called by FederatedEngine::CreateSession. `spans` (may be null)
+  // transfers ownership of the session's span recorder with `session_span`
+  // as its root; `engine_metrics` (may be null) receives the session's
+  // metrics at Finish().
   static Result<std::unique_ptr<ResultStream>> Create(
       const mapping::RdfMtCatalog& catalog,
       const std::map<std::string, SourceWrapper*>& wrappers,
-      sparql::SelectQuery query, PlanOptions options, CancellationToken token);
+      sparql::SelectQuery query, PlanOptions options, CancellationToken token,
+      std::unique_ptr<obs::SpanRecorder> spans = nullptr,
+      uint64_t session_span = 0,
+      obs::MetricsRegistry* engine_metrics = nullptr);
 
   bool NextStreaming(rdf::Binding* row);
   bool NextBuffered(rdf::Binding* row);
@@ -180,6 +197,15 @@ class ResultStream {
   std::string plan_text_;
   std::vector<std::pair<std::string, uint64_t>> operator_rows_;
   std::vector<double> operator_estimates_;
+
+  // Observability: the session owns its metrics registry and span recorder;
+  // PlanOptions::metrics/spans point into them for every plan/execution of
+  // the session. Both are null when collect_metrics is off.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::SpanRecorder> spans_;
+  uint64_t session_span_ = 0;                     // root span id
+  obs::MetricsRegistry* engine_metrics_ = nullptr;  // merge target (not owned)
+  std::string metrics_json_;
 
   bool ended_ = false;          // Next() hit end-of-stream
   bool fully_drained_ = false;  // ended by completion, not error/cancel

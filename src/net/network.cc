@@ -57,6 +57,10 @@ Status DelayChannel::Transfer(const CancellationToken& token) {
 }
 
 void DelayChannel::Delay(const CancellationToken& token) {
+  // A profile without delay records nothing: an all-zero latency histogram
+  // carries no information (message counts are tracked separately), and
+  // per-message histogram updates are the one instrumentation cost that
+  // scales with traffic.
   if (!profile_.HasDelay()) return;
   double delay_ms;
   {
@@ -64,6 +68,9 @@ void DelayChannel::Delay(const CancellationToken& token) {
     delay_ms = rng_.Gamma(profile_.alpha, profile_.beta) * profile_.time_scale;
     total_delay_ms_ += delay_ms;
   }
+  if (delay_hist_ != nullptr) delay_hist_->Record(delay_ms);
+  if (delay_ms <= 0) return;
+  obs::Span span(spans_, span_name_, parent_span_);
   token.SleepFor(delay_ms);
 }
 

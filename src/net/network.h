@@ -22,6 +22,8 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "net/fault.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace lakefed::net {
 
@@ -94,6 +96,20 @@ class DelayChannel {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
 
+  // Observability hook (src/obs): every Transfer records its sampled delay
+  // into `delay_hist` (milliseconds, including zero-delay profiles) and,
+  // when `spans` is non-null, opens a `span_name` span under `parent_span`
+  // for the duration of the simulated sleep. Neither is owned; set before
+  // wrapper threads start (like the fault injector). Null pointers keep
+  // the historic zero-instrumentation path.
+  void set_observer(obs::Histogram* delay_hist, obs::SpanRecorder* spans,
+                    uint64_t parent_span, std::string span_name) {
+    delay_hist_ = delay_hist;
+    spans_ = spans;
+    parent_span_ = parent_span;
+    span_name_ = std::move(span_name);
+  }
+
   // Samples a delay without sleeping (for tests and cost estimation).
   double SampleDelayMs();
 
@@ -111,6 +127,10 @@ class DelayChannel {
   std::atomic<uint64_t> messages_{0};
   double total_delay_ms_ = 0;
   FaultInjector* injector_ = nullptr;
+  obs::Histogram* delay_hist_ = nullptr;
+  obs::SpanRecorder* spans_ = nullptr;
+  uint64_t parent_span_ = 0;
+  std::string span_name_;
 };
 
 }  // namespace lakefed::net

@@ -1,0 +1,299 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace lakefed::obs {
+namespace {
+
+// Bucket index for a recorded value: smallest i with value <= bound(i),
+// or kNumBuckets (overflow). bound(i) = 0.001 * 2^i.
+size_t BucketIndex(double value_ms) {
+  if (value_ms <= 0.001) return 0;
+  for (size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+    if (value_ms <= Histogram::BucketBound(i)) return i;
+  }
+  return Histogram::kNumBuckets;
+}
+
+// Atomic double helpers (no fetch_min/max in the standard library).
+void AtomicMin(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target->compare_exchange_weak(cur, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// Minimal JSON string escaping for instrument names (which may contain
+// operator labels with arbitrary characters).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram() : min_(std::numeric_limits<double>::infinity()) {}
+
+double Histogram::BucketBound(size_t i) {
+  return 0.001 * std::pow(2.0, static_cast<double>(i));
+}
+
+void Histogram::Record(double value_ms) {
+  if (value_ms < 0) value_ms = 0;
+  buckets_[BucketIndex(value_ms)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value_ms);
+  AtomicMin(&min_, value_ms);
+  AtomicMax(&max_, value_ms);
+}
+
+double Histogram::Min() const {
+  double v = min_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::Max() const { return max_.load(std::memory_order_relaxed); }
+
+std::vector<uint64_t> Histogram::Buckets() const {
+  std::vector<uint64_t> out(kNumBuckets + 1);
+  for (size_t i = 0; i <= kNumBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Percentile(double q) const {
+  std::vector<uint64_t> buckets = Buckets();
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based.
+  double rank = q * static_cast<double>(total);
+  if (rank < 1.0) rank = 1.0;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i <= kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (static_cast<double>(cumulative + buckets[i]) >= rank) {
+      if (i == kNumBuckets) return Max();  // overflow bucket
+      double lo = i == 0 ? 0.0 : BucketBound(i - 1);
+      double hi = BucketBound(i);
+      // Clamp to the observed range so single-value histograms report the
+      // value, not a bucket bound.
+      double fraction =
+          (rank - static_cast<double>(cumulative)) / buckets[i];
+      double v = lo + fraction * (hi - lo);
+      return std::clamp(v, Min(), Max());
+    }
+    cumulative += buckets[i];
+  }
+  return Max();
+}
+
+void Histogram::Merge(uint64_t count, double sum, double min, double max,
+                      const std::vector<uint64_t>& buckets) {
+  if (count == 0) return;
+  for (size_t i = 0; i < buckets.size() && i <= kNumBuckets; ++i) {
+    if (buckets[i] > 0) {
+      buckets_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(count, std::memory_order_relaxed);
+  AtomicAdd(&sum_, sum);
+  AtomicMin(&min_, min);
+  AtomicMax(&max_, max);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramValue h;
+    h.name = name;
+    h.count = hist->Count();
+    h.sum = hist->Sum();
+    h.min = hist->Min();
+    h.max = hist->Max();
+    h.p50 = hist->Percentile(0.50);
+    h.p95 = hist->Percentile(0.95);
+    h.p99 = hist->Percentile(0.99);
+    h.buckets = hist->Buckets();
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;  // std::map iteration order keeps everything name-sorted
+}
+
+void MetricsRegistry::Merge(const MetricsSnapshot& snapshot) {
+  for (const auto& c : snapshot.counters) {
+    GetCounter(c.name)->Increment(c.value);
+  }
+  for (const auto& g : snapshot.gauges) {
+    GetGauge(g.name)->Set(g.value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    GetHistogram(h.name)->Merge(h.count, h.sum, h.min, h.max, h.buckets);
+  }
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::CountersWithPrefix(
+    const std::string& prefix) const {
+  std::map<std::string, uint64_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out[it->first.substr(prefix.size())] = it->second->Value();
+  }
+  return out;
+}
+
+const MetricsSnapshot::CounterValue* MetricsSnapshot::FindCounter(
+    const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::GaugeValue* MetricsSnapshot::FindGauge(
+    const std::string& name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char buf[160];
+  for (const auto& c : counters) {
+    std::snprintf(buf, sizeof(buf), "%12llu  %s\n",
+                  static_cast<unsigned long long>(c.value), c.name.c_str());
+    out += buf;
+  }
+  for (const auto& g : gauges) {
+    std::snprintf(buf, sizeof(buf), "%12lld  %s (gauge)\n",
+                  static_cast<long long>(g.value), g.name.c_str());
+    out += buf;
+  }
+  for (const auto& h : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%12llu  %s  sum=%.3fms p50=%.3f p95=%.3f p99=%.3f "
+                  "max=%.3f\n",
+                  static_cast<unsigned long long>(h.count), h.name.c_str(),
+                  h.sum, h.p50, h.p95, h.p99, h.max);
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + JsonEscape(c.name) + "\":" + std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + JsonEscape(g.name) + "\":" + std::to_string(g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + JsonEscape(h.name) + "\":{\"count\":" +
+           std::to_string(h.count) + ",\"sum\":" + FormatDouble(h.sum) +
+           ",\"min\":" + FormatDouble(h.min) +
+           ",\"max\":" + FormatDouble(h.max) +
+           ",\"p50\":" + FormatDouble(h.p50) +
+           ",\"p95\":" + FormatDouble(h.p95) +
+           ",\"p99\":" + FormatDouble(h.p99) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace lakefed::obs

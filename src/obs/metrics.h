@@ -1,0 +1,168 @@
+// Lock-cheap metrics for the federated engine: monotonic counters, gauges
+// and fixed-bucket latency histograms with percentile estimation. One
+// MetricsRegistry is the single sink every statistics channel of the engine
+// feeds (execution counters, per-operator rows, retry/breaker events,
+// network transfer latencies); snapshots render as human text or stable
+// JSON.
+//
+// Hot-path cost: recording into an already-created instrument is a handful
+// of relaxed atomic operations — no locks, no allocation. The registry
+// mutex is taken only when an instrument is first created (or a snapshot is
+// cut), so callers cache the returned pointers; instrument storage is
+// pointer-stable for the registry's lifetime.
+
+#ifndef LAKEFED_OBS_METRICS_H_
+#define LAKEFED_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lakefed::obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written instantaneous value (queue depths, open sessions, flags).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed exponential-bucket histogram for latencies in milliseconds.
+// Bucket i covers (bound(i-1), bound(i)] with bound(i) = 0.001 * 2^i ms,
+// plus one overflow bucket; the geometry is shared by every histogram, so
+// merging is a per-bucket sum. Percentiles interpolate linearly inside the
+// bucket holding the requested rank.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 40;
+
+  // Upper bound of bucket `i` in milliseconds (inclusive).
+  static double BucketBound(size_t i);
+
+  void Record(double value_ms);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Min() const;  // 0 when empty
+  double Max() const;  // 0 when empty
+  // q in [0, 1]; 0 when empty.
+  double Percentile(double q) const;
+
+  // Raw bucket counts (kNumBuckets + 1 entries, last = overflow).
+  std::vector<uint64_t> Buckets() const;
+
+  // Folds previously captured bucket counts (same geometry) into this
+  // histogram — used when a per-query registry merges into the engine's.
+  void Merge(uint64_t count, double sum, double min, double max,
+             const std::vector<uint64_t>& buckets);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets + 1> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // Min/max kept via CAS; min_ sentinel is +inf until the first Record.
+  std::atomic<double> min_;
+  std::atomic<double> max_{0.0};
+
+ public:
+  Histogram();
+};
+
+// Point-in-time copy of a registry, safe to render or merge after the
+// source registry is gone. Instruments are sorted by name, so ToText/ToJson
+// output is stable across runs with the same values.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0, min = 0, max = 0;
+    double p50 = 0, p95 = 0, p99 = 0;
+    std::vector<uint64_t> buckets;  // raw counts, for merging
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  // Lookup helpers (nullptr when absent). Linear scan: snapshots are small.
+  const CounterValue* FindCounter(const std::string& name) const;
+  const GaugeValue* FindGauge(const std::string& name) const;
+  const HistogramValue* FindHistogram(const std::string& name) const;
+
+  // Aligned "name  value" listing with count/sum/p50/p95/p99 per histogram.
+  std::string ToText() const;
+  // Stable JSON: {"counters":{...},"gauges":{...},"histograms":{name:
+  // {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p95":..,"p99":..}}}
+  // with keys in sorted order.
+  std::string ToJson() const;
+};
+
+// Named instrument registry. Thread-safe; see the header comment for the
+// locking contract.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Finds or creates. The returned pointer stays valid for the registry's
+  // lifetime; cache it on hot paths.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Folds a snapshot into this registry: counters and histogram buckets
+  // add, gauges take the incoming value. Used to aggregate per-query
+  // registries into the engine-wide one.
+  void Merge(const MetricsSnapshot& snapshot);
+
+  // Counter (suffix -> value) of every counter whose name starts with
+  // `prefix` (the suffix excludes the prefix).
+  std::map<std::string, uint64_t> CountersWithPrefix(
+      const std::string& prefix) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace lakefed::obs
+
+#endif  // LAKEFED_OBS_METRICS_H_

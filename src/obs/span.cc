@@ -1,0 +1,116 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+namespace lakefed::obs {
+
+uint64_t SpanRecorder::StartSpan(std::string name, uint64_t parent_id) {
+  double now = clock_.ElapsedMillis();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return 0;
+  }
+  uint64_t id = next_id_++;
+  open_index_[id] = spans_.size();
+  SpanRecord record;
+  record.id = id;
+  record.parent_id = parent_id;
+  record.name = std::move(name);
+  record.start_ms = now;
+  spans_.push_back(std::move(record));
+  return id;
+}
+
+void SpanRecorder::EndSpan(uint64_t id) {
+  if (id == 0) return;
+  double now = clock_.ElapsedMillis();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_index_.find(id);
+  if (it == open_index_.end()) return;
+  spans_[it->second].end_ms = now;
+  open_index_.erase(it);
+}
+
+std::vector<SpanRecord> SpanRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+uint64_t SpanRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t SpanRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::string SpanRecorder::ToText() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  uint64_t drops;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drops = dropped_;
+  }
+  // Children of each span (0 = roots), ordered by start time (stable on
+  // the recording order for equal timestamps).
+  std::unordered_map<uint64_t, std::vector<const SpanRecord*>> children;
+  for (const SpanRecord& s : spans) children[s.parent_id].push_back(&s);
+  for (auto& [parent, list] : children) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const SpanRecord* a, const SpanRecord* b) {
+                       return a->start_ms < b->start_ms;
+                     });
+  }
+  std::string out;
+  char buf[64];
+  std::function<void(uint64_t, int)> render = [&](uint64_t parent,
+                                                  int depth) {
+    auto it = children.find(parent);
+    if (it == children.end()) return;
+    for (const SpanRecord* s : it->second) {
+      out.append(static_cast<size_t>(depth) * 2, ' ');
+      out += s->name;
+      if (s->open()) {
+        out += "  (open)";
+      } else {
+        std::snprintf(buf, sizeof(buf), "  %.3f ms", s->duration_ms());
+        out += buf;
+      }
+      out.push_back('\n');
+      render(s->id, depth + 1);
+    }
+  };
+  render(0, 0);
+  if (drops > 0) {
+    out += "(" + std::to_string(drops) + " spans dropped at capacity)\n";
+  }
+  return out;
+}
+
+std::string SpanRecorder::ToJson() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::string out = "[";
+  char buf[64];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"id\":" + std::to_string(s.id) +
+           ",\"parent\":" + std::to_string(s.parent_id) + ",\"name\":\"";
+    for (char c : s.name) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    std::snprintf(buf, sizeof(buf), "\",\"start_ms\":%.3f,\"end_ms\":%.3f}",
+                  s.start_ms, s.end_ms);
+    out += buf;
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace lakefed::obs

@@ -1,5 +1,6 @@
 #include "wrapper/sql_wrapper.h"
 
+#include <optional>
 #include <unordered_set>
 
 #include "common/string_util.h"
@@ -32,6 +33,36 @@ rel::BinaryOp ToRelOp(sparql::FilterExpr::CompareOp op) {
     case sparql::FilterExpr::CompareOp::kGe: return rel::BinaryOp::kGe;
   }
   return rel::BinaryOp::kEq;
+}
+
+// A CONTAINS/STRSTARTS/STRENDS needle is safe to embed in a LIKE pattern
+// only if it contains neither LIKE wildcards (%, _) nor a backslash: the
+// engine's LIKE matcher has no escape syntax, so any of those would change
+// the match semantics. Unsafe needles stay residual at the wrapper, which
+// evaluates the SPARQL function on decoded rows — correct, just not pushed.
+bool LikeSafeNeedle(const std::string& needle) {
+  return needle.find_first_of("%_\\") == std::string::npos;
+}
+
+// The SQL LIKE pattern equivalent to the SPARQL REGEX `pattern`, or nullopt
+// when the regex does not reduce to LIKE. Only an optional ^ anchor, an
+// optional $ anchor and a core free of regex metacharacters (and of LIKE
+// wildcards) translate exactly: anything else — `.`, escapes like `\.`,
+// classes, alternation, repetition — would be matched literally by LIKE and
+// silently change the answer, so those filters must stay residual. This is
+// the wrapper's own guard; it must hold even if the planner's notion of
+// "pushable" (sparql::IsPushableToSql) ever diverges.
+std::optional<std::string> RegexToLike(const std::string& pattern) {
+  std::string core = pattern;
+  bool anchored_front = StartsWith(core, "^");
+  if (anchored_front) core = core.substr(1);
+  bool anchored_back = !core.empty() && EndsWith(core, "$");
+  if (anchored_back) core = core.substr(0, core.size() - 1);
+  if (core.find_first_of(".*+?[](){}|\\^$") != std::string::npos) {
+    return std::nullopt;
+  }
+  if (core.find_first_of("%_") != std::string::npos) return std::nullopt;
+  return (anchored_front ? "" : "%") + core + (anchored_back ? "" : "%");
 }
 
 // Mirrors a comparison when the variable sits on the right-hand side.
@@ -289,37 +320,26 @@ Result<SqlWrapper::Translation> SqlWrapper::Translate(
                !info->pm->object_is_iri &&
                filter->kind() == sparql::FilterExpr::Kind::kFunction) {
       const std::string& needle = filter->args()[1]->literal().value();
-      if (needle.find_first_of("%_") == std::string::npos) {
-        std::string like;
-        switch (filter->func()) {
-          case sparql::FilterExpr::Func::kContains:
-            like = "%" + needle + "%";
-            break;
-          case sparql::FilterExpr::Func::kStrStarts:
-            like = needle + "%";
-            break;
-          case sparql::FilterExpr::Func::kStrEnds:
-            like = "%" + needle;
-            break;
-          case sparql::FilterExpr::Func::kRegex: {
-            std::string core = needle;
-            bool anchored_front = StartsWith(core, "^");
-            bool anchored_back = EndsWith(core, "$");
-            if (anchored_front) core = core.substr(1);
-            if (anchored_back && !core.empty()) {
-              core = core.substr(0, core.size() - 1);
-            }
-            like = (anchored_front ? "" : "%") + core +
-                   (anchored_back ? "" : "%");
-            break;
-          }
-          default:
-            break;
-        }
-        if (!like.empty()) {
-          condition = std::make_shared<rel::LikeExpr>(
-              rel::MakeColumn(info->column_expr), like);
-        }
+      std::optional<std::string> like;
+      switch (filter->func()) {
+        case sparql::FilterExpr::Func::kContains:
+          if (LikeSafeNeedle(needle)) like = "%" + needle + "%";
+          break;
+        case sparql::FilterExpr::Func::kStrStarts:
+          if (LikeSafeNeedle(needle)) like = needle + "%";
+          break;
+        case sparql::FilterExpr::Func::kStrEnds:
+          if (LikeSafeNeedle(needle)) like = "%" + needle;
+          break;
+        case sparql::FilterExpr::Func::kRegex:
+          like = RegexToLike(needle);
+          break;
+        default:
+          break;
+      }
+      if (like.has_value()) {
+        condition = std::make_shared<rel::LikeExpr>(
+            rel::MakeColumn(info->column_expr), *like);
       }
     }
     if (condition != nullptr) {

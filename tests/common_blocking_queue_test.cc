@@ -182,5 +182,32 @@ TEST(BlockingQueueTest, DeadlineWakesBlockedProducer) {
   EXPECT_TRUE(token.ToStatus().IsDeadlineExceeded());
 }
 
+TEST(BlockingQueueTest, ExpiredDeadlinePushReturnsPromptly) {
+  // A token whose deadline already passed (without an explicit Cancel)
+  // must make a full-queue push give up on the first bounded wait — the
+  // past-deadline wait_until returns immediately, and looping back would
+  // spin hot. "Promptly" here is loose enough for a loaded CI machine but
+  // far below what even a brief spin-then-give-up would allow to recur.
+  BlockingQueue<int> q(1);
+  CancellationToken token = CancellationToken::WithDeadline(
+      CancellationToken::Clock::now() - std::chrono::milliseconds(10));
+  // Fill the queue via the plain overload: the expired token would refuse.
+  ASSERT_TRUE(q.Push(1));
+  Stopwatch sw;
+  EXPECT_FALSE(q.Push(2, token));
+  EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+  EXPECT_TRUE(token.ToStatus().IsDeadlineExceeded());
+}
+
+TEST(BlockingQueueTest, ExpiredDeadlinePopReturnsPromptly) {
+  BlockingQueue<int> q(4);
+  CancellationToken token = CancellationToken::WithDeadline(
+      CancellationToken::Clock::now() - std::chrono::milliseconds(10));
+  Stopwatch sw;
+  EXPECT_EQ(q.Pop(token), std::nullopt);  // empty, never closed
+  EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+  EXPECT_TRUE(token.ToStatus().IsDeadlineExceeded());
+}
+
 }  // namespace
 }  // namespace lakefed

@@ -159,6 +159,59 @@ TEST(RunWithRetryTest, SessionCancellationDuringAttemptIsTerminal) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(RunWithRetryTest, PerAttemptDeadlineExceededIsRetried) {
+  // An attempt that blows its own timeout fails with kDeadlineExceeded,
+  // which is retryable — the next attempt gets a fresh deadline. This pins
+  // the distinction documented in retry.cc: per-attempt expiry retries,
+  // session expiry (next test) is terminal.
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 0;
+  policy.jitter = 0;
+  policy.attempt_timeout_ms = 5;
+  Rng rng(1);
+  int calls = 0, retries = -1;
+  Status st = RunWithRetry(
+      policy, CancellationToken::Cancellable(), &rng,
+      [&](const CancellationToken& attempt) {
+        ++calls;
+        if (calls < 3) {
+          attempt.SleepFor(50);  // outlive the 5 ms attempt timeout
+          return attempt.ToStatus();
+        }
+        return Status::OK();
+      },
+      &retries);
+  EXPECT_TRUE(st.ok()) << st;
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2);
+}
+
+TEST(RunWithRetryTest, SessionDeadlineExpiryIsTerminal) {
+  // The same kDeadlineExceeded error is terminal when the *session* token
+  // expired: IsCancelled() on the session promotes the expiry, so no
+  // further attempts run even though attempts remain in the budget.
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_ms = 0;
+  policy.jitter = 0;
+  CancellationToken session = CancellationToken::WithDeadline(
+      CancellationToken::Clock::now() + std::chrono::milliseconds(5));
+  Rng rng(1);
+  int calls = 0, retries = -1;
+  Status st = RunWithRetry(
+      policy, session, &rng,
+      [&](const CancellationToken& attempt) {
+        ++calls;
+        attempt.SleepFor(50);  // sleep past the session deadline
+        return attempt.ToStatus();
+      },
+      &retries);
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st;
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retries, 0);
+}
+
 TEST(MakeAttemptTokenTest, NoTimeoutReturnsSessionToken) {
   CancellationToken session = CancellationToken::Cancellable();
   CancellationToken attempt = MakeAttemptToken(session, 0);

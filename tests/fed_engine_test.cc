@@ -106,6 +106,31 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// Regression for the REGEX-pushdown semantics fix: patterns with
+// metacharacters (`.`, escaped dot, alternation) must produce the same
+// answers as the single-store oracle in both plan families — previously a
+// LIKE rewrite could match the metacharacters literally at the source.
+TEST_F(FedEngineTest, RegexMetacharAnswersMatchOracleInBothModes) {
+  const char* kPatterns[] = {"disease0.1", "disease\\\\.0",
+                             "^disease0(01|02)"};
+  for (const char* pattern : kPatterns) {
+    const std::string query =
+        "PREFIX dsv: <http://lslod.example.org/diseasome/vocab#> "
+        "SELECT ?d ?n WHERE { ?d a dsv:Disease ; dsv:name ?n . "
+        "FILTER REGEX(?n, \"" +
+        std::string(pattern) + "\") }";
+    std::vector<std::string> oracle = OracleAnswers(*lake_, query);
+    for (PlanMode mode : {PlanMode::kPhysicalDesignAware,
+                          PlanMode::kPhysicalDesignUnaware}) {
+      PlanOptions options;
+      options.mode = mode;
+      QueryAnswer answer = Run(query, options);
+      EXPECT_EQ(SerializeAnswers(answer), oracle)
+          << pattern << " in mode " << PlanModeToString(mode);
+    }
+  }
+}
+
 TEST_F(FedEngineTest, MixedRdfRelationalLakeMatchesAllRelational) {
   // Serve kegg and goa natively as RDF; answers must not change.
   auto mixed = BuildTinyLake(0.05, {"kegg", "goa"});

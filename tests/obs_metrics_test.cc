@@ -1,0 +1,204 @@
+// Unit tests for the metrics registry: counters, gauges, histograms
+// (bucket geometry, percentiles, merge), snapshots and their renderings.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace lakefed::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Set(2);
+  EXPECT_EQ(g.Value(), 2);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0.0);
+  EXPECT_EQ(h.Min(), 0.0);
+  EXPECT_EQ(h.Max(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(HistogramTest, BucketBoundsDouble) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(0), 0.001);
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(1), 0.002);
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(10), 0.001 * 1024);
+}
+
+TEST(HistogramTest, TracksCountSumMinMax) {
+  Histogram h;
+  h.Record(5.0);
+  h.Record(1.0);
+  h.Record(20.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 26.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 20.0);
+}
+
+TEST(HistogramTest, PercentilesAreOrderedAndClamped) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+  double p50 = h.Percentile(0.50);
+  double p95 = h.Percentile(0.95);
+  double p99 = h.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Interpolated values stay inside the observed range.
+  EXPECT_GE(p50, h.Min());
+  EXPECT_LE(p99, h.Max());
+  // p50 of 1..100 should land in the right order of magnitude (the
+  // exponential buckets are coarse, not wrong).
+  EXPECT_GT(p50, 16.0);
+  EXPECT_LT(p50, 128.0);
+}
+
+TEST(HistogramTest, SingleValuePercentilesCollapse) {
+  Histogram h;
+  h.Record(7.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 7.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 7.5);
+}
+
+TEST(HistogramTest, MergeAddsBucketsAndExtendsRange) {
+  Histogram a, b;
+  a.Record(1.0);
+  b.Record(100.0);
+  b.Record(0.5);
+  a.Merge(b.Count(), b.Sum(), b.Min(), b.Max(), b.Buckets());
+  EXPECT_EQ(a.Count(), 3u);
+  EXPECT_DOUBLE_EQ(a.Sum(), 101.5);
+  EXPECT_DOUBLE_EQ(a.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.Max(), 100.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreAllCounted) {
+  Histogram h;
+  constexpr int kThreads = 4, kPer = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPer; ++i) h.Record(1.0 + (i % 7));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads * kPer));
+}
+
+TEST(MetricsRegistryTest, GetIsFindOrCreateAndPointerStable) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("exec.retries");
+  Counter* c2 = reg.GetCounter("exec.retries");
+  EXPECT_EQ(c1, c2);
+  c1->Increment(3);
+  EXPECT_EQ(reg.GetCounter("exec.retries")->Value(), 3u);
+  EXPECT_NE(reg.GetCounter("other"), c1);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.GetCounter("b")->Increment(2);
+  reg.GetCounter("a")->Increment(1);
+  reg.GetGauge("depth")->Set(5);
+  reg.GetHistogram("lat")->Record(4.0);
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "a");
+  EXPECT_EQ(snap.counters[1].name, "b");
+  ASSERT_NE(snap.FindCounter("b"), nullptr);
+  EXPECT_EQ(snap.FindCounter("b")->value, 2u);
+  ASSERT_NE(snap.FindGauge("depth"), nullptr);
+  EXPECT_EQ(snap.FindGauge("depth")->value, 5);
+  ASSERT_NE(snap.FindHistogram("lat"), nullptr);
+  EXPECT_EQ(snap.FindHistogram("lat")->count, 1u);
+  EXPECT_DOUBLE_EQ(snap.FindHistogram("lat")->sum, 4.0);
+  EXPECT_EQ(snap.FindCounter("missing"), nullptr);
+  EXPECT_FALSE(snap.empty());
+  EXPECT_TRUE(MetricsRegistry().Snapshot().empty());
+}
+
+TEST(MetricsRegistryTest, MergeFoldsSnapshotIn) {
+  MetricsRegistry query;
+  query.GetCounter("exec.messages")->Increment(10);
+  query.GetGauge("g")->Set(3);
+  query.GetHistogram("net.s1.transfer_ms")->Record(2.5);
+
+  MetricsRegistry engine;
+  engine.GetCounter("exec.messages")->Increment(5);
+  engine.GetHistogram("net.s1.transfer_ms")->Record(1.5);
+  engine.Merge(query.Snapshot());
+
+  MetricsSnapshot merged = engine.Snapshot();
+  EXPECT_EQ(merged.FindCounter("exec.messages")->value, 15u);
+  EXPECT_EQ(merged.FindGauge("g")->value, 3);
+  const auto* hist = merged.FindHistogram("net.s1.transfer_ms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 2u);
+  EXPECT_DOUBLE_EQ(hist->sum, 4.0);
+  EXPECT_DOUBLE_EQ(hist->min, 1.5);
+  EXPECT_DOUBLE_EQ(hist->max, 2.5);
+}
+
+TEST(MetricsRegistryTest, CountersWithPrefixStripsPrefix) {
+  MetricsRegistry reg;
+  reg.GetCounter("source.s1.retries")->Increment(2);
+  reg.GetCounter("source.s2.retries")->Increment(1);
+  reg.GetCounter("exec.retries")->Increment(9);
+  auto by_source = reg.CountersWithPrefix("source.");
+  ASSERT_EQ(by_source.size(), 2u);
+  EXPECT_EQ(by_source.at("s1.retries"), 2u);
+  EXPECT_EQ(by_source.at("s2.retries"), 1u);
+  EXPECT_TRUE(reg.CountersWithPrefix("nothing.").empty());
+}
+
+TEST(MetricsSnapshotTest, ToTextListsEveryInstrument) {
+  MetricsRegistry reg;
+  reg.GetCounter("exec.rows")->Increment(7);
+  reg.GetGauge("sessions")->Set(1);
+  reg.GetHistogram("query_ms")->Record(12.0);
+  std::string text = reg.Snapshot().ToText();
+  EXPECT_TRUE(Contains(text, "exec.rows")) << text;
+  EXPECT_TRUE(Contains(text, "7")) << text;
+  EXPECT_TRUE(Contains(text, "sessions")) << text;
+  EXPECT_TRUE(Contains(text, "query_ms")) << text;
+  EXPECT_TRUE(Contains(text, "p95")) << text;
+}
+
+TEST(MetricsSnapshotTest, ToJsonIsStableAndWellFormed) {
+  MetricsRegistry reg;
+  reg.GetCounter("b")->Increment(2);
+  reg.GetCounter("a")->Increment(1);
+  reg.GetHistogram("h")->Record(3.0);
+  std::string json = reg.Snapshot().ToJson();
+  // Sorted keys make the output deterministic.
+  EXPECT_LT(json.find("\"a\":1"), json.find("\"b\":2")) << json;
+  EXPECT_TRUE(Contains(json, "\"counters\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"gauges\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"histograms\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"count\":1")) << json;
+  // Same registry, same JSON.
+  EXPECT_EQ(json, reg.Snapshot().ToJson());
+}
+
+}  // namespace
+}  // namespace lakefed::obs

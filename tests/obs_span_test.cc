@@ -1,0 +1,124 @@
+// Unit tests for the span recorder: hierarchy, RAII spans, the capacity
+// cap, and the text/JSON renderings.
+
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace lakefed::obs {
+namespace {
+
+TEST(SpanRecorderTest, RecordsParentChildHierarchy) {
+  SpanRecorder rec;
+  uint64_t root = rec.StartSpan("session");
+  uint64_t child = rec.StartSpan("parse", root);
+  rec.EndSpan(child);
+  rec.EndSpan(root);
+
+  std::vector<SpanRecord> spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "session");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[1].name, "parse");
+  EXPECT_EQ(spans[1].parent_id, root);
+  EXPECT_FALSE(spans[0].open());
+  EXPECT_GE(spans[1].end_ms, spans[1].start_ms);
+  EXPECT_GE(spans[1].duration_ms(), 0.0);
+}
+
+TEST(SpanRecorderTest, UnknownEndIsIgnored) {
+  SpanRecorder rec;
+  rec.EndSpan(0);
+  rec.EndSpan(999);
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(SpanRecorderTest, CapacityDropsAreCounted) {
+  SpanRecorder rec(/*max_spans=*/2);
+  EXPECT_NE(rec.StartSpan("a"), 0u);
+  EXPECT_NE(rec.StartSpan("b"), 0u);
+  EXPECT_EQ(rec.StartSpan("c"), 0u);  // full: dropped
+  EXPECT_EQ(rec.StartSpan("d"), 0u);
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  EXPECT_TRUE(Contains(rec.ToText(), "dropped"));
+}
+
+TEST(SpanRecorderTest, ToTextIndentsChildrenAndMarksOpen) {
+  SpanRecorder rec;
+  uint64_t root = rec.StartSpan("session");
+  uint64_t exec = rec.StartSpan("execute", root);
+  rec.EndSpan(exec);
+  // root stays open
+  std::string text = rec.ToText();
+  EXPECT_TRUE(Contains(text, "session")) << text;
+  EXPECT_TRUE(Contains(text, "  execute")) << text;  // indented child
+  EXPECT_TRUE(Contains(text, "(open)")) << text;
+}
+
+TEST(SpanRecorderTest, ToJsonContainsEverySpan) {
+  SpanRecorder rec;
+  uint64_t root = rec.StartSpan("session");
+  rec.EndSpan(rec.StartSpan("plan", root));
+  rec.EndSpan(root);
+  std::string json = rec.ToJson();
+  EXPECT_TRUE(Contains(json, "\"name\":\"session\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"name\":\"plan\"")) << json;
+  EXPECT_TRUE(Contains(json, "\"parent\":" + std::to_string(root))) << json;
+}
+
+TEST(SpanRecorderTest, ConcurrentStartEndIsSafe) {
+  SpanRecorder rec;
+  uint64_t root = rec.StartSpan("session");
+  constexpr int kThreads = 4, kPer = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, root] {
+      for (int i = 0; i < kPer; ++i) {
+        rec.EndSpan(rec.StartSpan("op", root));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(rec.size(), static_cast<size_t>(kThreads * kPer) + 1);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(SpanTest, RaiiEndsAtScopeExit) {
+  SpanRecorder rec;
+  {
+    Span span(&rec, "scoped");
+    EXPECT_NE(span.id(), 0u);
+  }
+  std::vector<SpanRecord> spans = rec.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_FALSE(spans[0].open());
+}
+
+TEST(SpanTest, NullRecorderIsNoOp) {
+  Span span(nullptr, "ghost");
+  EXPECT_EQ(span.id(), 0u);
+  span.End();  // must not crash
+}
+
+TEST(SpanTest, MoveTransfersOwnership) {
+  SpanRecorder rec;
+  Span a(&rec, "moved");
+  uint64_t id = a.id();
+  Span b = std::move(a);
+  EXPECT_EQ(b.id(), id);
+  EXPECT_EQ(a.id(), 0u);  // NOLINT(bugprone-use-after-move): pinned contract
+  // Only b's destruction ends the span.
+  a.End();
+  EXPECT_TRUE(rec.Snapshot()[0].open());
+  b.End();
+  EXPECT_FALSE(rec.Snapshot()[0].open());
+}
+
+}  // namespace
+}  // namespace lakefed::obs

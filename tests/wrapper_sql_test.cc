@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+
 #include "common/string_util.h"
 #include "fed/decomposer.h"
 #include "lslod/generator.h"
@@ -199,6 +201,88 @@ TEST_F(SqlWrapperTest, UntranslatableFilterFallsBackToResidual) {
   for (const rdf::Binding& row : rows) {
     EXPECT_TRUE(StartsWith(row.at("n").value(), "disease0"));
   }
+}
+
+TEST_F(SqlWrapperTest, RegexMetacharactersNeverBecomeLike) {
+  // Regression: REGEX patterns whose core contains metacharacters must not
+  // be rewritten to LIKE — LIKE would match `.`/`\.`/`(a|b)` literally and
+  // silently change the answer. They stay residual and are evaluated with
+  // real regex semantics on the decoded rows.
+  for (const std::string& pattern :
+       {std::string("disease0.1"), std::string("disease\\.0"),
+        std::string("^disease0(01|02)")}) {
+    std::string quoted = pattern;
+    // Re-escape backslashes for the SPARQL string literal.
+    size_t pos = 0;
+    while ((pos = quoted.find('\\', pos)) != std::string::npos) {
+      quoted.insert(pos, 1, '\\');
+      pos += 2;
+    }
+    auto sq = MakeSubQuery(
+        R"(PREFIX dsv: <http://lslod.example.org/diseasome/vocab#>
+           SELECT * WHERE {
+             ?d a dsv:Disease ; dsv:name ?n .
+             FILTER REGEX(?n, ")" + quoted + R"(")
+           })");
+    auto tr = wrapper_->Translate(sq);
+    ASSERT_TRUE(tr.ok()) << tr.status();
+    EXPECT_EQ(tr->residual_filters.size(), 1u) << pattern;
+    EXPECT_FALSE(Contains(tr->statement.ToString(), "LIKE"))
+        << pattern << ": " << tr->statement.ToString();
+    // Residual evaluation applies true regex semantics.
+    std::regex re(pattern);
+    for (const rdf::Binding& row : Run(sq)) {
+      EXPECT_TRUE(std::regex_search(row.at("n").value(), re))
+          << pattern << " vs " << row.at("n").value();
+    }
+  }
+}
+
+TEST_F(SqlWrapperTest, AnchoredPlainRegexStillPushedAsLike) {
+  // The fix must not over-reject: a metacharacter-free core with anchors
+  // is exactly a LIKE pattern and keeps getting pushed.
+  auto sq = MakeSubQuery(R"(PREFIX dsv: <http://lslod.example.org/diseasome/vocab#>
+    SELECT * WHERE {
+      ?d a dsv:Disease ; dsv:name ?n .
+      FILTER REGEX(?n, "^disease00")
+    })");
+  auto tr = wrapper_->Translate(sq);
+  ASSERT_TRUE(tr.ok()) << tr.status();
+  EXPECT_TRUE(Contains(tr->statement.ToString(), "LIKE 'disease00%'"))
+      << tr->statement.ToString();
+  EXPECT_TRUE(tr->residual_filters.empty());
+}
+
+TEST_F(SqlWrapperTest, BackslashNeedleStaysResidual) {
+  // Regression: the LIKE matcher has no escape syntax, so a needle holding
+  // a literal backslash cannot be embedded in a pattern — CONTAINS and
+  // friends fall back to residual evaluation instead.
+  auto sq = MakeSubQuery(R"(PREFIX dsv: <http://lslod.example.org/diseasome/vocab#>
+    SELECT * WHERE {
+      ?d a dsv:Disease ; dsv:name ?n .
+      FILTER CONTAINS(?n, "dis\\ease")
+    })");
+  auto tr = wrapper_->Translate(sq);
+  ASSERT_TRUE(tr.ok()) << tr.status();
+  EXPECT_EQ(tr->residual_filters.size(), 1u);
+  EXPECT_FALSE(Contains(tr->statement.ToString(), "LIKE"))
+      << tr->statement.ToString();
+  // No generated name contains a backslash: residual evaluation must
+  // filter everything out rather than mis-match.
+  EXPECT_TRUE(Run(sq).empty());
+}
+
+TEST_F(SqlWrapperTest, LikeWildcardNeedleStaysResidual) {
+  auto sq = MakeSubQuery(R"(PREFIX dsv: <http://lslod.example.org/diseasome/vocab#>
+    SELECT * WHERE {
+      ?d a dsv:Disease ; dsv:name ?n .
+      FILTER CONTAINS(?n, "100%")
+    })");
+  auto tr = wrapper_->Translate(sq);
+  ASSERT_TRUE(tr.ok()) << tr.status();
+  EXPECT_EQ(tr->residual_filters.size(), 1u);
+  EXPECT_FALSE(Contains(tr->statement.ToString(), "LIKE"))
+      << tr->statement.ToString();
 }
 
 TEST_F(SqlWrapperTest, InstantiationsBecomeInList) {
