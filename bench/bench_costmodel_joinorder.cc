@@ -25,31 +25,19 @@ struct Cell {
 };
 
 void WriteJson(const std::vector<Cell>& cells, const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
+  BenchJsonEmitter emitter("costmodel_joinorder");
+  for (const Cell& c : cells) {
+    emitter.AddResult()
+        .Set("network", c.network)
+        .Set("query", c.query)
+        .Set("cost_model", c.cost_model)
+        .Set("total_s", c.run.total_s)
+        .Set("first_s", c.run.first_s)
+        .Set("answers", static_cast<uint64_t>(c.run.answers))
+        .Set("source_rows", c.run.transferred)
+        .Set("delay_ms", c.run.delay_ms);
   }
-  std::fprintf(f, "{\n  \"bench\": \"costmodel_joinorder\",\n");
-  std::fprintf(f, "  \"scale\": %g,\n  \"time_scale\": %g,\n",
-               EnvDouble("LAKEFED_BENCH_SCALE", 0.4), TimeScale());
-  std::fprintf(f, "  \"results\": [\n");
-  for (size_t i = 0; i < cells.size(); ++i) {
-    const Cell& c = cells[i];
-    std::fprintf(f,
-                 "    {\"network\": \"%s\", \"query\": \"%s\", "
-                 "\"cost_model\": %s, \"total_s\": %.6f, \"first_s\": %.6f, "
-                 "\"answers\": %zu, \"source_rows\": %llu, "
-                 "\"delay_ms\": %.3f}%s\n",
-                 c.network.c_str(), c.query.c_str(),
-                 c.cost_model ? "true" : "false", c.run.total_s,
-                 c.run.first_s, c.run.answers,
-                 static_cast<unsigned long long>(c.run.transferred),
-                 c.run.delay_ms, i + 1 == cells.size() ? "" : ",");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote %s (%zu rows)\n", path, cells.size());
+  emitter.Write(path);
 }
 
 void Run() {

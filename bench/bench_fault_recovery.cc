@@ -82,35 +82,23 @@ Cell RunCell(const lslod::DataLake& lake, const net::NetworkProfile& profile,
 }
 
 void WriteJson(const std::vector<Cell>& cells, const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
+  BenchJsonEmitter emitter("fault_recovery");
+  for (const Cell& c : cells) {
+    emitter.AddResult()
+        .Set("network", c.network)
+        .Set("query", c.query)
+        .Set("fault_rate", c.rate)
+        .Set("answers", static_cast<uint64_t>(c.run.answers))
+        .Set("baseline_answers", static_cast<uint64_t>(c.baseline_answers))
+        .Set("completeness", c.completeness)
+        .Set("total_s", c.run.total_s)
+        .Set("first_s", c.run.first_s)
+        .Set("retries", c.retries)
+        .Set("failovers", c.failovers)
+        .Set("faults_injected", c.faults)
+        .Set("partial", c.partial);
   }
-  std::fprintf(f, "{\n  \"bench\": \"fault_recovery\",\n");
-  std::fprintf(f, "  \"scale\": %g,\n  \"time_scale\": %g,\n",
-               EnvDouble("LAKEFED_BENCH_SCALE", 0.4), TimeScale());
-  std::fprintf(f, "  \"results\": [\n");
-  for (size_t i = 0; i < cells.size(); ++i) {
-    const Cell& c = cells[i];
-    std::fprintf(f,
-                 "    {\"network\": \"%s\", \"query\": \"%s\", "
-                 "\"fault_rate\": %g, \"answers\": %zu, "
-                 "\"baseline_answers\": %zu, \"completeness\": %.4f, "
-                 "\"total_s\": %.6f, \"first_s\": %.6f, "
-                 "\"retries\": %llu, \"failovers\": %llu, "
-                 "\"faults_injected\": %llu, \"partial\": %s}%s\n",
-                 c.network.c_str(), c.query.c_str(), c.rate, c.run.answers,
-                 c.baseline_answers, c.completeness, c.run.total_s,
-                 c.run.first_s, static_cast<unsigned long long>(c.retries),
-                 static_cast<unsigned long long>(c.failovers),
-                 static_cast<unsigned long long>(c.faults),
-                 c.partial ? "true" : "false",
-                 i + 1 == cells.size() ? "" : ",");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("\nwrote %s (%zu rows)\n", path, cells.size());
+  emitter.Write(path);
 }
 
 void Run() {

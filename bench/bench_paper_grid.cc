@@ -1,0 +1,172 @@
+// GRID — the paper's full experiment grid with profiling: every benchmark
+// query (Q1..Q5) x both QEP families (physical-design aware / unaware) x
+// every network profile (NoDelay, Gamma1..Gamma3), each cell executed
+// through a profiled session. Per cell the driver records first-answer
+// time, completion time, shipped rows and a QueryProfile summary (max
+// q-error, backpressure-dominant operator, total queue waits, peak queue
+// depth), printing a per-network table and writing the 5x2x4 = 40-cell grid
+// as BENCH_paper_grid.json (the `bench_paper_grid_json` target). One cell
+// (Q3 / aware / Gamma3) additionally exports its span tree as a Chrome
+// trace in BENCH_paper_grid_trace.json.
+//
+// Expected shape: aware and unaware agree on answer counts everywhere
+// (checked; divergence aborts); aware plans ship no more rows than unaware
+// and pull first answers earlier on the slow networks — the paper's
+// headline result, now with the profiler explaining *where* the unaware
+// plans lose their time.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/profile.h"
+#include "obs/trace_export.h"
+
+namespace lakefed::bench {
+namespace {
+
+constexpr const char* kTracedNetwork = "Gamma3";
+constexpr const char* kTracedQuery = "Q3";
+
+struct Cell {
+  std::string network;
+  std::string query;
+  std::string mode;  // "aware" | "unaware"
+  RunResult run;
+  // QueryProfile summary.
+  double max_q_error = -1;
+  std::string backpressure_op;
+  double push_wait_ms = 0;
+  double pop_wait_ms = 0;
+  uint64_t peak_queue_depth = 0;
+};
+
+Cell RunCell(const lslod::DataLake& lake, const net::NetworkProfile& profile,
+             const lslod::BenchmarkQuery& query, fed::PlanMode mode) {
+  fed::PlanOptions options = ModeOptions(mode, profile);
+  options.collect_metrics = true;
+  auto stream = lake.engine->CreateSession(
+      fed::QueryRequest::Text(query.sparql, options));
+  if (!stream.ok()) {
+    std::fprintf(stderr, "session creation failed: %s\n",
+                 stream.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto answer = (*stream)->Drain();
+  if (!answer.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 answer.status().ToString().c_str());
+    std::exit(1);
+  }
+
+  Cell c;
+  c.network = profile.name;
+  c.query = query.id;
+  c.mode = mode == fed::PlanMode::kPhysicalDesignAware ? "aware" : "unaware";
+  c.run.total_s = answer->trace.completion_seconds;
+  c.run.first_s = answer->trace.TimeToFirst();
+  c.run.answers = answer->rows.size();
+  c.run.transferred = answer->stats.messages_transferred;
+  c.run.delay_ms = answer->stats.network_delay_ms;
+
+  obs::QueryProfile prof = (*stream)->profile();
+  c.max_q_error = prof.max_q_error;
+  c.backpressure_op = prof.backpressure_dominant;
+  for (const obs::QueryProfile::Operator& op : prof.operators) {
+    c.push_wait_ms += op.push_wait_ms;
+    c.pop_wait_ms += op.pop_wait_ms;
+    c.peak_queue_depth = std::max(c.peak_queue_depth, op.peak_queue_depth);
+  }
+
+  // One representative Chrome trace rides along with the grid, so the
+  // span-level view of a slow-network cell is inspectable after the run.
+  if (c.network == kTracedNetwork && c.query == kTracedQuery &&
+      c.mode == "aware") {
+    const obs::SpanRecorder* spans = (*stream)->spans();
+    if (spans != nullptr) {
+      Status st =
+          obs::WriteChromeTrace(*spans, "BENCH_paper_grid_trace.json");
+      if (!st.ok()) {
+        std::fprintf(stderr, "trace export failed: %s\n",
+                     st.ToString().c_str());
+        std::exit(1);
+      }
+      std::printf("exported Chrome trace for %s/%s/aware -> "
+                  "BENCH_paper_grid_trace.json\n",
+                  kTracedQuery, kTracedNetwork);
+    }
+  }
+  return c;
+}
+
+void Run() {
+  PrintHeader("Paper grid with profiling: Q1..Q5 x {aware, unaware} x "
+              "{NoDelay, Gamma1..Gamma3}");
+  auto lake = BuildBenchLake();
+
+  std::vector<Cell> cells;
+  for (const net::NetworkProfile& profile :
+       net::NetworkProfile::PaperProfiles()) {
+    std::printf("\n-- %s --\n", profile.name.c_str());
+    std::printf("%-5s %-8s %8s %10s %10s %10s %9s %10s  %s\n", "query",
+                "mode", "answers", "shipped", "t_first_s", "t_total_s",
+                "q-err", "wait_ms", "backpressure op");
+    for (const lslod::BenchmarkQuery& query : lslod::BenchmarkQueries()) {
+      size_t aware_answers = 0;
+      for (fed::PlanMode mode : {fed::PlanMode::kPhysicalDesignAware,
+                                 fed::PlanMode::kPhysicalDesignUnaware}) {
+        Cell c = RunCell(*lake, profile, query, mode);
+        if (mode == fed::PlanMode::kPhysicalDesignAware) {
+          aware_answers = c.run.answers;
+        } else if (c.run.answers != aware_answers) {
+          std::fprintf(stderr,
+                       "%s/%s: aware and unaware answer counts diverged "
+                       "(%zu vs %zu)\n",
+                       profile.name.c_str(), query.id.c_str(), aware_answers,
+                       c.run.answers);
+          std::exit(1);
+        }
+        std::printf("%-5s %-8s %8zu %10llu %10.3f %10.3f %9s %10.2f  %s\n",
+                    c.query.c_str(), c.mode.c_str(), c.run.answers,
+                    static_cast<unsigned long long>(c.run.transferred),
+                    c.run.first_s, c.run.total_s,
+                    c.max_q_error < 0 ? "-" : "est",
+                    c.push_wait_ms + c.pop_wait_ms,
+                    c.backpressure_op.empty() ? "-"
+                                              : c.backpressure_op.c_str());
+        cells.push_back(std::move(c));
+      }
+    }
+  }
+
+  BenchJsonEmitter emitter("paper_grid");
+  emitter.config().Set("traced_cell", std::string(kTracedQuery) + "/aware/" +
+                                          kTracedNetwork);
+  for (const Cell& c : cells) {
+    emitter.AddResult()
+        .Set("network", c.network)
+        .Set("query", c.query)
+        .Set("mode", c.mode)
+        .Set("answers", static_cast<uint64_t>(c.run.answers))
+        .Set("shipped_rows", c.run.transferred)
+        .Set("delay_ms", c.run.delay_ms)
+        .Set("total_s", c.run.total_s)
+        .Set("first_s", c.run.first_s)
+        .Set("max_q_error", c.max_q_error)
+        .Set("backpressure_op", c.backpressure_op)
+        .Set("push_wait_ms", c.push_wait_ms)
+        .Set("pop_wait_ms", c.pop_wait_ms)
+        .Set("peak_queue_depth", c.peak_queue_depth);
+  }
+  emitter.Write("BENCH_paper_grid.json");
+}
+
+}  // namespace
+}  // namespace lakefed::bench
+
+int main() {
+  lakefed::bench::Run();
+  return 0;
+}

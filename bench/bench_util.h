@@ -15,10 +15,12 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "fed/engine.h"
 #include "lslod/generator.h"
 #include "lslod/queries.h"
+#include "obs/json_util.h"
 
 namespace lakefed::bench {
 
@@ -86,6 +88,95 @@ inline void PrintHeader(const char* title) {
   std::printf("(scale=%.2f, time_scale=%.3f)\n",
               EnvDouble("LAKEFED_BENCH_SCALE", 0.4), TimeScale());
 }
+
+// Minimal ordered JSON object builder for the bench emitters: keys render
+// in insertion order, string values go through the shared obs escaping.
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& value) {
+    return Raw(key, obs::JsonString(value));
+  }
+  JsonObject& Set(const std::string& key, const char* value) {
+    return Raw(key, obs::JsonString(value));
+  }
+  JsonObject& Set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return Raw(key, buf);
+  }
+  JsonObject& Set(const std::string& key, uint64_t value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonObject& Set(const std::string& key, int value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonObject& Set(const std::string& key, bool value) {
+    return Raw(key, value ? "true" : "false");
+  }
+  // Pre-rendered JSON value (nested objects, arrays).
+  JsonObject& Raw(const std::string& key, const std::string& json) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += obs::JsonString(key) + ": " + json;
+    return *this;
+  }
+  std::string Render() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+// Shared BENCH_*.json writer. Every experiment bench emits one uniform
+// top-level schema, so downstream tooling loads any of them the same way:
+//   {"bench": <name>,
+//    "config": {"scale": .., "time_scale": .., "seed": .., <extras>},
+//    "repetitions": <runs per cell>,
+//    "results": [{..}, ..]}
+class BenchJsonEmitter {
+ public:
+  explicit BenchJsonEmitter(std::string name, int repetitions = 1)
+      : name_(std::move(name)), repetitions_(repetitions) {
+    config_.Set("scale", EnvDouble("LAKEFED_BENCH_SCALE", 0.4))
+        .Set("time_scale", TimeScale())
+        .Set("seed", EnvDouble("LAKEFED_SEED", 7));
+  }
+
+  // Extra bench-specific configuration entries.
+  JsonObject& config() { return config_; }
+
+  // Appends one result row; fill it with Set() calls.
+  JsonObject& AddResult() {
+    results_.emplace_back();
+    return results_.back();
+  }
+
+  size_t size() const { return results_.size(); }
+
+  void Write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::string doc = "{\n  \"bench\": " + obs::JsonString(name_) +
+                      ",\n  \"config\": " + config_.Render() +
+                      ",\n  \"repetitions\": " + std::to_string(repetitions_) +
+                      ",\n  \"results\": [\n";
+    for (size_t i = 0; i < results_.size(); ++i) {
+      doc += "    " + results_[i].Render();
+      doc += i + 1 == results_.size() ? "\n" : ",\n";
+    }
+    doc += "  ]\n}\n";
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s (%zu rows)\n", path.c_str(), results_.size());
+  }
+
+ private:
+  std::string name_;
+  int repetitions_;
+  JsonObject config_;
+  std::vector<JsonObject> results_;
+};
 
 }  // namespace lakefed::bench
 

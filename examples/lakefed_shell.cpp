@@ -31,6 +31,14 @@
 //   .spans <id|SPARQL>    execute a query in a session and print the
 //                         hierarchical span tree (parse -> plan -> execute
 //                         -> per-operator -> wrapper -> network transfer)
+//   .profile <id|SPARQL>  EXPLAIN ANALYZE profile: runs the query (cost
+//                         model on) and prints per-operator estimated vs
+//                         actual rows with q-errors, the wall/compute/
+//                         queue-wait/network time split, the backpressure-
+//                         dominant operator and per-source traffic
+//   .trace <id|SPARQL> <file>   execute a query and write its span tree as
+//                         Chrome trace-event JSON (load the file in
+//                         chrome://tracing or ui.perfetto.dev)
 //   .quit
 //
 //   $ ./examples/lakefed_shell            # interactive
@@ -44,6 +52,7 @@
 
 #include "common/string_util.h"
 #include "fed/engine.h"
+#include "obs/trace_export.h"
 #include "lslod/generator.h"
 #include "lslod/queries.h"
 #include "wrapper/sql_wrapper.h"
@@ -167,7 +176,13 @@ class Shell {
           "  .breakers             circuit breaker states\n"
           "  .metrics [json]       engine-wide metrics (counters, latency "
           "histograms)\n"
-          "  .spans <id|SPARQL>    run a query and print its span tree\n");
+          "  .spans <id|SPARQL>    run a query and print its span tree\n"
+          "  .profile <id|SPARQL>  EXPLAIN ANALYZE: per-operator est vs "
+          "actual rows (q-errors),\n"
+          "      wall/compute/queue-wait/network split, backpressure "
+          "verdict\n"
+          "  .trace <id|SPARQL> <file>   run a query and export a Chrome "
+          "trace (chrome://tracing)\n");
     } else if (cmd == ".mode") {
       if (arg == "aware") {
         options_.mode = fed::PlanMode::kPhysicalDesignAware;
@@ -357,9 +372,80 @@ class Shell {
       if (spans == nullptr) {
         std::printf("span collection is off\n");
       } else {
+        if (spans->dropped() > 0) {
+          std::printf("WARNING: %llu span(s) dropped (recorder full) — the "
+                      "tree below is truncated\n",
+                      static_cast<unsigned long long>(spans->dropped()));
+        }
         std::printf("%s", spans->ToText().c_str());
       }
       std::printf("%zu answer(s)\n", answer->rows.size());
+      last_stats_ = answer->OperatorStatsText();
+    } else if (cmd == ".profile") {
+      // `.profile <query id or SPARQL>` — EXPLAIN ANALYZE through a
+      // session, with cost-model planning forced on so every operator has
+      // an estimate to compare against.
+      std::string rest(TrimWhitespace(line.substr(cmd.size())));
+      if (rest.empty()) {
+        std::printf("usage: .profile <query id or SPARQL>\n");
+        return true;
+      }
+      const lslod::BenchmarkQuery* q = lslod::FindQuery(rest);
+      const std::string& sparql = q != nullptr ? q->sparql : rest;
+      fed::PlanOptions opts = options_;
+      opts.use_cost_model = true;
+      opts.collect_metrics = true;
+      auto stream = lake_->engine->CreateSession(
+          fed::QueryRequest::Text(sparql, opts));
+      if (!stream.ok()) {
+        std::printf("error: %s\n", stream.status().ToString().c_str());
+        return true;
+      }
+      auto answer = (*stream)->Drain();
+      if (!answer.ok()) {
+        std::printf("error: %s\n", answer.status().ToString().c_str());
+      }
+      // Failed or cancelled runs still have a profile (partial work,
+      // terminal status inside).
+      std::printf("%s", (*stream)->profile().ToText().c_str());
+      if (answer.ok()) last_stats_ = answer->OperatorStatsText();
+    } else if (cmd == ".trace") {
+      // `.trace <query id or SPARQL> <file>` — the last token is the
+      // output path, everything before it the query.
+      std::string rest(TrimWhitespace(line.substr(cmd.size())));
+      size_t sep = rest.find_last_of(" \t");
+      if (rest.empty() || sep == std::string::npos) {
+        std::printf("usage: .trace <query id or SPARQL> <file>\n");
+        return true;
+      }
+      std::string path(TrimWhitespace(rest.substr(sep)));
+      std::string text(TrimWhitespace(rest.substr(0, sep)));
+      const lslod::BenchmarkQuery* q = lslod::FindQuery(text);
+      const std::string& sparql = q != nullptr ? q->sparql : text;
+      auto stream = lake_->engine->CreateSession(
+          fed::QueryRequest::Text(sparql, options_));
+      if (!stream.ok()) {
+        std::printf("error: %s\n", stream.status().ToString().c_str());
+        return true;
+      }
+      auto answer = (*stream)->Drain();
+      if (!answer.ok()) {
+        std::printf("error: %s\n", answer.status().ToString().c_str());
+        return true;
+      }
+      const obs::SpanRecorder* spans = (*stream)->spans();
+      if (spans == nullptr) {
+        std::printf("span collection is off\n");
+        return true;
+      }
+      Status st = obs::WriteChromeTrace(*spans, path);
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        return true;
+      }
+      std::printf("wrote %zu span(s) to %s — open in chrome://tracing or "
+                  "ui.perfetto.dev\n",
+                  spans->Snapshot().size(), path.c_str());
       last_stats_ = answer->OperatorStatsText();
     } else if (cmd == ".sql") {
       for (const auto& [id, db] : lake_->databases) {

@@ -61,6 +61,28 @@ else
   fi
 fi
 
+echo "== profiler smoke: obs suites + tiny paper-grid run =="
+# The obs-labelled suites cover the profiler/trace-export units; the grid
+# driver then runs end-to-end at tiny scale and must emit a parseable
+# 40-cell BENCH_paper_grid.json plus a loadable Chrome trace.
+ctest --test-dir build --output-on-failure -j "$JOBS" -L obs
+(cd build/bench && \
+ LAKEFED_BENCH_SCALE=0.05 LAKEFED_TIME_SCALE=0.001 ./bench_paper_grid \
+     >/dev/null)
+python3 - <<'EOF'
+import json
+with open("build/bench/BENCH_paper_grid.json") as f:
+    grid = json.load(f)
+assert grid["bench"] == "paper_grid", grid.get("bench")
+assert len(grid["results"]) == 40, len(grid["results"])
+assert {"scale", "time_scale", "seed"} <= grid["config"].keys()
+with open("build/bench/BENCH_paper_grid_trace.json") as f:
+    trace = json.load(f)
+assert trace["traceEvents"], "empty Chrome trace"
+print("paper-grid JSON ok: 40 cells, trace has",
+      len(trace["traceEvents"]), "events")
+EOF
+
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
   echo "== SKIP_TSAN=1: skipping ThreadSanitizer phase =="
   exit 0

@@ -30,8 +30,28 @@
 #include <utility>
 
 #include "common/cancellation.h"
+#include "common/stopwatch.h"
 
 namespace lakefed {
+
+// Optional queue-wait observer (the federated executor attaches one per
+// operator queue when metrics collection is on): reports every blocking
+// wait with its duration plus a queue-depth occupancy sample per push.
+// Implementations must be thread-safe; callbacks run outside the queue
+// lock. With no observer attached the queue's code path is unchanged — no
+// clock reads, no virtual calls.
+class QueueWaitObserver {
+ public:
+  virtual ~QueueWaitObserver() = default;
+  // A Push had to wait `wait_ms` for space. Reported even when the wait
+  // ended in close, cancellation or deadline expiry rather than a
+  // successful push, so teardown stalls are accounted too.
+  virtual void OnPushWait(double wait_ms) = 0;
+  // A Pop had to wait `wait_ms` for an item (same accounting contract).
+  virtual void OnPopWait(double wait_ms) = 0;
+  // Queue depth right after a successful push (occupancy sample).
+  virtual void OnDepth(size_t depth) = 0;
+};
 
 template <typename T>
 class BlockingQueue {
@@ -47,16 +67,41 @@ class BlockingQueue {
     push_counter_ = std::move(counter);
   }
 
+  // Attaches the wait observer. Like the push counter, must be set before
+  // any producer or consumer thread starts.
+  void set_wait_observer(std::shared_ptr<QueueWaitObserver> observer) {
+    observer_ = std::move(observer);
+  }
+
   // Blocks until there is room. Returns false (and drops the item) if the
   // queue was closed.
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
+    const bool must_wait = !closed_ && items_.size() >= capacity_;
+    double wait_ms = 0;
+    if (must_wait && observer_ != nullptr) {
+      Stopwatch wait;
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      wait_ms = wait.ElapsedMillis();
+    } else if (must_wait) {
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+    }
+    if (closed_) {
+      lock.unlock();
+      if (observer_ != nullptr && must_wait) observer_->OnPushWait(wait_ms);
+      return false;
+    }
     items_.push_back(std::move(item));
+    const size_t depth = items_.size();
     lock.unlock();
     if (push_counter_ != nullptr) {
       push_counter_->fetch_add(1, std::memory_order_relaxed);
+    }
+    if (observer_ != nullptr) {
+      if (must_wait) observer_->OnPushWait(wait_ms);
+      observer_->OnDepth(depth);
     }
     not_empty_.notify_one();
     return true;
@@ -66,11 +111,24 @@ class BlockingQueue {
   // Returns nullopt on exhaustion.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;  // closed and drained
+    const bool must_wait = !closed_ && items_.empty();
+    double wait_ms = 0;
+    if (must_wait && observer_ != nullptr) {
+      Stopwatch wait;
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      wait_ms = wait.ElapsedMillis();
+    } else if (must_wait) {
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    }
+    if (items_.empty()) {  // closed and drained
+      lock.unlock();
+      if (observer_ != nullptr && must_wait) observer_->OnPopWait(wait_ms);
+      return std::nullopt;
+    }
     T item = std::move(items_.front());
     items_.pop_front();
     lock.unlock();
+    if (observer_ != nullptr && must_wait) observer_->OnPopWait(wait_ms);
     not_full_.notify_one();
     return item;
   }
@@ -79,26 +137,49 @@ class BlockingQueue {
   // is cancelled or its deadline passes. The token check runs outside the
   // queue lock — a cancellation callback may close this very queue.
   bool Push(T item, const CancellationToken& token) {
+    double wait_ms = 0;
+    bool waited = false;
     for (;;) {
-      if (token.IsCancelled()) return false;
+      if (token.IsCancelled()) {
+        ReportPushWait(waited, wait_ms);
+        return false;
+      }
       std::unique_lock<std::mutex> lock(mu_);
-      if (closed_) return false;
+      if (closed_) {
+        lock.unlock();
+        ReportPushWait(waited, wait_ms);
+        return false;
+      }
       if (items_.size() < capacity_) {
         items_.push_back(std::move(item));
+        const size_t depth = items_.size();
         lock.unlock();
         if (push_counter_ != nullptr) {
           push_counter_->fetch_add(1, std::memory_order_relaxed);
         }
+        ReportPushWait(waited, wait_ms);
+        if (observer_ != nullptr) observer_->OnDepth(depth);
         not_empty_.notify_one();
         return true;
       }
-      if (!WaitFor(not_full_, lock, token,
-                   [&] { return closed_ || items_.size() < capacity_; })) {
+      waited = true;
+      bool ok;
+      if (observer_ != nullptr) {
+        Stopwatch wait;
+        ok = WaitFor(not_full_, lock, token,
+                     [&] { return closed_ || items_.size() < capacity_; });
+        wait_ms += wait.ElapsedMillis();
+      } else {
+        ok = WaitFor(not_full_, lock, token,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      }
+      if (!ok) {
         // Deadline expired while the queue was still full: promote the
         // expiry to cancellation (outside the lock — the OnCancel callback
         // may close this very queue) and give up instead of spinning.
         lock.unlock();
         token.IsCancelled();
+        ReportPushWait(waited, wait_ms);
         return false;
       }
     }
@@ -108,22 +189,43 @@ class BlockingQueue {
   // if items remain (teardown must not drain), and wakes at the token's
   // deadline while blocked on an empty queue.
   std::optional<T> Pop(const CancellationToken& token) {
+    double wait_ms = 0;
+    bool waited = false;
     for (;;) {
-      if (token.IsCancelled()) return std::nullopt;
+      if (token.IsCancelled()) {
+        ReportPopWait(waited, wait_ms);
+        return std::nullopt;
+      }
       std::unique_lock<std::mutex> lock(mu_);
       if (!items_.empty()) {
         T item = std::move(items_.front());
         items_.pop_front();
         lock.unlock();
+        ReportPopWait(waited, wait_ms);
         not_full_.notify_one();
         return item;
       }
-      if (closed_) return std::nullopt;
-      if (!WaitFor(not_empty_, lock, token,
-                   [&] { return closed_ || !items_.empty(); })) {
+      if (closed_) {
+        lock.unlock();
+        ReportPopWait(waited, wait_ms);
+        return std::nullopt;
+      }
+      waited = true;
+      bool ok;
+      if (observer_ != nullptr) {
+        Stopwatch wait;
+        ok = WaitFor(not_empty_, lock, token,
+                     [&] { return closed_ || !items_.empty(); });
+        wait_ms += wait.ElapsedMillis();
+      } else {
+        ok = WaitFor(not_empty_, lock, token,
+                     [&] { return closed_ || !items_.empty(); });
+      }
+      if (!ok) {
         // Deadline expired on an empty queue: promote and return promptly.
         lock.unlock();
         token.IsCancelled();
+        ReportPopWait(waited, wait_ms);
         return std::nullopt;
       }
     }
@@ -168,6 +270,16 @@ class BlockingQueue {
   }
 
  private:
+  // Deferred wait reporting for the token-aware loops: waits accumulate
+  // across loop iterations and are reported once per call, on every exit
+  // path (success, close, cancellation, deadline).
+  void ReportPushWait(bool waited, double wait_ms) {
+    if (waited && observer_ != nullptr) observer_->OnPushWait(wait_ms);
+  }
+  void ReportPopWait(bool waited, double wait_ms) {
+    if (waited && observer_ != nullptr) observer_->OnPopWait(wait_ms);
+  }
+
   // One bounded wait: until the predicate holds, the token's deadline
   // passes, or (via the OnCancel queue-closing callback) a cancellation
   // closes the queue. Returns true when the predicate held at wake-up;
@@ -194,6 +306,7 @@ class BlockingQueue {
   std::deque<T> items_;
   bool closed_ = false;
   std::shared_ptr<std::atomic<uint64_t>> push_counter_;
+  std::shared_ptr<QueueWaitObserver> observer_;
 };
 
 }  // namespace lakefed

@@ -56,6 +56,112 @@ rdf::Binding MergeBindings(const rdf::Binding& a, const rdf::Binding& b) {
   return out;
 }
 
+// Per-operator runtime recorder: attached as the wait observer of the
+// operator's output queue (so push waits = backpressure on this operator,
+// pop waits = consumer starvation for its output) and fed the operator
+// thread's wall time. Lock-free — callbacks fire from producer and consumer
+// threads concurrently. Also mirrors every wait into the execution-wide
+// queue-wait histograms when those are attached.
+class OpRuntimeRec : public QueueWaitObserver {
+ public:
+  OpRuntimeRec(obs::Histogram* push_wait_hist, obs::Histogram* pop_wait_hist)
+      : push_wait_hist_(push_wait_hist), pop_wait_hist_(pop_wait_hist) {}
+
+  void OnPushWait(double wait_ms) override {
+    push_waits_.fetch_add(1, std::memory_order_relaxed);
+    push_wait_us_.fetch_add(ToUs(wait_ms), std::memory_order_relaxed);
+    if (push_wait_hist_ != nullptr) push_wait_hist_->Record(wait_ms);
+  }
+
+  void OnPopWait(double wait_ms) override {
+    pop_waits_.fetch_add(1, std::memory_order_relaxed);
+    pop_wait_us_.fetch_add(ToUs(wait_ms), std::memory_order_relaxed);
+    if (pop_wait_hist_ != nullptr) pop_wait_hist_->Record(wait_ms);
+  }
+
+  void OnDepth(size_t depth) override {
+    const uint64_t d = static_cast<uint64_t>(depth);
+    depth_samples_.fetch_add(1, std::memory_order_relaxed);
+    depth_sum_.fetch_add(d, std::memory_order_relaxed);
+    uint64_t cur = peak_depth_.load(std::memory_order_relaxed);
+    while (d > cur && !peak_depth_.compare_exchange_weak(
+                          cur, d, std::memory_order_relaxed)) {
+    }
+  }
+
+  // Operator-thread wall time. Concurrent producers of one queue (UNION
+  // arms) keep the maximum — the arm that finished last bounds the
+  // operator's elapsed time.
+  void RecordWall(double wall_ms) {
+    const uint64_t us = ToUs(wall_ms);
+    uint64_t cur = wall_us_.load(std::memory_order_relaxed);
+    while (us > cur && !wall_us_.compare_exchange_weak(
+                           cur, us, std::memory_order_relaxed)) {
+    }
+    measured_.store(true, std::memory_order_relaxed);
+  }
+
+  // Call after every dataflow thread has joined.
+  obs::OperatorRuntime Snapshot(std::string source_id) const {
+    obs::OperatorRuntime rt;
+    rt.source_id = std::move(source_id);
+    rt.wall_ms = measured_.load(std::memory_order_relaxed)
+                     ? static_cast<double>(
+                           wall_us_.load(std::memory_order_relaxed)) /
+                           1e3
+                     : -1;
+    rt.push_waits = push_waits_.load(std::memory_order_relaxed);
+    rt.push_wait_ms =
+        static_cast<double>(push_wait_us_.load(std::memory_order_relaxed)) /
+        1e3;
+    rt.pop_waits = pop_waits_.load(std::memory_order_relaxed);
+    rt.pop_wait_ms =
+        static_cast<double>(pop_wait_us_.load(std::memory_order_relaxed)) /
+        1e3;
+    rt.depth_samples = depth_samples_.load(std::memory_order_relaxed);
+    rt.peak_depth = peak_depth_.load(std::memory_order_relaxed);
+    rt.depth_sum =
+        static_cast<double>(depth_sum_.load(std::memory_order_relaxed));
+    return rt;
+  }
+
+ private:
+  // Durations accumulate as integer microseconds so fetch_add stays a plain
+  // atomic RMW (no double CAS loop on the hot path).
+  static uint64_t ToUs(double ms) {
+    return ms <= 0 ? 0 : static_cast<uint64_t>(ms * 1e3);
+  }
+
+  obs::Histogram* push_wait_hist_;
+  obs::Histogram* pop_wait_hist_;
+  std::atomic<uint64_t> push_waits_{0};
+  std::atomic<uint64_t> push_wait_us_{0};
+  std::atomic<uint64_t> pop_waits_{0};
+  std::atomic<uint64_t> pop_wait_us_{0};
+  std::atomic<uint64_t> depth_samples_{0};
+  std::atomic<uint64_t> depth_sum_{0};
+  std::atomic<uint64_t> peak_depth_{0};
+  std::atomic<uint64_t> wall_us_{0};
+  std::atomic<bool> measured_{false};
+};
+
+// RAII wall-time probe for an operator thread: records elapsed time into
+// the recorder at scope exit (null recorder = metrics off, no clock reads).
+class WallTimer {
+ public:
+  explicit WallTimer(std::shared_ptr<OpRuntimeRec> rec)
+      : rec_(std::move(rec)) {}
+  ~WallTimer() {
+    if (rec_ != nullptr) rec_->RecordWall(watch_.ElapsedMillis());
+  }
+  WallTimer(const WallTimer&) = delete;
+  WallTimer& operator=(const WallTimer&) = delete;
+
+ private:
+  std::shared_ptr<OpRuntimeRec> rec_;
+  Stopwatch watch_;
+};
+
 }  // namespace
 
 // Builds the thread/queue dataflow of one plan instance and exposes its
@@ -145,6 +251,13 @@ class PlanExecution::Impl {
     for (const auto& entry : operator_counters_) {
       operator_rows_.emplace_back(entry.label, entry.counter->load());
       operator_estimates_.push_back(entry.estimate);
+      if (entry.runtime != nullptr) {
+        operator_runtime_.push_back(entry.runtime->Snapshot(entry.source_id));
+      } else {
+        obs::OperatorRuntime rt;
+        rt.source_id = entry.source_id;
+        operator_runtime_.push_back(std::move(rt));
+      }
       // Runtime cardinality feedback: fold the observed row count back into
       // the stats catalog, but only for clean completions — partial counts
       // of cancelled/expired runs would poison the estimates.
@@ -198,6 +311,9 @@ class PlanExecution::Impl {
   }
   const std::vector<double>& operator_estimates() const {
     return operator_estimates_;
+  }
+  const std::vector<obs::OperatorRuntime>& operator_runtime() const {
+    return operator_runtime_;
   }
   // Timestamped recovery events; valid after Finish() like the stats.
   const std::vector<AnswerTrace::Event>& trace_events() const {
@@ -415,9 +531,17 @@ class PlanExecution::Impl {
     RecordError(status);
   }
 
-  // Creates a node's output queue with an operator-statistics counter
-  // attached (before any producer thread starts).
-  RowQueuePtr MakeOutQueue(const FedPlanNode& node) {
+  // A node's output queue plus its runtime recorder (null when metrics
+  // collection is off, so instrumented and plain paths stay separable).
+  struct NodeQueue {
+    RowQueuePtr queue;
+    std::shared_ptr<OpRuntimeRec> runtime;
+  };
+
+  // Creates a node's output queue with an operator-statistics counter (and,
+  // when metrics are on, a queue-wait observer) attached — both before any
+  // producer thread starts.
+  NodeQueue MakeOutQueue(const FedPlanNode& node) {
     auto queue = std::make_shared<RowQueue>(kQueueCapacity);
     std::string label = node.Describe();
     if (size_t nl = label.find('\n'); nl != std::string::npos) {
@@ -425,13 +549,28 @@ class PlanExecution::Impl {
     }
     auto counter = std::make_shared<std::atomic<uint64_t>>(0);
     queue->set_push_counter(counter);
+    std::shared_ptr<OpRuntimeRec> runtime;
+    if (options_.collect_metrics) {
+      runtime = std::make_shared<OpRuntimeRec>(
+          sink_->GetHistogram("queue.push_wait_ms"),
+          sink_->GetHistogram("queue.pop_wait_ms"));
+      queue->set_wait_observer(runtime);
+    }
+    // Leaf operators carry the source they scan, so the profiler can charge
+    // that source's simulated network delay against them.
+    std::string source_id;
+    if (node.kind == FedPlanNode::Kind::kService ||
+        node.kind == FedPlanNode::Kind::kDependentJoin) {
+      source_id = node.subquery.source_id;
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       operator_counters_.push_back({std::move(label), node.stats_key,
-                                    node.estimated_rows, std::move(counter)});
+                                    node.estimated_rows, std::move(counter),
+                                    std::move(source_id), runtime});
     }
     RegisterQueue(queue);
-    return queue;
+    return {std::move(queue), std::move(runtime)};
   }
 
   // Spawns the subtree rooted at `node`; returns its output queue.
@@ -454,13 +593,16 @@ class PlanExecution::Impl {
   }
 
   RowQueuePtr StartService(const FedPlanNode& node) {
-    RowQueuePtr out = MakeOutQueue(node);
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
     if (FaultTolerant()) {
       SubQuery subquery = node.subquery;
       std::vector<std::string> alternates = node.failover_sources;
       CancellationToken token = token_;
-      threads_.emplace_back([this, subquery, alternates, out, token] {
+      threads_.emplace_back([this, subquery, alternates, out, rec, token] {
         obs::Span op(spans_, "service:" + subquery.source_id, exec_span_id_);
+        WallTimer wall(rec);
         Status st = ExecuteLeafWithRecovery(subquery, alternates, out.get(),
                                             token, op.id());
         if (!st.ok()) HandleLeafFailure(st, token);
@@ -478,8 +620,9 @@ class PlanExecution::Impl {
     net::DelayChannel* channel = ChannelFor(node.subquery.source_id);
     SubQuery subquery = node.subquery;
     CancellationToken token = token_;
-    threads_.emplace_back([this, w, channel, subquery, out, token] {
+    threads_.emplace_back([this, w, channel, subquery, out, rec, token] {
       obs::Span op(spans_, "service:" + subquery.source_id, exec_span_id_);
+      WallTimer wall(rec);
       Status st = WrapperCall(w, subquery, channel, out.get(), token, op.id());
       if (!st.ok()) RecordError(st);
       out->Close();
@@ -490,7 +633,9 @@ class PlanExecution::Impl {
   RowQueuePtr StartJoin(const FedPlanNode& node) {
     RowQueuePtr left = StartNode(*node.children[0]);
     RowQueuePtr right = StartNode(*node.children[1]);
-    RowQueuePtr out = MakeOutQueue(node);
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
 
     // Tag-merge both inputs into one queue so the join thread can react to
     // whichever side delivers next (the adaptive part of agjoin).
@@ -513,8 +658,10 @@ class PlanExecution::Impl {
     threads_.emplace_back(forward, right, 1);
 
     std::vector<std::string> join_vars = node.join_vars;
-    threads_.emplace_back([this, merged, out, left, right, join_vars, token] {
+    threads_.emplace_back([this, merged, out, left, right, join_vars, rec,
+                           token] {
       obs::Span op(spans_, "join", exec_span_id_);
+      WallTimer wall(rec);
       std::unordered_map<std::string, std::vector<rdf::Binding>> table[2];
       while (auto tagged = merged->Pop(token)) {
         const int side = tagged->side;
@@ -549,11 +696,14 @@ class PlanExecution::Impl {
     // materialized into a hash table, then the left streams through.
     RowQueuePtr left = StartNode(*node.children[0]);
     RowQueuePtr right = StartNode(*node.children[1]);
-    RowQueuePtr out = MakeOutQueue(node);
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
     std::vector<std::string> join_vars = node.join_vars;
     CancellationToken token = token_;
-    threads_.emplace_back([this, left, right, out, join_vars, token] {
+    threads_.emplace_back([this, left, right, out, join_vars, rec, token] {
       obs::Span op(spans_, "leftjoin", exec_span_id_);
+      WallTimer wall(rec);
       std::unordered_map<std::string, std::vector<rdf::Binding>> table;
       while (auto row = right->Pop(token)) {
         if (!HasAllVars(*row, join_vars)) continue;
@@ -587,11 +737,14 @@ class PlanExecution::Impl {
 
   RowQueuePtr StartOrderBy(const FedPlanNode& node) {
     RowQueuePtr in = StartNode(*node.children[0]);
-    RowQueuePtr out = MakeOutQueue(node);
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
     std::vector<sparql::OrderCondition> order_by = node.order_by;
     CancellationToken token = token_;
-    threads_.emplace_back([this, in, out, order_by, token] {
+    threads_.emplace_back([this, in, out, order_by, rec, token] {
       obs::Span op(spans_, "orderby", exec_span_id_);
+      WallTimer wall(rec);
       std::vector<rdf::Binding> rows;
       while (auto row = in->Pop(token)) rows.push_back(std::move(*row));
       std::stable_sort(
@@ -624,7 +777,9 @@ class PlanExecution::Impl {
 
   RowQueuePtr StartDependentJoin(const FedPlanNode& node) {
     RowQueuePtr left = StartNode(*node.children[0]);
-    RowQueuePtr out = MakeOutQueue(node);
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
     auto wrapper = WrapperFor(node.subquery.source_id);
     if (!wrapper.ok()) {
       RecordError(wrapper.status());
@@ -639,8 +794,9 @@ class PlanExecution::Impl {
     CancellationToken token = token_;
 
     threads_.emplace_back([this, w, channel, subquery, join_vars, failover,
-                           left, out, token] {
+                           left, out, rec, token] {
       obs::Span op(spans_, "depjoin:" + subquery.source_id, exec_span_id_);
+      WallTimer wall(rec);
       const uint64_t op_span = op.id();
       const std::string& bind_var = join_vars.front();
       std::vector<rdf::Binding> batch;
@@ -710,15 +866,18 @@ class PlanExecution::Impl {
   }
 
   RowQueuePtr StartUnion(const FedPlanNode& node) {
-    RowQueuePtr out = MakeOutQueue(node);
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
     auto active =
         std::make_shared<std::atomic<int>>(static_cast<int>(
             node.children.size()));
     CancellationToken token = token_;
     for (const FedPlanPtr& child : node.children) {
       RowQueuePtr in = StartNode(*child);
-      threads_.emplace_back([this, in, out, active, token] {
+      threads_.emplace_back([this, in, out, active, rec, token] {
         obs::Span op(spans_, "union-arm", exec_span_id_);
+        WallTimer wall(rec);
         while (auto row = in->Pop(token)) {
           if (!out->Push(std::move(*row), token)) break;
         }
@@ -731,11 +890,14 @@ class PlanExecution::Impl {
 
   RowQueuePtr StartFilter(const FedPlanNode& node) {
     RowQueuePtr in = StartNode(*node.children[0]);
-    RowQueuePtr out = MakeOutQueue(node);
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
     std::vector<sparql::FilterExprPtr> filters = node.filters;
     CancellationToken token = token_;
-    threads_.emplace_back([this, in, out, filters, token] {
+    threads_.emplace_back([this, in, out, filters, rec, token] {
       obs::Span op(spans_, "filter", exec_span_id_);
+      WallTimer wall(rec);
       while (auto row = in->Pop(token)) {
         bool pass = true;
         for (const sparql::FilterExprPtr& f : filters) {
@@ -757,11 +919,14 @@ class PlanExecution::Impl {
 
   RowQueuePtr StartProject(const FedPlanNode& node) {
     RowQueuePtr in = StartNode(*node.children[0]);
-    RowQueuePtr out = MakeOutQueue(node);
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
     std::vector<std::string> projection = node.projection;
     CancellationToken token = token_;
-    threads_.emplace_back([this, in, out, projection, token] {
+    threads_.emplace_back([this, in, out, projection, rec, token] {
       obs::Span op(spans_, "project", exec_span_id_);
+      WallTimer wall(rec);
       while (auto row = in->Pop(token)) {
         rdf::Binding projected;
         for (const std::string& v : projection) {
@@ -778,10 +943,13 @@ class PlanExecution::Impl {
 
   RowQueuePtr StartDistinct(const FedPlanNode& node) {
     RowQueuePtr in = StartNode(*node.children[0]);
-    RowQueuePtr out = MakeOutQueue(node);
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
     CancellationToken token = token_;
-    threads_.emplace_back([this, in, out, token] {
+    threads_.emplace_back([this, in, out, rec, token] {
       obs::Span op(spans_, "distinct", exec_span_id_);
+      WallTimer wall(rec);
       std::unordered_set<std::string> seen;
       while (auto row = in->Pop(token)) {
         std::string key;
@@ -802,11 +970,14 @@ class PlanExecution::Impl {
 
   RowQueuePtr StartLimit(const FedPlanNode& node) {
     RowQueuePtr in = StartNode(*node.children[0]);
-    RowQueuePtr out = MakeOutQueue(node);
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
     int64_t limit = node.limit;
     CancellationToken token = token_;
-    threads_.emplace_back([this, in, out, limit, token] {
+    threads_.emplace_back([this, in, out, limit, rec, token] {
       obs::Span op(spans_, "limit", exec_span_id_);
+      WallTimer wall(rec);
       int64_t emitted = 0;
       while (emitted < limit) {
         auto row = in->Pop(token);
@@ -855,6 +1026,8 @@ class PlanExecution::Impl {
     std::string stats_key;  // feedback key; empty = no feedback
     double estimate;        // planner's estimate; -1 = none
     std::shared_ptr<std::atomic<uint64_t>> counter;
+    std::string source_id;  // leaf operators: the source they scan
+    std::shared_ptr<OpRuntimeRec> runtime;  // null when metrics are off
   };
   std::vector<OperatorCounter> operator_counters_;
 
@@ -863,6 +1036,7 @@ class PlanExecution::Impl {
   ExecutionStats stats_;
   std::vector<std::pair<std::string, uint64_t>> operator_rows_;
   std::vector<double> operator_estimates_;
+  std::vector<obs::OperatorRuntime> operator_runtime_;
 };
 
 PlanExecution::PlanExecution(
@@ -887,6 +1061,11 @@ PlanExecution::operator_rows() const {
 
 const std::vector<double>& PlanExecution::operator_estimates() const {
   return impl_->operator_estimates();
+}
+
+const std::vector<obs::OperatorRuntime>& PlanExecution::operator_runtime()
+    const {
+  return impl_->operator_runtime();
 }
 
 const std::vector<AnswerTrace::Event>& PlanExecution::trace_events() const {
@@ -990,6 +1169,7 @@ Result<QueryAnswer> ExecutePlan(
   answer.stats = execution.stats();
   answer.operator_rows = execution.operator_rows();
   answer.operator_estimates = execution.operator_estimates();
+  answer.operator_runtime = execution.operator_runtime();
   if (options.collect_metrics) {
     answer.metrics_json = execution.metrics_snapshot().ToJson();
   }

@@ -26,6 +26,7 @@
 #include "fed/trace.h"
 #include "fed/wrapper.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 namespace lakefed::fed {
 
@@ -84,6 +85,10 @@ struct QueryAnswer {
   // Parallel to operator_rows: the planner's estimated cardinality of each
   // operator, or -1 when no estimate was made (cost model off).
   std::vector<double> operator_estimates;
+  // Parallel to operator_rows: per-operator runtime accounting (thread wall
+  // time, output-queue waits and occupancy) captured when
+  // PlanOptions::collect_metrics is on; default-valued entries otherwise.
+  std::vector<obs::OperatorRuntime> operator_runtime;
   // Stable-JSON rendering of the query's metrics registry (src/obs):
   // counters, gauges and latency histograms with p50/p95/p99. Empty when
   // PlanOptions::collect_metrics is off.
@@ -126,6 +131,10 @@ class PlanExecution {
   const ExecutionStats& stats() const;
   const std::vector<std::pair<std::string, uint64_t>>& operator_rows() const;
   const std::vector<double>& operator_estimates() const;
+  // Parallel to operator_rows(): runtime accounting per operator (wall
+  // time, queue waits, occupancy). Meaningful when collect_metrics was on;
+  // default-valued entries of the same length otherwise.
+  const std::vector<obs::OperatorRuntime>& operator_runtime() const;
   // Timestamped recovery events (retries, failovers, breaker trips),
   // seconds since the execution was created. Empty on fault-free runs.
   const std::vector<AnswerTrace::Event>& trace_events() const;

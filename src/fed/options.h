@@ -118,10 +118,13 @@ struct PlanOptions {
 
   // ---- Observability --------------------------------------------------
   // Metrics and span collection (src/obs). Default on: sessions record
-  // latency histograms, per-operator/wrapper/transfer spans and the
-  // execution counters into one registry. Off skips every histogram and
-  // span on the hot path (scalar accounting needed by ExecutionStats is
-  // atomic counters either way), leaving near-zero overhead.
+  // latency histograms, per-operator/wrapper/transfer spans, the execution
+  // counters and per-operator queue instrumentation (blocking-wait
+  // histograms plus occupancy samples on every operator's output queue,
+  // feeding ResultStream::profile()) into one registry. Off skips every
+  // histogram, span and queue observer on the hot path (scalar accounting
+  // needed by ExecutionStats is atomic counters either way), leaving
+  // near-zero overhead.
   bool collect_metrics = true;
 
   // Per-query metrics registry (not owned). Sessions own one and fill this

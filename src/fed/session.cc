@@ -104,6 +104,9 @@ void ResultStream::AccumulateExecution() {
   const auto& ests = execution_->operator_estimates();
   operator_estimates_.insert(operator_estimates_.end(), ests.begin(),
                              ests.end());
+  const auto& runtime = execution_->operator_runtime();
+  operator_runtime_.insert(operator_runtime_.end(), runtime.begin(),
+                           runtime.end());
 }
 
 bool ResultStream::Next(rdf::Binding* row) {
@@ -163,6 +166,7 @@ bool ResultStream::NextBuffered(rdf::Binding* row) {
     plan_text_ = std::move(answer->plan_text);
     operator_rows_ = std::move(answer->operator_rows);
     operator_estimates_ = std::move(answer->operator_estimates);
+    operator_runtime_ = std::move(answer->operator_runtime);
   }
   if (token_.IsCancelled()) {
     status_ = token_.ToStatus();
@@ -210,6 +214,13 @@ Status ResultStream::Finish() {
     metrics_->GetCounter("session.rows")
         ->Increment(trace_.timestamps.size());
     if (!status_.ok()) metrics_->GetCounter("session.errors")->Increment();
+    // Surface span loss: a truncated span tree would silently distort any
+    // profile or trace built from it, so the drop count rides along in the
+    // metrics snapshot.
+    if (spans_ != nullptr && spans_->dropped() > 0) {
+      metrics_->GetGauge("obs.spans.dropped")
+          ->Set(static_cast<int64_t>(spans_->dropped()));
+    }
     obs::MetricsSnapshot snapshot = metrics_->Snapshot();
     metrics_json_ = snapshot.ToJson();
     if (engine_metrics_ != nullptr) engine_metrics_->Merge(snapshot);
@@ -223,6 +234,32 @@ Status ResultStream::Finish() {
   return status_;
 }
 
+obs::QueryProfile ResultStream::profile() const {
+  obs::QueryProfileInputs in;
+  in.labels.reserve(operator_rows_.size());
+  in.rows.reserve(operator_rows_.size());
+  for (const auto& [label, rows] : operator_rows_) {
+    in.labels.push_back(label);
+    in.rows.push_back(rows);
+  }
+  in.estimates = operator_estimates_;
+  in.runtime = operator_runtime_;
+  for (const auto& [source, b] : stats_.per_source) {
+    obs::QueryProfileInputs::SourceTraffic traffic;
+    traffic.rows = b.rows;
+    traffic.messages = b.messages;
+    traffic.retries = b.retries;
+    traffic.delay_ms = b.delay_ms;
+    in.per_source.emplace(source, traffic);
+  }
+  if (spans_ != nullptr) in.spans = spans_->Snapshot();
+  in.total_s = trace_.completion_seconds;
+  in.first_s = trace_.timestamps.empty() ? -1 : trace_.timestamps.front();
+  in.answer_rows = trace_.timestamps.size();
+  in.status = status_.ok() ? "ok" : status_.ToString();
+  return obs::BuildQueryProfile(in);
+}
+
 Result<QueryAnswer> ResultStream::Drain() {
   QueryAnswer answer;
   rdf::Binding row;
@@ -234,6 +271,7 @@ Result<QueryAnswer> ResultStream::Drain() {
   answer.plan_text = plan_text_;
   answer.operator_rows = operator_rows_;
   answer.operator_estimates = operator_estimates_;
+  answer.operator_runtime = operator_runtime_;
   answer.metrics_json = metrics_json_;
   return answer;
 }
@@ -274,6 +312,7 @@ Result<QueryAnswer> ResultStream::RunBlocking(
     answer.stats = base.stats;
     answer.operator_rows = std::move(base.operator_rows);
     answer.operator_estimates = std::move(base.operator_estimates);
+    answer.operator_runtime = std::move(base.operator_runtime);
     std::vector<rdf::Binding> aggregated = sparql::AggregateSolutions(
         base.rows, original.group_by, original.aggregates);
     sparql::SortBindings(&aggregated, original.order_by);
@@ -303,6 +342,7 @@ Result<QueryAnswer> ResultStream::RunBlocking(
     answer.operator_rows.emplace_back("EngineAggregate",
                                       answer.rows.size());
     answer.operator_estimates.push_back(-1.0);
+    answer.operator_runtime.emplace_back();  // mediator op: no queue/wall data
     return answer;
   }
 
@@ -351,6 +391,9 @@ Result<QueryAnswer> ResultStream::RunBlocking(
     merged.operator_estimates.insert(merged.operator_estimates.end(),
                                      part.operator_estimates.begin(),
                                      part.operator_estimates.end());
+    merged.operator_runtime.insert(merged.operator_runtime.end(),
+                                   part.operator_runtime.begin(),
+                                   part.operator_runtime.end());
   }
   merged.trace.completion_seconds = offset;
 

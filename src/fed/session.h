@@ -28,6 +28,7 @@
 #include "fed/options.h"
 #include "mapping/rdf_mt.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/span.h"
 #include "sparql/ast.h"
 
@@ -130,6 +131,19 @@ class ResultStream {
     return operator_estimates_;
   }
 
+  // Per-operator runtime accounting (thread wall time, output-queue waits,
+  // occupancy) parallel to operator_rows(). Default-valued entries when
+  // collect_metrics is off. Complete after Finish().
+  const std::vector<obs::OperatorRuntime>& operator_runtime() const {
+    return operator_runtime_;
+  }
+
+  // EXPLAIN ANALYZE of the finished session: joins operator_rows(),
+  // operator_estimates() (as q-errors), operator_runtime(), the per-source
+  // traffic and the span tree into one QueryProfile. Call after Finish()
+  // (or Drain()); render with ToText() / ToJson().
+  obs::QueryProfile profile() const;
+
   // The session's cancellation token (shared with every operator thread).
   CancellationToken token() const { return token_; }
 
@@ -197,6 +211,7 @@ class ResultStream {
   std::string plan_text_;
   std::vector<std::pair<std::string, uint64_t>> operator_rows_;
   std::vector<double> operator_estimates_;
+  std::vector<obs::OperatorRuntime> operator_runtime_;
 
   // Observability: the session owns its metrics registry and span recorder;
   // PlanOptions::metrics/spans point into them for every plan/execution of

@@ -1,0 +1,23 @@
+// Shared JSON string escaping for every JSON emitter in the repo: metrics
+// snapshots, span dumps, Chrome trace export, query profiles and the
+// BENCH_*.json writers. One correct implementation instead of the per-file
+// variants that used to disagree on control characters.
+
+#ifndef LAKEFED_OBS_JSON_UTIL_H_
+#define LAKEFED_OBS_JSON_UTIL_H_
+
+#include <string>
+
+namespace lakefed::obs {
+
+// Escapes `s` for use inside a double-quoted JSON string: quote and
+// backslash get a backslash, \b \f \n \r \t their two-character forms, and
+// every other control character the \u00XX form (never silently dropped).
+std::string JsonEscape(const std::string& s);
+
+// Convenience: JsonEscape(s) wrapped in double quotes.
+std::string JsonString(const std::string& s);
+
+}  // namespace lakefed::obs
+
+#endif  // LAKEFED_OBS_JSON_UTIL_H_

@@ -1,0 +1,138 @@
+// Query profiling: EXPLAIN ANALYZE for the federated engine. A QueryProfile
+// joins four observability channels of one finished query into a
+// per-operator record:
+//
+//   * per-operator actual row counts (the op.rows.* channel),
+//   * the planner's cardinality estimates, turned into q-errors,
+//   * per-operator runtime accounting (operator-thread wall time, blocking
+//     queue waits and occupancy samples, captured by the executor), and
+//   * the span tree (session phases) plus the per-source traffic breakdown.
+//
+// The result renders as EXPLAIN ANALYZE text for the shell and as stable
+// JSON for tooling. This layer is fed-agnostic: the executor fills a
+// QueryProfileInputs from its own structures and calls BuildQueryProfile.
+
+#ifndef LAKEFED_OBS_PROFILE_H_
+#define LAKEFED_OBS_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace lakefed::obs {
+
+// Per-operator runtime accounting captured while a plan runs. Each operator
+// owns one output queue; the queue-wait fields describe blocking on *that*
+// queue: push waits are time the operator spent blocked because its
+// consumer fell behind (backpressure on this operator), pop waits are time
+// the consumer spent starved for this operator's output. Defined here (not
+// in fed/) so the profiler can consume it without a dependency cycle.
+struct OperatorRuntime {
+  std::string source_id;     // leaf operators: the source they scan
+  double wall_ms = -1;       // operator-thread wall time; -1 = not measured
+  uint64_t push_waits = 0;   // pushes into the out queue that blocked
+  double push_wait_ms = 0;   // total producer blocking (backpressure signal)
+  uint64_t pop_waits = 0;    // pops of the out queue that blocked
+  double pop_wait_ms = 0;    // total consumer starvation on this queue
+  uint64_t depth_samples = 0;  // occupancy samples (one per push)
+  uint64_t peak_depth = 0;     // highest observed queue depth
+  double depth_sum = 0;        // sum of sampled depths (avg = sum/samples)
+
+  double avg_depth() const {
+    return depth_samples == 0 ? 0.0
+                              : depth_sum / static_cast<double>(depth_samples);
+  }
+};
+
+// q-error of one cardinality estimate: max(e/a, a/e) with both sides
+// clamped to >= 1 so empty operators do not divide by zero (the standard
+// definition from the cardinality-estimation literature; 1.0 = exact).
+// Returns -1 when there is no estimate (estimated < 0).
+double QError(double estimated, double actual);
+
+// Everything BuildQueryProfile needs, in fed-agnostic form. labels/rows/
+// estimates/runtime are parallel per-operator arrays (estimates and runtime
+// may be empty or shorter when unavailable — e.g. collect_metrics off).
+struct QueryProfileInputs {
+  std::vector<std::string> labels;
+  std::vector<uint64_t> rows;
+  std::vector<double> estimates;         // -1 = no estimate for that operator
+  std::vector<OperatorRuntime> runtime;  // empty when metrics were off
+
+  struct SourceTraffic {
+    uint64_t rows = 0;
+    uint64_t messages = 0;
+    uint64_t retries = 0;
+    double delay_ms = 0;  // simulated network delay injected on this channel
+  };
+  std::map<std::string, SourceTraffic> per_source;
+
+  std::vector<SpanRecord> spans;  // session span tree; empty when spans off
+  double total_s = 0;             // completion time, seconds
+  double first_s = -1;            // time to first answer; -1 = no answers
+  uint64_t answer_rows = 0;
+  std::string status = "ok";
+};
+
+struct QueryProfile {
+  struct Operator {
+    std::string label;
+    std::string source_id;      // empty for mediator operators
+    double estimated_rows = -1;  // -1 = planner made no estimate
+    uint64_t actual_rows = 0;
+    double q_error = -1;         // -1 = no estimate; 1.0 = exact
+    bool underestimate = false;  // estimate < actual (when q_error >= 0)
+    double wall_ms = -1;         // -1 = not measured (metrics off)
+    double compute_ms = -1;      // wall - push-wait - network, clamped >= 0
+    double push_wait_ms = 0;     // blocked pushing output (backpressure)
+    double pop_wait_ms = 0;      // consumer starved for this op's output
+    uint64_t push_waits = 0;
+    uint64_t pop_waits = 0;
+    double network_ms = 0;       // leaves: simulated transfer delay
+    double rows_per_sec = 0;     // actual_rows / wall time
+    uint64_t peak_queue_depth = 0;
+    double avg_queue_depth = 0;
+  };
+  struct Source {
+    std::string id;
+    uint64_t rows = 0;
+    uint64_t messages = 0;
+    uint64_t retries = 0;
+    double delay_ms = 0;
+  };
+  struct Phase {  // top-level session spans: parse, plan, execute, ...
+    std::string name;
+    double ms = 0;
+  };
+
+  std::vector<Operator> operators;
+  std::vector<Source> sources;
+  std::vector<Phase> phases;
+  double total_ms = 0;
+  double first_answer_ms = -1;  // -1 = no answers
+  uint64_t answer_rows = 0;
+  std::string status = "ok";
+  // Label of the operator with the largest total push-wait — the one whose
+  // consumer is the bottleneck. Empty when no queue wait was observed.
+  std::string backpressure_dominant;
+  double max_q_error = -1;  // across operators with estimates; -1 = none
+
+  // EXPLAIN ANALYZE rendering: session header, phase line, one aligned row
+  // per operator (est vs actual, q-error, time split, rows/s), the
+  // backpressure verdict and the per-source traffic.
+  std::string ToText() const;
+  // Stable JSON (keys in fixed order, operators in plan order):
+  // {"status":..,"total_ms":..,"rows":..,"max_q_error":..,
+  //  "backpressure_dominant":..,"phases":[..],"operators":[..],
+  //  "sources":[..]}. Absent measurements are -1, never omitted keys.
+  std::string ToJson() const;
+};
+
+QueryProfile BuildQueryProfile(const QueryProfileInputs& in);
+
+}  // namespace lakefed::obs
+
+#endif  // LAKEFED_OBS_PROFILE_H_

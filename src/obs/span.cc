@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <functional>
 
+#include "obs/json_util.h"
+
 namespace lakefed::obs {
 
 uint64_t SpanRecorder::StartSpan(std::string name, uint64_t parent_id) {
@@ -100,11 +102,8 @@ std::string SpanRecorder::ToJson() const {
     const SpanRecord& s = spans[i];
     if (i > 0) out.push_back(',');
     out += "{\"id\":" + std::to_string(s.id) +
-           ",\"parent\":" + std::to_string(s.parent_id) + ",\"name\":\"";
-    for (char c : s.name) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
-    }
+           ",\"parent\":" + std::to_string(s.parent_id) +
+           ",\"name\":\"" + JsonEscape(s.name);
     std::snprintf(buf, sizeof(buf), "\",\"start_ms\":%.3f,\"end_ms\":%.3f}",
                   s.start_ms, s.end_ms);
     out += buf;

@@ -1,0 +1,83 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+#include <map>
+
+#include "obs/json_util.h"
+
+namespace lakefed::obs {
+namespace {
+
+constexpr const char* kSessionPhases[] = {
+    "session", "parse", "decompose", "source-select", "plan", "execute",
+};
+
+std::string FormatUs(double ms) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f", ms * 1e3);
+  return buf;
+}
+
+}  // namespace
+
+std::string ChromeTraceTrack(const std::string& span_name) {
+  size_t colon = span_name.find(':');
+  if (colon != std::string::npos && colon + 1 < span_name.size()) {
+    return "source " + span_name.substr(colon + 1);
+  }
+  for (const char* phase : kSessionPhases) {
+    if (span_name == phase) return "session";
+  }
+  return "operators";
+}
+
+std::string ToChromeTrace(const std::vector<SpanRecord>& spans) {
+  // tids in first-appearance order, so the output is stable for a given
+  // span sequence.
+  std::map<std::string, int> tids;
+  std::string events;
+  auto tid_for = [&](const std::string& track) {
+    auto it = tids.find(track);
+    if (it != tids.end()) return it->second;
+    int tid = static_cast<int>(tids.size()) + 1;
+    tids.emplace(track, tid);
+    if (!events.empty()) events.push_back(',');
+    events += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+              std::to_string(tid) + ",\"args\":{\"name\":" +
+              JsonString(track) + "}}";
+    return tid;
+  };
+  for (const SpanRecord& s : spans) {
+    int tid = tid_for(ChromeTraceTrack(s.name));
+    if (!events.empty()) events.push_back(',');
+    events += "{\"name\":" + JsonString(s.name) +
+              ",\"cat\":\"lakefed\",\"ph\":\"" + (s.open() ? "B" : "X") +
+              "\",\"ts\":" + FormatUs(s.start_ms);
+    if (!s.open()) events += ",\"dur\":" + FormatUs(s.duration_ms());
+    events += ",\"pid\":1,\"tid\":" + std::to_string(tid) +
+              ",\"args\":{\"span_id\":" + std::to_string(s.id) +
+              ",\"parent\":" + std::to_string(s.parent_id) + "}}";
+  }
+  return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[" + events + "]}";
+}
+
+std::string ToChromeTrace(const SpanRecorder& recorder) {
+  return ToChromeTrace(recorder.Snapshot());
+}
+
+Status WriteChromeTrace(const SpanRecorder& recorder,
+                        const std::string& path) {
+  std::string json = ToChromeTrace(recorder);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot write trace file '" + path + "'");
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Internal("short write to trace file '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace lakefed::obs

@@ -1,0 +1,45 @@
+// Chrome trace-event export: converts a SpanRecorder snapshot into the
+// trace-event JSON format that chrome://tracing and Perfetto load directly.
+//
+// Span-to-track mapping: trace events carry a (pid, tid) pair that the
+// viewers render as one horizontal track per tid. Session-phase spans
+// (session, parse, decompose, source-select, plan, execute) share the
+// "session" track; spans named "<kind>:<source>" (service:, wrapper:,
+// xfer:, depjoin:) map to one track per source, so each source's wrapper
+// call and its nested network transfers line up; every other operator span
+// (join, filter, union-arm, ...) lands on the "operators" track. Closed
+// spans become complete ("X") events; still-open spans become begin ("B")
+// events so a truncated session still loads.
+
+#ifndef LAKEFED_OBS_TRACE_EXPORT_H_
+#define LAKEFED_OBS_TRACE_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/span.h"
+
+namespace lakefed::obs {
+
+// The track (tid grouping) key of one span name — exposed for tests:
+// "session" for the session phases, "source <id>" for "<kind>:<id>" spans,
+// "operators" otherwise.
+std::string ChromeTraceTrack(const std::string& span_name);
+
+// Renders the spans as one Chrome trace JSON object:
+// {"displayTimeUnit":"ms","traceEvents":[...]} with thread_name metadata
+// events naming each track. Timestamps convert from the recorder's
+// milliseconds to the format's microseconds.
+std::string ToChromeTrace(const std::vector<SpanRecord>& spans);
+
+// Convenience over a recorder snapshot.
+std::string ToChromeTrace(const SpanRecorder& recorder);
+
+// Writes ToChromeTrace(recorder) to `path`; fails with kInternal when the
+// file cannot be written.
+Status WriteChromeTrace(const SpanRecorder& recorder, const std::string& path);
+
+}  // namespace lakefed::obs
+
+#endif  // LAKEFED_OBS_TRACE_EXPORT_H_

@@ -209,5 +209,139 @@ TEST(BlockingQueueTest, ExpiredDeadlinePopReturnsPromptly) {
   EXPECT_TRUE(token.ToStatus().IsDeadlineExceeded());
 }
 
+// --- queue-wait observer (profiler instrumentation) ---
+
+// Counts callbacks and accumulates reported wait time. The queue promises
+// callbacks run outside its lock, but they may come from several threads.
+class RecordingObserver : public QueueWaitObserver {
+ public:
+  void OnPushWait(double wait_ms) override {
+    push_waits_.fetch_add(1);
+    AddMs(push_wait_us_, wait_ms);
+  }
+  void OnPopWait(double wait_ms) override {
+    pop_waits_.fetch_add(1);
+    AddMs(pop_wait_us_, wait_ms);
+  }
+  void OnDepth(size_t depth) override {
+    depth_samples_.fetch_add(1);
+    size_t prev = peak_depth_.load();
+    while (depth > prev && !peak_depth_.compare_exchange_weak(prev, depth)) {
+    }
+  }
+
+  int push_waits() const { return push_waits_.load(); }
+  int pop_waits() const { return pop_waits_.load(); }
+  int depth_samples() const { return depth_samples_.load(); }
+  size_t peak_depth() const { return peak_depth_.load(); }
+  double push_wait_ms() const { return push_wait_us_.load() / 1e3; }
+  double pop_wait_ms() const { return pop_wait_us_.load() / 1e3; }
+
+ private:
+  static void AddMs(std::atomic<int64_t>& us, double ms) {
+    us.fetch_add(static_cast<int64_t>(ms * 1e3));
+  }
+  std::atomic<int> push_waits_{0}, pop_waits_{0}, depth_samples_{0};
+  std::atomic<size_t> peak_depth_{0};
+  std::atomic<int64_t> push_wait_us_{0}, pop_wait_us_{0};
+};
+
+TEST(BlockingQueueObserverTest, UncontendedOpsReportDepthButNoWaits) {
+  BlockingQueue<int> q(4);
+  auto obs = std::make_shared<RecordingObserver>();
+  q.set_wait_observer(obs);
+  q.Push(1);
+  q.Push(2);
+  EXPECT_EQ(q.Pop(), 1);
+  EXPECT_EQ(q.Pop(), 2);
+  EXPECT_EQ(obs->push_waits(), 0);
+  EXPECT_EQ(obs->pop_waits(), 0);
+  // One occupancy sample per successful push; second push saw depth 2.
+  EXPECT_EQ(obs->depth_samples(), 2);
+  EXPECT_EQ(obs->peak_depth(), 2u);
+}
+
+TEST(BlockingQueueObserverTest, ProducerWaitIsReportedWithDuration) {
+  BlockingQueue<int> q(1);
+  auto obs = std::make_shared<RecordingObserver>();
+  q.set_wait_observer(obs);
+  q.Push(1);  // full
+  std::thread producer([&] { q.Push(2); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(q.Pop(), 1);
+  producer.join();
+  EXPECT_EQ(obs->push_waits(), 1);
+  // Slept ~30ms while the producer was blocked; allow generous CI slack.
+  EXPECT_GE(obs->push_wait_ms(), 5.0);
+}
+
+TEST(BlockingQueueObserverTest, ConsumerWaitIsReportedWithDuration) {
+  BlockingQueue<int> q(4);
+  auto obs = std::make_shared<RecordingObserver>();
+  q.set_wait_observer(obs);
+  std::thread consumer([&] { EXPECT_EQ(q.Pop(), 42); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  q.Push(42);
+  consumer.join();
+  EXPECT_EQ(obs->pop_waits(), 1);
+  EXPECT_GE(obs->pop_wait_ms(), 5.0);
+}
+
+TEST(BlockingQueueObserverTest, WaitEndedByCloseIsStillReported) {
+  // Teardown stalls must be accounted: a producer blocked on a full queue
+  // that unwinds via Close() still reports its wait.
+  BlockingQueue<int> q(1);
+  auto obs = std::make_shared<RecordingObserver>();
+  q.set_wait_observer(obs);
+  q.Push(1);
+  std::thread producer([&] { EXPECT_FALSE(q.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  producer.join();
+  EXPECT_EQ(obs->push_waits(), 1);
+  EXPECT_GE(obs->push_wait_ms(), 5.0);
+  // The failed push contributes no occupancy sample.
+  EXPECT_EQ(obs->depth_samples(), 1);
+}
+
+TEST(BlockingQueueObserverTest, TokenCancellationReportsWaits) {
+  auto q = std::make_shared<BlockingQueue<int>>(1);
+  auto obs = std::make_shared<RecordingObserver>();
+  q->set_wait_observer(obs);
+  CancellationToken token = CancellationToken::Cancellable();
+  token.OnCancel([q] { q->Close(); });
+  ASSERT_TRUE(q->Push(1, token));
+  std::thread producer([&] { EXPECT_FALSE(q->Push(2, token)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  token.Cancel();
+  producer.join();
+  EXPECT_EQ(obs->push_waits(), 1);
+  EXPECT_GE(obs->push_wait_ms(), 5.0);
+}
+
+TEST(BlockingQueueObserverTest, DeadlineExpiryReportsWaits) {
+  BlockingQueue<int> q(4);
+  auto obs = std::make_shared<RecordingObserver>();
+  q.set_wait_observer(obs);
+  CancellationToken token = CancellationToken::WithDeadline(
+      CancellationToken::Clock::now() + std::chrono::milliseconds(30));
+  EXPECT_EQ(q.Pop(token), std::nullopt);  // empty queue: waits out deadline
+  EXPECT_EQ(obs->pop_waits(), 1);
+  EXPECT_GE(obs->pop_wait_ms(), 5.0);
+}
+
+TEST(BlockingQueueObserverTest, TokenPushSamplesDepth) {
+  BlockingQueue<int> q(4);
+  auto obs = std::make_shared<RecordingObserver>();
+  q.set_wait_observer(obs);
+  CancellationToken token = CancellationToken::Cancellable();
+  q.Push(1, token);
+  q.Push(2, token);
+  q.Push(3, token);
+  EXPECT_EQ(obs->depth_samples(), 3);
+  EXPECT_EQ(obs->peak_depth(), 3u);
+  EXPECT_EQ(obs->push_waits(), 0);
+}
+
 }  // namespace
 }  // namespace lakefed

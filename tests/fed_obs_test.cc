@@ -10,6 +10,7 @@
 #include "fed_test_util.h"
 #include "lslod/queries.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/span.h"
 
 namespace lakefed::fed {
@@ -167,6 +168,104 @@ TEST_F(FedObsTest, FaultyRunRecordsRetriesInRegistry) {
     }
   }
   EXPECT_TRUE(per_source_retry) << snap.ToText();
+}
+
+// --- query profiler (EXPLAIN ANALYZE) ---
+
+TEST_F(FedObsTest, ProfileJoinsEstimatesAndRuntime) {
+  PlanOptions options = Gamma3Options();
+  options.use_cost_model = true;  // planner produces cardinality estimates
+  options.collect_metrics = true;
+  auto stream = lake_->engine->CreateSession(
+      QueryRequest::Text(q3_->sparql, options));
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  auto answer = (*stream)->Drain();
+  ASSERT_TRUE(answer.ok()) << answer.status();
+
+  // The three per-operator channels stay parallel.
+  size_t ops = (*stream)->operator_rows().size();
+  ASSERT_GT(ops, 0u);
+  EXPECT_EQ((*stream)->operator_estimates().size(), ops);
+  EXPECT_EQ((*stream)->operator_runtime().size(), ops);
+
+  obs::QueryProfile profile = (*stream)->profile();
+  ASSERT_EQ(profile.operators.size(), ops);
+  // The cost model estimated at least one operator, so q-errors exist.
+  EXPECT_GE(profile.max_q_error, 1.0) << profile.ToText();
+  bool has_estimate = false;
+  bool leaf_with_source = false;
+  for (const obs::QueryProfile::Operator& op : profile.operators) {
+    if (op.q_error >= 0) has_estimate = true;
+    // Metrics were on: every operator thread measured its wall time.
+    EXPECT_GE(op.wall_ms, 0.0) << op.label;
+    if (!op.source_id.empty()) {
+      leaf_with_source = true;
+      // Gamma3 injects delay on every channel, charged as network time.
+      EXPECT_GT(op.network_ms, 0.0) << op.label;
+    }
+  }
+  EXPECT_TRUE(has_estimate) << profile.ToText();
+  EXPECT_TRUE(leaf_with_source) << profile.ToText();
+  EXPECT_EQ(profile.answer_rows, answer->rows.size());
+  EXPECT_EQ(profile.status, "ok");
+  // Session phases surfaced from the span tree.
+  bool has_execute_phase = false;
+  for (const obs::QueryProfile::Phase& p : profile.phases) {
+    if (p.name == "execute") has_execute_phase = true;
+  }
+  EXPECT_TRUE(has_execute_phase) << profile.ToText();
+  // Per-source traffic carried over from ExecutionStats.
+  EXPECT_FALSE(profile.sources.empty());
+}
+
+TEST_F(FedObsTest, ProfileRendersTextAndStableJson) {
+  PlanOptions options = Gamma3Options();
+  options.use_cost_model = true;
+  auto stream = lake_->engine->CreateSession(
+      QueryRequest::Text(q3_->sparql, options));
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  ASSERT_TRUE((*stream)->Drain().ok());
+
+  obs::QueryProfile profile = (*stream)->profile();
+  std::string text = profile.ToText();
+  EXPECT_TRUE(StartsWith(text, "QUERY PROFILE")) << text;
+  EXPECT_TRUE(Contains(text, "backpressure-dominant:")) << text;
+  EXPECT_TRUE(Contains(text, "per-source traffic:")) << text;
+
+  std::string json = profile.ToJson();
+  for (const char* key :
+       {"\"status\":\"ok\"", "\"total_ms\":", "\"first_answer_ms\":",
+        "\"max_q_error\":", "\"backpressure_dominant\":", "\"phases\":",
+        "\"operators\":", "\"sources\":", "\"q_error\":",
+        "\"peak_queue_depth\":"}) {
+    EXPECT_TRUE(Contains(json, key)) << key << " missing in " << json;
+  }
+}
+
+TEST_F(FedObsTest, ProfileDegradesGracefullyWithMetricsOff) {
+  PlanOptions off = Gamma3Options();
+  off.collect_metrics = false;
+  auto stream = lake_->engine->CreateSession(
+      QueryRequest::Text(q3_->sparql, off));
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  ASSERT_TRUE((*stream)->Drain().ok());
+
+  // Runtime entries stay parallel but default-valued: no wall clocks, no
+  // queue instrumentation ran on the hot path.
+  ASSERT_EQ((*stream)->operator_runtime().size(),
+            (*stream)->operator_rows().size());
+  for (const obs::OperatorRuntime& rt : (*stream)->operator_runtime()) {
+    EXPECT_EQ(rt.wall_ms, -1);
+    EXPECT_EQ(rt.push_waits, 0u);
+    EXPECT_EQ(rt.pop_waits, 0u);
+    EXPECT_EQ(rt.depth_samples, 0u);
+  }
+  obs::QueryProfile profile = (*stream)->profile();
+  EXPECT_EQ(profile.operators.size(), (*stream)->operator_rows().size());
+  EXPECT_TRUE(profile.backpressure_dominant.empty());
+  // Rendering still works: unmeasured times print as "-", not garbage.
+  EXPECT_TRUE(Contains(profile.ToText(), "QUERY PROFILE"));
+  EXPECT_TRUE(Contains(profile.ToJson(), "\"wall_ms\":-1"));
 }
 
 }  // namespace

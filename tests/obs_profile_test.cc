@@ -1,0 +1,185 @@
+// QueryProfile unit tests: the q-error definition, the per-operator join
+// performed by BuildQueryProfile (estimates + actuals + runtime + traffic +
+// spans), and the shape/stability of the JSON rendering.
+
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/string_util.h"
+
+namespace lakefed::obs {
+namespace {
+
+TEST(QErrorTest, ExactEstimateIsOne) {
+  EXPECT_DOUBLE_EQ(QError(100, 100), 1.0);
+  EXPECT_DOUBLE_EQ(QError(1, 1), 1.0);
+}
+
+TEST(QErrorTest, SymmetricOverAndUnder) {
+  EXPECT_DOUBLE_EQ(QError(10, 100), 10.0);   // underestimate
+  EXPECT_DOUBLE_EQ(QError(100, 10), 10.0);   // overestimate
+  EXPECT_DOUBLE_EQ(QError(25, 100), QError(100, 25));
+}
+
+TEST(QErrorTest, ZeroesClampToOne) {
+  // Both sides clamp to >= 1, so empty operators never divide by zero.
+  EXPECT_DOUBLE_EQ(QError(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(QError(0, 5), 5.0);
+  EXPECT_DOUBLE_EQ(QError(5, 0), 5.0);
+}
+
+TEST(QErrorTest, NoEstimateIsSentinel) {
+  EXPECT_DOUBLE_EQ(QError(-1, 100), -1.0);
+  EXPECT_DOUBLE_EQ(QError(-0.5, 0), -1.0);
+}
+
+QueryProfileInputs TwoOperatorInputs() {
+  QueryProfileInputs in;
+  in.labels = {"Service[src1]", "Project ?x"};
+  in.rows = {200, 50};
+  in.estimates = {100, -1};
+  OperatorRuntime leaf;
+  leaf.source_id = "src1";
+  leaf.wall_ms = 10;
+  leaf.push_waits = 3;
+  leaf.push_wait_ms = 4;
+  leaf.depth_samples = 2;
+  leaf.depth_sum = 6;
+  leaf.peak_depth = 5;
+  OperatorRuntime project;
+  project.wall_ms = 8;
+  project.pop_waits = 1;
+  project.pop_wait_ms = 2;
+  in.runtime = {leaf, project};
+  QueryProfileInputs::SourceTraffic traffic;
+  traffic.rows = 200;
+  traffic.messages = 200;
+  traffic.retries = 1;
+  traffic.delay_ms = 3;
+  in.per_source.emplace("src1", traffic);
+  in.total_s = 0.5;
+  in.first_s = 0.1;
+  in.answer_rows = 50;
+  return in;
+}
+
+TEST(QueryProfileTest, JoinsEstimatesRuntimeAndTraffic) {
+  QueryProfile p = BuildQueryProfile(TwoOperatorInputs());
+  ASSERT_EQ(p.operators.size(), 2u);
+
+  const QueryProfile::Operator& leaf = p.operators[0];
+  EXPECT_EQ(leaf.label, "Service[src1]");
+  EXPECT_EQ(leaf.source_id, "src1");
+  EXPECT_EQ(leaf.actual_rows, 200u);
+  EXPECT_DOUBLE_EQ(leaf.estimated_rows, 100.0);
+  EXPECT_DOUBLE_EQ(leaf.q_error, 2.0);
+  EXPECT_TRUE(leaf.underestimate);
+  // compute = wall - push_wait - network, network charged from the
+  // operator's source traffic.
+  EXPECT_DOUBLE_EQ(leaf.network_ms, 3.0);
+  EXPECT_DOUBLE_EQ(leaf.compute_ms, 10.0 - 4.0 - 3.0);
+  EXPECT_DOUBLE_EQ(leaf.rows_per_sec, 200 / (10.0 / 1e3));
+  EXPECT_EQ(leaf.peak_queue_depth, 5u);
+  EXPECT_DOUBLE_EQ(leaf.avg_queue_depth, 3.0);
+
+  const QueryProfile::Operator& project = p.operators[1];
+  EXPECT_DOUBLE_EQ(project.q_error, -1.0);  // no estimate
+  EXPECT_FALSE(project.underestimate);
+  EXPECT_DOUBLE_EQ(project.pop_wait_ms, 2.0);
+
+  EXPECT_DOUBLE_EQ(p.max_q_error, 2.0);
+  EXPECT_EQ(p.backpressure_dominant, "Service[src1]");
+  EXPECT_DOUBLE_EQ(p.total_ms, 500.0);
+  EXPECT_DOUBLE_EQ(p.first_answer_ms, 100.0);
+  ASSERT_EQ(p.sources.size(), 1u);
+  EXPECT_EQ(p.sources[0].retries, 1u);
+}
+
+TEST(QueryProfileTest, ComputeClampsAtZero) {
+  QueryProfileInputs in = TwoOperatorInputs();
+  in.runtime[0].push_wait_ms = 100;  // waits exceed wall time
+  QueryProfile p = BuildQueryProfile(in);
+  EXPECT_DOUBLE_EQ(p.operators[0].compute_ms, 0.0);
+}
+
+TEST(QueryProfileTest, NoRuntimeLeavesWallUnmeasured) {
+  QueryProfileInputs in = TwoOperatorInputs();
+  in.runtime.clear();  // collect_metrics off
+  QueryProfile p = BuildQueryProfile(in);
+  EXPECT_DOUBLE_EQ(p.operators[0].wall_ms, -1.0);
+  EXPECT_DOUBLE_EQ(p.operators[0].compute_ms, -1.0);
+  EXPECT_TRUE(p.backpressure_dominant.empty());
+  // q-errors still computed: they need only estimates and row counts.
+  EXPECT_DOUBLE_EQ(p.operators[0].q_error, 2.0);
+}
+
+TEST(QueryProfileTest, PhasesAreRootChildren) {
+  QueryProfileInputs in = TwoOperatorInputs();
+  SpanRecord root{1, 0, "session", 0, 10};
+  SpanRecord parse{2, 1, "parse", 0, 1};
+  SpanRecord execute{3, 1, "execute", 1, 9};
+  SpanRecord nested{4, 3, "join", 2, 8};  // grandchild: not a phase
+  in.spans = {root, parse, execute, nested};
+  QueryProfile p = BuildQueryProfile(in);
+  ASSERT_EQ(p.phases.size(), 2u);
+  EXPECT_EQ(p.phases[0].name, "parse");
+  EXPECT_DOUBLE_EQ(p.phases[0].ms, 1.0);
+  EXPECT_EQ(p.phases[1].name, "execute");
+  EXPECT_DOUBLE_EQ(p.phases[1].ms, 8.0);
+}
+
+TEST(QueryProfileTest, JsonHasStableShape) {
+  QueryProfile p = BuildQueryProfile(TwoOperatorInputs());
+  std::string json = p.ToJson();
+  // Fixed key order at the top level.
+  const char* keys[] = {"\"status\"",        "\"total_ms\"",
+                        "\"first_answer_ms\"", "\"rows\"",
+                        "\"max_q_error\"",   "\"backpressure_dominant\"",
+                        "\"phases\"",        "\"operators\"",
+                        "\"sources\""};
+  size_t pos = 0;
+  for (const char* key : keys) {
+    size_t next = json.find(key, pos);
+    ASSERT_NE(next, std::string::npos) << key << " missing in " << json;
+    pos = next;
+  }
+  EXPECT_TRUE(Contains(json, "\"q_error\":2")) << json;
+  EXPECT_TRUE(Contains(json, "\"underestimate\":true")) << json;
+  // Absent measurements are -1, never omitted keys.
+  EXPECT_TRUE(Contains(json, "\"q_error\":-1")) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(QueryProfileTest, JsonEscapesLabels) {
+  QueryProfileInputs in;
+  in.labels = {"Filter regex(\"a\\b\")"};
+  in.rows = {1};
+  QueryProfile p = BuildQueryProfile(in);
+  std::string json = p.ToJson();
+  EXPECT_TRUE(Contains(json, "Filter regex(\\\"a\\\\b\\\")")) << json;
+}
+
+TEST(QueryProfileTest, TextRendersQErrorDirectionAndBackpressure) {
+  QueryProfile p = BuildQueryProfile(TwoOperatorInputs());
+  std::string text = p.ToText();
+  EXPECT_TRUE(Contains(text, "QUERY PROFILE")) << text;
+  EXPECT_TRUE(Contains(text, "2.00v")) << text;  // underestimate marker
+  EXPECT_TRUE(Contains(text, "backpressure-dominant: Service[src1]"))
+      << text;
+  EXPECT_TRUE(Contains(text, "max q-error: 2.00")) << text;
+  EXPECT_TRUE(Contains(text, "src1")) << text;
+}
+
+TEST(QueryProfileTest, EmptyProfileStillRenders) {
+  QueryProfile p = BuildQueryProfile(QueryProfileInputs{});
+  EXPECT_TRUE(Contains(p.ToText(), "QUERY PROFILE"));
+  EXPECT_TRUE(Contains(p.ToJson(), "\"operators\":[]"));
+  EXPECT_DOUBLE_EQ(p.max_q_error, -1.0);
+}
+
+}  // namespace
+}  // namespace lakefed::obs
