@@ -43,8 +43,9 @@ struct Cell {
   uint64_t peak_queue_depth = 0;
 };
 
-Cell RunCell(const lslod::DataLake& lake, const net::NetworkProfile& profile,
-             const lslod::BenchmarkQuery& query, fed::PlanMode mode) {
+Cell RunCellOnce(const lslod::DataLake& lake,
+                 const net::NetworkProfile& profile,
+                 const lslod::BenchmarkQuery& query, fed::PlanMode mode) {
   fed::PlanOptions options = ModeOptions(mode, profile);
   options.collect_metrics = true;
   auto stream = lake.engine->CreateSession(
@@ -99,6 +100,23 @@ Cell RunCell(const lslod::DataLake& lake, const net::NetworkProfile& profile,
     }
   }
   return c;
+}
+
+// Delay-free cells finish in single-digit milliseconds, where scheduler
+// jitter on a shared machine swamps the signal; repeat them and keep the
+// fastest run (the classic microbench denoiser — same policy as the
+// metrics-overhead guard in scripts/check.sh). Cells with simulated
+// network delay are sleep-dominated and reproducible, so one run suffices.
+Cell RunCell(const lslod::DataLake& lake, const net::NetworkProfile& profile,
+             const lslod::BenchmarkQuery& query, fed::PlanMode mode) {
+  const int reps =
+      profile.HasDelay() ? 1 : static_cast<int>(EnvDouble("LAKEFED_BENCH_REPS", 5));
+  Cell best = RunCellOnce(lake, profile, query, mode);
+  for (int i = 1; i < reps; ++i) {
+    Cell c = RunCellOnce(lake, profile, query, mode);
+    if (c.run.total_s < best.run.total_s) best = c;
+  }
+  return best;
 }
 
 void Run() {

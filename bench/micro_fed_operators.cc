@@ -69,6 +69,38 @@ void BM_FederatedJoinThroughputNoMetrics(benchmark::State& state) {
 BENCHMARK(BM_FederatedJoinThroughputNoMetrics)->Arg(10)->Arg(40)->Unit(
     benchmark::kMillisecond);
 
+// The same federated join swept over the morsel size of the batched
+// operator exchange: batch 1 is the legacy row-at-a-time transfer (every
+// row a queue handoff), larger morsels amortize the queue's lock and
+// wakeup per transfer.
+void BM_FederatedJoinBatchSize(benchmark::State& state) {
+  lslod::LakeConfig config;
+  config.scale = 0.4;
+  auto lake = lslod::BuildLake(config);
+  if (!lake.ok()) state.SkipWithError("lake failed");
+  const std::string query =
+      "PREFIX dsv: <http://lslod.example.org/diseasome/vocab#> "
+      "PREFIX affy: <http://lslod.example.org/affymetrix/vocab#> "
+      "SELECT ?g ?probe WHERE { ?g a dsv:Gene ; dsv:geneSymbol ?sym . "
+      "?probe a affy:Probeset ; affy:symbol ?sym . }";
+  fed::PlanOptions options;
+  options.batch_size = static_cast<size_t>(state.range(0));
+  size_t answers = 0;
+  for (auto _ : state) {
+    auto answer = (*lake)->engine->Execute(query, options);
+    if (!answer.ok()) state.SkipWithError("execution failed");
+    answers = answer->rows.size();
+    benchmark::DoNotOptimize(answer);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(answers));
+}
+BENCHMARK(BM_FederatedJoinBatchSize)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DelayChannelNoDelayOverhead(benchmark::State& state) {
   net::DelayChannel channel(net::NetworkProfile::NoDelay(), 1);
   for (auto _ : state) {

@@ -165,6 +165,8 @@ class Shell {
           "  .mode aware|unaware   .network NoDelay|Gamma1|Gamma2|Gamma3\n"
           "  .explain on|off       .explain <query id or SPARQL>\n"
           "  .cost on|off          .h1 on|off   .h2 on|off\n"
+          "  .batch <n>            rows per exchanged morsel (1 = "
+          "row-at-a-time)\n"
           "  .sources  .molecules  .queries  .run <id>  .sql  .stats  "
           ".quit\n"
           "  .faults [<source> <spec> | clear]   inject network faults\n"
@@ -214,6 +216,18 @@ class Shell {
         std::string rest(TrimWhitespace(line.substr(cmd.size())));
         ExplainQuery(rest);
       }
+    } else if (cmd == ".batch") {
+      if (!arg.empty()) {
+        char* end = nullptr;
+        const long n = std::strtol(arg.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || n < 1) {
+          std::printf("usage: .batch <n>  (n >= 1; 1 = row-at-a-time)\n");
+          return true;
+        }
+        options_.batch_size = static_cast<size_t>(n);
+      }
+      std::printf("batch size = %zu row%s per morsel\n", options_.batch_size,
+                  options_.batch_size == 1 ? "" : "s");
     } else if (cmd == ".cost") {
       options_.use_cost_model = arg != "off";
       std::printf("cost model = %s\n", arg != "off" ? "on" : "off");

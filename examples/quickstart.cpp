@@ -60,13 +60,18 @@ SELECT ?name ?effect WHERE {
     return 1;
   }
   std::printf("\n-- answers (streaming) --\n");
-  rdf::Binding row;
+  // NextBatch is the primary pull API: each call delivers the morsel of
+  // rows that became available together (row-at-a-time Next(&row) remains
+  // as a compatibility shim over it).
+  fed::RowBatch batch;
   size_t rows = 0;
-  while ((*stream)->Next(&row)) {
-    std::printf("  [%5.3fs] %s -> %s\n",
-                (*stream)->trace().timestamps[rows++],
-                row.at("name").value().c_str(),
-                row.at("effect").value().c_str());
+  while ((*stream)->NextBatch(&batch)) {
+    for (rdf::Binding& row : batch) {
+      std::printf("  [%5.3fs] %s -> %s\n",
+                  (*stream)->trace().timestamps[rows++],
+                  row.at("name").value().c_str(),
+                  row.at("effect").value().c_str());
+    }
   }
   Status status = (*stream)->Finish();
   if (!status.ok()) {

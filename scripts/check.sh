@@ -83,6 +83,28 @@ print("paper-grid JSON ok: 40 cells, trace has",
       len(trace["traceEvents"]), "events")
 EOF
 
+echo "== batch-size sweep smoke: identical answers at morsel 1/64/1024 =="
+# The morsel size is a pure exchange knob — Q1 must report the same
+# answer count whether rows travel one at a time or 1024 per batch.
+SWEEP_BASE=""
+for b in 1 64 1024; do
+  COUNT="$(printf '.batch %s\n.run Q1\n.quit\n' "$b" \
+      | build/examples/lakefed_shell 2>/dev/null \
+      | grep -oE '^[0-9]+ answer' | head -1 | awk '{print $1}')"
+  echo "batch_size ${b}: ${COUNT:-<none>} answers"
+  if [[ -z "$COUNT" || "$COUNT" == "0" ]]; then
+    echo "error: batch-size sweep produced no answers at batch ${b}"
+    exit 1
+  fi
+  if [[ -z "$SWEEP_BASE" ]]; then
+    SWEEP_BASE="$COUNT"
+  elif [[ "$COUNT" != "$SWEEP_BASE" ]]; then
+    echo "error: answer count diverges across batch sizes" \
+         "(${SWEEP_BASE} vs ${COUNT} at batch ${b})"
+    exit 1
+  fi
+done
+
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
   echo "== SKIP_TSAN=1: skipping ThreadSanitizer phase =="
   exit 0
@@ -92,8 +114,11 @@ echo "== tsan: LAKEFED_SANITIZE=thread build + fed/robustness tests =="
 cmake -B build-tsan -S . -DLAKEFED_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # Robustness-labelled suites (fault injection, retry, failover, fuzz) plus
-# every fed_* suite (sessions, executor, engine) under tsan.
+# every fed_* suite (sessions, executor, engine, batched exchange) and the
+# batched queue primitives under tsan.
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L robustness
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R '^Fed'
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'BlockingQueueBatch'
 
 echo "== all checks passed =="

@@ -17,10 +17,20 @@
 //  * Explicit Cancel() does not signal the queue's own condition variables;
 //    the session wires `token.OnCancel([q] { q->Close(); })` for each queue
 //    so blocked waiters wake immediately (closing is idempotent).
+//
+// Batch transfer (the morsel dataflow path): PushBatch moves a whole vector
+// of elements under one lock acquisition and PopBatch drains up to a
+// maximum count under one lock acquisition. Both follow the token-aware
+// close/cancel/deadline semantics above; capacity is still counted in
+// elements, so back-pressure granularity is unchanged — a batch larger
+// than the free space is admitted in segments, waiting in between. Waits
+// are attributed once per batch call and the occupancy sample is taken
+// once per successful batch push.
 
 #ifndef LAKEFED_COMMON_BLOCKING_QUEUE_H_
 #define LAKEFED_COMMON_BLOCKING_QUEUE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <deque>
@@ -28,6 +38,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/cancellation.h"
 #include "common/stopwatch.h"
@@ -227,6 +238,138 @@ class BlockingQueue {
         token.IsCancelled();
         ReportPopWait(waited, wait_ms);
         return std::nullopt;
+      }
+    }
+  }
+
+  // Batch push: moves every element of `*items` into the queue, waiting
+  // for room as needed. Elements are admitted in order, possibly in
+  // several segments when the batch exceeds the free space. Returns true
+  // once the whole batch is in; returns false — dropping the not-yet
+  // admitted remainder, like Push drops its item — as soon as the queue
+  // is closed or the token is cancelled/expired. `*items` is cleared on
+  // return either way. A default-constructed token (never cancelled, no
+  // deadline) gives plain Push semantics.
+  bool PushBatch(std::vector<T>* items,
+                 const CancellationToken& token = CancellationToken()) {
+    const size_t n = items->size();
+    if (n == 0) return true;
+    double wait_ms = 0;
+    bool waited = false;
+    size_t next = 0;  // elements [0, next) have been admitted
+    for (;;) {
+      if (token.IsCancelled()) break;
+      std::unique_lock<std::mutex> lock(mu_);
+      if (closed_) {
+        lock.unlock();
+        break;
+      }
+      if (items_.size() < capacity_) {
+        const size_t take = std::min(capacity_ - items_.size(), n - next);
+        for (size_t i = 0; i < take; ++i) {
+          items_.push_back(std::move((*items)[next + i]));
+        }
+        next += take;
+        const size_t depth = items_.size();
+        lock.unlock();
+        if (push_counter_ != nullptr) {
+          push_counter_->fetch_add(take, std::memory_order_relaxed);
+        }
+        if (take > 1) {
+          not_empty_.notify_all();
+        } else {
+          not_empty_.notify_one();
+        }
+        if (next == n) {
+          items->clear();
+          ReportPushWait(waited, wait_ms);
+          if (observer_ != nullptr) observer_->OnDepth(depth);
+          return true;
+        }
+        continue;
+      }
+      waited = true;
+      bool ok;
+      if (observer_ != nullptr) {
+        Stopwatch wait;
+        ok = WaitFor(not_full_, lock, token,
+                     [&] { return closed_ || items_.size() < capacity_; });
+        wait_ms += wait.ElapsedMillis();
+      } else {
+        ok = WaitFor(not_full_, lock, token,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      }
+      if (!ok) {
+        // Deadline expired while the queue was still full: promote the
+        // expiry to cancellation (outside the lock) and give up.
+        lock.unlock();
+        token.IsCancelled();
+        break;
+      }
+    }
+    // Closed, cancelled or expired: elements [next, n) drop with the batch.
+    items->clear();
+    ReportPushWait(waited, wait_ms);
+    return false;
+  }
+
+  // Batch pop: clears `*out`, then blocks until at least one element is
+  // available (or the queue is exhausted / the token fires) and moves up
+  // to `max_items` elements out under one lock acquisition. Returns the
+  // number of elements delivered; 0 means exhaustion, cancellation or
+  // deadline expiry — the same terminal conditions under which Pop
+  // returns nullopt. Does NOT wait for a full batch: whatever is queued
+  // when the wait ends is delivered, so batching never adds latency.
+  size_t PopBatch(std::vector<T>* out, size_t max_items,
+                  const CancellationToken& token = CancellationToken()) {
+    out->clear();
+    if (max_items == 0) return 0;
+    double wait_ms = 0;
+    bool waited = false;
+    for (;;) {
+      if (token.IsCancelled()) {
+        ReportPopWait(waited, wait_ms);
+        return 0;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!items_.empty()) {
+        const size_t take = std::min(max_items, items_.size());
+        out->reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+          out->push_back(std::move(items_.front()));
+          items_.pop_front();
+        }
+        lock.unlock();
+        ReportPopWait(waited, wait_ms);
+        if (take > 1) {
+          not_full_.notify_all();
+        } else {
+          not_full_.notify_one();
+        }
+        return take;
+      }
+      if (closed_) {
+        lock.unlock();
+        ReportPopWait(waited, wait_ms);
+        return 0;
+      }
+      waited = true;
+      bool ok;
+      if (observer_ != nullptr) {
+        Stopwatch wait;
+        ok = WaitFor(not_empty_, lock, token,
+                     [&] { return closed_ || !items_.empty(); });
+        wait_ms += wait.ElapsedMillis();
+      } else {
+        ok = WaitFor(not_empty_, lock, token,
+                     [&] { return closed_ || !items_.empty(); });
+      }
+      if (!ok) {
+        // Deadline expired on an empty queue: promote and return promptly.
+        lock.unlock();
+        token.IsCancelled();
+        ReportPopWait(waited, wait_ms);
+        return 0;
       }
     }
   }

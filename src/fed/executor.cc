@@ -1,13 +1,16 @@
 #include "fed/executor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <iterator>
 #include <cstring>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/blocking_queue.h"
 #include "common/retry.h"
@@ -145,6 +148,42 @@ class OpRuntimeRec : public QueueWaitObserver {
   std::atomic<bool> measured_{false};
 };
 
+// Accumulates an operator's output rows and pushes them as morsels: one
+// PushBatch per `batch_size` rows in steady state. Operators call Flush()
+// after every consumed input batch, so batching never withholds rows that
+// are ready — output granularity tracks input granularity and the stream
+// keeps the row-at-a-time latency profile. batch_size 1 degenerates to a
+// push per row (the legacy exchange, selectable for A/B runs).
+template <typename T>
+class BatchWriter {
+ public:
+  BatchWriter(BlockingQueue<T>* out, size_t batch_size,
+              const CancellationToken& token)
+      : out_(out), cap_(std::max<size_t>(1, batch_size)), token_(token) {}
+
+  // Returns false when the downstream is gone (closed or cancelled) —
+  // the operator must stop producing.
+  bool Add(T row) {
+    if (!open_) return false;
+    buffer_.push_back(std::move(row));
+    if (buffer_.size() >= cap_) open_ = out_->PushBatch(&buffer_, token_);
+    return open_;
+  }
+
+  // Ships whatever has accumulated (partial-batch flush).
+  bool Flush() {
+    if (open_ && !buffer_.empty()) open_ = out_->PushBatch(&buffer_, token_);
+    return open_;
+  }
+
+ private:
+  BlockingQueue<T>* out_;
+  const size_t cap_;
+  CancellationToken token_;
+  std::vector<T> buffer_;
+  bool open_ = true;
+};
+
 // RAII wall-time probe for an operator thread: records elapsed time into
 // the recorder at scope exit (null recorder = metrics off, no clock reads).
 class WallTimer {
@@ -173,7 +212,10 @@ class PlanExecution::Impl {
  public:
   Impl(const std::map<std::string, SourceWrapper*>& wrappers,
        const PlanOptions& options, CancellationToken token)
-      : wrappers_(wrappers), options_(options), token_(std::move(token)) {
+      : wrappers_(wrappers),
+        options_(options),
+        token_(std::move(token)),
+        batch_(std::max<size_t>(1, options.batch_size)) {
     // Recovery accounting always goes through the local registry (it is
     // what ExecutionStats reads at Finish, and it must stay per-execution:
     // a UNION session runs several executions whose stats are reported
@@ -198,9 +240,33 @@ class PlanExecution::Impl {
     root_ = StartNode(*plan.root);
   }
 
+  bool NextBatch(RowBatch* batch) {
+    // Rows the row-at-a-time shim already pulled are served first, so the
+    // two pull forms interleave without loss or duplication.
+    if (pending_pos_ < pending_.size()) {
+      batch->rows.assign(
+          std::make_move_iterator(pending_.rows.begin() +
+                                  static_cast<ptrdiff_t>(pending_pos_)),
+          std::make_move_iterator(pending_.rows.end()));
+      pending_.clear();
+      pending_pos_ = 0;
+      return true;
+    }
+    batch->clear();
+    if (root_ == nullptr || finished_) return false;
+    return root_->PopBatch(&batch->rows, batch_, token_) > 0;
+  }
+
   std::optional<rdf::Binding> Next() {
-    if (root_ == nullptr || finished_) return std::nullopt;
-    return root_->Pop(token_);
+    if (pending_pos_ >= pending_.size()) {
+      pending_.clear();
+      pending_pos_ = 0;
+      if (root_ == nullptr || finished_) return std::nullopt;
+      if (root_->PopBatch(&pending_.rows, batch_, token_) == 0) {
+        return std::nullopt;
+      }
+    }
+    return std::move(pending_.rows[pending_pos_++]);
   }
 
   Status Finish() {
@@ -391,7 +457,12 @@ class PlanExecution::Impl {
                      const CancellationToken& token, uint64_t parent_span) {
     obs::Span span(spans_, "wrapper:" + subquery.source_id, parent_span);
     Stopwatch watch;
-    Status st = w->Execute(subquery, channel, out, token);
+    WrapperContext ctx;
+    ctx.channel = channel;
+    ctx.out = out;
+    ctx.token = token;
+    ctx.batch_size = batch_;
+    Status st = w->Execute(subquery, ctx);
     if (options_.collect_metrics) {
       sink_->GetHistogram("wrapper." + subquery.source_id + ".call_ms")
           ->Record(watch.ElapsedMillis());
@@ -437,8 +508,9 @@ class PlanExecution::Impl {
           // per-attempt expiry from a clean completion.
           if (attempt_token.IsCancelled()) return attempt_token.ToStatus();
           staging.Close();
-          while (auto row = staging.Pop(token)) {
-            if (!sink->Push(std::move(*row), token)) break;
+          std::vector<rdf::Binding> drained;
+          while (staging.PopBatch(&drained, batch_, token) > 0) {
+            if (!sink->PushBatch(&drained, token)) break;
           }
           return Status::OK();
         },
@@ -647,9 +719,15 @@ class PlanExecution::Impl {
     RegisterQueue(merged);
     auto active = std::make_shared<std::atomic<int>>(2);
     CancellationToken token = token_;
-    auto forward = [merged, active, token](RowQueuePtr in, int side) {
-      while (auto row = in->Pop(token)) {
-        if (!merged->Push({side, std::move(*row)}, token)) break;
+    const size_t batch = batch_;
+    auto forward = [merged, active, token, batch](RowQueuePtr in, int side) {
+      std::vector<rdf::Binding> rows;
+      std::vector<Tagged> tagged;
+      while (in->PopBatch(&rows, batch, token) > 0) {
+        tagged.clear();
+        tagged.reserve(rows.size());
+        for (rdf::Binding& row : rows) tagged.push_back({side, std::move(row)});
+        if (!merged->PushBatch(&tagged, token)) break;
       }
       in->Close();
       if (active->fetch_sub(1) == 1) merged->Close();
@@ -659,29 +737,35 @@ class PlanExecution::Impl {
 
     std::vector<std::string> join_vars = node.join_vars;
     threads_.emplace_back([this, merged, out, left, right, join_vars, rec,
-                           token] {
+                           token, batch] {
       obs::Span op(spans_, "join", exec_span_id_);
       WallTimer wall(rec);
       std::unordered_map<std::string, std::vector<rdf::Binding>> table[2];
-      while (auto tagged = merged->Pop(token)) {
-        const int side = tagged->side;
-        const rdf::Binding& row = tagged->row;
-        if (!HasAllVars(row, join_vars)) continue;
-        std::string key = JoinKey(row, join_vars);
-        table[side][key].push_back(row);
-        auto it = table[1 - side].find(key);
-        if (it == table[1 - side].end()) continue;
-        bool cancelled = false;
-        for (const rdf::Binding& other : it->second) {
-          rdf::Binding merged_row = side == 0 ? MergeBindings(row, other)
-                                              : MergeBindings(other, row);
-          if (!out->Push(std::move(merged_row), token)) {
-            cancelled = true;
-            break;
+      std::vector<Tagged> in_batch;
+      BatchWriter<rdf::Binding> writer(out.get(), batch, token);
+      bool open = true;
+      while (open && merged->PopBatch(&in_batch, batch, token) > 0) {
+        for (Tagged& item : in_batch) {
+          const int side = item.side;
+          const rdf::Binding& row = item.row;
+          if (!HasAllVars(row, join_vars)) continue;
+          std::string key = JoinKey(row, join_vars);
+          table[side][key].push_back(row);
+          auto it = table[1 - side].find(key);
+          if (it == table[1 - side].end()) continue;
+          for (const rdf::Binding& other : it->second) {
+            rdf::Binding merged_row = side == 0 ? MergeBindings(row, other)
+                                                : MergeBindings(other, row);
+            if (!writer.Add(std::move(merged_row))) {
+              open = false;
+              break;
+            }
           }
+          if (!open) break;
         }
-        if (cancelled) break;
+        if (open) open = writer.Flush();
       }
+      writer.Flush();
       merged->Close();
       left->Close();
       right->Close();
@@ -701,32 +785,43 @@ class PlanExecution::Impl {
     std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
     std::vector<std::string> join_vars = node.join_vars;
     CancellationToken token = token_;
-    threads_.emplace_back([this, left, right, out, join_vars, rec, token] {
+    const size_t batch = batch_;
+    threads_.emplace_back([this, left, right, out, join_vars, rec, token,
+                           batch] {
       obs::Span op(spans_, "leftjoin", exec_span_id_);
       WallTimer wall(rec);
       std::unordered_map<std::string, std::vector<rdf::Binding>> table;
-      while (auto row = right->Pop(token)) {
-        if (!HasAllVars(*row, join_vars)) continue;
-        table[JoinKey(*row, join_vars)].push_back(std::move(*row));
+      std::vector<rdf::Binding> rows;
+      while (right->PopBatch(&rows, batch, token) > 0) {
+        for (rdf::Binding& row : rows) {
+          if (!HasAllVars(row, join_vars)) continue;
+          table[JoinKey(row, join_vars)].push_back(std::move(row));
+        }
       }
-      bool cancelled = false;
-      while (!cancelled) {
-        auto row = left->Pop(token);
-        if (!row.has_value()) break;
-        auto it = HasAllVars(*row, join_vars)
-                      ? table.find(JoinKey(*row, join_vars))
-                      : table.end();
-        if (it == table.end() || it->second.empty()) {
-          // No extension: keep the left row (left-outer semantics).
-          if (!out->Push(std::move(*row), token)) break;
-          continue;
-        }
-        for (const rdf::Binding& extension : it->second) {
-          if (!out->Push(MergeBindings(*row, extension), token)) {
-            cancelled = true;
-            break;
+      BatchWriter<rdf::Binding> writer(out.get(), batch, token);
+      bool open = true;
+      while (open && left->PopBatch(&rows, batch, token) > 0) {
+        for (rdf::Binding& row : rows) {
+          auto it = HasAllVars(row, join_vars)
+                        ? table.find(JoinKey(row, join_vars))
+                        : table.end();
+          if (it == table.end() || it->second.empty()) {
+            // No extension: keep the left row (left-outer semantics).
+            if (!writer.Add(std::move(row))) {
+              open = false;
+              break;
+            }
+            continue;
           }
+          for (const rdf::Binding& extension : it->second) {
+            if (!writer.Add(MergeBindings(row, extension))) {
+              open = false;
+              break;
+            }
+          }
+          if (!open) break;
         }
+        if (open) open = writer.Flush();
       }
       left->Close();
       right->Close();
@@ -742,11 +837,15 @@ class PlanExecution::Impl {
     std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
     std::vector<sparql::OrderCondition> order_by = node.order_by;
     CancellationToken token = token_;
-    threads_.emplace_back([this, in, out, order_by, rec, token] {
+    const size_t batch = batch_;
+    threads_.emplace_back([this, in, out, order_by, rec, token, batch] {
       obs::Span op(spans_, "orderby", exec_span_id_);
       WallTimer wall(rec);
       std::vector<rdf::Binding> rows;
-      while (auto row = in->Pop(token)) rows.push_back(std::move(*row));
+      std::vector<rdf::Binding> in_batch;
+      while (in->PopBatch(&in_batch, batch, token) > 0) {
+        for (rdf::Binding& row : in_batch) rows.push_back(std::move(row));
+      }
       std::stable_sort(
           rows.begin(), rows.end(),
           [&](const rdf::Binding& a, const rdf::Binding& b) {
@@ -766,9 +865,11 @@ class PlanExecution::Impl {
             }
             return false;
           });
+      BatchWriter<rdf::Binding> writer(out.get(), batch, token);
       for (rdf::Binding& row : rows) {
-        if (!out->Push(std::move(row), token)) break;
+        if (!writer.Add(std::move(row))) break;
       }
+      writer.Flush();
       in->Close();
       out->Close();
     });
@@ -793,22 +894,33 @@ class PlanExecution::Impl {
     std::vector<std::string> failover = node.failover_sources;
     CancellationToken token = token_;
 
+    const size_t batch = batch_;
     threads_.emplace_back([this, w, channel, subquery, join_vars, failover,
-                           left, out, rec, token] {
+                           left, out, rec, token, batch] {
       obs::Span op(spans_, "depjoin:" + subquery.source_id, exec_span_id_);
       WallTimer wall(rec);
       const uint64_t op_span = op.id();
       const std::string& bind_var = join_vars.front();
-      std::vector<rdf::Binding> batch;
+      // Left rows accumulate into a probe window per instantiated
+      // round trip. The window ramps from kDependentJoinBatch up to the
+      // exchange morsel size: early answers still need only 64 left rows,
+      // while long probes amortize the per-call cost (SQL translation +
+      // inner scan) over up to batch_size instantiations. Windowing only
+      // partitions the probe rows, so the join's binding multiset is
+      // unchanged.
+      size_t window = kDependentJoinBatch;
+      const size_t max_window = std::max(batch, kDependentJoinBatch);
+      std::vector<rdf::Binding> probe;
+      BatchWriter<rdf::Binding> writer(out.get(), batch, token);
       bool cancelled = false;
 
       auto flush = [&]() -> bool {
-        if (batch.empty()) return true;
+        if (probe.empty()) return true;
         if (token.IsCancelled()) return false;
         // Distinct instantiation terms for the bound variable.
         std::vector<rdf::Term> terms;
         std::unordered_set<std::string> seen;
-        for (const rdf::Binding& row : batch) {
+        for (const rdf::Binding& row : probe) {
           auto it = row.find(bind_var);
           if (it == row.end()) continue;
           if (seen.insert(it->second.ToString()).second) {
@@ -835,27 +947,36 @@ class PlanExecution::Impl {
         }
         local.Close();
         std::unordered_map<std::string, std::vector<rdf::Binding>> right;
-        while (auto row = local.Pop(token)) {
-          if (!HasAllVars(*row, join_vars)) continue;
-          right[JoinKey(*row, join_vars)].push_back(std::move(*row));
+        std::vector<rdf::Binding> drained;
+        while (local.PopBatch(&drained, batch, token) > 0) {
+          for (rdf::Binding& row : drained) {
+            if (!HasAllVars(row, join_vars)) continue;
+            right[JoinKey(row, join_vars)].push_back(std::move(row));
+          }
         }
-        for (const rdf::Binding& lrow : batch) {
+        for (const rdf::Binding& lrow : probe) {
           if (!HasAllVars(lrow, join_vars)) continue;
           auto it = right.find(JoinKey(lrow, join_vars));
           if (it == right.end()) continue;
           for (const rdf::Binding& rrow : it->second) {
-            if (!out->Push(MergeBindings(lrow, rrow), token)) return false;
+            if (!writer.Add(MergeBindings(lrow, rrow))) return false;
           }
         }
-        batch.clear();
-        return true;
+        probe.clear();
+        return writer.Flush();
       };
 
-      while (auto row = left->Pop(token)) {
-        batch.push_back(std::move(*row));
-        if (batch.size() >= kDependentJoinBatch && !flush()) {
-          cancelled = true;
-          break;
+      std::vector<rdf::Binding> in_rows;
+      while (!cancelled && left->PopBatch(&in_rows, batch, token) > 0) {
+        for (rdf::Binding& row : in_rows) {
+          probe.push_back(std::move(row));
+          if (probe.size() >= window) {
+            if (!flush()) {
+              cancelled = true;
+              break;
+            }
+            window = std::min(window * 2, max_window);
+          }
         }
       }
       if (!cancelled) flush();
@@ -873,13 +994,15 @@ class PlanExecution::Impl {
         std::make_shared<std::atomic<int>>(static_cast<int>(
             node.children.size()));
     CancellationToken token = token_;
+    const size_t batch = batch_;
     for (const FedPlanPtr& child : node.children) {
       RowQueuePtr in = StartNode(*child);
-      threads_.emplace_back([this, in, out, active, rec, token] {
+      threads_.emplace_back([this, in, out, active, rec, token, batch] {
         obs::Span op(spans_, "union-arm", exec_span_id_);
         WallTimer wall(rec);
-        while (auto row = in->Pop(token)) {
-          if (!out->Push(std::move(*row), token)) break;
+        std::vector<rdf::Binding> rows;
+        while (in->PopBatch(&rows, batch, token) > 0) {
+          if (!out->PushBatch(&rows, token)) break;
         }
         in->Close();
         if (active->fetch_sub(1) == 1) out->Close();
@@ -895,21 +1018,31 @@ class PlanExecution::Impl {
     std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
     std::vector<sparql::FilterExprPtr> filters = node.filters;
     CancellationToken token = token_;
-    threads_.emplace_back([this, in, out, filters, rec, token] {
+    const size_t batch = batch_;
+    threads_.emplace_back([this, in, out, filters, rec, token, batch] {
       obs::Span op(spans_, "filter", exec_span_id_);
       WallTimer wall(rec);
-      while (auto row = in->Pop(token)) {
-        bool pass = true;
-        for (const sparql::FilterExprPtr& f : filters) {
-          Result<bool> r = f->EvalBool(*row);
-          // Evaluation errors (unbound variables, bad regex) reject the
-          // solution, matching the reference evaluator.
-          if (!r.ok() || !*r) {
-            pass = false;
+      std::vector<rdf::Binding> rows;
+      BatchWriter<rdf::Binding> writer(out.get(), batch, token);
+      bool open = true;
+      while (open && in->PopBatch(&rows, batch, token) > 0) {
+        for (rdf::Binding& row : rows) {
+          bool pass = true;
+          for (const sparql::FilterExprPtr& f : filters) {
+            Result<bool> r = f->EvalBool(row);
+            // Evaluation errors (unbound variables, bad regex) reject the
+            // solution, matching the reference evaluator.
+            if (!r.ok() || !*r) {
+              pass = false;
+              break;
+            }
+          }
+          if (pass && !writer.Add(std::move(row))) {
+            open = false;
             break;
           }
         }
-        if (pass && !out->Push(std::move(*row), token)) break;
+        if (open) open = writer.Flush();
       }
       in->Close();
       out->Close();
@@ -924,16 +1057,26 @@ class PlanExecution::Impl {
     std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
     std::vector<std::string> projection = node.projection;
     CancellationToken token = token_;
-    threads_.emplace_back([this, in, out, projection, rec, token] {
+    const size_t batch = batch_;
+    threads_.emplace_back([this, in, out, projection, rec, token, batch] {
       obs::Span op(spans_, "project", exec_span_id_);
       WallTimer wall(rec);
-      while (auto row = in->Pop(token)) {
-        rdf::Binding projected;
-        for (const std::string& v : projection) {
-          auto it = row->find(v);
-          if (it != row->end()) projected.emplace(v, it->second);
+      std::vector<rdf::Binding> rows;
+      BatchWriter<rdf::Binding> writer(out.get(), batch, token);
+      bool open = true;
+      while (open && in->PopBatch(&rows, batch, token) > 0) {
+        for (rdf::Binding& row : rows) {
+          rdf::Binding projected;
+          for (const std::string& v : projection) {
+            auto it = row.find(v);
+            if (it != row.end()) projected.emplace(v, it->second);
+          }
+          if (!writer.Add(std::move(projected))) {
+            open = false;
+            break;
+          }
         }
-        if (!out->Push(std::move(projected), token)) break;
+        if (open) open = writer.Flush();
       }
       in->Close();
       out->Close();
@@ -947,20 +1090,30 @@ class PlanExecution::Impl {
     RowQueuePtr out = nq.queue;
     std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
     CancellationToken token = token_;
-    threads_.emplace_back([this, in, out, rec, token] {
+    const size_t batch = batch_;
+    threads_.emplace_back([this, in, out, rec, token, batch] {
       obs::Span op(spans_, "distinct", exec_span_id_);
       WallTimer wall(rec);
       std::unordered_set<std::string> seen;
-      while (auto row = in->Pop(token)) {
-        std::string key;
-        for (const auto& [var, term] : *row) {
-          key += var;
-          key.push_back('\x02');
-          key += term.ToString();
-          key.push_back('\x01');
+      std::vector<rdf::Binding> rows;
+      BatchWriter<rdf::Binding> writer(out.get(), batch, token);
+      bool open = true;
+      while (open && in->PopBatch(&rows, batch, token) > 0) {
+        for (rdf::Binding& row : rows) {
+          std::string key;
+          for (const auto& [var, term] : row) {
+            key += var;
+            key.push_back('\x02');
+            key += term.ToString();
+            key.push_back('\x01');
+          }
+          if (!seen.insert(key).second) continue;
+          if (!writer.Add(std::move(row))) {
+            open = false;
+            break;
+          }
         }
-        if (!seen.insert(key).second) continue;
-        if (!out->Push(std::move(*row), token)) break;
+        if (open) open = writer.Flush();
       }
       in->Close();
       out->Close();
@@ -975,15 +1128,20 @@ class PlanExecution::Impl {
     std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
     int64_t limit = node.limit;
     CancellationToken token = token_;
-    threads_.emplace_back([this, in, out, limit, rec, token] {
+    const size_t batch = batch_;
+    threads_.emplace_back([this, in, out, limit, rec, token, batch] {
       obs::Span op(spans_, "limit", exec_span_id_);
       WallTimer wall(rec);
       int64_t emitted = 0;
+      std::vector<rdf::Binding> rows;
       while (emitted < limit) {
-        auto row = in->Pop(token);
-        if (!row.has_value()) break;
-        if (!out->Push(std::move(*row), token)) break;
-        ++emitted;
+        // Capping the pop at the remaining budget keeps surplus rows in
+        // the input queue, so exactly `limit` rows pass — no torn batch.
+        const size_t want = std::min<size_t>(
+            batch, static_cast<size_t>(limit - emitted));
+        if (in->PopBatch(&rows, want, token) == 0) break;
+        emitted += static_cast<int64_t>(rows.size());
+        if (!out->PushBatch(&rows, token)) break;
       }
       in->Close();  // cancels upstream
       out->Close();
@@ -994,6 +1152,11 @@ class PlanExecution::Impl {
   const std::map<std::string, SourceWrapper*>& wrappers_;
   PlanOptions options_;
   CancellationToken token_;
+  // Morsel size of the exchange (>= 1; 1 = legacy row-at-a-time).
+  const size_t batch_;
+  // Batch being served row-by-row through the Next() shim.
+  RowBatch pending_;
+  size_t pending_pos_ = 0;
   RowQueuePtr root_;
   std::vector<std::thread> threads_;
   std::mutex mu_;
@@ -1047,6 +1210,10 @@ PlanExecution::PlanExecution(
 PlanExecution::~PlanExecution() = default;
 
 void PlanExecution::Start(const FederatedPlan& plan) { impl_->Start(plan); }
+
+bool PlanExecution::NextBatch(RowBatch* batch) {
+  return impl_->NextBatch(batch);
+}
 
 std::optional<rdf::Binding> PlanExecution::Next() { return impl_->Next(); }
 
@@ -1158,9 +1325,15 @@ Result<QueryAnswer> ExecutePlan(
   Stopwatch stopwatch;
   PlanExecution execution(wrappers, options, std::move(token));
   execution.Start(plan);
-  while (auto row = execution.Next()) {
-    answer.trace.timestamps.push_back(stopwatch.ElapsedSeconds());
-    answer.rows.push_back(std::move(*row));
+  RowBatch batch;
+  while (execution.NextBatch(&batch)) {
+    // All rows of a morsel became available to the client together, so they
+    // share one arrival timestamp in the answer trace.
+    const double now = stopwatch.ElapsedSeconds();
+    for (rdf::Binding& row : batch.rows) {
+      answer.trace.timestamps.push_back(now);
+      answer.rows.push_back(std::move(row));
+    }
   }
   answer.trace.completion_seconds = stopwatch.ElapsedSeconds();
 

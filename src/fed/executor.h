@@ -4,10 +4,16 @@
 // symmetric hash join produces results as soon as tuples arrive from either
 // input — the paper's answer traces (Figure 2) depend on this behaviour.
 //
+// Operators exchange RowBatch morsels (PlanOptions::batch_size rows, see
+// fed/row_batch.h) rather than single rows, so queue traffic amortizes;
+// batch boundaries carry no meaning and the answer multiset is identical
+// at every batch size.
+//
 // Two entry points:
-//  * PlanExecution — the incremental form: spawn the dataflow, pull rows
-//    one at a time, tear down cooperatively via a CancellationToken. This
-//    is what streaming sessions (fed/session.h) run on.
+//  * PlanExecution — the incremental form: spawn the dataflow, pull
+//    batches (or single rows via the compatibility shim), tear down
+//    cooperatively via a CancellationToken. This is what streaming
+//    sessions (fed/session.h) run on.
 //  * ExecutePlan — the materializing convenience wrapper used by the
 //    blocking Execute shims: drains a PlanExecution to completion.
 
@@ -23,6 +29,7 @@
 #include "common/status.h"
 #include "fed/options.h"
 #include "fed/plan.h"
+#include "fed/row_batch.h"
 #include "fed/trace.h"
 #include "fed/wrapper.h"
 #include "obs/metrics.h"
@@ -117,8 +124,15 @@ class PlanExecution {
   // Spawns the dataflow for `plan`. Call exactly once, before Next().
   void Start(const FederatedPlan& plan);
 
-  // Blocks for the next root row. nullopt means end-of-stream: completion,
-  // error, cancellation or deadline expiry — Finish() discriminates.
+  // Blocks for the next morsel of root rows (the primary pull API).
+  // Returns true with at least one row in `batch`; false means
+  // end-of-stream: completion, error, cancellation or deadline expiry —
+  // Finish() discriminates.
+  bool NextBatch(RowBatch* batch);
+
+  // Row-at-a-time compatibility shim over NextBatch(): serves rows from
+  // an internal pending batch. nullopt means end-of-stream. May be
+  // interleaved freely with NextBatch() (pending rows are served first).
   std::optional<rdf::Binding> Next();
 
   // Closes all queues, joins every thread and freezes the statistics.

@@ -28,6 +28,10 @@ Status PlanOptions::Validate() const {
         "network profile '" + network.name +
         "' has negative gamma parameters or time scale");
   }
+  if (batch_size == 0) {
+    return Status::InvalidArgument(
+        "batch_size must be at least 1 (1 = row-at-a-time)");
+  }
   LAKEFED_RETURN_NOT_OK(retry.Validate());
   for (const auto& [source, profile] : faults) {
     Status s = profile.Validate();

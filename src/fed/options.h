@@ -10,6 +10,7 @@
 #include "common/retry.h"
 #include "common/status.h"
 #include "fed/decomposer.h"
+#include "fed/row_batch.h"
 #include "fed/subquery.h"
 #include "net/fault.h"
 #include "net/network.h"
@@ -75,6 +76,13 @@ struct PlanOptions {
   // Star-shaped (the paper) or triple-based (its future work) query
   // decomposition.
   DecompositionKind decomposition = DecompositionKind::kStarShaped;
+
+  // Rows per morsel in the batched operator exchange (queue transfers,
+  // wrapper emit, network accounting). 1 reproduces the legacy
+  // row-at-a-time dataflow for A/B measurement; the answer multiset is
+  // identical at every size, only the transfer granularity changes.
+  // Validate() rejects 0.
+  size_t batch_size = kDefaultBatchSize;
 
   // Emulates Ontario's *unoptimized* SPARQL-to-SQL translation for merged
   // sub-queries (the limitation Section 3 reports): instead of one SQL

@@ -1,6 +1,7 @@
 #include "fed/session.h"
 
 #include <algorithm>
+#include <iterator>
 #include <set>
 
 #include "fed/planner.h"
@@ -109,18 +110,44 @@ void ResultStream::AccumulateExecution() {
                            runtime.end());
 }
 
-bool ResultStream::Next(rdf::Binding* row) {
+bool ResultStream::NextBatch(RowBatch* batch) {
+  batch->clear();
+  // Serve the remainder of the Next() shim's pending batch first, so the
+  // two pull APIs interleave without losing or reordering rows.
+  if (shim_pos_ < shim_pending_.size()) {
+    batch->rows.assign(
+        std::make_move_iterator(shim_pending_.rows.begin() +
+                                static_cast<ptrdiff_t>(shim_pos_)),
+        std::make_move_iterator(shim_pending_.rows.end()));
+    shim_pending_.clear();
+    shim_pos_ = 0;
+    return true;
+  }
   if (ended_ || finished_) return false;
-  return buffered_ ? NextBuffered(row) : NextStreaming(row);
+  return buffered_ ? NextBatchBuffered(batch) : NextBatchStreaming(batch);
 }
 
-bool ResultStream::NextStreaming(rdf::Binding* row) {
+bool ResultStream::Next(rdf::Binding* row) {
+  if (shim_pos_ >= shim_pending_.size()) {
+    shim_pending_.clear();
+    shim_pos_ = 0;
+    if (ended_ || finished_) return false;
+    const bool ok = buffered_ ? NextBatchBuffered(&shim_pending_)
+                              : NextBatchStreaming(&shim_pending_);
+    if (!ok) return false;
+  }
+  *row = std::move(shim_pending_.rows[shim_pos_]);
+  ++shim_pos_;
+  return true;
+}
+
+bool ResultStream::NextBatchStreaming(RowBatch* batch) {
   for (;;) {
-    std::optional<rdf::Binding> next =
-        execution_ != nullptr ? execution_->Next() : std::nullopt;
-    if (next.has_value()) {
-      trace_.timestamps.push_back(stopwatch_.ElapsedSeconds());
-      *row = std::move(*next);
+    if (execution_ != nullptr && execution_->NextBatch(batch)) {
+      // The whole morsel became available to the client together: its rows
+      // share one arrival timestamp in the answer trace.
+      const double now = stopwatch_.ElapsedSeconds();
+      trace_.timestamps.insert(trace_.timestamps.end(), batch->size(), now);
       return true;
     }
     // Current branch exhausted (completed, errored or cancelled).
@@ -150,7 +177,7 @@ bool ResultStream::NextStreaming(rdf::Binding* row) {
   }
 }
 
-bool ResultStream::NextBuffered(rdf::Binding* row) {
+bool ResultStream::NextBatchBuffered(RowBatch* batch) {
   if (!buffered_ran_) {
     buffered_ran_ = true;
     Result<QueryAnswer> answer = RunBlocking(query_);
@@ -178,8 +205,15 @@ bool ResultStream::NextBuffered(rdf::Binding* row) {
     fully_drained_ = true;
     return false;
   }
-  *row = std::move(buffered_rows_[buffered_cursor_]);
-  ++buffered_cursor_;
+  // Serve the next batch_size-slice of the materialized answer.
+  const size_t take = std::min(std::max<size_t>(1, options_.batch_size),
+                               buffered_rows_.size() - buffered_cursor_);
+  batch->rows.assign(
+      std::make_move_iterator(buffered_rows_.begin() +
+                              static_cast<ptrdiff_t>(buffered_cursor_)),
+      std::make_move_iterator(buffered_rows_.begin() +
+                              static_cast<ptrdiff_t>(buffered_cursor_ + take)));
+  buffered_cursor_ += take;
   return true;
 }
 
@@ -262,8 +296,12 @@ obs::QueryProfile ResultStream::profile() const {
 
 Result<QueryAnswer> ResultStream::Drain() {
   QueryAnswer answer;
-  rdf::Binding row;
-  while (Next(&row)) answer.rows.push_back(std::move(row));
+  RowBatch batch;
+  while (NextBatch(&batch)) {
+    answer.rows.insert(answer.rows.end(),
+                       std::make_move_iterator(batch.rows.begin()),
+                       std::make_move_iterator(batch.rows.end()));
+  }
   LAKEFED_RETURN_NOT_OK(Finish());
   answer.variables = variables_;
   answer.trace = trace_;

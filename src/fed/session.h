@@ -83,9 +83,17 @@ class ResultStream {
   ResultStream(const ResultStream&) = delete;
   ResultStream& operator=(const ResultStream&) = delete;
 
-  // Pulls the next solution mapping into `*row`. Blocks until a row is
-  // available. Returns false at end-of-stream — completion, error,
-  // cancellation or deadline expiry; Finish() discriminates.
+  // Pulls the next morsel of solution mappings into `*batch` (the primary
+  // pull API: up to PlanOptions::batch_size rows that became available
+  // together). Blocks until at least one row is available. Returns false at
+  // end-of-stream — completion, error, cancellation or deadline expiry;
+  // Finish() discriminates.
+  bool NextBatch(RowBatch* batch);
+
+  // Row-at-a-time compatibility shim over NextBatch(): serves rows from an
+  // internal pending batch, refilling as needed. May be interleaved freely
+  // with NextBatch() (pending rows are served first). Returns false at
+  // end-of-stream.
   bool Next(rdf::Binding* row);
 
   // Requests cooperative cancellation: every queue of the dataflow closes
@@ -178,8 +186,8 @@ class ResultStream {
       uint64_t session_span = 0,
       obs::MetricsRegistry* engine_metrics = nullptr);
 
-  bool NextStreaming(rdf::Binding* row);
-  bool NextBuffered(rdf::Binding* row);
+  bool NextBatchStreaming(RowBatch* batch);
+  bool NextBatchBuffered(RowBatch* batch);
   // Plans branches_[branch_index_] and starts its dataflow.
   Status StartBranch();
   // Folds a finished PlanExecution's statistics into the session's.
@@ -204,6 +212,10 @@ class ResultStream {
   bool buffered_ran_ = false;  // buffered mode
   std::vector<rdf::Binding> buffered_rows_;
   size_t buffered_cursor_ = 0;
+
+  // Pending batch backing the row-at-a-time Next() shim.
+  RowBatch shim_pending_;
+  size_t shim_pos_ = 0;
 
   std::vector<std::string> variables_;
   AnswerTrace trace_;

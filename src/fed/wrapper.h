@@ -5,11 +5,14 @@
 #ifndef LAKEFED_FED_WRAPPER_H_
 #define LAKEFED_FED_WRAPPER_H_
 
+#include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/blocking_queue.h"
 #include "common/status.h"
+#include "fed/row_batch.h"
 #include "fed/subquery.h"
 #include "mapping/rdf_mt.h"
 #include "net/network.h"
@@ -18,6 +21,79 @@
 #include "stats/stats_catalog.h"
 
 namespace lakefed::fed {
+
+// Everything a wrapper needs to execute one sub-query: where to ship
+// answers, the simulated network they cross, the session's cancellation
+// token, and the transfer granularity. Fault knobs ride on the channel
+// (its attached FaultInjector); retry/failover policy lives above this
+// boundary, in the executor.
+struct WrapperContext {
+  net::DelayChannel* channel = nullptr;
+  BlockingQueue<rdf::Binding>* out = nullptr;
+  CancellationToken token;
+  // Rows per shipped morsel; 1 reproduces the legacy row-at-a-time path.
+  size_t batch_size = kDefaultBatchSize;
+};
+
+// Ships wrapper answers in morsels: rows accumulate in a buffer that is
+// flushed as one DelayChannel::TransferBatch (network accounting for the
+// whole morsel) followed by one PushBatch into the output queue. The
+// flush threshold ramps 1, 2, 4, ... up to `batch_size`, so the first
+// answers still leave with row-at-a-time latency while steady-state
+// traffic pays one queue round-trip per morsel. batch_size 1 is exactly
+// the legacy per-row behaviour.
+class BatchEmitter {
+ public:
+  explicit BatchEmitter(const WrapperContext& ctx)
+      : channel_(ctx.channel),
+        out_(ctx.out),
+        token_(ctx.token),
+        cap_(std::max<size_t>(1, ctx.batch_size)) {}
+
+  // Adds one answer. Returns false when the producer must stop: the
+  // downstream is gone (cancelled or closed) or the network faulted
+  // mid-batch — Finish() carries the fault status.
+  bool Emit(rdf::Binding row) {
+    if (!open_) return false;
+    buffer_.push_back(std::move(row));
+    if (buffer_.size() >= threshold_) {
+      Flush();
+      threshold_ = std::min(threshold_ * 2, cap_);
+    }
+    return open_;
+  }
+
+  // Ships the trailing partial batch (partial-batch flush on producer
+  // close). Returns the first network fault observed, or OK; a rejected
+  // push is not an error — the session derives cancellation status from
+  // the token.
+  Status Finish() {
+    if (open_ && !buffer_.empty()) Flush();
+    return fault_;
+  }
+
+ private:
+  void Flush() {
+    size_t delivered = 0;
+    fault_ = channel_->TransferBatch(buffer_.size(), token_, &delivered);
+    // On a mid-batch fault only the messages before it were sent; the
+    // faulted row and everything after it drop, as in the row-at-a-time
+    // path where the fault aborts the scan before the push.
+    if (delivered < buffer_.size()) buffer_.resize(delivered);
+    if (!out_->PushBatch(&buffer_, token_)) open_ = false;
+    if (!fault_.ok()) open_ = false;
+    buffer_.clear();
+  }
+
+  net::DelayChannel* channel_;
+  BlockingQueue<rdf::Binding>* out_;
+  CancellationToken token_;
+  const size_t cap_;
+  size_t threshold_ = 1;
+  std::vector<rdf::Binding> buffer_;
+  Status fault_;
+  bool open_ = true;
+};
 
 class SourceWrapper {
  public:
@@ -73,28 +149,17 @@ class SourceWrapper {
 
   // --- execution ---
 
-  // Executes `subquery`, pushing one solution mapping per answer into `out`.
-  // Every answer retrieval passes through `channel` (network simulation).
-  // Blocking; the engine runs it on a dedicated thread and closes `out`
-  // afterwards. Implementations must stop early when Push returns false
-  // (downstream cancelled).
+  // Executes `subquery`, shipping answers into `ctx.out` in morsels of up
+  // to `ctx.batch_size` rows (BatchEmitter does the bookkeeping); every
+  // answer is accounted on `ctx.channel` (network simulation + fault
+  // injection). Blocking; the engine runs it on a dedicated thread and
+  // closes `ctx.out` afterwards. Implementations must stop early when the
+  // emitter reports a dead downstream (cancellation closes `ctx.out`) and
+  // should poll `ctx.token` between answers, returning Status::OK() when
+  // stopping because of cancellation — the session derives the terminal
+  // kCancelled / kDeadlineExceeded status from the token itself.
   virtual Status Execute(const SubQuery& subquery,
-                         net::DelayChannel* channel,
-                         BlockingQueue<rdf::Binding>* out) = 0;
-
-  // Cancellation-aware variant: the session's executor always calls this
-  // one. Implementations should poll `token` between answers, pass it to
-  // channel->Transfer and out->Push, and return Status::OK() when stopping
-  // because of cancellation (the session derives the terminal kCancelled /
-  // kDeadlineExceeded status from the token itself). The default delegates
-  // to the legacy overload above; legacy wrappers still tear down promptly
-  // because cancellation closes `out`, making Push return false.
-  virtual Status Execute(const SubQuery& subquery, net::DelayChannel* channel,
-                         BlockingQueue<rdf::Binding>* out,
-                         const CancellationToken& token) {
-    (void)token;
-    return Execute(subquery, channel, out);
-  }
+                         const WrapperContext& ctx) = 0;
 };
 
 }  // namespace lakefed::fed

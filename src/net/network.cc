@@ -56,6 +56,49 @@ Status DelayChannel::Transfer(const CancellationToken& token) {
   return Status::OK();
 }
 
+Status DelayChannel::TransferBatch(size_t n, const CancellationToken& token,
+                                   size_t* delivered_out) {
+  if (delivered_out != nullptr) *delivered_out = n;
+  if (n == 0) return Status::OK();
+  if (injector_ == nullptr) {
+    messages_.fetch_add(n, std::memory_order_relaxed);
+    DelayBatch(n, token);
+    return Status::OK();
+  }
+  // With faults possible, run the faithful per-message sequence so the
+  // accounting under a mid-batch fault matches the row-at-a-time path.
+  for (size_t i = 0; i < n; ++i) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    Delay(token);
+    Status fault = injector_->OnMessage(token);
+    if (!fault.ok()) {
+      if (delivered_out != nullptr) *delivered_out = i;
+      return fault;
+    }
+  }
+  return Status::OK();
+}
+
+void DelayChannel::DelayBatch(size_t n, const CancellationToken& token) {
+  if (!profile_.HasDelay()) return;
+  double batch_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < n; ++i) {
+      const double delay_ms =
+          rng_.Gamma(profile_.alpha, profile_.beta) * profile_.time_scale;
+      total_delay_ms_ += delay_ms;
+      batch_ms += delay_ms;
+      // Histogram recording is lock-free (atomics), so recording the
+      // per-message samples while holding the channel lock is safe.
+      if (delay_hist_ != nullptr) delay_hist_->Record(delay_ms);
+    }
+  }
+  if (batch_ms <= 0) return;
+  obs::Span span(spans_, span_name_, parent_span_);
+  token.SleepFor(batch_ms);
+}
+
 void DelayChannel::Delay(const CancellationToken& token) {
   // A profile without delay records nothing: an all-zero latency histogram
   // carries no information (message counts are tracked separately), and

@@ -91,6 +91,18 @@ class DelayChannel {
   // injector is attached).
   Status Transfer(const CancellationToken& token);
 
+  // Batched form of the token-aware Transfer: accounts `n` messages and
+  // sleeps the sum of `n` sampled per-message latencies — the same total
+  // network cost as `n` sequential Transfer calls, paid with one wake-up.
+  // With a fault injector attached the faithful per-message sequence runs
+  // instead (count, delay, verdict), so a mid-batch fault leaves exactly
+  // the row-at-a-time accounting: the faulted message's delay is paid,
+  // `*delivered_out` (when non-null) reports how many messages completed
+  // before the fault, and trailing messages are never sent. Returns the
+  // first fault verdict, or OK.
+  Status TransferBatch(size_t n, const CancellationToken& token,
+                       size_t* delivered_out = nullptr);
+
   // Attaches the per-source fault injector (not owned; must outlive the
   // channel's use). Set before wrapper threads start.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
@@ -120,6 +132,9 @@ class DelayChannel {
  private:
   // Samples and sleeps one message delay (shared by both Transfer forms).
   void Delay(const CancellationToken& token);
+
+  // Samples `n` message delays and sleeps their sum in one go.
+  void DelayBatch(size_t n, const CancellationToken& token);
 
   NetworkProfile profile_;
   std::mutex mu_;  // guards rng_ and total_delay_ms_

@@ -20,15 +20,7 @@ Status RdfWrapper::CollectStatistics(const stats::AnalyzeOptions& options,
 }
 
 Status RdfWrapper::Execute(const fed::SubQuery& subquery,
-                           net::DelayChannel* channel,
-                           BlockingQueue<rdf::Binding>* out) {
-  return Execute(subquery, channel, out, CancellationToken());
-}
-
-Status RdfWrapper::Execute(const fed::SubQuery& subquery,
-                           net::DelayChannel* channel,
-                           BlockingQueue<rdf::Binding>* out,
-                           const CancellationToken& token) {
+                           const fed::WrapperContext& ctx) {
   // Gather the BGP of every star (normally one; merged stars also work —
   // BGP evaluation joins them locally).
   std::vector<rdf::TriplePattern> patterns;
@@ -49,10 +41,10 @@ Status RdfWrapper::Execute(const fed::SubQuery& subquery,
   }
 
   std::vector<std::string> variables = subquery.Variables();
-  Status fault;  // injected network fault, surfaced after the scan stops
+  fed::BatchEmitter emitter(ctx);
   Status scan = rdf::EvaluateBgpVisit(
       *store_, patterns, [&](const rdf::Binding& binding) {
-        if (token.IsCancelled()) return false;  // stop the scan
+        if (ctx.token.IsCancelled()) return false;  // stop the scan
         for (const auto& [var, set] : allowed) {
           auto it = binding.find(var);
           if (it == binding.end() || set.count(it->second.ToString()) == 0) {
@@ -63,17 +55,17 @@ Status RdfWrapper::Execute(const fed::SubQuery& subquery,
           Result<bool> pass = filter->EvalBool(binding);
           if (!pass.ok() || !*pass) return true;
         }
-        // Project to the sub-query's variables and ship one answer through
-        // the simulated network.
+        // Project to the sub-query's variables and hand the answer to the
+        // emitter; it ships morsels through the simulated network.
         rdf::Binding projected;
         for (const std::string& var : variables) {
           auto it = binding.find(var);
           if (it != binding.end()) projected.emplace(var, it->second);
         }
-        fault = channel->Transfer(token);
-        if (!fault.ok()) return false;  // connection lost: abort the scan
-        return out->Push(std::move(projected), token);
+        // A dead downstream (cancel/close) or network fault aborts the scan.
+        return emitter.Emit(std::move(projected));
       });
+  Status fault = emitter.Finish();
   LAKEFED_RETURN_NOT_OK(scan);
   return fault;
 }

@@ -27,15 +27,11 @@ class RdfWrapper : public fed::SourceWrapper {
   Status CollectStatistics(const stats::AnalyzeOptions& options,
                            stats::SourceStats* out) const override;
 
-  Status Execute(const fed::SubQuery& subquery, net::DelayChannel* channel,
-                 BlockingQueue<rdf::Binding>* out) override;
-
-  // Cancellation-aware execution: the BGP visitor checks the token per
-  // match, so cancel/deadline stops the store scan itself, not just the
-  // shipping of answers.
-  Status Execute(const fed::SubQuery& subquery, net::DelayChannel* channel,
-                 BlockingQueue<rdf::Binding>* out,
-                 const CancellationToken& token) override;
+  // The BGP visitor checks the context's token per match, so a cancelled
+  // or expired session stops the store scan itself, not just the shipping
+  // of answers; matches ship in morsels through a BatchEmitter.
+  Status Execute(const fed::SubQuery& subquery,
+                 const fed::WrapperContext& ctx) override;
 
  private:
   std::string id_;

@@ -428,8 +428,7 @@ Result<std::vector<rdf::Binding>> SqlWrapper::FetchAndDecode(
 Status SqlWrapper::ShipRows(
     std::vector<rdf::Binding> rows, const fed::SubQuery& subquery,
     const std::vector<sparql::FilterExprPtr>& residual_filters,
-    net::DelayChannel* channel, BlockingQueue<rdf::Binding>* out,
-    const CancellationToken& token) const {
+    const fed::WrapperContext& ctx) const {
   // Instantiation membership sets (re-checked after decoding; also covers
   // fixed variables that had no SQL column).
   std::map<std::string, std::unordered_set<std::string>> allowed;
@@ -438,8 +437,9 @@ Status SqlWrapper::ShipRows(
     for (const rdf::Term& t : terms) set.insert(t.ToString());
   }
 
+  fed::BatchEmitter emitter(ctx);
   for (rdf::Binding& binding : rows) {
-    if (token.IsCancelled()) break;
+    if (ctx.token.IsCancelled()) break;
     bool valid = true;
     for (const auto& [var, set] : allowed) {
       auto it = binding.find(var);
@@ -458,24 +458,15 @@ Status SqlWrapper::ShipRows(
       }
     }
     if (!pass) continue;
-    LAKEFED_RETURN_NOT_OK(channel->Transfer(token));
-    if (!out->Push(std::move(binding), token)) break;
+    if (!emitter.Emit(std::move(binding))) break;
   }
-  return Status::OK();
+  return emitter.Finish();
 }
 
 Status SqlWrapper::Execute(const fed::SubQuery& subquery,
-                           net::DelayChannel* channel,
-                           BlockingQueue<rdf::Binding>* out) {
-  return Execute(subquery, channel, out, CancellationToken());
-}
-
-Status SqlWrapper::Execute(const fed::SubQuery& subquery,
-                           net::DelayChannel* channel,
-                           BlockingQueue<rdf::Binding>* out,
-                           const CancellationToken& token) {
+                           const fed::WrapperContext& ctx) {
   if (subquery.naive_translation && subquery.stars.size() > 1) {
-    return ExecuteNaiveMerged(subquery, channel, out, token);
+    return ExecuteNaiveMerged(subquery, ctx);
   }
   LAKEFED_ASSIGN_OR_RETURN(Translation tr, Translate(subquery));
   {
@@ -484,14 +475,11 @@ Status SqlWrapper::Execute(const fed::SubQuery& subquery,
   }
   LAKEFED_ASSIGN_OR_RETURN(std::vector<rdf::Binding> rows,
                            FetchAndDecode(tr));
-  return ShipRows(std::move(rows), subquery, tr.residual_filters, channel,
-                  out, token);
+  return ShipRows(std::move(rows), subquery, tr.residual_filters, ctx);
 }
 
 Status SqlWrapper::ExecuteNaiveMerged(const fed::SubQuery& subquery,
-                                      net::DelayChannel* channel,
-                                      BlockingQueue<rdf::Binding>* out,
-                                      const CancellationToken& token) {
+                                      const fed::WrapperContext& ctx) {
   // Emulation of the unoptimized merged translation: one SQL per star, then
   // a naive nested-loop join over the decoded rows. This inflates the
   // execution time at the source exactly the way the paper describes.
@@ -500,7 +488,7 @@ Status SqlWrapper::ExecuteNaiveMerged(const fed::SubQuery& subquery,
   std::string naive_sql;
 
   for (const fed::StarSubQuery& star : subquery.stars) {
-    if (token.IsCancelled()) return Status::OK();
+    if (ctx.token.IsCancelled()) return Status::OK();
     fed::SubQuery single;
     single.source_id = subquery.source_id;
     single.stars.push_back(star);
@@ -580,7 +568,7 @@ Status SqlWrapper::ExecuteNaiveMerged(const fed::SubQuery& subquery,
   for (size_t s = 1; s < per_star.size(); ++s) {
     std::vector<rdf::Binding> next;
     for (const rdf::Binding& left : joined) {
-      if (token.IsCancelled()) return Status::OK();
+      if (ctx.token.IsCancelled()) return Status::OK();
       for (const rdf::Binding& right : per_star[s]) {
         bool compatible = true;
         for (const auto& [var, term] : right) {
@@ -598,8 +586,7 @@ Status SqlWrapper::ExecuteNaiveMerged(const fed::SubQuery& subquery,
     }
     joined = std::move(next);
   }
-  return ShipRows(std::move(joined), subquery, residual_filters, channel,
-                  out, token);
+  return ShipRows(std::move(joined), subquery, residual_filters, ctx);
 }
 
 std::string SqlWrapper::last_sql() const {

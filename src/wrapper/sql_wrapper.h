@@ -43,19 +43,15 @@ class SqlWrapper : public fed::SourceWrapper {
   Status CollectStatistics(const stats::AnalyzeOptions& options,
                            stats::SourceStats* out) const override;
 
-  // Executes the sub-query. Honours SubQuery::naive_translation for merged
-  // multi-star sub-queries: instead of one SQL join, every star is fetched
-  // with its own SQL and joined by a naive nested loop inside the wrapper —
-  // emulating the unoptimized translation the paper reports as Ontario's
-  // limitation.
-  Status Execute(const fed::SubQuery& subquery, net::DelayChannel* channel,
-                 BlockingQueue<rdf::Binding>* out) override;
-
-  // Cancellation-aware execution: polls the token between shipped rows, so
-  // a cancelled or expired session stops the scan without draining it.
-  Status Execute(const fed::SubQuery& subquery, net::DelayChannel* channel,
-                 BlockingQueue<rdf::Binding>* out,
-                 const CancellationToken& token) override;
+  // Executes the sub-query, shipping decoded rows in morsels through the
+  // context's channel and queue (the token is polled between rows, so a
+  // cancelled or expired session stops without draining). Honours
+  // SubQuery::naive_translation for merged multi-star sub-queries: instead
+  // of one SQL join, every star is fetched with its own SQL and joined by
+  // a naive nested loop inside the wrapper — emulating the unoptimized
+  // translation the paper reports as Ontario's limitation.
+  Status Execute(const fed::SubQuery& subquery,
+                 const fed::WrapperContext& ctx) override;
 
   // --- introspection for tests, examples and EXPLAIN ---
 
@@ -94,21 +90,17 @@ class SqlWrapper : public fed::SourceWrapper {
   Result<std::vector<rdf::Binding>> FetchAndDecode(
       const Translation& tr) const;
 
-  // Applies instantiation membership and residual filters, then ships each
-  // surviving row through the channel into `out`. Stops early on
-  // cancellation.
+  // Applies instantiation membership and residual filters, then ships the
+  // surviving rows in morsels through the context's channel and queue.
+  // Stops early on cancellation.
   Status ShipRows(std::vector<rdf::Binding> rows,
                   const fed::SubQuery& subquery,
                   const std::vector<sparql::FilterExprPtr>& residual_filters,
-                  net::DelayChannel* channel,
-                  BlockingQueue<rdf::Binding>* out,
-                  const CancellationToken& token) const;
+                  const fed::WrapperContext& ctx) const;
 
   // The naive merged execution path (see Execute).
   Status ExecuteNaiveMerged(const fed::SubQuery& subquery,
-                            net::DelayChannel* channel,
-                            BlockingQueue<rdf::Binding>* out,
-                            const CancellationToken& token);
+                            const fed::WrapperContext& ctx);
 
   std::string id_;
   const rel::Database* db_;

@@ -343,5 +343,216 @@ TEST(BlockingQueueObserverTest, TokenPushSamplesDepth) {
   EXPECT_EQ(obs->push_waits(), 0);
 }
 
+// ---- Batch transfer (PushBatch / PopBatch) -------------------------------
+
+TEST(BlockingQueueBatchTest, PushBatchPopBatchRoundTrip) {
+  BlockingQueue<int> q(16);
+  std::vector<int> in{1, 2, 3, 4, 5};
+  EXPECT_TRUE(q.PushBatch(&in));
+  EXPECT_TRUE(in.empty());  // consumed either way
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 16), 5u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(BlockingQueueBatchTest, PopBatchRespectsMaxItems) {
+  BlockingQueue<int> q(16);
+  std::vector<int> in{1, 2, 3, 4, 5};
+  ASSERT_TRUE(q.PushBatch(&in));
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 2), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.PopBatch(&out, 2), 2u);
+  EXPECT_EQ(out, (std::vector<int>{3, 4}));
+  EXPECT_EQ(q.PopBatch(&out, 2), 1u);  // delivers what is there, no wait
+  EXPECT_EQ(out, (std::vector<int>{5}));
+}
+
+TEST(BlockingQueueBatchTest, OversizedBatchAdmitsInSegments) {
+  // Batch of 10 through a capacity-3 queue: the producer admits segments
+  // as the consumer makes room; every element arrives exactly once, in
+  // order (row-granular backpressure, batched wake-ups).
+  BlockingQueue<int> q(3);
+  std::vector<int> in{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.PushBatch(&in));
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // blocked: batch exceeds capacity
+  std::vector<int> all, out;
+  while (all.size() < 10) {
+    if (q.PopBatch(&out, 4) == 0) break;
+    all.insert(all.end(), out.begin(), out.end());
+  }
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(all, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(BlockingQueueBatchTest, PushBatchRejectedAfterClose) {
+  BlockingQueue<int> q(8);
+  q.Close();
+  std::vector<int> in{1, 2, 3};
+  EXPECT_FALSE(q.PushBatch(&in));
+  EXPECT_TRUE(in.empty());  // remainder drops with the batch
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BlockingQueueBatchTest, PopBatchDrainsThenExhaustsAfterClose) {
+  BlockingQueue<int> q(8);
+  std::vector<int> in{7, 8};
+  ASSERT_TRUE(q.PushBatch(&in));
+  q.Close();
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 8), 2u);  // close drains remaining items
+  EXPECT_EQ(q.PopBatch(&out, 8), 0u);  // then exhaustion
+}
+
+TEST(BlockingQueueBatchTest, CloseWakesProducerMidBatchWithoutDuplicates) {
+  // Producer blocked mid-batch (2 of 6 admitted) is woken by Close():
+  // PushBatch returns false and the consumer sees exactly the admitted
+  // prefix — nothing torn, nothing duplicated.
+  BlockingQueue<int> q(2);
+  std::vector<int> in{1, 2, 3, 4, 5, 6};
+  std::thread producer([&] { EXPECT_FALSE(q.PushBatch(&in)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  producer.join();
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 8), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.PopBatch(&out, 8), 0u);
+}
+
+TEST(BlockingQueueBatchTest, CancelledPopBatchDoesNotDrain) {
+  auto q = std::make_shared<BlockingQueue<int>>(8);
+  std::vector<int> in{1, 2, 3};
+  ASSERT_TRUE(q->PushBatch(&in));
+  CancellationToken token = CancellationToken::Cancellable();
+  token.Cancel();
+  std::vector<int> out;
+  EXPECT_EQ(q->PopBatch(&out, 8, token), 0u);  // teardown must not drain
+  EXPECT_EQ(q->size(), 3u);
+}
+
+TEST(BlockingQueueBatchTest, CancelMidBatchDropsRemainder) {
+  auto q = std::make_shared<BlockingQueue<int>>(2);
+  CancellationToken token = CancellationToken::Cancellable();
+  token.OnCancel([q] { q->Close(); });
+  std::vector<int> in{1, 2, 3, 4, 5};
+  std::thread producer([&] { EXPECT_FALSE(q->PushBatch(&in, token)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  token.Cancel();
+  producer.join();
+  EXPECT_EQ(q->size(), 2u);  // the admitted prefix only
+}
+
+TEST(BlockingQueueBatchTest, DeadlineWakesBlockedBatchProducerAndConsumer) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  CancellationToken token = CancellationToken::WithDeadline(
+      CancellationToken::Clock::now() + std::chrono::milliseconds(30));
+  std::vector<int> in{2, 3};
+  Stopwatch sw;
+  EXPECT_FALSE(q.PushBatch(&in, token));  // full queue: waits out deadline
+  EXPECT_LT(sw.ElapsedSeconds(), 2.0);
+
+  BlockingQueue<int> empty(1);
+  CancellationToken token2 = CancellationToken::WithDeadline(
+      CancellationToken::Clock::now() + std::chrono::milliseconds(30));
+  std::vector<int> out;
+  Stopwatch sw2;
+  EXPECT_EQ(empty.PopBatch(&out, 4, token2), 0u);
+  EXPECT_LT(sw2.ElapsedSeconds(), 2.0);
+}
+
+TEST(BlockingQueueBatchTest, PushBatchCountsEveryRowInPushCounter) {
+  BlockingQueue<int> q(16);
+  auto counter = std::make_shared<std::atomic<uint64_t>>(0);
+  q.set_push_counter(counter);
+  std::vector<int> in{1, 2, 3, 4};
+  ASSERT_TRUE(q.PushBatch(&in));
+  EXPECT_EQ(counter->load(), 4u);  // rows, not batches
+}
+
+TEST(BlockingQueueBatchObserverTest, UncontendedBatchReportsOneDepthNoWaits) {
+  BlockingQueue<int> q(16);
+  auto obs = std::make_shared<RecordingObserver>();
+  q.set_wait_observer(obs);
+  std::vector<int> in{1, 2, 3, 4, 5};
+  ASSERT_TRUE(q.PushBatch(&in));
+  EXPECT_EQ(obs->push_waits(), 0);    // no contention: no wait reported
+  EXPECT_EQ(obs->depth_samples(), 1); // one occupancy sample per batch push
+  EXPECT_EQ(obs->peak_depth(), 5u);
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 16), 5u);
+  EXPECT_EQ(obs->pop_waits(), 0);
+}
+
+TEST(BlockingQueueBatchObserverTest, SegmentedPushReportsOneAccumulatedWait) {
+  // A batch admitted in several segments (waiting in between) reports ONE
+  // OnPushWait covering the accumulated wait, not one per segment.
+  BlockingQueue<int> q(2);
+  auto obs = std::make_shared<RecordingObserver>();
+  q.set_wait_observer(obs);
+  std::vector<int> in{1, 2, 3, 4, 5, 6};
+  std::thread producer([&] { EXPECT_TRUE(q.PushBatch(&in)); });
+  std::vector<int> all, out;
+  while (all.size() < 6) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    if (q.PopBatch(&out, 2) == 0) break;
+    all.insert(all.end(), out.begin(), out.end());
+  }
+  producer.join();
+  EXPECT_EQ(all.size(), 6u);
+  EXPECT_EQ(obs->push_waits(), 1);
+  EXPECT_GE(obs->push_wait_ms(), 5.0);
+  EXPECT_EQ(obs->depth_samples(), 1);
+}
+
+TEST(BlockingQueueBatchObserverTest, BlockedPopBatchReportsWait) {
+  BlockingQueue<int> q(4);
+  auto obs = std::make_shared<RecordingObserver>();
+  q.set_wait_observer(obs);
+  std::vector<int> out;
+  std::thread consumer([&] { EXPECT_EQ(q.PopBatch(&out, 4), 2u); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::vector<int> in{1, 2};
+  ASSERT_TRUE(q.PushBatch(&in));
+  consumer.join();
+  EXPECT_EQ(obs->pop_waits(), 1);
+  EXPECT_GE(obs->pop_wait_ms(), 5.0);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(BlockingQueueBatchTest, BatchAndRowOpsInterleave) {
+  // Batched and row-at-a-time producers/consumers share one queue: the
+  // element stream stays a plain FIFO regardless of transfer granularity.
+  BlockingQueue<int> q(16);
+  ASSERT_TRUE(q.Push(1));
+  std::vector<int> in{2, 3};
+  ASSERT_TRUE(q.PushBatch(&in));
+  ASSERT_TRUE(q.Push(4));
+  EXPECT_EQ(q.Pop(), 1);
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 2), 2u);
+  EXPECT_EQ(out, (std::vector<int>{2, 3}));
+  EXPECT_EQ(q.Pop(), 4);
+}
+
+TEST(BlockingQueueBatchTest, MoveOnlyBatchPayload) {
+  BlockingQueue<std::unique_ptr<int>> q(8);
+  std::vector<std::unique_ptr<int>> in;
+  in.push_back(std::make_unique<int>(1));
+  in.push_back(std::make_unique<int>(2));
+  ASSERT_TRUE(q.PushBatch(&in));
+  std::vector<std::unique_ptr<int>> out;
+  ASSERT_EQ(q.PopBatch(&out, 8), 2u);
+  EXPECT_EQ(*out[0], 1);
+  EXPECT_EQ(*out[1], 2);
+}
+
 }  // namespace
 }  // namespace lakefed

@@ -36,26 +36,19 @@ class ScriptedWrapper : public SourceWrapper {
     return {molecule};
   }
 
-  Status Execute(const SubQuery& subquery, net::DelayChannel* channel,
-                 BlockingQueue<rdf::Binding>* out) override {
-    return Execute(subquery, channel, out, CancellationToken());
-  }
-
-  Status Execute(const SubQuery& subquery, net::DelayChannel* channel,
-                 BlockingQueue<rdf::Binding>* out,
-                 const CancellationToken& token) override {
+  Status Execute(const SubQuery& subquery, const WrapperContext& ctx) override {
     std::vector<std::string> vars = subquery.Variables();
+    BatchEmitter emitter(ctx);
     for (int i = 0; i < rows_; ++i) {
-      if (token.IsCancelled()) return Status::OK();
+      if (ctx.token.IsCancelled()) return Status::OK();
       rdf::Binding row;
       for (const std::string& var : vars) {
         row[var] = rdf::Term::Literal(id_ + "_" + var + "_" +
                                       std::to_string(i));
       }
-      LAKEFED_RETURN_NOT_OK(channel->Transfer(token));
-      if (!out->Push(std::move(row), token)) return Status::OK();
+      if (!emitter.Emit(std::move(row))) break;
     }
-    return Status::OK();
+    return emitter.Finish();
   }
 
  private:

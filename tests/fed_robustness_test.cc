@@ -40,18 +40,13 @@ class ScriptedWrapper : public SourceWrapper {
     return {molecule};
   }
 
-  Status Execute(const SubQuery& subquery, net::DelayChannel* channel,
-                 BlockingQueue<rdf::Binding>* out) override {
-    return Execute(subquery, channel, out, CancellationToken());
-  }
-
-  Status Execute(const SubQuery& subquery, net::DelayChannel* channel,
-                 BlockingQueue<rdf::Binding>* out,
-                 const CancellationToken& token) override {
+  Status Execute(const SubQuery& subquery, const WrapperContext& ctx) override {
     std::vector<std::string> vars = subquery.Variables();
+    BatchEmitter emitter(ctx);
     for (int i = 0; i < script_.rows; ++i) {
-      if (token.IsCancelled()) return Status::OK();
+      if (ctx.token.IsCancelled()) return Status::OK();
       if (script_.fail_after >= 0 && i >= script_.fail_after) {
+        LAKEFED_RETURN_NOT_OK(emitter.Finish());  // injected faults win
         return Status::IoError("source " + id_ + " lost its connection");
       }
       if (script_.sleep_ms_per_row > 0) {
@@ -63,11 +58,11 @@ class ScriptedWrapper : public SourceWrapper {
         row[var] = rdf::Term::Literal(id_ + "_" + var + "_" +
                                       std::to_string(i % 50));
       }
-      // Token-aware transfer: injected network faults surface here.
-      LAKEFED_RETURN_NOT_OK(channel->Transfer(token));
-      if (!out->Push(std::move(row), token)) return Status::OK();  // cancelled
+      // Emitter routes batches through the delay channel, so injected
+      // network faults surface via Finish(); a false return = cancelled.
+      if (!emitter.Emit(std::move(row))) break;
     }
-    return Status::OK();
+    return emitter.Finish();
   }
 
  private:

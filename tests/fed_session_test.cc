@@ -47,31 +47,24 @@ class PacedWrapper : public SourceWrapper {
     return {molecule};
   }
 
-  Status Execute(const SubQuery& subquery, net::DelayChannel* channel,
-                 BlockingQueue<rdf::Binding>* out) override {
-    return Execute(subquery, channel, out, CancellationToken());
-  }
-
-  Status Execute(const SubQuery& subquery, net::DelayChannel* channel,
-                 BlockingQueue<rdf::Binding>* out,
-                 const CancellationToken& token) override {
+  Status Execute(const SubQuery& subquery, const WrapperContext& ctx) override {
     std::vector<std::string> vars = subquery.Variables();
+    BatchEmitter emitter(ctx);
     for (int i = 0; i < script_.rows; ++i) {
-      if (token.IsCancelled()) return Status::OK();
+      if (ctx.token.IsCancelled()) break;
       if (script_.sleep_ms_per_row > 0 &&
-          token.SleepFor(script_.sleep_ms_per_row)) {
-        return Status::OK();  // woken by cancellation mid-sleep
+          ctx.token.SleepFor(script_.sleep_ms_per_row)) {
+        break;  // woken by cancellation mid-sleep
       }
       rdf::Binding row;
       for (const std::string& var : vars) {
         row[var] = rdf::Term::Literal(id_ + "_" + var + "_" +
                                       std::to_string(i));
       }
-      channel->Transfer(token);
-      if (!out->Push(std::move(row), token)) return Status::OK();
+      if (!emitter.Emit(std::move(row))) break;  // cancelled downstream
       rows_shipped_.fetch_add(1);
     }
-    return Status::OK();
+    return emitter.Finish();
   }
 
   int rows_shipped() const { return rows_shipped_.load(); }
@@ -181,10 +174,15 @@ TEST(FedSessionTest, DeadlineExpiryReturnsDeadlineExceeded) {
   Status st = (*stream)->Finish();
   EXPECT_TRUE(st.IsDeadlineExceeded()) << st;
   EXPECT_LT(sw.ElapsedSeconds(), 5.0);
-  // Partial progress is reported faithfully.
+  // Partial progress is reported faithfully. Every client-delivered row
+  // crossed the network, but a delivered morsel may still be sitting in
+  // the exchange queue when the deadline cancels the consumer, so shipped
+  // messages can exceed delivered rows by less than one batch per source.
   EXPECT_LT(rows, 100000u);
   EXPECT_EQ((*stream)->trace().num_answers(), rows);
-  EXPECT_EQ((*stream)->stats().messages_transferred, rows);
+  EXPECT_GE((*stream)->stats().messages_transferred, rows);
+  EXPECT_LE((*stream)->stats().messages_transferred,
+            rows + PlanOptions{}.batch_size);
 }
 
 TEST(FedSessionTest, DeadlineInterruptsNetworkDelayMidTransfer) {

@@ -89,7 +89,10 @@ TEST(SqlWrapperCancellationTest, StopsOnClosedQueue) {
   net::DelayChannel channel(net::NetworkProfile::NoDelay(), 1);
   BlockingQueue<rdf::Binding> out(2);
   out.Close();
-  EXPECT_TRUE(wrapper.Execute(sq, &channel, &out).ok());
+  fed::WrapperContext ctx;
+  ctx.channel = &channel;
+  ctx.out = &out;
+  EXPECT_TRUE(wrapper.Execute(sq, ctx).ok());
   EXPECT_LE(channel.messages_transferred(), 1u);
 }
 

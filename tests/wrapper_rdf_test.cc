@@ -47,7 +47,10 @@ class RdfWrapperTest : public ::testing::Test {
   std::vector<rdf::Binding> Run(const fed::SubQuery& sq) {
     net::DelayChannel channel(net::NetworkProfile::NoDelay(), 1);
     BlockingQueue<rdf::Binding> out(1 << 20);
-    Status st = wrapper_->Execute(sq, &channel, &out);
+    fed::WrapperContext ctx;
+    ctx.channel = &channel;
+    ctx.out = &out;
+    Status st = wrapper_->Execute(sq, ctx);
     EXPECT_TRUE(st.ok()) << st;
     out.Close();
     std::vector<rdf::Binding> rows;
@@ -96,11 +99,15 @@ TEST_F(RdfWrapperTest, InstantiationsRestrictResults) {
 TEST_F(RdfWrapperTest, TransfersOneMessagePerAnswer) {
   net::DelayChannel channel(net::NetworkProfile::NoDelay(), 1);
   BlockingQueue<rdf::Binding> out(1 << 20);
+  fed::WrapperContext ctx;
+  ctx.channel = &channel;
+  ctx.out = &out;
   ASSERT_TRUE(wrapper_
                   ->Execute(MakeSubQuery(kStar,
                                          fed::FilterPlacement::kSource),
-                            &channel, &out)
+                            ctx)
                   .ok());
+  // Message accounting is per answer row even when rows ship in batches.
   EXPECT_EQ(channel.messages_transferred(), 20u);
 }
 
@@ -124,8 +131,11 @@ TEST_F(RdfWrapperTest, StopsWhenDownstreamCancelled) {
   net::DelayChannel channel(net::NetworkProfile::NoDelay(), 1);
   BlockingQueue<rdf::Binding> out(4);
   out.Close();  // downstream is gone
+  fed::WrapperContext ctx;
+  ctx.channel = &channel;
+  ctx.out = &out;
   Status st = wrapper_->Execute(
-      MakeSubQuery(kStar, fed::FilterPlacement::kSource), &channel, &out);
+      MakeSubQuery(kStar, fed::FilterPlacement::kSource), ctx);
   EXPECT_TRUE(st.ok());
   // At most one message was "transferred" before the push failure.
   EXPECT_LE(channel.messages_transferred(), 1u);

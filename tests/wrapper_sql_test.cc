@@ -51,7 +51,10 @@ class SqlWrapperTest : public ::testing::Test {
   std::vector<rdf::Binding> Run(const fed::SubQuery& sq) {
     net::DelayChannel channel(net::NetworkProfile::NoDelay(), 1);
     BlockingQueue<rdf::Binding> out(1 << 20);
-    Status st = wrapper_->Execute(sq, &channel, &out);
+    fed::WrapperContext ctx;
+    ctx.channel = &channel;
+    ctx.out = &out;
+    Status st = wrapper_->Execute(sq, ctx);
     EXPECT_TRUE(st.ok()) << st;
     out.Close();
     std::vector<rdf::Binding> rows;
