@@ -24,6 +24,11 @@
 //   .retry                show the retry policy; `.retry <attempts>
 //                         [timeout_ms]` arms it, `.retry off` disarms
 //   .failmode failfast|besteffort   unrecoverable-source handling
+//   .pool <n>|off         route queries through the multi-tenant query
+//                         service, operators on an n-worker shared pool
+//                         (off = direct thread-per-operator execution)
+//   .tenants              per-tenant running/queued/completed/quota + service
+//                         admission stats (needs .pool)
 //   .breakers             per-source circuit breaker states
 //   .metrics [json]       engine-wide metrics snapshot (counters, gauges,
 //                         latency histograms with p50/p95/p99), as aligned
@@ -47,14 +52,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "common/string_util.h"
 #include "fed/engine.h"
 #include "obs/trace_export.h"
 #include "lslod/generator.h"
 #include "lslod/queries.h"
+#include "svc/service.h"
 #include "wrapper/sql_wrapper.h"
 
 using namespace lakefed;
@@ -119,7 +127,17 @@ class Shell {
       }
       std::printf("%s\n", plan->Explain().c_str());
     }
-    auto answer = lake_->engine->Execute(query, options_);
+    Result<fed::QueryAnswer> answer = fed::QueryAnswer{};
+    if (service_ != nullptr) {
+      // Pool mode: through the admission-controlled service, operators on
+      // the shared worker pool.
+      svc::ServiceRequest request;
+      request.tenant = tenant_;
+      request.query = fed::QueryRequest::Text(query, options_);
+      answer = service_->Execute(std::move(request));
+    } else {
+      answer = lake_->engine->Execute(query, options_);
+    }
     if (!answer.ok()) {
       std::printf("error: %s\n", answer.status().ToString().c_str());
       return;
@@ -175,6 +193,10 @@ class Shell {
           "  .retry [<attempts> [timeout_ms] | off]   retry with backoff\n"
           "  .failmode failfast|besteffort   drop dead sources vs fail "
           "fast\n"
+          "  .pool <n>|off         run queries through the multi-tenant "
+          "service on an n-worker shared pool\n"
+          "  .tenants              per-tenant running/queued/completed/quota + "
+          "service admission stats\n"
           "  .breakers             circuit breaker states\n"
           "  .metrics [json]       engine-wide metrics (counters, latency "
           "histograms)\n"
@@ -336,6 +358,56 @@ class Shell {
       }
       std::printf("failure mode = %s\n",
                   fed::FailureModeToString(options_.failure_mode).c_str());
+    } else if (cmd == ".pool") {
+      // `.pool <n>` routes executions through the multi-tenant service on
+      // an n-worker shared pool; `.pool off` reverts to the direct
+      // thread-per-operator path; bare `.pool` shows the current state.
+      if (arg == "off" || arg == "0") {
+        service_.reset();
+      } else if (!arg.empty()) {
+        char* end = nullptr;
+        const long n = std::strtol(arg.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || n < 1) {
+          std::printf("usage: .pool <workers>|off\n");
+          return true;
+        }
+        svc::ServiceConfig config;
+        config.scheduler.workers = static_cast<size_t>(n);
+        service_ = std::make_unique<svc::QueryService>(lake_->engine.get(),
+                                                       config);
+      }
+      if (service_ == nullptr) {
+        std::printf("pool = off (thread-per-operator dataflow)\n");
+      } else {
+        std::printf("pool = %zu workers, %zu I/O threads, %zu run slots "
+                    "(tenant '%s')\n",
+                    service_->scheduler()->num_workers(),
+                    service_->scheduler()->num_io_threads(),
+                    service_->run_slots(), tenant_.c_str());
+      }
+    } else if (cmd == ".tenants") {
+      if (service_ == nullptr) {
+        std::printf("no pool (enable with .pool <workers>)\n");
+        return true;
+      }
+      auto tenants = service_->Tenants();
+      if (tenants.empty()) std::printf("no tenant activity yet\n");
+      for (const auto& [tenant, info] : tenants) {
+        std::printf("  %-12s %zu running, %zu queued, %zu completed, "
+                    "quota %s\n",
+                    tenant.c_str(), info.running, info.queued, info.completed,
+                    info.quota == 0 ? "unlimited"
+                                    : std::to_string(info.quota).c_str());
+      }
+      const svc::QueryService::Stats stats = service_->stats();
+      std::printf("service: %llu admitted, %llu shed, %llu expired, "
+                  "%llu degraded, %llu completed, %llu errors\n",
+                  static_cast<unsigned long long>(stats.admitted),
+                  static_cast<unsigned long long>(stats.shed),
+                  static_cast<unsigned long long>(stats.expired),
+                  static_cast<unsigned long long>(stats.degraded),
+                  static_cast<unsigned long long>(stats.completed),
+                  static_cast<unsigned long long>(stats.errors));
     } else if (cmd == ".breakers") {
       auto snapshot = lake_->engine->breakers()->Snapshot();
       if (snapshot.empty()) {
@@ -510,6 +582,9 @@ class Shell {
   fed::PlanOptions options_;
   bool explain_ = false;
   std::string last_stats_;
+  // Pool mode (.pool <n>): executions go through the multi-tenant service.
+  std::unique_ptr<svc::QueryService> service_;
+  std::string tenant_ = "shell";
 };
 
 }  // namespace

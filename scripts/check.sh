@@ -105,6 +105,33 @@ for b in 1 64 1024; do
   fi
 done
 
+echo "== service smoke: bench_service N=100 + JSON schema =="
+# The service bench replays a mixed Q1..Q5 workload through the
+# multi-tenant QueryService on the shared worker pool. The binary itself
+# fails on any wrong/partial/duplicated answer; here we also check the
+# emitted JSON and that the thread count stayed bounded (pool + run slots,
+# not O(sessions x operators)).
+(cd build/bench && \
+ LAKEFED_BENCH_SCALE=0.05 LAKEFED_TIME_SCALE=0.001 \
+ LAKEFED_SERVICE_SESSIONS=100 ./bench_service >/dev/null)
+python3 - <<'EOF'
+import json
+with open("build/bench/BENCH_service.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == "service", doc.get("bench")
+assert len(doc["results"]) == 1, len(doc["results"])
+row = doc["results"][0]
+required = {"sessions", "ok", "shed", "wall_s", "throughput_qps",
+            "p50_ms", "p95_ms", "p99_ms", "threads_peak", "workers",
+            "io_threads", "run_slots"}
+assert required <= row.keys(), required - row.keys()
+assert row["ok"] + row["shed"] == row["sessions"] == 100, row
+bound = row["workers"] + row["io_threads"] + row["run_slots"] + 8
+assert row["threads_peak"] <= bound, (row["threads_peak"], bound)
+print("service JSON ok: 100 sessions, threads peak",
+      row["threads_peak"], "<=", bound)
+EOF
+
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
   echo "== SKIP_TSAN=1: skipping ThreadSanitizer phase =="
   exit 0
@@ -120,5 +147,11 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L robustness
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -R '^Fed'
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
     -R 'BlockingQueueBatch'
+# The shared worker-pool scheduler and the multi-tenant service (svc label:
+# work-stealing, task wakeups, admission control, the >=64-session stress
+# mix) plus the queue listener primitives they are wired to.
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L svc
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'BlockingQueueListener'
 
 echo "== all checks passed =="

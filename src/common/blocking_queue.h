@@ -34,6 +34,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -84,6 +85,27 @@ class BlockingQueue {
     observer_ = std::move(observer);
   }
 
+  // The attached observer (null when none). Cooperative tasks use this to
+  // report the block time their non-blocking Try* calls cannot measure, so
+  // wait attribution is identical across the blocking and task dataflows.
+  QueueWaitObserver* wait_observer() const { return observer_.get(); }
+
+  // Readiness listeners (the cooperative-scheduler hook): a readable
+  // listener fires when the queue transitions empty -> non-empty and when
+  // it closes; a writable listener fires when occupancy drops from full
+  // back below capacity and when it closes. Transitions are detected under
+  // the queue lock but the callbacks run outside it, so a listener may
+  // safely re-enter the queue. Spurious invocations are allowed and
+  // expected — listeners must re-check state, not assume progress. Like
+  // the observer, listeners must be registered before any producer or
+  // consumer starts.
+  void AddReadableListener(std::function<void()> fn) {
+    readable_listeners_.push_back(std::move(fn));
+  }
+  void AddWritableListener(std::function<void()> fn) {
+    writable_listeners_.push_back(std::move(fn));
+  }
+
   // Blocks until there is room. Returns false (and drops the item) if the
   // queue was closed.
   bool Push(T item) {
@@ -104,6 +126,7 @@ class BlockingQueue {
       if (observer_ != nullptr && must_wait) observer_->OnPushWait(wait_ms);
       return false;
     }
+    const bool was_empty = items_.empty();
     items_.push_back(std::move(item));
     const size_t depth = items_.size();
     lock.unlock();
@@ -115,6 +138,7 @@ class BlockingQueue {
       observer_->OnDepth(depth);
     }
     not_empty_.notify_one();
+    if (was_empty) NotifyReadable();
     return true;
   }
 
@@ -136,11 +160,13 @@ class BlockingQueue {
       if (observer_ != nullptr && must_wait) observer_->OnPopWait(wait_ms);
       return std::nullopt;
     }
+    const bool was_full = items_.size() >= capacity_;
     T item = std::move(items_.front());
     items_.pop_front();
     lock.unlock();
     if (observer_ != nullptr && must_wait) observer_->OnPopWait(wait_ms);
     not_full_.notify_one();
+    if (was_full) NotifyWritable();
     return item;
   }
 
@@ -162,6 +188,7 @@ class BlockingQueue {
         return false;
       }
       if (items_.size() < capacity_) {
+        const bool was_empty = items_.empty();
         items_.push_back(std::move(item));
         const size_t depth = items_.size();
         lock.unlock();
@@ -171,6 +198,7 @@ class BlockingQueue {
         ReportPushWait(waited, wait_ms);
         if (observer_ != nullptr) observer_->OnDepth(depth);
         not_empty_.notify_one();
+        if (was_empty) NotifyReadable();
         return true;
       }
       waited = true;
@@ -209,11 +237,13 @@ class BlockingQueue {
       }
       std::unique_lock<std::mutex> lock(mu_);
       if (!items_.empty()) {
+        const bool was_full = items_.size() >= capacity_;
         T item = std::move(items_.front());
         items_.pop_front();
         lock.unlock();
         ReportPopWait(waited, wait_ms);
         not_full_.notify_one();
+        if (was_full) NotifyWritable();
         return item;
       }
       if (closed_) {
@@ -265,6 +295,7 @@ class BlockingQueue {
         break;
       }
       if (items_.size() < capacity_) {
+        const bool was_empty = items_.empty();
         const size_t take = std::min(capacity_ - items_.size(), n - next);
         for (size_t i = 0; i < take; ++i) {
           items_.push_back(std::move((*items)[next + i]));
@@ -280,6 +311,7 @@ class BlockingQueue {
         } else {
           not_empty_.notify_one();
         }
+        if (was_empty) NotifyReadable();
         if (next == n) {
           items->clear();
           ReportPushWait(waited, wait_ms);
@@ -333,6 +365,7 @@ class BlockingQueue {
       }
       std::unique_lock<std::mutex> lock(mu_);
       if (!items_.empty()) {
+        const bool was_full = items_.size() >= capacity_;
         const size_t take = std::min(max_items, items_.size());
         out->reserve(take);
         for (size_t i = 0; i < take; ++i) {
@@ -346,6 +379,7 @@ class BlockingQueue {
         } else {
           not_full_.notify_one();
         }
+        if (was_full) NotifyWritable();
         return take;
       }
       if (closed_) {
@@ -378,22 +412,96 @@ class BlockingQueue {
   std::optional<T> TryPop() {
     std::unique_lock<std::mutex> lock(mu_);
     if (items_.empty()) return std::nullopt;
+    const bool was_full = items_.size() >= capacity_;
     T item = std::move(items_.front());
     items_.pop_front();
     lock.unlock();
     not_full_.notify_one();
+    if (was_full) NotifyWritable();
     return item;
   }
 
+  // Non-blocking batch pop: clears `*out` and moves up to `max_items`
+  // immediately-available elements into it. Returns the count (0 when the
+  // queue is currently empty). `*exhausted`, when non-null, is set to true
+  // iff the queue is closed with nothing left — the caller's signal to
+  // finish rather than wait for a readable event.
+  size_t TryPopBatch(std::vector<T>* out, size_t max_items,
+                     bool* exhausted = nullptr) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty() || max_items == 0) {
+      if (exhausted != nullptr) *exhausted = closed_ && items_.empty();
+      return 0;
+    }
+    if (exhausted != nullptr) *exhausted = false;
+    const bool was_full = items_.size() >= capacity_;
+    const size_t take = std::min(max_items, items_.size());
+    out->reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    if (take > 1) {
+      not_full_.notify_all();
+    } else {
+      not_full_.notify_one();
+    }
+    if (was_full) NotifyWritable();
+    return take;
+  }
+
+  // Non-blocking batch push of (*items)[*pos ..): admits as many elements
+  // as currently fit and advances `*pos` past them — position-based so a
+  // partially shipped batch needs no front erase. Returns false iff the
+  // queue is closed (the caller should drop the remainder); true otherwise,
+  // with `*pos < items->size()` meaning "full for now, retry after a
+  // writable event".
+  bool TryPushBatch(std::vector<T>* items, size_t* pos) {
+    const size_t n = items->size();
+    if (*pos >= n) return true;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return false;
+    if (items_.size() >= capacity_) return true;
+    const bool was_empty = items_.empty();
+    const size_t take = std::min(capacity_ - items_.size(), n - *pos);
+    for (size_t i = 0; i < take; ++i) {
+      items_.push_back(std::move((*items)[*pos + i]));
+    }
+    *pos += take;
+    const size_t depth = items_.size();
+    lock.unlock();
+    if (push_counter_ != nullptr) {
+      push_counter_->fetch_add(take, std::memory_order_relaxed);
+    }
+    if (observer_ != nullptr) observer_->OnDepth(depth);
+    if (take > 1) {
+      not_empty_.notify_all();
+    } else {
+      not_empty_.notify_one();
+    }
+    if (was_empty) NotifyReadable();
+    return true;
+  }
+
   // Marks the queue closed. Producers are rejected from now on; consumers
-  // drain what is left.
+  // drain what is left. Readiness listeners fire on the first close: a
+  // closed queue is both "readable" (pops now terminate) and "writable"
+  // (pushes now fail fast) for a cooperative task.
   void Close() {
+    bool was_closed;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      was_closed = closed_;
       closed_ = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
+    if (!was_closed) {
+      NotifyReadable();
+      NotifyWritable();
+    }
   }
 
   bool closed() const {
@@ -423,6 +531,16 @@ class BlockingQueue {
     if (waited && observer_ != nullptr) observer_->OnPopWait(wait_ms);
   }
 
+  // Listener firing, always outside the queue lock. The vectors are frozen
+  // before any producer/consumer starts (same contract as the observer), so
+  // iterating without the lock is race-free.
+  void NotifyReadable() {
+    for (const std::function<void()>& fn : readable_listeners_) fn();
+  }
+  void NotifyWritable() {
+    for (const std::function<void()>& fn : writable_listeners_) fn();
+  }
+
   // One bounded wait: until the predicate holds, the token's deadline
   // passes, or (via the OnCancel queue-closing callback) a cancellation
   // closes the queue. Returns true when the predicate held at wake-up;
@@ -450,6 +568,8 @@ class BlockingQueue {
   bool closed_ = false;
   std::shared_ptr<std::atomic<uint64_t>> push_counter_;
   std::shared_ptr<QueueWaitObserver> observer_;
+  std::vector<std::function<void()>> readable_listeners_;
+  std::vector<std::function<void()>> writable_listeners_;
 };
 
 }  // namespace lakefed

@@ -17,6 +17,7 @@ std::string StatusCodeToString(StatusCode code) {
     case StatusCode::kTypeError: return "Type error";
     case StatusCode::kIoError: return "IO error";
     case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kResourceExhausted: return "Resource exhausted";
   }
   return "Unknown";
 }

@@ -32,6 +32,10 @@ enum class StatusCode {
   // may succeed if retried. The retry layer treats kUnavailable, kIoError
   // and kDeadlineExceeded (per-attempt timeouts) as transient.
   kUnavailable,
+  // The system is over capacity and deliberately shed the request (admission
+  // control, quota exhaustion). Unlike kUnavailable this is a load-control
+  // decision, not a failure: the caller should back off, not fail over.
+  kResourceExhausted,
 };
 
 // Human-readable name of a StatusCode, e.g. "Invalid argument".
@@ -86,6 +90,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -105,6 +112,9 @@ class Status {
   bool IsTypeError() const { return code() == StatusCode::kTypeError; }
   bool IsIoError() const { return code() == StatusCode::kIoError; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   // True for errors that may succeed if the operation is retried: transient
   // source/network failures (kUnavailable, kIoError) and per-attempt

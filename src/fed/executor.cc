@@ -1,8 +1,11 @@
 #include "fed/executor.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdio>
+#include <functional>
 #include <iterator>
 #include <cstring>
 #include <memory>
@@ -19,6 +22,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "stats/stats_catalog.h"
+#include "svc/scheduler.h"
 
 namespace lakefed::fed {
 namespace {
@@ -201,6 +205,560 @@ class WallTimer {
   Stopwatch watch_;
 };
 
+// ======================================================================
+// Cooperative task dataflow (engaged by PlanOptions::scheduler).
+//
+// Every operator below has two equivalent implementations: the historic
+// thread body (StartXxx) and a resumable task (StartXxxTasks) that runs on
+// the shared svc::Scheduler worker pool. A task's Step() does a bounded
+// slice of work — pop up to a few input morsels, compute, push — and parks
+// on BlockingQueue readiness events instead of blocking a thread. Leaf
+// wrapper calls and dependent-join probes, which sleep on the simulated
+// network, run as one-shot jobs on the scheduler's auxiliary I/O pool.
+// The answer multiset is identical on both substrates; only "who blocks"
+// changes.
+
+// Tag-merged join input (side 0 = left, 1 = right) for the task dataflow;
+// the thread dataflow keeps its local equivalent.
+struct TaggedRow {
+  int side;
+  rdf::Binding row;
+};
+
+// Counts an execution's outstanding tasks and I/O jobs so Finish() can
+// wait for all of them — the task-mode analogue of joining the operator
+// threads.
+class TaskGroup {
+ public:
+  void Add() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--outstanding_ == 0) cv_.notify_all();
+  }
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t outstanding_ = 0;
+};
+
+// Never-blocking counterpart of BatchWriter: output rows accumulate in an
+// overflow buffer and move into the queue opportunistically, so a task can
+// always finish its Step and report kBlocked instead of stalling a worker
+// on a full queue. Position-based (TryPushBatch) so a partially shipped
+// buffer costs no erases.
+template <typename T>
+class TaskWriter {
+ public:
+  enum class State {
+    kOk,      // buffer fully shipped
+    kFull,    // downstream full — retry after a writable event
+    kClosed,  // downstream gone — the producer must stop
+  };
+
+  TaskWriter(BlockingQueue<T>* out, size_t batch_size)
+      : out_(out), cap_(std::max<size_t>(1, batch_size)) {}
+
+  // Appends one output row, shipping eagerly at morsel granularity. Rows
+  // added after the downstream closed are dropped (same contract as
+  // BatchWriter::Add returning false).
+  void Add(T row) {
+    if (closed_) return;
+    buffer_.push_back(std::move(row));
+    if (buffer_.size() - pos_ >= cap_) TryFlush();
+  }
+
+  State TryFlush() {
+    if (closed_) return State::kClosed;
+    if (pos_ >= buffer_.size()) {
+      Reset();
+      return State::kOk;
+    }
+    if (!out_->TryPushBatch(&buffer_, &pos_)) {
+      closed_ = true;
+      Reset();
+      return State::kClosed;
+    }
+    if (pos_ >= buffer_.size()) {
+      Reset();
+      return State::kOk;
+    }
+    return State::kFull;
+  }
+
+ private:
+  void Reset() {
+    buffer_.clear();
+    pos_ = 0;
+  }
+
+  BlockingQueue<T>* out_;
+  const size_t cap_;
+  std::vector<T> buffer_;
+  size_t pos_ = 0;    // buffer elements [0, pos_) are already in the queue
+  bool closed_ = false;
+};
+
+// Input morsels consumed per Step before yielding: large enough to amortize
+// the scheduling overhead, small enough to keep many concurrent queries
+// interleaving fairly on a few workers.
+constexpr int kTaskSlicesPerStep = 4;
+
+// What a parked task is waiting for; determines how the park->resume time
+// is attributed when it wakes (pop wait on its input, push wait on its
+// output, or nothing for I/O — network time is measured by DelayChannel).
+enum class BlockOn { kNone, kInput, kOutput, kIo };
+
+// Base of every operator task: owns the operator span and the wall clock
+// (construction -> completion — the task analogue of the operator thread's
+// lifetime), counts itself in the execution's TaskGroup, and reports block
+// durations to the waited-on queue's observer so EXPLAIN ANALYZE wait
+// attribution is identical across both dataflows.
+class OpTaskBase : public svc::Task {
+ public:
+  OpTaskBase(std::shared_ptr<TaskGroup> group,
+             std::shared_ptr<OpRuntimeRec> wall_rec, obs::Span span)
+      : group_(std::move(group)),
+        wall_rec_(std::move(wall_rec)),
+        span_(std::move(span)) {
+    group_->Add();
+  }
+
+  svc::TaskResult Step() final {
+    if (blocked_on_ != BlockOn::kNone) AttributeBlock();
+    svc::TaskResult r = RunStep();
+    if (r == svc::TaskResult::kDone && !completed_) {
+      completed_ = true;
+      if (wall_rec_ != nullptr) wall_rec_->RecordWall(wall_.ElapsedMillis());
+      span_.End();
+      group_->Done();
+    }
+    return r;
+  }
+
+ protected:
+  virtual svc::TaskResult RunStep() = 0;
+
+  // Parks the task. `obs` is the waited-on queue's observer (null = no
+  // metrics, or an I/O wait): it receives the park->resume duration on the
+  // next Step, including waits ended by close/cancel — the same accounting
+  // the blocking queue applies to its terminal waits.
+  svc::TaskResult Block(BlockOn on, QueueWaitObserver* obs) {
+    blocked_on_ = on;
+    block_obs_ = obs;
+    if (obs != nullptr) block_watch_.Restart();
+    return svc::TaskResult::kBlocked;
+  }
+
+ private:
+  void AttributeBlock() {
+    if (block_obs_ != nullptr) {
+      const double ms = block_watch_.ElapsedMillis();
+      if (blocked_on_ == BlockOn::kInput) {
+        block_obs_->OnPopWait(ms);
+      } else if (blocked_on_ == BlockOn::kOutput) {
+        block_obs_->OnPushWait(ms);
+      }
+    }
+    blocked_on_ = BlockOn::kNone;
+    block_obs_ = nullptr;
+  }
+
+  std::shared_ptr<TaskGroup> group_;
+  std::shared_ptr<OpRuntimeRec> wall_rec_;
+  obs::Span span_;
+  Stopwatch wall_;
+  Stopwatch block_watch_;
+  BlockOn blocked_on_ = BlockOn::kNone;
+  QueueWaitObserver* block_obs_ = nullptr;
+  bool completed_ = false;
+};
+
+// Generic streaming operator task: pop a morsel, fold it into the output
+// writer, repeat. Covers every one-input operator (filter, project,
+// distinct, limit, order-by, union arms, the join's forward legs and the
+// join itself) through three hooks.
+template <typename In, typename Out>
+class RelayTask final : public OpTaskBase {
+ public:
+  using Writer = TaskWriter<Out>;
+  // Folds one popped input morsel into the writer. Returning false stops
+  // consuming input early (LIMIT satisfied) — treated like exhaustion.
+  using ProcessFn = std::function<bool(std::vector<In>&&, Writer*)>;
+  // Runs once when the input is exhausted, before the final flush
+  // (ORDER BY emits its sorted buffer here). May be null.
+  using FinalizeFn = std::function<void(Writer*)>;
+  // Runs exactly once at completion: close inputs/outputs, decrement arm
+  // countdowns. May be null.
+  using DoneFn = std::function<void()>;
+
+  RelayTask(std::shared_ptr<TaskGroup> group,
+            std::shared_ptr<OpRuntimeRec> wall_rec, obs::Span span,
+            std::shared_ptr<BlockingQueue<In>> in,
+            std::shared_ptr<BlockingQueue<Out>> out, size_t batch,
+            CancellationToken token, ProcessFn process, FinalizeFn finalize,
+            DoneFn done)
+      : OpTaskBase(std::move(group), std::move(wall_rec), std::move(span)),
+        in_(std::move(in)),
+        out_(std::move(out)),
+        writer_(out_.get(), batch),
+        batch_(batch),
+        token_(std::move(token)),
+        process_(std::move(process)),
+        finalize_(std::move(finalize)),
+        done_(std::move(done)) {}
+
+ protected:
+  svc::TaskResult RunStep() override {
+    switch (writer_.TryFlush()) {
+      case WriterState::kClosed: return Complete();
+      case WriterState::kFull:
+        return Block(BlockOn::kOutput, out_->wait_observer());
+      case WriterState::kOk: break;
+    }
+    if (draining_) return Complete();
+    for (int slice = 0; slice < kTaskSlicesPerStep; ++slice) {
+      // A cancelled pop must not drain residual rows — mirror the
+      // token-aware PopBatch, which returns 0 the moment the token fires.
+      if (token_.IsCancelled()) return Complete();
+      bool exhausted = false;
+      const size_t n = in_->TryPopBatch(&in_batch_, batch_, &exhausted);
+      bool stop = false;
+      if (n == 0) {
+        if (!exhausted) return Block(BlockOn::kInput, in_->wait_observer());
+        stop = true;
+      } else {
+        stop = !process_(std::move(in_batch_), &writer_);
+      }
+      if (stop) {
+        if (finalize_ != nullptr) finalize_(&writer_);
+        draining_ = true;
+        switch (writer_.TryFlush()) {
+          case WriterState::kFull:
+            return Block(BlockOn::kOutput, out_->wait_observer());
+          default: return Complete();
+        }
+      }
+      switch (writer_.TryFlush()) {
+        case WriterState::kClosed: return Complete();
+        case WriterState::kFull:
+          return Block(BlockOn::kOutput, out_->wait_observer());
+        case WriterState::kOk: break;
+      }
+    }
+    return svc::TaskResult::kYield;
+  }
+
+ private:
+  using WriterState = typename TaskWriter<Out>::State;
+
+  svc::TaskResult Complete() {
+    if (done_ != nullptr) {
+      done_();
+      done_ = nullptr;
+    }
+    return svc::TaskResult::kDone;
+  }
+
+  std::shared_ptr<BlockingQueue<In>> in_;
+  std::shared_ptr<BlockingQueue<Out>> out_;
+  TaskWriter<Out> writer_;
+  const size_t batch_;
+  CancellationToken token_;
+  ProcessFn process_;
+  FinalizeFn finalize_;
+  DoneFn done_;
+  std::vector<In> in_batch_;
+  bool draining_ = false;  // input done; only the writer remainder is left
+};
+
+// OPTIONAL as a task: phase one materializes the right (optional) side into
+// a hash table, phase two streams the left side through it. Readable events
+// from either input wake the task; the phase decides which queue it reads.
+class LeftJoinTask final : public OpTaskBase {
+ public:
+  LeftJoinTask(std::shared_ptr<TaskGroup> group,
+               std::shared_ptr<OpRuntimeRec> wall_rec, obs::Span span,
+               RowQueuePtr left, RowQueuePtr right, RowQueuePtr out,
+               size_t batch, CancellationToken token,
+               std::vector<std::string> join_vars, std::function<void()> done)
+      : OpTaskBase(std::move(group), std::move(wall_rec), std::move(span)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        out_(std::move(out)),
+        writer_(out_.get(), batch),
+        batch_(batch),
+        token_(std::move(token)),
+        join_vars_(std::move(join_vars)),
+        done_(std::move(done)) {}
+
+ protected:
+  svc::TaskResult RunStep() override {
+    switch (writer_.TryFlush()) {
+      case WriterState::kClosed: return Complete();
+      case WriterState::kFull:
+        return Block(BlockOn::kOutput, out_->wait_observer());
+      case WriterState::kOk: break;
+    }
+    if (draining_) return Complete();
+    for (int slice = 0; slice < kTaskSlicesPerStep; ++slice) {
+      if (token_.IsCancelled()) return Complete();
+      if (building_) {
+        bool exhausted = false;
+        if (right_->TryPopBatch(&in_batch_, batch_, &exhausted) == 0) {
+          if (!exhausted) {
+            return Block(BlockOn::kInput, right_->wait_observer());
+          }
+          building_ = false;
+          continue;
+        }
+        for (rdf::Binding& row : in_batch_) {
+          if (!HasAllVars(row, join_vars_)) continue;
+          table_[JoinKey(row, join_vars_)].push_back(std::move(row));
+        }
+        continue;
+      }
+      bool exhausted = false;
+      if (left_->TryPopBatch(&in_batch_, batch_, &exhausted) == 0) {
+        if (!exhausted) return Block(BlockOn::kInput, left_->wait_observer());
+        draining_ = true;
+        switch (writer_.TryFlush()) {
+          case WriterState::kFull:
+            return Block(BlockOn::kOutput, out_->wait_observer());
+          default: return Complete();
+        }
+      }
+      for (rdf::Binding& row : in_batch_) {
+        auto it = HasAllVars(row, join_vars_)
+                      ? table_.find(JoinKey(row, join_vars_))
+                      : table_.end();
+        if (it == table_.end() || it->second.empty()) {
+          // No extension: keep the left row (left-outer semantics).
+          writer_.Add(std::move(row));
+          continue;
+        }
+        for (const rdf::Binding& extension : it->second) {
+          writer_.Add(MergeBindings(row, extension));
+        }
+      }
+      switch (writer_.TryFlush()) {
+        case WriterState::kClosed: return Complete();
+        case WriterState::kFull:
+          return Block(BlockOn::kOutput, out_->wait_observer());
+        case WriterState::kOk: break;
+      }
+    }
+    return svc::TaskResult::kYield;
+  }
+
+ private:
+  using WriterState = TaskWriter<rdf::Binding>::State;
+
+  svc::TaskResult Complete() {
+    if (done_ != nullptr) {
+      done_();
+      done_ = nullptr;
+    }
+    return svc::TaskResult::kDone;
+  }
+
+  RowQueuePtr left_;
+  RowQueuePtr right_;
+  RowQueuePtr out_;
+  TaskWriter<rdf::Binding> writer_;
+  const size_t batch_;
+  CancellationToken token_;
+  const std::vector<std::string> join_vars_;
+  std::function<void()> done_;
+  std::unordered_map<std::string, std::vector<rdf::Binding>> table_;
+  std::vector<rdf::Binding> in_batch_;
+  bool building_ = true;   // phase one: materializing the right side
+  bool draining_ = false;  // all input consumed; writer remainder only
+};
+
+// Result cell of one dependent-join probe round trip, filled by an I/O-pool
+// job while the task is parked on BlockOn::kIo. `ready` is the release
+// fence between the job's writes and the task's reads.
+struct ProbeResult {
+  std::vector<rdf::Binding> rows;
+  bool failed = false;
+  std::atomic<bool> ready{false};
+};
+
+// Dependent (bind) join as a task: accumulates left rows into a probe
+// window, hands the bound sub-query to the I/O pool, parks, and joins the
+// probe window against the result when woken. The window ramp and probe
+// partitioning replicate the thread implementation exactly, so even the
+// answer order is preserved per probe.
+class DependentJoinTask final : public OpTaskBase {
+ public:
+  using ProbeFn =
+      std::function<void(SubQuery, std::shared_ptr<ProbeResult>)>;
+
+  DependentJoinTask(std::shared_ptr<TaskGroup> group,
+                    std::shared_ptr<OpRuntimeRec> wall_rec, obs::Span span,
+                    RowQueuePtr left, RowQueuePtr out, size_t batch,
+                    CancellationToken token,
+                    std::vector<std::string> join_vars, SubQuery subquery,
+                    std::function<void()> done)
+      : OpTaskBase(std::move(group), std::move(wall_rec), std::move(span)),
+        left_(std::move(left)),
+        out_(std::move(out)),
+        writer_(out_.get(), batch),
+        batch_(batch),
+        max_window_(std::max(batch, kDependentJoinBatch)),
+        token_(std::move(token)),
+        join_vars_(std::move(join_vars)),
+        bind_var_(join_vars_.front()),
+        subquery_(std::move(subquery)),
+        done_(std::move(done)) {}
+
+  // Installed after registration: the submit closure wakes the task through
+  // its TaskRef, which does not exist at construction time.
+  void set_probe_fn(ProbeFn fn) { probe_fn_ = std::move(fn); }
+
+ protected:
+  svc::TaskResult RunStep() override {
+    switch (writer_.TryFlush()) {
+      case WriterState::kClosed: return Complete();
+      case WriterState::kFull:
+        return Block(BlockOn::kOutput, out_->wait_observer());
+      case WriterState::kOk: break;
+    }
+    if (draining_) return Complete();
+    for (int slice = 0; slice < kTaskSlicesPerStep; ++slice) {
+      if (awaiting_) {
+        if (!result_->ready.load(std::memory_order_acquire)) {
+          return Block(BlockOn::kIo, nullptr);  // spurious wake
+        }
+        awaiting_ = false;
+        if (result_->failed) return Complete();  // error already recorded
+        JoinProbe();
+        result_.reset();
+        if (final_probe_) {
+          draining_ = true;
+          switch (writer_.TryFlush()) {
+            case WriterState::kFull:
+              return Block(BlockOn::kOutput, out_->wait_observer());
+            default: return Complete();
+          }
+        }
+        switch (writer_.TryFlush()) {
+          case WriterState::kClosed: return Complete();
+          case WriterState::kFull:
+            return Block(BlockOn::kOutput, out_->wait_observer());
+          case WriterState::kOk: break;
+        }
+        continue;
+      }
+      if (token_.IsCancelled()) return Complete();
+      if (in_pos_ >= in_rows_.size()) {
+        in_rows_.clear();
+        in_pos_ = 0;
+        bool exhausted = false;
+        if (left_->TryPopBatch(&in_rows_, batch_, &exhausted) == 0) {
+          if (!exhausted) {
+            return Block(BlockOn::kInput, left_->wait_observer());
+          }
+          if (probe_.empty()) {
+            draining_ = true;
+            switch (writer_.TryFlush()) {
+              case WriterState::kFull:
+                return Block(BlockOn::kOutput, out_->wait_observer());
+              default: return Complete();
+            }
+          }
+          final_probe_ = true;
+          return LaunchProbe();
+        }
+      }
+      // Fill the probe window row by row, exactly like the thread loop, so
+      // probe partitions (and thus per-probe output order) are identical.
+      while (in_pos_ < in_rows_.size() && probe_.size() < window_) {
+        probe_.push_back(std::move(in_rows_[in_pos_++]));
+      }
+      if (probe_.size() >= window_) return LaunchProbe();
+    }
+    return svc::TaskResult::kYield;
+  }
+
+ private:
+  using WriterState = TaskWriter<rdf::Binding>::State;
+
+  svc::TaskResult LaunchProbe() {
+    // Distinct instantiation terms for the bound variable.
+    std::vector<rdf::Term> terms;
+    std::unordered_set<std::string> seen;
+    for (const rdf::Binding& row : probe_) {
+      auto it = row.find(bind_var_);
+      if (it == row.end()) continue;
+      if (seen.insert(it->second.ToString()).second) {
+        terms.push_back(it->second);
+      }
+    }
+    SubQuery bound = subquery_;
+    bound.instantiations[bind_var_] = std::move(terms);
+    result_ = std::make_shared<ProbeResult>();
+    awaiting_ = true;
+    probe_fn_(std::move(bound), result_);
+    return Block(BlockOn::kIo, nullptr);
+  }
+
+  void JoinProbe() {
+    std::unordered_map<std::string, std::vector<rdf::Binding>> right;
+    for (rdf::Binding& row : result_->rows) {
+      if (!HasAllVars(row, join_vars_)) continue;
+      right[JoinKey(row, join_vars_)].push_back(std::move(row));
+    }
+    for (const rdf::Binding& lrow : probe_) {
+      if (!HasAllVars(lrow, join_vars_)) continue;
+      auto it = right.find(JoinKey(lrow, join_vars_));
+      if (it == right.end()) continue;
+      for (const rdf::Binding& rrow : it->second) {
+        writer_.Add(MergeBindings(lrow, rrow));
+      }
+    }
+    probe_.clear();
+    window_ = std::min(window_ * 2, max_window_);
+  }
+
+  svc::TaskResult Complete() {
+    probe_fn_ = nullptr;  // breaks the TaskRef cycle through the closure
+    if (done_ != nullptr) {
+      done_();
+      done_ = nullptr;
+    }
+    return svc::TaskResult::kDone;
+  }
+
+  RowQueuePtr left_;
+  RowQueuePtr out_;
+  TaskWriter<rdf::Binding> writer_;
+  const size_t batch_;
+  size_t window_ = kDependentJoinBatch;
+  const size_t max_window_;
+  CancellationToken token_;
+  const std::vector<std::string> join_vars_;
+  const std::string bind_var_;
+  const SubQuery subquery_;
+  std::function<void()> done_;
+  ProbeFn probe_fn_;
+  std::vector<rdf::Binding> probe_;
+  std::vector<rdf::Binding> in_rows_;
+  size_t in_pos_ = 0;
+  std::shared_ptr<ProbeResult> result_;
+  bool awaiting_ = false;     // a probe is in flight on the I/O pool
+  bool final_probe_ = false;  // input exhausted; this probe is the last
+  bool draining_ = false;
+};
+
 }  // namespace
 
 // Builds the thread/queue dataflow of one plan instance and exposes its
@@ -230,6 +788,8 @@ class PlanExecution::Impl {
                 ? options_.metrics
                 : &local_metrics_;
     if (options_.collect_metrics) spans_ = options_.spans;
+    sched_ = options_.scheduler;
+    if (sched_ != nullptr) task_group_ = std::make_shared<TaskGroup>();
   }
 
   ~Impl() { Finish(); }
@@ -237,7 +797,13 @@ class PlanExecution::Impl {
   void Start(const FederatedPlan& plan) {
     exec_span_ = obs::Span(spans_, "execute", options_.parent_span);
     exec_span_id_ = exec_span_.id();
-    root_ = StartNode(*plan.root);
+    root_ = sched_ != nullptr ? StartNodeTasks(*plan.root)
+                              : StartNode(*plan.root);
+    // Task mode defers every kick-off (initial wakes, leaf I/O submissions)
+    // until the whole tree is wired: queue readiness listeners must be
+    // frozen before the first producer can push.
+    for (const std::function<void()>& start : deferred_starts_) start();
+    deferred_starts_.clear();
   }
 
   bool NextBatch(RowBatch* batch) {
@@ -274,6 +840,10 @@ class PlanExecution::Impl {
     CloseAllQueues();
     for (std::thread& t : threads_) t.join();
     threads_.clear();
+    // Task mode: closing the queues woke every parked task; wait until all
+    // tasks and I/O jobs of this execution ran to completion (the analogue
+    // of joining the operator threads above).
+    if (task_group_ != nullptr) task_group_->WaitIdle();
     {
       std::lock_guard<std::mutex> lock(mu_);
       final_status_ = error_.ok() ? token_.ToStatus() : error_;
@@ -1149,6 +1719,442 @@ class PlanExecution::Impl {
     return out;
   }
 
+  // --- cooperative task dataflow (options_.scheduler != nullptr) --------
+  // One StartXxxTasks per StartXxx, building the same queue topology but
+  // registering scheduler tasks instead of spawning threads. Blocking leaf
+  // legs become I/O-pool jobs with unchanged bodies.
+
+  // Registers `task` and defers its initial wake to the end of Start().
+  svc::Scheduler::TaskRef AddTask(std::unique_ptr<svc::Task> task) {
+    svc::Scheduler::TaskRef ref = sched_->Register(std::move(task));
+    svc::Scheduler* sched = sched_;
+    deferred_starts_.push_back([sched, ref] { sched->Wake(ref); });
+    return ref;
+  }
+
+  template <typename Q>
+  void WakeOnReadable(const std::shared_ptr<Q>& queue,
+                      const svc::Scheduler::TaskRef& ref) {
+    svc::Scheduler* sched = sched_;
+    queue->AddReadableListener([sched, ref] { sched->Wake(ref); });
+  }
+
+  template <typename Q>
+  void WakeOnWritable(const std::shared_ptr<Q>& queue,
+                      const svc::Scheduler::TaskRef& ref) {
+    svc::Scheduler* sched = sched_;
+    queue->AddWritableListener([sched, ref] { sched->Wake(ref); });
+  }
+
+  // Defers a one-shot blocking job to the scheduler's I/O pool, tracked by
+  // the execution's task group so Finish() waits for it.
+  void SubmitIoJob(std::function<void()> job) {
+    task_group_->Add();
+    std::shared_ptr<TaskGroup> group = task_group_;
+    svc::Scheduler* sched = sched_;
+    deferred_starts_.push_back([sched, group, job = std::move(job)] {
+      sched->SubmitIo([group, job] {
+        job();
+        group->Done();
+      });
+    });
+  }
+
+  RowQueuePtr StartNodeTasks(const FedPlanNode& node) {
+    switch (node.kind) {
+      case FedPlanNode::Kind::kService: return StartServiceTasks(node);
+      case FedPlanNode::Kind::kJoin: return StartJoinTasks(node);
+      case FedPlanNode::Kind::kLeftJoin: return StartLeftJoinTasks(node);
+      case FedPlanNode::Kind::kDependentJoin:
+        return StartDependentJoinTasks(node);
+      case FedPlanNode::Kind::kUnion: return StartUnionTasks(node);
+      case FedPlanNode::Kind::kFilter: return StartFilterTasks(node);
+      case FedPlanNode::Kind::kProject: return StartProjectTasks(node);
+      case FedPlanNode::Kind::kOrderBy: return StartOrderByTasks(node);
+      case FedPlanNode::Kind::kDistinct: return StartDistinctTasks(node);
+      case FedPlanNode::Kind::kLimit: return StartLimitTasks(node);
+    }
+    auto q = std::make_shared<RowQueue>(kQueueCapacity);
+    q->Close();
+    return q;
+  }
+
+  // Leaves keep their exact thread bodies (including the recovery ladder)
+  // but run them as I/O-pool jobs: a wrapper call sleeps on the simulated
+  // network and may block pushing into a full queue, neither of which a
+  // compute worker should sit out.
+  RowQueuePtr StartServiceTasks(const FedPlanNode& node) {
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
+    if (FaultTolerant()) {
+      SubQuery subquery = node.subquery;
+      std::vector<std::string> alternates = node.failover_sources;
+      CancellationToken token = token_;
+      SubmitIoJob([this, subquery, alternates, out, rec, token] {
+        obs::Span op(spans_, "service:" + subquery.source_id, exec_span_id_);
+        WallTimer wall(rec);
+        Status st = ExecuteLeafWithRecovery(subquery, alternates, out.get(),
+                                            token, op.id());
+        if (!st.ok()) HandleLeafFailure(st, token);
+        out->Close();
+      });
+      return out;
+    }
+    auto wrapper = WrapperFor(node.subquery.source_id);
+    if (!wrapper.ok()) {
+      RecordError(wrapper.status());
+      out->Close();
+      return out;
+    }
+    SourceWrapper* w = *wrapper;
+    net::DelayChannel* channel = ChannelFor(node.subquery.source_id);
+    SubQuery subquery = node.subquery;
+    CancellationToken token = token_;
+    SubmitIoJob([this, w, channel, subquery, out, rec, token] {
+      obs::Span op(spans_, "service:" + subquery.source_id, exec_span_id_);
+      WallTimer wall(rec);
+      Status st = WrapperCall(w, subquery, channel, out.get(), token, op.id());
+      if (!st.ok()) RecordError(st);
+      out->Close();
+    });
+    return out;
+  }
+
+  RowQueuePtr StartJoinTasks(const FedPlanNode& node) {
+    RowQueuePtr left = StartNodeTasks(*node.children[0]);
+    RowQueuePtr right = StartNodeTasks(*node.children[1]);
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
+    auto merged = std::make_shared<BlockingQueue<TaggedRow>>(kQueueCapacity);
+    RegisterQueue(merged);
+    auto active = std::make_shared<std::atomic<int>>(2);
+    CancellationToken token = token_;
+    const size_t batch = batch_;
+    for (int side = 0; side < 2; ++side) {
+      RowQueuePtr in = side == 0 ? left : right;
+      auto forward = std::make_unique<RelayTask<rdf::Binding, TaggedRow>>(
+          task_group_, nullptr, obs::Span(), in, merged, batch, token,
+          [side](std::vector<rdf::Binding>&& rows,
+                 TaskWriter<TaggedRow>* w) {
+            for (rdf::Binding& row : rows) {
+              w->Add(TaggedRow{side, std::move(row)});
+            }
+            return true;
+          },
+          nullptr,
+          [in, merged, active] {
+            in->Close();
+            if (active->fetch_sub(1) == 1) merged->Close();
+          });
+      svc::Scheduler::TaskRef ref = AddTask(std::move(forward));
+      WakeOnReadable(in, ref);
+      WakeOnWritable(merged, ref);
+    }
+    std::vector<std::string> join_vars = node.join_vars;
+    // The symmetric hash tables live inside the (mutable) process closure:
+    // Step() is never re-entered, so they need no synchronization.
+    auto join_process =
+        [join_vars,
+         table = std::array<
+             std::unordered_map<std::string, std::vector<rdf::Binding>>, 2>{}](
+            std::vector<TaggedRow>&& in_batch,
+            TaskWriter<rdf::Binding>* w) mutable {
+          for (TaggedRow& item : in_batch) {
+            const int side = item.side;
+            const rdf::Binding& row = item.row;
+            if (!HasAllVars(row, join_vars)) continue;
+            std::string key = JoinKey(row, join_vars);
+            table[side][key].push_back(row);
+            auto it = table[1 - side].find(key);
+            if (it == table[1 - side].end()) continue;
+            for (const rdf::Binding& other : it->second) {
+              w->Add(side == 0 ? MergeBindings(row, other)
+                               : MergeBindings(other, row));
+            }
+          }
+          return true;
+        };
+    auto join = std::make_unique<RelayTask<TaggedRow, rdf::Binding>>(
+        task_group_, rec, obs::Span(spans_, "join", exec_span_id_), merged,
+        out, batch, token, std::move(join_process), nullptr,
+        [merged, left, right, out] {
+          merged->Close();
+          left->Close();
+          right->Close();
+          out->Close();
+        });
+    svc::Scheduler::TaskRef ref = AddTask(std::move(join));
+    WakeOnReadable(merged, ref);
+    WakeOnWritable(out, ref);
+    return out;
+  }
+
+  RowQueuePtr StartLeftJoinTasks(const FedPlanNode& node) {
+    RowQueuePtr left = StartNodeTasks(*node.children[0]);
+    RowQueuePtr right = StartNodeTasks(*node.children[1]);
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    auto task = std::make_unique<LeftJoinTask>(
+        task_group_, nq.runtime,
+        obs::Span(spans_, "leftjoin", exec_span_id_), left, right, out,
+        batch_, token_, node.join_vars, [left, right, out] {
+          left->Close();
+          right->Close();
+          out->Close();
+        });
+    svc::Scheduler::TaskRef ref = AddTask(std::move(task));
+    WakeOnReadable(left, ref);
+    WakeOnReadable(right, ref);
+    WakeOnWritable(out, ref);
+    return out;
+  }
+
+  RowQueuePtr StartDependentJoinTasks(const FedPlanNode& node) {
+    RowQueuePtr left = StartNodeTasks(*node.children[0]);
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    auto wrapper = WrapperFor(node.subquery.source_id);
+    if (!wrapper.ok()) {
+      RecordError(wrapper.status());
+      out->Close();
+      return out;
+    }
+    SourceWrapper* w = *wrapper;
+    net::DelayChannel* channel = ChannelFor(node.subquery.source_id);
+    SubQuery subquery = node.subquery;
+    std::vector<std::string> failover = node.failover_sources;
+    CancellationToken token = token_;
+    obs::Span op(spans_, "depjoin:" + subquery.source_id, exec_span_id_);
+    const uint64_t op_span = op.id();
+    auto task = std::make_unique<DependentJoinTask>(
+        task_group_, nq.runtime, std::move(op), left, out, batch_, token,
+        node.join_vars, subquery, [left, out] {
+          left->Close();
+          out->Close();
+        });
+    DependentJoinTask* t = task.get();
+    svc::Scheduler::TaskRef ref = AddTask(std::move(task));
+    WakeOnReadable(left, ref);
+    WakeOnWritable(out, ref);
+    // Each probe runs the blocking leaf leg on the I/O pool, fills the
+    // result cell and wakes the parked task. Tracked by the task group so
+    // Finish() outlasts in-flight probes.
+    std::shared_ptr<TaskGroup> group = task_group_;
+    svc::Scheduler* sched = sched_;
+    const size_t batch = batch_;
+    t->set_probe_fn([this, w, channel, failover, token, op_span, ref, group,
+                     sched, batch](SubQuery bound,
+                                   std::shared_ptr<ProbeResult> result) {
+      group->Add();
+      sched->SubmitIo([this, w, channel, failover, token, op_span, ref,
+                       group, sched, batch, bound = std::move(bound),
+                       result = std::move(result)]() mutable {
+        // Execute into a local queue large enough to never block (the job
+        // is the only consumer and drains afterwards).
+        RowQueue local(static_cast<size_t>(1) << 30);
+        Status st = FaultTolerant()
+                        ? ExecuteLeafWithRecovery(bound, failover, &local,
+                                                  token, op_span)
+                        : WrapperCall(w, bound, channel, &local, token,
+                                      op_span);
+        if (st.ok()) {
+          local.Close();
+          std::vector<rdf::Binding> drained;
+          while (local.PopBatch(&drained, batch, token) > 0) {
+            for (rdf::Binding& row : drained) {
+              result->rows.push_back(std::move(row));
+            }
+          }
+        } else {
+          if (FaultTolerant()) {
+            HandleLeafFailure(st, token);
+          } else {
+            RecordError(st);
+          }
+          result->failed = true;
+        }
+        result->ready.store(true, std::memory_order_release);
+        sched->Wake(ref);
+        group->Done();
+      });
+    });
+    return out;
+  }
+
+  RowQueuePtr StartUnionTasks(const FedPlanNode& node) {
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    std::shared_ptr<OpRuntimeRec> rec = nq.runtime;
+    auto active = std::make_shared<std::atomic<int>>(
+        static_cast<int>(node.children.size()));
+    CancellationToken token = token_;
+    for (const FedPlanPtr& child : node.children) {
+      RowQueuePtr in = StartNodeTasks(*child);
+      auto arm = std::make_unique<RelayTask<rdf::Binding, rdf::Binding>>(
+          task_group_, rec, obs::Span(spans_, "union-arm", exec_span_id_),
+          in, out, batch_, token,
+          [](std::vector<rdf::Binding>&& rows, TaskWriter<rdf::Binding>* w) {
+            for (rdf::Binding& row : rows) w->Add(std::move(row));
+            return true;
+          },
+          nullptr,
+          [in, out, active] {
+            in->Close();
+            if (active->fetch_sub(1) == 1) out->Close();
+          });
+      svc::Scheduler::TaskRef ref = AddTask(std::move(arm));
+      WakeOnReadable(in, ref);
+      WakeOnWritable(out, ref);
+    }
+    return out;
+  }
+
+  // Builds the standard one-in/one-out relay wiring shared by the scalar
+  // operators below.
+  RowQueuePtr MakeRelay(const FedPlanNode& node, const char* span_name,
+                        RowQueuePtr in,
+                        RelayTask<rdf::Binding, rdf::Binding>::ProcessFn
+                            process,
+                        RelayTask<rdf::Binding, rdf::Binding>::FinalizeFn
+                            finalize = nullptr) {
+    NodeQueue nq = MakeOutQueue(node);
+    RowQueuePtr out = nq.queue;
+    auto task = std::make_unique<RelayTask<rdf::Binding, rdf::Binding>>(
+        task_group_, nq.runtime, obs::Span(spans_, span_name, exec_span_id_),
+        in, out, batch_, token_, std::move(process), std::move(finalize),
+        [in, out] {
+          in->Close();
+          out->Close();
+        });
+    svc::Scheduler::TaskRef ref = AddTask(std::move(task));
+    WakeOnReadable(in, ref);
+    WakeOnWritable(out, ref);
+    return out;
+  }
+
+  RowQueuePtr StartFilterTasks(const FedPlanNode& node) {
+    RowQueuePtr in = StartNodeTasks(*node.children[0]);
+    std::vector<sparql::FilterExprPtr> filters = node.filters;
+    return MakeRelay(
+        node, "filter", in,
+        [filters](std::vector<rdf::Binding>&& rows,
+                  TaskWriter<rdf::Binding>* w) {
+          for (rdf::Binding& row : rows) {
+            bool pass = true;
+            for (const sparql::FilterExprPtr& f : filters) {
+              Result<bool> r = f->EvalBool(row);
+              // Evaluation errors (unbound variables, bad regex) reject
+              // the solution, matching the reference evaluator.
+              if (!r.ok() || !*r) {
+                pass = false;
+                break;
+              }
+            }
+            if (pass) w->Add(std::move(row));
+          }
+          return true;
+        });
+  }
+
+  RowQueuePtr StartProjectTasks(const FedPlanNode& node) {
+    RowQueuePtr in = StartNodeTasks(*node.children[0]);
+    std::vector<std::string> projection = node.projection;
+    return MakeRelay(
+        node, "project", in,
+        [projection](std::vector<rdf::Binding>&& rows,
+                     TaskWriter<rdf::Binding>* w) {
+          for (rdf::Binding& row : rows) {
+            rdf::Binding projected;
+            for (const std::string& v : projection) {
+              auto it = row.find(v);
+              if (it != row.end()) projected.emplace(v, it->second);
+            }
+            w->Add(std::move(projected));
+          }
+          return true;
+        });
+  }
+
+  RowQueuePtr StartOrderByTasks(const FedPlanNode& node) {
+    RowQueuePtr in = StartNodeTasks(*node.children[0]);
+    std::vector<sparql::OrderCondition> order_by = node.order_by;
+    // Materialize in process, sort and emit in finalize — two closures
+    // sharing the buffer.
+    auto rows = std::make_shared<std::vector<rdf::Binding>>();
+    return MakeRelay(
+        node, "orderby", in,
+        [rows](std::vector<rdf::Binding>&& in_batch,
+               TaskWriter<rdf::Binding>*) {
+          for (rdf::Binding& row : in_batch) rows->push_back(std::move(row));
+          return true;
+        },
+        [rows, order_by](TaskWriter<rdf::Binding>* w) {
+          std::stable_sort(
+              rows->begin(), rows->end(),
+              [&](const rdf::Binding& a, const rdf::Binding& b) {
+                for (const sparql::OrderCondition& cond : order_by) {
+                  auto ita = a.find(cond.variable);
+                  auto itb = b.find(cond.variable);
+                  bool ba = ita != a.end(), bb = itb != b.end();
+                  int c;
+                  if (!ba && !bb) {
+                    c = 0;
+                  } else if (ba != bb) {
+                    c = ba ? 1 : -1;  // unbound sorts first
+                  } else {
+                    c = sparql::CompareTermsSparql(ita->second, itb->second);
+                  }
+                  if (c != 0) return cond.ascending ? c < 0 : c > 0;
+                }
+                return false;
+              });
+          for (rdf::Binding& row : *rows) w->Add(std::move(row));
+          rows->clear();
+        });
+  }
+
+  RowQueuePtr StartDistinctTasks(const FedPlanNode& node) {
+    RowQueuePtr in = StartNodeTasks(*node.children[0]);
+    return MakeRelay(
+        node, "distinct", in,
+        [seen = std::unordered_set<std::string>{}](
+            std::vector<rdf::Binding>&& rows,
+            TaskWriter<rdf::Binding>* w) mutable {
+          for (rdf::Binding& row : rows) {
+            std::string key;
+            for (const auto& [var, term] : row) {
+              key += var;
+              key.push_back('\x02');
+              key += term.ToString();
+              key.push_back('\x01');
+            }
+            if (!seen.insert(key).second) continue;
+            w->Add(std::move(row));
+          }
+          return true;
+        });
+  }
+
+  RowQueuePtr StartLimitTasks(const FedPlanNode& node) {
+    RowQueuePtr in = StartNodeTasks(*node.children[0]);
+    const int64_t limit = node.limit;
+    // Returning false once the budget is spent completes the task, whose
+    // done hook closes the input — cancelling upstream like the thread.
+    return MakeRelay(
+        node, "limit", in,
+        [limit, emitted = int64_t{0}](std::vector<rdf::Binding>&& rows,
+                                      TaskWriter<rdf::Binding>* w) mutable {
+          for (rdf::Binding& row : rows) {
+            if (emitted >= limit) return false;
+            w->Add(std::move(row));
+            ++emitted;
+          }
+          return emitted < limit;
+        });
+  }
+
   const std::map<std::string, SourceWrapper*>& wrappers_;
   PlanOptions options_;
   CancellationToken token_;
@@ -1159,6 +2165,12 @@ class PlanExecution::Impl {
   size_t pending_pos_ = 0;
   RowQueuePtr root_;
   std::vector<std::thread> threads_;
+  // Task mode (options_.scheduler != nullptr): the shared scheduler, the
+  // outstanding-work counter Finish() waits on, and the kick-offs deferred
+  // until the tree is fully wired. All empty/null in thread mode.
+  svc::Scheduler* sched_ = nullptr;
+  std::shared_ptr<TaskGroup> task_group_;
+  std::vector<std::function<void()>> deferred_starts_;
   std::mutex mu_;
   Status error_;
   std::vector<std::function<void()>> closers_;

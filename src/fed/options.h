@@ -24,6 +24,10 @@ class MetricsRegistry;
 class SpanRecorder;
 }  // namespace lakefed::obs
 
+namespace lakefed::svc {
+class Scheduler;
+}  // namespace lakefed::svc
+
 namespace lakefed::fed {
 
 class BreakerRegistry;
@@ -148,6 +152,17 @@ struct PlanOptions {
   // Span id under which planner/executor spans nest (0 = root). Set by the
   // session to its root span.
   uint64_t parent_span = 0;
+
+  // ---- Scheduling -----------------------------------------------------
+  // Cooperative task scheduler (not owned; must outlive the session). When
+  // set, the executor runs every operator as a resumable morsel-driven task
+  // on this shared worker pool — blocking wrapper/network legs go to its
+  // auxiliary I/O pool — so the thread count is bounded by the pool, not by
+  // sessions x operators. Null (the default) preserves the historic
+  // thread-per-operator dataflow. The answer multiset is identical either
+  // way; only the execution substrate changes. The query service sets this
+  // for every admitted session.
+  svc::Scheduler* scheduler = nullptr;
 
   // Rejects inconsistent option combinations. Called by the engine at
   // session creation, so invalid options fail fast instead of silently

@@ -1,0 +1,352 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lakefed::svc {
+
+std::string PriorityToString(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------
+// Submission
+
+Submission::Submission(std::string tenant, Priority priority,
+                       fed::QueryRequest query)
+    : tenant_(std::move(tenant)),
+      priority_(priority),
+      query_(std::move(query)) {}
+
+const Result<fed::QueryAnswer>& Submission::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return *result_;
+}
+
+bool Submission::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void Submission::Cancel() {
+  cancelled_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Holding mu_ makes this safe against the runner clearing `live_`: the
+  // stream outlives the pointer, and ResultStream::Cancel is thread-safe.
+  if (live_ != nullptr) live_->Cancel();
+}
+
+double Submission::queue_wait_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_wait_ms_;
+}
+
+double Submission::total_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ms_;
+}
+
+void Submission::Complete(Result<fed::QueryAnswer> result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (done_) return;
+    result_ = std::move(result);
+    total_ms_ = clock_.ElapsedMillis();
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// QueryService
+
+QueryService::QueryService(const fed::FederatedEngine* engine,
+                           ServiceConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      scheduler_(config_.scheduler) {
+  run_slots_ = config_.max_concurrent_sessions != 0
+                   ? config_.max_concurrent_sessions
+                   : 2 * scheduler_.num_workers();
+  obs::MetricsRegistry* m = engine_->metrics();
+  live_gauge_ = m->GetGauge("svc.sessions.live");
+  depth_gauge_ = m->GetGauge("svc.admission.queue_depth");
+  admitted_counter_ = m->GetCounter("svc.admission.admitted");
+  queued_counter_ = m->GetCounter("svc.admission.queued");
+  shed_counter_ = m->GetCounter("svc.admission.shed");
+  expired_counter_ = m->GetCounter("svc.admission.expired");
+  degraded_counter_ = m->GetCounter("svc.admission.degraded");
+  completed_counter_ = m->GetCounter("svc.sessions.completed");
+  errors_counter_ = m->GetCounter("svc.sessions.errors");
+  queue_wait_hist_ = m->GetHistogram("svc.queue_wait_ms");
+  session_hist_ = m->GetHistogram("svc.session_ms");
+  runners_.reserve(run_slots_);
+  for (size_t i = 0; i < run_slots_; ++i) {
+    runners_.emplace_back([this] { RunnerMain(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+Result<std::shared_ptr<Submission>> QueryService::Submit(
+    ServiceRequest request) {
+  auto sub = std::shared_ptr<Submission>(new Submission(
+      std::move(request.tenant), request.priority, std::move(request.query)));
+  // Fix the absolute deadline at admission, so time spent waiting in the
+  // queue counts against it like any other part of the query's latency.
+  std::optional<std::chrono::milliseconds> timeout =
+      sub->query_.timeout.has_value() ? sub->query_.timeout
+                                      : config_.default_timeout;
+  if (timeout.has_value()) {
+    sub->deadline_ = CancellationToken::Clock::now() + *timeout;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return Status::Unavailable("query service is shut down");
+    }
+    if (QueueDepthLocked() >= config_.max_queued) {
+      shed_counter_->Increment();
+      return Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(config_.max_queued) +
+          " queued); back off and retry");
+    }
+    (sub->priority_ == Priority::kInteractive ? interactive_ : batch_)
+        .push_back(sub);
+    queued_counter_->Increment();
+    depth_gauge_->Set(static_cast<int64_t>(QueueDepthLocked()));
+  }
+  cv_.notify_one();
+  return sub;
+}
+
+Result<fed::QueryAnswer> QueryService::Execute(ServiceRequest request) {
+  Result<std::shared_ptr<Submission>> sub = Submit(std::move(request));
+  if (!sub.ok()) return sub.status();
+  return (*sub)->Wait();
+}
+
+void QueryService::Shutdown() {
+  std::vector<std::shared_ptr<Submission>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_ && runners_.empty()) return;
+    stopped_ = true;
+    orphaned.assign(interactive_.begin(), interactive_.end());
+    orphaned.insert(orphaned.end(), batch_.begin(), batch_.end());
+    interactive_.clear();
+    batch_.clear();
+    depth_gauge_->Set(0);
+  }
+  cv_.notify_all();
+  for (const std::shared_ptr<Submission>& sub : orphaned) {
+    sub->Complete(Status::Unavailable("query service shut down"));
+  }
+  for (std::thread& t : runners_) t.join();
+  runners_.clear();
+}
+
+std::map<std::string, QueryService::TenantInfo> QueryService::Tenants()
+    const {
+  std::map<std::string, TenantInfo> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [tenant, running] : tenant_running_) {
+    if (running > 0) out[tenant].running = running;
+  }
+  for (const auto& [tenant, completed] : tenant_completed_) {
+    out[tenant].completed = completed;
+  }
+  for (const auto& queue : {&interactive_, &batch_}) {
+    for (const std::shared_ptr<Submission>& sub : *queue) {
+      ++out[sub->tenant()].queued;
+    }
+  }
+  for (const auto& [tenant, quota] : config_.tenant_quotas) {
+    out[tenant].quota = quota;
+  }
+  for (auto& [tenant, info] : out) {
+    if (config_.tenant_quotas.count(tenant) == 0) {
+      info.quota = config_.default_tenant_concurrent;
+    }
+  }
+  return out;
+}
+
+QueryService::Stats QueryService::stats() const {
+  Stats s;
+  s.admitted = admitted_counter_->Value();
+  s.queued = queued_counter_->Value();
+  s.shed = shed_counter_->Value();
+  s.expired = expired_counter_->Value();
+  s.degraded = degraded_counter_->Value();
+  s.completed = completed_counter_->Value();
+  s.errors = errors_counter_->Value();
+  std::lock_guard<std::mutex> lock(mu_);
+  s.queue_depth = QueueDepthLocked();
+  s.running = running_;
+  return s;
+}
+
+size_t QueryService::QuotaFor(const std::string& tenant) const {
+  auto it = config_.tenant_quotas.find(tenant);
+  if (it != config_.tenant_quotas.end()) return it->second;
+  return config_.default_tenant_concurrent;
+}
+
+size_t QueryService::QueueDepthLocked() const {
+  return interactive_.size() + batch_.size();
+}
+
+std::shared_ptr<Submission> QueryService::PickLocked(
+    std::vector<std::shared_ptr<Submission>>* terminal) {
+  const auto now = CancellationToken::Clock::now();
+  for (std::deque<std::shared_ptr<Submission>>* queue :
+       {&interactive_, &batch_}) {
+    for (auto it = queue->begin(); it != queue->end();) {
+      const std::shared_ptr<Submission>& sub = *it;
+      // Cancelled or expired while queued: terminal without a run slot.
+      if (sub->cancelled() ||
+          (sub->deadline_.has_value() && now >= *sub->deadline_)) {
+        terminal->push_back(sub);
+        it = queue->erase(it);
+        continue;
+      }
+      const size_t quota = QuotaFor(sub->tenant());
+      if (quota != 0) {
+        auto running = tenant_running_.find(sub->tenant());
+        if (running != tenant_running_.end() && running->second >= quota) {
+          ++it;  // tenant at quota: skip, later entries may be eligible
+          continue;
+        }
+      }
+      std::shared_ptr<Submission> picked = sub;
+      queue->erase(it);
+      return picked;
+    }
+  }
+  return nullptr;
+}
+
+void QueryService::RunnerMain() {
+  for (;;) {
+    std::shared_ptr<Submission> sub;
+    std::vector<std::shared_ptr<Submission>> terminal;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        if (stopped_) return;
+        sub = PickLocked(&terminal);
+        if (sub != nullptr || !terminal.empty()) break;
+        // Bounded wait: queued deadlines can expire with no other event to
+        // wake a runner, so re-scan periodically.
+        cv_.wait_for(lock, std::chrono::milliseconds(50));
+      }
+      if (sub != nullptr) {
+        ++running_;
+        ++tenant_running_[sub->tenant()];
+      }
+      depth_gauge_->Set(static_cast<int64_t>(QueueDepthLocked()));
+    }
+    for (const std::shared_ptr<Submission>& dead : terminal) {
+      if (dead->cancelled()) {
+        dead->Complete(Status::Cancelled("cancelled while queued"));
+      } else {
+        expired_counter_->Increment();
+        dead->Complete(
+            Status::DeadlineExceeded("deadline expired in admission queue"));
+      }
+    }
+    if (sub == nullptr) continue;
+    RunOne(sub);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      auto it = tenant_running_.find(sub->tenant());
+      if (it != tenant_running_.end() && --it->second == 0) {
+        tenant_running_.erase(it);
+      }
+      ++tenant_completed_[sub->tenant()];
+    }
+    // A finished session may unblock a quota-limited tenant: wake everyone.
+    cv_.notify_all();
+  }
+}
+
+void QueryService::RunOne(const std::shared_ptr<Submission>& sub) {
+  const double queue_wait_ms = sub->clock_.ElapsedMillis();
+  {
+    std::lock_guard<std::mutex> lock(sub->mu_);
+    sub->queue_wait_ms_ = queue_wait_ms;
+  }
+  queue_wait_hist_->Record(queue_wait_ms);
+
+  fed::QueryRequest request = std::move(sub->query_);
+  // Remaining deadline budget after the queue wait.
+  if (sub->deadline_.has_value()) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        *sub->deadline_ - CancellationToken::Clock::now());
+    if (remaining.count() <= 0) {
+      expired_counter_->Increment();
+      sub->Complete(
+          Status::DeadlineExceeded("deadline expired in admission queue"));
+      return;
+    }
+    request.timeout = remaining;
+  }
+  // Execution substrate: run the session's operators on the shared pool
+  // unless configured (or explicitly overridden by the caller) otherwise.
+  if (config_.use_scheduler && request.options.scheduler == nullptr) {
+    request.options.scheduler = &scheduler_;
+  }
+  // Graceful degradation: under queue pressure a batch query is worth more
+  // as a fast partial answer than as a queue occupant that may fail late.
+  if (config_.degrade_batch_under_pressure &&
+      sub->priority_ == Priority::kBatch &&
+      request.options.failure_mode == fed::FailureMode::kFailFast) {
+    size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      depth = QueueDepthLocked();
+    }
+    if (depth > config_.max_queued / 2) {
+      request.options.failure_mode = fed::FailureMode::kBestEffort;
+      degraded_counter_->Increment();
+    }
+  }
+
+  admitted_counter_->Increment();
+  live_gauge_->Add(1);
+  Result<std::unique_ptr<fed::ResultStream>> stream =
+      engine_->CreateSession(std::move(request));
+  Result<fed::QueryAnswer> outcome = Status::Internal("session not run");
+  if (!stream.ok()) {
+    outcome = stream.status();
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(sub->mu_);
+      sub->live_ = stream->get();
+    }
+    // A cancel that raced session creation: forward it to the live stream.
+    if (sub->cancelled()) (*stream)->Cancel();
+    outcome = (*stream)->Drain();
+    {
+      std::lock_guard<std::mutex> lock(sub->mu_);
+      sub->live_ = nullptr;
+    }
+  }
+  live_gauge_->Add(-1);
+  if (outcome.ok()) {
+    completed_counter_->Increment();
+  } else {
+    errors_counter_->Increment();
+  }
+  session_hist_->Record(sub->clock_.ElapsedMillis() - queue_wait_ms);
+  sub->Complete(std::move(outcome));
+}
+
+}  // namespace lakefed::svc

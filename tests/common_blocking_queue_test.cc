@@ -554,5 +554,102 @@ TEST(BlockingQueueBatchTest, MoveOnlyBatchPayload) {
   EXPECT_EQ(*out[1], 2);
 }
 
+// --- readiness listeners + non-blocking ops (the scheduler hooks) -------
+
+TEST(BlockingQueueListenerTest, ReadableFiresOnEmptyToNonEmpty) {
+  BlockingQueue<int> q(4);
+  int fired = 0;
+  q.AddReadableListener([&fired] { ++fired; });
+  q.Push(1);  // empty -> non-empty
+  EXPECT_EQ(fired, 1);
+  q.Push(2);  // already non-empty: no new edge
+  EXPECT_EQ(fired, 1);
+  q.Pop();
+  q.Pop();    // drained
+  q.Push(3);  // empty -> non-empty again
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(BlockingQueueListenerTest, WritableFiresOnFullToBelowCapacity) {
+  BlockingQueue<int> q(2);
+  int fired = 0;
+  q.AddWritableListener([&fired] { ++fired; });
+  q.Push(1);
+  q.Push(2);  // now full
+  EXPECT_EQ(fired, 0);
+  q.Pop();    // full -> below capacity
+  EXPECT_EQ(fired, 1);
+  q.Pop();    // was not full: no edge
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(BlockingQueueListenerTest, CloseFiresBothOnce) {
+  BlockingQueue<int> q(4);
+  int readable = 0, writable = 0;
+  q.AddReadableListener([&readable] { ++readable; });
+  q.AddWritableListener([&writable] { ++writable; });
+  q.Close();
+  EXPECT_EQ(readable, 1);
+  EXPECT_EQ(writable, 1);
+  q.Close();  // idempotent: no second notification
+  EXPECT_EQ(readable, 1);
+  EXPECT_EQ(writable, 1);
+}
+
+TEST(BlockingQueueListenerTest, TryPushBatchFiresReadableListener) {
+  BlockingQueue<int> q(2);
+  int fired = 0;
+  q.AddReadableListener([&fired] { ++fired; });
+  std::vector<int> batch = {1, 2, 3};
+  size_t pos = 0;
+  EXPECT_TRUE(q.TryPushBatch(&batch, &pos));
+  EXPECT_EQ(pos, 2u);     // capacity-bounded partial admit
+  EXPECT_EQ(fired, 1);    // empty -> non-empty
+  EXPECT_TRUE(q.TryPushBatch(&batch, &pos));
+  EXPECT_EQ(pos, 2u);     // full: no progress, no edge
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(BlockingQueueListenerTest, TryPopBatchFiresWritableListener) {
+  BlockingQueue<int> q(2);
+  int fired = 0;
+  q.AddWritableListener([&fired] { ++fired; });
+  q.Push(1);
+  q.Push(2);  // full
+  std::vector<int> out;
+  bool exhausted = true;
+  EXPECT_EQ(q.TryPopBatch(&out, 8, &exhausted), 2u);
+  EXPECT_FALSE(exhausted);
+  EXPECT_EQ(fired, 1);  // full -> below capacity
+  EXPECT_EQ(q.TryPopBatch(&out, 8, &exhausted), 0u);
+  EXPECT_FALSE(exhausted);  // empty but still open
+  q.Close();
+  EXPECT_EQ(q.TryPopBatch(&out, 8, &exhausted), 0u);
+  EXPECT_TRUE(exhausted);  // closed and drained
+}
+
+TEST(BlockingQueueListenerTest, TryPushBatchRejectedAfterClose) {
+  BlockingQueue<int> q(4);
+  q.Close();
+  std::vector<int> batch = {1, 2};
+  size_t pos = 0;
+  EXPECT_FALSE(q.TryPushBatch(&batch, &pos));
+  EXPECT_EQ(pos, 0u);
+}
+
+TEST(BlockingQueueListenerTest, ListenerMayReenterQueue) {
+  // Listeners run outside the queue lock, so a callback can immediately
+  // drain what was just pushed — the cooperative-scheduler pattern.
+  BlockingQueue<int> q(4);
+  std::vector<int> seen;
+  q.AddReadableListener([&q, &seen] {
+    std::vector<int> out;
+    q.TryPopBatch(&out, 8);
+    for (int v : out) seen.push_back(v);
+  });
+  q.Push(7);
+  EXPECT_EQ(seen, std::vector<int>({7}));
+}
+
 }  // namespace
 }  // namespace lakefed

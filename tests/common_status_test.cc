@@ -59,6 +59,14 @@ TEST(StatusTest, AllPredicates) {
   EXPECT_TRUE(Status::TypeError("").IsTypeError());
   EXPECT_TRUE(Status::IoError("").IsIoError());
   EXPECT_TRUE(Status::Unavailable("").IsUnavailable());
+  EXPECT_TRUE(Status::ResourceExhausted("").IsResourceExhausted());
+}
+
+TEST(StatusTest, ResourceExhaustedCarriesCodeAndMessage) {
+  Status st = Status::ResourceExhausted("admission queue full");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(st.ToString(), "Resource exhausted: admission queue full");
 }
 
 TEST(StatusTest, UnavailableCarriesCodeAndMessage) {
