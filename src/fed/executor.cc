@@ -584,12 +584,19 @@ class LeftJoinTask final : public OpTaskBase {
 };
 
 // Result cell of one dependent-join probe round trip, filled by an I/O-pool
-// job while the task is parked on BlockOn::kIo. `ready` is the release
-// fence between the job's writes and the task's reads.
+// job while the task is parked on BlockOn::kIo. `ready` is written and read
+// under `mu` — a mutex rather than an atomic flag, because the scheduler
+// coalesces wakes: when the completion's Wake() lands on a task that is
+// already queued for an unrelated event it is a no-op, and nothing would
+// order the job's store before that run's load. The mutex totally orders
+// the two critical sections, so a step that reads ready == false provably
+// precedes the publication — the publisher's Wake() then finds the task
+// running or parked and cannot be swallowed.
 struct ProbeResult {
   std::vector<rdf::Binding> rows;
   bool failed = false;
-  std::atomic<bool> ready{false};
+  std::mutex mu;
+  bool ready = false;  // guarded by mu
 };
 
 // Dependent (bind) join as a task: accumulates left rows into a probe
@@ -635,8 +642,11 @@ class DependentJoinTask final : public OpTaskBase {
     if (draining_) return Complete();
     for (int slice = 0; slice < kTaskSlicesPerStep; ++slice) {
       if (awaiting_) {
-        if (!result_->ready.load(std::memory_order_acquire)) {
-          return Block(BlockOn::kIo, nullptr);  // spurious wake
+        {
+          std::lock_guard<std::mutex> lock(result_->mu);
+          if (!result_->ready) {
+            return Block(BlockOn::kIo, nullptr);  // spurious wake
+          }
         }
         awaiting_ = false;
         if (result_->failed) return Complete();  // error already recorded
@@ -1975,7 +1985,10 @@ class PlanExecution::Impl {
           }
           result->failed = true;
         }
-        result->ready.store(true, std::memory_order_release);
+        {
+          std::lock_guard<std::mutex> lock(result->mu);
+          result->ready = true;
+        }
         sched->Wake(ref);
         group->Done();
       });

@@ -131,15 +131,25 @@ Scheduler::Stats Scheduler::stats() const {
 }
 
 void Scheduler::Enqueue(TaskRef handle, bool prefer_local) {
+  // The ready_ increment must happen under sleep_mu_: a parked-bound worker
+  // evaluates the wait predicate (ready_ == 0) while holding the mutex, and
+  // an increment+notify slipped between its check and its block would be
+  // lost — with every worker asleep, the task would be stranded until an
+  // unrelated enqueue. Holding the mutex for the increment makes the
+  // predicate change and the notify visible to any waiter.
   if (prefer_local && tl_scheduler == this) {
-    WorkerDeque& dq = *deques_[tl_worker_index];
-    std::lock_guard<std::mutex> lock(dq.mu);
-    dq.tasks.push_back(std::move(handle));
+    {
+      WorkerDeque& dq = *deques_[tl_worker_index];
+      std::lock_guard<std::mutex> lock(dq.mu);
+      dq.tasks.push_back(std::move(handle));
+    }
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    ready_.fetch_add(1, std::memory_order_release);
   } else {
     std::lock_guard<std::mutex> lock(sleep_mu_);
     injector_.push_back(std::move(handle));
+    ready_.fetch_add(1, std::memory_order_release);
   }
-  ready_.fetch_add(1, std::memory_order_release);
   idle_cv_.notify_one();
 }
 
@@ -187,6 +197,14 @@ void Scheduler::RunTask(const TaskRef& handle) {
       // Overwrites a concurrent kRunningNotified: a wake racing with
       // completion has nothing left to run.
       handle->state.store(TaskHandle::kDone, std::memory_order_release);
+      // Release the task object now. Queue readiness listeners hold the
+      // TaskRef for the dataflow's lifetime, and the task holds shared_ptrs
+      // to its queues — without this reset the cycle
+      // queue -> listener -> handle -> task -> queue would leak every
+      // query's queues and operator state. A kDone handle is never stepped
+      // or enqueued again and Wake() only reads the atomic state, so no
+      // other thread can touch task_ past this point.
+      handle->task_.reset();
       break;
     case TaskResult::kYield:
       handle->state.store(TaskHandle::kQueued, std::memory_order_release);

@@ -79,7 +79,10 @@ class Scheduler {
   };
 
   // Opaque per-task scheduling state; obtained from Register() and passed
-  // to Wake(). Holding a TaskRef keeps the task object alive.
+  // to Wake(). Holding a TaskRef keeps the task object alive until it
+  // finishes; once Step() returns kDone the scheduler releases the task
+  // (long-lived holders — e.g. queue readiness listeners — then pin only
+  // the small handle, not the dataflow the task references).
   class TaskHandle;
   using TaskRef = std::shared_ptr<TaskHandle>;
 

@@ -133,22 +133,34 @@ Result<fed::QueryAnswer> QueryService::Execute(ServiceRequest request) {
 
 void QueryService::Shutdown() {
   std::vector<std::shared_ptr<Submission>> orphaned;
+  std::vector<std::thread> runners;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopped_ && runners_.empty()) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopped_) {
+      // Another caller won the shutdown: wait for it to finish joining, so
+      // no thread returns from Shutdown() while runners are still alive —
+      // and no two threads ever join() the same std::thread.
+      cv_.wait(lock, [this] { return shutdown_done_; });
+      return;
+    }
     stopped_ = true;
     orphaned.assign(interactive_.begin(), interactive_.end());
     orphaned.insert(orphaned.end(), batch_.begin(), batch_.end());
     interactive_.clear();
     batch_.clear();
     depth_gauge_->Set(0);
+    runners.swap(runners_);
   }
   cv_.notify_all();
   for (const std::shared_ptr<Submission>& sub : orphaned) {
     sub->Complete(Status::Unavailable("query service shut down"));
   }
-  for (std::thread& t : runners_) t.join();
-  runners_.clear();
+  for (std::thread& t : runners) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_done_ = true;
+  }
+  cv_.notify_all();
 }
 
 std::map<std::string, QueryService::TenantInfo> QueryService::Tenants()

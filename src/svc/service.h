@@ -216,6 +216,7 @@ class QueryService {
   std::map<std::string, size_t> tenant_completed_;
   size_t running_ = 0;
   bool stopped_ = false;
+  bool shutdown_done_ = false;  // the winning Shutdown() joined all runners
   std::vector<std::thread> runners_;
 
   // Service metrics, recorded into the engine's registry (not owned).

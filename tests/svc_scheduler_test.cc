@@ -83,6 +83,35 @@ TEST(SchedulerTest, WakeAfterDoneIsANoOp) {
   EXPECT_EQ(steps.load(), 1);
 }
 
+// Owns a heap sentinel, so a test can observe (via weak_ptr) exactly when
+// the task object itself is destroyed.
+class SentinelTask : public Task {
+ public:
+  explicit SentinelTask(std::shared_ptr<int> sentinel)
+      : sentinel_(std::move(sentinel)) {}
+  TaskResult Step() override { return TaskResult::kDone; }
+
+ private:
+  std::shared_ptr<int> sentinel_;
+};
+
+// Regression: queue readiness listeners hold TaskRefs for as long as the
+// queues live, and tasks hold their queues — the scheduler must release the
+// task object the moment it finishes, or every completed dataflow leaks
+// through the queue -> listener -> handle -> task -> queue cycle.
+TEST(SchedulerTest, FinishedTaskIsReleasedWhileHandleStillHeld) {
+  Scheduler sched(Scheduler::Config{1, 1});
+  auto sentinel = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = sentinel;
+  auto ref = sched.Register(std::make_unique<SentinelTask>(std::move(sentinel)));
+  Scheduler::TaskRef listener_copy = ref;  // a listener's captured ref
+  sched.Wake(ref);
+  EXPECT_TRUE(WaitFor([&] { return watch.expired(); }))
+      << "task object (and whatever it owns) not released after kDone";
+  // The handle itself stays valid for late wakes from still-live listeners.
+  sched.Wake(listener_copy);
+}
+
 // A task that blocks until an external flag flips; every Wake gives it one
 // look at the flag. Exercises the kBlocked <-> Wake handshake.
 class BlockingFlagTask : public Task {

@@ -223,6 +223,25 @@ TEST_F(QueryServiceTest, ShutdownFailsQueuedRequests) {
   EXPECT_FALSE(late.ok());
 }
 
+// Shutdown is documented idempotent and must also be safe concurrently: no
+// caller may return while runners are still alive, and no two callers may
+// join the same std::thread (regression for a double-join race).
+TEST_F(QueryServiceTest, ConcurrentShutdownIsSafe) {
+  ServiceConfig config;
+  config.scheduler.workers = 2;
+  config.max_concurrent_sessions = 2;
+  QueryService service(lake_->engine.get(), config);
+  auto sub = service.Submit(Request("Q1"));
+  ASSERT_TRUE(sub.ok());
+  std::vector<std::thread> callers;
+  for (int i = 0; i < 4; ++i) {
+    callers.emplace_back([&service] { service.Shutdown(); });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_TRUE((*sub)->done());
+  EXPECT_FALSE(service.Submit(Request("Q1")).ok());
+}
+
 // The stress mix: >=64 simultaneous sessions across tenants and priorities,
 // a slice cancelled mid-flight, a slice under tight deadlines, a slice
 // best-effort. Every submission must reach a terminal state, and every
