@@ -37,6 +37,8 @@ struct Cell {
   uint64_t retries = 0;
   uint64_t failovers = 0;
   uint64_t faults = 0;
+  uint64_t hedges_fired = 0;
+  uint64_t adaptive_timeouts = 0;
   bool partial = false;
 };
 
@@ -77,6 +79,11 @@ Cell RunCell(const lslod::DataLake& lake, const net::NetworkProfile& profile,
   c.retries = answer->stats.retries;
   c.failovers = answer->stats.failovers;
   c.faults = answer->stats.faults_injected;
+  // Hedging and adaptive timeouts stay off in this bench (the sweep
+  // measures the plain retry/failover path); recording the counters keeps
+  // the JSON schema comparable with the chaos bench and pins them at zero.
+  c.hedges_fired = answer->stats.hedges_fired;
+  c.adaptive_timeouts = answer->stats.adaptive_timeouts;
   c.partial = answer->stats.partial;
   return c;
 }
@@ -96,6 +103,8 @@ void WriteJson(const std::vector<Cell>& cells, const char* path) {
         .Set("retries", c.retries)
         .Set("failovers", c.failovers)
         .Set("faults_injected", c.faults)
+        .Set("hedges_fired", c.hedges_fired)
+        .Set("adaptive_timeouts", c.adaptive_timeouts)
         .Set("partial", c.partial);
   }
   emitter.Write(path);

@@ -23,6 +23,12 @@
 //                         `.faults clear` heals the lake and the breakers
 //   .retry                show the retry policy; `.retry <attempts>
 //                         [timeout_ms]` arms it, `.retry off` disarms
+//   .hedge                show hedging state; `.hedge on [delay_ms]` races
+//                         a straggling leaf against a replica after the
+//                         delay (default: p95-driven), `.hedge off` disarms
+//   .timeouts             per-source observed latency quantiles (p50/p95/
+//                         p99) from the engine tracker; `.timeouts on|off`
+//                         derives per-attempt timeouts from them
 //   .failmode failfast|besteffort   unrecoverable-source handling
 //   .pool <n>|off         route queries through the multi-tenant query
 //                         service, operators on an n-worker shared pool
@@ -191,6 +197,10 @@ class Shell {
           "      spec: outage rate=0.1 drop_after=50 fail_connections=2 "
           "stall=20\n"
           "  .retry [<attempts> [timeout_ms] | off]   retry with backoff\n"
+          "  .hedge [on [delay_ms] | off]   race slow leaves against "
+          "replicas\n"
+          "  .timeouts [on|off]    observed per-source latency quantiles; "
+          "on = adaptive per-attempt timeouts\n"
           "  .failmode failfast|besteffort   drop dead sources vs fail "
           "fast\n"
           "  .pool <n>|off         run queries through the multi-tenant "
@@ -346,6 +356,70 @@ class Shell {
         std::printf("retry = %d attempts, attempt timeout %.1f ms\n",
                     options_.retry.max_attempts,
                     options_.retry.attempt_timeout_ms);
+      }
+    } else if (cmd == ".hedge") {
+      if (arg.empty()) {
+        if (!options_.hedge.enabled) {
+          std::printf("hedge = off\n");
+        } else {
+          std::printf("hedge = on: delay %.1fx p%.0f (fallback %.1f ms, "
+                      "floor %.1f ms), budget %d/query %d/source\n",
+                      options_.hedge.multiplier,
+                      options_.hedge.quantile * 100,
+                      options_.hedge.fallback_delay_ms,
+                      options_.hedge.min_delay_ms,
+                      options_.hedge.max_per_query,
+                      options_.hedge.max_per_source);
+        }
+      } else if (arg == "off") {
+        options_.hedge = fed::PlanOptions::HedgeConfig();
+        std::printf("hedge = off\n");
+      } else if (arg == "on") {
+        options_.hedge.enabled = true;
+        std::string delay;
+        if (in >> delay) {
+          options_.hedge.fallback_delay_ms = std::atof(delay.c_str());
+        }
+        std::printf("hedge = on (fallback delay %.1f ms; p%.0f-driven once "
+                    "%llu samples accrue)\n",
+                    options_.hedge.fallback_delay_ms,
+                    options_.hedge.quantile * 100,
+                    static_cast<unsigned long long>(
+                        options_.hedge.min_samples));
+      } else {
+        std::printf("usage: .hedge [on [delay_ms] | off]\n");
+      }
+    } else if (cmd == ".timeouts") {
+      if (arg == "on") {
+        options_.adaptive_timeout.enabled = true;
+        std::printf("adaptive timeouts = on (%.1fx p%.0f, floor %.1f ms, "
+                    "after %llu samples)\n",
+                    options_.adaptive_timeout.multiplier,
+                    options_.adaptive_timeout.quantile * 100,
+                    options_.adaptive_timeout.floor_ms,
+                    static_cast<unsigned long long>(
+                        options_.adaptive_timeout.min_samples));
+      } else if (arg == "off") {
+        options_.adaptive_timeout = fed::PlanOptions::AdaptiveTimeoutConfig();
+        std::printf("adaptive timeouts = off\n");
+      } else if (!arg.empty()) {
+        std::printf("usage: .timeouts [on|off]\n");
+      } else {
+        std::printf("adaptive timeouts = %s\n",
+                    options_.adaptive_timeout.enabled ? "on" : "off");
+        auto snapshot = lake_->engine->latency()->Snapshot();
+        if (snapshot.empty()) {
+          std::printf("no latency samples yet (run a query first)\n");
+        } else {
+          std::printf("  %-12s %8s %10s %10s %10s\n", "source", "samples",
+                      "p50_ms", "p95_ms", "p99_ms");
+          for (const auto& [source, q] : snapshot) {
+            std::printf("  %-12s %8llu %10.2f %10.2f %10.2f\n",
+                        source.c_str(),
+                        static_cast<unsigned long long>(q.samples), q.p50,
+                        q.p95, q.p99);
+          }
+        }
       }
     } else if (cmd == ".failmode") {
       if (arg == "besteffort" || arg == "best-effort") {

@@ -5,10 +5,11 @@
 # multi-threaded — tsan is the test that counts there).
 #
 #   scripts/check.sh               # all phases
-#   SKIP_TSAN=1 scripts/check.sh   # skip the sanitizer phase
+#   SKIP_TSAN=1 scripts/check.sh   # skip both sanitizer phases
+#   SKIP_ASAN=1 scripts/check.sh   # skip only the AddressSanitizer phase
 #   SKIP_OVERHEAD=1 scripts/check.sh   # skip the metrics-overhead guard
 #
-# Build trees: build/ (tier-1) and build-tsan/ (sanitized).
+# Build trees: build/ (tier-1), build-tsan/ and build-asan/ (sanitized).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -132,6 +133,34 @@ print("service JSON ok: 100 sessions, threads peak",
       row["threads_peak"], "<=", bound)
 EOF
 
+echo "== chaos smoke: seeded soak + hedge A/B, digests must hold =="
+# A short fixed-seed run of the chaos bench: mixed Q1..Q5 under per-source
+# error/slow-spike injection on both dataflows plus the hedged-vs-unhedged
+# replica race. The binary exits nonzero on any unflagged wrong digest, on
+# a hedge p99 speedup < 2x, and its watchdog aborts on a hang; here we also
+# check the JSON and the soak thread bound.
+(cd build/bench && \
+ LAKEFED_BENCH_SCALE=0.05 LAKEFED_TIME_SCALE=0.001 LAKEFED_CHAOS_SEED=7 \
+ LAKEFED_CHAOS_SESSIONS=60 LAKEFED_CHAOS_AB_SESSIONS=25 \
+ LAKEFED_CHAOS_SLOW_MS=15 ./bench_chaos >/dev/null)
+python3 - <<'EOF'
+import json
+with open("build/bench/BENCH_chaos.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == "chaos", doc.get("bench")
+soak = [r for r in doc["results"] if r["phase"] == "soak"]
+assert {r["dataflow"] for r in soak} == {"threads", "scheduler"}, soak
+for r in soak:
+    assert r["wrong"] == 0 and r["errors"] == 0, r
+    assert r["ok"] + r["degraded"] == r["sessions"] == 60, r
+sched = next(r for r in soak if r["dataflow"] == "scheduler")
+assert sched["threads_peak"] <= 64, sched["threads_peak"]
+ab = [r for r in doc["results"] if r["phase"] == "hedge_ab_summary"]
+assert len(ab) == 2 and all(r["p99_speedup"] >= 2.0 for r in ab), ab
+print("chaos JSON ok: 0 wrong digests on both dataflows, hedge p99 speedup",
+      ", ".join("%.1fx" % r["p99_speedup"] for r in ab))
+EOF
+
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
   echo "== SKIP_TSAN=1: skipping ThreadSanitizer phase =="
   exit 0
@@ -153,5 +182,18 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L svc
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
     -R 'BlockingQueueListener'
+
+if [[ "${SKIP_ASAN:-0}" == "1" ]]; then
+  echo "== SKIP_ASAN=1: skipping AddressSanitizer phase =="
+  exit 0
+fi
+
+echo "== asan: LAKEFED_SANITIZE=address build + robustness tests =="
+# The hedge/cancellation machinery hands staged rows and tokens across
+# racing threads — asan over the robustness label catches use-after-free
+# on the loser's teardown path that tsan has no opinion about.
+cmake -B build-asan -S . -DLAKEFED_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L robustness
 
 echo "== all checks passed =="

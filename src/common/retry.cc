@@ -68,13 +68,16 @@ CancellationToken MakeAttemptToken(const CancellationToken& session,
 Status RunWithRetry(
     const RetryPolicy& policy, const CancellationToken& token, Rng* rng,
     const std::function<Status(const CancellationToken&)>& attempt,
-    int* retries_out) {
+    int* retries_out, const std::function<double(int)>& attempt_timeout_fn) {
   if (retries_out != nullptr) *retries_out = 0;
   Status last = Status::Internal("retry loop made no attempt");
   for (int i = 1; i <= policy.max_attempts; ++i) {
     if (token.IsCancelled()) return token.ToStatus();
     if (i > 1 && retries_out != nullptr) ++*retries_out;
-    last = attempt(MakeAttemptToken(token, policy.attempt_timeout_ms));
+    const double timeout_ms = attempt_timeout_fn != nullptr
+                                  ? attempt_timeout_fn(i)
+                                  : policy.attempt_timeout_ms;
+    last = attempt(MakeAttemptToken(token, timeout_ms));
     if (last.ok() || !last.IsRetryable()) return last;
     // A deadline error caused by the *session* deadline (not the
     // per-attempt timeout) is terminal.

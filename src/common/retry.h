@@ -53,11 +53,17 @@ double BackoffMs(const RetryPolicy& policy, int retry_number, Rng* rng);
 // (non-retryable) error, or when `token` itself is cancelled/expired — the
 // session's cancellation is never retried. Sleeps the backoff between
 // attempts (observing `token`). `retries_out`, when non-null, receives the
-// number of re-executions performed.
-Status RunWithRetry(const RetryPolicy& policy, const CancellationToken& token,
-                    Rng* rng,
-                    const std::function<Status(const CancellationToken&)>& attempt,
-                    int* retries_out = nullptr);
+// number of re-executions performed. `attempt_timeout_fn`, when non-null,
+// overrides policy.attempt_timeout_ms with a per-attempt value (the
+// adaptive-timeout hook: attempt number, 1-based, to timeout in ms; <= 0 =
+// unbounded) — either way the timeout is clamped to the session's remaining
+// deadline by MakeAttemptToken, so no attempt outlives the deadline fixed
+// at admission.
+Status RunWithRetry(
+    const RetryPolicy& policy, const CancellationToken& token, Rng* rng,
+    const std::function<Status(const CancellationToken&)>& attempt,
+    int* retries_out = nullptr,
+    const std::function<double(int)>& attempt_timeout_fn = nullptr);
 
 // A per-attempt child token: cancellable, bounded by `attempt_timeout_ms`
 // (when > 0) and linked to `session` so cancelling the session cancels the

@@ -28,6 +28,7 @@ bool BreakerRegistry::AllowRequest(const std::string& source_id) {
                   config_.open_cooldown_ms));
       if (Clock::now() - b.opened_at >= cooldown) {
         b.state = BreakerState::kHalfOpen;
+        ++b.times_half_open;
         b.probe_in_flight = true;
         return true;  // this caller is the probe
       }
@@ -48,6 +49,7 @@ bool BreakerRegistry::AllowRequest(const std::string& source_id) {
 void BreakerRegistry::OnSuccess(const std::string& source_id) {
   std::lock_guard<std::mutex> lock(mu_);
   Breaker& b = Get(source_id);
+  if (b.state != BreakerState::kClosed) ++b.times_closed;
   b.state = BreakerState::kClosed;
   b.consecutive_failures = 0;
   b.probe_in_flight = false;
@@ -61,9 +63,16 @@ void BreakerRegistry::OnFailure(const std::string& source_id) {
   b.probe_in_flight = false;
   if (b.state == BreakerState::kHalfOpen ||
       b.consecutive_failures >= config_.failure_threshold) {
+    if (b.state != BreakerState::kOpen) ++b.times_opened;
     b.state = BreakerState::kOpen;
     b.opened_at = Clock::now();
   }
+}
+
+void BreakerRegistry::OnAbandoned(const std::string& source_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(source_id);
+  if (it != breakers_.end()) it->second.probe_in_flight = false;
 }
 
 BreakerState BreakerRegistry::state(const std::string& source_id) const {
@@ -95,7 +104,8 @@ std::vector<BreakerRegistry::Entry> BreakerRegistry::Snapshot() const {
   out.reserve(breakers_.size());
   for (const auto& [id, b] : breakers_) {
     out.push_back({id, b.state, b.consecutive_failures, b.total_failures,
-                   b.rejected_requests});
+                   b.rejected_requests, b.times_opened, b.times_half_open,
+                   b.times_closed});
   }
   return out;
 }

@@ -53,6 +53,13 @@ class BreakerRegistry {
   void OnSuccess(const std::string& source_id);
   void OnFailure(const std::string& source_id);
 
+  // The request was abandoned without an outcome — a hedge race loser
+  // cancelled mid-flight. Releases the half-open probe slot the request may
+  // hold (so the breaker cannot wedge waiting for a report that never
+  // comes) without counting a success or failure: a cancelled attempt says
+  // nothing about the source's health.
+  void OnAbandoned(const std::string& source_id);
+
   BreakerState state(const std::string& source_id) const;
 
   // True when the source's breaker is open (or holding for an in-flight
@@ -73,6 +80,10 @@ class BreakerRegistry {
     int consecutive_failures = 0;
     uint64_t total_failures = 0;
     uint64_t rejected_requests = 0;
+    // State transitions over the breaker's lifetime (metrics snapshot).
+    uint64_t times_opened = 0;
+    uint64_t times_half_open = 0;
+    uint64_t times_closed = 0;
   };
   std::vector<Entry> Snapshot() const;
 
@@ -88,6 +99,9 @@ class BreakerRegistry {
     int consecutive_failures = 0;
     uint64_t total_failures = 0;
     uint64_t rejected_requests = 0;
+    uint64_t times_opened = 0;
+    uint64_t times_half_open = 0;
+    uint64_t times_closed = 0;
     Clock::time_point opened_at{};
     bool probe_in_flight = false;
   };

@@ -1,5 +1,7 @@
 #include "fed/engine.h"
 
+#include <algorithm>
+
 #include "sparql/parser.h"
 
 namespace lakefed::fed {
@@ -68,11 +70,37 @@ Status FederatedEngine::PrepareStats(PlanOptions* options) const {
   return Status::OK();
 }
 
+obs::MetricsSnapshot FederatedEngine::MetricsSnapshot() const {
+  obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+  // Project the breaker registry into the snapshot so `.breakers` and
+  // `.metrics` agree: one state gauge (the BreakerState enum value) and the
+  // cumulative transition/rejection/failure counters per tracked source.
+  std::vector<BreakerRegistry::Entry> entries = breakers_.Snapshot();
+  if (entries.empty()) return snapshot;
+  for (const BreakerRegistry::Entry& e : entries) {
+    const std::string prefix = "svc.breaker." + e.source_id + ".";
+    snapshot.gauges.push_back(
+        {prefix + "state", static_cast<int64_t>(e.state)});
+    snapshot.counters.push_back({prefix + "opened", e.times_opened});
+    snapshot.counters.push_back({prefix + "half_open", e.times_half_open});
+    snapshot.counters.push_back({prefix + "closed", e.times_closed});
+    snapshot.counters.push_back({prefix + "rejected", e.rejected_requests});
+    snapshot.counters.push_back({prefix + "failures", e.total_failures});
+  }
+  // Snapshots render sorted by name; keep that invariant after injecting.
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  return snapshot;
+}
+
 Result<FederatedPlan> FederatedEngine::Plan(const std::string& sparql,
                                             const PlanOptions& options)
     const {
   PlanOptions effective = options;
   if (effective.breakers == nullptr) effective.breakers = &breakers_;
+  if (effective.latency == nullptr) effective.latency = &latency_;
   LAKEFED_RETURN_NOT_OK(PrepareStats(&effective));
   LAKEFED_ASSIGN_OR_RETURN(sparql::SelectQuery query,
                            sparql::ParseSparql(sparql));
@@ -97,6 +125,9 @@ Result<std::unique_ptr<ResultStream>> FederatedEngine::CreateSession(
   LAKEFED_RETURN_NOT_OK(PrepareStats(&request.options));
   if (request.options.breakers == nullptr) {
     request.options.breakers = &breakers_;
+  }
+  if (request.options.latency == nullptr) {
+    request.options.latency = &latency_;
   }
   // The session's span recorder is created before parsing so the parse
   // phase is the first child of the root "session" span; the stream takes

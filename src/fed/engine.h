@@ -33,6 +33,7 @@
 #include "common/status.h"
 #include "fed/breaker.h"
 #include "fed/executor.h"
+#include "fed/latency.h"
 #include "fed/options.h"
 #include "fed/plan.h"
 #include "fed/planner.h"
@@ -83,10 +84,18 @@ class FederatedEngine {
   // caller supplied a registry of their own.
   BreakerRegistry* breakers() const { return &breakers_; }
 
+  // The engine's per-source latency tracker: wrapper-call durations from
+  // every session accumulate here, feeding adaptive timeouts and hedge
+  // delays (PlanOptions::latency, filled in unless the caller supplied a
+  // tracker of their own). Rendered by the shell's `.timeouts`.
+  LatencyTracker* latency() const { return &latency_; }
+
   // Engine-wide metrics: the aggregate of every finished session's registry
-  // (sessions with collect_metrics on) plus session/query counters. Cut at
-  // any time; rendered by the shell's `.metrics`.
-  obs::MetricsSnapshot MetricsSnapshot() const { return metrics_.Snapshot(); }
+  // (sessions with collect_metrics on) plus session/query counters, plus a
+  // projection of the circuit-breaker registry (svc.breaker.<id>.state
+  // gauges and transition counters) so breaker state is visible outside the
+  // shell's `.breakers`. Cut at any time; rendered by `.metrics`.
+  obs::MetricsSnapshot MetricsSnapshot() const;
 
   // The engine-wide registry itself (thread-safe; outlives every session).
   obs::MetricsRegistry* metrics() const { return &metrics_; }
@@ -133,6 +142,9 @@ class FederatedEngine {
 
   // Circuit-breaker registry (thread-safe; outlives every session).
   mutable BreakerRegistry breakers_;
+
+  // Per-source latency tracker (thread-safe; outlives every session).
+  mutable LatencyTracker latency_;
 
   // Engine-wide metrics registry (thread-safe; outlives every session).
   mutable obs::MetricsRegistry metrics_;

@@ -19,6 +19,7 @@
 #include "common/retry.h"
 #include "common/stopwatch.h"
 #include "fed/breaker.h"
+#include "fed/latency.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "stats/stats_catalog.h"
@@ -794,6 +795,22 @@ class PlanExecution::Impl {
     failovers_counter_ = local_metrics_.GetCounter("exec.failovers");
     breaker_rejections_counter_ =
         local_metrics_.GetCounter("exec.breaker_rejections");
+    // Tail-tolerance counters exist only when their feature is on, so the
+    // default path's registry (and metrics JSON) is unchanged.
+    if (options_.hedge.enabled) {
+      hedges_fired_counter_ = local_metrics_.GetCounter("exec.hedges_fired");
+      hedge_wins_counter_ = local_metrics_.GetCounter("exec.hedge_wins");
+      hedges_cancelled_counter_ =
+          local_metrics_.GetCounter("exec.hedges_cancelled");
+      hedges_suppressed_counter_ =
+          local_metrics_.GetCounter("exec.hedges_suppressed");
+      hedge_budget_query_.store(options_.hedge.max_per_query,
+                                std::memory_order_relaxed);
+    }
+    if (options_.adaptive_timeout.enabled) {
+      adaptive_timeouts_counter_ =
+          local_metrics_.GetCounter("exec.adaptive_timeouts");
+    }
     sink_ = options_.collect_metrics && options_.metrics != nullptr
                 ? options_.metrics
                 : &local_metrics_;
@@ -869,6 +886,7 @@ class PlanExecution::Impl {
     stats_.source_rows = stats_.messages_transferred;
     for (const auto& [source, injector] : injectors_) {
       stats_.faults_injected += injector->faults_injected();
+      stats_.latency_spikes_injected += injector->slow_injected();
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -883,6 +901,15 @@ class PlanExecution::Impl {
     stats_.retries = retries_counter_->Value();
     stats_.failovers = failovers_counter_->Value();
     stats_.breaker_rejections = breaker_rejections_counter_->Value();
+    if (hedges_fired_counter_ != nullptr) {
+      stats_.hedges_fired = hedges_fired_counter_->Value();
+      stats_.hedge_wins = hedge_wins_counter_->Value();
+      stats_.hedges_cancelled = hedges_cancelled_counter_->Value();
+      stats_.hedges_suppressed = hedges_suppressed_counter_->Value();
+    }
+    if (adaptive_timeouts_counter_ != nullptr) {
+      stats_.adaptive_timeouts = adaptive_timeouts_counter_->Value();
+    }
     constexpr const char* kRetriesSuffix = ".retries";
     for (const auto& [suffix, value] :
          local_metrics_.CountersWithPrefix("source.")) {
@@ -920,6 +947,10 @@ class PlanExecution::Impl {
       if (stats_.faults_injected > 0) {
         sink_->GetCounter("exec.faults_injected")
             ->Increment(stats_.faults_injected);
+      }
+      if (stats_.latency_spikes_injected > 0) {
+        sink_->GetCounter("exec.latency_spikes")
+            ->Increment(stats_.latency_spikes_injected);
       }
       for (const auto& [source, breakdown] : stats_.per_source) {
         sink_->GetCounter("source." + source + ".messages")
@@ -1043,9 +1074,17 @@ class PlanExecution::Impl {
     ctx.token = token;
     ctx.batch_size = batch_;
     Status st = w->Execute(subquery, ctx);
+    const double elapsed_ms = watch.ElapsedMillis();
+    // Successful calls feed the shared latency tracker (adaptive timeouts
+    // and hedge delays). Failed or cancelled calls are excluded: an aborted
+    // attempt's short duration would drag the quantiles below what a
+    // completed call actually costs.
+    if (options_.latency != nullptr && st.ok()) {
+      options_.latency->Record(subquery.source_id, elapsed_ms);
+    }
     if (options_.collect_metrics) {
       sink_->GetHistogram("wrapper." + subquery.source_id + ".call_ms")
-          ->Record(watch.ElapsedMillis());
+          ->Record(elapsed_ms);
     }
     return st;
   }
@@ -1057,7 +1096,8 @@ class PlanExecution::Impl {
   bool FaultTolerant() const {
     return options_.retry.enabled() ||
            options_.failure_mode == FailureMode::kBestEffort ||
-           !options_.faults.empty();
+           !options_.faults.empty() || options_.hedge.enabled ||
+           options_.adaptive_timeout.enabled;
   }
 
   void AddRecoveryEvent(std::string event) {
@@ -1069,11 +1109,37 @@ class PlanExecution::Impl {
   // runs into a private staging queue and is forwarded to `sink` only on
   // success, so downstream operators never observe duplicate or torn
   // attempts. A closed `sink` (downstream satisfied) counts as success.
+  // Per-attempt timeout for `source` derived from its observed latency:
+  // multiplier × the configured quantile, floored, once enough samples
+  // exist. Until then the static retry.attempt_timeout_ms applies. The
+  // session's remaining deadline still caps every attempt (MakeAttemptToken
+  // clamps), so an optimistic quantile can never extend a query past its
+  // deadline.
+  double AdaptiveAttemptTimeoutMs(const std::string& source) {
+    const PlanOptions::AdaptiveTimeoutConfig& cfg = options_.adaptive_timeout;
+    if (options_.latency != nullptr) {
+      LatencyTracker::Estimate est =
+          options_.latency->Quantile(source, cfg.quantile);
+      if (est.samples >= cfg.min_samples) {
+        adaptive_timeouts_counter_->Increment();
+        return std::max(cfg.floor_ms, cfg.multiplier * est.value_ms);
+      }
+    }
+    return options_.retry.attempt_timeout_ms;
+  }
+
   Status ExecuteWithRetry(SourceWrapper* w, const SubQuery& subquery,
                           net::DelayChannel* channel, RowQueue* sink,
                           const CancellationToken& token, Rng* rng,
                           int* retries_out, uint64_t parent_span) {
     net::FaultInjector* injector = channel->fault_injector();
+    std::function<double(int)> attempt_timeout_fn;
+    if (options_.adaptive_timeout.enabled) {
+      const std::string source = subquery.source_id;
+      attempt_timeout_fn = [this, source](int) {
+        return AdaptiveAttemptTimeoutMs(source);
+      };
+    }
     return RunWithRetry(
         options_.retry, token, rng,
         [&](const CancellationToken& attempt_token) -> Status {
@@ -1094,12 +1160,355 @@ class PlanExecution::Impl {
           }
           return Status::OK();
         },
-        retries_out);
+        retries_out, attempt_timeout_fn);
+  }
+
+  // --- hedged leaf execution -------------------------------------------
+  // When PlanOptions::hedge is on and the planner recorded a failover
+  // alternate, a leaf runs as a race: the primary starts immediately; if it
+  // is still running once the hedge delay passes (multiplier × the
+  // primary's observed latency quantile, or the fallback delay while
+  // samples are scarce), the same sub-query is launched speculatively
+  // against the first alternate. The first racer to complete supplies the
+  // rows; the loser is cancelled. Each racer stages its rows in a private
+  // queue and only the winner's queue is drained into the real sink — by
+  // the launcher thread alone — so downstream operators can never observe
+  // torn or duplicate rows.
+
+  // Shared outcome of one racer (primary or hedge).
+  struct RacerResult {
+    Status status = Status::OK();
+    int retries = 0;
+    // The circuit breaker admitted this racer (AllowRequest returned true),
+    // so exactly one of OnSuccess/OnFailure/OnAbandoned must report back.
+    bool admitted = false;
+  };
+
+  // Shared state of one hedge race. `mu` orders the launcher (running the
+  // primary inline) against the watchdog (sleeping out the hedge delay,
+  // then running the hedge arm). The session token's IsCancelled() is
+  // never evaluated while holding `mu`: observing an expired deadline
+  // promotes it to a cancellation that runs callbacks on the calling
+  // thread, and those callbacks may need `mu` themselves.
+  struct HedgeRace {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool primary_done = false;
+    // Launcher resolved the race; the watchdog must not launch a hedge any
+    // more (it may still be draining one it already launched).
+    bool closed = false;
+    bool hedge_launched = false;
+    bool hedge_done = false;
+    int winner = -1;  // first racer to finish OK: 0 = primary, 1 = hedge
+    RacerResult primary, hedge;
+    CancellationToken primary_token, hedge_token;
+    std::shared_ptr<RowQueue> primary_rows, hedge_rows;
+  };
+
+  struct HedgeOutcome {
+    bool decided = false;  // status is final — success or session abort
+    size_t raced = 1;      // candidates consumed; the ladder resumes here
+    Status status = Status::OK();
+  };
+
+  // A cancellable child of the session token: cancelling the child stops
+  // one racer without touching the session; cancelling the session (or its
+  // deadline expiring) propagates to the child. The deadline must be
+  // copied, not just linked — expiry is promoted lazily by whoever observes
+  // it, and a racer may be the only thread looking at a clock.
+  static CancellationToken MakeLinkedToken(const CancellationToken& session) {
+    std::optional<CancellationToken::Clock::time_point> deadline =
+        session.deadline();
+    CancellationToken child = deadline.has_value()
+                                  ? CancellationToken::WithDeadline(*deadline)
+                                  : CancellationToken::Cancellable();
+    if (session.can_cancel()) {
+      CancellationToken session_copy = session;
+      CancellationToken child_copy = child;
+      session_copy.OnCancel([child_copy, session_copy]() mutable {
+        child_copy.CancelWith(session_copy.ToStatus());
+      });
+    }
+    return child;
+  }
+
+  // Hedge delay for a leaf whose primary is `source`: multiplier × the
+  // observed latency quantile once enough samples exist, else the static
+  // fallback; never below the configured minimum.
+  double HedgeDelayMs(const std::string& source) const {
+    const PlanOptions::HedgeConfig& cfg = options_.hedge;
+    double delay = cfg.fallback_delay_ms;
+    if (options_.latency != nullptr) {
+      LatencyTracker::Estimate est =
+          options_.latency->Quantile(source, cfg.quantile);
+      if (est.samples >= cfg.min_samples) {
+        delay = cfg.multiplier * est.value_ms;
+      }
+    }
+    return std::max(delay, cfg.min_delay_ms);
+  }
+
+  // Claims one unit of hedge budget (per query and per hedge source).
+  // Returns false — charging nothing — when either budget is exhausted.
+  bool ConsumeHedgeBudget(const std::string& hedge_source) {
+    int cur = hedge_budget_query_.load(std::memory_order_relaxed);
+    while (cur > 0 && !hedge_budget_query_.compare_exchange_weak(
+                          cur, cur - 1, std::memory_order_relaxed)) {
+    }
+    if (cur <= 0) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    int& used = hedge_source_used_[hedge_source];
+    if (used >= options_.hedge.max_per_source) {
+      hedge_budget_query_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    ++used;
+    return true;
+  }
+
+  // Returns a claimed budget unit (the hedge lost the launch race and never
+  // actually fired).
+  void RefundHedgeBudget(const std::string& hedge_source) {
+    hedge_budget_query_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    --hedge_source_used_[hedge_source];
+  }
+
+  // One arm of a hedge race: breaker admission, then the standard retried
+  // execution into the racer's private staging queue.
+  void RunRacer(const SubQuery& base, const std::string& source,
+                RowQueue* staging, const CancellationToken& racer_token,
+                Rng* rng, uint64_t parent_span, RacerResult* out) {
+    BreakerRegistry* breakers = options_.breakers;
+    if (breakers != nullptr && !breakers->AllowRequest(source)) {
+      breaker_rejections_counter_->Increment();
+      out->admitted = false;
+      out->status = Status::Unavailable("circuit breaker open for source '" +
+                                        source + "'");
+      return;
+    }
+    out->admitted = breakers != nullptr;
+    Result<SourceWrapper*> wrapper = WrapperFor(source);
+    if (!wrapper.ok()) {
+      out->status = wrapper.status();
+      return;
+    }
+    SubQuery sq = base;
+    sq.source_id = source;
+    net::DelayChannel* channel = ChannelFor(source);
+    out->status = ExecuteWithRetry(*wrapper, sq, channel, staging,
+                                   racer_token, rng, &out->retries,
+                                   parent_span);
+  }
+
+  // Reports one finished racer: retry accounting, then the breaker verdict.
+  // A racer cancelled as the race loser (or by the session) neither closes
+  // nor trips the breaker — it only releases the probe slot it may hold.
+  void ResolveRacer(const std::string& source, const RacerResult& r) {
+    if (r.retries > 0) {
+      retries_counter_->Increment(static_cast<uint64_t>(r.retries));
+      local_metrics_.GetCounter("source." + source + ".retries")
+          ->Increment(static_cast<uint64_t>(r.retries));
+      AddRecoveryEvent("retried " + source + " x" +
+                       std::to_string(r.retries));
+    }
+    BreakerRegistry* breakers = options_.breakers;
+    if (!r.admitted || breakers == nullptr) return;
+    if (r.status.ok()) {
+      breakers->OnSuccess(source);
+    } else if (r.status.code() == StatusCode::kCancelled) {
+      breakers->OnAbandoned(source);
+    } else {
+      breakers->OnFailure(source);
+      if (breakers->IsOpen(source)) {
+        AddRecoveryEvent("breaker opened for " + source);
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      failed_sources_[source] = r.status.message();
+    }
+  }
+
+  // Runs candidates[0] hedged by candidates[1]. Returns decided=true with
+  // the final status when a racer won (its rows are in `sink`) or the
+  // session aborted; otherwise both arms failed and the recovery ladder
+  // resumes from index `raced`.
+  HedgeOutcome ExecuteLeafHedged(const SubQuery& subquery,
+                                 const std::vector<std::string>& candidates,
+                                 RowQueue* sink,
+                                 const CancellationToken& token, Rng* rng,
+                                 uint64_t parent_span) {
+    const std::string primary_source = candidates[0];
+    const std::string hedge_source = candidates[1];
+    const double delay_ms = HedgeDelayMs(primary_source);
+
+    auto race = std::make_shared<HedgeRace>();
+    race->primary_token = MakeLinkedToken(token);
+    race->hedge_token = MakeLinkedToken(token);
+    race->primary_rows = std::make_shared<RowQueue>(static_cast<size_t>(1)
+                                                    << 30);
+    race->hedge_rows = std::make_shared<RowQueue>(static_cast<size_t>(1)
+                                                  << 30);
+
+    // Hedge-arm retry RNG: derived like the per-leaf RNG but over the hedge
+    // source and a distinct salt, so the two racers draw independent,
+    // replayable backoff schedules.
+    uint64_t hedge_seed = options_.seed ^ UINT64_C(0x51afd6ed558ccd25);
+    for (char c : hedge_source) {
+      hedge_seed = hedge_seed * 131 + static_cast<uint64_t>(c);
+    }
+
+    // The watchdog sleeps out the hedge delay; if the primary is still in
+    // flight it runs the hedge arm itself (so the arm needs no third
+    // thread). Budget is charged only when the hedge actually fires.
+    auto watchdog = [this, race, subquery, hedge_source, hedge_seed,
+                     delay_ms, parent_span] {
+      {
+        std::unique_lock<std::mutex> lock(race->mu);
+        race->cv.wait_for(
+            lock, std::chrono::duration<double, std::milli>(delay_ms),
+            [&race] { return race->primary_done || race->closed; });
+        if (race->primary_done || race->closed) return;
+      }
+      if (!ConsumeHedgeBudget(hedge_source)) {
+        hedges_suppressed_counter_->Increment();
+        return;
+      }
+      bool launch = false;
+      {
+        std::lock_guard<std::mutex> lock(race->mu);
+        // The launcher may have resolved between our wake-up and here; a
+        // hedge launched now would have no one to drain or resolve it.
+        if (!race->closed) {
+          race->hedge_launched = true;
+          launch = true;
+        }
+      }
+      if (!launch) {
+        RefundHedgeBudget(hedge_source);
+        return;
+      }
+      hedges_fired_counter_->Increment();
+      AddRecoveryEvent("hedge fired " + subquery.source_id + " -> " +
+                       hedge_source);
+      Rng hedge_rng(hedge_seed);
+      RunRacer(subquery, hedge_source, race->hedge_rows.get(),
+               race->hedge_token, &hedge_rng, parent_span, &race->hedge);
+      bool hedge_won = false;
+      {
+        std::lock_guard<std::mutex> lock(race->mu);
+        race->hedge_done = true;
+        if (race->hedge.status.ok() && race->winner == -1) {
+          race->winner = 1;
+          hedge_won = true;
+        }
+        race->cv.notify_all();
+      }
+      // Cancel outside the race mutex: CancelWith runs callbacks inline.
+      if (hedge_won) {
+        race->primary_token.CancelWith(
+            Status::Cancelled("hedge against '" + hedge_source +
+                              "' completed first"));
+      }
+    };
+
+    std::thread watchdog_thread;  // thread mode only
+    if (sched_ != nullptr) {
+      // Scheduler mode: the watchdog is an I/O-pool job tracked by the
+      // execution's task group (Finish waits for it). The launcher never
+      // blocks on a job that has not started — if the pool is saturated the
+      // job runs late, observes `closed` and exits without launching.
+      std::shared_ptr<TaskGroup> group = task_group_;
+      group->Add();
+      sched_->SubmitIo([group, watchdog] {
+        watchdog();
+        group->Done();
+      });
+    } else {
+      watchdog_thread = std::thread(watchdog);
+    }
+
+    // The primary racer runs inline on the leaf's own thread/job, with the
+    // leaf's deterministic retry RNG — an unhedged leaf and a hedged leaf
+    // whose hedge never fires replay identical primary schedules.
+    RunRacer(subquery, primary_source, race->primary_rows.get(),
+             race->primary_token, rng, parent_span, &race->primary);
+
+    bool cancel_hedge = false;
+    {
+      std::lock_guard<std::mutex> lock(race->mu);
+      race->primary_done = true;
+      race->closed = true;
+      if (race->primary.status.ok() && race->winner == -1) race->winner = 0;
+      cancel_hedge =
+          race->winner == 0 && race->hedge_launched && !race->hedge_done;
+      race->cv.notify_all();
+    }
+    if (cancel_hedge) {
+      race->hedge_token.CancelWith(Status::Cancelled(
+          "primary '" + primary_source + "' completed first"));
+    }
+    // Quiesce the hedge arm: once `closed` is set the watchdog can no
+    // longer launch, so waiting on hedge_done when hedge_launched is the
+    // complete condition (and the hedge arm is already running then — this
+    // never waits on an unscheduled job).
+    {
+      std::unique_lock<std::mutex> lock(race->mu);
+      race->cv.wait(lock, [&race] {
+        return !race->hedge_launched || race->hedge_done;
+      });
+    }
+    if (watchdog_thread.joinable()) watchdog_thread.join();
+
+    // Both arms are final; report them, then settle the outcome.
+    ResolveRacer(primary_source, race->primary);
+    if (race->hedge_launched) ResolveRacer(hedge_source, race->hedge);
+
+    HedgeOutcome out;
+    out.raced = race->hedge_launched ? 2 : 1;
+    if (token.IsCancelled()) {
+      out.decided = true;
+      out.status = token.ToStatus();
+      return out;
+    }
+    if (race->winner >= 0) {
+      if (race->winner == 1) {
+        hedge_wins_counter_->Increment();
+        AddRecoveryEvent("hedge won " + subquery.source_id + " via " +
+                         hedge_source);
+      }
+      const RacerResult& loser =
+          race->winner == 0 ? race->hedge : race->primary;
+      const bool loser_ran = race->winner == 0 ? race->hedge_launched : true;
+      if (loser_ran && loser.status.code() == StatusCode::kCancelled) {
+        hedges_cancelled_counter_->Increment();
+      }
+      // Forward the winner's rows — single-threaded, after both arms are
+      // quiescent, so the sink sees exactly one complete attempt.
+      RowQueue* rows = race->winner == 0 ? race->primary_rows.get()
+                                         : race->hedge_rows.get();
+      rows->Close();
+      std::vector<rdf::Binding> drained;
+      while (rows->PopBatch(&drained, batch_, token) > 0) {
+        if (!sink->PushBatch(&drained, token)) break;
+      }
+      out.decided = true;
+      out.status = Status::OK();
+      return out;
+    }
+    // Both arms failed: hand the ladder the most recent real error.
+    out.decided = false;
+    out.status = race->hedge_launched &&
+                         race->hedge.status.code() != StatusCode::kCancelled
+                     ? race->hedge.status
+                     : race->primary.status;
+    return out;
   }
 
   // Runs one leaf sub-query with the full recovery ladder: retry against
   // its own source, then against each failover alternate (same molecule),
-  // consulting the per-source circuit breakers throughout. Returns OK as
+  // consulting the per-source circuit breakers throughout. When hedging is
+  // enabled and an alternate exists, the first two candidates race (see
+  // ExecuteLeafHedged); the ladder covers the remainder. Returns OK as
   // soon as any candidate completes; otherwise the last error.
   Status ExecuteLeafWithRecovery(const SubQuery& subquery,
                                  const std::vector<std::string>& alternates,
@@ -1118,7 +1527,18 @@ class PlanExecution::Impl {
     Rng rng(seed);
     BreakerRegistry* breakers = options_.breakers;
     Status last = Status::Unavailable("no candidate source attempted");
-    for (size_t i = 0; i < candidates.size(); ++i) {
+    size_t start = 0;
+    if (options_.hedge.enabled && candidates.size() >= 2 &&
+        hedge_budget_query_.load(std::memory_order_relaxed) > 0 &&
+        !token.IsCancelled()) {
+      HedgeOutcome hedged = ExecuteLeafHedged(subquery, candidates, sink,
+                                              token, &rng, parent_span);
+      if (hedged.decided) return hedged.status;
+      // Both raced arms failed; fall through to the remaining alternates.
+      start = hedged.raced;
+      last = hedged.status;
+    }
+    for (size_t i = start; i < candidates.size(); ++i) {
       if (token.IsCancelled()) return token.ToStatus();
       const std::string& source = candidates[i];
       if (i > 0) {
@@ -2201,6 +2621,17 @@ class PlanExecution::Impl {
   obs::Counter* retries_counter_ = nullptr;
   obs::Counter* failovers_counter_ = nullptr;
   obs::Counter* breaker_rejections_counter_ = nullptr;
+  // Tail-tolerance counters: created only when hedging / adaptive timeouts
+  // are enabled (null otherwise, keeping the default registry unchanged).
+  obs::Counter* hedges_fired_counter_ = nullptr;
+  obs::Counter* hedge_wins_counter_ = nullptr;
+  obs::Counter* hedges_cancelled_counter_ = nullptr;
+  obs::Counter* hedges_suppressed_counter_ = nullptr;
+  obs::Counter* adaptive_timeouts_counter_ = nullptr;
+  // Remaining speculative launches this query may still make; per-source
+  // usage lives in hedge_source_used_ (guarded by mu_).
+  std::atomic<int> hedge_budget_query_{0};
+  std::map<std::string, int> hedge_source_used_;
   obs::SpanRecorder* spans_ = nullptr;  // null when collection is off
   obs::Span exec_span_;
   uint64_t exec_span_id_ = 0;
@@ -2283,6 +2714,12 @@ void ExecutionStats::MergeFrom(const ExecutionStats& other) {
   failovers += other.failovers;
   faults_injected += other.faults_injected;
   breaker_rejections += other.breaker_rejections;
+  hedges_fired += other.hedges_fired;
+  hedge_wins += other.hedge_wins;
+  hedges_cancelled += other.hedges_cancelled;
+  hedges_suppressed += other.hedges_suppressed;
+  adaptive_timeouts += other.adaptive_timeouts;
+  latency_spikes_injected += other.latency_spikes_injected;
   for (const auto& [source, error] : other.failed_sources) {
     failed_sources[source] = error;
   }
@@ -2335,6 +2772,17 @@ std::string QueryAnswer::OperatorStatsText() const {
     for (const auto& [source, error] : stats.failed_sources) {
       out += "  failed source " + source + ": " + error + "\n";
     }
+  }
+  // Tail-tolerance section: rendered only when hedging, adaptive timeouts
+  // or latency-spike injection acted, like the recovery section above.
+  if (stats.hedges_fired > 0 || stats.hedges_suppressed > 0 ||
+      stats.adaptive_timeouts > 0 || stats.latency_spikes_injected > 0) {
+    out += "tail tolerance: " + std::to_string(stats.hedges_fired) +
+           " hedges fired  " + std::to_string(stats.hedge_wins) + " wins  " +
+           std::to_string(stats.hedges_cancelled) + " cancelled  " +
+           std::to_string(stats.hedges_suppressed) + " suppressed  " +
+           std::to_string(stats.adaptive_timeouts) + " adaptive timeouts  " +
+           std::to_string(stats.latency_spikes_injected) + " latency spikes\n";
   }
   return out;
 }

@@ -63,6 +63,23 @@ struct ExecutionStats {
   uint64_t faults_injected = 0;
   // Requests refused because a source's circuit breaker was open.
   uint64_t breaker_rejections = 0;
+  // ---- Tail-tolerance accounting (all zero unless hedging / adaptive
+  // timeouts are enabled) ------------------------------------------------
+  // Speculative replica attempts launched because the primary ran past its
+  // hedge delay.
+  uint64_t hedges_fired = 0;
+  // Hedges that finished first and supplied the leaf's rows.
+  uint64_t hedge_wins = 0;
+  // Race losers cancelled mid-flight (either side).
+  uint64_t hedges_cancelled = 0;
+  // Hedge opportunities skipped because a budget (per query or per source)
+  // was exhausted.
+  uint64_t hedges_suppressed = 0;
+  // Attempts whose timeout came from observed latency quantiles instead of
+  // the static retry.attempt_timeout_ms.
+  uint64_t adaptive_timeouts = 0;
+  // Latency-spike faults fired by configured injectors (slow profile).
+  uint64_t latency_spikes_injected = 0;
   // Sources that exhausted their retries during this execution, keyed by
   // source id, with the last error observed. A listed source may still be
   // covered by a failover alternate — `partial` says whether answers were

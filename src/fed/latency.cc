@@ -1,0 +1,44 @@
+#include "fed/latency.h"
+
+namespace lakefed::fed {
+
+void LatencyTracker::Record(const std::string& source_id, double call_ms) {
+  obs::Histogram* hist;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_ptr<obs::Histogram>& slot = sources_[source_id];
+    if (slot == nullptr) slot = std::make_unique<obs::Histogram>();
+    hist = slot.get();
+  }
+  hist->Record(call_ms);
+}
+
+LatencyTracker::Estimate LatencyTracker::Quantile(
+    const std::string& source_id, double q) const {
+  obs::Histogram* hist;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sources_.find(source_id);
+    if (it == sources_.end()) return {};
+    hist = it->second.get();
+  }
+  return {hist->Count(), hist->Percentile(q)};
+}
+
+std::map<std::string, LatencyTracker::Quantiles> LatencyTracker::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Quantiles> out;
+  for (const auto& [id, hist] : sources_) {
+    out[id] = {hist->Count(), hist->Percentile(0.50), hist->Percentile(0.95),
+               hist->Percentile(0.99)};
+  }
+  return out;
+}
+
+void LatencyTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sources_.clear();
+}
+
+}  // namespace lakefed::fed

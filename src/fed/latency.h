@@ -1,0 +1,66 @@
+// Per-source latency statistics feeding the tail-latency defenses: every
+// wrapper call's duration is recorded here (in addition to the session's
+// `wrapper.<id>.call_ms` histogram), and the executor reads quantiles back
+// to derive adaptive per-attempt timeouts (clamp(k * p99, floor, remaining
+// deadline)) and hedge delays (p95 of the primary source).
+//
+// One LatencyTracker lives in the FederatedEngine and is shared by every
+// session (PlanOptions::latency), so observations accumulate across queries
+// — the Odyssey-style statistics-driven adaptation the paper's related work
+// argues for. All methods are thread-safe. Observations use the same
+// exponential-bucket obs::Histogram as the metrics registry, so quantiles
+// agree with the `.metrics` rendering.
+
+#ifndef LAKEFED_FED_LATENCY_H_
+#define LAKEFED_FED_LATENCY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace lakefed::fed {
+
+class LatencyTracker {
+ public:
+  LatencyTracker() = default;
+  LatencyTracker(const LatencyTracker&) = delete;
+  LatencyTracker& operator=(const LatencyTracker&) = delete;
+
+  // Records one wrapper-call duration against `source_id`.
+  void Record(const std::string& source_id, double call_ms);
+
+  // One quantile of one source's observed call latency. `samples` lets the
+  // caller apply a min-samples guard before trusting the value.
+  struct Estimate {
+    uint64_t samples = 0;
+    double value_ms = 0;
+  };
+  Estimate Quantile(const std::string& source_id, double q) const;
+
+  // Snapshot of every tracked source (shell `.timeouts`).
+  struct Quantiles {
+    uint64_t samples = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+  };
+  std::map<std::string, Quantiles> Snapshot() const;
+
+  // Forgets all observations (tests; shell `.faults clear` resets the
+  // world).
+  void Reset();
+
+ private:
+  // The mutex guards the map only; the histograms themselves are
+  // thread-safe, so Record is lock-free once a source's histogram exists.
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<obs::Histogram>> sources_;
+};
+
+}  // namespace lakefed::fed
+
+#endif  // LAKEFED_FED_LATENCY_H_

@@ -33,6 +33,33 @@ Status PlanOptions::Validate() const {
         "batch_size must be at least 1 (1 = row-at-a-time)");
   }
   LAKEFED_RETURN_NOT_OK(retry.Validate());
+  if (adaptive_timeout.quantile <= 0 || adaptive_timeout.quantile > 1.0) {
+    return Status::InvalidArgument(
+        "adaptive_timeout.quantile must be in (0, 1], got " +
+        std::to_string(adaptive_timeout.quantile));
+  }
+  if (adaptive_timeout.multiplier <= 0) {
+    return Status::InvalidArgument(
+        "adaptive_timeout.multiplier must be > 0");
+  }
+  if (adaptive_timeout.floor_ms < 0) {
+    return Status::InvalidArgument("adaptive_timeout.floor_ms must be >= 0");
+  }
+  if (hedge.quantile <= 0 || hedge.quantile > 1.0) {
+    return Status::InvalidArgument("hedge.quantile must be in (0, 1], got " +
+                                   std::to_string(hedge.quantile));
+  }
+  if (hedge.multiplier <= 0) {
+    return Status::InvalidArgument("hedge.multiplier must be > 0");
+  }
+  if (hedge.min_delay_ms < 0 || hedge.fallback_delay_ms < 0) {
+    return Status::InvalidArgument(
+        "hedge delays (min_delay_ms, fallback_delay_ms) must be >= 0");
+  }
+  if (hedge.max_per_query < 0 || hedge.max_per_source < 0) {
+    return Status::InvalidArgument(
+        "hedge budgets (max_per_query, max_per_source) must be >= 0");
+  }
   for (const auto& [source, profile] : faults) {
     Status s = profile.Validate();
     if (!s.ok()) {

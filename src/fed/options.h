@@ -31,6 +31,7 @@ class Scheduler;
 namespace lakefed::fed {
 
 class BreakerRegistry;
+class LatencyTracker;
 
 enum class FailureMode {
   // Any unrecoverable source error (after retries and failover) fails the
@@ -127,6 +128,53 @@ struct PlanOptions {
   // registry automatically when left null; executions report outcomes and
   // the planner routes around sources whose breaker is open.
   BreakerRegistry* breakers = nullptr;
+
+  // ---- Tail tolerance -------------------------------------------------
+  // Defenses against sources that are slow rather than down. Both are off
+  // by default (the fault-free path stays bit-identical); both read the
+  // shared per-source LatencyTracker below.
+
+  // Adaptive per-attempt timeouts: when enabled and the tracker holds at
+  // least `min_samples` observations for a source, each attempt's timeout
+  // becomes max(floor_ms, multiplier * quantile(quantile)) instead of the
+  // static retry.attempt_timeout_ms (the fallback while samples are
+  // scarce). Either way the timeout is clamped to the session's remaining
+  // deadline.
+  struct AdaptiveTimeoutConfig {
+    bool enabled = false;
+    double quantile = 0.99;
+    double multiplier = 3.0;
+    double floor_ms = 10.0;
+    uint64_t min_samples = 20;
+  };
+  AdaptiveTimeoutConfig adaptive_timeout;
+
+  // Hedged leaf execution: when a leaf's primary attempt has run longer
+  // than its hedge delay — multiplier * quantile(quantile) of the primary
+  // source once `min_samples` observations exist, else fallback_delay_ms,
+  // never below min_delay_ms — and the planner recorded failover replicas,
+  // the same sub-query is speculatively launched against the first replica;
+  // the first completed attempt wins and the loser is cancelled. Budgets
+  // cap speculation: max_per_query hedges per execution (0 = never hedge)
+  // and max_per_source in-flight+spent hedges against one replica, so
+  // hedging cannot melt down an already-overloaded source.
+  struct HedgeConfig {
+    bool enabled = false;
+    double quantile = 0.95;
+    double multiplier = 1.0;
+    double min_delay_ms = 1.0;
+    double fallback_delay_ms = 50.0;
+    uint64_t min_samples = 20;
+    int max_per_query = 4;
+    int max_per_source = 2;
+  };
+  HedgeConfig hedge;
+
+  // Per-source latency quantiles feeding the two features above (not
+  // owned). FederatedEngine fills in its tracker automatically when left
+  // null, so observations accumulate across sessions; executions record
+  // every wrapper call's duration into it.
+  LatencyTracker* latency = nullptr;
 
   // ---- Observability --------------------------------------------------
   // Metrics and span collection (src/obs). Default on: sessions record

@@ -22,6 +22,16 @@ Status FaultProfile::Validate() const {
   if (stall_ms < 0) {
     return Status::InvalidArgument("fault stall_ms must be >= 0");
   }
+  if (slow_rate < 0 || slow_rate > 1.0) {
+    return Status::InvalidArgument("fault slow_rate must be in [0, 1], got " +
+                                   std::to_string(slow_rate));
+  }
+  if (slow_ms < 0) {
+    return Status::InvalidArgument("fault slow_ms must be >= 0");
+  }
+  if (slow_jitter_ms < 0) {
+    return Status::InvalidArgument("fault slow_jitter_ms must be >= 0");
+  }
   return Status::OK();
 }
 
@@ -38,6 +48,9 @@ std::string FaultProfile::ToString() const {
   if (drop_after_messages >= 0) sep() << "drop_after=" << drop_after_messages;
   if (error_rate > 0) sep() << "rate=" << error_rate;
   if (stall_ms > 0) sep() << "stall=" << stall_ms;
+  if (slow_rate > 0) sep() << "slow_rate=" << slow_rate;
+  if (slow_ms > 0) sep() << "slow=" << slow_ms;
+  if (slow_jitter_ms > 0) sep() << "slow_jitter=" << slow_jitter_ms;
   if (!any) out << "healthy";
   return out.str();
 }
@@ -77,11 +90,20 @@ Result<FaultProfile> ParseFaultProfile(const std::string& spec) {
     } else if (key == "stall" || key == "stall_ms") {
       LAKEFED_ASSIGN_OR_RETURN(double v, number());
       profile.stall_ms = v;
+    } else if (key == "slow_rate") {
+      LAKEFED_ASSIGN_OR_RETURN(double v, number());
+      profile.slow_rate = v;
+    } else if (key == "slow" || key == "slow_ms") {
+      LAKEFED_ASSIGN_OR_RETURN(double v, number());
+      profile.slow_ms = v;
+    } else if (key == "slow_jitter" || key == "slow_jitter_ms") {
+      LAKEFED_ASSIGN_OR_RETURN(double v, number());
+      profile.slow_jitter_ms = v;
     } else {
       return Status::InvalidArgument(
           "unknown fault spec key '" + key +
           "' (expected outage, rate=, drop_after=, fail_connections=, "
-          "stall=)");
+          "stall=, slow_rate=, slow=, slow_jitter=)");
     }
   }
   LAKEFED_RETURN_NOT_OK(profile.Validate());
@@ -124,6 +146,7 @@ Status FaultInjector::OnConnect(const CancellationToken& token) {
 Status FaultInjector::OnMessage(const CancellationToken& token) {
   bool drop = false;
   bool transient = false;
+  double spike_ms = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++messages_this_attempt_;
@@ -133,6 +156,14 @@ Status FaultInjector::OnMessage(const CancellationToken& token) {
     } else if (profile_.error_rate > 0 &&
                rng_.Bernoulli(profile_.error_rate)) {
       transient = true;
+    } else if (profile_.slow_rate > 0 && rng_.Bernoulli(profile_.slow_rate)) {
+      // Latency spike: the message is delayed, not failed. Sampled under
+      // the lock so the schedule stays a pure function of (profile, seed,
+      // call sequence); slept outside it.
+      spike_ms = profile_.slow_ms;
+      if (profile_.slow_jitter_ms > 0) {
+        spike_ms += rng_.UniformDouble(0, profile_.slow_jitter_ms);
+      }
     }
   }
   if (drop) {
@@ -141,6 +172,10 @@ Status FaultInjector::OnMessage(const CancellationToken& token) {
                              " message(s)");
   }
   if (transient) return Inject(token, "hit a transient error");
+  if (spike_ms > 0) {
+    slow_injected_.fetch_add(1, std::memory_order_relaxed);
+    token.SleepFor(spike_ms);
+  }
   return Status::OK();
 }
 

@@ -14,7 +14,12 @@
 //  * probabilistic transient errors — each message independently fails
 //    with `error_rate` probability;
 //  * stalls — each injected failure is preceded by `stall_ms` of dead air
-//    (bounded by the caller's cancellation token / deadline).
+//    (bounded by the caller's cancellation token / deadline);
+//  * latency spikes — each message is independently slowed with
+//    `slow_rate` probability by `slow_ms` plus a uniform draw from
+//    [0, slow_jitter_ms]. A spike delays the message but does NOT fail it:
+//    this is the "slow, not down" endpoint of production federations, the
+//    failure mode adaptive timeouts and hedged execution defend against.
 
 #ifndef LAKEFED_NET_FAULT_H_
 #define LAKEFED_NET_FAULT_H_
@@ -44,10 +49,16 @@ struct FaultProfile {
   double error_rate = 0;
   // Dead air before each injected failure surfaces, milliseconds.
   double stall_ms = 0;
+  // Per-message probability of a latency spike, in [0, 1]. A spiked
+  // message is delayed (not failed) by slow_ms + U[0, slow_jitter_ms].
+  double slow_rate = 0;
+  double slow_ms = 0;
+  double slow_jitter_ms = 0;
 
   bool Active() const {
     return fail_connections > 0 || permanent_outage ||
-           drop_after_messages >= 0 || error_rate > 0;
+           drop_after_messages >= 0 || error_rate > 0 ||
+           (slow_rate > 0 && (slow_ms > 0 || slow_jitter_ms > 0));
   }
 
   Status Validate() const;
@@ -82,9 +93,15 @@ class FaultInjector {
   const std::string& source_id() const { return source_id_; }
   const FaultProfile& profile() const { return profile_; }
 
-  // Total faults injected (connection + message level).
+  // Total faults injected (connection + message level). Latency spikes are
+  // counted separately — they slow a message without failing it.
   uint64_t faults_injected() const {
     return faults_injected_.load(std::memory_order_relaxed);
+  }
+
+  // Latency spikes injected (messages delayed by the slow profile).
+  uint64_t slow_injected() const {
+    return slow_injected_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -97,6 +114,7 @@ class FaultInjector {
   int64_t connects_ = 0;
   int64_t messages_this_attempt_ = 0;
   std::atomic<uint64_t> faults_injected_{0};
+  std::atomic<uint64_t> slow_injected_{0};
 };
 
 }  // namespace lakefed::net

@@ -212,6 +212,65 @@ TEST(RunWithRetryTest, SessionDeadlineExpiryIsTerminal) {
   EXPECT_EQ(retries, 0);
 }
 
+TEST(RunWithRetryTest, AttemptTimeoutFnOverridesStaticTimeout) {
+  // The per-attempt timeout provider (adaptive timeouts) wins over the
+  // static policy value, and is re-consulted for every attempt with the
+  // 1-based attempt number.
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 0;
+  policy.jitter = 0;
+  policy.attempt_timeout_ms = 60'000;  // static value would never expire here
+  Rng rng(1);
+  int calls = 0, retries = -1;
+  std::vector<int> asked;
+  Status st = RunWithRetry(
+      policy, CancellationToken::Cancellable(), &rng,
+      [&](const CancellationToken& attempt) {
+        ++calls;
+        if (calls < 3) {
+          attempt.SleepFor(50);  // outlive the 5 ms adaptive timeout
+          return attempt.ToStatus();
+        }
+        return Status::OK();
+      },
+      &retries,
+      [&](int attempt_number) {
+        asked.push_back(attempt_number);
+        return 5.0;
+      });
+  EXPECT_TRUE(st.ok()) << st;
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2);
+  EXPECT_EQ(asked, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RunWithRetryTest, AttemptTimeoutFnIsClampedToSessionDeadline) {
+  // Regression: an adaptive timeout far beyond the session's remaining
+  // deadline must not extend the attempt past the session — the attempt
+  // token's deadline is clamped to the sooner of the two.
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_ms = 0;
+  policy.jitter = 0;
+  CancellationToken session = CancellationToken::WithDeadline(
+      CancellationToken::Clock::now() + std::chrono::milliseconds(5));
+  Rng rng(1);
+  int calls = 0;
+  Status st = RunWithRetry(
+      policy, session, &rng,
+      [&](const CancellationToken& attempt) {
+        ++calls;
+        EXPECT_TRUE(attempt.deadline().has_value());
+        EXPECT_LE(*attempt.deadline(), *session.deadline());
+        attempt.SleepFor(60'000);  // woken by the clamped deadline, not 60 s
+        return attempt.ToStatus();
+      },
+      nullptr, [](int) { return 3'600'000.0; });
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st;
+  EXPECT_EQ(calls, 1);  // session expiry is terminal: no second attempt
+}
+
 TEST(MakeAttemptTokenTest, NoTimeoutReturnsSessionToken) {
   CancellationToken session = CancellationToken::Cancellable();
   CancellationToken attempt = MakeAttemptToken(session, 0);

@@ -149,6 +149,96 @@ TEST(DelayChannelFaultTest, TransferSurfacesInjectedFaults) {
   EXPECT_EQ(channel.messages_transferred(), 3u);
 }
 
+TEST(FaultProfileTest, SlowSpikeValidationAndParsing) {
+  FaultProfile profile;
+  profile.slow_rate = 1.5;
+  EXPECT_TRUE(profile.Validate().IsInvalidArgument());
+  profile = FaultProfile();
+  profile.slow_ms = -1;
+  EXPECT_TRUE(profile.Validate().IsInvalidArgument());
+  profile = FaultProfile();
+  profile.slow_jitter_ms = -0.5;
+  EXPECT_TRUE(profile.Validate().IsInvalidArgument());
+
+  Result<FaultProfile> parsed =
+      ParseFaultProfile("slow_rate=0.25 slow=8 slow_jitter=4");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->slow_rate, 0.25);
+  EXPECT_DOUBLE_EQ(parsed->slow_ms, 8);
+  EXPECT_DOUBLE_EQ(parsed->slow_jitter_ms, 4);
+  EXPECT_TRUE(parsed->Active());
+
+  // Aliases and round trip through ToString.
+  Result<FaultProfile> alias = ParseFaultProfile("slow_ms=3 slow_jitter_ms=1");
+  ASSERT_TRUE(alias.ok());
+  EXPECT_DOUBLE_EQ(alias->slow_ms, 3);
+  // slow_ms alone is inert until slow_rate makes spikes possible.
+  EXPECT_FALSE(alias->Active());
+  Result<FaultProfile> again = ParseFaultProfile(parsed->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_DOUBLE_EQ(again->slow_rate, parsed->slow_rate);
+  EXPECT_DOUBLE_EQ(again->slow_ms, parsed->slow_ms);
+  EXPECT_DOUBLE_EQ(again->slow_jitter_ms, parsed->slow_jitter_ms);
+}
+
+TEST(FaultInjectorTest, SlowSpikesDelayButNeverFail) {
+  FaultProfile profile;
+  profile.slow_rate = 1.0;
+  profile.slow_ms = 1;
+  FaultInjector injector("s1", profile, 1);
+  ASSERT_TRUE(injector.OnConnect(CancellationToken()).ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(injector.OnMessage(CancellationToken()).ok());
+  }
+  EXPECT_EQ(injector.slow_injected(), 5u);
+  EXPECT_EQ(injector.faults_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, SlowSpikeScheduleIsSeededDeterministic) {
+  FaultProfile profile;
+  profile.slow_rate = 0.3;
+  profile.slow_ms = 0.01;  // keep the test fast; determinism is the point
+  auto spikes = [&](uint64_t seed) {
+    FaultInjector injector("s1", profile, seed);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(injector.OnMessage(CancellationToken()).ok());
+    }
+    return injector.slow_injected();
+  };
+  const uint64_t a = spikes(7);
+  EXPECT_EQ(a, spikes(7));
+  EXPECT_GT(a, 0u);
+  EXPECT_LT(a, 200u);
+}
+
+TEST(FaultInjectorTest, SlowSpikeSleepIsBoundedByCancellation) {
+  FaultProfile profile;
+  profile.slow_rate = 1.0;
+  profile.slow_ms = 60'000;  // would hang the test if the token were ignored
+  FaultInjector injector("s1", profile, 1);
+  CancellationToken token = CancellationToken::Cancellable();
+  token.Cancel();
+  // A cancelled token turns the spike sleep into an immediate return; the
+  // spike still counts (the fault fired — the session just stopped caring).
+  EXPECT_TRUE(injector.OnMessage(token).ok());
+  EXPECT_EQ(injector.slow_injected(), 1u);
+}
+
+TEST(DelayChannelFaultTest, SlowSpikesRideTheTransferPath) {
+  FaultProfile profile;
+  profile.slow_rate = 1.0;
+  profile.slow_ms = 0.01;
+  FaultInjector injector("s1", profile, 1);
+  DelayChannel channel(NetworkProfile::NoDelay(), 1);
+  channel.set_fault_injector(&injector);
+  ASSERT_TRUE(injector.OnConnect(CancellationToken()).ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(channel.Transfer(CancellationToken()).ok());
+  }
+  EXPECT_EQ(injector.slow_injected(), 3u);
+  EXPECT_EQ(channel.messages_transferred(), 3u);
+}
+
 TEST(DelayChannelFaultTest, NoInjectorMeansNoFaults) {
   DelayChannel channel(NetworkProfile::NoDelay(), 1);
   EXPECT_EQ(channel.fault_injector(), nullptr);
