@@ -175,6 +175,11 @@ struct SoakTally {
   std::atomic<uint64_t> ok{0}, degraded{0}, wrong{0}, errors{0};
   std::atomic<uint64_t> retries{0}, failovers{0}, faults{0}, spikes{0};
   std::atomic<uint64_t> hedges_fired{0}, adaptive{0};
+  // Pinned at 0: the soak runs with caching off (a cached sub-answer would
+  // mask the fault injection the soak exists to exercise). The explicit
+  // JSON field keeps the schema stable across cache-on and cache-off
+  // builds.
+  std::atomic<uint64_t> cache_hits{0};
 };
 
 void TallyAnswer(const std::string& id, const fed::QueryAnswer& answer,
@@ -187,6 +192,7 @@ void TallyAnswer(const std::string& id, const fed::QueryAnswer& answer,
   tally->spikes += stats.latency_spikes_injected;
   tally->hedges_fired += stats.hedges_fired;
   tally->adaptive += stats.adaptive_timeouts;
+  tally->cache_hits += stats.sub_answer_hits;
   if (Digest(answer) == expected.at(id)) {
     ++tally->ok;
   } else if (stats.partial) {
@@ -516,6 +522,7 @@ void Run() {
         .Set("latency_spikes", r.tally.spikes.load())
         .Set("hedges_fired", r.tally.hedges_fired.load())
         .Set("adaptive_timeouts", r.tally.adaptive.load())
+        .Set("cache_hits", r.tally.cache_hits.load())
         .Set("wall_s", r.wall_s)
         .Set("threads_peak", static_cast<uint64_t>(r.threads_peak));
   }

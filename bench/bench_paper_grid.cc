@@ -41,6 +41,10 @@ struct Cell {
   double push_wait_ms = 0;
   double pop_wait_ms = 0;
   uint64_t peak_queue_depth = 0;
+  // Sub-answer cache hits — pinned at 0 here: the grid always runs with
+  // caching off, and the explicit field keeps the schema stable whether or
+  // not a reuse layer exists in the build under test.
+  uint64_t cache_hits = 0;
 };
 
 Cell RunCellOnce(const lslod::DataLake& lake,
@@ -71,6 +75,7 @@ Cell RunCellOnce(const lslod::DataLake& lake,
   c.run.answers = answer->rows.size();
   c.run.transferred = answer->stats.messages_transferred;
   c.run.delay_ms = answer->stats.network_delay_ms;
+  c.cache_hits = answer->stats.sub_answer_hits;
 
   obs::QueryProfile prof = (*stream)->profile();
   c.max_q_error = prof.max_q_error;
@@ -179,7 +184,8 @@ void Run() {
         .Set("backpressure_op", c.backpressure_op)
         .Set("push_wait_ms", c.push_wait_ms)
         .Set("pop_wait_ms", c.pop_wait_ms)
-        .Set("peak_queue_depth", c.peak_queue_depth);
+        .Set("peak_queue_depth", c.peak_queue_depth)
+        .Set("cache_hits", c.cache_hits);
   }
   emitter.Write("BENCH_paper_grid.json");
 }

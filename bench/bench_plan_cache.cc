@@ -1,0 +1,274 @@
+// PLAN CACHE — repeated-traffic reuse: every benchmark query (Q1..Q5) runs
+// once cold and many times warm against the engine's plan + sub-answer
+// caches, then a 1000-request mixed workload goes through the multi-tenant
+// QueryService with caching on.
+//
+// Three claims are checked (the bench aborts if one fails):
+//   1. Answers with caching on — cold and warm — are the exact multiset of
+//      the cache-off baseline.
+//   2. Warm sessions spend >= 5x less time in the preparation phases
+//      (parse + decompose + plan, measured from the session span tree;
+//      cache hits leave only the parse-cache/plan-cache marker spans).
+//   3. The service workload hits the plan cache on >= 90% of requests.
+//
+// Emits BENCH_plan_cache.json: one "repeat" row per query (cold vs warm
+// preparation time and the reduction factor) plus one "service" row with
+// the workload's hit rates and throughput.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "fed/cache.h"
+#include "obs/span.h"
+#include "svc/service.h"
+
+namespace lakefed::bench {
+namespace {
+
+constexpr int kWarmReps = 20;      // warm sessions per query (claim 2)
+constexpr int kServiceRequests = 1000;  // mixed workload size (claim 3)
+constexpr double kMinPrepReduction = 5.0;
+constexpr double kMinPlanHitRate = 0.9;
+
+fed::PlanOptions CachedOptions() {
+  fed::PlanOptions options;
+  options.plan_cache = true;
+  options.answer_cache = true;
+  return options;
+}
+
+// Sorted multiset digest of an answer, using the projection order.
+std::vector<std::string> AnswerDigest(const fed::QueryAnswer& answer) {
+  std::vector<std::string> out;
+  for (const rdf::Binding& row : answer.rows) {
+    std::string s;
+    for (const std::string& var : answer.variables) {
+      auto it = row.find(var);
+      s += it == row.end() ? std::string("~") : it->second.ToString();
+      s.push_back('|');
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Time one session spent in its preparation phases: parse + plan work on a
+// miss, the parse-cache/plan-cache marker spans on a hit. The "decompose"
+// and "source-select" spans nest inside "plan", so summing the four
+// top-level names never double-counts.
+double PrepMs(const obs::SpanRecorder& spans) {
+  double ms = 0;
+  for (const obs::SpanRecord& span : spans.Snapshot()) {
+    if (span.name == "parse" || span.name == "parse-cache" ||
+        span.name == "plan" || span.name == "plan-cache") {
+      ms += span.duration_ms();
+    }
+  }
+  return ms;
+}
+
+struct SessionRun {
+  double prep_ms = 0;
+  uint64_t sub_answer_hits = 0;
+  std::vector<std::string> digest;
+};
+
+SessionRun RunSession(const lslod::DataLake& lake, const std::string& sparql,
+                      const fed::PlanOptions& options) {
+  auto stream = lake.engine->CreateSession(
+      fed::QueryRequest::Text(sparql, options));
+  if (!stream.ok()) {
+    std::fprintf(stderr, "session creation failed: %s\n",
+                 stream.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto answer = (*stream)->Drain();
+  if (!answer.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 answer.status().ToString().c_str());
+    std::exit(1);
+  }
+  SessionRun run;
+  run.sub_answer_hits = answer->stats.sub_answer_hits;
+  run.digest = AnswerDigest(*answer);
+  const obs::SpanRecorder* spans = (*stream)->spans();
+  if (spans == nullptr) {
+    std::fprintf(stderr, "no span recorder on the session\n");
+    std::exit(1);
+  }
+  run.prep_ms = PrepMs(*spans);
+  return run;
+}
+
+void Run() {
+  PrintHeader("Plan + sub-answer cache: repeated queries and a 1000-request "
+              "service workload");
+  auto lake = BuildBenchLake();
+  BenchJsonEmitter emitter("plan_cache");
+  emitter.config()
+      .Set("warm_reps", kWarmReps)
+      .Set("service_requests", kServiceRequests);
+
+  // ---- Claims 1 + 2: per-query cold vs warm sessions -------------------
+  std::printf("%-5s %8s %12s %12s %10s %10s\n", "query", "answers",
+              "cold_prep", "warm_prep", "reduction", "hits/warm");
+  double total_cold_prep = 0;
+  double total_warm_prep = 0;
+  for (const lslod::BenchmarkQuery& query : lslod::BenchmarkQueries()) {
+    fed::PlanOptions off;
+    auto baseline = lake->engine->Execute(query.sparql, off);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "baseline failed: %s\n",
+                   baseline.status().ToString().c_str());
+      std::exit(1);
+    }
+    const std::vector<std::string> expected = AnswerDigest(*baseline);
+
+    const fed::PlanOptions on = CachedOptions();
+    SessionRun cold = RunSession(*lake, query.sparql, on);
+    if (cold.digest != expected) {
+      std::fprintf(stderr, "%s: cold cached answers diverged from the "
+                   "cache-off baseline\n", query.id.c_str());
+      std::exit(1);
+    }
+    double warm_prep_sum = 0;
+    uint64_t warm_hits = 0;
+    for (int i = 0; i < kWarmReps; ++i) {
+      SessionRun warm = RunSession(*lake, query.sparql, on);
+      if (warm.digest != expected) {
+        std::fprintf(stderr, "%s: warm cached answers diverged from the "
+                     "cache-off baseline\n", query.id.c_str());
+        std::exit(1);
+      }
+      warm_prep_sum += warm.prep_ms;
+      warm_hits += warm.sub_answer_hits;
+    }
+    const double warm_prep_mean = warm_prep_sum / kWarmReps;
+    const double reduction =
+        warm_prep_mean > 0 ? cold.prep_ms / warm_prep_mean : 0;
+    total_cold_prep += cold.prep_ms;
+    total_warm_prep += warm_prep_mean;
+    std::printf("%-5s %8zu %10.3fms %10.4fms %9.1fx %10.1f\n",
+                query.id.c_str(), expected.size(), cold.prep_ms,
+                warm_prep_mean, reduction,
+                static_cast<double>(warm_hits) / kWarmReps);
+    emitter.AddResult()
+        .Set("phase", "repeat")
+        .Set("query", query.id)
+        .Set("answers", static_cast<uint64_t>(expected.size()))
+        .Set("cold_prep_ms", cold.prep_ms)
+        .Set("warm_prep_ms", warm_prep_mean)
+        .Set("prep_reduction_x", reduction)
+        .Set("warm_sub_answer_hits_per_run",
+             static_cast<double>(warm_hits) / kWarmReps)
+        .Set("answers_match_baseline", true);
+  }
+  const double overall_reduction =
+      total_warm_prep > 0 ? total_cold_prep / total_warm_prep : 0;
+  std::printf("overall preparation reduction: %.1fx\n", overall_reduction);
+  if (overall_reduction < kMinPrepReduction) {
+    std::fprintf(stderr, "preparation reduction %.2fx below the %.0fx "
+                 "acceptance floor\n", overall_reduction, kMinPrepReduction);
+    std::exit(1);
+  }
+
+  // ---- Claim 3: mixed workload through the QueryService ---------------
+  const fed::CacheStats plan_before = lake->engine->plan_cache()->plan_stats();
+  const fed::CacheStats parsed_before =
+      lake->engine->plan_cache()->parsed_stats();
+  const fed::CacheStats answer_before = lake->engine->answer_cache()->stats();
+
+  svc::ServiceConfig config;
+  config.scheduler = svc::Scheduler::Config{4, 8};
+  config.tenant_cache_quota = 128ull << 20;
+  svc::QueryService service(lake->engine.get(), config);
+  const std::vector<std::string> tenants = {"alpha", "beta", "gamma"};
+  const auto& queries = lslod::BenchmarkQueries();
+
+  Stopwatch clock;
+  std::vector<std::shared_ptr<svc::Submission>> submissions;
+  submissions.reserve(kServiceRequests);
+  for (int i = 0; i < kServiceRequests; ++i) {
+    svc::ServiceRequest request;
+    request.tenant = tenants[i % tenants.size()];
+    request.query = fed::QueryRequest::Text(
+        queries[i % queries.size()].sparql, CachedOptions());
+    auto submission = service.Submit(std::move(request));
+    if (!submission.ok()) {
+      // Admission queue full: drain one before continuing.
+      if (!submissions.empty()) {
+        submissions.front()->Wait();
+        submissions.erase(submissions.begin());
+      }
+      --i;
+      continue;
+    }
+    submissions.push_back(std::move(*submission));
+  }
+  size_t completed = 0;
+  for (const auto& submission : submissions) {
+    if (submission->Wait().ok()) ++completed;
+  }
+  const double wall_s = clock.ElapsedSeconds();
+  service.Shutdown();
+
+  const fed::CacheStats plan_after = lake->engine->plan_cache()->plan_stats();
+  const fed::CacheStats parsed_after =
+      lake->engine->plan_cache()->parsed_stats();
+  const fed::CacheStats answer_after = lake->engine->answer_cache()->stats();
+  auto rate = [](uint64_t hits, uint64_t misses) {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  };
+  const double plan_hit_rate = rate(plan_after.hits - plan_before.hits,
+                                    plan_after.misses - plan_before.misses);
+  const double parsed_hit_rate =
+      rate(parsed_after.hits - parsed_before.hits,
+           parsed_after.misses - parsed_before.misses);
+  const double answer_hit_rate =
+      rate(answer_after.hits - answer_before.hits,
+           answer_after.misses - answer_before.misses);
+  std::printf("\nservice workload: %zu/%d completed in %.2fs — hit rates "
+              "plan %.1f%% parsed %.1f%% sub-answer %.1f%%\n",
+              completed, kServiceRequests, wall_s, 100 * plan_hit_rate,
+              100 * parsed_hit_rate, 100 * answer_hit_rate);
+  if (completed != static_cast<size_t>(kServiceRequests)) {
+    std::fprintf(stderr, "service workload lost requests (%zu/%d)\n",
+                 completed, kServiceRequests);
+    std::exit(1);
+  }
+  if (plan_hit_rate < kMinPlanHitRate) {
+    std::fprintf(stderr, "plan-cache hit rate %.3f below the %.2f "
+                 "acceptance floor\n", plan_hit_rate, kMinPlanHitRate);
+    std::exit(1);
+  }
+  emitter.AddResult()
+      .Set("phase", "service")
+      .Set("requests", static_cast<uint64_t>(kServiceRequests))
+      .Set("completed", static_cast<uint64_t>(completed))
+      .Set("wall_s", wall_s)
+      .Set("plan_hit_rate", plan_hit_rate)
+      .Set("parsed_hit_rate", parsed_hit_rate)
+      .Set("sub_answer_hit_rate", answer_hit_rate)
+      .Set("prep_reduction_x", overall_reduction)
+      .Set("plan_cache_entries", plan_after.entries)
+      .Set("sub_answer_entries", answer_after.entries)
+      .Set("sub_answer_bytes", answer_after.bytes);
+
+  emitter.Write("BENCH_plan_cache.json");
+}
+
+}  // namespace
+}  // namespace lakefed::bench
+
+int main() {
+  lakefed::bench::Run();
+  return 0;
+}

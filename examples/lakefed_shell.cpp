@@ -50,6 +50,12 @@
 //   .trace <id|SPARQL> <file>   execute a query and write its span tree as
 //                         Chrome trace-event JSON (load the file in
 //                         chrome://tracing or ui.perfetto.dev)
+//   .cache                plan/sub-answer cache statistics; `.cache on|off`
+//                         toggles both reuse layers for subsequent queries,
+//                         `.cache clear` flushes them
+//   .fingerprint <id|SPARQL>   the normalized plan-cache fingerprint of a
+//                         query: canonical form, lifted literal parameters
+//                         and the options digest
 //   .quit
 //
 //   $ ./examples/lakefed_shell            # interactive
@@ -65,7 +71,9 @@
 
 #include "common/string_util.h"
 #include "fed/engine.h"
+#include "fed/fingerprint.h"
 #include "obs/trace_export.h"
+#include "sparql/parser.h"
 #include "lslod/generator.h"
 #include "lslod/queries.h"
 #include "svc/service.h"
@@ -216,7 +224,10 @@ class Shell {
           "      wall/compute/queue-wait/network split, backpressure "
           "verdict\n"
           "  .trace <id|SPARQL> <file>   run a query and export a Chrome "
-          "trace (chrome://tracing)\n");
+          "trace (chrome://tracing)\n"
+          "  .cache [on|off|clear]   plan/sub-answer cache stats and "
+          "toggles\n"
+          "  .fingerprint <id|SPARQL>   normalized plan-cache fingerprint\n");
     } else if (cmd == ".mode") {
       if (arg == "aware") {
         options_.mode = fed::PlanMode::kPhysicalDesignAware;
@@ -607,6 +618,52 @@ class Shell {
                   "ui.perfetto.dev\n",
                   spans->Snapshot().size(), path.c_str());
       last_stats_ = answer->OperatorStatsText();
+    } else if (cmd == ".cache") {
+      if (arg == "on" || arg == "off") {
+        const bool on = arg == "on";
+        options_.plan_cache = on;
+        options_.answer_cache = on;
+        std::printf("plan + sub-answer caching = %s\n", on ? "on" : "off");
+      } else if (arg == "clear") {
+        lake_->engine->plan_cache()->Clear();
+        lake_->engine->answer_cache()->Clear();
+        std::printf("caches cleared\n");
+      } else if (!arg.empty()) {
+        std::printf("usage: .cache [on|off|clear]\n");
+      } else {
+        std::printf("caching = %s\n",
+                    options_.plan_cache ? "on" : "off");
+        auto print = [](const char* name, const fed::CacheStats& s) {
+          std::printf(
+              "  %-12s %llu hits  %llu misses  %llu inserts  %llu "
+              "evictions  %llu invalidations  (%llu entries, %llu bytes)\n",
+              name, static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.misses),
+              static_cast<unsigned long long>(s.inserts),
+              static_cast<unsigned long long>(s.evictions),
+              static_cast<unsigned long long>(s.invalidations),
+              static_cast<unsigned long long>(s.entries),
+              static_cast<unsigned long long>(s.bytes));
+        };
+        print("plans", lake_->engine->plan_cache()->plan_stats());
+        print("parsed", lake_->engine->plan_cache()->parsed_stats());
+        print("sub-answers", lake_->engine->answer_cache()->stats());
+      }
+    } else if (cmd == ".fingerprint") {
+      std::string rest(TrimWhitespace(line.substr(cmd.size())));
+      if (rest.empty()) {
+        std::printf("usage: .fingerprint <query id or SPARQL>\n");
+        return true;
+      }
+      const lslod::BenchmarkQuery* q = lslod::FindQuery(rest);
+      const std::string& sparql = q != nullptr ? q->sparql : rest;
+      auto parsed = sparql::ParseSparql(sparql);
+      if (!parsed.ok()) {
+        std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+        return true;
+      }
+      std::printf("%s",
+                  fed::FingerprintQuery(*parsed, options_).ToText().c_str());
     } else if (cmd == ".sql") {
       for (const auto& [id, db] : lake_->databases) {
         auto* w = dynamic_cast<wrapper::SqlWrapper*>(lake_->engine->wrapper(id));

@@ -161,6 +161,37 @@ print("chaos JSON ok: 0 wrong digests on both dataflows, hedge p99 speedup",
       ", ".join("%.1fx" % r["p99_speedup"] for r in ab))
 EOF
 
+echo "== cache smoke: repeat-query workload, hit rates + JSON schema =="
+# The plan-cache bench replays Q1..Q5 cold/warm against the engine caches
+# and then a 1000-request mix through the QueryService with caching on.
+# The binary itself aborts on any answer divergence from the cache-off
+# baseline, on a preparation-time reduction < 5x, or on a plan-cache hit
+# rate < 90%; here we also check the emitted JSON.
+(cd build/bench && \
+ LAKEFED_BENCH_SCALE=0.05 LAKEFED_TIME_SCALE=0.001 ./bench_plan_cache \
+     >/dev/null)
+python3 - <<'EOF'
+import json
+with open("build/bench/BENCH_plan_cache.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == "plan_cache", doc.get("bench")
+repeats = [r for r in doc["results"] if r["phase"] == "repeat"]
+assert {r["query"] for r in repeats} == {"Q1", "Q2", "Q3", "Q4", "Q5"}, repeats
+for r in repeats:
+    assert r["answers_match_baseline"] is True, r
+service = [r for r in doc["results"] if r["phase"] == "service"]
+assert len(service) == 1, doc["results"]
+row = service[0]
+required = {"requests", "completed", "wall_s", "plan_hit_rate",
+            "parsed_hit_rate", "sub_answer_hit_rate", "prep_reduction_x"}
+assert required <= row.keys(), required - row.keys()
+assert row["completed"] == row["requests"] == 1000, row
+assert row["plan_hit_rate"] >= 0.9, row["plan_hit_rate"]
+assert row["prep_reduction_x"] >= 5.0, row["prep_reduction_x"]
+print("plan-cache JSON ok: plan hit rate %.1f%%, prep reduction %.1fx"
+      % (100 * row["plan_hit_rate"], row["prep_reduction_x"]))
+EOF
+
 if [[ "${SKIP_TSAN:-0}" == "1" ]]; then
   echo "== SKIP_TSAN=1: skipping ThreadSanitizer phase =="
   exit 0
@@ -182,6 +213,9 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L svc
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
     -R 'BlockingQueueListener'
+# The reuse layer (sharded LRU caches, epoch stamps, concurrent sessions
+# populating and replaying sub-answers) under tsan.
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L cache
 
 if [[ "${SKIP_ASAN:-0}" == "1" ]]; then
   echo "== SKIP_ASAN=1: skipping AddressSanitizer phase =="

@@ -30,6 +30,7 @@ bool BreakerRegistry::AllowRequest(const std::string& source_id) {
         b.state = BreakerState::kHalfOpen;
         ++b.times_half_open;
         b.probe_in_flight = true;
+        BumpRoutingEpoch();
         return true;  // this caller is the probe
       }
       ++b.rejected_requests;
@@ -49,7 +50,10 @@ bool BreakerRegistry::AllowRequest(const std::string& source_id) {
 void BreakerRegistry::OnSuccess(const std::string& source_id) {
   std::lock_guard<std::mutex> lock(mu_);
   Breaker& b = Get(source_id);
-  if (b.state != BreakerState::kClosed) ++b.times_closed;
+  if (b.state != BreakerState::kClosed) {
+    ++b.times_closed;
+    BumpRoutingEpoch();
+  }
   b.state = BreakerState::kClosed;
   b.consecutive_failures = 0;
   b.probe_in_flight = false;
@@ -63,7 +67,10 @@ void BreakerRegistry::OnFailure(const std::string& source_id) {
   b.probe_in_flight = false;
   if (b.state == BreakerState::kHalfOpen ||
       b.consecutive_failures >= config_.failure_threshold) {
-    if (b.state != BreakerState::kOpen) ++b.times_opened;
+    if (b.state != BreakerState::kOpen) {
+      ++b.times_opened;
+      BumpRoutingEpoch();
+    }
     b.state = BreakerState::kOpen;
     b.opened_at = Clock::now();
   }
@@ -112,6 +119,7 @@ std::vector<BreakerRegistry::Entry> BreakerRegistry::Snapshot() const {
 
 void BreakerRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!breakers_.empty()) BumpRoutingEpoch();
   breakers_.clear();
 }
 

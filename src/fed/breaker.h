@@ -16,6 +16,7 @@
 #ifndef LAKEFED_FED_BREAKER_H_
 #define LAKEFED_FED_BREAKER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -91,6 +92,16 @@ class BreakerRegistry {
   // clear` resets the world).
   void Reset();
 
+  // Monotonic count of breaker state transitions that change what the
+  // planner would route around: every open / half-open / close edge and
+  // Reset() bumps it. Plan-cache entries carry the value observed at
+  // planning time and are invalidated when it moves, so a plan built while
+  // a source was avoided (or available) cannot be replayed after the
+  // breaker flips. Fault-free workloads never transition, so this stays 0.
+  uint64_t routing_epoch() const {
+    return routing_epoch_.load(std::memory_order_acquire);
+  }
+
   const BreakerConfig& config() const { return config_; }
 
  private:
@@ -107,10 +118,14 @@ class BreakerRegistry {
   };
 
   Breaker& Get(const std::string& source_id);
+  void BumpRoutingEpoch() {
+    routing_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   const BreakerConfig config_;
   mutable std::mutex mu_;
   std::map<std::string, Breaker> breakers_;
+  std::atomic<uint64_t> routing_epoch_{0};
 };
 
 }  // namespace lakefed::fed

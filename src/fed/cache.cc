@@ -1,0 +1,103 @@
+#include "fed/cache.h"
+
+namespace lakefed::fed {
+
+namespace {
+
+// Rough footprint of a cached plan: the tree's node payloads dominated by
+// sub-query strings. Walking Describe() per node would be exact-ish but the
+// Explain text is already a faithful proxy and is computed once per insert.
+size_t ApproxPlanBytes(const FederatedPlan& plan) {
+  return plan.Explain().size() * 4 + 1024;
+}
+
+size_t ApproxQueryBytes(const sparql::SelectQuery& query) {
+  return query.ToString().size() * 3 + 512;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(Config config)
+    : plans_(internal::ShardedLru<FederatedPlan>::Limits{
+          config.shards, config.max_entries, config.max_bytes}),
+      parsed_(internal::ShardedLru<sparql::SelectQuery>::Limits{
+          config.shards, config.max_parsed_entries, config.max_bytes}) {}
+
+std::shared_ptr<const FederatedPlan> PlanCache::Lookup(
+    const std::string& key, const EpochStamp& stamp) {
+  return plans_.Lookup(key, stamp);
+}
+
+void PlanCache::Insert(const std::string& key, const std::string& scope,
+                       std::shared_ptr<const FederatedPlan> plan,
+                       const EpochStamp& stamp) {
+  if (plan == nullptr) return;
+  const size_t bytes = key.size() + ApproxPlanBytes(*plan);
+  plans_.Insert(key, scope, std::move(plan), stamp, bytes);
+}
+
+std::shared_ptr<const sparql::SelectQuery> PlanCache::LookupParsed(
+    const std::string& text) {
+  EpochStamp stamp;
+  stamp.structural = structural_epoch();
+  return parsed_.Lookup(text, stamp);
+}
+
+void PlanCache::InsertParsed(const std::string& text,
+                             sparql::SelectQuery query) {
+  EpochStamp stamp;
+  stamp.structural = structural_epoch();
+  const size_t bytes = text.size() + ApproxQueryBytes(query);
+  parsed_.Insert(text, "",
+                 std::make_shared<const sparql::SelectQuery>(std::move(query)),
+                 stamp, bytes);
+}
+
+void PlanCache::SetScopeQuota(const std::string& scope, uint64_t bytes) {
+  plans_.SetScopeQuota(scope, bytes);
+}
+
+void PlanCache::Clear() {
+  plans_.Clear();
+  parsed_.Clear();
+}
+
+SubAnswerCache::SubAnswerCache(Config config)
+    : config_(config),
+      answers_(internal::ShardedLru<std::vector<rdf::Binding>>::Limits{
+          config.shards, config.max_entries, config.max_bytes}) {}
+
+size_t SubAnswerCache::ApproxBytes(const std::vector<rdf::Binding>& rows) {
+  size_t bytes = 64;
+  for (const rdf::Binding& row : rows) {
+    bytes += 48;  // container overhead per row
+    for (const auto& [var, term] : row) {
+      bytes += var.size() + term.value().size() + 64;
+    }
+  }
+  return bytes;
+}
+
+std::shared_ptr<const std::vector<rdf::Binding>> SubAnswerCache::Lookup(
+    const std::string& key, const EpochStamp& stamp) {
+  return answers_.Lookup(key, stamp);
+}
+
+void SubAnswerCache::Insert(const std::string& key, const std::string& scope,
+                            std::vector<rdf::Binding> rows,
+                            const EpochStamp& stamp) {
+  const size_t bytes = key.size() + ApproxBytes(rows);
+  if (bytes > config_.max_entry_bytes) return;
+  answers_.Insert(
+      key, scope,
+      std::make_shared<const std::vector<rdf::Binding>>(std::move(rows)),
+      stamp, bytes);
+}
+
+void SubAnswerCache::SetScopeQuota(const std::string& scope, uint64_t bytes) {
+  answers_.SetScopeQuota(scope, bytes);
+}
+
+void SubAnswerCache::Clear() { answers_.Clear(); }
+
+}  // namespace lakefed::fed

@@ -1,0 +1,424 @@
+// Two-level reuse layer for repeated federated traffic:
+//
+//  * PlanCache — bounded, sharded LRU from a normalized query fingerprint
+//    (fed/fingerprint.h) to the planned QEP, plus a small text-index from
+//    raw SPARQL to its parsed AST so repeats skip the parser too. Owned by
+//    the FederatedEngine; consulted by sessions before BuildPlan.
+//  * SubAnswerCache — bounded LRU from a leaf sub-query's stats key (+
+//    source data version) to its full result rows. Consulted by the
+//    executor before dispatching a wrapper: hits replay the rows straight
+//    into the dataflow, bypassing the wrapper call and its DelayChannel.
+//
+// Invalidation is epoch-based, never TTL-based (Odyssey's statistics-driven
+// replanning motivates this): every entry is stamped with the epochs of
+// everything its construction consulted — the cache's own structural epoch
+// (bumped by AnalyzeSources), the StatsCatalog epoch (bumped by significant
+// runtime-feedback folds) and the BreakerRegistry routing epoch (bumped by
+// breaker state transitions). A lookup whose current stamp differs from the
+// entry's drops the entry and reports a miss, so stale plans and answers
+// die lazily, exactly when they would first be reused.
+//
+// Multi-tenant fairness: entries carry the inserting scope (the query
+// service passes the tenant id) and scopes can be given byte quotas — a
+// scope over its quota evicts its *own* least-recently-used entries first,
+// so one tenant's churn cannot flush everyone else's cache.
+//
+// Thread-safety: all public methods are safe for concurrent sessions.
+
+#ifndef LAKEFED_FED_CACHE_H_
+#define LAKEFED_FED_CACHE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fed/plan.h"
+#include "rdf/bgp.h"
+#include "sparql/ast.h"
+
+namespace lakefed::fed {
+
+// Validity stamp of a cached artifact: the epochs of everything consulted
+// while producing it. Compared wholesale — any moved epoch invalidates.
+struct EpochStamp {
+  uint64_t structural = 0;  // cache's own epoch (AnalyzeSources)
+  uint64_t stats = 0;       // StatsCatalog::epoch()
+  uint64_t routing = 0;     // BreakerRegistry::routing_epoch()
+
+  bool operator==(const EpochStamp& o) const {
+    return structural == o.structural && stats == o.stats &&
+           routing == o.routing;
+  }
+  bool operator!=(const EpochStamp& o) const { return !(*this == o); }
+};
+
+// Cumulative counters plus the current footprint of one cache.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;      // capacity or quota pressure
+  uint64_t invalidations = 0;  // epoch-mismatch entries dropped at lookup
+  uint64_t entries = 0;        // current
+  uint64_t bytes = 0;          // current (approximate footprint)
+};
+
+namespace internal {
+
+// Bounded, sharded LRU keyed by string, stamped with an EpochStamp, with
+// per-scope byte accounting. Values hand out as shared_ptr so a hit stays
+// valid after the entry is evicted underneath it.
+template <typename V>
+class ShardedLru {
+ public:
+  struct Limits {
+    size_t shards = 8;
+    size_t max_entries = 1024;         // across all shards
+    uint64_t max_bytes = 64ull << 20;  // across all shards
+  };
+
+  explicit ShardedLru(Limits limits)
+      : limits_(limits), shards_(std::max<size_t>(1, limits.shards)) {}
+
+  ShardedLru(const ShardedLru&) = delete;
+  ShardedLru& operator=(const ShardedLru&) = delete;
+
+  void SetScopeQuota(const std::string& scope, uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(scope_mu_);
+    scopes_[scope].quota = bytes;
+  }
+
+  std::shared_ptr<const V> Lookup(const std::string& key,
+                                  const EpochStamp& stamp) {
+    Shard& shard = ShardFor(key);
+    std::shared_ptr<const V> value;
+    std::string freed_scope;
+    size_t freed = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.index.find(key);
+      if (it == shard.index.end()) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+      }
+      if (it->second->stamp != stamp) {
+        // Stale: the world moved since this entry was built. Drop it so the
+        // slot frees up; the caller rebuilds and re-inserts fresh.
+        freed = it->second->bytes;
+        freed_scope = it->second->scope;
+        shard.bytes -= std::min<uint64_t>(shard.bytes, freed);
+        shard.entries.erase(it->second);
+        shard.index.erase(it);
+        invalidations_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        shard.entries.splice(shard.entries.begin(), shard.entries,
+                             it->second);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        value = it->second->value;
+      }
+    }
+    if (freed > 0) Debit(freed_scope, freed);
+    return value;
+  }
+
+  void Insert(const std::string& key, const std::string& scope,
+              std::shared_ptr<const V> value, const EpochStamp& stamp,
+              size_t bytes) {
+    Shard& shard = ShardFor(key);
+    std::vector<std::pair<std::string, size_t>> debits;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        debits.emplace_back(it->second->scope, it->second->bytes);
+        shard.bytes -= std::min<uint64_t>(shard.bytes, it->second->bytes);
+        shard.entries.erase(it->second);
+        shard.index.erase(it);
+      }
+      shard.entries.push_front(
+          Node{key, scope, std::move(value), stamp, bytes});
+      shard.index[key] = shard.entries.begin();
+      shard.bytes += bytes;
+      inserts_.fetch_add(1, std::memory_order_relaxed);
+      // Per-shard share of the global bounds keeps capacity eviction local
+      // (no cross-shard locking on the insert path).
+      const size_t max_entries =
+          std::max<size_t>(1, limits_.max_entries / shards_.size());
+      const uint64_t max_bytes =
+          std::max<uint64_t>(1, limits_.max_bytes / shards_.size());
+      while (shard.index.size() > max_entries ||
+             (shard.bytes > max_bytes && shard.index.size() > 1)) {
+        EvictLruLocked(&shard, &debits);
+      }
+    }
+    for (const auto& [s, b] : debits) Debit(s, b);
+    Credit(scope, bytes);
+    EnforceScopeQuota(scope);
+  }
+
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.entries.clear();
+      shard.index.clear();
+      shard.bytes = 0;
+    }
+    std::lock_guard<std::mutex> lock(scope_mu_);
+    for (auto& [scope, acct] : scopes_) acct.bytes = 0;
+  }
+
+  CacheStats Stats() const {
+    CacheStats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.inserts = inserts_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    out.invalidations = invalidations_.load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      out.entries += shard.index.size();
+      out.bytes += shard.bytes;
+    }
+    return out;
+  }
+
+  // Current bytes attributed to `scope` ("" = unscoped).
+  uint64_t ScopeBytes(const std::string& scope) const {
+    std::lock_guard<std::mutex> lock(scope_mu_);
+    auto it = scopes_.find(scope);
+    return it == scopes_.end() ? 0 : it->second.bytes;
+  }
+
+ private:
+  struct Node {
+    std::string key;
+    std::string scope;
+    std::shared_ptr<const V> value;
+    EpochStamp stamp;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Node> entries;  // front = most recent
+    std::map<std::string, typename std::list<Node>::iterator> index;
+    uint64_t bytes = 0;  // guarded by mu
+  };
+  struct ScopeAccount {
+    uint64_t bytes = 0;
+    uint64_t quota = 0;  // 0 = unlimited
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    uint64_t h = 14695981039346656037ULL;
+    for (unsigned char c : key) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    return shards_[h % shards_.size()];
+  }
+
+  // Drops the shard's LRU entry into `debits`. Caller holds shard.mu and
+  // settles the scope accounting after releasing it.
+  void EvictLruLocked(Shard* shard,
+                      std::vector<std::pair<std::string, size_t>>* debits) {
+    if (shard->entries.empty()) return;
+    Node& victim = shard->entries.back();
+    shard->bytes -= std::min<uint64_t>(shard->bytes, victim.bytes);
+    debits->emplace_back(victim.scope, victim.bytes);
+    shard->index.erase(victim.key);
+    shard->entries.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void Credit(const std::string& scope, size_t bytes) {
+    std::lock_guard<std::mutex> lock(scope_mu_);
+    scopes_[scope].bytes += bytes;
+  }
+
+  void Debit(const std::string& scope, size_t bytes) {
+    std::lock_guard<std::mutex> lock(scope_mu_);
+    auto it = scopes_.find(scope);
+    if (it == scopes_.end()) return;
+    it->second.bytes -= std::min<uint64_t>(it->second.bytes, bytes);
+  }
+
+  // Evicts `scope`'s own least-recently-used entries until it fits its
+  // quota again. Other scopes' entries are never touched here — that is
+  // the whole point of per-tenant quotas.
+  void EnforceScopeQuota(const std::string& scope) {
+    uint64_t excess = 0;
+    {
+      std::lock_guard<std::mutex> lock(scope_mu_);
+      auto it = scopes_.find(scope);
+      if (it == scopes_.end() || it->second.quota == 0 ||
+          it->second.bytes <= it->second.quota) {
+        return;
+      }
+      excess = it->second.bytes - it->second.quota;
+    }
+    for (Shard& shard : shards_) {
+      std::vector<std::pair<std::string, size_t>> debits;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.entries.end();
+        while (it != shard.entries.begin() && excess > 0) {
+          --it;
+          if (it->scope != scope) continue;
+          const size_t bytes = it->bytes;
+          debits.emplace_back(it->scope, bytes);
+          shard.bytes -= std::min<uint64_t>(shard.bytes, bytes);
+          shard.index.erase(it->key);
+          it = shard.entries.erase(it);
+          evictions_.fetch_add(1, std::memory_order_relaxed);
+          excess -= std::min<uint64_t>(excess, bytes);
+        }
+      }
+      for (const auto& [s, b] : debits) Debit(s, b);
+      if (excess == 0) return;
+    }
+  }
+
+  const Limits limits_;
+  std::vector<Shard> shards_;
+
+  mutable std::mutex scope_mu_;
+  std::map<std::string, ScopeAccount> scopes_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace internal
+
+// (Config structs live at namespace scope: g++ cannot evaluate a default
+// argument needing a nested aggregate's member initializers before the
+// enclosing class is complete.)
+struct PlanCacheConfig {
+  size_t shards = 8;
+  size_t max_entries = 256;
+  uint64_t max_bytes = 64ull << 20;
+  size_t max_parsed_entries = 512;
+};
+
+struct SubAnswerCacheConfig {
+  size_t shards = 16;
+  size_t max_entries = 4096;
+  uint64_t max_bytes = 256ull << 20;
+  // Sub-answers larger than this are not cached at all: one huge leaf
+  // would evict the whole working set for a single reuse.
+  uint64_t max_entry_bytes = 8ull << 20;
+};
+
+// Engine-owned cache of planned QEPs keyed by the query fingerprint's
+// CacheKey(), plus a raw-text -> parsed-AST index so repeated sessions skip
+// the parser. Entries are immutable shared plans; sessions keep the
+// shared_ptr alive while their dataflow starts.
+class PlanCache {
+ public:
+  using Config = PlanCacheConfig;
+
+  explicit PlanCache(Config config = Config());
+
+  // Structural generation: AnalyzeSources bumps it, invalidating every
+  // cached plan and parsed query built against the previous statistics.
+  uint64_t structural_epoch() const {
+    return structural_epoch_.load(std::memory_order_acquire);
+  }
+  void BumpStructuralEpoch() {
+    structural_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  std::shared_ptr<const FederatedPlan> Lookup(const std::string& key,
+                                              const EpochStamp& stamp);
+  void Insert(const std::string& key, const std::string& scope,
+              std::shared_ptr<const FederatedPlan> plan,
+              const EpochStamp& stamp);
+
+  // Parsed-AST index. Parsing is pure, so entries are stamped only with the
+  // structural epoch — a re-analyze also flushes stale ASTs, keeping one
+  // invalidation story.
+  std::shared_ptr<const sparql::SelectQuery> LookupParsed(
+      const std::string& text);
+  void InsertParsed(const std::string& text, sparql::SelectQuery query);
+
+  void SetScopeQuota(const std::string& scope, uint64_t bytes);
+  void Clear();
+
+  CacheStats plan_stats() const { return plans_.Stats(); }
+  CacheStats parsed_stats() const { return parsed_.Stats(); }
+
+  // Plan bytes currently attributed to `scope` ("" = unscoped).
+  uint64_t ScopeBytes(const std::string& scope) const {
+    return plans_.ScopeBytes(scope);
+  }
+
+ private:
+  std::atomic<uint64_t> structural_epoch_{0};
+  internal::ShardedLru<FederatedPlan> plans_;
+  internal::ShardedLru<sparql::SelectQuery> parsed_;
+};
+
+// Engine-owned cache of leaf sub-query results, keyed by the *fixed*
+// SubQueryStatsKey (instantiation digest included) plus the source's data
+// version. Hits replay the rows into the dataflow without a wrapper call.
+class SubAnswerCache {
+ public:
+  using Config = SubAnswerCacheConfig;
+
+  explicit SubAnswerCache(Config config = Config());
+
+  uint64_t structural_epoch() const {
+    return structural_epoch_.load(std::memory_order_acquire);
+  }
+  void BumpStructuralEpoch() {
+    structural_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  // Composes the full cache key from a sub-query stats key and the
+  // source's data version.
+  static std::string Key(const std::string& stats_key,
+                         uint64_t data_version) {
+    return stats_key + "|v:" + std::to_string(data_version);
+  }
+
+  std::shared_ptr<const std::vector<rdf::Binding>> Lookup(
+      const std::string& key, const EpochStamp& stamp);
+  // Takes the rows by value (the executor hands over its staging copy).
+  // Oversized answers are dropped silently.
+  void Insert(const std::string& key, const std::string& scope,
+              std::vector<rdf::Binding> rows, const EpochStamp& stamp);
+
+  void SetScopeQuota(const std::string& scope, uint64_t bytes);
+  void Clear();
+
+  CacheStats stats() const { return answers_.Stats(); }
+
+  // Sub-answer bytes currently attributed to `scope` ("" = unscoped).
+  uint64_t ScopeBytes(const std::string& scope) const {
+    return answers_.ScopeBytes(scope);
+  }
+
+  // Approximate in-memory footprint of a row set (shared by Insert and the
+  // tests asserting quota behaviour).
+  static size_t ApproxBytes(const std::vector<rdf::Binding>& rows);
+
+ private:
+  const Config config_;
+  std::atomic<uint64_t> structural_epoch_{0};
+  internal::ShardedLru<std::vector<rdf::Binding>> answers_;
+};
+
+}  // namespace lakefed::fed
+
+#endif  // LAKEFED_FED_CACHE_H_

@@ -39,12 +39,20 @@ Status FederatedEngine::AnalyzeSources(
     LAKEFED_RETURN_NOT_OK(source->CollectStatistics(options, &stats));
     catalog->AddSource(std::move(stats));
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  if (stats_ != nullptr) {
-    catalog->MergeFeedbackFrom(*stats_);
-    retired_stats_.push_back(std::move(stats_));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (stats_ != nullptr) {
+      catalog->MergeFeedbackFrom(*stats_);
+      retired_stats_.push_back(std::move(stats_));
+    }
+    stats_ = std::move(catalog);
   }
-  stats_ = std::move(catalog);
+  // Everything cached against the previous statistics is now suspect: the
+  // plans were costed from superseded histograms and the sub-answers may
+  // reflect re-profiled (changed) data. Bumping the structural epochs
+  // invalidates lazily, at first reuse.
+  plan_cache_.BumpStructuralEpoch();
+  answer_cache_.BumpStructuralEpoch();
   return Status::OK();
 }
 
@@ -129,6 +137,12 @@ Result<std::unique_ptr<ResultStream>> FederatedEngine::CreateSession(
   if (request.options.latency == nullptr) {
     request.options.latency = &latency_;
   }
+  if (request.options.plan_cache && request.options.plans == nullptr) {
+    request.options.plans = &plan_cache_;
+  }
+  if (request.options.answer_cache && request.options.answers == nullptr) {
+    request.options.answers = &answer_cache_;
+  }
   // The session's span recorder is created before parsing so the parse
   // phase is the first child of the root "session" span; the stream takes
   // ownership and closes the root at Finish().
@@ -143,8 +157,20 @@ Result<std::unique_ptr<ResultStream>> FederatedEngine::CreateSession(
   if (request.parsed.has_value()) {
     query = std::move(*request.parsed);
   } else {
-    obs::Span parse_span(spans.get(), "parse", session_span);
-    LAKEFED_ASSIGN_OR_RETURN(query, sparql::ParseSparql(request.query));
+    PlanCache* plans =
+        request.options.plan_cache ? request.options.plans : nullptr;
+    std::shared_ptr<const sparql::SelectQuery> cached;
+    if (plans != nullptr) cached = plans->LookupParsed(request.query);
+    if (cached != nullptr) {
+      // Repeat of a known text: reuse the AST. The marker span replaces
+      // the "parse" phase so profiles show where the time went (didn't).
+      obs::Span parse_span(spans.get(), "parse-cache", session_span);
+      query = *cached;
+    } else {
+      obs::Span parse_span(spans.get(), "parse", session_span);
+      LAKEFED_ASSIGN_OR_RETURN(query, sparql::ParseSparql(request.query));
+      if (plans != nullptr) plans->InsertParsed(request.query, query);
+    }
   }
   CancellationToken token =
       request.timeout.has_value()

@@ -32,6 +32,7 @@
 
 #include "common/status.h"
 #include "fed/breaker.h"
+#include "fed/cache.h"
 #include "fed/executor.h"
 #include "fed/latency.h"
 #include "fed/options.h"
@@ -90,6 +91,14 @@ class FederatedEngine {
   // tracker of their own). Rendered by the shell's `.timeouts`.
   LatencyTracker* latency() const { return &latency_; }
 
+  // The engine's shared plan and sub-answer caches (fed/cache.h). Sessions
+  // receive them via PlanOptions::plans/answers when the corresponding
+  // cache flag is on and no instance was supplied; AnalyzeSources bumps
+  // their structural epochs, invalidating everything cached against the
+  // previous statistics. Rendered by the shell's `.cache`.
+  PlanCache* plan_cache() const { return &plan_cache_; }
+  SubAnswerCache* answer_cache() const { return &answer_cache_; }
+
   // Engine-wide metrics: the aggregate of every finished session's registry
   // (sessions with collect_metrics on) plus session/query counters, plus a
   // projection of the circuit-breaker registry (svc.breaker.<id>.state
@@ -145,6 +154,12 @@ class FederatedEngine {
 
   // Per-source latency tracker (thread-safe; outlives every session).
   mutable LatencyTracker latency_;
+
+  // Shared reuse layer (thread-safe; outlives every session). Only
+  // sessions that opt in (PlanOptions::plan_cache / answer_cache) touch
+  // them, so engines that never enable caching pay nothing.
+  mutable PlanCache plan_cache_;
+  mutable SubAnswerCache answer_cache_;
 
   // Engine-wide metrics registry (thread-safe; outlives every session).
   mutable obs::MetricsRegistry metrics_;

@@ -19,7 +19,9 @@
 #include "common/retry.h"
 #include "common/stopwatch.h"
 #include "fed/breaker.h"
+#include "fed/cache.h"
 #include "fed/latency.h"
+#include "fed/subquery.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "stats/stats_catalog.h"
@@ -811,6 +813,22 @@ class PlanExecution::Impl {
       adaptive_timeouts_counter_ =
           local_metrics_.GetCounter("exec.adaptive_timeouts");
     }
+    if (options_.answer_cache && options_.answers != nullptr) {
+      answer_hits_counter_ = local_metrics_.GetCounter("exec.subanswer_hits");
+      answer_misses_counter_ =
+          local_metrics_.GetCounter("exec.subanswer_misses");
+      // The validity stamp every lookup and insert of this execution uses,
+      // taken once, before any leaf runs: a concurrent epoch bump makes the
+      // entries this execution writes look stale to later readers — never
+      // the other way around.
+      answer_stamp_.structural = options_.answers->structural_epoch();
+      answer_stamp_.stats = options_.stats_catalog != nullptr
+                                ? options_.stats_catalog->epoch()
+                                : 0;
+      answer_stamp_.routing = options_.breakers != nullptr
+                                  ? options_.breakers->routing_epoch()
+                                  : 0;
+    }
     sink_ = options_.collect_metrics && options_.metrics != nullptr
                 ? options_.metrics
                 : &local_metrics_;
@@ -910,6 +928,10 @@ class PlanExecution::Impl {
     if (adaptive_timeouts_counter_ != nullptr) {
       stats_.adaptive_timeouts = adaptive_timeouts_counter_->Value();
     }
+    if (answer_hits_counter_ != nullptr) {
+      stats_.sub_answer_hits = answer_hits_counter_->Value();
+      stats_.sub_answer_misses = answer_misses_counter_->Value();
+    }
     constexpr const char* kRetriesSuffix = ".retries";
     for (const auto& [suffix, value] :
          local_metrics_.CountersWithPrefix("source.")) {
@@ -933,9 +955,12 @@ class PlanExecution::Impl {
       }
       // Runtime cardinality feedback: fold the observed row count back into
       // the stats catalog, but only for clean completions — partial counts
-      // of cancelled/expired runs would poison the estimates.
+      // of cancelled/expired runs would poison the estimates. Best-effort
+      // runs that dropped a leaf (stats_.partial) leave final_status_ OK,
+      // yet every surviving operator saw a truncated input; exclude them
+      // for the same reason.
       if (options_.stats_catalog != nullptr && !entry.stats_key.empty() &&
-          final_status_.ok()) {
+          final_status_.ok() && !stats_.partial) {
         options_.stats_catalog->RecordActual(entry.stats_key,
                                              entry.counter->load());
       }
@@ -1078,13 +1103,76 @@ class PlanExecution::Impl {
     // Successful calls feed the shared latency tracker (adaptive timeouts
     // and hedge delays). Failed or cancelled calls are excluded: an aborted
     // attempt's short duration would drag the quantiles below what a
-    // completed call actually costs.
-    if (options_.latency != nullptr && st.ok()) {
+    // completed call actually costs. The explicit token check matters
+    // because wrappers return OK when they stop early due to cancellation
+    // (hedge losers, expired per-attempt timeouts) — a quiet OK must not
+    // record a truncated duration.
+    if (options_.latency != nullptr && st.ok() && !token.IsCancelled()) {
       options_.latency->Record(subquery.source_id, elapsed_ms);
     }
     if (options_.collect_metrics) {
       sink_->GetHistogram("wrapper." + subquery.source_id + ".call_ms")
           ->Record(elapsed_ms);
+    }
+    return st;
+  }
+
+  // --- sub-answer caching ----------------------------------------------
+  // Every leaf execution (service scan or bind-join probe, both dataflow
+  // substrates) routes through here. With caching off this is a plain tail
+  // call into `direct(sink)` — the historic path, untouched. With caching
+  // on, a hit replays the memoized rows into `sink` without a wrapper call
+  // (no DelayChannel traffic, no latency sample); a miss runs `direct`
+  // into a private staging queue and memoizes the rows only on a clean
+  // completion — a failed recovery ladder, a cancelled session or an
+  // expired deadline may have produced a prefix, and hedge losers never
+  // reach this level (their rows die in the race's private queues).
+  Status ExecuteLeafMaybeCached(
+      const SubQuery& subquery, RowQueue* sink, const CancellationToken& token,
+      uint64_t parent_span, const std::function<Status(RowQueue*)>& direct) {
+    SubAnswerCache* cache = options_.answer_cache ? options_.answers : nullptr;
+    if (cache == nullptr) return direct(sink);
+    uint64_t version = 0;
+    if (auto it = wrappers_.find(subquery.source_id); it != wrappers_.end()) {
+      version = it->second->DataVersion();
+    }
+    const std::string key =
+        SubAnswerCache::Key(SubQueryStatsKey(subquery), version);
+    if (std::shared_ptr<const std::vector<rdf::Binding>> hit =
+            cache->Lookup(key, answer_stamp_)) {
+      if (answer_hits_counter_ != nullptr) answer_hits_counter_->Increment();
+      obs::Span span(spans_, "subanswer-cache:" + subquery.source_id,
+                     parent_span);
+      std::vector<rdf::Binding> out;
+      for (size_t i = 0; i < hit->size(); i += batch_) {
+        const size_t n = std::min(batch_, hit->size() - i);
+        out.assign(hit->begin() + static_cast<ptrdiff_t>(i),
+                   hit->begin() + static_cast<ptrdiff_t>(i + n));
+        if (!sink->PushBatch(&out, token)) break;
+      }
+      return Status::OK();
+    }
+    if (answer_misses_counter_ != nullptr) answer_misses_counter_->Increment();
+    RowQueue staging(static_cast<size_t>(1) << 30);
+    Status st = direct(&staging);
+    staging.Close();
+    std::vector<rdf::Binding> rows;
+    {
+      std::vector<rdf::Binding> drained;
+      while (staging.PopBatch(&drained, batch_, token) > 0) {
+        for (rdf::Binding& row : drained) rows.push_back(std::move(row));
+      }
+    }
+    if (st.ok() && !token.IsCancelled()) {
+      cache->Insert(key, options_.cache_scope, rows, answer_stamp_);
+    }
+    for (size_t i = 0; i < rows.size(); i += batch_) {
+      const size_t n = std::min(batch_, rows.size() - i);
+      std::vector<rdf::Binding> out(
+          std::make_move_iterator(rows.begin() + static_cast<ptrdiff_t>(i)),
+          std::make_move_iterator(rows.begin() +
+                                  static_cast<ptrdiff_t>(i + n)));
+      if (!sink->PushBatch(&out, token)) break;
     }
     return st;
   }
@@ -1675,8 +1763,12 @@ class PlanExecution::Impl {
       threads_.emplace_back([this, subquery, alternates, out, rec, token] {
         obs::Span op(spans_, "service:" + subquery.source_id, exec_span_id_);
         WallTimer wall(rec);
-        Status st = ExecuteLeafWithRecovery(subquery, alternates, out.get(),
-                                            token, op.id());
+        const uint64_t op_span = op.id();
+        Status st = ExecuteLeafMaybeCached(
+            subquery, out.get(), token, op_span, [&](RowQueue* sink) {
+              return ExecuteLeafWithRecovery(subquery, alternates, sink,
+                                             token, op_span);
+            });
         if (!st.ok()) HandleLeafFailure(st, token);
         out->Close();
       });
@@ -1695,7 +1787,11 @@ class PlanExecution::Impl {
     threads_.emplace_back([this, w, channel, subquery, out, rec, token] {
       obs::Span op(spans_, "service:" + subquery.source_id, exec_span_id_);
       WallTimer wall(rec);
-      Status st = WrapperCall(w, subquery, channel, out.get(), token, op.id());
+      const uint64_t op_span = op.id();
+      Status st = ExecuteLeafMaybeCached(
+          subquery, out.get(), token, op_span, [&](RowQueue* sink) {
+            return WrapperCall(w, subquery, channel, sink, token, op_span);
+          });
       if (!st.ok()) RecordError(st);
       out->Close();
     });
@@ -1932,11 +2028,14 @@ class PlanExecution::Impl {
         // Execute synchronously into a local queue large enough to never
         // block (we are the only consumer and drain afterwards).
         RowQueue local(static_cast<size_t>(1) << 30);
-        Status st = FaultTolerant()
-                        ? ExecuteLeafWithRecovery(bound, failover, &local,
-                                                  token, op_span)
-                        : WrapperCall(w, bound, channel, &local, token,
-                                      op_span);
+        Status st = ExecuteLeafMaybeCached(
+            bound, &local, token, op_span, [&](RowQueue* sink) {
+              return FaultTolerant()
+                         ? ExecuteLeafWithRecovery(bound, failover, sink,
+                                                   token, op_span)
+                         : WrapperCall(w, bound, channel, sink, token,
+                                       op_span);
+            });
         if (!st.ok()) {
           if (FaultTolerant()) {
             HandleLeafFailure(st, token);
@@ -2224,8 +2323,12 @@ class PlanExecution::Impl {
       SubmitIoJob([this, subquery, alternates, out, rec, token] {
         obs::Span op(spans_, "service:" + subquery.source_id, exec_span_id_);
         WallTimer wall(rec);
-        Status st = ExecuteLeafWithRecovery(subquery, alternates, out.get(),
-                                            token, op.id());
+        const uint64_t op_span = op.id();
+        Status st = ExecuteLeafMaybeCached(
+            subquery, out.get(), token, op_span, [&](RowQueue* sink) {
+              return ExecuteLeafWithRecovery(subquery, alternates, sink,
+                                             token, op_span);
+            });
         if (!st.ok()) HandleLeafFailure(st, token);
         out->Close();
       });
@@ -2244,7 +2347,11 @@ class PlanExecution::Impl {
     SubmitIoJob([this, w, channel, subquery, out, rec, token] {
       obs::Span op(spans_, "service:" + subquery.source_id, exec_span_id_);
       WallTimer wall(rec);
-      Status st = WrapperCall(w, subquery, channel, out.get(), token, op.id());
+      const uint64_t op_span = op.id();
+      Status st = ExecuteLeafMaybeCached(
+          subquery, out.get(), token, op_span, [&](RowQueue* sink) {
+            return WrapperCall(w, subquery, channel, sink, token, op_span);
+          });
       if (!st.ok()) RecordError(st);
       out->Close();
     });
@@ -2384,11 +2491,14 @@ class PlanExecution::Impl {
         // Execute into a local queue large enough to never block (the job
         // is the only consumer and drains afterwards).
         RowQueue local(static_cast<size_t>(1) << 30);
-        Status st = FaultTolerant()
-                        ? ExecuteLeafWithRecovery(bound, failover, &local,
-                                                  token, op_span)
-                        : WrapperCall(w, bound, channel, &local, token,
-                                      op_span);
+        Status st = ExecuteLeafMaybeCached(
+            bound, &local, token, op_span, [&](RowQueue* sink) {
+              return FaultTolerant()
+                         ? ExecuteLeafWithRecovery(bound, failover, sink,
+                                                   token, op_span)
+                         : WrapperCall(w, bound, channel, sink, token,
+                                       op_span);
+            });
         if (st.ok()) {
           local.Close();
           std::vector<rdf::Binding> drained;
@@ -2628,6 +2738,12 @@ class PlanExecution::Impl {
   obs::Counter* hedges_cancelled_counter_ = nullptr;
   obs::Counter* hedges_suppressed_counter_ = nullptr;
   obs::Counter* adaptive_timeouts_counter_ = nullptr;
+  // Sub-answer cache counters and validity stamp: set only when
+  // PlanOptions::answer_cache is on (null/zero otherwise, keeping the
+  // default registry and metrics JSON unchanged).
+  obs::Counter* answer_hits_counter_ = nullptr;
+  obs::Counter* answer_misses_counter_ = nullptr;
+  EpochStamp answer_stamp_;
   // Remaining speculative launches this query may still make; per-source
   // usage lives in hedge_source_used_ (guarded by mu_).
   std::atomic<int> hedge_budget_query_{0};
@@ -2720,6 +2836,8 @@ void ExecutionStats::MergeFrom(const ExecutionStats& other) {
   hedges_suppressed += other.hedges_suppressed;
   adaptive_timeouts += other.adaptive_timeouts;
   latency_spikes_injected += other.latency_spikes_injected;
+  sub_answer_hits += other.sub_answer_hits;
+  sub_answer_misses += other.sub_answer_misses;
   for (const auto& [source, error] : other.failed_sources) {
     failed_sources[source] = error;
   }
@@ -2783,6 +2901,12 @@ std::string QueryAnswer::OperatorStatsText() const {
            std::to_string(stats.hedges_suppressed) + " suppressed  " +
            std::to_string(stats.adaptive_timeouts) + " adaptive timeouts  " +
            std::to_string(stats.latency_spikes_injected) + " latency spikes\n";
+  }
+  // Reuse section: rendered only when the sub-answer cache was consulted,
+  // so cache-off output is byte-identical to the historic format.
+  if (stats.sub_answer_hits > 0 || stats.sub_answer_misses > 0) {
+    out += "sub-answer cache: " + std::to_string(stats.sub_answer_hits) +
+           " hits  " + std::to_string(stats.sub_answer_misses) + " misses\n";
   }
   return out;
 }

@@ -80,6 +80,13 @@ struct ExecutionStats {
   uint64_t adaptive_timeouts = 0;
   // Latency-spike faults fired by configured injectors (slow profile).
   uint64_t latency_spikes_injected = 0;
+  // ---- Reuse accounting (all zero unless PlanOptions::answer_cache) ----
+  // Leaf sub-queries answered from the sub-answer cache: no wrapper call,
+  // no simulated network traffic, rows replayed from memory.
+  uint64_t sub_answer_hits = 0;
+  // Leaf sub-queries that consulted the cache and fell through to a real
+  // execution (memoizing the rows on clean completion).
+  uint64_t sub_answer_misses = 0;
   // Sources that exhausted their retries during this execution, keyed by
   // source id, with the last error observed. A listed source may still be
   // covered by a failover alternate — `partial` says whether answers were

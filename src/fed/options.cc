@@ -67,6 +67,16 @@ Status PlanOptions::Validate() const {
                                      "': " + s.message());
     }
   }
+  if (!plan_cache && plans != nullptr) {
+    return Status::InvalidArgument(
+        "a PlanCache was supplied but plan_cache is off; enable plan_cache "
+        "or drop the pointer");
+  }
+  if (!answer_cache && answers != nullptr) {
+    return Status::InvalidArgument(
+        "a SubAnswerCache was supplied but answer_cache is off; enable "
+        "answer_cache or drop the pointer");
+  }
   return Status::OK();
 }
 

@@ -32,6 +32,8 @@ namespace lakefed::fed {
 
 class BreakerRegistry;
 class LatencyTracker;
+class PlanCache;
+class SubAnswerCache;
 
 enum class FailureMode {
   // Any unrecoverable source error (after retries and failover) fails the
@@ -175,6 +177,35 @@ struct PlanOptions {
   // null, so observations accumulate across sessions; executions record
   // every wrapper call's duration into it.
   LatencyTracker* latency = nullptr;
+
+  // ---- Plan & sub-answer caching --------------------------------------
+  // Both levels are off by default and the off path is bit-identical to an
+  // engine without the cache layer: no fingerprinting, no lookups, no
+  // extra metrics or spans.
+
+  // Reuse parsed queries and planned QEPs across sessions keyed by the
+  // normalized query fingerprint (fed/fingerprint.h), invalidated by the
+  // stats / routing epochs. The engine supplies its shared PlanCache via
+  // `plans` when left null.
+  bool plan_cache = false;
+
+  // Reuse leaf sub-query results keyed by the sub-query stats key and the
+  // source's data version: hits replay rows into the dataflow without a
+  // wrapper call (no DelayChannel transfer). The engine supplies its shared
+  // SubAnswerCache via `answers` when left null.
+  bool answer_cache = false;
+
+  // Shared cache instances (not owned). FederatedEngine fills these in
+  // automatically when the corresponding flag is on and the pointer was
+  // left null, so entries are shared across every session of the engine.
+  PlanCache* plans = nullptr;
+  SubAnswerCache* answers = nullptr;
+
+  // Accounting scope for cache quotas — the query service sets this to the
+  // tenant id, so per-tenant byte quotas (ServiceConfig::tenant_cache_quota)
+  // bound how much of the shared caches one tenant can occupy. Empty =
+  // unscoped.
+  std::string cache_scope;
 
   // ---- Observability --------------------------------------------------
   // Metrics and span collection (src/obs). Default on: sessions record

@@ -4,9 +4,13 @@
 #include <iterator>
 #include <set>
 
+#include "fed/breaker.h"
+#include "fed/cache.h"
+#include "fed/fingerprint.h"
 #include "fed/planner.h"
 #include "sparql/aggregate.h"
 #include "sparql/filter_expr.h"
+#include "stats/stats_catalog.h"
 
 namespace lakefed::fed {
 
@@ -79,17 +83,56 @@ Result<std::unique_ptr<ResultStream>> ResultStream::Create(
   return stream;
 }
 
+Result<std::shared_ptr<const FederatedPlan>> ResultStream::PlanBranch(
+    const sparql::SelectQuery& branch) {
+  PlanCache* cache = options_.plan_cache ? options_.plans : nullptr;
+  if (cache == nullptr) {
+    LAKEFED_ASSIGN_OR_RETURN(
+        FederatedPlan plan, BuildPlan(branch, catalog_, wrappers_, options_));
+    return std::make_shared<const FederatedPlan>(std::move(plan));
+  }
+  // Stamp *before* planning: a concurrent epoch bump mid-plan then makes
+  // the inserted entry look stale (re-planned on its next use) rather than
+  // wrongly fresh.
+  EpochStamp stamp;
+  stamp.structural = cache->structural_epoch();
+  if (options_.stats_catalog != nullptr) {
+    stamp.stats = options_.stats_catalog->epoch();
+  }
+  if (options_.breakers != nullptr) {
+    stamp.routing = options_.breakers->routing_epoch();
+  }
+  const std::string key = FingerprintQuery(branch, options_).CacheKey();
+  if (std::shared_ptr<const FederatedPlan> hit = cache->Lookup(key, stamp)) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->GetCounter("cache.plan.hit")->Increment();
+    }
+    // The marker span stands in for the plan/decompose/source-select
+    // phases the hit skipped.
+    obs::Span span(options_.spans, "plan-cache", options_.parent_span);
+    return hit;
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetCounter("cache.plan.miss")->Increment();
+  }
+  LAKEFED_ASSIGN_OR_RETURN(FederatedPlan plan,
+                           BuildPlan(branch, catalog_, wrappers_, options_));
+  auto shared = std::make_shared<const FederatedPlan>(std::move(plan));
+  cache->Insert(key, options_.cache_scope, shared, stamp);
+  return shared;
+}
+
 Status ResultStream::StartBranch() {
   branch_start_s_ = stopwatch_.ElapsedSeconds();
-  LAKEFED_ASSIGN_OR_RETURN(
-      FederatedPlan plan,
-      BuildPlan(branches_[branch_index_], catalog_, wrappers_, options_));
+  LAKEFED_ASSIGN_OR_RETURN(std::shared_ptr<const FederatedPlan> plan,
+                           PlanBranch(branches_[branch_index_]));
   if (branch_index_ == 0 && branches_.size() == 1) {
-    variables_ = plan.variables;
+    variables_ = plan->variables;
   }
-  plan_text_ += plan.Explain();
+  plan_text_ += plan->Explain();
+  active_plan_ = plan;
   execution_ = std::make_unique<PlanExecution>(wrappers_, options_, token_);
-  execution_->Start(plan);
+  execution_->Start(*plan);
   return Status::OK();
 }
 
@@ -387,10 +430,10 @@ Result<QueryAnswer> ResultStream::RunBlocking(
   const sparql::SelectQuery& query = original;
   std::vector<sparql::SelectQuery> branches = sparql::ExpandUnions(query);
   if (branches.size() == 1) {
-    LAKEFED_ASSIGN_OR_RETURN(
-        FederatedPlan plan,
-        BuildPlan(branches.front(), catalog_, wrappers_, options_));
-    return ExecutePlan(plan, wrappers_, options_, token_);
+    LAKEFED_ASSIGN_OR_RETURN(std::shared_ptr<const FederatedPlan> plan,
+                             PlanBranch(branches.front()));
+    active_plan_ = plan;
+    return ExecutePlan(*plan, wrappers_, options_, token_);
   }
 
   // UNION: execute every branch combination and merge (bag union), then
@@ -409,11 +452,12 @@ Result<QueryAnswer> ResultStream::RunBlocking(
   double offset = 0;
   for (sparql::SelectQuery& branch : branches) {
     branch.variables = extended;
-    LAKEFED_ASSIGN_OR_RETURN(
-        FederatedPlan plan, BuildPlan(branch, catalog_, wrappers_, options_));
+    LAKEFED_ASSIGN_OR_RETURN(std::shared_ptr<const FederatedPlan> plan,
+                             PlanBranch(branch));
+    active_plan_ = plan;
     LAKEFED_ASSIGN_OR_RETURN(QueryAnswer part,
-                             ExecutePlan(plan, wrappers_, options_, token_));
-    merged.plan_text += plan.Explain();
+                             ExecutePlan(*plan, wrappers_, options_, token_));
+    merged.plan_text += plan->Explain();
     for (size_t i = 0; i < part.rows.size(); ++i) {
       merged.trace.timestamps.push_back(offset + part.trace.timestamps[i]);
       merged.rows.push_back(std::move(part.rows[i]));

@@ -188,6 +188,13 @@ class ResultStream {
 
   bool NextBatchStreaming(RowBatch* batch);
   bool NextBatchBuffered(RowBatch* batch);
+  // Plans one branch query: consults the plan cache first when the session
+  // opted in (PlanOptions::plan_cache), else — and on every miss — runs
+  // BuildPlan. The returned plan is immutable and possibly shared with
+  // concurrent sessions; the session keeps the shared_ptr alive while its
+  // dataflow runs (active_plan_).
+  Result<std::shared_ptr<const FederatedPlan>> PlanBranch(
+      const sparql::SelectQuery& branch);
   // Plans branches_[branch_index_] and starts its dataflow.
   Status StartBranch();
   // Folds a finished PlanExecution's statistics into the session's.
@@ -206,6 +213,9 @@ class ResultStream {
   std::vector<sparql::SelectQuery> branches_;  // streaming mode
   size_t branch_index_ = 0;
   std::unique_ptr<PlanExecution> execution_;
+  // The plan the current execution runs on — kept alive here because plan-
+  // cache hits share one immutable plan across sessions.
+  std::shared_ptr<const FederatedPlan> active_plan_;
   Stopwatch stopwatch_;
   double branch_start_s_ = 0;  // session time the current branch started
 

@@ -1,6 +1,7 @@
 #include "fed/subquery.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 
 namespace lakefed::fed {
@@ -112,11 +113,36 @@ std::string SubQuery::ToString() const {
   return out;
 }
 
+namespace {
+
+// FNV-1a over the bytes of `s`, folded into `h`.
+uint64_t FoldFnv1a(uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
 std::string SubQueryStatsKey(const SubQuery& sq) {
   std::string key = sq.source_id;
   for (const StarSubQuery& star : sq.stars) key += "|" + star.ToString();
   for (const sparql::FilterExprPtr& f : sq.SourceFilters()) {
     key += "|F:" + f->ToString();
+  }
+  if (!sq.instantiations.empty()) {
+    // Digest the actual term values (SubQuery::ToString only renders term
+    // *counts*, which would collide distinct probe bindings). The map is
+    // ordered, so the digest is deterministic.
+    uint64_t digest = 14695981039346656037ULL;
+    for (const auto& [var, terms] : sq.instantiations) {
+      digest = FoldFnv1a(digest, var);
+      for (const rdf::Term& t : terms) digest = FoldFnv1a(digest, t.ToString());
+    }
+    key += "|I:" + std::to_string(sq.instantiations.size()) + ":" +
+           std::to_string(digest);
   }
   return key;
 }

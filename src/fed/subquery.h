@@ -77,10 +77,14 @@ struct SubQuery {
   std::string ToString() const;
 };
 
-// Stable identity of a sub-query for the runtime statistics feedback loop:
-// source, star structure and source-placed filters. Dependent-join
-// instantiations are deliberately excluded — they vary per execution and
-// would fragment the feedback map.
+// Stable identity of a sub-query for the runtime statistics feedback loop
+// and the sub-answer cache: source, star structure, source-placed filters
+// and — when present — a digest of the dependent-join instantiations.
+// Without the instantiation digest a bound probe leaf (a handful of IN
+// terms) would fold its tiny actuals into the same calibration key as the
+// unbound leaf, poisoning Calibrated() estimates; with it, every distinct
+// probe binding set calibrates (and caches) independently. Unbound
+// sub-queries keep the exact historical key bytes.
 std::string SubQueryStatsKey(const SubQuery& sq);
 
 }  // namespace lakefed::fed

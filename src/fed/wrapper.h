@@ -147,6 +147,14 @@ class SourceWrapper {
     return Status::OK();
   }
 
+  // Version of the data this source serves. The sub-answer cache keys leaf
+  // results on it, so a wrapper whose backing store can change underneath
+  // the engine should bump the version on every mutation — cached
+  // sub-answers from older versions then stop matching. The bundled
+  // wrappers are read-only at query time, so the constant default is
+  // correct for them.
+  virtual uint64_t DataVersion() const { return 0; }
+
   // --- execution ---
 
   // Executes `subquery`, shipping answers into `ctx.out` in morsels of up

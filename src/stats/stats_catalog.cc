@@ -167,14 +167,30 @@ const AttributeStats* StatsCatalog::FindAttribute(
 
 void StatsCatalog::RecordActual(const std::string& key,
                                 uint64_t actual_rows) {
-  std::lock_guard<std::mutex> lock(feedback_mu_);
-  auto it = feedback_.find(key);
-  if (it == feedback_.end()) {
-    feedback_[key] = static_cast<double>(actual_rows);
-  } else {
-    it->second = (1.0 - kFeedbackAlpha) * it->second +
-                 kFeedbackAlpha * static_cast<double>(actual_rows);
+  bool significant = false;
+  {
+    std::lock_guard<std::mutex> lock(feedback_mu_);
+    auto it = feedback_.find(key);
+    if (it == feedback_.end()) {
+      feedback_[key] = static_cast<double>(actual_rows);
+      significant = true;
+    } else {
+      const double before = it->second;
+      it->second = (1.0 - kFeedbackAlpha) * before +
+                   kFeedbackAlpha * static_cast<double>(actual_rows);
+      // An epoch bump invalidates every cached plan stamped against this
+      // catalog, so only fold-backs that would actually change planning
+      // decisions pay that cost: a smoothed value moving > 10% relative
+      // (with an absolute floor of one row so tiny cardinalities don't
+      // flap). Steady-state repeats fold identical actuals, change nothing
+      // and keep the epoch — the cache stays hot.
+      const double delta = std::abs(it->second - before);
+      if (delta > 1.0 && delta > 0.1 * std::max(1.0, std::abs(before))) {
+        significant = true;
+      }
+    }
   }
+  if (significant) BumpEpoch();
 }
 
 std::optional<double> StatsCatalog::Feedback(const std::string& key) const {
@@ -200,8 +216,16 @@ void StatsCatalog::MergeFeedbackFrom(const StatsCatalog& other) {
     std::lock_guard<std::mutex> lock(other.feedback_mu_);
     theirs = other.feedback_;
   }
-  std::lock_guard<std::mutex> lock(feedback_mu_);
-  for (const auto& [key, value] : theirs) feedback_.emplace(key, value);
+  {
+    std::lock_guard<std::mutex> lock(feedback_mu_);
+    for (const auto& [key, value] : theirs) feedback_.emplace(key, value);
+  }
+  // The merge target is the refreshed catalog replacing `other`: its epoch
+  // must exceed every epoch the superseded catalog ever reported, so plans
+  // stamped before the refresh cannot validate against the new statistics.
+  uint64_t mine = epoch();
+  uint64_t next = other.epoch() + 1;
+  if (next > mine) SetEpoch(next);
 }
 
 std::string StatsCatalog::Serialize() const {

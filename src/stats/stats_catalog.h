@@ -11,6 +11,7 @@
 #ifndef LAKEFED_STATS_STATS_CATALOG_H_
 #define LAKEFED_STATS_STATS_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -156,8 +157,25 @@ class StatsCatalog {
   size_t feedback_size() const;
 
   // Copies another catalog's feedback map (used when re-analyzing sources
-  // so observed cardinalities survive the refresh).
+  // so observed cardinalities survive the refresh). Also advances this
+  // catalog's epoch past the other's, so plan-cache entries stamped against
+  // the superseded catalog are invalidated by the refresh.
   void MergeFeedbackFrom(const StatsCatalog& other);
+
+  // --- stats epoch -------------------------------------------------------
+  // Monotonic generation counter of everything the planner reads from this
+  // catalog. It advances when AnalyzeSources replaces the catalog (via
+  // MergeFeedbackFrom / SetEpoch) and when RecordActual changes a feedback
+  // entry *significantly* (a new key, or a smoothed value moving more than
+  // ~10% — steady-state repeats of the same query fold identical actuals
+  // and keep the epoch, so plan-cache hit rates survive the feedback loop).
+  // Plan-cache entries are stamped with the epoch at planning time and
+  // invalidated on mismatch.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+  void SetEpoch(uint64_t epoch) {
+    epoch_.store(epoch, std::memory_order_release);
+  }
 
   // --- serialization ----------------------------------------------------
 
@@ -171,6 +189,7 @@ class StatsCatalog {
   std::map<std::string, SourceStats> sources_;
   mutable std::mutex feedback_mu_;
   std::map<std::string, double> feedback_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 }  // namespace lakefed::stats

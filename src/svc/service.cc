@@ -315,6 +315,19 @@ void QueryService::RunOne(const std::shared_ptr<Submission>& sub) {
   if (config_.use_scheduler && request.options.scheduler == nullptr) {
     request.options.scheduler = &scheduler_;
   }
+  // Reuse layer: cache entries are scoped by tenant so byte quotas (and
+  // the shell's `.cache` breakdown) attribute footprint to its owner.
+  if ((request.options.plan_cache || request.options.answer_cache) &&
+      request.options.cache_scope.empty()) {
+    request.options.cache_scope = sub->tenant();
+    uint64_t quota = config_.tenant_cache_quota;
+    auto it = config_.tenant_cache_quotas.find(sub->tenant());
+    if (it != config_.tenant_cache_quotas.end()) quota = it->second;
+    if (quota > 0) {
+      engine_->plan_cache()->SetScopeQuota(sub->tenant(), quota);
+      engine_->answer_cache()->SetScopeQuota(sub->tenant(), quota);
+    }
+  }
   // Graceful degradation: under queue pressure a batch query is worth more
   // as a fast partial answer than as a queue occupant that may fail late.
   if (config_.degrade_batch_under_pressure &&

@@ -75,6 +75,15 @@ struct ServiceConfig {
   size_t default_tenant_concurrent = 0;
   std::map<std::string, size_t> tenant_quotas;
 
+  // Per-tenant byte quota on the engine's shared plan and sub-answer
+  // caches (fed/cache.h), applied when a session runs with caching on:
+  // the tenant id becomes the entries' cache scope, and a tenant over its
+  // quota evicts its own least-recently-used entries first — one tenant's
+  // churn cannot flush everyone else's cache. 0 = unlimited;
+  // `tenant_cache_quotas` overrides the default for specific tenants.
+  uint64_t tenant_cache_quota = 0;
+  std::map<std::string, uint64_t> tenant_cache_quotas;
+
   // Deadline applied to requests that carry none of their own. Queue wait
   // counts against it. nullopt = no default deadline.
   std::optional<std::chrono::milliseconds> default_timeout;
