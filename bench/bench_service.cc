@@ -15,8 +15,14 @@
 //                             (default "100,1000,10000")
 //   LAKEFED_SERVICE_WORKERS   compute workers (default 0 = hardware)
 //   LAKEFED_SERVICE_SLOTS     concurrent sessions (default 0 = 2 x workers)
+//   LAKEFED_SERVICE_QUERYLOG  1 = enable the slow-query flight recorder
+//                             for the service waves (default off)
+//   LAKEFED_SERVICE_MONITOR_PORT  start the /metrics exporter on this
+//                             port during each wave (0/unset = off)
 //
-// Emits BENCH_service.json next to the binary.
+// Emits BENCH_service.json next to the binary. The JSON always carries
+// slow_queries_recorded / querylog_dropped; both are 0 when the flight
+// recorder is off.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +39,7 @@
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
+#include "obs/querylog.h"
 #include "svc/service.h"
 
 namespace lakefed::bench {
@@ -126,11 +133,19 @@ void Run() {
     expected[id] = Digest(*answer);
   }
 
+  // The flight recorder is opt-in; enabled after the reference runs so the
+  // ring only holds service traffic.
+  const bool querylog_on = EnvDouble("LAKEFED_SERVICE_QUERYLOG", 0) != 0;
+  if (querylog_on) lake->engine->EnableQueryLog();
+  const uint16_t monitor_port = static_cast<uint16_t>(
+      EnvDouble("LAKEFED_SERVICE_MONITOR_PORT", 0));
+
   BenchJsonEmitter emitter("service");
   emitter.config()
       .Set("queries", std::string("Q1,Q2,Q3,Q4,Q5"))
       .Set("tenants", kTenants)
-      .Set("network", std::string("Gamma1"));
+      .Set("network", std::string("Gamma1"))
+      .Set("querylog", querylog_on ? uint64_t{1} : uint64_t{0});
 
   for (size_t sessions : SessionCounts()) {
     svc::ServiceConfig config;
@@ -140,6 +155,17 @@ void Run() {
         EnvDouble("LAKEFED_SERVICE_SLOTS", 0));
     config.max_queued = sessions;  // admit the whole wave, shed beyond it
     svc::QueryService service(lake->engine.get(), config);
+    if (monitor_port != 0) {
+      Status started = service.StartMonitoring(monitor_port);
+      if (!started.ok()) {
+        std::fprintf(stderr, "monitor start failed: %s\n",
+                     started.ToString().c_str());
+        std::exit(1);
+      }
+      std::printf("monitor: http://127.0.0.1:%u/metrics\n",
+                  service.monitor_port());
+      std::fflush(stdout);
+    }
 
     const size_t baseline_threads = CurrentThreadCount();
     std::atomic<bool> sampling{true};
@@ -209,6 +235,7 @@ void Run() {
     std::sort(queue_wait_ms.begin(), queue_wait_ms.end());
     const svc::QueryService::Stats stats = service.stats();
     const svc::Scheduler::Stats sched = service.scheduler()->stats();
+    const obs::QueryLog* log = lake->engine->query_log();
     const double throughput = wall_s > 0 ? static_cast<double>(ok) / wall_s
                                          : 0;
 
@@ -244,7 +271,11 @@ void Run() {
         .Set("run_slots", static_cast<uint64_t>(service.run_slots()))
         .Set("sched_steps", sched.steps)
         .Set("sched_steals", sched.steals)
-        .Set("io_jobs", sched.io_jobs);
+        .Set("io_jobs", sched.io_jobs)
+        .Set("slow_queries_recorded",
+             log == nullptr ? uint64_t{0} : log->slow_recorded())
+        .Set("querylog_dropped",
+             log == nullptr ? uint64_t{0} : log->dropped());
   }
 
   emitter.Write("BENCH_service.json");

@@ -56,6 +56,18 @@
 //   .fingerprint <id|SPARQL>   the normalized plan-cache fingerprint of a
 //                         query: canonical form, lifted literal parameters
 //                         and the options digest
+//   .monitor <port>|off   start/stop the monitoring plane: an HTTP endpoint
+//                         on 127.0.0.1:<port> (0 = ephemeral) serving
+//                         /metrics (Prometheus text), /healthz, /statusz
+//                         (JSON) and /queryz (flight-recorder JSONL); also
+//                         arms the query log
+//   .sys [table]          the system meta-source: list the sys.* tables or
+//                         print one (metrics, sources, queries, cache,
+//                         scheduler) — the same tables are queryable in
+//                         SPARQL via the <http://lakefed.io/sys#> vocabulary
+//   .queryz [n|on]        dump the newest n slow-query flight-recorder
+//                         records as JSONL (`on` arms the recorder without
+//                         starting the monitor)
 //   .quit
 //
 //   $ ./examples/lakefed_shell            # interactive
@@ -72,6 +84,7 @@
 #include "common/string_util.h"
 #include "fed/engine.h"
 #include "fed/fingerprint.h"
+#include "fed/meta_source.h"
 #include "obs/trace_export.h"
 #include "sparql/parser.h"
 #include "lslod/generator.h"
@@ -130,6 +143,19 @@ class Shell {
  public:
   explicit Shell(lslod::DataLake* lake) : lake_(lake) {
     options_.network = net::NetworkProfile::Gamma1();
+    // The system meta-source (sys.* tables). Its vocabulary is disjoint
+    // from every data molecule, so source selection for normal queries is
+    // unchanged; the scheduler table reads the pool if one is running.
+    auto meta = std::make_unique<fed::MetaSource>(
+        lake_->engine.get(),
+        fed::MetaSource::Providers{[this]() -> fed::SchedulerInfo {
+          return service_ != nullptr ? service_->SchedulerSnapshot()
+                                     : fed::SchedulerInfo{};
+        }});
+    meta_ = meta.get();
+    if (!lake_->engine->RegisterSource(std::move(meta)).ok()) {
+      meta_ = nullptr;  // sealed or duplicate: .sys degrades gracefully
+    }
   }
 
   void Execute(const std::string& query) {
@@ -142,7 +168,7 @@ class Shell {
       std::printf("%s\n", plan->Explain().c_str());
     }
     Result<fed::QueryAnswer> answer = fed::QueryAnswer{};
-    if (service_ != nullptr) {
+    if (pool_on_ && service_ != nullptr) {
       // Pool mode: through the admission-controlled service, operators on
       // the shared worker pool.
       svc::ServiceRequest request;
@@ -227,7 +253,13 @@ class Shell {
           "trace (chrome://tracing)\n"
           "  .cache [on|off|clear]   plan/sub-answer cache stats and "
           "toggles\n"
-          "  .fingerprint <id|SPARQL>   normalized plan-cache fingerprint\n");
+          "  .fingerprint <id|SPARQL>   normalized plan-cache fingerprint\n"
+          "  .monitor <port>|off   HTTP monitoring endpoint on 127.0.0.1 "
+          "(/metrics /healthz /statusz /queryz)\n"
+          "  .sys [table]          system meta-source tables (metrics, "
+          "sources, queries, cache, scheduler)\n"
+          "  .queryz [n|on]        slow-query flight-recorder records as "
+          "JSONL\n");
     } else if (cmd == ".mode") {
       if (arg == "aware") {
         options_.mode = fed::PlanMode::kPhysicalDesignAware;
@@ -448,7 +480,10 @@ class Shell {
       // an n-worker shared pool; `.pool off` reverts to the direct
       // thread-per-operator path; bare `.pool` shows the current state.
       if (arg == "off" || arg == "0") {
-        service_.reset();
+        pool_on_ = false;
+        // Keep the service alive if it hosts the monitoring endpoint;
+        // queries just stop routing through it.
+        if (service_ != nullptr && !service_->monitoring()) service_.reset();
       } else if (!arg.empty()) {
         char* end = nullptr;
         const long n = std::strtol(arg.c_str(), &end, 10);
@@ -456,12 +491,26 @@ class Shell {
           std::printf("usage: .pool <workers>|off\n");
           return true;
         }
+        // Re-creating the service re-binds a running monitor to it.
+        const bool was_monitoring =
+            service_ != nullptr && service_->monitoring();
+        const uint16_t monitor_port =
+            was_monitoring ? service_->monitor_port() : 0;
+        service_.reset();
         svc::ServiceConfig config;
         config.scheduler.workers = static_cast<size_t>(n);
         service_ = std::make_unique<svc::QueryService>(lake_->engine.get(),
                                                        config);
+        pool_on_ = true;
+        if (was_monitoring) {
+          Status restarted = service_->StartMonitoring(monitor_port);
+          if (!restarted.ok()) {
+            std::printf("warning: monitor did not restart: %s\n",
+                        restarted.ToString().c_str());
+          }
+        }
       }
-      if (service_ == nullptr) {
+      if (!pool_on_ || service_ == nullptr) {
         std::printf("pool = off (thread-per-operator dataflow)\n");
       } else {
         std::printf("pool = %zu workers, %zu I/O threads, %zu run slots "
@@ -664,6 +713,88 @@ class Shell {
       }
       std::printf("%s",
                   fed::FingerprintQuery(*parsed, options_).ToText().c_str());
+    } else if (cmd == ".monitor") {
+      if (arg == "off") {
+        if (service_ != nullptr) service_->StopMonitoring();
+        if (!pool_on_) service_.reset();  // existed only for the monitor
+        std::printf("monitoring off\n");
+      } else if (!arg.empty()) {
+        char* end = nullptr;
+        const long port = std::strtol(arg.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+          std::printf("usage: .monitor <port>|off (port 0 = ephemeral)\n");
+          return true;
+        }
+        // Arm the flight recorder before binding, so /queryz serves it.
+        lake_->engine->EnableQueryLog();
+        if (service_ == nullptr) {
+          // The exporter lives on the query service; host it on a default
+          // pool without routing queries through it (that stays `.pool`).
+          service_ = std::make_unique<svc::QueryService>(lake_->engine.get(),
+                                                         svc::ServiceConfig{});
+        }
+        Status started =
+            service_->StartMonitoring(static_cast<uint16_t>(port));
+        if (!started.ok()) {
+          std::printf("error: %s\n", started.ToString().c_str());
+          return true;
+        }
+        std::printf("monitoring on http://127.0.0.1:%u "
+                    "(/metrics /healthz /statusz /queryz)\n",
+                    service_->monitor_port());
+      } else if (service_ != nullptr && service_->monitoring()) {
+        std::printf("monitoring on http://127.0.0.1:%u\n",
+                    service_->monitor_port());
+      } else {
+        std::printf("monitoring off (start with .monitor <port>)\n");
+      }
+    } else if (cmd == ".sys") {
+      if (meta_ == nullptr) {
+        std::printf("meta-source unavailable\n");
+        return true;
+      }
+      if (arg.empty()) {
+        std::printf("sys tables:");
+        for (const std::string& table : fed::MetaSource::Tables()) {
+          std::printf(" %s", table.c_str());
+        }
+        std::printf("\nprint one with .sys <table>; query them in SPARQL "
+                    "via the <%s> vocabulary\n",
+                    fed::kSysNamespace);
+      } else {
+        std::printf("%s", meta_->RenderTable(arg).c_str());
+      }
+    } else if (cmd == ".queryz") {
+      if (arg == "on") {
+        lake_->engine->EnableQueryLog();
+        std::printf("query log on (slow threshold %.0f ms, capacity %zu)\n",
+                    lake_->engine->query_log()->config().slow_ms,
+                    lake_->engine->query_log()->config().capacity);
+        return true;
+      }
+      const obs::QueryLog* log = lake_->engine->query_log();
+      if (log == nullptr) {
+        std::printf(
+            "query log off (arm with .queryz on or .monitor <port>)\n");
+        return true;
+      }
+      size_t n = 10;
+      if (!arg.empty()) {
+        char* end = nullptr;
+        const unsigned long parsed = std::strtoul(arg.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0') {
+          std::printf("usage: .queryz [n|on]\n");
+          return true;
+        }
+        n = static_cast<size_t>(parsed);
+      }
+      const std::string jsonl = log->ToJsonl(n);
+      if (jsonl.empty()) {
+        std::printf("query log empty (%llu recorded so far)\n",
+                    static_cast<unsigned long long>(log->total_recorded()));
+      } else {
+        std::printf("%s", jsonl.c_str());
+      }
     } else if (cmd == ".sql") {
       for (const auto& [id, db] : lake_->databases) {
         auto* w = dynamic_cast<wrapper::SqlWrapper*>(lake_->engine->wrapper(id));
@@ -714,8 +845,13 @@ class Shell {
   bool explain_ = false;
   std::string last_stats_;
   // Pool mode (.pool <n>): executions go through the multi-tenant service.
+  // The service can also exist with pool_on_ = false, purely to host the
+  // monitoring endpoint (.monitor without .pool).
   std::unique_ptr<svc::QueryService> service_;
+  bool pool_on_ = false;
   std::string tenant_ = "shell";
+  // The registered system meta-source (owned by the engine).
+  fed::MetaSource* meta_ = nullptr;
 };
 
 }  // namespace

@@ -124,14 +124,76 @@ assert len(doc["results"]) == 1, len(doc["results"])
 row = doc["results"][0]
 required = {"sessions", "ok", "shed", "wall_s", "throughput_qps",
             "p50_ms", "p95_ms", "p99_ms", "threads_peak", "workers",
-            "io_threads", "run_slots"}
+            "io_threads", "run_slots", "slow_queries_recorded",
+            "querylog_dropped"}
 assert required <= row.keys(), required - row.keys()
 assert row["ok"] + row["shed"] == row["sessions"] == 100, row
+# Flight recorder off in this run: both counters must be pinned to 0.
+assert row["slow_queries_recorded"] == 0 == row["querylog_dropped"], row
 bound = row["workers"] + row["io_threads"] + row["run_slots"] + 8
 assert row["threads_peak"] <= bound, (row["threads_peak"], bound)
 print("service JSON ok: 100 sessions, threads peak",
       row["threads_peak"], "<=", bound)
 EOF
+
+echo "== monitor smoke: live /metrics scrape during bench_service =="
+# The exporter runs inside the QueryService for the whole wave; a scraper
+# polls until /healthz answers, then validates the Prometheus exposition
+# (every sample value must parse, scheduler families must be present), the
+# /statusz JSON and the flight-recorder JSONL while queries are in flight.
+MONITOR_PORT=19309
+(cd build/bench && \
+ LAKEFED_BENCH_SCALE=0.05 LAKEFED_TIME_SCALE=0.001 \
+ LAKEFED_SERVICE_SESSIONS=3000 LAKEFED_SERVICE_QUERYLOG=1 \
+ LAKEFED_SERVICE_MONITOR_PORT="$MONITOR_PORT" ./bench_service >/dev/null) &
+MONITOR_BENCH_PID=$!
+MONITOR_PORT="$MONITOR_PORT" python3 - <<'EOF'
+import json, os, time, urllib.request
+
+base = "http://127.0.0.1:%d" % int(os.environ["MONITOR_PORT"])
+
+def get(path):
+    with urllib.request.urlopen(base + path, timeout=5) as resp:
+        return resp.status, resp.headers.get("Content-Type", ""), \
+               resp.read().decode()
+
+deadline = time.time() + 120
+while True:
+    try:
+        status, _, body = get("/healthz")
+        break
+    except OSError:
+        if time.time() > deadline:
+            raise SystemExit("error: exporter never answered /healthz")
+        time.sleep(0.05)
+assert status == 200 and "ok" in body, (status, body)
+
+status, ctype, text = get("/metrics")
+assert status == 200 and ctype.startswith("text/plain"), (status, ctype)
+families = set()
+for line in text.splitlines():
+    if line.startswith("# TYPE "):
+        families.add(line.split()[2])
+    elif line and not line.startswith("#"):
+        float(line.rsplit(" ", 1)[1])  # every sample value must parse
+assert any(f.startswith("lakefed_") for f in families), families
+assert any("svc_scheduler" in f for f in families), families
+
+status, _, text = get("/statusz")
+assert status == 200, status
+doc = json.loads(text)
+assert {"build", "uptime_s", "pool", "query_log"} <= doc.keys(), doc.keys()
+assert doc["query_log"]["enabled"] is True, doc["query_log"]
+
+status, _, text = get("/queryz")
+assert status == 200, status
+for line in filter(None, text.splitlines()):
+    rec = json.loads(line)
+    assert {"id", "fingerprint", "total_ms"} <= rec.keys(), rec.keys()
+
+print("monitor scrape ok: %d metric families live mid-run" % len(families))
+EOF
+wait "$MONITOR_BENCH_PID"
 
 echo "== chaos smoke: seeded soak + hedge A/B, digests must hold =="
 # A short fixed-seed run of the chaos bench: mixed Q1..Q5 under per-source
@@ -216,6 +278,11 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
 # The reuse layer (sharded LRU caches, epoch stamps, concurrent sessions
 # populating and replaying sub-answers) under tsan.
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L cache
+# The monitoring plane (HTTP exporter scraping live registries, meta-source
+# snapshots, the query-log ring): scrapes race queries by design.
+# --no-tests=error: a label typo must fail loudly, not skip silently.
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L monitor \
+    --no-tests=error
 
 if [[ "${SKIP_ASAN:-0}" == "1" ]]; then
   echo "== SKIP_ASAN=1: skipping AddressSanitizer phase =="
@@ -229,5 +296,9 @@ echo "== asan: LAKEFED_SANITIZE=address build + robustness tests =="
 cmake -B build-asan -S . -DLAKEFED_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L robustness
+# Exporter buffers + query-log ring + meta-source snapshot allocation under
+# asan: the listener hands response buffers across the accept thread.
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L monitor \
+    --no-tests=error
 
 echo "== all checks passed =="

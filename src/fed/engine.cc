@@ -30,6 +30,12 @@ SourceWrapper* FederatedEngine::wrapper(const std::string& source_id) {
   return it == wrappers_.end() ? nullptr : it->second;
 }
 
+const SourceWrapper* FederatedEngine::wrapper(
+    const std::string& source_id) const {
+  auto it = wrappers_.find(source_id);
+  return it == wrappers_.end() ? nullptr : it->second;
+}
+
 Status FederatedEngine::AnalyzeSources(
     const stats::AnalyzeOptions& options) const {
   Seal();
@@ -78,13 +84,37 @@ Status FederatedEngine::PrepareStats(PlanOptions* options) const {
   return Status::OK();
 }
 
+uint64_t FederatedEngine::AddMetricsSampler(MetricsSampler sampler) const {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  const uint64_t token = next_sampler_token_++;
+  samplers_[token] = std::move(sampler);
+  return token;
+}
+
+void FederatedEngine::RemoveMetricsSampler(uint64_t token) const {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  samplers_.erase(token);
+}
+
+void FederatedEngine::EnableQueryLog(obs::QueryLogConfig config) const {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  if (query_log_ == nullptr) {
+    query_log_ = std::make_unique<obs::QueryLog>(config);
+  }
+}
+
+obs::QueryLog* FederatedEngine::query_log() const {
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  return query_log_.get();
+}
+
 obs::MetricsSnapshot FederatedEngine::MetricsSnapshot() const {
   obs::MetricsSnapshot snapshot = metrics_.Snapshot();
   // Project the breaker registry into the snapshot so `.breakers` and
   // `.metrics` agree: one state gauge (the BreakerState enum value) and the
   // cumulative transition/rejection/failure counters per tracked source.
   std::vector<BreakerRegistry::Entry> entries = breakers_.Snapshot();
-  if (entries.empty()) return snapshot;
+  bool injected = !entries.empty();
   for (const BreakerRegistry::Entry& e : entries) {
     const std::string prefix = "svc.breaker." + e.source_id + ".";
     snapshot.gauges.push_back(
@@ -95,10 +125,32 @@ obs::MetricsSnapshot FederatedEngine::MetricsSnapshot() const {
     snapshot.counters.push_back({prefix + "rejected", e.rejected_requests});
     snapshot.counters.push_back({prefix + "failures", e.total_failures});
   }
+  // Registered samplers (the service projects scheduler/admission state
+  // here). Run under obs_mu_ so removal is a real barrier: once
+  // RemoveMetricsSampler returns, the sampler can no longer be running.
+  {
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    if (query_log_ != nullptr) {
+      snapshot.counters.push_back(
+          {"obs.querylog.recorded", query_log_->total_recorded()});
+      snapshot.counters.push_back(
+          {"obs.querylog.slow", query_log_->slow_recorded()});
+      snapshot.counters.push_back(
+          {"obs.querylog.dropped", query_log_->dropped()});
+      injected = true;
+    }
+    for (const auto& [token, sampler] : samplers_) {
+      sampler(&snapshot);
+      injected = true;
+    }
+  }
+  if (!injected) return snapshot;
   // Snapshots render sorted by name; keep that invariant after injecting.
   std::sort(snapshot.counters.begin(), snapshot.counters.end(),
             [](const auto& a, const auto& b) { return a.name < b.name; });
   std::sort(snapshot.gauges.begin(), snapshot.gauges.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(),
             [](const auto& a, const auto& b) { return a.name < b.name; });
   return snapshot;
 }
@@ -142,6 +194,9 @@ Result<std::unique_ptr<ResultStream>> FederatedEngine::CreateSession(
   }
   if (request.options.answer_cache && request.options.answers == nullptr) {
     request.options.answers = &answer_cache_;
+  }
+  if (request.options.query_log == nullptr) {
+    request.options.query_log = query_log();  // null unless enabled
   }
   // The session's span recorder is created before parsing so the parse
   // phase is the first child of the root "session" span; the stream takes

@@ -24,6 +24,8 @@
 #define LAKEFED_FED_ENGINE_H_
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -42,6 +44,7 @@
 #include "fed/wrapper.h"
 #include "mapping/rdf_mt.h"
 #include "obs/metrics.h"
+#include "obs/querylog.h"
 #include "obs/span.h"
 #include "stats/analyze.h"
 #include "stats/stats_catalog.h"
@@ -67,6 +70,7 @@ class FederatedEngine {
   size_t num_sources() const { return wrappers_.size(); }
   const mapping::RdfMtCatalog& catalog() const { return catalog_; }
   SourceWrapper* wrapper(const std::string& source_id);
+  const SourceWrapper* wrapper(const std::string& source_id) const;
 
   // Profiles every registered source into the engine's statistics catalog
   // — the ANALYZE step of the cost-based planner. Seals the engine.
@@ -108,6 +112,24 @@ class FederatedEngine {
 
   // The engine-wide registry itself (thread-safe; outlives every session).
   obs::MetricsRegistry* metrics() const { return &metrics_; }
+
+  // External snapshot contributors: each registered sampler runs inside
+  // MetricsSnapshot() and may append series (the monitoring plane uses
+  // this to project scheduler queue depths and admission stats into the
+  // scrape without the engine depending on svc). The snapshot is re-sorted
+  // after samplers run, so contributors need not keep it ordered. Returns
+  // a token for RemoveMetricsSampler; samplers must be removed before the
+  // state they capture dies.
+  using MetricsSampler = std::function<void(obs::MetricsSnapshot*)>;
+  uint64_t AddMetricsSampler(MetricsSampler sampler) const;
+  void RemoveMetricsSampler(uint64_t token) const;
+
+  // Structured query log / slow-query flight recorder (obs/querylog.h).
+  // Off (null) by default — enabling it makes every session append one
+  // completion record via PlanOptions::query_log. Idempotent per engine:
+  // re-enabling replaces config only while no log exists yet.
+  void EnableQueryLog(obs::QueryLogConfig config = {}) const;
+  obs::QueryLog* query_log() const;
 
   // Plans without executing (EXPLAIN).
   Result<FederatedPlan> Plan(const std::string& sparql,
@@ -163,6 +185,12 @@ class FederatedEngine {
 
   // Engine-wide metrics registry (thread-safe; outlives every session).
   mutable obs::MetricsRegistry metrics_;
+
+  // Snapshot contributors (AddMetricsSampler) and the optional query log.
+  mutable std::mutex obs_mu_;
+  mutable std::map<uint64_t, MetricsSampler> samplers_;
+  mutable uint64_t next_sampler_token_ = 1;
+  mutable std::unique_ptr<obs::QueryLog> query_log_;
 };
 
 }  // namespace lakefed::fed

@@ -1,0 +1,120 @@
+// System meta-source: the engine's own state exposed as a read-only
+// virtual RDF source (the Hyrise meta-table idiom, transplanted to a
+// federation). Registered like any other SourceWrapper, it contributes
+// molecule templates for five sys.* tables, so SPARQL queries over the
+// sys vocabulary flow through the ordinary decompose -> select -> plan ->
+// execute path and can even be joined with data sources:
+//
+//   sys.metrics    one row per engine metric (counters, gauges, histogram
+//                  summaries — the same snapshot /metrics renders)
+//   sys.sources    one row per registered source: molecule coverage,
+//                  breaker state, observed latency quantiles, stats-
+//                  catalog epoch and NDV summaries
+//   sys.queries    recent completed sessions from the query log plus the
+//                  live-session count
+//   sys.cache      plan / parsed / sub-answer cache counters and hit rates
+//   sys.scheduler  worker-pool stats (steals, parks, queue depths), when a
+//                  scheduler provider is wired in
+//
+// Every Execute builds a fresh point-in-time TripleStore snapshot of the
+// requested state and evaluates the sub-query's BGP against it — the
+// tables are never materialized anywhere, so registering the meta-source
+// costs nothing until somebody queries it. Source selection stays
+// untouched for ordinary queries: the sys vocabulary is disjoint from
+// every data molecule, so predicate-containment never routes a data star
+// here.
+//
+// Layering: fed may not depend on svc, so scheduler state arrives through
+// a std::function provider the service (or shell) wires in.
+
+#ifndef LAKEFED_FED_META_SOURCE_H_
+#define LAKEFED_FED_META_SOURCE_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fed/wrapper.h"
+#include "rdf/triple_store.h"
+
+namespace lakefed::fed {
+
+class FederatedEngine;
+
+// Vocabulary root of the meta tables. Class IRIs are kSysNamespace +
+// "Metric" / "Source" / "Query" / "Cache" / "Scheduler"; predicates are
+// kSysNamespace + camelCase field names; subjects are
+// "http://lakefed.io/sys/<table>/<key>".
+inline constexpr char kSysNamespace[] = "http://lakefed.io/sys#";
+inline constexpr char kSysSourceId[] = "sys";
+
+// Point-in-time worker-pool state for sys.scheduler, in fed-visible form
+// (mirrors svc::Scheduler::Stats without the dependency).
+struct SchedulerInfo {
+  size_t workers = 0;
+  size_t io_threads = 0;
+  uint64_t steps = 0;
+  uint64_t steals = 0;
+  uint64_t wakes = 0;
+  uint64_t io_jobs = 0;
+  uint64_t yields = 0;
+  uint64_t blocks = 0;
+  uint64_t done = 0;
+  uint64_t parks = 0;
+  uint64_t unparks = 0;
+  size_t injector_depth = 0;
+  size_t io_queue_depth = 0;
+  std::vector<size_t> deque_depths;  // one entry per worker
+};
+
+class MetaSource : public SourceWrapper {
+ public:
+  struct Providers {
+    // Worker-pool state for sys.scheduler (null = table stays empty).
+    std::function<SchedulerInfo()> scheduler;
+  };
+
+  // `engine` must outlive the meta-source — which it does by construction
+  // when the engine owns the wrapper via RegisterSource.
+  explicit MetaSource(const FederatedEngine* engine,
+                      Providers providers = {});
+
+  const std::string& id() const override { return id_; }
+  SourceKind kind() const override { return SourceKind::kRdf; }
+  std::vector<mapping::RdfMt> Molecules() const override;
+  Status Execute(const SubQuery& subquery,
+                 const WrapperContext& ctx) override;
+
+  // Monitoring data changes between any two queries; an ever-advancing
+  // version keeps the sub-answer cache from replaying stale snapshots.
+  uint64_t DataVersion() const override {
+    return version_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  // The sys.* table names ("metrics", "sources", ...), in display order.
+  static const std::vector<std::string>& Tables();
+
+  // Builds the point-in-time snapshot store of one table ("" = all), the
+  // same data Execute queries. Exposed for the shell's `.sys` and tests.
+  void BuildSnapshot(const std::string& table, rdf::TripleStore* store) const;
+
+  // Aligned text rendering of one table for the shell's `.sys <table>`.
+  std::string RenderTable(const std::string& table) const;
+
+ private:
+  void PopulateMetrics(rdf::TripleStore* store) const;
+  void PopulateSources(rdf::TripleStore* store) const;
+  void PopulateQueries(rdf::TripleStore* store) const;
+  void PopulateCache(rdf::TripleStore* store) const;
+  void PopulateScheduler(rdf::TripleStore* store) const;
+
+  const std::string id_ = kSysSourceId;
+  const FederatedEngine* engine_;
+  Providers providers_;
+  mutable std::atomic<uint64_t> version_{0};
+};
+
+}  // namespace lakefed::fed
+
+#endif  // LAKEFED_FED_META_SOURCE_H_

@@ -21,6 +21,7 @@ class StatsCatalog;
 
 namespace lakefed::obs {
 class MetricsRegistry;
+class QueryLog;
 class SpanRecorder;
 }  // namespace lakefed::obs
 
@@ -231,6 +232,19 @@ struct PlanOptions {
   // Span id under which planner/executor spans nest (0 = root). Set by the
   // session to its root span.
   uint64_t parent_span = 0;
+
+  // Structured query log / slow-query flight recorder (not owned; null =
+  // no logging, the default). FederatedEngine fills in its own log when
+  // one was enabled via EnableQueryLog; every finished session then
+  // appends one completion record, capturing the full profile + span tree
+  // for slow/partial/error queries.
+  obs::QueryLog* query_log = nullptr;
+
+  // Tenant identity for observability (query-log records, sys.queries).
+  // The query service sets it for every admitted session; unlike
+  // cache_scope it carries no quota semantics and is set regardless of
+  // whether caching is on. Empty = not multi-tenant.
+  std::string tenant;
 
   // ---- Scheduling -----------------------------------------------------
   // Cooperative task scheduler (not owned; must outlive the session). When

@@ -1,6 +1,7 @@
 #include "fed/session.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <iterator>
 #include <set>
 
@@ -8,11 +9,31 @@
 #include "fed/cache.h"
 #include "fed/fingerprint.h"
 #include "fed/planner.h"
+#include "obs/querylog.h"
 #include "sparql/aggregate.h"
 #include "sparql/filter_expr.h"
 #include "stats/stats_catalog.h"
 
 namespace lakefed::fed {
+
+namespace {
+
+// Short stable digest of a cache key for query-log record identity
+// (FNV-1a 64, hex). Repeats of the same normalized query + plan-shaping
+// options share a fingerprint, so log records group by query template.
+std::string ShortDigest(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
 
 ResultStream::ResultStream(const mapping::RdfMtCatalog& catalog,
                            const std::map<std::string, SourceWrapper*>& wrappers,
@@ -284,10 +305,11 @@ Status ResultStream::Finish() {
   if (status_.ok() && !fully_drained_) status_ = token_.ToStatus();
   // Seal the session's observability: session-level instruments, the root
   // span, the JSON export, and the fold into the engine-wide registry.
+  const double total_ms = stopwatch_.ElapsedMillis();
+  bool plan_cache_hit = false;
   if (spans_ != nullptr) spans_->EndSpan(session_span_);
   if (metrics_ != nullptr) {
-    metrics_->GetHistogram("session.query_ms")
-        ->Record(stopwatch_.ElapsedMillis());
+    metrics_->GetHistogram("session.query_ms")->Record(total_ms);
     metrics_->GetCounter("session.rows")
         ->Increment(trace_.timestamps.size());
     if (!status_.ok()) metrics_->GetCounter("session.errors")->Increment();
@@ -301,12 +323,50 @@ Status ResultStream::Finish() {
     obs::MetricsSnapshot snapshot = metrics_->Snapshot();
     metrics_json_ = snapshot.ToJson();
     if (engine_metrics_ != nullptr) engine_metrics_->Merge(snapshot);
+    const obs::MetricsSnapshot::CounterValue* hit =
+        snapshot.FindCounter("cache.plan.hit");
+    plan_cache_hit = hit != nullptr && hit->value > 0;
   }
   if (engine_metrics_ != nullptr) {
     engine_metrics_
         ->GetCounter(status_.ok() ? "engine.queries_ok"
                                   : "engine.queries_error")
         ->Increment();
+  }
+  // Flight recorder: one completion record per session, with the full
+  // profile + span tree captured for slow/partial/error queries. Null
+  // query_log (the default) skips everything — no fingerprinting, no
+  // record, bit-identical to an engine without the log.
+  if (options_.query_log != nullptr) {
+    obs::QueryLog* log = options_.query_log;
+    obs::QueryLogRecord record;
+    const QueryFingerprint fp = FingerprintQuery(query_, options_);
+    record.query = fp.canonical;
+    record.fingerprint = ShortDigest(fp.CacheKey());
+    record.tenant =
+        options_.tenant.empty() ? options_.cache_scope : options_.tenant;
+    record.ok = status_.ok();
+    record.status = status_.ok() ? "ok" : status_.ToString();
+    record.partial = stats_.partial;
+    record.total_ms = total_ms;
+    record.first_row_ms =
+        trace_.timestamps.empty() ? -1 : trace_.timestamps.front() * 1000.0;
+    record.network_delay_ms = stats_.network_delay_ms;
+    record.rows = trace_.timestamps.size();
+    record.retries = stats_.retries;
+    record.failovers = stats_.failovers;
+    record.hedges_fired = stats_.hedges_fired;
+    record.hedge_wins = stats_.hedge_wins;
+    record.breaker_rejections = stats_.breaker_rejections;
+    record.sub_answer_hits = stats_.sub_answer_hits;
+    record.sub_answer_misses = stats_.sub_answer_misses;
+    record.plan_cache_hit = plan_cache_hit;
+    record.slow = total_ms >= log->config().slow_ms;
+    if (log->ShouldCapture(total_ms, record.ok, record.partial)) {
+      record.profile_json = profile().ToJson();
+      if (spans_ != nullptr) record.spans_json = spans_->ToJson();
+    }
+    log->Record(std::move(record));
   }
   return status_;
 }

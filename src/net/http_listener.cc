@@ -1,0 +1,168 @@
+#include "net/http_listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+namespace lakefed::net {
+
+namespace {
+
+// Accept-loop poll period: the upper bound on how long Stop() can lag.
+constexpr int kPollMs = 100;
+// One request line + headers comfortably fit; anything larger is abuse.
+constexpr size_t kMaxRequestBytes = 16 * 1024;
+// Per-connection socket timeout so a stalled client cannot pin the
+// serving thread (there is only one).
+constexpr int kIoTimeoutSec = 5;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default:  return "Internal Server Error";
+  }
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away; nothing to salvage
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpListener::~HttpListener() { Stop(); }
+
+Status HttpListener::Start(uint16_t port, Handler handler) {
+  if (running()) {
+    return Status::InvalidArgument("http listener already running");
+  }
+  if (handler == nullptr) {
+    return Status::InvalidArgument("http listener needs a handler");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::Internal(std::string("bind(127.0.0.1:") +
+                                std::to_string(port) +
+                                "): " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status s = Status::Internal(std::string("listen(): ") +
+                                std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  // Resolve the actually bound port (port 0 = kernel-assigned).
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  } else {
+    port_.store(port, std::memory_order_release);
+  }
+  listen_fd_ = fd;
+  handler_ = std::move(handler);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void HttpListener::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_.store(0, std::memory_order_release);
+  handler_ = nullptr;
+}
+
+void HttpListener::Serve() {
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    int r = ::poll(&pfd, 1, kPollMs);
+    if (r <= 0) continue;  // timeout (re-check stop) or transient error
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    timeval tv{};
+    tv.tv_sec = kIoTimeoutSec;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+void HttpListener::HandleConnection(int client_fd) {
+  // Read until the end of the header block (we never consume a body).
+  std::string buf;
+  char chunk[2048];
+  while (buf.find("\r\n\r\n") == std::string::npos &&
+         buf.find("\n\n") == std::string::npos &&
+         buf.size() < kMaxRequestBytes) {
+    ssize_t n = ::recv(client_fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  const size_t line_end = buf.find_first_of("\r\n");
+  HttpResponse response;
+  bool head = false;
+  if (line_end == std::string::npos) {
+    response = HttpResponse::Text("bad request\n", 400);
+  } else {
+    // Request line: METHOD SP TARGET SP VERSION.
+    std::istringstream line(buf.substr(0, line_end));
+    HttpRequest request;
+    std::string target, version;
+    line >> request.method >> target >> version;
+    if (request.method.empty() || target.empty()) {
+      response = HttpResponse::Text("bad request\n", 400);
+    } else if (request.method != "GET" && request.method != "HEAD") {
+      response = HttpResponse::Text("method not allowed\n", 405);
+    } else {
+      const size_t qmark = target.find('?');
+      request.path = target.substr(0, qmark);
+      if (qmark != std::string::npos) request.query = target.substr(qmark + 1);
+      response = handler_(request);
+      if (request.method == "HEAD") head = true;
+    }
+  }
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << " " << StatusText(response.status)
+      << "\r\nContent-Type: " << response.content_type
+      << "\r\nContent-Length: " << response.body.size()
+      << "\r\nConnection: close\r\n\r\n";
+  SendAll(client_fd, head ? out.str() : out.str() + response.body);
+}
+
+}  // namespace lakefed::net

@@ -1,0 +1,94 @@
+// Minimal embedded HTTP/1.1 listener for the monitoring plane: a blocking
+// POSIX socket accept loop on one background thread, enough protocol to
+// serve GET requests from curl / a Prometheus scraper, and nothing more.
+// It binds 127.0.0.1 only (monitoring is an operator loopback interface,
+// not a public endpoint), handles one request per connection
+// (Connection: close), and parses just the request line — method, path and
+// query string. Response bodies come from a caller-supplied handler.
+//
+// Port 0 asks the kernel for an ephemeral port; port() reports the bound
+// one, which is what the tests and the check.sh smoke use. Stop() is
+// prompt: the accept loop poll()s the listening socket with a short
+// timeout and re-checks a stop flag, so shutdown never waits on a client.
+
+#ifndef LAKEFED_NET_HTTP_LISTENER_H_
+#define LAKEFED_NET_HTTP_LISTENER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace lakefed::net {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // "/metrics" (query string stripped)
+  std::string query;   // raw query string after '?', "" when absent
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse Text(std::string body, int status = 200) {
+    HttpResponse r;
+    r.status = status;
+    r.body = std::move(body);
+    return r;
+  }
+  static HttpResponse Json(std::string body, int status = 200) {
+    HttpResponse r;
+    r.status = status;
+    r.content_type = "application/json";
+    r.body = std::move(body);
+    return r;
+  }
+  static HttpResponse NotFound() {
+    return Text("not found\n", 404);
+  }
+};
+
+// One background accept/serve thread. The handler runs on that thread, so
+// it must be thread-safe against the rest of the process and reasonably
+// quick; the monitoring handlers (render a snapshot to text) are both.
+class HttpListener {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpListener() = default;
+  ~HttpListener();  // calls Stop()
+  HttpListener(const HttpListener&) = delete;
+  HttpListener& operator=(const HttpListener&) = delete;
+
+  // Binds 127.0.0.1:port (0 = ephemeral), starts the serving thread.
+  // Fails if already running or the bind/listen fails.
+  Status Start(uint16_t port, Handler handler);
+
+  // Stops the serving thread and closes the socket. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // The bound port (resolves port 0), or 0 when not running.
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
+
+ private:
+  void Serve();
+  void HandleConnection(int client_fd);
+
+  Handler handler_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint16_t> port_{0};
+  int listen_fd_ = -1;
+};
+
+}  // namespace lakefed::net
+
+#endif  // LAKEFED_NET_HTTP_LISTENER_H_

@@ -1,0 +1,176 @@
+#include "obs/exporter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace lakefed::obs {
+
+namespace {
+
+// Shortest round-trippable rendering of a double ("0.004096", "1e+06").
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(const std::string& name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = (c >= '0' && c <= '9');
+    if (alpha || c == '_' || c == ':' || (digit && i > 0)) {
+      out.push_back(c);
+    } else if (digit) {  // leading digit: prefix, keep the digit
+      out.push_back('_');
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"':  out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default:   out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot,
+                             const std::string& prefix) {
+  std::ostringstream out;
+  // Group series under their sanitized family so HELP/TYPE headers appear
+  // exactly once per family even when sanitization collides two raw names
+  // (the raw name survives as the `name` label either way). std::map keeps
+  // the output sorted and stable.
+  std::map<std::string, std::vector<const MetricsSnapshot::CounterValue*>>
+      counter_families;
+  for (const auto& c : snapshot.counters) {
+    counter_families[prefix + SanitizeMetricName(c.name) + "_total"]
+        .push_back(&c);
+  }
+  for (const auto& [family, series] : counter_families) {
+    out << "# HELP " << family << " LakeFed counter\n";
+    out << "# TYPE " << family << " counter\n";
+    for (const auto* c : series) {
+      out << family << "{name=\"" << EscapeLabelValue(c->name) << "\"} "
+          << c->value << "\n";
+    }
+  }
+  std::map<std::string, std::vector<const MetricsSnapshot::GaugeValue*>>
+      gauge_families;
+  for (const auto& g : snapshot.gauges) {
+    gauge_families[prefix + SanitizeMetricName(g.name)].push_back(&g);
+  }
+  for (const auto& [family, series] : gauge_families) {
+    out << "# HELP " << family << " LakeFed gauge\n";
+    out << "# TYPE " << family << " gauge\n";
+    for (const auto* g : series) {
+      out << family << "{name=\"" << EscapeLabelValue(g->name) << "\"} "
+          << g->value << "\n";
+    }
+  }
+  std::map<std::string, std::vector<const MetricsSnapshot::HistogramValue*>>
+      histogram_families;
+  for (const auto& h : snapshot.histograms) {
+    histogram_families[prefix + SanitizeMetricName(h.name)].push_back(&h);
+  }
+  for (const auto& [family, series] : histogram_families) {
+    out << "# HELP " << family << " LakeFed histogram (milliseconds)\n";
+    out << "# TYPE " << family << " histogram\n";
+    for (const auto* h : series) {
+      const std::string name = EscapeLabelValue(h->name);
+      // The registry stores raw per-bucket counts; scrape semantics want
+      // cumulative counts per upper bound, so sum left to right. The last
+      // raw bucket is the overflow — it only feeds +Inf.
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < h->buckets.size(); ++i) {
+        cumulative += h->buckets[i];
+        if (i + 1 == h->buckets.size()) break;  // overflow handled by +Inf
+        out << family << "_bucket{name=\"" << name << "\",le=\""
+            << FormatDouble(Histogram::BucketBound(i)) << "\"} "
+            << cumulative << "\n";
+      }
+      out << family << "_bucket{name=\"" << name << "\",le=\"+Inf\"} "
+          << h->count << "\n";
+      out << family << "_sum{name=\"" << name << "\"} "
+          << FormatDouble(h->sum) << "\n";
+      out << family << "_count{name=\"" << name << "\"} " << h->count
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+Status MetricsExporter::Start(Config config) {
+  if (config.metrics == nullptr) {
+    return Status::InvalidArgument("exporter needs a metrics provider");
+  }
+  config_ = std::move(config);
+  return listener_.Start(config_.port, [this](const net::HttpRequest& r) {
+    return Handle(r);
+  });
+}
+
+net::HttpResponse MetricsExporter::Handle(
+    const net::HttpRequest& request) const {
+  if (request.path == "/metrics") {
+    net::HttpResponse r =
+        net::HttpResponse::Text(RenderPrometheus(config_.metrics()));
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return r;
+  }
+  if (request.path == "/healthz") {
+    return net::HttpResponse::Text("ok\n");
+  }
+  if (request.path == "/statusz") {
+    return net::HttpResponse::Json(
+        config_.statusz != nullptr ? config_.statusz() : "{}");
+  }
+  if (request.path == "/queryz") {
+    if (config_.query_log == nullptr) {
+      return net::HttpResponse::Text("query log disabled\n", 404);
+    }
+    // Optional ?n=<k> caps the dump at the k newest records.
+    size_t max_records = 0;
+    const size_t pos = request.query.find("n=");
+    if (pos != std::string::npos &&
+        (pos == 0 || request.query[pos - 1] == '&')) {
+      max_records = static_cast<size_t>(
+          std::strtoull(request.query.c_str() + pos + 2, nullptr, 10));
+    }
+    net::HttpResponse r =
+        net::HttpResponse::Text(config_.query_log->ToJsonl(max_records));
+    r.content_type = "application/x-ndjson";
+    return r;
+  }
+  if (request.path == "/" || request.path.empty()) {
+    return net::HttpResponse::Text(
+        "lakefed monitoring endpoints:\n"
+        "  /metrics  Prometheus text exposition\n"
+        "  /healthz  liveness probe\n"
+        "  /statusz  service status JSON\n"
+        "  /queryz   query log JSONL (slow-query flight recorder)\n");
+  }
+  return net::HttpResponse::NotFound();
+}
+
+}  // namespace lakefed::obs

@@ -1,0 +1,89 @@
+// Prometheus-style metrics exposition + the monitoring plane's HTTP
+// surface. Two layers:
+//
+//  * Pure rendering: RenderPrometheus turns a MetricsSnapshot into the
+//    Prometheus text exposition format. LakeFed's hierarchical metric
+//    names ("svc.breaker.sql-db.state") become a sanitized metric family
+//    plus label: dots map to underscores in the family name, and the
+//    original name rides along as a `name` label so no information is
+//    lost to sanitization collisions. Histograms render with *cumulative*
+//    `le`-labeled buckets (each bucket counts observations ≤ its bound, as
+//    scrapers require — the registry's raw per-bucket counts are summed
+//    left to right) plus the mandatory `+Inf` bucket, `_sum` and `_count`
+//    series. The JSON snapshot schema (MetricsSnapshot::ToJson) is
+//    untouched: this is a second renderer over the same snapshot.
+//
+//  * MetricsExporter: glue between an HttpListener (src/net) and the
+//    process being observed. It is configured with std::function providers
+//    rather than engine types, so obs stays free of fed/svc dependencies:
+//    /metrics renders the provided snapshot, /healthz returns "ok",
+//    /statusz returns the provided status JSON, /queryz dumps the query
+//    log (obs/querylog.h) as JSONL.
+//
+// Everything here runs only when monitoring was explicitly started, so the
+// default path stays bit-identical to an exporter-free build.
+
+#ifndef LAKEFED_OBS_EXPORTER_H_
+#define LAKEFED_OBS_EXPORTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/http_listener.h"
+#include "obs/metrics.h"
+#include "obs/querylog.h"
+
+namespace lakefed::obs {
+
+// Sanitizes a metric or label name into the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid character becomes '_', and a
+// leading digit gets a '_' prefix. Empty input becomes "_".
+std::string SanitizeMetricName(const std::string& name);
+
+// Escapes a label value for the exposition format: backslash, double
+// quote and newline get backslash escapes; everything else (UTF-8
+// included) passes through verbatim.
+std::string EscapeLabelValue(const std::string& value);
+
+// Renders the snapshot in Prometheus text exposition format (version
+// 0.0.4). `prefix` is prepended to every family name (default "lakefed_").
+std::string RenderPrometheus(const MetricsSnapshot& snapshot,
+                             const std::string& prefix = "lakefed_");
+
+// The monitoring plane's HTTP endpoint set over one HttpListener.
+class MetricsExporter {
+ public:
+  struct Config {
+    uint16_t port = 0;  // 0 = ephemeral; port() reports the bound one
+    // Snapshot of everything the process wants scraped (required).
+    std::function<MetricsSnapshot()> metrics;
+    // JSON document for /statusz (optional; "{}" when absent).
+    std::function<std::string()> statusz;
+    // Query log behind /queryz (optional, not owned; may be null).
+    const QueryLog* query_log = nullptr;
+  };
+
+  MetricsExporter() = default;
+  ~MetricsExporter() { Stop(); }
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  Status Start(Config config);
+  void Stop() { listener_.Stop(); }
+
+  bool running() const { return listener_.running(); }
+  uint16_t port() const { return listener_.port(); }
+
+ private:
+  net::HttpResponse Handle(const net::HttpRequest& request) const;
+
+  Config config_;
+  net::HttpListener listener_;
+};
+
+}  // namespace lakefed::obs
+
+#endif  // LAKEFED_OBS_EXPORTER_H_

@@ -1,0 +1,117 @@
+#include "obs/querylog.h"
+
+#include <sstream>
+
+#include "obs/json_util.h"
+
+namespace lakefed::obs {
+
+namespace {
+
+std::string Fixed3(double v) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::string QueryLogRecord::ToJson() const {
+  std::ostringstream out;
+  out << "{\"id\":" << id << ",\"wall_clock_s\":" << Fixed3(wall_clock_s)
+      << ",\"fingerprint\":" << JsonString(fingerprint)
+      << ",\"query\":" << JsonString(query)
+      << ",\"tenant\":" << JsonString(tenant)
+      << ",\"status\":" << JsonString(status)
+      << ",\"ok\":" << (ok ? "true" : "false")
+      << ",\"partial\":" << (partial ? "true" : "false")
+      << ",\"slow\":" << (slow ? "true" : "false")
+      << ",\"total_ms\":" << Fixed3(total_ms)
+      << ",\"first_row_ms\":" << Fixed3(first_row_ms)
+      << ",\"network_delay_ms\":" << Fixed3(network_delay_ms)
+      << ",\"rows\":" << rows << ",\"retries\":" << retries
+      << ",\"failovers\":" << failovers
+      << ",\"hedges_fired\":" << hedges_fired
+      << ",\"hedge_wins\":" << hedge_wins
+      << ",\"breaker_rejections\":" << breaker_rejections
+      << ",\"sub_answer_hits\":" << sub_answer_hits
+      << ",\"sub_answer_misses\":" << sub_answer_misses
+      << ",\"plan_cache_hit\":" << (plan_cache_hit ? "true" : "false");
+  // The captured payloads are themselves JSON documents; embed verbatim.
+  if (!profile_json.empty()) out << ",\"profile\":" << profile_json;
+  if (!spans_json.empty()) out << ",\"spans\":" << spans_json;
+  out << "}";
+  return out.str();
+}
+
+QueryLog::QueryLog(QueryLogConfig config)
+    : config_([&config] {
+        if (config.capacity == 0) config.capacity = 1;
+        return config;
+      }()),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.reserve(config_.capacity);
+}
+
+void QueryLog::Record(QueryLogRecord record) {
+  const std::chrono::duration<double> since =
+      std::chrono::steady_clock::now() - epoch_;
+  std::lock_guard<std::mutex> lock(mu_);
+  record.id = next_id_++;
+  record.wall_clock_s = since.count();
+  // The log owns the slow verdict: callers need not pre-classify.
+  if (record.total_ms >= config_.slow_ms) record.slow = true;
+  if (record.slow) ++slow_;
+  if (ring_.size() < config_.capacity) {
+    ring_.push_back(std::move(record));
+  } else {
+    // Full: overwrite the oldest slot and advance the ring start.
+    ring_[start_] = std::move(record);
+    start_ = (start_ + 1) % config_.capacity;
+    ++dropped_;
+  }
+}
+
+std::vector<QueryLogRecord> QueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryLogRecord> out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t QueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_ - 1;
+}
+
+uint64_t QueryLog::slow_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_;
+}
+
+uint64_t QueryLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string QueryLog::ToJsonl(size_t max_records) const {
+  std::vector<QueryLogRecord> records = Snapshot();
+  if (max_records > 0 && records.size() > max_records) {
+    records.erase(records.begin(),
+                  records.end() - static_cast<ptrdiff_t>(max_records));
+  }
+  std::string out;
+  // Newest first: the record an operator wants is almost always the latest.
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    out += it->ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace lakefed::obs

@@ -1,0 +1,129 @@
+// Structured query log + slow-query flight recorder: a bounded ring buffer
+// of per-query completion records. Every finished session appends one
+// record (fingerprint, tenant, terminal status, latency breakdown, reuse /
+// hedge / recovery counters); queries that ran past the slow threshold or
+// finished partial/error additionally capture their full EXPLAIN ANALYZE
+// profile and span tree as JSON, so the evidence for a tail-latency
+// incident is already in memory when an operator comes looking.
+//
+// The ring is deliberately small and mutex-protected: one lock/unlock and
+// a handful of string moves per *finished query* (never per row or per
+// morsel), so the recorder stays well inside the repo's ≤5% observability
+// overhead budget. When the ring wraps, the oldest record is overwritten
+// and `dropped()` counts the loss — the log never blocks or grows without
+// bound. Dumpable as JSONL via the HTTP exporter's /queryz and the shell's
+// `.queryz`.
+//
+// This layer is fed-agnostic (like the rest of src/obs): sessions fill a
+// QueryLogRecord from their own structures and call Record().
+
+#ifndef LAKEFED_OBS_QUERYLOG_H_
+#define LAKEFED_OBS_QUERYLOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lakefed::obs {
+
+struct QueryLogConfig {
+  // Ring capacity in records. Wrapping overwrites the oldest.
+  size_t capacity = 256;
+  // Queries at or above this wall time are "slow": their profile + span
+  // tree are captured even when they finished clean.
+  double slow_ms = 250.0;
+  // Master switch for profile/span capture. Off keeps the scalar records
+  // (cheap) but never stores the heavyweight JSON payloads.
+  bool capture_profiles = true;
+};
+
+// One finished query. Scalar fields are always present; profile_json /
+// spans_json are non-empty only when the query tripped the capture rule
+// (slow, error or partial) and capture was enabled.
+struct QueryLogRecord {
+  uint64_t id = 0;             // assigned by QueryLog::Record, monotonic
+  double wall_clock_s = 0;     // seconds since the QueryLog was created
+  std::string fingerprint;     // short stable digest of the normalized query
+  std::string query;           // canonical query template (normalized)
+  std::string tenant;          // empty outside the multi-tenant service
+  std::string status;          // "ok" or the terminal Status rendering
+  bool ok = false;
+  bool partial = false;        // best-effort run dropped a leaf
+  bool slow = false;           // total_ms >= config.slow_ms
+
+  // Latency breakdown.
+  double total_ms = 0;
+  double first_row_ms = -1;    // -1 = no rows
+  double network_delay_ms = 0; // simulated network delay injected
+  uint64_t rows = 0;
+
+  // Reuse / tail-tolerance / recovery counters (fed ExecutionStats).
+  uint64_t retries = 0;
+  uint64_t failovers = 0;
+  uint64_t hedges_fired = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t breaker_rejections = 0;
+  uint64_t sub_answer_hits = 0;
+  uint64_t sub_answer_misses = 0;
+  bool plan_cache_hit = false;
+
+  // Captured evidence (flight recorder): EXPLAIN ANALYZE profile and span
+  // tree, both as the JSON their obs renderers produce. Empty when the
+  // query did not trip the capture rule.
+  std::string profile_json;
+  std::string spans_json;
+
+  // One-line JSON object (JSONL row). profile/spans are embedded verbatim
+  // (they are already JSON), or omitted when empty.
+  std::string ToJson() const;
+};
+
+// Thread-safe bounded ring of QueryLogRecord. See the header comment for
+// the cost model.
+class QueryLog {
+ public:
+  explicit QueryLog(QueryLogConfig config = {});
+  QueryLog(const QueryLog&) = delete;
+  QueryLog& operator=(const QueryLog&) = delete;
+
+  const QueryLogConfig& config() const { return config_; }
+
+  // Should this query's profile/spans be captured? Pure predicate — kept
+  // here so the session and the tests agree on the rule.
+  bool ShouldCapture(double total_ms, bool ok, bool partial) const {
+    return config_.capture_profiles &&
+           (!ok || partial || total_ms >= config_.slow_ms);
+  }
+
+  // Appends one record (assigns id and wall_clock_s). When the ring is
+  // full the oldest record is overwritten and dropped() grows.
+  void Record(QueryLogRecord record);
+
+  // Oldest-to-newest copy of the ring.
+  std::vector<QueryLogRecord> Snapshot() const;
+
+  uint64_t total_recorded() const;   // records ever appended
+  uint64_t slow_recorded() const;    // records with slow = true
+  uint64_t dropped() const;          // records overwritten by wrapping
+
+  // Newest-first JSONL dump; 0 = everything retained.
+  std::string ToJsonl(size_t max_records = 0) const;
+
+ private:
+  const QueryLogConfig config_;
+  mutable std::mutex mu_;
+  std::vector<QueryLogRecord> ring_;  // ring_[(start_ + i) % capacity]
+  size_t start_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t slow_ = 0;
+  uint64_t dropped_ = 0;
+  // Seconds since construction for wall_clock_s, without depending on
+  // common/stopwatch here: steady_clock anchor captured at construction.
+  const std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace lakefed::obs
+
+#endif  // LAKEFED_OBS_QUERYLOG_H_

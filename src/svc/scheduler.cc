@@ -127,7 +127,32 @@ Scheduler::Stats Scheduler::stats() const {
   s.steals = steals_.load(std::memory_order_relaxed);
   s.wakes = wakes_.load(std::memory_order_relaxed);
   s.io_jobs = io_count_.load(std::memory_order_relaxed);
+  s.yields = yields_.load(std::memory_order_relaxed);
+  s.blocks = blocks_.load(std::memory_order_relaxed);
+  s.done = done_.load(std::memory_order_relaxed);
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.unparks = unparks_.load(std::memory_order_relaxed);
   return s;
+}
+
+size_t Scheduler::injector_depth() const {
+  std::lock_guard<std::mutex> lock(sleep_mu_);
+  return injector_.size();
+}
+
+size_t Scheduler::io_queue_depth() const {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return io_jobs_.size();
+}
+
+std::vector<size_t> Scheduler::deque_depths() const {
+  std::vector<size_t> depths;
+  depths.reserve(deques_.size());
+  for (const auto& dq : deques_) {
+    std::lock_guard<std::mutex> lock(dq->mu);
+    depths.push_back(dq->tasks.size());
+  }
+  return depths;
 }
 
 void Scheduler::Enqueue(TaskRef handle, bool prefer_local) {
@@ -194,6 +219,7 @@ void Scheduler::RunTask(const TaskRef& handle) {
   steps_.fetch_add(1, std::memory_order_relaxed);
   switch (r) {
     case TaskResult::kDone:
+      done_.fetch_add(1, std::memory_order_relaxed);
       // Overwrites a concurrent kRunningNotified: a wake racing with
       // completion has nothing left to run.
       handle->state.store(TaskHandle::kDone, std::memory_order_release);
@@ -207,10 +233,12 @@ void Scheduler::RunTask(const TaskRef& handle) {
       handle->task_.reset();
       break;
     case TaskResult::kYield:
+      yields_.fetch_add(1, std::memory_order_relaxed);
       handle->state.store(TaskHandle::kQueued, std::memory_order_release);
       Enqueue(handle, /*prefer_local=*/true);
       break;
     case TaskResult::kBlocked: {
+      blocks_.fetch_add(1, std::memory_order_relaxed);
       int expected = TaskHandle::kRunning;
       if (!handle->state.compare_exchange_strong(expected, TaskHandle::kIdle,
                                                  std::memory_order_acq_rel)) {
@@ -231,9 +259,13 @@ void Scheduler::WorkerMain(size_t index) {
     TaskRef handle = NextTask(index);
     if (handle == nullptr) {
       std::unique_lock<std::mutex> lock(sleep_mu_);
-      idle_cv_.wait(lock, [this] {
-        return stop_ || ready_.load(std::memory_order_acquire) > 0;
-      });
+      if (!stop_ && ready_.load(std::memory_order_acquire) == 0) {
+        parks_.fetch_add(1, std::memory_order_relaxed);
+        idle_cv_.wait(lock, [this] {
+          return stop_ || ready_.load(std::memory_order_acquire) > 0;
+        });
+        unparks_.fetch_add(1, std::memory_order_relaxed);
+      }
       if (stop_) return;
       continue;
     }

@@ -76,6 +76,15 @@ class Scheduler {
     uint64_t steals = 0;   // steps whose task was stolen from a peer
     uint64_t wakes = 0;    // Wake() calls that enqueued or re-armed a task
     uint64_t io_jobs = 0;  // I/O jobs executed
+    // Task-state transition counters (one per Step() outcome).
+    uint64_t yields = 0;   // steps that returned kYield (re-enqueued)
+    uint64_t blocks = 0;   // steps that returned kBlocked and parked
+    uint64_t done = 0;     // steps that returned kDone (task retired)
+    // Worker parking: a park is a worker going to sleep on the idle
+    // condition variable; an unpark is it waking back up. parks - unparks
+    // = workers currently asleep.
+    uint64_t parks = 0;
+    uint64_t unparks = 0;
   };
 
   // Opaque per-task scheduling state; obtained from Register() and passed
@@ -108,9 +117,15 @@ class Scheduler {
   size_t num_io_threads() const { return io_thread_objs_.size(); }
   Stats stats() const;
 
+  // Queue-depth introspection for the monitoring plane. Each call takes
+  // the corresponding lock briefly; intended for samplers, not hot paths.
+  size_t injector_depth() const;
+  size_t io_queue_depth() const;
+  std::vector<size_t> deque_depths() const;  // one entry per worker
+
  private:
   struct WorkerDeque {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::deque<TaskRef> tasks;
   };
 
@@ -129,14 +144,15 @@ class Scheduler {
   std::vector<std::thread> worker_threads_;
 
   // Injector queue (tasks enqueued from non-worker threads) + idle parking.
-  std::mutex sleep_mu_;
+  // Mutable: the depth accessors are const but must lock.
+  mutable std::mutex sleep_mu_;
   std::condition_variable idle_cv_;
   std::deque<TaskRef> injector_;
   std::atomic<size_t> ready_{0};  // queued-but-unclaimed handles
   bool stop_ = false;             // guarded by sleep_mu_
 
   // Auxiliary I/O pool.
-  std::mutex io_mu_;
+  mutable std::mutex io_mu_;
   std::condition_variable io_cv_;
   std::deque<std::function<void()>> io_jobs_;
   bool io_stop_ = false;  // guarded by io_mu_
@@ -146,6 +162,11 @@ class Scheduler {
   std::atomic<uint64_t> steals_{0};
   std::atomic<uint64_t> wakes_{0};
   std::atomic<uint64_t> io_count_{0};
+  std::atomic<uint64_t> yields_{0};
+  std::atomic<uint64_t> blocks_{0};
+  std::atomic<uint64_t> done_{0};
+  std::atomic<uint64_t> parks_{0};
+  std::atomic<uint64_t> unparks_{0};
 };
 
 }  // namespace lakefed::svc

@@ -1,9 +1,50 @@
 #include "svc/service.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <sstream>
 #include <utility>
 
+#include "fed/breaker.h"
+
 namespace lakefed::svc {
+
+namespace {
+
+std::string JsonStr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string HitRate(const fed::CacheStats& cs) {
+  const uint64_t lookups = cs.hits + cs.misses;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f",
+                lookups == 0 ? 0.0
+                             : static_cast<double>(cs.hits) /
+                                   static_cast<double>(lookups));
+  return buf;
+}
+
+}  // namespace
 
 std::string PriorityToString(Priority priority) {
   switch (priority) {
@@ -89,6 +130,11 @@ QueryService::QueryService(const fed::FederatedEngine* engine,
   for (size_t i = 0; i < run_slots_; ++i) {
     runners_.emplace_back([this] { RunnerMain(); });
   }
+  // Project live scheduler state into every engine metrics snapshot, so
+  // /metrics and `.metrics` show queue depths and task-state counters
+  // without the engine depending on svc. Removed in Shutdown.
+  sampler_token_ = engine_->AddMetricsSampler(
+      [this](obs::MetricsSnapshot* snapshot) { SampleScheduler(snapshot); });
 }
 
 QueryService::~QueryService() { Shutdown(); }
@@ -132,6 +178,12 @@ Result<fed::QueryAnswer> QueryService::Execute(ServiceRequest request) {
 }
 
 void QueryService::Shutdown() {
+  // Tear the monitoring plane down first: after these return, no HTTP
+  // handler or snapshot cut can still be reading service state (sampler
+  // removal is a barrier — see AddMetricsSampler). Both are idempotent,
+  // so every Shutdown caller may run them.
+  StopMonitoring();
+  engine_->RemoveMetricsSampler(sampler_token_);
   std::vector<std::shared_ptr<Submission>> orphaned;
   std::vector<std::thread> runners;
   {
@@ -202,6 +254,146 @@ QueryService::Stats QueryService::stats() const {
   s.queue_depth = QueueDepthLocked();
   s.running = running_;
   return s;
+}
+
+void QueryService::SampleScheduler(obs::MetricsSnapshot* snapshot) const {
+  const Scheduler::Stats st = scheduler_.stats();
+  snapshot->counters.push_back({"svc.scheduler.steps", st.steps});
+  snapshot->counters.push_back({"svc.scheduler.steals", st.steals});
+  snapshot->counters.push_back({"svc.scheduler.wakes", st.wakes});
+  snapshot->counters.push_back({"svc.scheduler.io_jobs", st.io_jobs});
+  snapshot->counters.push_back({"svc.scheduler.yields", st.yields});
+  snapshot->counters.push_back({"svc.scheduler.blocks", st.blocks});
+  snapshot->counters.push_back({"svc.scheduler.done", st.done});
+  snapshot->counters.push_back({"svc.scheduler.parks", st.parks});
+  snapshot->counters.push_back({"svc.scheduler.unparks", st.unparks});
+  auto gauge = [snapshot](const std::string& name, size_t value) {
+    snapshot->gauges.push_back({name, static_cast<int64_t>(value)});
+  };
+  gauge("svc.scheduler.workers", scheduler_.num_workers());
+  gauge("svc.scheduler.io_threads", scheduler_.num_io_threads());
+  gauge("svc.scheduler.injector_depth", scheduler_.injector_depth());
+  gauge("svc.scheduler.io_queue_depth", scheduler_.io_queue_depth());
+  const std::vector<size_t> depths = scheduler_.deque_depths();
+  for (size_t i = 0; i < depths.size(); ++i) {
+    gauge("svc.scheduler.worker." + std::to_string(i) + ".deque_depth",
+          depths[i]);
+  }
+}
+
+Status QueryService::StartMonitoring(uint16_t port) {
+  std::lock_guard<std::mutex> lock(monitor_mu_);
+  if (exporter_ != nullptr && exporter_->running()) {
+    return Status::AlreadyExists("monitoring already running on port " +
+                                 std::to_string(exporter_->port()));
+  }
+  auto exporter = std::make_unique<obs::MetricsExporter>();
+  obs::MetricsExporter::Config cfg;
+  cfg.port = port;
+  const fed::FederatedEngine* engine = engine_;
+  cfg.metrics = [engine] { return engine->MetricsSnapshot(); };
+  cfg.statusz = [this] { return StatuszJson(); };
+  cfg.query_log = engine_->query_log();  // null keeps /queryz a 404
+  LAKEFED_RETURN_NOT_OK(exporter->Start(std::move(cfg)));
+  exporter_ = std::move(exporter);
+  return Status::OK();
+}
+
+void QueryService::StopMonitoring() {
+  std::lock_guard<std::mutex> lock(monitor_mu_);
+  exporter_.reset();  // ~MetricsExporter stops and joins the listener
+}
+
+bool QueryService::monitoring() const {
+  std::lock_guard<std::mutex> lock(monitor_mu_);
+  return exporter_ != nullptr && exporter_->running();
+}
+
+uint16_t QueryService::monitor_port() const {
+  std::lock_guard<std::mutex> lock(monitor_mu_);
+  return exporter_ != nullptr ? exporter_->port() : 0;
+}
+
+std::string QueryService::StatuszJson() const {
+  std::ostringstream out;
+  out << "{\"build\":{\"project\":\"lakefed\",\"compiler\":"
+      << JsonStr(__VERSION__) << ",\"cxx\":" << __cplusplus << "}";
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  uptime_.ElapsedMillis() / 1000.0);
+    out << ",\"uptime_s\":" << buf;
+  }
+  out << ",\"pool\":{\"workers\":" << scheduler_.num_workers()
+      << ",\"io_threads\":" << scheduler_.num_io_threads()
+      << ",\"run_slots\":" << run_slots_ << "}";
+  const Stats s = stats();
+  out << ",\"admission\":{\"admitted\":" << s.admitted
+      << ",\"queued\":" << s.queued << ",\"shed\":" << s.shed
+      << ",\"expired\":" << s.expired << ",\"degraded\":" << s.degraded
+      << ",\"completed\":" << s.completed << ",\"errors\":" << s.errors
+      << ",\"queue_depth\":" << s.queue_depth
+      << ",\"running\":" << s.running << "}";
+  out << ",\"breakers\":{";
+  bool first = true;
+  for (const fed::BreakerRegistry::Entry& e :
+       engine_->breakers()->Snapshot()) {
+    if (!first) out << ",";
+    first = false;
+    out << JsonStr(e.source_id) << ":"
+        << JsonStr(fed::BreakerStateToString(e.state));
+  }
+  out << "}";
+  const fed::CacheStats plan = engine_->plan_cache()->plan_stats();
+  const fed::CacheStats answer = engine_->answer_cache()->stats();
+  out << ",\"caches\":{\"plan\":{\"hit_rate\":" << HitRate(plan)
+      << ",\"entries\":" << plan.entries << "}"
+      << ",\"answer\":{\"hit_rate\":" << HitRate(answer)
+      << ",\"entries\":" << answer.entries << "}}";
+  out << ",\"tenants\":{";
+  first = true;
+  for (const auto& [tenant, info] : Tenants()) {
+    if (!first) out << ",";
+    first = false;
+    out << JsonStr(tenant) << ":{\"running\":" << info.running
+        << ",\"queued\":" << info.queued
+        << ",\"completed\":" << info.completed
+        << ",\"quota\":" << info.quota << "}";
+  }
+  out << "}";
+  const obs::QueryLog* log = engine_->query_log();
+  out << ",\"query_log\":{\"enabled\":" << (log != nullptr ? "true" : "false");
+  if (log != nullptr) {
+    out << ",\"recorded\":" << log->total_recorded()
+        << ",\"slow\":" << log->slow_recorded()
+        << ",\"dropped\":" << log->dropped();
+  }
+  out << "}}";
+  return out.str();
+}
+
+fed::SchedulerInfo QueryService::SchedulerSnapshot() const {
+  const Scheduler::Stats st = scheduler_.stats();
+  fed::SchedulerInfo info;
+  info.workers = scheduler_.num_workers();
+  info.io_threads = scheduler_.num_io_threads();
+  info.steps = st.steps;
+  info.steals = st.steals;
+  info.wakes = st.wakes;
+  info.io_jobs = st.io_jobs;
+  info.yields = st.yields;
+  info.blocks = st.blocks;
+  info.done = st.done;
+  info.parks = st.parks;
+  info.unparks = st.unparks;
+  info.injector_depth = scheduler_.injector_depth();
+  info.io_queue_depth = scheduler_.io_queue_depth();
+  info.deque_depths = scheduler_.deque_depths();
+  return info;
+}
+
+std::function<fed::SchedulerInfo()> QueryService::SchedulerInfoFn() const {
+  return [this] { return SchedulerSnapshot(); };
 }
 
 size_t QueryService::QuotaFor(const std::string& tenant) const {
@@ -314,6 +506,11 @@ void QueryService::RunOne(const std::shared_ptr<Submission>& sub) {
   // unless configured (or explicitly overridden by the caller) otherwise.
   if (config_.use_scheduler && request.options.scheduler == nullptr) {
     request.options.scheduler = &scheduler_;
+  }
+  // Attribution: every admitted session carries its tenant so the flight
+  // recorder (and sys.queries) can say who ran what, caching or not.
+  if (request.options.tenant.empty()) {
+    request.options.tenant = sub->tenant();
   }
   // Reuse layer: cache entries are scoped by tenant so byte quotas (and
   // the shell's `.cache` breakdown) attribute footprint to its owner.

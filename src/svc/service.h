@@ -47,7 +47,9 @@
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "fed/engine.h"
+#include "fed/meta_source.h"
 #include "fed/session.h"
+#include "obs/exporter.h"
 #include "svc/scheduler.h"
 
 namespace lakefed::svc {
@@ -201,6 +203,31 @@ class QueryService {
   Scheduler* scheduler() { return &scheduler_; }
   size_t run_slots() const { return run_slots_; }
 
+  // -------------------------------------------------------------------
+  // Monitoring plane (obs/exporter.h): an embedded HTTP endpoint bound to
+  // 127.0.0.1:<port> (0 = ephemeral) serving /metrics (Prometheus text
+  // exposition of the engine snapshot, scheduler series included via the
+  // sampler this service registers), /healthz, /statusz (JSON summary
+  // below) and /queryz (flight-recorder JSONL, when the engine's query
+  // log is enabled). Off until StartMonitoring; stopped by Shutdown.
+  Status StartMonitoring(uint16_t port);
+  void StopMonitoring();
+  bool monitoring() const;
+  uint16_t monitor_port() const;  // 0 when not monitoring
+
+  // The /statusz document: build info, uptime, pool shape, breaker states,
+  // cache hit rates and per-tenant admission stats.
+  std::string StatuszJson() const;
+
+  // Point-in-time worker-pool state in fed-visible form — the provider the
+  // sys.scheduler meta-table wants:
+  //   engine.RegisterSource(std::make_unique<fed::MetaSource>(
+  //       &engine, fed::MetaSource::Providers{service.SchedulerInfoFn()}));
+  // The returned function captures `this`: keep the service alive as long
+  // as the meta-source may be queried.
+  fed::SchedulerInfo SchedulerSnapshot() const;
+  std::function<fed::SchedulerInfo()> SchedulerInfoFn() const;
+
  private:
   size_t QuotaFor(const std::string& tenant) const;
   size_t QueueDepthLocked() const;
@@ -227,6 +254,18 @@ class QueryService {
   bool stopped_ = false;
   bool shutdown_done_ = false;  // the winning Shutdown() joined all runners
   std::vector<std::thread> runners_;
+
+  // Projects svc.scheduler.* series into an engine metrics snapshot (the
+  // sampler body registered with AddMetricsSampler).
+  void SampleScheduler(obs::MetricsSnapshot* snapshot) const;
+
+  // Monitoring plane state. The sampler token is registered in the ctor
+  // and removed in Shutdown (removal is a barrier: after it, no snapshot
+  // can still be running the sampler against a dying scheduler).
+  Stopwatch uptime_;
+  uint64_t sampler_token_ = 0;
+  mutable std::mutex monitor_mu_;
+  std::unique_ptr<obs::MetricsExporter> exporter_;
 
   // Service metrics, recorded into the engine's registry (not owned).
   obs::Gauge* live_gauge_;

@@ -1,0 +1,371 @@
+// Monitoring-plane unit tests: Prometheus name sanitization and label
+// escaping (round-tripped through a small exposition parser), cumulative
+// le-bucket rendering, the query-log ring buffer, and the HTTP endpoints
+// end to end over a real socket.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "net/http_listener.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/querylog.h"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace lakefed::obs {
+namespace {
+
+// -------------------------------------------------------------------
+// A minimal Prometheus text-exposition parser: enough to verify that what
+// RenderPrometheus emits is well-formed and loss-free. Parses lines of the
+// form  family{label="value",...} number  and unescapes label values.
+struct ParsedSample {
+  std::string family;
+  std::map<std::string, std::string> labels;
+  double value = 0;
+};
+
+bool UnescapeLabelValue(const std::string& in, std::string* out) {
+  out->clear();
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] != '\\') {
+      out->push_back(in[i]);
+      continue;
+    }
+    if (++i >= in.size()) return false;
+    switch (in[i]) {
+      case '\\': out->push_back('\\'); break;
+      case '"': out->push_back('"'); break;
+      case 'n': out->push_back('\n'); break;
+      default: return false;  // invalid escape
+    }
+  }
+  return true;
+}
+
+bool ParseSampleLine(const std::string& line, ParsedSample* out) {
+  const size_t brace = line.find('{');
+  size_t value_start;
+  if (brace == std::string::npos) {
+    const size_t space = line.find(' ');
+    if (space == std::string::npos) return false;
+    out->family = line.substr(0, space);
+    value_start = space + 1;
+  } else {
+    out->family = line.substr(0, brace);
+    size_t i = brace + 1;
+    while (i < line.size() && line[i] != '}') {
+      const size_t eq = line.find('=', i);
+      if (eq == std::string::npos || line[eq + 1] != '"') return false;
+      const std::string name = line.substr(i, eq - i);
+      // Find the closing quote, skipping escaped characters.
+      size_t j = eq + 2;
+      std::string raw;
+      while (j < line.size() && line[j] != '"') {
+        if (line[j] == '\\') {
+          if (j + 1 >= line.size()) return false;
+          raw.push_back(line[j]);
+          raw.push_back(line[j + 1]);
+          j += 2;
+        } else {
+          raw.push_back(line[j++]);
+        }
+      }
+      if (j >= line.size()) return false;
+      std::string value;
+      if (!UnescapeLabelValue(raw, &value)) return false;
+      out->labels[name] = value;
+      i = j + 1;
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size() || line[i] != '}') return false;
+    value_start = i + 2;  // "} "
+    if (value_start > line.size()) return false;
+  }
+  out->value = std::strtod(line.c_str() + value_start, nullptr);
+  return true;
+}
+
+std::vector<ParsedSample> ParseExposition(const std::string& text) {
+  std::vector<ParsedSample> samples;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ParsedSample sample;
+    EXPECT_TRUE(ParseSampleLine(line, &sample)) << line;
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+bool ValidFamilyName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+// -------------------------------------------------------------------
+// Sanitization and escaping
+
+TEST(SanitizeMetricName, MapsInvalidCharsAndLeadingDigit) {
+  EXPECT_EQ(SanitizeMetricName("svc.breaker.sql-db.state"),
+            "svc_breaker_sql_db_state");
+  EXPECT_EQ(SanitizeMetricName("already_fine_123"), "already_fine_123");
+  EXPECT_EQ(SanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizeMetricName(""), "_");
+  EXPECT_EQ(SanitizeMetricName("a b\tc"), "a_b_c");
+}
+
+TEST(EscapeLabelValue, RoundTripsThroughParser) {
+  const std::vector<std::string> nasty = {
+      "plain", "with \"quotes\"", "back\\slash", "new\nline",
+      "all\\three\" mixed\nup", "unicode µs ok"};
+  for (const std::string& original : nasty) {
+    std::string unescaped;
+    ASSERT_TRUE(UnescapeLabelValue(EscapeLabelValue(original), &unescaped))
+        << original;
+    EXPECT_EQ(unescaped, original);
+  }
+}
+
+// -------------------------------------------------------------------
+// Rendering
+
+TEST(RenderPrometheus, EveryFamilyIsValidAndNamesAreLossless) {
+  MetricsRegistry registry;
+  registry.GetCounter("svc.breaker.sql-db.opened")->Increment(3);
+  registry.GetCounter("exec.messages")->Increment(42);
+  registry.GetGauge("svc.sessions.live")->Set(-2);
+  registry.GetHistogram("wrapper.kegg.call_ms")->Record(1.5);
+  const std::string text = RenderPrometheus(registry.Snapshot());
+  const std::vector<ParsedSample> samples = ParseExposition(text);
+  ASSERT_FALSE(samples.empty());
+  bool saw_breaker = false;
+  for (const ParsedSample& s : samples) {
+    EXPECT_TRUE(ValidFamilyName(s.family)) << s.family;
+    EXPECT_TRUE(StartsWith(s.family, "lakefed_")) << s.family;
+    // The raw dotted name rides along as a label, so sanitization loses
+    // nothing.
+    ASSERT_TRUE(s.labels.count("name") > 0) << s.family;
+    if (s.labels.at("name") == "svc.breaker.sql-db.opened") {
+      saw_breaker = true;
+      EXPECT_EQ(s.family, "lakefed_svc_breaker_sql_db_opened_total");
+      EXPECT_DOUBLE_EQ(s.value, 3);
+    }
+  }
+  EXPECT_TRUE(saw_breaker);
+}
+
+TEST(RenderPrometheus, HistogramBucketsAreCumulativeWithInf) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("session.query_ms");
+  // Three observations in distinct buckets plus one far out.
+  h->Record(0.002);
+  h->Record(0.5);
+  h->Record(100);
+  h->Record(1e12);  // overflow bucket
+  const std::string text = RenderPrometheus(registry.Snapshot());
+  const std::vector<ParsedSample> samples = ParseExposition(text);
+
+  double prev = -1;
+  double last_le_count = 0;
+  double inf_count = -1, count = -1, sum = -1;
+  double prev_bound = -1;
+  for (const ParsedSample& s : samples) {
+    if (s.family == "lakefed_session_query_ms_bucket") {
+      const std::string& le = s.labels.at("le");
+      if (le == "+Inf") {
+        inf_count = s.value;
+      } else {
+        const double bound = std::strtod(le.c_str(), nullptr);
+        EXPECT_GT(bound, prev_bound);  // bounds ascend
+        prev_bound = bound;
+        EXPECT_GE(s.value, prev);  // cumulative counts never decrease
+        prev = s.value;
+        last_le_count = s.value;
+      }
+    } else if (s.family == "lakefed_session_query_ms_count") {
+      count = s.value;
+    } else if (s.family == "lakefed_session_query_ms_sum") {
+      sum = s.value;
+    }
+  }
+  EXPECT_DOUBLE_EQ(count, 4);
+  EXPECT_DOUBLE_EQ(inf_count, 4);  // +Inf always equals the total count
+  // The overflow observation is only in +Inf, not in any finite bucket.
+  EXPECT_DOUBLE_EQ(last_le_count, 3);
+  EXPECT_GT(sum, 1e11);
+}
+
+TEST(RenderPrometheus, JsonSnapshotSchemaUntouched) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.b")->Increment();
+  registry.GetHistogram("h.ms")->Record(1);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const std::string json_before = snapshot.ToJson();
+  (void)RenderPrometheus(snapshot);
+  // Rendering is a pure second renderer over the snapshot.
+  EXPECT_EQ(snapshot.ToJson(), json_before);
+  EXPECT_TRUE(Contains(json_before, "\"counters\""));
+  EXPECT_FALSE(Contains(json_before, "le"));  // buckets stay out of JSON
+}
+
+// -------------------------------------------------------------------
+// Query log ring buffer
+
+QueryLogRecord MakeRecord(double total_ms, bool ok = true,
+                          bool partial = false) {
+  QueryLogRecord r;
+  r.fingerprint = "f";
+  r.query = "SELECT * WHERE { ?s ?p ?o }";
+  r.status = ok ? "ok" : "error";
+  r.ok = ok;
+  r.partial = partial;
+  r.total_ms = total_ms;
+  return r;
+}
+
+TEST(QueryLog, CapturePolicy) {
+  QueryLogConfig config;
+  config.slow_ms = 100;
+  QueryLog log(config);
+  EXPECT_FALSE(log.ShouldCapture(5, /*ok=*/true, /*partial=*/false));
+  EXPECT_TRUE(log.ShouldCapture(150, true, false));   // slow
+  EXPECT_TRUE(log.ShouldCapture(5, false, false));    // error
+  EXPECT_TRUE(log.ShouldCapture(5, true, true));      // partial
+  QueryLogConfig off = config;
+  off.capture_profiles = false;
+  QueryLog no_capture(off);
+  EXPECT_FALSE(no_capture.ShouldCapture(150, false, true));
+}
+
+TEST(QueryLog, RingOverwritesOldestAndCountsDrops) {
+  QueryLogConfig config;
+  config.capacity = 4;
+  config.slow_ms = 100;
+  QueryLog log(config);
+  for (int i = 0; i < 10; ++i) log.Record(MakeRecord(i >= 8 ? 200 : 1));
+  EXPECT_EQ(log.total_recorded(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  EXPECT_EQ(log.slow_recorded(), 2u);
+  const std::vector<QueryLogRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest-first snapshot of the surviving window: ids 7..10.
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].id, 7 + i);
+  }
+  // JSONL dump is newest-first and honours the limit.
+  const std::string two = log.ToJsonl(2);
+  EXPECT_TRUE(Contains(two, "\"id\":10"));
+  EXPECT_TRUE(Contains(two, "\"id\":9"));
+  EXPECT_FALSE(Contains(two, "\"id\":8"));
+}
+
+TEST(QueryLog, JsonEmbedsProfileVerbatim) {
+  QueryLog log(QueryLogConfig{});
+  QueryLogRecord r = MakeRecord(500);
+  r.profile_json = "{\"operators\":[]}";
+  r.spans_json = "[]";
+  log.Record(std::move(r));
+  const std::string line = log.ToJsonl();
+  EXPECT_TRUE(Contains(line, "\"profile\":{\"operators\":[]}")) << line;
+  EXPECT_TRUE(Contains(line, "\"spans\":[]")) << line;
+}
+
+// -------------------------------------------------------------------
+// HTTP endpoints over a real socket
+
+#ifndef _WIN32
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)!::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsExporter, ServesAllEndpoints) {
+  MetricsRegistry registry;
+  registry.GetCounter("engine.sessions")->Increment(2);
+  QueryLog log(QueryLogConfig{});
+  log.Record(MakeRecord(500));
+
+  MetricsExporter exporter;
+  MetricsExporter::Config config;
+  config.port = 0;  // ephemeral
+  config.metrics = [&registry] { return registry.Snapshot(); };
+  config.statusz = [] { return std::string("{\"ok\":true}"); };
+  config.query_log = &log;
+  ASSERT_TRUE(exporter.Start(std::move(config)).ok());
+  const uint16_t port = exporter.port();
+  ASSERT_NE(port, 0);
+
+  const std::string health = HttpGet(port, "/healthz");
+  EXPECT_TRUE(Contains(health, "200")) << health;
+  EXPECT_TRUE(Contains(health, "ok"));
+
+  const std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_TRUE(Contains(metrics, "text/plain; version=0.0.4"));
+  EXPECT_TRUE(Contains(metrics, "lakefed_engine_sessions_total"));
+
+  const std::string statusz = HttpGet(port, "/statusz");
+  EXPECT_TRUE(Contains(statusz, "application/json"));
+  EXPECT_TRUE(Contains(statusz, "{\"ok\":true}"));
+
+  const std::string queryz = HttpGet(port, "/queryz?n=5");
+  EXPECT_TRUE(Contains(queryz, "\"id\":1")) << queryz;
+
+  EXPECT_TRUE(Contains(HttpGet(port, "/nope"), "404"));
+
+  exporter.Stop();
+  EXPECT_FALSE(exporter.running());
+}
+
+TEST(MetricsExporter, QueryzWithoutLogIs404) {
+  MetricsExporter exporter;
+  MetricsExporter::Config config;
+  config.port = 0;
+  config.metrics = [] { return MetricsSnapshot{}; };
+  ASSERT_TRUE(exporter.Start(std::move(config)).ok());
+  EXPECT_TRUE(Contains(HttpGet(exporter.port(), "/queryz"), "404"));
+}
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace lakefed::obs
